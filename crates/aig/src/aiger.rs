@@ -1,0 +1,578 @@
+//! ASCII AIGER (`aag`) reading and writing.
+//!
+//! The [AIGER format](http://fmv.jku.at/aiger/) is the lingua franca of
+//! hardware model checkers. Only the ASCII variant is implemented; it is
+//! sufficient for interchange and for snapshotting intermediate circuits.
+
+use crate::{Aig, Lit, Node, Var};
+use std::fmt;
+
+/// Error produced when parsing an ASCII AIGER file fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseAigerError {
+    line: usize,
+    message: String,
+}
+
+impl ParseAigerError {
+    fn new(line: usize, message: impl Into<String>) -> Self {
+        ParseAigerError {
+            line,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for ParseAigerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "aiger parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseAigerError {}
+
+/// Serializes an AIG to ASCII AIGER (`aag`) format.
+///
+/// Variables are renumbered into the canonical AIGER order: inputs, then
+/// latches, then AND gates.
+///
+/// # Examples
+///
+/// ```
+/// use axmc_aig::{Aig, aiger};
+///
+/// let mut aig = Aig::new();
+/// let a = aig.add_input();
+/// let b = aig.add_input();
+/// let x = aig.and(a, b);
+/// aig.add_output(x);
+/// let text = aiger::to_ascii(&aig);
+/// let back = aiger::from_ascii(&text).unwrap();
+/// assert_eq!(back.num_ands(), 1);
+/// ```
+pub fn to_ascii(aig: &Aig) -> String {
+    // Renumber: const stays 0; inputs 1..=I; latches I+1..=I+L; ands after.
+    let mut var_map = vec![0u32; aig.num_nodes()];
+    let mut next = 1u32;
+    for &v in aig.inputs() {
+        var_map[v.index() as usize] = next;
+        next += 1;
+    }
+    for l in aig.latches() {
+        var_map[l.var.index() as usize] = next;
+        next += 1;
+    }
+    let mut ands: Vec<(u32, u32, u32)> = Vec::new();
+    for (v, node) in aig.iter() {
+        if let Node::And(a, b) = node {
+            var_map[v.index() as usize] = next;
+            let lhs = next * 2;
+            let ra = var_map[a.var().index() as usize] * 2 + a.is_negated() as u32;
+            let rb = var_map[b.var().index() as usize] * 2 + b.is_negated() as u32;
+            ands.push((lhs, ra.max(rb), ra.min(rb)));
+            next += 1;
+        }
+    }
+    let map_lit =
+        |l: Lit| -> u32 { var_map[l.var().index() as usize] * 2 + l.is_negated() as u32 };
+
+    let mut out = String::new();
+    out.push_str(&format!(
+        "aag {} {} {} {} {}\n",
+        next - 1,
+        aig.num_inputs(),
+        aig.num_latches(),
+        aig.num_outputs(),
+        ands.len()
+    ));
+    for &v in aig.inputs() {
+        out.push_str(&format!("{}\n", var_map[v.index() as usize] * 2));
+    }
+    for l in aig.latches() {
+        out.push_str(&format!(
+            "{} {} {}\n",
+            var_map[l.var.index() as usize] * 2,
+            map_lit(l.next),
+            l.init as u32
+        ));
+    }
+    for &o in aig.outputs() {
+        out.push_str(&format!("{}\n", map_lit(o)));
+    }
+    for (lhs, r0, r1) in ands {
+        out.push_str(&format!("{lhs} {r0} {r1}\n"));
+    }
+    out
+}
+
+/// Parses an ASCII AIGER (`aag`) description into an [`Aig`].
+///
+/// AND-gate definitions may appear in any order as long as the graph is
+/// acyclic. Symbol-table and comment sections are ignored.
+///
+/// # Errors
+///
+/// Returns [`ParseAigerError`] on malformed headers, out-of-range literals,
+/// cyclic or incomplete AND definitions.
+pub fn from_ascii(text: &str) -> Result<Aig, ParseAigerError> {
+    let mut lines = text.lines().enumerate();
+    let (_, header) = lines
+        .next()
+        .ok_or_else(|| ParseAigerError::new(1, "empty input"))?;
+    let fields: Vec<&str> = header.split_whitespace().collect();
+    if fields.len() != 6 || fields[0] != "aag" {
+        return Err(ParseAigerError::new(1, "expected 'aag M I L O A' header"));
+    }
+    let parse = |s: &str, line: usize| -> Result<u32, ParseAigerError> {
+        s.parse()
+            .map_err(|_| ParseAigerError::new(line, format!("invalid number '{s}'")))
+    };
+    let m = parse(fields[1], 1)?;
+    let i = parse(fields[2], 1)?;
+    let l = parse(fields[3], 1)?;
+    let o = parse(fields[4], 1)?;
+    let a = parse(fields[5], 1)?;
+    if m < i + l + a {
+        return Err(ParseAigerError::new(1, "M must be at least I + L + A"));
+    }
+
+    let mut take_line = |what: &str| -> Result<(usize, String), ParseAigerError> {
+        lines
+            .next()
+            .map(|(n, s)| (n + 1, s.to_string()))
+            .ok_or_else(|| ParseAigerError::new(usize::MAX, format!("missing {what} line")))
+    };
+
+    let mut input_lits = Vec::with_capacity(i as usize);
+    for _ in 0..i {
+        let (n, s) = take_line("input")?;
+        let code = parse(s.trim(), n)?;
+        if code % 2 != 0 || code == 0 {
+            return Err(ParseAigerError::new(n, "input literal must be even and nonzero"));
+        }
+        input_lits.push(code / 2);
+    }
+    let mut latch_defs = Vec::with_capacity(l as usize);
+    for _ in 0..l {
+        let (n, s) = take_line("latch")?;
+        let parts: Vec<&str> = s.split_whitespace().collect();
+        if parts.len() < 2 || parts.len() > 3 {
+            return Err(ParseAigerError::new(n, "latch line needs 'lit next [init]'"));
+        }
+        let lhs = parse(parts[0], n)?;
+        let nxt = parse(parts[1], n)?;
+        let init = if parts.len() == 3 { parse(parts[2], n)? } else { 0 };
+        if lhs % 2 != 0 || lhs == 0 {
+            return Err(ParseAigerError::new(n, "latch literal must be even and nonzero"));
+        }
+        if init > 1 {
+            return Err(ParseAigerError::new(n, "only constant latch resets supported"));
+        }
+        latch_defs.push((lhs / 2, nxt, init == 1));
+    }
+    let mut output_codes = Vec::with_capacity(o as usize);
+    for _ in 0..o {
+        let (n, s) = take_line("output")?;
+        output_codes.push(parse(s.trim(), n)?);
+    }
+    let mut and_defs = Vec::with_capacity(a as usize);
+    for _ in 0..a {
+        let (n, s) = take_line("and")?;
+        let parts: Vec<&str> = s.split_whitespace().collect();
+        if parts.len() != 3 {
+            return Err(ParseAigerError::new(n, "and line needs 'lhs rhs0 rhs1'"));
+        }
+        let lhs = parse(parts[0], n)?;
+        if lhs % 2 != 0 || lhs == 0 {
+            return Err(ParseAigerError::new(n, "and literal must be even and nonzero"));
+        }
+        and_defs.push((n, lhs / 2, parse(parts[1], n)?, parse(parts[2], n)?));
+    }
+
+    // Build the AIG: aiger var -> our literal.
+    let mut aig = Aig::new();
+    let mut map: Vec<Option<Lit>> = vec![None; m as usize + 1];
+    map[0] = Some(Lit::FALSE);
+    for &v in &input_lits {
+        if v > m {
+            return Err(ParseAigerError::new(0, format!("input var {v} exceeds M")));
+        }
+        map[v as usize] = Some(aig.add_input());
+    }
+    for &(v, _, init) in &latch_defs {
+        if v > m {
+            return Err(ParseAigerError::new(0, format!("latch var {v} exceeds M")));
+        }
+        map[v as usize] = Some(aig.add_latch(init));
+    }
+    // Topologically insert AND gates (defs may be out of order).
+    let mut pending: Vec<(usize, u32, u32, u32)> = and_defs;
+    while !pending.is_empty() {
+        let before = pending.len();
+        pending.retain(|&(line, lhs, r0, r1)| {
+            let get = |code: u32| -> Option<Lit> {
+                map.get(code as usize / 2)
+                    .copied()
+                    .flatten()
+                    .map(|l| l.negate_if(code % 2 == 1))
+            };
+            match (get(r0), get(r1)) {
+                (Some(a0), Some(a1)) => {
+                    let lit = {
+                        let mut_aig = &mut aig;
+                        mut_aig.and(a0, a1)
+                    };
+                    map[lhs as usize] = Some(lit);
+                    false
+                }
+                _ => {
+                    let _ = line;
+                    true
+                }
+            }
+        });
+        if pending.len() == before {
+            return Err(ParseAigerError::new(
+                pending[0].0,
+                "cyclic or undefined and-gate fanin",
+            ));
+        }
+    }
+    // Resolve latch next-state and outputs.
+    let resolve = |code: u32| -> Result<Lit, ParseAigerError> {
+        map.get(code as usize / 2)
+            .copied()
+            .flatten()
+            .map(|l| l.negate_if(code % 2 == 1))
+            .ok_or_else(|| ParseAigerError::new(0, format!("undefined literal {code}")))
+    };
+    for (k, &(_, next_code, _)) in latch_defs.iter().enumerate() {
+        let next = resolve(next_code)?;
+        aig.set_latch_next(k, next);
+    }
+    for &code in &output_codes {
+        let lit = resolve(code)?;
+        aig.add_output(lit);
+    }
+    let _ = Var::CONST;
+    Ok(aig)
+}
+
+/// Serializes an AIG to binary AIGER (`aig`) format.
+///
+/// Variables are renumbered into canonical order (inputs, latches, AND
+/// gates); AND fanins are delta-compressed as in the AIGER specification.
+pub fn to_binary(aig: &Aig) -> Vec<u8> {
+    let mut var_map = vec![0u32; aig.num_nodes()];
+    let mut next = 1u32;
+    for &v in aig.inputs() {
+        var_map[v.index() as usize] = next;
+        next += 1;
+    }
+    for l in aig.latches() {
+        var_map[l.var.index() as usize] = next;
+        next += 1;
+    }
+    let first_and = next;
+    let mut ands: Vec<(u32, u32)> = Vec::new();
+    for (v, node) in aig.iter() {
+        if let Node::And(a, b) = node {
+            var_map[v.index() as usize] = next;
+            let ra = var_map[a.var().index() as usize] * 2 + a.is_negated() as u32;
+            let rb = var_map[b.var().index() as usize] * 2 + b.is_negated() as u32;
+            ands.push((ra.max(rb), ra.min(rb)));
+            next += 1;
+        }
+    }
+    let map_lit =
+        |l: Lit| -> u32 { var_map[l.var().index() as usize] * 2 + l.is_negated() as u32 };
+
+    let mut out = Vec::new();
+    out.extend_from_slice(
+        format!(
+            "aig {} {} {} {} {}\n",
+            next - 1,
+            aig.num_inputs(),
+            aig.num_latches(),
+            aig.num_outputs(),
+            ands.len()
+        )
+        .as_bytes(),
+    );
+    for l in aig.latches() {
+        out.extend_from_slice(format!("{} {}\n", map_lit(l.next), l.init as u32).as_bytes());
+    }
+    for &o in aig.outputs() {
+        out.extend_from_slice(format!("{}\n", map_lit(o)).as_bytes());
+    }
+    let mut write_delta = |mut d: u32, out: &mut Vec<u8>| loop {
+        let byte = (d & 0x7F) as u8;
+        d >>= 7;
+        if d == 0 {
+            out.push(byte);
+            break;
+        }
+        out.push(byte | 0x80);
+    };
+    for (i, &(r0, r1)) in ands.iter().enumerate() {
+        let lhs = (first_and + i as u32) * 2;
+        write_delta(lhs - r0, &mut out);
+        write_delta(r0 - r1, &mut out);
+    }
+    out
+}
+
+/// Parses binary AIGER (`aig`) bytes into an [`Aig`].
+///
+/// # Errors
+///
+/// Returns [`ParseAigerError`] on malformed headers or truncated data.
+pub fn from_binary(bytes: &[u8]) -> Result<Aig, ParseAigerError> {
+    // Header and the latch/output lines are ASCII; find their extent.
+    let mut pos = 0usize;
+    let mut read_line = |pos: &mut usize| -> Result<String, ParseAigerError> {
+        let start = *pos;
+        while *pos < bytes.len() && bytes[*pos] != b'\n' {
+            *pos += 1;
+        }
+        if *pos >= bytes.len() {
+            return Err(ParseAigerError::new(0, "unexpected end of data"));
+        }
+        let line = String::from_utf8(bytes[start..*pos].to_vec())
+            .map_err(|_| ParseAigerError::new(0, "non-ascii header"))?;
+        *pos += 1;
+        Ok(line)
+    };
+    let header = read_line(&mut pos)?;
+    let fields: Vec<&str> = header.split_whitespace().collect();
+    if fields.len() != 6 || fields[0] != "aig" {
+        return Err(ParseAigerError::new(1, "expected 'aig M I L O A' header"));
+    }
+    let parse_num = |s: &str| -> Result<u32, ParseAigerError> {
+        s.parse()
+            .map_err(|_| ParseAigerError::new(1, format!("invalid number '{s}'")))
+    };
+    let _m = parse_num(fields[1])?;
+    let i = parse_num(fields[2])?;
+    let l = parse_num(fields[3])?;
+    let o = parse_num(fields[4])?;
+    let a = parse_num(fields[5])?;
+
+    let mut aig = Aig::new();
+    // Vars 1..=i are inputs, i+1..=i+l latches, rest ANDs.
+    let mut lits: Vec<Lit> = vec![Lit::FALSE];
+    for _ in 0..i {
+        lits.push(aig.add_input());
+    }
+    let mut latch_lines = Vec::with_capacity(l as usize);
+    for _ in 0..l {
+        let line = read_line(&mut pos)?;
+        let parts: Vec<&str> = line.split_whitespace().collect();
+        if parts.is_empty() || parts.len() > 2 {
+            return Err(ParseAigerError::new(0, "latch line needs 'next [init]'"));
+        }
+        let next_code = parse_num(parts[0])?;
+        let init = parts.len() == 2 && parse_num(parts[1])? == 1;
+        latch_lines.push(next_code);
+        lits.push(aig.add_latch(init));
+    }
+    let mut output_codes = Vec::with_capacity(o as usize);
+    for _ in 0..o {
+        let line = read_line(&mut pos)?;
+        output_codes.push(parse_num(line.trim())?);
+    }
+    // Delta-decoded AND section.
+    let mut read_delta = |pos: &mut usize| -> Result<u32, ParseAigerError> {
+        let mut value: u32 = 0;
+        let mut shift = 0u32;
+        loop {
+            if *pos >= bytes.len() {
+                return Err(ParseAigerError::new(0, "truncated and section"));
+            }
+            let byte = bytes[*pos];
+            *pos += 1;
+            value |= ((byte & 0x7F) as u32) << shift;
+            if byte & 0x80 == 0 {
+                return Ok(value);
+            }
+            shift += 7;
+            if shift > 28 {
+                return Err(ParseAigerError::new(0, "delta overflow"));
+            }
+        }
+    };
+    let decode = |code: u32, lits: &[Lit]| -> Result<Lit, ParseAigerError> {
+        lits.get(code as usize / 2)
+            .copied()
+            .map(|l| l.negate_if(code % 2 == 1))
+            .ok_or_else(|| ParseAigerError::new(0, format!("undefined literal {code}")))
+    };
+    for k in 0..a {
+        let lhs = (i + l + 1 + k) * 2;
+        let d0 = read_delta(&mut pos)?;
+        let d1 = read_delta(&mut pos)?;
+        let r0 = lhs
+            .checked_sub(d0)
+            .ok_or_else(|| ParseAigerError::new(0, "invalid delta"))?;
+        let r1 = r0
+            .checked_sub(d1)
+            .ok_or_else(|| ParseAigerError::new(0, "invalid delta"))?;
+        let la = decode(r0, &lits)?;
+        let lb = decode(r1, &lits)?;
+        let y = aig.and(la, lb);
+        lits.push(y);
+    }
+    for (k, &next_code) in latch_lines.iter().enumerate() {
+        let next = decode(next_code, &lits)?;
+        aig.set_latch_next(k, next);
+    }
+    for &code in &output_codes {
+        let out = decode(code, &lits)?;
+        aig.add_output(out);
+    }
+    Ok(aig)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_combinational() {
+        let mut aig = Aig::new();
+        let a = aig.add_input();
+        let b = aig.add_input();
+        let x = aig.xor(a, b);
+        aig.add_output(x);
+        aig.add_output(!x);
+
+        let text = to_ascii(&aig);
+        let back = from_ascii(&text).unwrap();
+        assert_eq!(back.num_inputs(), 2);
+        assert_eq!(back.num_outputs(), 2);
+        for va in [false, true] {
+            for vb in [false, true] {
+                assert_eq!(back.eval_comb(&[va, vb]), aig.eval_comb(&[va, vb]));
+            }
+        }
+    }
+
+    #[test]
+    fn round_trip_sequential() {
+        let mut aig = Aig::new();
+        let inp = aig.add_input();
+        let q = aig.add_latch(true);
+        let nxt = aig.xor(q, inp);
+        aig.set_latch_next(0, nxt);
+        aig.add_output(q);
+
+        let text = to_ascii(&aig);
+        let back = from_ascii(&text).unwrap();
+        assert_eq!(back.num_latches(), 1);
+        assert!(back.latches()[0].init);
+        assert_eq!(back.num_ands(), aig.num_ands());
+    }
+
+    #[test]
+    fn parses_known_example() {
+        // Half adder from the AIGER spec family.
+        let text = "aag 7 2 0 2 3\n2\n4\n6\n12\n6 13 15\n12 2 4\n14 3 5\n";
+        let aig = from_ascii(text).unwrap();
+        assert_eq!(aig.num_inputs(), 2);
+        assert_eq!(aig.num_outputs(), 2);
+        // Output 0 = sum (xor), output 1 = carry (and).
+        for (a, b) in [(false, false), (false, true), (true, false), (true, true)] {
+            let o = aig.eval_comb(&[a, b]);
+            assert_eq!(o[0], a ^ b, "sum {a} {b}");
+            assert_eq!(o[1], a && b, "carry {a} {b}");
+        }
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(from_ascii("").is_err());
+        assert!(from_ascii("aig 1 0 0 0 0\n").is_err());
+        assert!(from_ascii("aag 0 1 0 0 0\n2\n").is_err());
+        assert!(from_ascii("aag 1 0 0 0 1\n2 2 3\n").is_err()); // cyclic
+    }
+
+    #[test]
+    fn binary_round_trip_combinational() {
+        let mut aig = Aig::new();
+        let a = aig.add_input();
+        let b = aig.add_input();
+        let c = aig.add_input();
+        let ab = aig.xor(a, b);
+        let out = aig.mux(c, ab, a);
+        aig.add_output(out);
+        aig.add_output(!ab);
+
+        let bytes = to_binary(&aig);
+        let back = from_binary(&bytes).unwrap();
+        assert_eq!(back.num_inputs(), 3);
+        assert_eq!(back.num_outputs(), 2);
+        for x in 0..8u32 {
+            let input: Vec<bool> = (0..3).map(|i| (x >> i) & 1 == 1).collect();
+            assert_eq!(back.eval_comb(&input), aig.eval_comb(&input), "{x}");
+        }
+    }
+
+    #[test]
+    fn binary_round_trip_sequential() {
+        let mut aig = Aig::new();
+        let inp = aig.add_input();
+        let q = aig.add_latch(true);
+        let nxt = aig.xor(q, inp);
+        aig.set_latch_next(0, nxt);
+        aig.add_output(!q);
+
+        let bytes = to_binary(&aig);
+        let back = from_binary(&bytes).unwrap();
+        assert_eq!(back.num_latches(), 1);
+        assert!(back.latches()[0].init);
+        // Step both for a few cycles.
+        let mut s1 = crate::Simulator::new(&aig);
+        let mut s2 = crate::Simulator::new(&back);
+        for pat in [1u64, 0, 1, 1, 0] {
+            assert_eq!(s1.step(&[pat]), s2.step(&[pat]));
+        }
+    }
+
+    #[test]
+    fn binary_and_ascii_agree() {
+        // Build once, export both ways, re-import, compare behaviors.
+        let mut aig = Aig::new();
+        let ins = aig.add_inputs(4);
+        let mut acc = ins[0];
+        for &i in &ins[1..] {
+            acc = aig.xor(acc, i);
+        }
+        let conj = aig.and_all(&ins);
+        aig.add_output(acc);
+        aig.add_output(conj);
+
+        let from_text = from_ascii(&to_ascii(&aig)).unwrap();
+        let from_bin = from_binary(&to_binary(&aig)).unwrap();
+        for x in 0..16u32 {
+            let input: Vec<bool> = (0..4).map(|i| (x >> i) & 1 == 1).collect();
+            assert_eq!(from_text.eval_comb(&input), from_bin.eval_comb(&input));
+        }
+    }
+
+    #[test]
+    fn binary_rejects_garbage() {
+        assert!(from_binary(b"").is_err());
+        assert!(from_binary(b"aag 1 0 0 0 0\n").is_err());
+        assert!(from_binary(b"aig 2 1 0 1 1\n2\n").is_err()); // truncated ands
+    }
+
+    #[test]
+    fn out_of_order_ands_are_accepted() {
+        // 6 depends on 8 which is defined later.
+        let text = "aag 4 2 0 1 2\n2\n4\n6\n6 8 2\n8 2 4\n";
+        let aig = from_ascii(text).unwrap();
+        assert_eq!(aig.num_ands(), 2);
+        assert_eq!(aig.eval_comb(&[true, true]), vec![true]);
+        assert_eq!(aig.eval_comb(&[true, false]), vec![false]);
+    }
+}

@@ -1,0 +1,51 @@
+//! And-Inverter Graphs (AIGs) for the `axmc` approximate-circuit
+//! verification toolkit.
+//!
+//! An AIG represents combinational logic as a DAG of two-input AND gates
+//! with optional inversion on every edge, plus latches (registers) for
+//! sequential circuits. This is the same core representation used by
+//! industrial equivalence checkers and model checkers: every engine in the
+//! `axmc` workspace — the SAT encoder, the miter builders, the bounded
+//! model checker — operates on [`Aig`].
+//!
+//! # Highlights
+//!
+//! * [`Aig`] — structural hashing, constant folding, topological node
+//!   order, latches, cone import and dead-logic compaction.
+//! * [`Word`] — word-level bundles with ripple adders, two's-complement
+//!   subtractors, comparators (including the constant-propagated threshold
+//!   comparator used by the error miters) and popcount.
+//! * [`Simulator`] — 64-way bit-parallel combinational and sequential
+//!   simulation; [`sim::for_each_assignment`] for exhaustive sweeps.
+//! * [`aiger`] — ASCII AIGER interchange.
+//!
+//! # Examples
+//!
+//! ```
+//! use axmc_aig::{Aig, Word};
+//!
+//! // |a - b| > 2 detector over two 4-bit inputs.
+//! let mut aig = Aig::new();
+//! let a = Word::new_inputs(&mut aig, 4);
+//! let b = Word::new_inputs(&mut aig, 4);
+//! let diff = a.sub_signed(&mut aig, &b);
+//! let abs = diff.abs(&mut aig);
+//! let flag = abs.ugt_const(&mut aig, 2);
+//! aig.add_output(flag);
+//!
+//! let bits = |x: u32, w: usize| (0..w).map(|i| (x >> i) & 1 == 1).collect::<Vec<_>>();
+//! let mut input = bits(9, 4);
+//! input.extend(bits(4, 4));
+//! assert_eq!(aig.eval_comb(&input), vec![true]); // |9 - 4| = 5 > 2
+//! ```
+
+mod aig;
+pub mod aiger;
+mod lit;
+pub mod sim;
+mod word;
+
+pub use crate::aig::{Aig, Latch, Node};
+pub use crate::lit::{Lit, Var};
+pub use crate::sim::Simulator;
+pub use crate::word::{bits_to_i128, bits_to_u128, u128_to_bits, Word};

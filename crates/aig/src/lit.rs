@@ -1,0 +1,234 @@
+//! Variables and literals.
+//!
+//! An AIG literal packs a variable index and a complement flag into one
+//! `u32`, following the AIGER convention: `lit = 2 * var + sign`.
+
+use std::fmt;
+
+/// A variable of an [`Aig`](crate::Aig).
+///
+/// Variable `0` is reserved for the constant-false node, so
+/// [`Var::CONST`] never corresponds to an input, latch or AND gate.
+///
+/// # Examples
+///
+/// ```
+/// use axmc_aig::{Var, Lit};
+///
+/// let v = Var::new(3);
+/// assert_eq!(v.index(), 3);
+/// assert_eq!(v.lit(), Lit::new(6));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Var(u32);
+
+impl Var {
+    /// The variable of the constant-false node.
+    pub const CONST: Var = Var(0);
+
+    /// Creates a variable from its index.
+    #[inline]
+    pub const fn new(index: u32) -> Self {
+        Var(index)
+    }
+
+    /// Returns the index of this variable.
+    #[inline]
+    pub const fn index(self) -> u32 {
+        self.0
+    }
+
+    /// Returns the positive (non-complemented) literal of this variable.
+    #[inline]
+    pub const fn lit(self) -> Lit {
+        Lit(self.0 << 1)
+    }
+}
+
+impl fmt::Debug for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+impl fmt::Display for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// A literal: a variable together with a complement flag.
+///
+/// The all-important constants are [`Lit::FALSE`] (`2 * Var::CONST`) and
+/// [`Lit::TRUE`] (its complement).
+///
+/// # Examples
+///
+/// ```
+/// use axmc_aig::Lit;
+///
+/// let a = Lit::FALSE;
+/// assert!(a.is_const());
+/// assert_eq!(!a, Lit::TRUE);
+/// assert_eq!((!a).is_negated(), true);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Lit(u32);
+
+impl Lit {
+    /// The constant-false literal.
+    pub const FALSE: Lit = Lit(0);
+    /// The constant-true literal.
+    pub const TRUE: Lit = Lit(1);
+
+    /// Creates a literal from its packed AIGER encoding (`2 * var + sign`).
+    #[inline]
+    pub const fn new(code: u32) -> Self {
+        Lit(code)
+    }
+
+    /// Creates a literal from a variable and a complement flag.
+    #[inline]
+    pub const fn from_var(var: Var, negated: bool) -> Self {
+        Lit((var.0 << 1) | negated as u32)
+    }
+
+    /// Creates the literal for a boolean constant.
+    #[inline]
+    pub const fn constant(value: bool) -> Self {
+        if value {
+            Lit::TRUE
+        } else {
+            Lit::FALSE
+        }
+    }
+
+    /// Returns the packed AIGER encoding of this literal.
+    #[inline]
+    pub const fn code(self) -> u32 {
+        self.0
+    }
+
+    /// Returns the variable of this literal.
+    #[inline]
+    pub const fn var(self) -> Var {
+        Var(self.0 >> 1)
+    }
+
+    /// Returns `true` if the literal is complemented.
+    #[inline]
+    pub const fn is_negated(self) -> bool {
+        self.0 & 1 == 1
+    }
+
+    /// Returns `true` if the literal is one of the two constants.
+    #[inline]
+    pub const fn is_const(self) -> bool {
+        self.0 >> 1 == 0
+    }
+
+    /// Returns `true` if the literal is the constant-true literal.
+    #[inline]
+    pub const fn is_true(self) -> bool {
+        self.0 == 1
+    }
+
+    /// Returns `true` if the literal is the constant-false literal.
+    #[inline]
+    pub const fn is_false(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Returns this literal with the complement flag set to `negated`.
+    #[inline]
+    pub const fn with_sign(self, negated: bool) -> Self {
+        Lit((self.0 & !1) | negated as u32)
+    }
+
+    /// Conditionally complements the literal (`self ^ negate`).
+    #[inline]
+    pub const fn negate_if(self, negate: bool) -> Self {
+        Lit(self.0 ^ negate as u32)
+    }
+}
+
+impl std::ops::Not for Lit {
+    type Output = Lit;
+
+    #[inline]
+    fn not(self) -> Lit {
+        Lit(self.0 ^ 1)
+    }
+}
+
+impl From<Var> for Lit {
+    #[inline]
+    fn from(var: Var) -> Lit {
+        var.lit()
+    }
+}
+
+impl fmt::Debug for Lit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_negated() {
+            write!(f, "!v{}", self.var().index())
+        } else {
+            write!(f, "v{}", self.var().index())
+        }
+    }
+}
+
+impl fmt::Display for Lit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_literals() {
+        assert_eq!(Lit::FALSE.var(), Var::CONST);
+        assert_eq!(Lit::TRUE.var(), Var::CONST);
+        assert!(Lit::FALSE.is_false());
+        assert!(Lit::TRUE.is_true());
+        assert!(Lit::FALSE.is_const() && Lit::TRUE.is_const());
+        assert_eq!(Lit::constant(true), Lit::TRUE);
+        assert_eq!(Lit::constant(false), Lit::FALSE);
+    }
+
+    #[test]
+    fn negation_round_trip() {
+        let l = Lit::from_var(Var::new(7), false);
+        assert!(!l.is_negated());
+        assert!((!l).is_negated());
+        assert_eq!(!!l, l);
+        assert_eq!((!l).var(), l.var());
+    }
+
+    #[test]
+    fn packing_matches_aiger_convention() {
+        let v = Var::new(5);
+        assert_eq!(Lit::from_var(v, false).code(), 10);
+        assert_eq!(Lit::from_var(v, true).code(), 11);
+        assert_eq!(Lit::new(11).var().index(), 5);
+        assert!(Lit::new(11).is_negated());
+    }
+
+    #[test]
+    fn negate_if_and_with_sign() {
+        let l = Var::new(3).lit();
+        assert_eq!(l.negate_if(false), l);
+        assert_eq!(l.negate_if(true), !l);
+        assert_eq!((!l).with_sign(false), l);
+        assert_eq!(l.with_sign(true), !l);
+    }
+
+    #[test]
+    fn ordering_is_by_code() {
+        assert!(Lit::FALSE < Lit::TRUE);
+        assert!(Lit::TRUE < Var::new(1).lit());
+    }
+}

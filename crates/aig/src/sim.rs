@@ -1,0 +1,278 @@
+//! Bit-parallel simulation of AIGs.
+//!
+//! A [`Simulator`] evaluates 64 input patterns per pass by packing one
+//! pattern per bit of a `u64` — the classic "parallel fitness evaluation"
+//! trick that makes exhaustive sweeps of small circuits cheap.
+
+use crate::{Aig, Node};
+
+/// A 64-way bit-parallel simulator over an [`Aig`].
+///
+/// For combinational circuits call [`Simulator::eval_comb`]; for sequential
+/// circuits use [`Simulator::reset`] and [`Simulator::step`], which maintain
+/// the latch state between cycles (64 independent trajectories at once).
+///
+/// # Examples
+///
+/// ```
+/// use axmc_aig::{Aig, Simulator};
+///
+/// let mut aig = Aig::new();
+/// let a = aig.add_input();
+/// let b = aig.add_input();
+/// let x = aig.and(a, b);
+/// aig.add_output(x);
+///
+/// let mut sim = Simulator::new(&aig);
+/// let out = sim.eval_comb(&[0b1100, 0b1010]);
+/// assert_eq!(out[0] & 0b1111, 0b1000);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Simulator<'a> {
+    aig: &'a Aig,
+    values: Vec<u64>,
+    state: Vec<u64>,
+}
+
+impl<'a> Simulator<'a> {
+    /// Creates a simulator with all latches at their reset values
+    /// (broadcast across all 64 lanes).
+    pub fn new(aig: &'a Aig) -> Self {
+        let mut sim = Simulator {
+            aig,
+            values: vec![0; aig.num_nodes()],
+            state: vec![0; aig.num_latches()],
+        };
+        sim.reset();
+        sim
+    }
+
+    /// Resets every latch of every lane to its declared initial value.
+    pub fn reset(&mut self) {
+        for (s, l) in self.state.iter_mut().zip(self.aig.latches()) {
+            *s = if l.init { u64::MAX } else { 0 };
+        }
+    }
+
+    /// Direct access to the packed latch state (one `u64` per latch).
+    pub fn state(&self) -> &[u64] {
+        &self.state
+    }
+
+    /// Overwrites the packed latch state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state.len()` differs from the number of latches.
+    pub fn set_state(&mut self, state: &[u64]) {
+        assert_eq!(state.len(), self.state.len(), "state width mismatch");
+        self.state.copy_from_slice(state);
+    }
+
+    fn propagate(&mut self, inputs: &[u64]) {
+        assert_eq!(
+            inputs.len(),
+            self.aig.num_inputs(),
+            "wrong number of input patterns"
+        );
+        for (i, node) in self.aig.iter() {
+            let v = match node {
+                Node::Const => 0,
+                Node::Input(k) => inputs[k as usize],
+                Node::Latch(k) => self.state[k as usize],
+                Node::And(a, b) => {
+                    let va = self.values[a.var().index() as usize] ^ mask(a.is_negated());
+                    let vb = self.values[b.var().index() as usize] ^ mask(b.is_negated());
+                    va & vb
+                }
+            };
+            self.values[i.index() as usize] = v;
+        }
+    }
+
+    fn read_outputs(&self) -> Vec<u64> {
+        self.aig
+            .outputs()
+            .iter()
+            .map(|o| self.values[o.var().index() as usize] ^ mask(o.is_negated()))
+            .collect()
+    }
+
+    /// Evaluates a combinational pass and returns the output patterns
+    /// without touching the latch state.
+    pub fn eval_comb(&mut self, inputs: &[u64]) -> Vec<u64> {
+        self.propagate(inputs);
+        self.read_outputs()
+    }
+
+    /// Advances all 64 lanes by one clock cycle: computes the outputs for
+    /// the current state and inputs, then latches the next state.
+    pub fn step(&mut self, inputs: &[u64]) -> Vec<u64> {
+        self.propagate(inputs);
+        let outputs = self.read_outputs();
+        let next: Vec<u64> = self
+            .aig
+            .latches()
+            .iter()
+            .map(|l| self.values[l.next.var().index() as usize] ^ mask(l.next.is_negated()))
+            .collect();
+        self.state.copy_from_slice(&next);
+        outputs
+    }
+}
+
+#[inline]
+fn mask(negated: bool) -> u64 {
+    if negated {
+        u64::MAX
+    } else {
+        0
+    }
+}
+
+/// Exhaustively evaluates a combinational AIG with up to 22 inputs,
+/// calling `visit(input_index, output_bits)` for every input assignment.
+///
+/// Input assignment `x` sets input `i` to bit `i` of `x`. The closure
+/// receives outputs as a little-endian `u128`.
+///
+/// # Panics
+///
+/// Panics if the AIG is sequential, has more than 22 inputs, or more than
+/// 128 outputs.
+pub fn for_each_assignment(aig: &Aig, mut visit: impl FnMut(u64, u128)) {
+    assert!(aig.num_latches() == 0, "combinational AIGs only");
+    let n = aig.num_inputs();
+    assert!(n <= 22, "exhaustive sweep limited to 22 inputs");
+    assert!(aig.num_outputs() <= 128, "at most 128 outputs");
+    let total: u64 = 1u64 << n;
+    let mut sim = Simulator::new(aig);
+    let mut inputs = vec![0u64; n];
+    let mut base: u64 = 0;
+    while base < total {
+        // Lane l simulates assignment base + l.
+        let lanes = 64.min(total - base) as u32;
+        for (i, slot) in inputs.iter_mut().enumerate() {
+            let mut pat = 0u64;
+            for l in 0..lanes {
+                if ((base + l as u64) >> i) & 1 == 1 {
+                    pat |= 1 << l;
+                }
+            }
+            *slot = pat;
+        }
+        let outs = sim.eval_comb(&inputs);
+        for l in 0..lanes {
+            let mut word = 0u128;
+            for (o, &pat) in outs.iter().enumerate().take(128) {
+                if (pat >> l) & 1 == 1 {
+                    word |= 1 << o;
+                }
+            }
+            visit(base + l as u64, word);
+        }
+        base += 64;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallel_matches_scalar() {
+        let mut aig = Aig::new();
+        let a = aig.add_input();
+        let b = aig.add_input();
+        let c = aig.add_input();
+        let ab = aig.xor(a, b);
+        let out = aig.mux(c, ab, a);
+        aig.add_output(out);
+
+        let mut sim = Simulator::new(&aig);
+        // Lane l encodes assignment l (3 bits).
+        let inputs: Vec<u64> = (0..3)
+            .map(|i| {
+                let mut p = 0u64;
+                for l in 0..8u64 {
+                    if (l >> i) & 1 == 1 {
+                        p |= 1 << l;
+                    }
+                }
+                p
+            })
+            .collect();
+        let packed = sim.eval_comb(&inputs)[0];
+        for l in 0..8u64 {
+            let scalar = aig.eval_comb(&[(l & 1) == 1, (l >> 1) & 1 == 1, (l >> 2) & 1 == 1])[0];
+            assert_eq!((packed >> l) & 1 == 1, scalar, "lane {l}");
+        }
+    }
+
+    #[test]
+    fn sequential_counter_steps() {
+        // 2-bit counter: q0' = !q0; q1' = q1 ^ q0.
+        let mut aig = Aig::new();
+        let q0 = aig.add_latch(false);
+        let q1 = aig.add_latch(false);
+        let n1 = aig.xor(q1, q0);
+        aig.set_latch_next(0, !q0);
+        aig.set_latch_next(1, n1);
+        aig.add_output(q0);
+        aig.add_output(q1);
+
+        let mut sim = Simulator::new(&aig);
+        let mut seen = Vec::new();
+        for _ in 0..5 {
+            let o = sim.step(&[]);
+            seen.push(((o[0] & 1) | ((o[1] & 1) << 1)) as u8);
+        }
+        assert_eq!(seen, vec![0, 1, 2, 3, 0]);
+    }
+
+    #[test]
+    fn reset_restores_initial_state() {
+        let mut aig = Aig::new();
+        let q = aig.add_latch(true);
+        aig.set_latch_next(0, !q);
+        aig.add_output(q);
+        let mut sim = Simulator::new(&aig);
+        assert_eq!(sim.step(&[])[0], u64::MAX);
+        assert_eq!(sim.step(&[])[0], 0);
+        sim.reset();
+        assert_eq!(sim.step(&[])[0], u64::MAX);
+    }
+
+    #[test]
+    fn exhaustive_enumerates_all() {
+        let mut aig = Aig::new();
+        let a = aig.add_input();
+        let b = aig.add_input();
+        let x = aig.and(a, b);
+        aig.add_output(x);
+        let mut hits = vec![None; 4];
+        for_each_assignment(&aig, |idx, out| {
+            hits[idx as usize] = Some(out);
+        });
+        assert_eq!(hits, vec![Some(0), Some(0), Some(0), Some(1)]);
+    }
+
+    #[test]
+    fn exhaustive_more_than_64() {
+        // 7 inputs -> 128 assignments: checks multi-block path.
+        let mut aig = Aig::new();
+        let ins = aig.add_inputs(7);
+        let conj = aig.and_all(&ins);
+        aig.add_output(conj);
+        let mut count_true = 0;
+        let mut count = 0u64;
+        for_each_assignment(&aig, |_, out| {
+            count += 1;
+            if out == 1 {
+                count_true += 1;
+            }
+        });
+        assert_eq!(count, 128);
+        assert_eq!(count_true, 1);
+    }
+}

@@ -1,0 +1,521 @@
+//! Word-level construction helpers.
+//!
+//! A [`Word`] is a little-endian bundle of literals interpreted as an
+//! unsigned (or, where stated, two's-complement) binary number. All
+//! arithmetic constructors build gate-level logic into an [`Aig`].
+
+use crate::{Aig, Lit};
+
+/// A little-endian bundle of literals representing a binary number.
+///
+/// # Examples
+///
+/// ```
+/// use axmc_aig::{Aig, Word};
+///
+/// let mut aig = Aig::new();
+/// let a = Word::new_inputs(&mut aig, 4);
+/// let b = Word::new_inputs(&mut aig, 4);
+/// let sum = a.add(&mut aig, &b).0;
+/// for &bit in sum.bits() {
+///     aig.add_output(bit);
+/// }
+/// // 5 + 9 = 14
+/// let out = aig.eval_comb(&[true, false, true, false, true, false, false, true]);
+/// let value = out
+///     .iter()
+///     .enumerate()
+///     .fold(0u32, |acc, (i, &b)| acc | ((b as u32) << i));
+/// assert_eq!(value, 14);
+/// ```
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct Word(Vec<Lit>);
+
+impl Word {
+    /// Wraps a vector of literals (LSB first).
+    pub fn from_lits(bits: Vec<Lit>) -> Self {
+        Word(bits)
+    }
+
+    /// Creates a word of `width` fresh primary inputs.
+    pub fn new_inputs(aig: &mut Aig, width: usize) -> Self {
+        Word(aig.add_inputs(width))
+    }
+
+    /// Creates a constant word of `width` bits holding `value` (truncated).
+    pub fn constant(value: u128, width: usize) -> Self {
+        Word(
+            (0..width)
+                .map(|i| Lit::constant(i < 128 && (value >> i) & 1 == 1))
+                .collect(),
+        )
+    }
+
+    /// The bit width.
+    pub fn width(&self) -> usize {
+        self.0.len()
+    }
+
+    /// The bits, LSB first.
+    pub fn bits(&self) -> &[Lit] {
+        &self.0
+    }
+
+    /// Returns bit `i` (LSB is bit 0).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= width()`.
+    pub fn bit(&self, i: usize) -> Lit {
+        self.0[i]
+    }
+
+    /// The most significant bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the word is empty.
+    pub fn msb(&self) -> Lit {
+        *self.0.last().expect("empty word")
+    }
+
+    /// Consumes the word, returning its literal vector.
+    pub fn into_lits(self) -> Vec<Lit> {
+        self.0
+    }
+
+    /// Zero-extends (or truncates) to `width` bits.
+    pub fn resize_zero(&self, width: usize) -> Word {
+        let mut bits = self.0.clone();
+        bits.resize(width, Lit::FALSE);
+        bits.truncate(width);
+        Word(bits)
+    }
+
+    /// Sign-extends (or truncates) to `width` bits.
+    pub fn resize_sign(&self, width: usize) -> Word {
+        let fill = self.0.last().copied().unwrap_or(Lit::FALSE);
+        let mut bits = self.0.clone();
+        bits.resize(width, fill);
+        bits.truncate(width);
+        Word(bits)
+    }
+
+    /// Ripple-carry addition; returns `(sum, carry_out)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if widths differ.
+    pub fn add(&self, aig: &mut Aig, other: &Word) -> (Word, Lit) {
+        self.add_with_carry(aig, other, Lit::FALSE)
+    }
+
+    /// Ripple-carry addition with an explicit carry-in.
+    ///
+    /// # Panics
+    ///
+    /// Panics if widths differ.
+    pub fn add_with_carry(&self, aig: &mut Aig, other: &Word, mut carry: Lit) -> (Word, Lit) {
+        assert_eq!(self.width(), other.width(), "width mismatch in add");
+        let mut bits = Vec::with_capacity(self.width());
+        for (&a, &b) in self.0.iter().zip(&other.0) {
+            let axb = aig.xor(a, b);
+            let sum = aig.xor(axb, carry);
+            let c1 = aig.and(a, b);
+            let c2 = aig.and(axb, carry);
+            carry = aig.or(c1, c2);
+            bits.push(sum);
+        }
+        (Word(bits), carry)
+    }
+
+    /// Two's-complement subtraction `self - other`.
+    ///
+    /// Returns the `width + 1`-bit difference in two's complement: the extra
+    /// top bit is the sign. Interpreting the result as a signed
+    /// `(width+1)`-bit number yields the exact integer difference.
+    ///
+    /// # Panics
+    ///
+    /// Panics if widths differ.
+    pub fn sub_signed(&self, aig: &mut Aig, other: &Word) -> Word {
+        assert_eq!(self.width(), other.width(), "width mismatch in sub");
+        let w = self.width() + 1;
+        let a = self.resize_zero(w);
+        let b_inv = Word(other.resize_zero(w).0.iter().map(|&l| !l).collect());
+        let (diff, _) = a.add_with_carry(aig, &b_inv, Lit::TRUE);
+        diff
+    }
+
+    /// Two's-complement negation.
+    pub fn negate(&self, aig: &mut Aig) -> Word {
+        let inv = Word(self.0.iter().map(|&l| !l).collect());
+        let zero = Word::constant(0, self.width());
+        inv.add_with_carry(aig, &zero, Lit::TRUE).0
+    }
+
+    /// Absolute value of a two's-complement word (MSB is the sign).
+    ///
+    /// The result has the same width; note that the most negative value maps
+    /// to itself, as in ordinary two's-complement hardware.
+    pub fn abs(&self, aig: &mut Aig) -> Word {
+        let sign = self.msb();
+        let neg = self.negate(aig);
+        self.mux_per_bit(aig, sign, &neg)
+    }
+
+    /// Per-bit `if sel then other else self`.
+    fn mux_per_bit(&self, aig: &mut Aig, sel: Lit, other: &Word) -> Word {
+        Word(
+            self.0
+                .iter()
+                .zip(&other.0)
+                .map(|(&e, &t)| aig.mux(sel, t, e))
+                .collect(),
+        )
+    }
+
+    /// Word-level multiplexer: `if sel then t else e`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if widths differ.
+    pub fn mux(aig: &mut Aig, sel: Lit, t: &Word, e: &Word) -> Word {
+        assert_eq!(t.width(), e.width(), "width mismatch in mux");
+        e.mux_per_bit(aig, sel, t)
+    }
+
+    /// Equality of two words as a single literal.
+    ///
+    /// # Panics
+    ///
+    /// Panics if widths differ.
+    pub fn equals(&self, aig: &mut Aig, other: &Word) -> Lit {
+        assert_eq!(self.width(), other.width(), "width mismatch in equals");
+        let eqs: Vec<Lit> = self
+            .0
+            .iter()
+            .zip(&other.0)
+            .map(|(&a, &b)| aig.xnor(a, b))
+            .collect();
+        aig.and_all(&eqs)
+    }
+
+    /// Unsigned comparison `self > other` as a single literal.
+    ///
+    /// # Panics
+    ///
+    /// Panics if widths differ.
+    pub fn ugt(&self, aig: &mut Aig, other: &Word) -> Lit {
+        assert_eq!(self.width(), other.width(), "width mismatch in ugt");
+        // Scan from MSB: greater at the first differing bit.
+        let mut result = Lit::FALSE;
+        let mut all_eq = Lit::TRUE;
+        for (&a, &b) in self.0.iter().zip(&other.0).rev() {
+            let gt_here = aig.and(a, !b);
+            let take = aig.and(all_eq, gt_here);
+            result = aig.or(result, take);
+            let eq = aig.xnor(a, b);
+            all_eq = aig.and(all_eq, eq);
+        }
+        result
+    }
+
+    /// Unsigned comparison `self >= other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if widths differ.
+    pub fn uge(&self, aig: &mut Aig, other: &Word) -> Lit {
+        !other.ugt(aig, self)
+    }
+
+    /// Comparison against a constant: `self > threshold` (unsigned), using
+    /// the constant-propagated comparator that avoids XOR chains.
+    ///
+    /// For each 0-bit `i` of the threshold the output includes the product
+    /// term `self[i] AND (AND of self[j] for all higher 1-bits j)`; the
+    /// terms are OR-ed together. Thresholds at or above `2^width - 1` make
+    /// the comparison trivially false.
+    pub fn ugt_const(&self, aig: &mut Aig, threshold: u128) -> Lit {
+        let w = self.width();
+        // Nothing representable exceeds an all-ones (or larger) bound.
+        let saturated = if w < 128 {
+            threshold >= (1u128 << w) - 1
+        } else {
+            threshold == u128::MAX
+        };
+        if saturated {
+            return Lit::FALSE;
+        }
+        let mut terms: Vec<Lit> = Vec::new();
+        // suffix_ones[i] = AND of self[j] for j > i where threshold bit j is 1.
+        let mut suffix_ones = Lit::TRUE;
+        for i in (0..w).rev() {
+            let t_bit = i < 128 && (threshold >> i) & 1 == 1;
+            if t_bit {
+                suffix_ones = aig.and(suffix_ones, self.0[i]);
+            } else {
+                let term = aig.and(self.0[i], suffix_ones);
+                terms.push(term);
+            }
+        }
+        aig.or_all(&terms)
+    }
+
+    /// Population count: returns a word of `ceil(log2(width+1))` bits holding
+    /// the number of set bits.
+    pub fn popcount(&self, aig: &mut Aig) -> Word {
+        if self.0.is_empty() {
+            return Word::constant(0, 1);
+        }
+        // Tree of adders over single-bit words.
+        let mut layer: Vec<Word> = self.0.iter().map(|&l| Word(vec![l])).collect();
+        while layer.len() > 1 {
+            let mut next = Vec::with_capacity(layer.len() / 2 + 1);
+            let mut it = layer.chunks(2);
+            for pair in &mut it {
+                if pair.len() == 2 {
+                    let w = pair[0].width().max(pair[1].width()) + 1;
+                    let a = pair[0].resize_zero(w);
+                    let b = pair[1].resize_zero(w);
+                    next.push(a.add(aig, &b).0);
+                } else {
+                    next.push(pair[0].clone());
+                }
+            }
+            layer = next;
+        }
+        let needed = (usize::BITS - self.width().leading_zeros()) as usize;
+        layer.pop().expect("nonempty").resize_zero(needed.max(1))
+    }
+
+    /// Logical left shift by a constant amount.
+    pub fn shl_const(&self, amount: usize) -> Word {
+        let w = self.width();
+        let mut bits = vec![Lit::FALSE; amount.min(w)];
+        bits.extend_from_slice(&self.0[..w - amount.min(w)]);
+        Word(bits)
+    }
+
+    /// Evaluates the word to an integer given per-variable boolean values
+    /// (indexed by variable).
+    pub fn value_from(&self, assignment: impl Fn(Lit) -> bool) -> u128 {
+        self.0
+            .iter()
+            .enumerate()
+            .take(128)
+            .fold(0u128, |acc, (i, &l)| acc | ((assignment(l) as u128) << i))
+    }
+}
+
+/// Interprets a little-endian bit slice as an unsigned integer.
+pub fn bits_to_u128(bits: &[bool]) -> u128 {
+    bits.iter()
+        .enumerate()
+        .take(128)
+        .fold(0u128, |acc, (i, &b)| acc | ((b as u128) << i))
+}
+
+/// Interprets a little-endian two's-complement bit slice as a signed integer.
+pub fn bits_to_i128(bits: &[bool]) -> i128 {
+    if bits.is_empty() {
+        return 0;
+    }
+    let raw = bits_to_u128(bits) as i128;
+    let w = bits.len().min(128);
+    if bits[bits.len() - 1] && w < 128 {
+        raw - (1i128 << w)
+    } else {
+        raw
+    }
+}
+
+/// Expands an unsigned integer into `width` little-endian bits.
+pub fn u128_to_bits(value: u128, width: usize) -> Vec<bool> {
+    (0..width).map(|i| i < 128 && (value >> i) & 1 == 1).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn eval_word(aig: &Aig, inputs: &[bool]) -> u128 {
+        bits_to_u128(&aig.eval_comb(inputs))
+    }
+
+    fn input_bits(values: &[(u128, usize)]) -> Vec<bool> {
+        let mut out = Vec::new();
+        for &(v, w) in values {
+            out.extend(u128_to_bits(v, w));
+        }
+        out
+    }
+
+    #[test]
+    fn constant_word() {
+        let w = Word::constant(0b1010, 6);
+        assert_eq!(w.width(), 6);
+        assert_eq!(w.bit(1), Lit::TRUE);
+        assert_eq!(w.bit(0), Lit::FALSE);
+        assert_eq!(w.bit(3), Lit::TRUE);
+        assert_eq!(w.bit(5), Lit::FALSE);
+    }
+
+    #[test]
+    fn add_exhaustive_4bit() {
+        let mut aig = Aig::new();
+        let a = Word::new_inputs(&mut aig, 4);
+        let b = Word::new_inputs(&mut aig, 4);
+        let (sum, cout) = a.add(&mut aig, &b);
+        for &bit in sum.bits() {
+            aig.add_output(bit);
+        }
+        aig.add_output(cout);
+        for x in 0u128..16 {
+            for y in 0u128..16 {
+                let out = eval_word(&aig, &input_bits(&[(x, 4), (y, 4)]));
+                assert_eq!(out, x + y, "{x} + {y}");
+            }
+        }
+    }
+
+    #[test]
+    fn sub_signed_exhaustive_4bit() {
+        let mut aig = Aig::new();
+        let a = Word::new_inputs(&mut aig, 4);
+        let b = Word::new_inputs(&mut aig, 4);
+        let diff = a.sub_signed(&mut aig, &b);
+        assert_eq!(diff.width(), 5);
+        for &bit in diff.bits() {
+            aig.add_output(bit);
+        }
+        for x in 0i128..16 {
+            for y in 0i128..16 {
+                let out = aig.eval_comb(&input_bits(&[(x as u128, 4), (y as u128, 4)]));
+                assert_eq!(bits_to_i128(&out), x - y, "{x} - {y}");
+            }
+        }
+    }
+
+    #[test]
+    fn abs_of_difference() {
+        let mut aig = Aig::new();
+        let a = Word::new_inputs(&mut aig, 4);
+        let b = Word::new_inputs(&mut aig, 4);
+        let diff = a.sub_signed(&mut aig, &b);
+        let abs = diff.abs(&mut aig);
+        for &bit in abs.bits() {
+            aig.add_output(bit);
+        }
+        for x in 0i128..16 {
+            for y in 0i128..16 {
+                let out = eval_word(&aig, &input_bits(&[(x as u128, 4), (y as u128, 4)]));
+                assert_eq!(out as i128, (x - y).abs(), "|{x} - {y}|");
+            }
+        }
+    }
+
+    #[test]
+    fn ugt_matches_integer_compare() {
+        let mut aig = Aig::new();
+        let a = Word::new_inputs(&mut aig, 3);
+        let b = Word::new_inputs(&mut aig, 3);
+        let gt = a.ugt(&mut aig, &b);
+        aig.add_output(gt);
+        for x in 0u128..8 {
+            for y in 0u128..8 {
+                let out = aig.eval_comb(&input_bits(&[(x, 3), (y, 3)]));
+                assert_eq!(out[0], x > y, "{x} > {y}");
+            }
+        }
+    }
+
+    #[test]
+    fn ugt_const_matches_integer_compare() {
+        for threshold in 0u128..20 {
+            let mut aig = Aig::new();
+            let a = Word::new_inputs(&mut aig, 4);
+            let gt = a.ugt_const(&mut aig, threshold);
+            aig.add_output(gt);
+            for x in 0u128..16 {
+                let out = aig.eval_comb(&u128_to_bits(x, 4));
+                assert_eq!(out[0], x > threshold, "{x} > {threshold}");
+            }
+        }
+    }
+
+    #[test]
+    fn ugt_const_avoids_xors() {
+        // The constant comparator should be small: for an all-ones threshold
+        // it must be constant false.
+        let mut aig = Aig::new();
+        let a = Word::new_inputs(&mut aig, 8);
+        let gt = a.ugt_const(&mut aig, 255);
+        assert_eq!(gt, Lit::FALSE);
+    }
+
+    #[test]
+    fn popcount_exhaustive_5bit() {
+        let mut aig = Aig::new();
+        let a = Word::new_inputs(&mut aig, 5);
+        let pc = a.popcount(&mut aig);
+        for &bit in pc.bits() {
+            aig.add_output(bit);
+        }
+        for x in 0u128..32 {
+            let out = eval_word(&aig, &u128_to_bits(x, 5));
+            assert_eq!(out, x.count_ones() as u128, "popcount {x:b}");
+        }
+    }
+
+    #[test]
+    fn mux_word_selects() {
+        let mut aig = Aig::new();
+        let s = aig.add_input();
+        let t = Word::new_inputs(&mut aig, 2);
+        let e = Word::new_inputs(&mut aig, 2);
+        let m = Word::mux(&mut aig, s, &t, &e);
+        for &bit in m.bits() {
+            aig.add_output(bit);
+        }
+        let out = eval_word(&aig, &input_bits(&[(1, 1), (0b10, 2), (0b01, 2)]));
+        assert_eq!(out, 0b10);
+        let out = eval_word(&aig, &input_bits(&[(0, 1), (0b10, 2), (0b01, 2)]));
+        assert_eq!(out, 0b01);
+    }
+
+    #[test]
+    fn bit_conversions() {
+        assert_eq!(bits_to_u128(&u128_to_bits(12345, 20)), 12345);
+        assert_eq!(bits_to_i128(&[true, false, false, true]), -7);
+        assert_eq!(bits_to_i128(&[true, false, false, false]), 1);
+        assert_eq!(bits_to_i128(&[]), 0);
+    }
+
+    #[test]
+    fn resize_and_shift() {
+        let w = Word::constant(0b101, 3);
+        assert_eq!(w.resize_zero(5).width(), 5);
+        assert_eq!(w.resize_zero(5).bit(4), Lit::FALSE);
+        assert_eq!(w.resize_sign(5).bit(4), Lit::TRUE);
+        let s = w.shl_const(1);
+        assert_eq!(s.bit(0), Lit::FALSE);
+        assert_eq!(s.bit(1), Lit::TRUE);
+        assert_eq!(s.width(), 3);
+    }
+
+    #[test]
+    fn negate_is_twos_complement() {
+        let mut aig = Aig::new();
+        let a = Word::new_inputs(&mut aig, 4);
+        let n = a.negate(&mut aig);
+        for &bit in n.bits() {
+            aig.add_output(bit);
+        }
+        for x in 0u128..16 {
+            let out = eval_word(&aig, &u128_to_bits(x, 4));
+            assert_eq!(out, (16 - x) % 16, "-{x} mod 16");
+        }
+    }
+}

@@ -1,0 +1,29 @@
+//! Reduced Ordered Binary Decision Diagrams (ROBDDs) for the `axmc`
+//! toolkit.
+//!
+//! BDDs give a *canonical* representation of Boolean functions, so exact
+//! model counting — and hence exact **average-case** error metrics (mean
+//! absolute error, error rate) — falls out directly. Their well-known
+//! limitation is equally relevant here: adder-class functions have
+//! compact BDDs, while multiplier outputs blow up exponentially under
+//! every variable order. This crate exposes the node budget explicitly
+//! ([`BuildBddError::SizeLimit`]) so callers can fall back to the SAT
+//! engines, reproducing the classic division of labour.
+//!
+//! # Examples
+//!
+//! ```
+//! use axmc_bdd::Manager;
+//!
+//! let mut m = Manager::new(2);
+//! let a = m.var(0);
+//! let b = m.var(1);
+//! let f = m.xor(a, b);
+//! assert_eq!(m.count_sat(f), 2); // two of four assignments satisfy XOR
+//! ```
+
+mod manager;
+mod metrics;
+
+pub use crate::manager::{interleaved_order, BuildBddError, Manager, NodeId};
+pub use crate::metrics::{exact_error_rate, exact_mae, BddErrorStats};

@@ -1,0 +1,523 @@
+//! The ROBDD manager: unique table, ITE with memoization, model counting
+//! and AIG import under a node budget.
+
+use axmc_aig::{Aig, Node};
+use std::collections::HashMap;
+use std::fmt;
+
+/// A node handle in a [`Manager`].
+///
+/// `NodeId::FALSE` and `NodeId::TRUE` are the terminals.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct NodeId(u32);
+
+impl NodeId {
+    /// The constant-false terminal.
+    pub const FALSE: NodeId = NodeId(0);
+    /// The constant-true terminal.
+    pub const TRUE: NodeId = NodeId(1);
+
+    fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Returns `true` for the two terminal nodes.
+    pub fn is_terminal(self) -> bool {
+        self.0 < 2
+    }
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+struct BddNode {
+    var: u32,
+    low: NodeId,
+    high: NodeId,
+}
+
+/// Error produced when an import exceeds the node budget.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum BuildBddError {
+    /// The BDD grew past the configured node limit (the classic blow-up,
+    /// e.g. on multiplier outputs).
+    SizeLimit {
+        /// The limit that was exceeded.
+        limit: usize,
+    },
+}
+
+impl fmt::Display for BuildBddError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildBddError::SizeLimit { limit } => {
+                write!(f, "bdd exceeded the node limit of {limit}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BuildBddError {}
+
+/// An ROBDD manager over a fixed variable count with the natural variable
+/// order (variable 0 at the top).
+///
+/// # Examples
+///
+/// ```
+/// use axmc_bdd::Manager;
+///
+/// // Majority of three variables: 4 of 8 assignments.
+/// let mut m = Manager::new(3);
+/// let (a, b, c) = (m.var(0), m.var(1), m.var(2));
+/// let ab = m.and(a, b);
+/// let ac = m.and(a, c);
+/// let bc = m.and(b, c);
+/// let t = m.or(ab, ac);
+/// let maj = m.or(t, bc);
+/// assert_eq!(m.count_sat(maj), 4);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Manager {
+    num_vars: usize,
+    nodes: Vec<BddNode>,
+    unique: HashMap<BddNode, NodeId>,
+    ite_cache: HashMap<(NodeId, NodeId, NodeId), NodeId>,
+    node_limit: usize,
+    /// `level_of[input] = BDD level`; identity by default.
+    level_of: Vec<u32>,
+    /// Inverse permutation: `input_at[level] = input index`.
+    input_at: Vec<u32>,
+}
+
+impl Manager {
+    /// Creates a manager for functions over `num_vars` variables with the
+    /// natural variable order.
+    pub fn new(num_vars: usize) -> Self {
+        let terminal = BddNode {
+            var: u32::MAX,
+            low: NodeId::FALSE,
+            high: NodeId::TRUE,
+        };
+        Manager {
+            num_vars,
+            // Slots 0/1 are placeholders for the terminals.
+            nodes: vec![terminal, terminal],
+            unique: HashMap::new(),
+            ite_cache: HashMap::new(),
+            node_limit: usize::MAX,
+            level_of: (0..num_vars as u32).collect(),
+            input_at: (0..num_vars as u32).collect(),
+        }
+    }
+
+    /// Sets a node budget; operations exceeding it return
+    /// [`BuildBddError::SizeLimit`] from the fallible entry points.
+    pub fn with_node_limit(mut self, limit: usize) -> Self {
+        self.node_limit = limit;
+        self
+    }
+
+    /// Sets the variable order: `order[input_index] = level` (level 0 is
+    /// the BDD root). Must be set before building any node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `order` is not a permutation of `0..num_vars`, or nodes
+    /// already exist.
+    pub fn with_order(mut self, order: &[usize]) -> Self {
+        assert_eq!(order.len(), self.num_vars, "order length");
+        assert_eq!(self.nodes.len(), 2, "order must be set before building");
+        let mut seen = vec![false; self.num_vars];
+        for &l in order {
+            assert!(l < self.num_vars && !seen[l], "order must be a permutation");
+            seen[l] = true;
+        }
+        self.level_of = order.iter().map(|&l| l as u32).collect();
+        self.input_at = vec![0; self.num_vars];
+        for (input, &level) in order.iter().enumerate() {
+            self.input_at[level] = input as u32;
+        }
+        self
+    }
+
+    /// Number of variables.
+    pub fn num_vars(&self) -> usize {
+        self.num_vars
+    }
+
+    /// Number of live nodes (including the two terminals).
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    fn var_of(&self, id: NodeId) -> u32 {
+        if id.is_terminal() {
+            u32::MAX
+        } else {
+            self.nodes[id.index()].var
+        }
+    }
+
+    fn make(&mut self, var: u32, low: NodeId, high: NodeId) -> Result<NodeId, BuildBddError> {
+        if low == high {
+            return Ok(low);
+        }
+        let node = BddNode { var, low, high };
+        if let Some(&id) = self.unique.get(&node) {
+            return Ok(id);
+        }
+        if self.nodes.len() >= self.node_limit {
+            return Err(BuildBddError::SizeLimit {
+                limit: self.node_limit,
+            });
+        }
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(node);
+        self.unique.insert(node, id);
+        Ok(id)
+    }
+
+    /// The function of a single variable (by input index; the configured
+    /// order decides its BDD level).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= num_vars()`.
+    pub fn var(&mut self, index: usize) -> NodeId {
+        assert!(index < self.num_vars, "variable out of range");
+        let level = self.level_of[index];
+        self.make(level, NodeId::FALSE, NodeId::TRUE)
+            .expect("single-variable nodes cannot exceed any sane limit")
+    }
+
+    fn cofactors(&self, f: NodeId, var: u32) -> (NodeId, NodeId) {
+        if f.is_terminal() || self.nodes[f.index()].var != var {
+            (f, f)
+        } else {
+            let n = self.nodes[f.index()];
+            (n.low, n.high)
+        }
+    }
+
+    /// If-then-else: the universal ROBDD operation.
+    ///
+    /// # Errors
+    ///
+    /// [`BuildBddError::SizeLimit`] under a node budget.
+    pub fn ite(
+        &mut self,
+        f: NodeId,
+        g: NodeId,
+        h: NodeId,
+    ) -> Result<NodeId, BuildBddError> {
+        // Terminal cases.
+        if f == NodeId::TRUE {
+            return Ok(g);
+        }
+        if f == NodeId::FALSE {
+            return Ok(h);
+        }
+        if g == h {
+            return Ok(g);
+        }
+        if g == NodeId::TRUE && h == NodeId::FALSE {
+            return Ok(f);
+        }
+        if let Some(&hit) = self.ite_cache.get(&(f, g, h)) {
+            return Ok(hit);
+        }
+        let top = self
+            .var_of(f)
+            .min(self.var_of(g))
+            .min(self.var_of(h));
+        let (f0, f1) = self.cofactors(f, top);
+        let (g0, g1) = self.cofactors(g, top);
+        let (h0, h1) = self.cofactors(h, top);
+        let low = self.ite(f0, g0, h0)?;
+        let high = self.ite(f1, g1, h1)?;
+        let result = self.make(top, low, high)?;
+        self.ite_cache.insert((f, g, h), result);
+        Ok(result)
+    }
+
+    /// Fallible negation (respects the node budget).
+    ///
+    /// # Errors
+    ///
+    /// [`BuildBddError::SizeLimit`] under a node budget.
+    pub fn apply_not(&mut self, f: NodeId) -> Result<NodeId, BuildBddError> {
+        self.ite(f, NodeId::FALSE, NodeId::TRUE)
+    }
+
+    /// Fallible conjunction.
+    ///
+    /// # Errors
+    ///
+    /// [`BuildBddError::SizeLimit`] under a node budget.
+    pub fn apply_and(&mut self, f: NodeId, g: NodeId) -> Result<NodeId, BuildBddError> {
+        self.ite(f, g, NodeId::FALSE)
+    }
+
+    /// Fallible disjunction.
+    ///
+    /// # Errors
+    ///
+    /// [`BuildBddError::SizeLimit`] under a node budget.
+    pub fn apply_or(&mut self, f: NodeId, g: NodeId) -> Result<NodeId, BuildBddError> {
+        self.ite(f, NodeId::TRUE, g)
+    }
+
+    /// Fallible exclusive-or.
+    ///
+    /// # Errors
+    ///
+    /// [`BuildBddError::SizeLimit`] under a node budget.
+    pub fn apply_xor(&mut self, f: NodeId, g: NodeId) -> Result<NodeId, BuildBddError> {
+        let ng = self.apply_not(g)?;
+        self.ite(f, ng, g)
+    }
+
+    /// Negation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a node budget is exceeded; use [`Manager::apply_not`]
+    /// when a budget is set.
+    pub fn not(&mut self, f: NodeId) -> NodeId {
+        self.apply_not(f).expect("node budget exceeded")
+    }
+
+    /// Conjunction (see [`Manager::not`] for budget semantics).
+    pub fn and(&mut self, f: NodeId, g: NodeId) -> NodeId {
+        self.apply_and(f, g).expect("node budget exceeded")
+    }
+
+    /// Disjunction (see [`Manager::not`] for budget semantics).
+    pub fn or(&mut self, f: NodeId, g: NodeId) -> NodeId {
+        self.apply_or(f, g).expect("node budget exceeded")
+    }
+
+    /// Exclusive or (see [`Manager::not`] for budget semantics).
+    pub fn xor(&mut self, f: NodeId, g: NodeId) -> NodeId {
+        self.apply_xor(f, g).expect("node budget exceeded")
+    }
+
+    /// Counts satisfying assignments over all `num_vars` variables.
+    pub fn count_sat(&self, f: NodeId) -> u128 {
+        let mut cache: HashMap<NodeId, u128> = HashMap::new();
+        let total_vars = self.num_vars as u32;
+        // count(f) over variables var_of(f)..num_vars, then scale.
+        fn go(
+            m: &Manager,
+            f: NodeId,
+            cache: &mut HashMap<NodeId, u128>,
+            total_vars: u32,
+        ) -> u128 {
+            // Returns count over the variables strictly below var_of(f).
+            if f == NodeId::FALSE {
+                return 0;
+            }
+            if f == NodeId::TRUE {
+                return 1;
+            }
+            if let Some(&c) = cache.get(&f) {
+                return c;
+            }
+            let node = m.nodes[f.index()];
+            let lo = go(m, node.low, cache, total_vars);
+            let hi = go(m, node.high, cache, total_vars);
+            let skip_lo = m.var_of(node.low).min(total_vars) - node.var - 1;
+            let skip_hi = m.var_of(node.high).min(total_vars) - node.var - 1;
+            let c = (lo << skip_lo) + (hi << skip_hi);
+            cache.insert(f, c);
+            c
+        }
+        let c = go(self, f, &mut cache, total_vars);
+        let top_skip = self.var_of(f).min(total_vars);
+        c << top_skip
+    }
+
+    /// Evaluates `f` on a concrete assignment (indexed by input).
+    pub fn eval(&self, f: NodeId, assignment: &[bool]) -> bool {
+        let mut cur = f;
+        while !cur.is_terminal() {
+            let node = self.nodes[cur.index()];
+            let input = self.input_at[node.var as usize];
+            cur = if assignment[input as usize] {
+                node.high
+            } else {
+                node.low
+            };
+        }
+        cur == NodeId::TRUE
+    }
+
+    /// Imports a combinational AIG, returning one BDD per output.
+    ///
+    /// # Errors
+    ///
+    /// [`BuildBddError::SizeLimit`] when the import exceeds the node
+    /// budget (typical for multipliers).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the AIG is sequential or its input count differs from
+    /// `num_vars`.
+    pub fn import_aig(&mut self, aig: &Aig) -> Result<Vec<NodeId>, BuildBddError> {
+        assert_eq!(aig.num_latches(), 0, "combinational AIGs only");
+        assert_eq!(aig.num_inputs(), self.num_vars, "input count mismatch");
+        let mut map: Vec<NodeId> = Vec::with_capacity(aig.num_nodes());
+        for (_, node) in aig.iter() {
+            let id = match node {
+                Node::Const => NodeId::FALSE,
+                Node::Input(k) => self.var(k as usize),
+                Node::Latch(_) => unreachable!(),
+                Node::And(a, b) => {
+                    let fa = map[a.var().index() as usize];
+                    let fa = if a.is_negated() { self.apply_not(fa)? } else { fa };
+                    let fb = map[b.var().index() as usize];
+                    let fb = if b.is_negated() { self.apply_not(fb)? } else { fb };
+                    self.ite(fa, fb, NodeId::FALSE)?
+                }
+            };
+            map.push(id);
+        }
+        let mut outputs = Vec::with_capacity(aig.num_outputs());
+        for &o in aig.outputs() {
+            let f = map[o.var().index() as usize];
+            outputs.push(if o.is_negated() { self.apply_not(f)? } else { f });
+        }
+        Ok(outputs)
+    }
+}
+
+/// The interleaved variable order for two-operand arithmetic circuits
+/// whose inputs are `a[0..width]` followed by `b[0..width]`: levels
+/// alternate `a0 b0 a1 b1 …`, the order under which adder BDDs stay
+/// linear.
+pub fn interleaved_order(width: usize) -> Vec<usize> {
+    let mut order = vec![0usize; 2 * width];
+    for i in 0..width {
+        order[i] = 2 * i; // a_i
+        order[width + i] = 2 * i + 1; // b_i
+    }
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn terminals_and_vars() {
+        let mut m = Manager::new(2);
+        assert_eq!(m.count_sat(NodeId::TRUE), 4);
+        assert_eq!(m.count_sat(NodeId::FALSE), 0);
+        let a = m.var(0);
+        assert_eq!(m.count_sat(a), 2);
+    }
+
+    #[test]
+    fn boolean_identities() {
+        let mut m = Manager::new(3);
+        let a = m.var(0);
+        let b = m.var(1);
+        let ab = m.and(a, b);
+        let ba = m.and(b, a);
+        assert_eq!(ab, ba, "canonicity");
+        let na = m.not(a);
+        let taut = m.or(a, na);
+        assert_eq!(taut, NodeId::TRUE);
+        let contra = m.and(a, na);
+        assert_eq!(contra, NodeId::FALSE);
+        let nna = m.not(na);
+        assert_eq!(nna, a);
+    }
+
+    #[test]
+    fn count_sat_with_gaps() {
+        // f = x0 AND x2 over 4 vars: x1, x3 free -> 4 models.
+        let mut m = Manager::new(4);
+        let a = m.var(0);
+        let c = m.var(2);
+        let f = m.and(a, c);
+        assert_eq!(m.count_sat(f), 4);
+        // XOR chain over 4 vars: half the space.
+        let vars: Vec<NodeId> = (0..4).map(|i| m.var(i)).collect();
+        let mut x = vars[0];
+        for &v in &vars[1..] {
+            x = m.xor(x, v);
+        }
+        assert_eq!(m.count_sat(x), 8);
+    }
+
+    #[test]
+    fn eval_agrees_with_count() {
+        let mut m = Manager::new(3);
+        let a = m.var(0);
+        let b = m.var(1);
+        let c = m.var(2);
+        let ab = m.xor(a, b);
+        let f = m.or(ab, c);
+        let mut models = 0;
+        for bits in 0..8u32 {
+            let assignment: Vec<bool> = (0..3).map(|i| (bits >> i) & 1 == 1).collect();
+            if m.eval(f, &assignment) {
+                models += 1;
+            }
+        }
+        assert_eq!(m.count_sat(f), models);
+    }
+
+    #[test]
+    fn import_adder_is_compact() {
+        use axmc_circuit::generators;
+        let adder = generators::ripple_carry_adder(16).to_aig();
+        let mut m = Manager::new(32).with_order(&interleaved_order(16));
+        let outputs = m.import_aig(&adder).unwrap();
+        assert_eq!(outputs.len(), 17);
+        // Linear-ish growth: a 16-bit adder stays small.
+        assert!(m.num_nodes() < 20_000, "adder BDD size {}", m.num_nodes());
+    }
+
+    #[test]
+    fn import_multiplier_blows_up() {
+        use axmc_circuit::generators;
+        let mult = generators::array_multiplier(10).to_aig();
+        let mut m = Manager::new(20)
+            .with_order(&interleaved_order(10))
+            .with_node_limit(200_000);
+        match m.import_aig(&mult) {
+            Err(BuildBddError::SizeLimit { limit }) => assert_eq!(limit, 200_000),
+            Ok(_) => panic!("10-bit multiplier should exceed 200k nodes"),
+        }
+    }
+
+    #[test]
+    fn import_matches_simulation() {
+        use axmc_circuit::generators;
+        let adder = generators::ripple_carry_adder(4).to_aig();
+        let mut m = Manager::new(8);
+        let outputs = m.import_aig(&adder).unwrap();
+        for x in 0..256u32 {
+            let assignment: Vec<bool> = (0..8).map(|i| (x >> i) & 1 == 1).collect();
+            let sim = adder.eval_comb(&assignment);
+            for (o, &f) in outputs.iter().enumerate() {
+                assert_eq!(m.eval(f, &assignment), sim[o], "x={x} bit {o}");
+            }
+        }
+    }
+
+    #[test]
+    fn count_sat_of_adder_carry() {
+        use axmc_circuit::generators;
+        // Carry-out of a 3-bit adder: #\{(a,b) : a+b >= 8\}.
+        let adder = generators::ripple_carry_adder(3).to_aig();
+        let mut m = Manager::new(6);
+        let outputs = m.import_aig(&adder).unwrap();
+        let expected = (0..8u32)
+            .flat_map(|a| (0..8u32).map(move |b| a + b))
+            .filter(|&s| s >= 8)
+            .count() as u128;
+        assert_eq!(m.count_sat(outputs[3]), expected);
+    }
+}

@@ -1,0 +1,107 @@
+//! Criterion micro-benchmarks of the CGP layer: the non-verification
+//! costs of the evolutionary loop (mutation, decoding, active-gene
+//! analysis, area estimation) and one full verification call — the
+//! numbers behind the neutral-mutation and area-filter optimizations.
+
+use axmc_cgp::{Chromosome, SearchOptions, Verifier};
+use axmc_circuit::{generators, AreaModel};
+use axmc_cnf::encode_comb;
+use axmc_miter::diff_threshold_miter;
+use axmc_sat::{Budget, SolveResult};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_mutate_decode(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cgp/mutate_decode");
+    for width in [4usize, 8] {
+        let golden = generators::array_multiplier(width);
+        let base = Chromosome::from_netlist(&golden, 8);
+        group.bench_with_input(BenchmarkId::from_parameter(width), &base, |b, base| {
+            let mut rng = StdRng::seed_from_u64(3);
+            b.iter(|| {
+                let mut child = base.clone();
+                child.mutate(8, &mut rng);
+                child.decode().num_gates()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_active_genes_and_area(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cgp/active_and_area");
+    let model = AreaModel::nm45();
+    for width in [4usize, 8] {
+        let golden = generators::array_multiplier(width);
+        let base = Chromosome::from_netlist(&golden, 8);
+        group.bench_with_input(BenchmarkId::from_parameter(width), &base, |b, base| {
+            b.iter(|| {
+                let nl = base.decode();
+                (base.num_active_nodes(), nl.area(&model))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_one_verification(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cgp/verify_unsat");
+    for width in [4usize, 6, 8] {
+        let golden = generators::array_multiplier(width).to_aig();
+        // Verify the golden circuit against itself at a loose threshold —
+        // the kind of promptly-UNSAT query the search thrives on.
+        let threshold = (1u128 << (2 * width)) / 10;
+        group.bench_with_input(BenchmarkId::from_parameter(width), &golden, |b, g| {
+            b.iter(|| {
+                let miter = diff_threshold_miter(g, g, threshold);
+                let (mut solver, enc) = encode_comb(&miter);
+                solver.set_budget(Budget::unlimited().with_conflicts(20_000));
+                assert_eq!(
+                    solver.solve_with_assumptions(&[enc.outputs[0]]),
+                    SolveResult::Unsat
+                );
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_short_evolution(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cgp/evolve_50_generations");
+    let golden = generators::ripple_carry_adder(6);
+    group.bench_function("adder6_t3", |b| {
+        b.iter(|| {
+            let options = SearchOptions {
+                threshold: 3,
+                max_generations: 50,
+                time_limit: std::time::Duration::from_secs(60),
+                verifier: Verifier::Sat {
+                    budget: Budget::unlimited().with_conflicts(20_000),
+                },
+                seed: 5,
+                ..SearchOptions::default()
+            };
+            axmc_cgp::evolve(&golden, &options).area
+        })
+    });
+    group.finish();
+}
+
+
+fn fast_criterion() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2))
+}
+
+criterion_group!{
+    name = benches;
+    config = fast_criterion();
+    targets = bench_mutate_decode,
+    bench_active_genes_and_area,
+    bench_one_verification,
+    bench_short_evolution
+}
+criterion_main!(benches);

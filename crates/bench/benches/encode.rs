@@ -1,0 +1,71 @@
+//! Criterion micro-benchmarks of miter construction and CNF encoding —
+//! quantifying the per-candidate setup cost that the miter-architecture
+//! choice (T4) reduces.
+
+use axmc_circuit::{approx, generators};
+use axmc_cnf::encode_comb;
+use axmc_miter::{abs_diff_threshold_miter, diff_threshold_miter};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_miter_construction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("encode/miter_construction");
+    for width in [8usize, 16] {
+        let golden = generators::array_multiplier(width).to_aig();
+        let cand = approx::truncated_multiplier(width, width / 2).to_aig();
+        group.bench_with_input(
+            BenchmarkId::new("abs_value", width),
+            &(&golden, &cand),
+            |b, (g, ca)| b.iter(|| abs_diff_threshold_miter(g, ca, 5).num_ands()),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("proposed", width),
+            &(&golden, &cand),
+            |b, (g, ca)| b.iter(|| diff_threshold_miter(g, ca, 5).num_ands()),
+        );
+    }
+    group.finish();
+}
+
+fn bench_tseitin(c: &mut Criterion) {
+    let mut group = c.benchmark_group("encode/tseitin");
+    for width in [8usize, 16] {
+        let golden = generators::array_multiplier(width).to_aig();
+        let cand = approx::truncated_multiplier(width, width / 2).to_aig();
+        let miter = diff_threshold_miter(&golden, &cand, 5).compact();
+        group.bench_with_input(BenchmarkId::from_parameter(width), &miter, |b, m| {
+            b.iter(|| {
+                let (solver, _) = encode_comb(m);
+                solver.num_vars()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_compaction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("encode/compaction");
+    for width in [8usize, 16] {
+        let golden = generators::array_multiplier(width).to_aig();
+        let cand = approx::truncated_multiplier(width, width / 2).to_aig();
+        let miter = diff_threshold_miter(&golden, &cand, 5);
+        group.bench_with_input(BenchmarkId::from_parameter(width), &miter, |b, m| {
+            b.iter(|| m.compact().num_ands())
+        });
+    }
+    group.finish();
+}
+
+
+fn fast_criterion() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2))
+}
+
+criterion_group!{
+    name = benches;
+    config = fast_criterion();
+    targets = bench_miter_construction, bench_tseitin, bench_compaction
+}
+criterion_main!(benches);

@@ -1,0 +1,76 @@
+//! Criterion micro-benchmarks of the simulation layer: 64-way parallel
+//! netlist/AIG evaluation and exhaustive sweeps — the engine behind the
+//! conventional CGP fitness evaluation whose scaling wall motivates the
+//! SAT-based approach (T5).
+
+use axmc_aig::{sim::for_each_assignment, Simulator};
+use axmc_circuit::generators;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+/// One 64-lane combinational pass through a multiplier netlist.
+fn bench_netlist_eval64(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim/netlist_eval64");
+    for width in [4usize, 8, 16] {
+        let nl = generators::array_multiplier(width);
+        let inputs: Vec<u64> = (0..nl.num_inputs())
+            .map(|i| 0x9E37_79B9_7F4A_7C15u64.rotate_left(i as u32))
+            .collect();
+        group.throughput(Throughput::Elements(64));
+        group.bench_with_input(BenchmarkId::from_parameter(width), &nl, |b, nl| {
+            b.iter(|| nl.eval64(&inputs))
+        });
+    }
+    group.finish();
+}
+
+/// One 64-lane pass through the AIG form (post-lowering).
+fn bench_aig_eval64(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim/aig_eval64");
+    for width in [4usize, 8, 16] {
+        let aig = generators::array_multiplier(width).to_aig();
+        let inputs: Vec<u64> = (0..aig.num_inputs())
+            .map(|i| 0xD1B5_4A32_D192_ED03u64.rotate_left(i as u32))
+            .collect();
+        group.throughput(Throughput::Elements(64));
+        group.bench_with_input(BenchmarkId::from_parameter(width), &aig, |b, aig| {
+            let mut sim = Simulator::new(aig);
+            b.iter(|| sim.eval_comb(&inputs))
+        });
+    }
+    group.finish();
+}
+
+/// Exhaustive sweep of all input assignments — the cost that explodes
+/// with width and caps the simulation-based fitness evaluation.
+fn bench_exhaustive_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim/exhaustive_sweep");
+    for width in [4usize, 6, 8] {
+        let aig = generators::array_multiplier(width).to_aig();
+        group.throughput(Throughput::Elements(1u64 << (2 * width)));
+        group.bench_with_input(BenchmarkId::from_parameter(width), &aig, |b, aig| {
+            b.iter(|| {
+                let mut acc = 0u64;
+                for_each_assignment(aig, |_, out| acc ^= out as u64);
+                acc
+            })
+        });
+    }
+    group.finish();
+}
+
+
+fn fast_criterion() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2))
+}
+
+criterion_group!{
+    name = benches;
+    config = fast_criterion();
+    targets = bench_netlist_eval64,
+    bench_aig_eval64,
+    bench_exhaustive_sweep
+}
+criterion_main!(benches);

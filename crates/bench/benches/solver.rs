@@ -1,0 +1,83 @@
+//! Criterion micro-benchmarks of the SAT layer: equivalence (UNSAT) and
+//! threshold-violation (SAT) miter queries at growing operand widths.
+//! Supports F2's runtime-scaling narrative with controlled single-query
+//! measurements.
+
+use axmc_circuit::{approx, generators};
+use axmc_cnf::encode_comb;
+use axmc_miter::{diff_threshold_miter, strict_miter};
+use axmc_sat::SolveResult;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+/// UNSAT: prove two structurally different adders equivalent.
+fn bench_equivalence_unsat(c: &mut Criterion) {
+    let mut group = c.benchmark_group("solver/equivalence_unsat");
+    for width in [8usize, 16, 32] {
+        let rca = generators::ripple_carry_adder(width).to_aig();
+        let csa = generators::carry_select_adder(width, width / 4).to_aig();
+        let miter = strict_miter(&rca, &csa);
+        group.bench_with_input(BenchmarkId::from_parameter(width), &miter, |b, miter| {
+            b.iter(|| {
+                let (mut solver, enc) = encode_comb(miter);
+                let r = solver.solve_with_assumptions(&[enc.outputs[0]]);
+                assert_eq!(r, SolveResult::Unsat);
+            })
+        });
+    }
+    group.finish();
+}
+
+/// SAT: find a threshold violation of a truncated adder (a witness exists).
+fn bench_violation_sat(c: &mut Criterion) {
+    let mut group = c.benchmark_group("solver/violation_sat");
+    for width in [8usize, 16, 32] {
+        let golden = generators::ripple_carry_adder(width).to_aig();
+        let cand = approx::truncated_adder(width, width / 2).to_aig();
+        let miter = diff_threshold_miter(&golden, &cand, 1);
+        group.bench_with_input(BenchmarkId::from_parameter(width), &miter, |b, miter| {
+            b.iter(|| {
+                let (mut solver, enc) = encode_comb(miter);
+                let r = solver.solve_with_assumptions(&[enc.outputs[0]]);
+                assert_eq!(r, SolveResult::Sat);
+            })
+        });
+    }
+    group.finish();
+}
+
+/// UNSAT threshold proof: the hard direction of the WCE search.
+fn bench_threshold_unsat(c: &mut Criterion) {
+    let mut group = c.benchmark_group("solver/threshold_unsat");
+    for width in [8usize, 12] {
+        let golden = generators::ripple_carry_adder(width).to_aig();
+        let cut = width / 2;
+        let cand = approx::truncated_adder(width, cut).to_aig();
+        let wce = (1u128 << (cut + 1)) - 2;
+        let miter = diff_threshold_miter(&golden, &cand, wce);
+        group.bench_with_input(BenchmarkId::from_parameter(width), &miter, |b, miter| {
+            b.iter(|| {
+                let (mut solver, enc) = encode_comb(miter);
+                let r = solver.solve_with_assumptions(&[enc.outputs[0]]);
+                assert_eq!(r, SolveResult::Unsat);
+            })
+        });
+    }
+    group.finish();
+}
+
+
+fn fast_criterion() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2))
+}
+
+criterion_group!{
+    name = benches;
+    config = fast_criterion();
+    targets = bench_equivalence_unsat,
+    bench_violation_sat,
+    bench_threshold_unsat
+}
+criterion_main!(benches);

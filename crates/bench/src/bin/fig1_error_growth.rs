@@ -1,0 +1,92 @@
+//! **F1 — Error accumulation over cycles**: the per-horizon worst-case
+//! error profile `WCE@k` for representative feedback and feed-forward
+//! designs, one series per approximate component.
+//!
+//! Shape expectation: accumulator/MAC series grow (roughly linearly, by
+//! the per-operation error) while FIR series plateau once the window
+//! fills and the leaky integrator's feedback attenuation caps growth.
+
+use axmc_bench::{banner, Scale};
+use axmc_circuit::{approx, generators};
+use axmc_core::SeqAnalyzer;
+use axmc_seq::{fir_moving_sum, mac_wide, wide_accumulator, wide_leaky_integrator};
+
+fn main() {
+    let scale = Scale::from_env();
+    let width = 8;
+    let horizon = scale.pick(8, 12);
+    banner("F1", "worst-case error growth WCE@k", scale);
+    println!("series: design/component; columns k = 0..{horizon}");
+
+    let acc_width = width + 4;
+    let mut series: Vec<(String, axmc_aig::Aig, axmc_aig::Aig)> = Vec::new();
+
+    // Accumulators with the three adder families.
+    let exact_acc = generators::ripple_carry_adder(acc_width);
+    for (name, apx) in [
+        ("trunc4", approx::truncated_adder(acc_width, 4)),
+        ("loa4", approx::lower_or_adder(acc_width, 4)),
+        ("spec2", approx::speculative_adder(acc_width, 2)),
+    ] {
+        series.push((
+            format!("accumulator{width}/{name}"),
+            wide_accumulator(&exact_acc, width, acc_width),
+            wide_accumulator(&apx, width, acc_width),
+        ));
+    }
+    // FIR (feed-forward) with the truncated adder.
+    let exact = generators::ripple_carry_adder(width);
+    series.push((
+        format!("fir4_{width}/trunc4"),
+        fir_moving_sum(&exact, width, 4),
+        fir_moving_sum(&approx::truncated_adder(width, 4), width, 4),
+    ));
+    // Leaky integrator (attenuated feedback).
+    let leaky_w = width + 1;
+    series.push((
+        format!("leaky{width}/trunc4"),
+        wide_leaky_integrator(&generators::ripple_carry_adder(leaky_w), width, leaky_w),
+        wide_leaky_integrator(&approx::truncated_adder(leaky_w, 4), width, leaky_w),
+    ));
+    // MAC (feedback through products).
+    let mw = 4;
+    let macc = 2 * mw + 3;
+    let exact_mul = generators::array_multiplier(mw);
+    let exact_add = generators::ripple_carry_adder(macc);
+    series.push((
+        format!("mac{mw}/optrunc1"),
+        mac_wide(&exact_mul, &exact_add, mw, macc),
+        mac_wide(
+            &approx::operand_truncated_multiplier(mw, 1),
+            &exact_add,
+            mw,
+            macc,
+        ),
+    ));
+
+    print!("{:<24}", "series \\ k");
+    for k in 0..=horizon {
+        print!(" {k:>6}");
+    }
+    println!(" {:>10}", "growth");
+    for (name, golden, apx) in &series {
+        // The MAC's UNSAT probes harden steeply with depth; cap its
+        // horizon so the figure completes (the growth shape is already
+        // unambiguous by k = 8).
+        let h = if name.starts_with("mac") {
+            horizon.min(8)
+        } else {
+            horizon
+        };
+        let analyzer = SeqAnalyzer::new(golden, apx);
+        let profile = analyzer.error_profile(h).expect("unbudgeted analysis");
+        print!("{name:<24}");
+        for v in &profile.profile {
+            print!(" {v:>6}");
+        }
+        for _ in h..horizon {
+            print!(" {:>6}", "-");
+        }
+        println!(" {:>10}", format!("{:?}", profile.growth()));
+    }
+}

@@ -1,0 +1,64 @@
+//! **F2 — Model-checking runtime scaling**: BMC effort as a function of
+//! (a) the unrolling depth at fixed width, and (b) the operand width at
+//! fixed depth, on the accumulator benchmark.
+//!
+//! Each cell runs one exact `WCE@k` determination (the full galloping
+//! search, i.e. several incremental BMC probes) and reports wall-clock,
+//! SAT probes and solver conflicts.
+//!
+//! Shape expectation: roughly smooth growth in both axes; per-depth cost
+//! is amortized by incrementality (later probes reuse learnt clauses).
+
+use axmc_bench::{banner, timed, Scale};
+use axmc_circuit::{approx, generators};
+use axmc_core::SeqAnalyzer;
+use axmc_seq::wide_accumulator;
+
+fn run_cell(width: usize, horizon: usize) -> (u128, u64, u64, f64) {
+    let acc_width = width + 4;
+    let golden = wide_accumulator(
+        &generators::ripple_carry_adder(acc_width),
+        width,
+        acc_width,
+    );
+    let apx = wide_accumulator(
+        &approx::lower_or_adder(acc_width, width / 2),
+        width,
+        acc_width,
+    );
+    let analyzer = SeqAnalyzer::new(&golden, &apx);
+    let (report, ms) = timed(|| analyzer.worst_case_error_at(horizon).expect("unbudgeted"));
+    (report.value, report.sat_calls, report.conflicts, ms)
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    banner("F2", "BMC runtime scaling (exact WCE@k determination)", scale);
+
+    // (a) depth sweep at fixed width.
+    let width = 8;
+    let max_depth = scale.pick(10, 12);
+    println!("-- depth sweep, width {width} --");
+    println!(
+        "{:>5} {:>9} {:>8} {:>11} {:>9}",
+        "k", "WCE@k", "probes", "conflicts", "time[ms]"
+    );
+    for k in (2..=max_depth).step_by(2) {
+        let (wce, probes, conflicts, ms) = run_cell(width, k);
+        println!("{k:>5} {wce:>9} {probes:>8} {conflicts:>11} {ms:>9.0}");
+    }
+
+    // (b) width sweep at fixed depth.
+    let depth = scale.pick(6, 8);
+    let widths: Vec<usize> = scale.pick(vec![4, 8, 12], vec![4, 8, 12, 16]);
+    println!();
+    println!("-- width sweep, depth {depth} --");
+    println!(
+        "{:>6} {:>9} {:>8} {:>11} {:>9}",
+        "width", "WCE@k", "probes", "conflicts", "time[ms]"
+    );
+    for w in widths {
+        let (wce, probes, conflicts, ms) = run_cell(w, depth);
+        println!("{w:>6} {wce:>9} {probes:>8} {conflicts:>11} {ms:>9.0}");
+    }
+}

@@ -1,0 +1,74 @@
+//! **F3 — Pareto fronts**: relative estimated area of evolved
+//! approximate adders and multipliers as a function of the worst-case
+//! relative error target (the thesis's Figures 6.3/6.4 shape).
+//!
+//! Shape expectation: monotone fronts (looser error -> smaller area), and
+//! larger circuits save *more relative area* at the same WCRE because a
+//! fixed relative error frees proportionally more low-significance logic.
+
+use axmc_bench::{banner, Scale};
+use axmc_cgp::{pareto_front, wcre_to_threshold, SearchOptions};
+use axmc_circuit::{generators, Netlist};
+use axmc_sat::Budget;
+use std::time::Duration;
+
+fn front_row(name: &str, golden: &Netlist, wcres: &[f64], seconds: u64) {
+    let out_bits = golden.num_outputs();
+    let thresholds: Vec<u128> = wcres
+        .iter()
+        .map(|&p| wcre_to_threshold(p, out_bits).max(1))
+        .collect();
+    let base = SearchOptions {
+        population: 4,
+        max_mutations: (golden.num_gates() / 25).max(4),
+        max_generations: u64::MAX,
+        time_limit: Duration::from_secs(seconds),
+        verifier: axmc_cgp::Verifier::Sat {
+            budget: Budget::unlimited().with_conflicts(20_000),
+        },
+        seed: 7,
+        extra_cols: 0,
+        ..SearchOptions::default()
+    };
+    let points = pareto_front(golden, &thresholds, &base);
+    print!("{name:<10}");
+    for p in &points {
+        print!(" {:>7.1}", p.result.relative_area() * 100.0);
+    }
+    println!();
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    banner("F3", "Pareto fronts: relative area vs WCRE", scale);
+    let wcres = [0.1f64, 0.5, 1.0, 2.0, 5.0, 10.0, 20.0];
+    let seconds = scale.pick(4, 30);
+    let adder_widths: Vec<usize> = scale.pick(vec![8, 12], vec![8, 12, 16, 24, 32]);
+    let mult_widths: Vec<usize> = scale.pick(vec![4, 6], vec![4, 6, 8, 10]);
+
+    print!("{:<10}", "WCRE[%]");
+    for p in &wcres {
+        print!(" {p:>7.2}");
+    }
+    println!();
+    println!("-- adders (relative estimated area, %) --");
+    for &w in &adder_widths {
+        front_row(
+            &format!("add{w}"),
+            &generators::ripple_carry_adder(w),
+            &wcres,
+            seconds,
+        );
+    }
+    println!("-- multipliers (relative estimated area, %) --");
+    for &w in &mult_widths {
+        front_row(
+            &format!("mul{w}"),
+            &generators::array_multiplier(w),
+            &wcres,
+            seconds,
+        );
+    }
+    println!();
+    println!("100.0 = area of the exact circuit; every cell is an UNSAT-certified design.");
+}

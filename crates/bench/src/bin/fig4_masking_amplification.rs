@@ -1,0 +1,107 @@
+//! **F4 — Masking and amplification map**: how the *system-level*
+//! worst-case error relates to the embedded component's *combinational*
+//! worst-case error across design structures — the paper's central
+//! argument that component-level numbers are the wrong currency for
+//! sequential designs.
+//!
+//! Shape expectation: amplification factor growing with k for the
+//! accumulator (errors add every cycle), ~1 for the registered ALU
+//! (pass-through), window-bounded for the FIR, attenuated for the leaky
+//! integrator. The counter (in T1) shows the complement: temporal
+//! masking, zero system error until a specific state is reached.
+
+use axmc_bench::{banner, Scale};
+use axmc_circuit::{approx, generators, Netlist};
+use axmc_core::{CombAnalyzer, SeqAnalyzer};
+use axmc_seq::{fir_moving_sum, registered_alu, wide_accumulator, wide_leaky_integrator};
+
+struct Context {
+    name: String,
+    golden: axmc_aig::Aig,
+    approx: axmc_aig::Aig,
+    comb_golden: Netlist,
+    comb_approx: Netlist,
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    let width = 8;
+    let horizon = scale.pick(6, 10);
+    banner(
+        "F4",
+        "component error vs system error (masking/amplification)",
+        scale,
+    );
+    println!("component: lower-OR adders; horizon k = {horizon}");
+    println!(
+        "{:<22} {:>10} {:>12} {:>14}",
+        "design", "comb WCE", "system WCE@k", "amplification"
+    );
+
+    for lower in [2usize, 4] {
+        let acc_w = width + 4;
+        let leaky_w = width + 1;
+        let contexts = vec![
+            Context {
+                name: format!("alu8/loa{lower}"),
+                golden: registered_alu(&generators::ripple_carry_adder(width), width),
+                approx: registered_alu(&approx::lower_or_adder(width, lower), width),
+                comb_golden: generators::ripple_carry_adder(width),
+                comb_approx: approx::lower_or_adder(width, lower),
+            },
+            Context {
+                name: format!("fir4_8/loa{lower}"),
+                golden: fir_moving_sum(&generators::ripple_carry_adder(width), width, 4),
+                approx: fir_moving_sum(&approx::lower_or_adder(width, lower), width, 4),
+                comb_golden: generators::ripple_carry_adder(width),
+                comb_approx: approx::lower_or_adder(width, lower),
+            },
+            Context {
+                name: format!("leaky8/loa{lower}"),
+                golden: wide_leaky_integrator(
+                    &generators::ripple_carry_adder(leaky_w),
+                    width,
+                    leaky_w,
+                ),
+                approx: wide_leaky_integrator(
+                    &approx::lower_or_adder(leaky_w, lower),
+                    width,
+                    leaky_w,
+                ),
+                comb_golden: generators::ripple_carry_adder(leaky_w),
+                comb_approx: approx::lower_or_adder(leaky_w, lower),
+            },
+            Context {
+                name: format!("accumulator8/loa{lower}"),
+                golden: wide_accumulator(&generators::ripple_carry_adder(acc_w), width, acc_w),
+                approx: wide_accumulator(&approx::lower_or_adder(acc_w, lower), width, acc_w),
+                comb_golden: generators::ripple_carry_adder(acc_w),
+                comb_approx: approx::lower_or_adder(acc_w, lower),
+            },
+        ];
+        for ctx in &contexts {
+            // Component-level error, measured on the component as
+            // instantiated in this context (widths can differ).
+            let cg = ctx.comb_golden.to_aig();
+            let ca = ctx.comb_approx.to_aig();
+            let comb = CombAnalyzer::new(&cg, &ca)
+                .worst_case_error()
+                .expect("unbudgeted")
+                .value;
+            let analyzer = SeqAnalyzer::new(&ctx.golden, &ctx.approx);
+            let system = analyzer
+                .worst_case_error_at(horizon)
+                .expect("unbudgeted")
+                .value;
+            println!(
+                "{:<22} {:>10} {:>12} {:>13.2}x",
+                ctx.name,
+                comb,
+                system,
+                system as f64 / comb as f64
+            );
+        }
+        println!();
+    }
+    println!("amplification = system WCE@k / component combinational WCE");
+}

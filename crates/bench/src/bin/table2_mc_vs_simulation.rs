@@ -1,0 +1,59 @@
+//! **T2 — Precise model checking vs random simulation**: the paper's
+//! motivation. Random simulation gives only a lower bound on the
+//! worst-case error with no guarantee; this table quantifies by how much
+//! it underestimates on the standard suite.
+//!
+//! Shape expectation: simulated WCE <= exact WCE everywhere, with large
+//! gaps on components whose worst case needs a rare input pattern
+//! (speculative adders, carry-path corner cases) and near-equality on
+//! dense-error components (truncation).
+
+use axmc_bench::{banner, timed, Scale};
+use axmc_core::SeqAnalyzer;
+use axmc_seq::suite::standard_suite;
+
+fn main() {
+    let scale = Scale::from_env();
+    let horizon = scale.pick(4, 8);
+    let trajectories = scale.pick(1_000u64, 100_000u64);
+    banner("T2", "precise (BMC) vs random-simulation WCE", scale);
+    println!("horizon k = {horizon}, {trajectories} random trajectories per benchmark");
+    println!(
+        "{:<24} {:>10} {:>10} {:>8} {:>11} {:>11}",
+        "benchmark", "sim WCE", "exact WCE", "found?", "sim[ms]", "mc[ms]"
+    );
+
+    let mut underestimated = 0usize;
+    let mut total = 0usize;
+    for pair in standard_suite(8) {
+        let analyzer = SeqAnalyzer::new(&pair.golden, &pair.approx);
+        let (sim, sim_ms) = timed(|| {
+            analyzer.simulated_worst_case_error(horizon + 1, trajectories, 0xC0FFEE)
+        });
+        let (exact, mc_ms) = timed(|| {
+            analyzer
+                .worst_case_error_at(horizon)
+                .expect("unbudgeted analysis")
+                .value
+        });
+        assert!(sim <= exact, "simulation can never exceed the exact bound");
+        total += 1;
+        if sim < exact {
+            underestimated += 1;
+        }
+        println!(
+            "{:<24} {:>10} {:>10} {:>8} {:>11.0} {:>11.0}",
+            pair.name,
+            sim,
+            exact,
+            if sim == exact { "yes" } else { "MISSED" },
+            sim_ms,
+            mc_ms
+        );
+    }
+    println!();
+    println!(
+        "simulation underestimated the true worst case on {underestimated}/{total} benchmarks \
+         (and provides no guarantee even when it matches)"
+    );
+}

@@ -1,0 +1,77 @@
+//! **T4 — Miter architecture comparison**: size of the baseline
+//! absolute-value miter logic vs the proposed two's-complement + constant
+//! comparator logic (the thesis's Table 6.2 shape).
+//!
+//! As in the original experiment, the two constructions compare two free
+//! `w`-bit vectors (e.g. the outputs of two `w/2`-bit multipliers) so the
+//! measurement isolates the miter logic itself — the circuits under test
+//! would be identical in both and are excluded.
+//!
+//! Shape expectation: large constant node savings (the absolute-value
+//! stage disappears entirely) and significant edge savings at every
+//! threshold.
+
+use axmc_aig::{Aig, Word};
+use axmc_bench::{banner, Scale};
+use axmc_cgp::wcre_to_threshold;
+use axmc_miter::{diff_exceeds, miter_stats};
+
+/// Baseline: subtractor + absolute value + comparator.
+fn abs_value_miter_logic(width: usize, threshold: u128) -> Aig {
+    let mut m = Aig::new();
+    let a = Word::new_inputs(&mut m, width);
+    let b = Word::new_inputs(&mut m, width);
+    let diff = a.sub_signed(&mut m, &b);
+    let abs = diff.abs(&mut m);
+    let bad = abs.ugt_const(&mut m, threshold);
+    m.add_output(bad);
+    m
+}
+
+/// Proposed: subtractor + dual-sign constant comparator, no abs stage.
+fn proposed_miter_logic(width: usize, threshold: u128) -> Aig {
+    let mut m = Aig::new();
+    let a = Word::new_inputs(&mut m, width);
+    let b = Word::new_inputs(&mut m, width);
+    let diff = a.sub_signed(&mut m, &b);
+    let bad = diff_exceeds(&mut m, &diff, threshold);
+    m.add_output(bad);
+    m
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    banner("T4", "absolute-value miter vs proposed miter size", scale);
+    println!("miter logic over two free w-bit output vectors (circuits under test excluded)");
+    let widths: Vec<usize> = scale.pick(vec![16, 32, 64], vec![16, 32, 64, 128]);
+    let wcres = [1e-4, 1e-3, 1e-2, 0.1, 0.5];
+
+    println!(
+        "{:>7} {:>9} {:>11} {:>11} {:>11} {:>11} {:>9} {:>9}",
+        "vector", "WCRE[%]", "abs nodes", "abs edges", "new nodes", "new edges", "nodes[%]", "edges[%]"
+    );
+    for &w in &widths {
+        for &wcre in &wcres {
+            let threshold = wcre_to_threshold(wcre, w).max(1);
+            let abs = miter_stats(&abs_value_miter_logic(w, threshold));
+            let new = miter_stats(&proposed_miter_logic(w, threshold));
+            println!(
+                "{:>6}b {:>9.4} {:>11} {:>11} {:>11} {:>11} {:>8.1}% {:>8.1}%",
+                w,
+                wcre,
+                abs.nodes,
+                abs.edges,
+                new.nodes,
+                new.edges,
+                (1.0 - new.nodes as f64 / abs.nodes as f64) * 100.0,
+                (1.0 - new.edges as f64 / abs.edges as f64) * 100.0,
+            );
+            assert!(
+                new.nodes < abs.nodes,
+                "proposed miter must be smaller (width {w}, wcre {wcre})"
+            );
+        }
+    }
+    println!();
+    println!("the proposed construction removes the entire absolute-value stage.");
+}

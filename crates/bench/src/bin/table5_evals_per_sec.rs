@@ -1,0 +1,84 @@
+//! **T5 — Fitness-evaluation throughput**: candidate evaluations per
+//! second of the conventional simulation-based CGP vs the SAT-based
+//! verifiability-driven CGP, across multiplier widths (the thesis's
+//! Table 6.1 shape).
+//!
+//! Shape expectation: simulation wins at small widths but slows roughly
+//! 16x for every two added operand bits (the 2^(2w) sweep dominates);
+//! the SAT path degrades far more gently, so the curves cross around
+//! 10–12 bits and only the SAT path remains usable beyond.
+
+use axmc_bench::{banner, ratio, Scale};
+use axmc_cgp::{evolve, wcre_to_threshold, SearchOptions, Verifier};
+use axmc_circuit::generators;
+use axmc_sat::Budget;
+use std::time::Duration;
+
+fn throughput(width: usize, verifier: Verifier, evaluations: u64, seed: u64) -> f64 {
+    let golden = generators::array_multiplier(width);
+    let threshold = wcre_to_threshold(10.0, 2 * width); // WCRE 10 %
+    let options = SearchOptions {
+        threshold,
+        population: 4,
+        max_mutations: (golden.num_gates() / 25).max(4),
+        max_generations: evaluations / 4,
+        time_limit: Duration::from_secs(120),
+        verifier,
+        seed,
+        extra_cols: 0,
+        ..SearchOptions::default()
+    };
+    let result = evolve(&golden, &options);
+    result.stats.evals_per_sec()
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    banner("T5", "CGP evaluations/second: simulation vs SAT", scale);
+    let widths: Vec<usize> = scale.pick(vec![4, 6, 8], vec![4, 6, 8, 10, 12]);
+    let sim_cap = scale.pick(8, 10); // simulation beyond this is unfeasible
+    let evals = scale.pick(400u64, 1_000u64);
+    println!("WCRE target 10 %, {evals} evaluations per cell");
+    println!(
+        "{:>6} {:>14} {:>9} {:>14} {:>9}",
+        "width", "sim[evals/s]", "slowdown", "sat[evals/s]", "slowdown"
+    );
+
+    let mut prev_sim: Option<f64> = None;
+    let mut prev_sat: Option<f64> = None;
+    for &w in &widths {
+        let sim = if w <= sim_cap {
+            // Cap the evaluation count where a single exhaustive sweep is
+            // already seconds long, or the cell itself takes an hour.
+            let sim_evals = if w >= 10 { evals.min(60) } else { evals };
+            Some(throughput(w, Verifier::Simulation, sim_evals, 11))
+        } else {
+            None
+        };
+        let sat = throughput(
+            w,
+            Verifier::Sat {
+                budget: Budget::unlimited().with_conflicts(20_000),
+            },
+            evals,
+            11,
+        );
+        let sim_str = sim.map_or("-".into(), |v| format!("{v:.1}"));
+        let sim_ratio = match (prev_sim, sim) {
+            (Some(p), Some(c)) if c > 0.0 => ratio(p, c),
+            _ => "-".into(),
+        };
+        let sat_ratio = match prev_sat {
+            Some(p) if sat > 0.0 => ratio(p, sat),
+            _ => "-".into(),
+        };
+        println!("{w:>6} {sim_str:>14} {sim_ratio:>9} {sat:>14.1} {sat_ratio:>9}");
+        prev_sim = sim;
+        prev_sat = Some(sat);
+    }
+    println!();
+    println!(
+        "'slowdown' = throughput at the previous width / this width \
+         (the thesis reports ~16x/2bits for simulation vs ~2x for SAT)"
+    );
+}

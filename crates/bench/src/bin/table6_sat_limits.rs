@@ -1,0 +1,63 @@
+//! **T6 — Impact of SAT resource limits on the verifiability-driven
+//! search** (the thesis's Table 6.3 / Figure 6.1 shape): the same
+//! evolution run under an unlimited solver, a generous conflict budget
+//! and an aggressive one.
+//!
+//! Shape expectation: for loose error targets all budgets perform alike;
+//! for tight targets the aggressive budget evaluates far more candidates
+//! per second (rejecting slow-to-verify lineages outright) and reaches
+//! smaller areas within the same time.
+
+use axmc_bench::{banner, Scale};
+use axmc_cgp::{evolve, wcre_to_threshold, SearchOptions, Verifier};
+use axmc_circuit::generators;
+use axmc_sat::Budget;
+use std::time::Duration;
+
+fn main() {
+    let scale = Scale::from_env();
+    banner("T6", "SAT conflict-budget ablation for CGP", scale);
+    let width = scale.pick(6, 8);
+    let seconds = scale.pick(5, 60);
+    let wcres = [0.5f64, 2.0, 10.0];
+    let budgets: [(&str, Option<u64>); 3] =
+        [("unlimited", None), ("20k", Some(20_000)), ("1k", Some(1_000))];
+
+    println!("{width}x{width} multiplier, {seconds}s per run");
+    println!(
+        "{:>8} {:>10} {:>13} {:>9} {:>9} {:>9} {:>10}",
+        "WCRE[%]", "budget", "evals/s", "rel.area", "UNSAT", "timeout", "improves"
+    );
+    let golden = generators::array_multiplier(width);
+    for &wcre in &wcres {
+        let threshold = wcre_to_threshold(wcre, 2 * width).max(1);
+        for (name, limit) in &budgets {
+            let budget = match limit {
+                None => Budget::unlimited(),
+                Some(c) => Budget::unlimited().with_conflicts(*c),
+            };
+            let options = SearchOptions {
+                threshold,
+                population: 4,
+                max_mutations: (golden.num_gates() / 25).max(4),
+                max_generations: u64::MAX,
+                time_limit: Duration::from_secs(seconds),
+                verifier: Verifier::Sat { budget },
+                seed: 99,
+                extra_cols: 0,
+                ..SearchOptions::default()
+            };
+            let r = evolve(&golden, &options);
+            println!(
+                "{:>8.1} {:>10} {:>13.1} {:>8.1}% {:>9} {:>9} {:>10}",
+                wcre,
+                name,
+                r.stats.evals_per_sec(),
+                r.relative_area() * 100.0,
+                r.stats.verified_ok,
+                r.stats.verified_timeout,
+                r.stats.improvements
+            );
+        }
+    }
+}

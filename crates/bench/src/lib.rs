@@ -1,0 +1,87 @@
+//! Shared support for the evaluation harnesses.
+//!
+//! Each binary in `src/bin/` regenerates one table or figure of the
+//! evaluation (see `DESIGN.md` §3 for the experiment index and
+//! `EXPERIMENTS.md` for recorded results). This library provides the
+//! common scaffolding: wall-clock measurement, table formatting, and the
+//! scale knob.
+//!
+//! # Scale knob
+//!
+//! Set `AXMC_SCALE=full` for the full-size runs recorded in
+//! `EXPERIMENTS.md`; the default (`quick`) uses reduced widths/horizons so
+//! every harness finishes in a couple of minutes on a laptop.
+
+use std::time::Instant;
+
+/// Execution scale selected via the `AXMC_SCALE` environment variable.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Scale {
+    /// Reduced parameters; minutes per harness.
+    Quick,
+    /// Full parameters as recorded in `EXPERIMENTS.md`.
+    Full,
+}
+
+impl Scale {
+    /// Reads the scale from the environment (`AXMC_SCALE=full`).
+    pub fn from_env() -> Scale {
+        match std::env::var("AXMC_SCALE").as_deref() {
+            Ok("full") | Ok("FULL") => Scale::Full,
+            _ => Scale::Quick,
+        }
+    }
+
+    /// Picks `quick` or `full` value by scale.
+    pub fn pick<T>(self, quick: T, full: T) -> T {
+        match self {
+            Scale::Quick => quick,
+            Scale::Full => full,
+        }
+    }
+}
+
+/// Runs `f`, returning its result and the elapsed milliseconds.
+pub fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed().as_secs_f64() * 1000.0)
+}
+
+/// Prints a standard experiment header.
+pub fn banner(id: &str, title: &str, scale: Scale) {
+    println!("== {id}: {title} [{scale:?}] ==");
+}
+
+/// Formats a ratio as `x.xx×`.
+pub fn ratio(new: f64, base: f64) -> String {
+    if base == 0.0 {
+        "-".to_string()
+    } else {
+        format!("{:.2}x", new / base)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_pick() {
+        assert_eq!(Scale::Quick.pick(1, 2), 1);
+        assert_eq!(Scale::Full.pick(1, 2), 2);
+    }
+
+    #[test]
+    fn timed_measures() {
+        let (v, ms) = timed(|| 42);
+        assert_eq!(v, 42);
+        assert!(ms >= 0.0);
+    }
+
+    #[test]
+    fn ratio_formats() {
+        assert_eq!(ratio(2.0, 1.0), "2.00x");
+        assert_eq!(ratio(1.0, 0.0), "-");
+    }
+}

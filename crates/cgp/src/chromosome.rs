@@ -1,0 +1,449 @@
+//! The Cartesian Genetic Programming chromosome.
+//!
+//! A chromosome encodes a circuit as a fixed `rows × cols` grid of gate
+//! nodes over a primary-input set, as an integer vector of `(in1, in2,
+//! function)` triplets plus one source gene per primary output — the
+//! classic CGP representation. The fixed length prevents bloat; inactive
+//! nodes ride along as neutral genetic material.
+
+use axmc_circuit::{GateOp, Netlist, Signal};
+use rand::Rng;
+
+/// Grid and connectivity parameters of a CGP chromosome.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct CgpParams {
+    /// Number of primary inputs.
+    pub num_inputs: usize,
+    /// Number of primary outputs.
+    pub num_outputs: usize,
+    /// Grid rows (`u`).
+    pub rows: usize,
+    /// Grid columns (`v`).
+    pub cols: usize,
+    /// Level-back parameter: a node in column `c` may read nodes from
+    /// columns `c - lback .. c` (primary inputs are always readable).
+    pub lback: usize,
+    /// Number of gate functions available to mutations (a prefix of
+    /// [`GateOp::ALL`]).
+    pub num_functions: usize,
+}
+
+impl CgpParams {
+    /// Total number of grid nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.rows * self.cols
+    }
+
+    /// Total gene count: three per node plus one per output.
+    pub fn num_genes(&self) -> usize {
+        3 * self.num_nodes() + self.num_outputs
+    }
+
+    fn validate(&self) {
+        assert!(self.rows > 0 && self.cols > 0, "empty grid");
+        assert!(self.lback > 0, "lback must be positive");
+        assert!(
+            (1..=GateOp::ALL.len()).contains(&self.num_functions),
+            "num_functions out of range"
+        );
+        assert!(self.num_outputs > 0, "need outputs");
+    }
+}
+
+/// A CGP chromosome: parameters plus the integer gene vector.
+///
+/// Source genes use the id space `0 .. num_inputs` for primary inputs and
+/// `num_inputs + node_index` for grid nodes (column-major order).
+///
+/// # Examples
+///
+/// ```
+/// use axmc_cgp::{Chromosome, CgpParams};
+/// use axmc_circuit::generators::ripple_carry_adder;
+///
+/// // Seed a chromosome from a golden adder and get the adder back.
+/// let golden = ripple_carry_adder(4);
+/// let chrom = Chromosome::from_netlist(&golden, 0);
+/// assert_eq!(chrom.decode().eval_binop(7, 8), 15);
+/// ```
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Chromosome {
+    params: CgpParams,
+    genes: Vec<u32>,
+}
+
+impl Chromosome {
+    /// Creates a random chromosome under the given parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the parameters are inconsistent.
+    pub fn random(params: CgpParams, rng: &mut impl Rng) -> Self {
+        params.validate();
+        let mut genes = Vec::with_capacity(params.num_genes());
+        for node in 0..params.num_nodes() {
+            let col = node / params.rows;
+            for _ in 0..2 {
+                genes.push(random_source(&params, col, rng));
+            }
+            genes.push(rng.gen_range(0..params.num_functions as u32));
+        }
+        for _ in 0..params.num_outputs {
+            genes.push(random_output_source(&params, rng));
+        }
+        Chromosome { params, genes }
+    }
+
+    /// Seeds a chromosome from an existing netlist, laid out as a
+    /// single-row grid (one column per gate) with full connectivity and
+    /// `extra_cols` spare columns of random neutral nodes appended.
+    ///
+    /// Constant fanins in the netlist are materialized as two leading
+    /// gates (`x0 XOR x0` for 0, `x0 XNOR x0` for 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the netlist has no inputs or outputs.
+    pub fn from_netlist(netlist: &Netlist, extra_cols: usize) -> Self {
+        assert!(netlist.num_inputs() > 0, "need primary inputs");
+        assert!(netlist.num_outputs() > 0, "need primary outputs");
+        let ni = netlist.num_inputs();
+        let uses_consts = netlist.gates().iter().any(|g| {
+            matches!(g.a, Signal::Const(_)) || matches!(g.b, Signal::Const(_))
+        }) || netlist
+            .outputs()
+            .iter()
+            .any(|o| matches!(o, Signal::Const(_)));
+        let const_gates = if uses_consts { 2 } else { 0 };
+        let cols = netlist.num_gates() + const_gates + extra_cols;
+        let params = CgpParams {
+            num_inputs: ni,
+            num_outputs: netlist.num_outputs(),
+            rows: 1,
+            cols,
+            lback: cols,
+            num_functions: GateOp::ALL.len(),
+        };
+
+        let mut genes: Vec<u32> = Vec::with_capacity(params.num_genes());
+        if uses_consts {
+            // Node 0: constant 0 = x0 XOR x0; node 1: constant 1 = x0 XNOR x0.
+            genes.extend([0, 0, func_index(GateOp::Xor)]);
+            genes.extend([0, 0, func_index(GateOp::Xnor)]);
+        }
+        let map_signal = |s: Signal| -> u32 {
+            match s {
+                Signal::Input(i) => i,
+                Signal::Gate(g) => (ni + const_gates + g as usize) as u32,
+                Signal::Const(false) => ni as u32,
+                Signal::Const(true) => (ni + 1) as u32,
+            }
+        };
+        for g in netlist.gates() {
+            genes.push(map_signal(g.a));
+            genes.push(map_signal(g.b));
+            genes.push(func_index(g.op));
+        }
+        // Neutral padding: wire spare nodes to input 0 as buffers.
+        for _ in 0..extra_cols {
+            genes.extend([0, 0, func_index(GateOp::Buf1)]);
+        }
+        for &o in netlist.outputs() {
+            genes.push(map_signal(o));
+        }
+        let chrom = Chromosome { params, genes };
+        debug_assert_eq!(chrom.genes.len(), params.num_genes());
+        chrom
+    }
+
+    /// The chromosome's parameters.
+    pub fn params(&self) -> &CgpParams {
+        &self.params
+    }
+
+    /// The raw gene vector.
+    pub fn genes(&self) -> &[u32] {
+        &self.genes
+    }
+
+    /// Decodes the chromosome into a gate-level netlist. All grid nodes
+    /// are materialized (in node-id order); inactive ones are simply not
+    /// reachable from the outputs.
+    pub fn decode(&self) -> Netlist {
+        let p = &self.params;
+        let mut nl = Netlist::new(p.num_inputs);
+        let to_signal = |src: u32| -> Signal {
+            if (src as usize) < p.num_inputs {
+                Signal::Input(src)
+            } else {
+                Signal::Gate(src - p.num_inputs as u32)
+            }
+        };
+        for node in 0..p.num_nodes() {
+            let a = to_signal(self.genes[3 * node]);
+            let b = to_signal(self.genes[3 * node + 1]);
+            let f = GateOp::ALL[self.genes[3 * node + 2] as usize % GateOp::ALL.len()];
+            nl.add_gate(f, a, b);
+        }
+        for k in 0..p.num_outputs {
+            nl.add_output(to_signal(self.genes[3 * p.num_nodes() + k]));
+        }
+        nl
+    }
+
+    /// Marks, per gene, whether it is *semantically active*: it belongs to
+    /// a node reachable from the outputs and (for input genes) is read by
+    /// that node's function. Output genes are always active.
+    pub fn active_genes(&self) -> Vec<bool> {
+        let p = &self.params;
+        let nn = p.num_nodes();
+        let mut node_active = vec![false; nn];
+        let mut stack: Vec<usize> = Vec::new();
+        let visit = |src: u32, stack: &mut Vec<usize>| {
+            if src as usize >= p.num_inputs {
+                stack.push(src as usize - p.num_inputs);
+            }
+        };
+        for k in 0..p.num_outputs {
+            visit(self.genes[3 * nn + k], &mut stack);
+        }
+        while let Some(n) = stack.pop() {
+            if std::mem::replace(&mut node_active[n], true) {
+                continue;
+            }
+            let f = GateOp::ALL[self.genes[3 * n + 2] as usize % GateOp::ALL.len()];
+            if f.uses_first_input() {
+                visit(self.genes[3 * n], &mut stack);
+            }
+            if f.uses_second_input() {
+                visit(self.genes[3 * n + 1], &mut stack);
+            }
+        }
+        let mut active = vec![false; p.num_genes()];
+        for n in 0..nn {
+            if node_active[n] {
+                let f = GateOp::ALL[self.genes[3 * n + 2] as usize % GateOp::ALL.len()];
+                active[3 * n] = f.uses_first_input();
+                active[3 * n + 1] = f.uses_second_input();
+                active[3 * n + 2] = true;
+            }
+        }
+        for k in 0..p.num_outputs {
+            active[3 * nn + k] = true;
+        }
+        active
+    }
+
+    /// Number of active grid nodes.
+    pub fn num_active_nodes(&self) -> usize {
+        let nn = self.params.num_nodes();
+        self.active_genes()[..3 * nn]
+            .chunks(3)
+            .filter(|c| c[2])
+            .count()
+    }
+
+    /// Mutates up to `max_mutations` uniformly chosen genes in place
+    /// (at least one), respecting grid/level-back constraints. Returns
+    /// `true` if any mutated gene was semantically active (the offspring
+    /// may behave differently from the parent).
+    pub fn mutate(&mut self, max_mutations: usize, rng: &mut impl Rng) -> bool {
+        let active = self.active_genes();
+        let count = rng.gen_range(1..=max_mutations.max(1));
+        let mut touched_active = false;
+        for _ in 0..count {
+            let pos = rng.gen_range(0..self.genes.len());
+            let new = self.resample_gene(pos, rng);
+            if self.genes[pos] != new {
+                touched_active |= active[pos];
+                self.genes[pos] = new;
+            }
+        }
+        touched_active
+    }
+
+    fn resample_gene(&self, pos: usize, rng: &mut impl Rng) -> u32 {
+        let p = &self.params;
+        let nn = p.num_nodes();
+        if pos >= 3 * nn {
+            return random_output_source(p, rng);
+        }
+        match pos % 3 {
+            2 => rng.gen_range(0..p.num_functions as u32),
+            _ => {
+                let node = pos / 3;
+                let col = node / p.rows;
+                random_source(p, col, rng)
+            }
+        }
+    }
+}
+
+fn func_index(op: GateOp) -> u32 {
+    GateOp::ALL
+        .iter()
+        .position(|&o| o == op)
+        .expect("op in table") as u32
+}
+
+/// A uniformly random legal source for a node in column `col`: any primary
+/// input, or any node in columns `col - lback .. col`.
+fn random_source(p: &CgpParams, col: usize, rng: &mut impl Rng) -> u32 {
+    let first_col = col.saturating_sub(p.lback);
+    let node_choices = (col - first_col) * p.rows;
+    let total = p.num_inputs + node_choices;
+    let pick = rng.gen_range(0..total);
+    if pick < p.num_inputs {
+        pick as u32
+    } else {
+        let node = first_col * p.rows + (pick - p.num_inputs);
+        (p.num_inputs + node) as u32
+    }
+}
+
+/// A uniformly random legal source for an output gene: any input or node.
+fn random_output_source(p: &CgpParams, rng: &mut impl Rng) -> u32 {
+    rng.gen_range(0..(p.num_inputs + p.num_nodes()) as u32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use axmc_circuit::generators;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn params() -> CgpParams {
+        CgpParams {
+            num_inputs: 4,
+            num_outputs: 2,
+            rows: 2,
+            cols: 6,
+            lback: 6,
+            num_functions: 9,
+        }
+    }
+
+    #[test]
+    fn random_chromosome_decodes() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..50 {
+            let c = Chromosome::random(params(), &mut rng);
+            let nl = c.decode();
+            assert_eq!(nl.num_inputs(), 4);
+            assert_eq!(nl.num_outputs(), 2);
+            assert_eq!(nl.num_gates(), 12);
+            // Must evaluate without panicking (topology respected).
+            let _ = nl.eval(&[true, false, true, false]);
+        }
+    }
+
+    #[test]
+    fn seeding_round_trips_behavior() {
+        for netlist in [
+            generators::ripple_carry_adder(4),
+            generators::array_multiplier(3),
+            generators::carry_select_adder(4, 2), // uses constants
+        ] {
+            let chrom = Chromosome::from_netlist(&netlist, 3);
+            let decoded = chrom.decode();
+            let w = netlist.num_inputs() / 2;
+            for a in 0..(1u128 << w) {
+                for b in 0..(1u128 << w) {
+                    assert_eq!(
+                        decoded.eval_binop(a, b),
+                        netlist.eval_binop(a, b),
+                        "{a} op {b}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn active_gene_count_tracks_netlist() {
+        let netlist = generators::ripple_carry_adder(4);
+        let chrom = Chromosome::from_netlist(&netlist, 5);
+        // Padding nodes are inactive.
+        assert_eq!(chrom.num_active_nodes(), netlist.num_active_gates());
+    }
+
+    #[test]
+    fn lback_constrains_sources() {
+        let p = CgpParams {
+            num_inputs: 2,
+            num_outputs: 1,
+            rows: 1,
+            cols: 10,
+            lback: 1,
+            num_functions: 9,
+        };
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..100 {
+            let c = Chromosome::random(p, &mut rng);
+            for node in 0..p.num_nodes() {
+                for g in 0..2 {
+                    let src = c.genes()[3 * node + g];
+                    if src as usize >= p.num_inputs {
+                        let src_node = src as usize - p.num_inputs;
+                        let src_col = src_node / p.rows;
+                        let col = node / p.rows;
+                        assert!(src_col < col && col - src_col <= p.lback);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mutation_changes_genes_and_reports_activity() {
+        let netlist = generators::ripple_carry_adder(3);
+        let base = Chromosome::from_netlist(&netlist, 0);
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut saw_active = false;
+        let mut saw_neutral = false;
+        for _ in 0..200 {
+            let mut c = base.clone();
+            let touched = c.mutate(2, &mut rng);
+            if touched {
+                saw_active = true;
+            } else {
+                // Neutral mutations must not change behavior.
+                let a = c.decode();
+                let b = base.decode();
+                for x in 0..8u128 {
+                    for y in 0..8u128 {
+                        assert_eq!(a.eval_binop(x, y), b.eval_binop(x, y));
+                    }
+                }
+                saw_neutral = true;
+            }
+        }
+        assert!(saw_active, "some mutations touch active genes");
+        // With zero padding almost everything is active, but inactive
+        // input genes of one-input functions can still absorb mutations.
+        let _ = saw_neutral;
+    }
+
+    #[test]
+    fn mutated_chromosomes_still_decode() {
+        let netlist = generators::array_multiplier(3);
+        let mut chrom = Chromosome::from_netlist(&netlist, 10);
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..500 {
+            chrom.mutate(5, &mut rng);
+            let nl = chrom.decode();
+            let _ = nl.eval_binop(3, 5); // no panic = constraints held
+        }
+    }
+
+    #[test]
+    fn output_genes_always_active() {
+        let c = Chromosome::random(params(), &mut StdRng::seed_from_u64(2));
+        let active = c.active_genes();
+        let nn = c.params().num_nodes();
+        for k in 0..c.params().num_outputs {
+            assert!(active[3 * nn + k]);
+        }
+    }
+}

@@ -1,0 +1,250 @@
+//! Parsing of the classic CGP configuration-file format.
+//!
+//! Evolution runs are traditionally parameterized by a small key/value
+//! file (`GENERATIONS 10000`, `MUTATION_MAX 12`, `# comment` …). This
+//! module parses that dialect into [`SearchOptions`] so existing
+//! experiment configurations can drive the verifiability-driven search
+//! unchanged.
+
+use crate::pareto::wcre_to_threshold;
+use crate::search::{SearchOptions, Verifier};
+use axmc_sat::Budget;
+use std::collections::HashMap;
+use std::fmt;
+use std::time::Duration;
+
+/// A parsed configuration: the search options plus run-level settings the
+/// options struct does not carry.
+#[derive(Clone, Debug)]
+pub struct RunConfig {
+    /// Options for a single evolutionary run.
+    pub options: SearchOptions,
+    /// Number of independent runs requested (`RUNS`).
+    pub runs: u64,
+    /// The error threshold as a percentage (`MAX_ERR_PERC`), kept for
+    /// reporting; `options.threshold` holds the absolute value.
+    pub wcre_percent: f64,
+    /// Declared primary output count (`PARAM_OUT`), used to convert the
+    /// relative error.
+    pub num_outputs: usize,
+    /// Keys present in the file that this implementation ignores (file
+    /// paths, logging detail) — surfaced so callers can warn.
+    pub ignored_keys: Vec<String>,
+}
+
+/// Error produced when parsing a configuration file fails.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseConfigError {
+    line: usize,
+    message: String,
+}
+
+impl ParseConfigError {
+    fn new(line: usize, message: impl Into<String>) -> Self {
+        ParseConfigError {
+            line,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for ParseConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "config parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseConfigError {}
+
+/// Keys that configure file paths or logging in the original tool; they
+/// do not affect the search itself.
+const PATH_KEYS: &[&str] = &[
+    "MODULE_NAME",
+    "WRITE_LOG",
+    "PARAM_LOG",
+    "LOG_F",
+    "CIRC_F",
+    "TECHLIB_F",
+    "GOLDEN_F",
+    "SUBTRACTOR_F",
+    "SEEDED",
+    "SEED_F",
+    "MAX_ALG_TIME",
+];
+
+/// Parses a classic CGP configuration file into a [`RunConfig`].
+///
+/// Recognized keys: `GENERATIONS`, `RUNS`, `MAX_ERR_PERC`, `PARAM_M`,
+/// `PARAM_N`, `L_BACK`, `PARAM_IN`, `PARAM_OUT`, `POP_MAX`,
+/// `MUTATION_MAX`, `FUNCTIONS`, `MAX_RUN_TIME`, `SAT_LIMIT`. Lines
+/// starting with `#` (or trailing `#` comments) are ignored; file-path
+/// and logging keys are accepted but reported in `ignored_keys`.
+///
+/// # Errors
+///
+/// Returns [`ParseConfigError`] on malformed lines, non-numeric values
+/// or unknown keys.
+///
+/// # Examples
+///
+/// ```
+/// use axmc_cgp::parse_config;
+///
+/// let text = "GENERATIONS 500\nRUNS 3\nMAX_ERR_PERC 10\nPARAM_OUT 8\nPOP_MAX 4\n";
+/// let cfg = parse_config(text)?;
+/// assert_eq!(cfg.runs, 3);
+/// assert_eq!(cfg.options.max_generations, 500);
+/// assert_eq!(cfg.options.population, 4);
+/// # Ok::<(), axmc_cgp::ParseConfigError>(())
+/// ```
+pub fn parse_config(text: &str) -> Result<RunConfig, ParseConfigError> {
+    let mut values: HashMap<String, (usize, String)> = HashMap::new();
+    let mut ignored: Vec<String> = Vec::new();
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let key = parts.next().expect("nonempty line").to_uppercase();
+        let value: String = parts.collect::<Vec<_>>().join(" ");
+        if value.is_empty() {
+            return Err(ParseConfigError::new(lineno + 1, format!("key '{key}' has no value")));
+        }
+        if PATH_KEYS.contains(&key.as_str()) {
+            ignored.push(key);
+            continue;
+        }
+        values.insert(key, (lineno + 1, value));
+    }
+
+    let mut take_num = |key: &str, default: f64| -> Result<f64, ParseConfigError> {
+        match values.remove(key) {
+            None => Ok(default),
+            Some((line, v)) => v
+                .parse()
+                .map_err(|_| ParseConfigError::new(line, format!("invalid number '{v}' for {key}"))),
+        }
+    };
+
+    let generations = take_num("GENERATIONS", 10_000.0)? as u64;
+    let runs = take_num("RUNS", 1.0)? as u64;
+    let wcre_percent = take_num("MAX_ERR_PERC", 0.0)?;
+    let num_outputs = take_num("PARAM_OUT", 0.0)? as usize;
+    let population = take_num("POP_MAX", 4.0)? as usize;
+    let mutation_max = take_num("MUTATION_MAX", 8.0)? as usize;
+    let run_time = take_num("MAX_RUN_TIME", 120.0)?;
+    let sat_limit = take_num("SAT_LIMIT", 20_000.0)? as u64;
+    // Grid geometry keys are accepted for compatibility; the seeded
+    // layout used here derives its own grid from the golden circuit.
+    let _ = take_num("PARAM_M", 0.0)?;
+    let _ = take_num("PARAM_N", 0.0)?;
+    let _ = take_num("L_BACK", 0.0)?;
+    let _ = take_num("PARAM_IN", 0.0)?;
+    let _ = take_num("FUNCTIONS", 9.0)?;
+
+    if let Some((key, (line, _))) = values.into_iter().next() {
+        return Err(ParseConfigError::new(line, format!("unknown key '{key}'")));
+    }
+
+    let threshold = if num_outputs > 0 {
+        wcre_to_threshold(wcre_percent, num_outputs)
+    } else {
+        0
+    };
+    Ok(RunConfig {
+        options: SearchOptions {
+            threshold,
+            population,
+            max_mutations: mutation_max.max(1),
+            max_generations: generations,
+            time_limit: Duration::from_secs_f64(run_time.max(0.0)),
+            verifier: Verifier::Sat {
+                budget: Budget::unlimited().with_conflicts(sat_limit),
+            },
+            ..SearchOptions::default()
+        },
+        runs: runs.max(1),
+        wcre_percent,
+        num_outputs,
+        ignored_keys: ignored,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The example configuration from the literature (Appendix A style).
+    const SAMPLE: &str = "\
+GENERATIONS 10000 # number of generations in each CGP run
+RUNS          10    # number of CGP runs executed
+MAX_ERR_PERC 10     # max percentual error of a candidate solution
+
+PARAM_M 600         # number of collumns
+PARAM_N 1           # number of rows
+L_BACK 600          # level back connectivity
+PARAM_IN  20        # number of primary inputs
+PARAM_OUT 20        # number of primary outputs
+POP_MAX 2           # maximal size of population
+MUTATION_MAX 12     # maximum number of geners altered in one generation
+FUNCTIONS 9         # 1-9 functions used to create the candidate solution
+
+MODULE_NAME multABC
+WRITE_LOG  1
+PARAM_LOG 20000
+LOG_F ../log/perf.log
+CIRC_F ../log/circ
+TECHLIB_F ../synthesis/gscl45nm.lib
+MAX_RUN_TIME 7200
+SEEDED 1
+SEED_F ../synthesis/mult10/mult10.chr
+GOLDEN_F ../synthesis/mult10/mult10_synth_rmc.v
+SUBTRACTOR_F ../synthesis/sub20/sub20_synth_rmc.v
+";
+
+    #[test]
+    fn parses_the_classic_sample() {
+        let cfg = parse_config(SAMPLE).unwrap();
+        assert_eq!(cfg.runs, 10);
+        assert_eq!(cfg.options.max_generations, 10_000);
+        assert_eq!(cfg.options.population, 2);
+        assert_eq!(cfg.options.max_mutations, 12);
+        assert_eq!(cfg.options.time_limit, Duration::from_secs(7200));
+        assert_eq!(cfg.wcre_percent, 10.0);
+        assert_eq!(cfg.num_outputs, 20);
+        // 10% of 2^20.
+        assert_eq!(cfg.options.threshold, (1u128 << 20) / 10);
+        assert!(cfg.ignored_keys.iter().any(|k| k == "SEED_F"));
+    }
+
+    #[test]
+    fn defaults_apply() {
+        let cfg = parse_config("MAX_ERR_PERC 5\nPARAM_OUT 8\n").unwrap();
+        assert_eq!(cfg.runs, 1);
+        assert_eq!(cfg.options.max_generations, 10_000);
+        assert_eq!(cfg.options.threshold, wcre_to_threshold(5.0, 8));
+    }
+
+    #[test]
+    fn rejects_unknown_keys_and_bad_values() {
+        assert!(parse_config("BOGUS_KEY 7\n").is_err());
+        assert!(parse_config("GENERATIONS lots\n").is_err());
+        assert!(parse_config("GENERATIONS\n").is_err());
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let cfg = parse_config("# a header\n\nRUNS 2 # trailing\n").unwrap();
+        assert_eq!(cfg.runs, 2);
+    }
+
+    #[test]
+    fn sat_limit_feeds_the_budget() {
+        let cfg = parse_config("SAT_LIMIT 1000\nPARAM_OUT 4\nMAX_ERR_PERC 1\n").unwrap();
+        match cfg.options.verifier {
+            Verifier::Sat { budget } => assert_eq!(budget.max_conflicts(), Some(1000)),
+            _ => panic!("expected SAT verifier"),
+        }
+    }
+}

@@ -1,0 +1,53 @@
+//! Cartesian Genetic Programming with a verifiability-driven search
+//! strategy, for synthesizing approximate circuits with **formal error
+//! guarantees**.
+//!
+//! The synthesis loop pairs the classic `1+λ` CGP scheme with the formal
+//! error-determination machinery of [`axmc_core`]:
+//!
+//! 1. seed the chromosome with the golden circuit;
+//! 2. mutate; skip evaluation entirely for *neutral* mutations and for
+//!    candidates whose estimated area cannot improve on the best;
+//! 3. accept a candidate only when a **conflict-budgeted** SAT call proves
+//!    its worst-case error within the threshold (`UNSAT` threshold miter);
+//!    budget exhaustion counts as rejection.
+//!
+//! Step 3 is the verifiability-driven twist: rather than spending minutes
+//! verifying hard candidates, the search discards them and follows
+//! lineages that stay cheap to verify — every accepted circuit carries a
+//! formal worst-case-error certificate by construction.
+//!
+//! # Examples
+//!
+//! ```
+//! use axmc_circuit::generators::ripple_carry_adder;
+//! use axmc_cgp::{evolve, SearchOptions};
+//! use std::time::Duration;
+//!
+//! let golden = ripple_carry_adder(4);
+//! let options = SearchOptions {
+//!     threshold: 2, // worst-case error of at most 2 LSBs, guaranteed
+//!     max_generations: 200,
+//!     time_limit: Duration::from_secs(5),
+//!     ..SearchOptions::default()
+//! };
+//! let result = evolve(&golden, &options);
+//! println!(
+//!     "area {:.1} -> {:.1} µm² ({} improvements)",
+//!     result.golden_area, result.area, result.stats.improvements
+//! );
+//! ```
+
+mod chromosome;
+mod config;
+mod pareto;
+mod search;
+mod seq_search;
+
+pub use crate::chromosome::{CgpParams, Chromosome};
+pub use crate::config::{parse_config, ParseConfigError, RunConfig};
+pub use crate::pareto::{
+    non_dominated, pareto_front, threshold_to_wcre, wcre_to_threshold, ParetoPoint,
+};
+pub use crate::search::{evolve, SearchOptions, SearchResult, SearchStats, Verifier};
+pub use crate::seq_search::{evolve_in_context, SequentialContext};

@@ -1,0 +1,139 @@
+//! Pareto-front construction over error/area trade-offs.
+//!
+//! One evolutionary run produces a single circuit meeting one error
+//! threshold; a Pareto set is assembled from runs at a spread of
+//! thresholds (single-objective optimization per point, which outperforms
+//! multi-objective search for this problem).
+
+use crate::search::{evolve, SearchOptions, SearchResult};
+use axmc_circuit::Netlist;
+
+/// One point of an error/area Pareto set.
+#[derive(Clone, Debug)]
+pub struct ParetoPoint {
+    /// Absolute worst-case-error threshold used for the run.
+    pub threshold: u128,
+    /// The threshold as worst-case *relative* error in percent
+    /// (`threshold / 2^output_bits * 100`).
+    pub wcre_percent: f64,
+    /// The run's result.
+    pub result: SearchResult,
+}
+
+/// Converts a worst-case relative error (in percent of the output range
+/// `2^output_bits`) into an absolute threshold.
+///
+/// # Examples
+///
+/// ```
+/// use axmc_cgp::wcre_to_threshold;
+///
+/// assert_eq!(wcre_to_threshold(50.0, 8), 128);
+/// assert_eq!(wcre_to_threshold(0.1, 16), 65);
+/// ```
+pub fn wcre_to_threshold(percent: f64, output_bits: usize) -> u128 {
+    let range = 2f64.powi(output_bits as i32);
+    (percent / 100.0 * range).floor() as u128
+}
+
+/// Converts an absolute threshold back to a relative error in percent.
+pub fn threshold_to_wcre(threshold: u128, output_bits: usize) -> f64 {
+    threshold as f64 / 2f64.powi(output_bits as i32) * 100.0
+}
+
+/// Runs one evolution per threshold and returns the resulting points
+/// (in the thresholds' order). Each run uses `base` with the threshold
+/// and a per-run seed derived from `base.seed`.
+pub fn pareto_front(
+    golden: &Netlist,
+    thresholds: &[u128],
+    base: &SearchOptions,
+) -> Vec<ParetoPoint> {
+    let output_bits = golden.num_outputs();
+    thresholds
+        .iter()
+        .enumerate()
+        .map(|(i, &threshold)| {
+            let options = SearchOptions {
+                threshold,
+                seed: base.seed.wrapping_add(i as u64),
+                ..base.clone()
+            };
+            ParetoPoint {
+                threshold,
+                wcre_percent: threshold_to_wcre(threshold, output_bits),
+                result: evolve(golden, &options),
+            }
+        })
+        .collect()
+}
+
+/// Filters a set of `(error, area)` points down to the non-dominated
+/// subset, sorted by error. A point dominates another if it is no worse
+/// in both coordinates and better in at least one.
+pub fn non_dominated(points: &[(u128, f64)]) -> Vec<(u128, f64)> {
+    let mut sorted: Vec<(u128, f64)> = points.to_vec();
+    sorted.sort_by(|a, b| a.0.cmp(&b.0).then(a.1.partial_cmp(&b.1).expect("no NaN areas")));
+    let mut front: Vec<(u128, f64)> = Vec::new();
+    let mut best_area = f64::INFINITY;
+    for (err, area) in sorted {
+        if area < best_area {
+            front.push((err, area));
+            best_area = area;
+        }
+    }
+    front
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use axmc_circuit::generators;
+    use std::time::Duration;
+
+    #[test]
+    fn wcre_conversions_round_trip() {
+        for bits in [8usize, 16, 20] {
+            for pct in [0.1f64, 1.0, 10.0, 20.0] {
+                let t = wcre_to_threshold(pct, bits);
+                let back = threshold_to_wcre(t, bits);
+                // Flooring to an integer threshold quantizes the percent
+                // to steps of 100 / 2^bits.
+                let granularity = 100.0 / 2f64.powi(bits as i32);
+                assert!((back - pct).abs() <= granularity, "{pct}% {bits}b");
+            }
+        }
+    }
+
+    #[test]
+    fn non_dominated_filters() {
+        let pts = [(1u128, 10.0), (2, 8.0), (2, 9.0), (3, 8.0), (4, 5.0), (0, 12.0)];
+        let front = non_dominated(&pts);
+        assert_eq!(front, vec![(0, 12.0), (1, 10.0), (2, 8.0), (4, 5.0)]);
+    }
+
+    #[test]
+    fn pareto_front_produces_points_in_bound() {
+        let golden = generators::ripple_carry_adder(4);
+        let base = SearchOptions {
+            population: 4,
+            max_mutations: 4,
+            max_generations: 150,
+            time_limit: Duration::from_secs(20),
+            extra_cols: 2,
+            ..SearchOptions::default()
+        };
+        let points = pareto_front(&golden, &[1, 7], &base);
+        assert_eq!(points.len(), 2);
+        for p in &points {
+            // Every point's circuit respects its threshold (exhaustive).
+            for a in 0..16u128 {
+                for b in 0..16u128 {
+                    let g = golden.eval_binop(a, b);
+                    let c = p.result.netlist.eval_binop(a, b);
+                    assert!(g.abs_diff(c) <= p.threshold);
+                }
+            }
+        }
+    }
+}

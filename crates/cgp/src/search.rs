@@ -1,0 +1,390 @@
+//! The verifiability-driven evolutionary search.
+//!
+//! The loop follows the scheme: seed with the golden circuit, mutate the
+//! best-so-far, and accept a candidate only when a **resource-limited**
+//! SAT call proves `WCE(G, C) <= T` (an `UNSAT` miter). Candidates whose
+//! verification exhausts the budget are discarded outright — the search is
+//! thereby driven toward *promptly verifiable* circuits, which is what
+//! makes the method scale.
+//!
+//! Two cheap filters run before any SAT call: candidates produced by
+//! purely neutral mutations inherit the parent's verdict, and candidates
+//! whose estimated area is no better than the current best are discarded
+//! without building a miter.
+
+use crate::chromosome::Chromosome;
+use axmc_aig::Aig;
+use axmc_circuit::{AreaModel, Netlist};
+use axmc_cnf::encode_comb;
+use axmc_core::exhaustive_stats;
+use axmc_miter::diff_threshold_miter;
+use axmc_sat::{Budget, SolveResult};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::{Duration, Instant};
+
+/// How a candidate's error constraint is checked.
+#[derive(Clone, Copy, Debug)]
+pub enum Verifier {
+    /// Resource-limited SAT on the threshold miter (the proposed method).
+    /// `Unknown` verdicts are treated as rejection.
+    Sat {
+        /// Budget per verification call.
+        budget: Budget,
+    },
+    /// Exhaustive 64-way-parallel simulation of all input assignments
+    /// (the conventional CGP fitness evaluation; exact but exponential).
+    Simulation,
+}
+
+/// Configuration of one evolutionary run.
+#[derive(Clone, Debug)]
+pub struct SearchOptions {
+    /// Worst-case-error threshold `T` (absolute, in output LSBs).
+    pub threshold: u128,
+    /// Offspring per generation (the `λ` of `1+λ`).
+    pub population: usize,
+    /// Maximum genes mutated per offspring.
+    pub max_mutations: usize,
+    /// Stop after this many generations.
+    pub max_generations: u64,
+    /// Stop after this wall-clock time.
+    pub time_limit: Duration,
+    /// The verification strategy.
+    pub verifier: Verifier,
+    /// Gate-area table used for the area fitness.
+    pub area_model: AreaModel,
+    /// RNG seed (runs are deterministic given the seed).
+    pub seed: u64,
+    /// Spare grid columns appended to the seed layout.
+    pub extra_cols: usize,
+}
+
+impl Default for SearchOptions {
+    fn default() -> Self {
+        SearchOptions {
+            threshold: 0,
+            population: 4,
+            max_mutations: 8,
+            max_generations: 10_000,
+            time_limit: Duration::from_secs(60),
+            verifier: Verifier::Sat {
+                budget: Budget::unlimited().with_conflicts(20_000),
+            },
+            area_model: AreaModel::nm45(),
+            seed: 1,
+            extra_cols: 0,
+        }
+    }
+}
+
+/// Counters describing one evolutionary run.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct SearchStats {
+    /// Generations executed.
+    pub generations: u64,
+    /// Offspring produced.
+    pub offspring: u64,
+    /// Offspring absorbed as neutral mutations (no evaluation needed).
+    pub skipped_neutral: u64,
+    /// Offspring discarded by the area filter (no verification needed).
+    pub skipped_area: u64,
+    /// Verifier invocations.
+    pub verifier_calls: u64,
+    /// Verifier said the error bound holds (UNSAT miter).
+    pub verified_ok: u64,
+    /// Verifier found a violating input (SAT miter).
+    pub verified_violation: u64,
+    /// Verifier ran out of resources (candidate discarded).
+    pub verified_timeout: u64,
+    /// Accepted improvements (new best).
+    pub improvements: u64,
+    /// `(generation, estimated area)` at every improvement.
+    pub area_history: Vec<(u64, f64)>,
+    /// Total wall-clock of the run.
+    pub elapsed: Duration,
+}
+
+impl SearchStats {
+    /// Offspring evaluated per second (including skipped ones).
+    pub fn evals_per_sec(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs == 0.0 {
+            0.0
+        } else {
+            self.offspring as f64 / secs
+        }
+    }
+}
+
+/// The outcome of one evolutionary run.
+#[derive(Clone, Debug)]
+pub struct SearchResult {
+    /// The best chromosome found.
+    pub best: Chromosome,
+    /// Its decoded, compacted netlist.
+    pub netlist: Netlist,
+    /// Its estimated area under the run's area model.
+    pub area: f64,
+    /// The golden circuit's estimated area (for relative reporting).
+    pub golden_area: f64,
+    /// Run counters.
+    pub stats: SearchStats,
+}
+
+impl SearchResult {
+    /// Area of the result relative to the golden circuit (1.0 = no saving).
+    pub fn relative_area(&self) -> f64 {
+        if self.golden_area == 0.0 {
+            1.0
+        } else {
+            self.area / self.golden_area
+        }
+    }
+}
+
+/// Runs the verifiability-driven search: approximates `golden` down to the
+/// smallest circuit found whose worst-case error provably stays within
+/// `options.threshold`.
+///
+/// The search is seeded with the golden circuit itself, so every
+/// intermediate best is a *verified* approximation.
+///
+/// # Examples
+///
+/// ```
+/// use axmc_circuit::generators::ripple_carry_adder;
+/// use axmc_cgp::{evolve, SearchOptions};
+/// use std::time::Duration;
+///
+/// let golden = ripple_carry_adder(4);
+/// let options = SearchOptions {
+///     threshold: 3,
+///     max_generations: 300,
+///     time_limit: Duration::from_secs(10),
+///     ..SearchOptions::default()
+/// };
+/// let result = evolve(&golden, &options);
+/// assert!(result.area <= result.golden_area);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `golden` has no inputs or outputs.
+pub fn evolve(golden: &Netlist, options: &SearchOptions) -> SearchResult {
+    let start = Instant::now();
+    let mut rng = StdRng::seed_from_u64(options.seed);
+    let golden_aig = golden.to_aig().compact();
+    let golden_area = golden.area(&options.area_model);
+
+    let mut best = Chromosome::from_netlist(golden, options.extra_cols);
+    let mut best_area = golden_area;
+    let mut stats = SearchStats::default();
+
+    'outer: for generation in 0..options.max_generations {
+        if start.elapsed() >= options.time_limit {
+            break;
+        }
+        stats.generations = generation + 1;
+        for _ in 0..options.population {
+            if start.elapsed() >= options.time_limit {
+                break 'outer;
+            }
+            stats.offspring += 1;
+            let mut child = best.clone();
+            let touched_active = child.mutate(options.max_mutations, &mut rng);
+
+            if !touched_active {
+                // Neutral drift: same behavior, same area; adopt to move
+                // through the neutral landscape without re-evaluation.
+                stats.skipped_neutral += 1;
+                best = child;
+                continue;
+            }
+            let netlist = child.decode();
+            let area = netlist.area(&options.area_model);
+            if area > best_area {
+                stats.skipped_area += 1;
+                continue;
+            }
+            stats.verifier_calls += 1;
+            match verify(&golden_aig, &netlist, options) {
+                Verdict::WithinBound => {
+                    let improved = area < best_area;
+                    best = child;
+                    best_area = area;
+                    if improved {
+                        stats.improvements += 1;
+                        stats.area_history.push((generation, area));
+                    }
+                    stats.verified_ok += 1;
+                }
+                Verdict::Violation => stats.verified_violation += 1,
+                Verdict::ResourceLimit => stats.verified_timeout += 1,
+            }
+        }
+    }
+    stats.elapsed = start.elapsed();
+    let netlist = best.decode().compact();
+    SearchResult {
+        best,
+        netlist,
+        area: best_area,
+        golden_area,
+        stats,
+    }
+}
+
+enum Verdict {
+    WithinBound,
+    Violation,
+    ResourceLimit,
+}
+
+fn verify(golden_aig: &Aig, candidate: &Netlist, options: &SearchOptions) -> Verdict {
+    match options.verifier {
+        Verifier::Sat { budget } => {
+            let cand_aig = candidate.to_aig();
+            let miter = diff_threshold_miter(golden_aig, &cand_aig, options.threshold);
+            let (mut solver, enc) = encode_comb(&miter);
+            solver.set_budget(budget);
+            match solver.solve_with_assumptions(&[enc.outputs[0]]) {
+                SolveResult::Unsat => Verdict::WithinBound,
+                SolveResult::Sat => Verdict::Violation,
+                SolveResult::Unknown => Verdict::ResourceLimit,
+            }
+        }
+        Verifier::Simulation => {
+            let cand_aig = candidate.to_aig();
+            let stats = exhaustive_stats(golden_aig, &cand_aig);
+            if stats.wce <= options.threshold {
+                Verdict::WithinBound
+            } else {
+                Verdict::Violation
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use axmc_circuit::generators;
+
+    fn quick_options(threshold: u128) -> SearchOptions {
+        SearchOptions {
+            threshold,
+            population: 4,
+            max_mutations: 4,
+            max_generations: 400,
+            time_limit: Duration::from_secs(30),
+            seed: 5,
+            extra_cols: 4,
+            ..SearchOptions::default()
+        }
+    }
+
+    /// The invariant the whole method rests on: the final circuit's true
+    /// worst-case error never exceeds the threshold.
+    fn assert_result_within(golden: &Netlist, result: &SearchResult, threshold: u128) {
+        let width = golden.num_inputs() / 2;
+        for a in 0..(1u128 << width) {
+            for b in 0..(1u128 << width) {
+                let g = golden.eval_binop(a, b);
+                let c = result.netlist.eval_binop(a, b);
+                assert!(
+                    g.abs_diff(c) <= threshold,
+                    "violation at {a},{b}: {g} vs {c}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn evolve_shrinks_adder_within_bound() {
+        let golden = generators::ripple_carry_adder(4);
+        let result = evolve(&golden, &quick_options(3));
+        assert!(result.area < result.golden_area, "no reduction achieved");
+        assert_result_within(&golden, &result, 3);
+        assert!(result.stats.improvements > 0);
+        assert!(result.stats.verifier_calls > 0);
+    }
+
+    #[test]
+    fn zero_threshold_preserves_exactness() {
+        let golden = generators::ripple_carry_adder(3);
+        let result = evolve(&golden, &quick_options(0));
+        assert_result_within(&golden, &result, 0);
+    }
+
+    #[test]
+    fn simulation_verifier_agrees_with_sat() {
+        let golden = generators::ripple_carry_adder(3);
+        let mut opts = quick_options(2);
+        opts.verifier = Verifier::Simulation;
+        let result = evolve(&golden, &opts);
+        assert_result_within(&golden, &result, 2);
+    }
+
+    #[test]
+    fn stats_are_consistent() {
+        let golden = generators::ripple_carry_adder(4);
+        let opts = quick_options(5);
+        let result = evolve(&golden, &opts);
+        let s = &result.stats;
+        assert_eq!(
+            s.offspring,
+            s.skipped_neutral
+                + s.skipped_area
+                + s.verifier_calls
+        );
+        assert_eq!(
+            s.verifier_calls,
+            s.verified_ok + s.verified_violation + s.verified_timeout
+        );
+        assert!(s.evals_per_sec() > 0.0);
+        // Area history is decreasing.
+        for w in s.area_history.windows(2) {
+            assert!(w[1].1 < w[0].1);
+        }
+    }
+
+    #[test]
+    fn determinism_given_seed() {
+        let golden = generators::ripple_carry_adder(3);
+        let mut opts = quick_options(2);
+        opts.max_generations = 100;
+        opts.time_limit = Duration::from_secs(600); // generations bound only
+        let a = evolve(&golden, &opts);
+        let b = evolve(&golden, &opts);
+        assert_eq!(a.best.genes(), b.best.genes());
+        assert_eq!(a.area, b.area);
+    }
+
+    #[test]
+    fn tight_budget_rejects_instead_of_stalling() {
+        let golden = generators::array_multiplier(3);
+        let mut opts = quick_options(8);
+        opts.max_generations = 60;
+        opts.verifier = Verifier::Sat {
+            budget: Budget::unlimited().with_conflicts(1).with_propagations(100),
+        };
+        let result = evolve(&golden, &opts);
+        // With such a tiny budget, most non-trivial verifications time out;
+        // the run must still terminate quickly and keep a valid best.
+        assert_result_within(&golden, &result, 8);
+    }
+
+    #[test]
+    fn results_never_exceed_golden_area() {
+        // The area filter makes "never worse than the seed" a hard
+        // invariant regardless of threshold (trajectories are stochastic,
+        // so cross-threshold comparisons are only statistical).
+        let golden = generators::ripple_carry_adder(4);
+        for threshold in [1, 15] {
+            let r = evolve(&golden, &quick_options(threshold));
+            assert!(r.area <= r.golden_area + 1e-9, "threshold {threshold}");
+            assert_result_within(&golden, &r, threshold);
+        }
+    }
+}

@@ -1,0 +1,245 @@
+//! Verifiability-driven search against a **system-level** error bound.
+//!
+//! The plain search ([`crate::evolve`]) bounds the candidate component's
+//! own worst-case error. This variant bounds the error of the *sequential
+//! system the component is embedded in*: every accepted candidate carries
+//! a BMC certificate that the full design's output error stays within the
+//! threshold for all input sequences up to the horizon. Masking inside
+//! the system is thereby exploited automatically — a component can be
+//! much sloppier (and smaller) when the surrounding design hides most of
+//! its error.
+
+use crate::chromosome::Chromosome;
+use crate::search::{SearchOptions, SearchResult, SearchStats};
+use axmc_aig::Aig;
+use axmc_circuit::Netlist;
+use axmc_mc::{Bmc, BmcResult};
+use axmc_miter::sequential_diff_miter;
+use axmc_sat::Budget;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Instant;
+
+/// The sequential embedding a candidate is judged in.
+pub struct SequentialContext<'a> {
+    /// Builds the sequential system around a component netlist. Must
+    /// produce the same interface for every interface-compatible
+    /// component (the templates in `axmc-seq` all qualify).
+    pub build: &'a dyn Fn(&Netlist) -> Aig,
+    /// BMC horizon: the error bound is certified for all input sequences
+    /// of up to `horizon + 1` cycles.
+    pub horizon: usize,
+    /// Budget per BMC verification call (budget exhaustion rejects the
+    /// candidate, as in the combinational loop).
+    pub budget: Budget,
+}
+
+/// Runs the verifiability-driven search with **system-level** acceptance:
+/// a candidate component is accepted only when BMC proves the embedded
+/// system's worst-case output error within `options.threshold` up to the
+/// context's horizon.
+///
+/// `options.verifier` is ignored (verification is defined by `context`).
+///
+/// # Examples
+///
+/// ```
+/// use axmc_circuit::generators::ripple_carry_adder;
+/// use axmc_cgp::{evolve_in_context, SearchOptions, SequentialContext};
+/// use axmc_sat::Budget;
+/// use std::time::Duration;
+///
+/// let golden = ripple_carry_adder(4);
+/// let context = SequentialContext {
+///     build: &|component| axmc_seq::accumulator(component, 4),
+///     horizon: 3,
+///     budget: Budget::unlimited().with_conflicts(20_000),
+/// };
+/// let options = SearchOptions {
+///     threshold: 6, // accumulated output error, not component error
+///     max_generations: 150,
+///     time_limit: Duration::from_secs(10),
+///     ..SearchOptions::default()
+/// };
+/// let result = evolve_in_context(&golden, &context, &options);
+/// assert!(result.area <= result.golden_area);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `golden` has no inputs or outputs.
+pub fn evolve_in_context(
+    golden: &Netlist,
+    context: &SequentialContext<'_>,
+    options: &SearchOptions,
+) -> SearchResult {
+    let start = Instant::now();
+    let mut rng = StdRng::seed_from_u64(options.seed);
+    let golden_system = (context.build)(golden).compact();
+    let golden_area = golden.area(&options.area_model);
+
+    let mut best = Chromosome::from_netlist(golden, options.extra_cols);
+    let mut best_area = golden_area;
+    let mut stats = SearchStats::default();
+
+    'outer: for generation in 0..options.max_generations {
+        if start.elapsed() >= options.time_limit {
+            break;
+        }
+        stats.generations = generation + 1;
+        for _ in 0..options.population {
+            if start.elapsed() >= options.time_limit {
+                break 'outer;
+            }
+            stats.offspring += 1;
+            let mut child = best.clone();
+            let touched_active = child.mutate(options.max_mutations, &mut rng);
+            if !touched_active {
+                stats.skipped_neutral += 1;
+                best = child;
+                continue;
+            }
+            let netlist = child.decode();
+            let area = netlist.area(&options.area_model);
+            if area > best_area {
+                stats.skipped_area += 1;
+                continue;
+            }
+            stats.verifier_calls += 1;
+            let system = (context.build)(&netlist);
+            let miter = sequential_diff_miter(&golden_system, &system, options.threshold);
+            let mut bmc = Bmc::new(&miter);
+            bmc.set_budget(context.budget);
+            match bmc.check_any_up_to(context.horizon) {
+                BmcResult::Clear => {
+                    let improved = area < best_area;
+                    best = child;
+                    best_area = area;
+                    if improved {
+                        stats.improvements += 1;
+                        stats.area_history.push((generation, area));
+                    }
+                    stats.verified_ok += 1;
+                }
+                BmcResult::Cex(_) => stats.verified_violation += 1,
+                BmcResult::Unknown => stats.verified_timeout += 1,
+            }
+        }
+    }
+    stats.elapsed = start.elapsed();
+    let netlist = best.decode().compact();
+    SearchResult {
+        best,
+        netlist,
+        area: best_area,
+        golden_area,
+        stats,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use axmc_circuit::generators;
+    use axmc_mc::Trace;
+    use std::time::Duration;
+
+    fn options(threshold: u128, generations: u64) -> SearchOptions {
+        SearchOptions {
+            threshold,
+            population: 4,
+            max_mutations: 4,
+            max_generations: generations,
+            time_limit: Duration::from_secs(30),
+            seed: 31,
+            extra_cols: 2,
+            ..SearchOptions::default()
+        }
+    }
+
+    /// Brute-force system WCE over all input sequences of length `k + 1`
+    /// (`in_bits` = the system's per-cycle input width).
+    fn brute_system_wce(golden: &Aig, system: &Aig, in_bits: usize, k: usize) -> u128 {
+        assert_eq!(golden.num_inputs(), in_bits);
+        let mut worst = 0u128;
+        let seqs = 1u64 << (in_bits * (k + 1));
+        for s in 0..seqs {
+            let inputs: Vec<Vec<bool>> = (0..=k)
+                .map(|step| {
+                    (0..in_bits)
+                        .map(|i| (s >> (step * in_bits + i)) & 1 == 1)
+                        .collect()
+                })
+                .collect();
+            let trace = Trace { inputs };
+            let og = trace.replay(golden);
+            let oc = trace.replay(system);
+            for (g, c) in og.iter().zip(&oc) {
+                worst = worst.max(
+                    axmc_aig::bits_to_u128(g).abs_diff(axmc_aig::bits_to_u128(c)),
+                );
+            }
+        }
+        worst
+    }
+
+    #[test]
+    fn system_certificate_holds() {
+        let width = 3;
+        let horizon = 2;
+        let threshold = 4u128;
+        let golden = generators::ripple_carry_adder(width);
+        let context = SequentialContext {
+            build: &|c| axmc_seq::accumulator(c, width),
+            horizon,
+            budget: Budget::unlimited().with_conflicts(20_000),
+        };
+        let result = evolve_in_context(&golden, &context, &options(threshold, 250));
+        // Independent brute-force check of the certificate.
+        let golden_system = axmc_seq::accumulator(&golden, width);
+        let evolved_system = axmc_seq::accumulator(&result.netlist, width);
+        let wce = brute_system_wce(&golden_system, &evolved_system, width, horizon);
+        assert!(wce <= threshold, "system WCE {wce} exceeds {threshold}");
+        assert!(result.area <= result.golden_area + 1e-9);
+    }
+
+    #[test]
+    fn masking_allows_more_reduction_than_component_bound() {
+        // In the registered ALU the system error equals the component
+        // error, so the two searches are directly comparable; in the
+        // accumulator a given system budget over k cycles is *tighter*
+        // than the same component budget (errors add). This test only
+        // pins the soundness direction: the evolved system never violates.
+        let width = 2; // ALU takes 2*width inputs per cycle
+        let golden = generators::ripple_carry_adder(width);
+        let context = SequentialContext {
+            build: &|c| axmc_seq::registered_alu(c, width),
+            horizon: 2,
+            budget: Budget::unlimited().with_conflicts(20_000),
+        };
+        let threshold = 1;
+        let result = evolve_in_context(&golden, &context, &options(threshold, 200));
+        let golden_system = axmc_seq::registered_alu(&golden, width);
+        let evolved_system = axmc_seq::registered_alu(&result.netlist, width);
+        let wce = brute_system_wce(&golden_system, &evolved_system, 2 * width, 2);
+        assert!(wce <= threshold);
+    }
+
+    #[test]
+    fn zero_threshold_keeps_equivalence() {
+        let width = 3;
+        let golden = generators::ripple_carry_adder(width);
+        let context = SequentialContext {
+            build: &|c| axmc_seq::accumulator(c, width),
+            horizon: 2,
+            budget: Budget::unlimited(),
+        };
+        let result = evolve_in_context(&golden, &context, &options(0, 120));
+        let golden_system = axmc_seq::accumulator(&golden, width);
+        let evolved_system = axmc_seq::accumulator(&result.netlist, width);
+        assert_eq!(
+            brute_system_wce(&golden_system, &evolved_system, width, 2),
+            0
+        );
+    }
+}

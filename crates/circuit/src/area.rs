@@ -1,0 +1,104 @@
+//! Gate-area estimation.
+//!
+//! Candidate areas during search are estimated from a per-gate-type area
+//! table (a tiny "liberty file"), which tracks post-synthesis area well
+//! enough to rank candidates without invoking a synthesis tool.
+
+use crate::netlist::GateOp;
+
+/// Per-gate-type area figures in µm².
+///
+/// The default is the 45 nm table used throughout the evaluation:
+/// INV 1.4079, BUF 1.8772, AND/OR/NAND/NOR 2.3465, XOR/XNOR 4.6930.
+///
+/// # Examples
+///
+/// ```
+/// use axmc_circuit::{AreaModel, GateOp};
+///
+/// let m = AreaModel::nm45();
+/// assert!(m.gate_area(GateOp::Xor) > m.gate_area(GateOp::And));
+/// assert!(m.gate_area(GateOp::And) > m.gate_area(GateOp::Not1));
+/// ```
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct AreaModel {
+    /// Area of an inverter.
+    pub inverter: f64,
+    /// Area of a buffer.
+    pub buffer: f64,
+    /// Area of a 2-input AND/OR/NAND/NOR gate.
+    pub simple_gate: f64,
+    /// Area of a 2-input XOR/XNOR gate.
+    pub xor_gate: f64,
+}
+
+impl AreaModel {
+    /// The 45 nm technology table used in the evaluation.
+    pub const fn nm45() -> Self {
+        AreaModel {
+            inverter: 1.4079,
+            buffer: 1.8772,
+            simple_gate: 2.3465,
+            xor_gate: 4.6930,
+        }
+    }
+
+    /// A unit-area model: every gate counts as 1 (pure gate count).
+    pub const fn unit() -> Self {
+        AreaModel {
+            inverter: 1.0,
+            buffer: 1.0,
+            simple_gate: 1.0,
+            xor_gate: 1.0,
+        }
+    }
+
+    /// Area of one gate of the given type.
+    pub fn gate_area(&self, op: GateOp) -> f64 {
+        match op {
+            GateOp::And | GateOp::Or | GateOp::Nand | GateOp::Nor => self.simple_gate,
+            GateOp::Xor | GateOp::Xnor => self.xor_gate,
+            GateOp::Not1 | GateOp::Not2 => self.inverter,
+            GateOp::Buf1 => self.buffer,
+        }
+    }
+}
+
+impl Default for AreaModel {
+    fn default() -> Self {
+        AreaModel::nm45()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::netlist::Netlist;
+
+    #[test]
+    fn default_is_nm45() {
+        assert_eq!(AreaModel::default(), AreaModel::nm45());
+    }
+
+    #[test]
+    fn table_values() {
+        let m = AreaModel::nm45();
+        assert_eq!(m.gate_area(GateOp::Not1), 1.4079);
+        assert_eq!(m.gate_area(GateOp::Not2), 1.4079);
+        assert_eq!(m.gate_area(GateOp::Buf1), 1.8772);
+        assert_eq!(m.gate_area(GateOp::Nand), 2.3465);
+        assert_eq!(m.gate_area(GateOp::Xnor), 4.6930);
+    }
+
+    #[test]
+    fn netlist_area_counts_active_only() {
+        let mut nl = Netlist::new(2);
+        let a = nl.input(0);
+        let b = nl.input(1);
+        let g = nl.add_gate(GateOp::Xor, a, b);
+        nl.add_gate(GateOp::And, a, b); // dangling
+        nl.add_output(g);
+        assert_eq!(nl.area(&AreaModel::nm45()), 4.6930);
+        assert_eq!(nl.area(&AreaModel::unit()), 1.0);
+    }
+}

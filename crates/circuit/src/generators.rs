@@ -1,0 +1,443 @@
+//! Generators for exact (golden) arithmetic netlists.
+//!
+//! These are the reference implementations the error-determination engines
+//! compare against, and the seed circuits for the CGP search: ripple-carry
+//! and carry-select adders, array and Wallace-tree multipliers, an
+//! incrementer and a magnitude comparator — all built from 2-input gates.
+
+use crate::netlist::{GateOp, Netlist, Signal};
+
+/// Builds a full adder; returns `(sum, carry_out)`.
+fn full_adder(nl: &mut Netlist, a: Signal, b: Signal, cin: Signal) -> (Signal, Signal) {
+    let axb = nl.add_gate(GateOp::Xor, a, b);
+    let sum = nl.add_gate(GateOp::Xor, axb, cin);
+    let t1 = nl.add_gate(GateOp::And, a, b);
+    let t2 = nl.add_gate(GateOp::And, axb, cin);
+    let cout = nl.add_gate(GateOp::Or, t1, t2);
+    (sum, cout)
+}
+
+/// Builds a half adder; returns `(sum, carry_out)`.
+fn half_adder(nl: &mut Netlist, a: Signal, b: Signal) -> (Signal, Signal) {
+    let sum = nl.add_gate(GateOp::Xor, a, b);
+    let cout = nl.add_gate(GateOp::And, a, b);
+    (sum, cout)
+}
+
+/// An exact `width`-bit ripple-carry adder.
+///
+/// Inputs: `a[0..width]` then `b[0..width]` (LSB first).
+/// Outputs: `width + 1` sum bits (the top bit is the carry out).
+///
+/// # Examples
+///
+/// ```
+/// use axmc_circuit::generators::ripple_carry_adder;
+///
+/// let adder = ripple_carry_adder(8);
+/// assert_eq!(adder.eval_binop(200, 100), 300);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `width == 0`.
+pub fn ripple_carry_adder(width: usize) -> Netlist {
+    assert!(width > 0, "width must be positive");
+    let mut nl = Netlist::new(2 * width);
+    let mut carry: Option<Signal> = None;
+    let mut sums = Vec::with_capacity(width + 1);
+    for i in 0..width {
+        let a = nl.input(i);
+        let b = nl.input(width + i);
+        let (s, c) = match carry {
+            None => half_adder(&mut nl, a, b),
+            Some(cin) => full_adder(&mut nl, a, b, cin),
+        };
+        sums.push(s);
+        carry = Some(c);
+    }
+    sums.push(carry.expect("width > 0"));
+    for s in sums {
+        nl.add_output(s);
+    }
+    nl
+}
+
+/// An exact `width`-bit carry-select adder with the given block size.
+///
+/// Same interface as [`ripple_carry_adder`]; internally each block computes
+/// both carry hypotheses and selects with a multiplexer, trading area for
+/// delay exactly like the classic architecture.
+///
+/// # Panics
+///
+/// Panics if `width == 0` or `block == 0`.
+pub fn carry_select_adder(width: usize, block: usize) -> Netlist {
+    assert!(width > 0 && block > 0, "width and block must be positive");
+    let mut nl = Netlist::new(2 * width);
+    let mut outputs: Vec<Signal> = Vec::with_capacity(width + 1);
+    let mut carry: Option<Signal> = None;
+
+    let mut lo = 0;
+    while lo < width {
+        let hi = (lo + block).min(width);
+        if lo == 0 {
+            // First block: plain ripple with no carry-in.
+            let mut c: Option<Signal> = None;
+            for i in lo..hi {
+                let a = nl.input(i);
+                let b = nl.input(width + i);
+                let (s, nc) = match c {
+                    None => half_adder(&mut nl, a, b),
+                    Some(cin) => full_adder(&mut nl, a, b, cin),
+                };
+                outputs.push(s);
+                c = Some(nc);
+            }
+            carry = c;
+        } else {
+            // Two ripple chains under carry-in 0 and 1, then select.
+            let cin = carry.expect("previous block set carry");
+            let mut sums0 = Vec::new();
+            let mut sums1 = Vec::new();
+            let mut c0 = Signal::Const(false);
+            let mut c1 = Signal::Const(true);
+            for i in lo..hi {
+                let a = nl.input(i);
+                let b = nl.input(width + i);
+                let (s0, nc0) = full_adder(&mut nl, a, b, c0);
+                let (s1, nc1) = full_adder(&mut nl, a, b, c1);
+                sums0.push(s0);
+                sums1.push(s1);
+                c0 = nc0;
+                c1 = nc1;
+            }
+            for (s0, s1) in sums0.into_iter().zip(sums1) {
+                outputs.push(mux(&mut nl, cin, s1, s0));
+            }
+            carry = Some(mux(&mut nl, cin, c1, c0));
+        }
+        lo = hi;
+    }
+    outputs.push(carry.expect("width > 0"));
+    for s in outputs {
+        nl.add_output(s);
+    }
+    nl
+}
+
+/// Builds `if sel then t else e` from basic gates.
+fn mux(nl: &mut Netlist, sel: Signal, t: Signal, e: Signal) -> Signal {
+    let nt = nl.add_gate(GateOp::And, sel, t);
+    let ns = nl.add_gate(GateOp::Not1, sel, sel);
+    let ne = nl.add_gate(GateOp::And, ns, e);
+    nl.add_gate(GateOp::Or, nt, ne)
+}
+
+/// An exact `width × width` array multiplier.
+///
+/// Inputs: `a[0..width]` then `b[0..width]`; outputs: `2 * width` product
+/// bits. This is the classic carry-save array: a row of partial products
+/// per multiplier bit, reduced with ripple rows.
+///
+/// # Examples
+///
+/// ```
+/// use axmc_circuit::generators::array_multiplier;
+///
+/// let mult = array_multiplier(4);
+/// assert_eq!(mult.eval_binop(13, 11), 143);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `width == 0`.
+pub fn array_multiplier(width: usize) -> Netlist {
+    assert!(width > 0, "width must be positive");
+    let mut nl = Netlist::new(2 * width);
+    let pp = |nl: &mut Netlist, i: usize, j: usize| {
+        let a = nl.input(i);
+        let b = nl.input(width + j);
+        nl.add_gate(GateOp::And, a, b)
+    };
+    let mut outputs = Vec::with_capacity(2 * width);
+    // Row 0 gives product bit 0 directly; `acc[k]` then holds the running
+    // sum bit of weight j + k at the start of processing row j.
+    let row0: Vec<Signal> = (0..width).map(|i| pp(&mut nl, i, 0)).collect();
+    outputs.push(row0[0]);
+    let mut acc: Vec<Signal> = row0[1..].to_vec();
+    acc.push(Signal::Const(false));
+    // Add each remaining partial-product row with a ripple chain.
+    for j in 1..width {
+        let row: Vec<Signal> = (0..width).map(|i| pp(&mut nl, i, j)).collect();
+        let mut carry: Option<Signal> = None;
+        let mut sums = Vec::with_capacity(width);
+        for i in 0..width {
+            let (s, c) = match carry {
+                None => half_adder(&mut nl, acc[i], row[i]),
+                Some(cin) => full_adder(&mut nl, acc[i], row[i], cin),
+            };
+            sums.push(s);
+            carry = Some(c);
+        }
+        outputs.push(sums[0]);
+        acc = sums[1..].to_vec();
+        acc.push(carry.expect("width > 0"));
+    }
+    // Remaining accumulator bits are the top half of the product.
+    outputs.extend(acc);
+    for s in outputs {
+        nl.add_output(s);
+    }
+    nl
+}
+
+/// An exact `width × width` Wallace-tree multiplier.
+///
+/// Same interface as [`array_multiplier`] but with logarithmic-depth
+/// carry-save reduction followed by a final ripple adder.
+///
+/// # Panics
+///
+/// Panics if `width == 0`.
+pub fn wallace_multiplier(width: usize) -> Netlist {
+    assert!(width > 0, "width must be positive");
+    let mut nl = Netlist::new(2 * width);
+    let out_bits = 2 * width;
+    // Column-wise partial products.
+    let mut columns: Vec<Vec<Signal>> = vec![Vec::new(); out_bits];
+    for j in 0..width {
+        for i in 0..width {
+            let a = nl.input(i);
+            let b = nl.input(width + j);
+            let pp = nl.add_gate(GateOp::And, a, b);
+            columns[i + j].push(pp);
+        }
+    }
+    // Reduce columns until every column has at most 2 entries.
+    loop {
+        let max_height = columns.iter().map(Vec::len).max().unwrap_or(0);
+        if max_height <= 2 {
+            break;
+        }
+        let mut next: Vec<Vec<Signal>> = vec![Vec::new(); out_bits];
+        for (c, col) in columns.iter().enumerate() {
+            let mut idx = 0;
+            while col.len() - idx >= 3 {
+                let (s, carry) = full_adder(&mut nl, col[idx], col[idx + 1], col[idx + 2]);
+                next[c].push(s);
+                if c + 1 < out_bits {
+                    next[c + 1].push(carry);
+                }
+                idx += 3;
+            }
+            if col.len() - idx == 2 {
+                let (s, carry) = half_adder(&mut nl, col[idx], col[idx + 1]);
+                next[c].push(s);
+                if c + 1 < out_bits {
+                    next[c + 1].push(carry);
+                }
+            } else if col.len() - idx == 1 {
+                next[c].push(col[idx]);
+            }
+        }
+        columns = next;
+    }
+    // Final carry-propagate addition over the two remaining rows.
+    let mut outputs = Vec::with_capacity(out_bits);
+    let mut carry: Option<Signal> = None;
+    for col in columns.iter() {
+        let x = col.first().copied().unwrap_or(Signal::Const(false));
+        let y = col.get(1).copied().unwrap_or(Signal::Const(false));
+        let (s, c) = match carry {
+            None => half_adder(&mut nl, x, y),
+            Some(cin) => full_adder(&mut nl, x, y, cin),
+        };
+        outputs.push(s);
+        carry = Some(c);
+    }
+    for s in outputs {
+        nl.add_output(s);
+    }
+    nl
+}
+
+/// A `width`-bit incrementer: computes `a + 1` over `width + 1` output bits.
+///
+/// # Panics
+///
+/// Panics if `width == 0`.
+pub fn incrementer(width: usize) -> Netlist {
+    assert!(width > 0, "width must be positive");
+    let mut nl = Netlist::new(width);
+    let mut carry = Signal::Const(true);
+    let mut outs = Vec::with_capacity(width + 1);
+    for i in 0..width {
+        let a = nl.input(i);
+        let s = nl.add_gate(GateOp::Xor, a, carry);
+        carry = nl.add_gate(GateOp::And, a, carry);
+        outs.push(s);
+    }
+    outs.push(carry);
+    for s in outs {
+        nl.add_output(s);
+    }
+    nl
+}
+
+/// A `width`-bit unsigned magnitude comparator: output 0 is `a > b`,
+/// output 1 is `a == b`.
+///
+/// # Panics
+///
+/// Panics if `width == 0`.
+pub fn comparator(width: usize) -> Netlist {
+    assert!(width > 0, "width must be positive");
+    let mut nl = Netlist::new(2 * width);
+    let mut gt = Signal::Const(false);
+    let mut eq = Signal::Const(true);
+    for i in (0..width).rev() {
+        let a = nl.input(i);
+        let b = nl.input(width + i);
+        let nb = nl.add_gate(GateOp::Not1, b, b);
+        let a_gt_b = nl.add_gate(GateOp::And, a, nb);
+        let here = nl.add_gate(GateOp::And, eq, a_gt_b);
+        gt = nl.add_gate(GateOp::Or, gt, here);
+        let bit_eq = nl.add_gate(GateOp::Xnor, a, b);
+        eq = nl.add_gate(GateOp::And, eq, bit_eq);
+    }
+    nl.add_output(gt);
+    nl.add_output(eq);
+    nl
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_adder_exhaustive(nl: &Netlist, width: usize) {
+        for a in 0..(1u128 << width) {
+            for b in 0..(1u128 << width) {
+                assert_eq!(nl.eval_binop(a, b), a + b, "{a} + {b} at width {width}");
+            }
+        }
+    }
+
+    fn check_mult_exhaustive(nl: &Netlist, width: usize) {
+        for a in 0..(1u128 << width) {
+            for b in 0..(1u128 << width) {
+                assert_eq!(nl.eval_binop(a, b), a * b, "{a} * {b} at width {width}");
+            }
+        }
+    }
+
+    #[test]
+    fn rca_small_exhaustive() {
+        for w in 1..=5 {
+            check_adder_exhaustive(&ripple_carry_adder(w), w);
+        }
+    }
+
+    #[test]
+    fn rca_wide_random() {
+        let nl = ripple_carry_adder(64);
+        let mut x = 0x1234_5678_9abc_def0u128;
+        for _ in 0..50 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(144);
+            let a = x & ((1 << 64) - 1);
+            let b = (x >> 32) & ((1 << 64) - 1);
+            assert_eq!(nl.eval_binop(a, b), a + b);
+        }
+    }
+
+    #[test]
+    fn csa_matches_rca() {
+        for (w, blk) in [(4, 2), (6, 3), (8, 4), (9, 4)] {
+            let csa = carry_select_adder(w, blk);
+            for a in 0..(1u128 << w.min(6)) {
+                for b in 0..(1u128 << w.min(6)) {
+                    assert_eq!(csa.eval_binop(a, b), a + b, "{a}+{b} w={w}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn array_multiplier_small_exhaustive() {
+        for w in 1..=4 {
+            check_mult_exhaustive(&array_multiplier(w), w);
+        }
+    }
+
+    #[test]
+    fn array_multiplier_8bit_random() {
+        let nl = array_multiplier(8);
+        let mut x = 77u128;
+        for _ in 0..200 {
+            x = x.wrapping_mul(48271) % 0x7FFF_FFFF;
+            let a = x & 0xFF;
+            let b = (x >> 8) & 0xFF;
+            assert_eq!(nl.eval_binop(a, b), a * b, "{a} * {b}");
+        }
+    }
+
+    #[test]
+    fn wallace_small_exhaustive() {
+        for w in 1..=4 {
+            check_mult_exhaustive(&wallace_multiplier(w), w);
+        }
+    }
+
+    #[test]
+    fn wallace_matches_array_at_8bit() {
+        let wa = wallace_multiplier(8);
+        let ar = array_multiplier(8);
+        let mut x = 12345u128;
+        for _ in 0..100 {
+            x = x.wrapping_mul(1103515245).wrapping_add(12345) % (1 << 31);
+            let a = x & 0xFF;
+            let b = (x >> 9) & 0xFF;
+            assert_eq!(wa.eval_binop(a, b), ar.eval_binop(a, b));
+        }
+    }
+
+    #[test]
+    fn wallace_is_shallower_than_array() {
+        assert!(wallace_multiplier(8).depth() < array_multiplier(8).depth());
+    }
+
+    #[test]
+    fn incrementer_wraps() {
+        let nl = incrementer(4);
+        for a in 0..16u128 {
+            let mut bits = axmc_aig::u128_to_bits(a, 4);
+            bits.truncate(4);
+            let out = axmc_aig::bits_to_u128(&nl.eval(&bits));
+            assert_eq!(out, a + 1);
+        }
+    }
+
+    #[test]
+    fn comparator_truth() {
+        let nl = comparator(3);
+        for a in 0..8u128 {
+            for b in 0..8u128 {
+                let mut bits = axmc_aig::u128_to_bits(a, 3);
+                bits.extend(axmc_aig::u128_to_bits(b, 3));
+                let out = nl.eval(&bits);
+                assert_eq!(out[0], a > b, "{a} > {b}");
+                assert_eq!(out[1], a == b, "{a} == {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn gate_counts_are_plausible() {
+        // The thesis quotes ~350 gates for an 8-bit multiplier and ~1500
+        // for 16-bit; the array multiplier should be in that ballpark.
+        let g8 = array_multiplier(8).num_active_gates();
+        let g16 = array_multiplier(16).num_active_gates();
+        assert!((250..600).contains(&g8), "8-bit count {g8}");
+        assert!((1200..2600).contains(&g16), "16-bit count {g16}");
+    }
+}

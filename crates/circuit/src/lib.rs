@@ -1,0 +1,38 @@
+//! Gate-level netlists, exact arithmetic generators and a library of
+//! approximate components for the `axmc` toolkit.
+//!
+//! The crate provides three layers:
+//!
+//! * [`Netlist`] — a topologically ordered list of 2-input gates (the nine
+//!   functions the CGP search mutates over), with 64-way parallel
+//!   simulation, active-gate analysis, area estimation via [`AreaModel`],
+//!   and lowering to [`axmc_aig::Aig`] for formal reasoning.
+//! * [`generators`] — exact (golden) circuits: ripple-carry and
+//!   carry-select adders, array and Wallace multipliers, incrementer,
+//!   comparator.
+//! * [`approx`] — approximate components from the literature: truncated
+//!   and lower-part-OR adders, segmented speculative adders, truncated and
+//!   Kulkarni-style multipliers, plus [`approx::adder_library`] /
+//!   [`approx::multiplier_library`] catalogs used by the benchmarks.
+//!
+//! # Examples
+//!
+//! ```
+//! use axmc_circuit::{generators, approx, AreaModel};
+//!
+//! let exact = generators::ripple_carry_adder(8);
+//! let cheap = approx::lower_or_adder(8, 4);
+//! assert_eq!(exact.eval_binop(100, 27), 127);
+//! assert_ne!(cheap.eval_binop(3, 3), 6); // low bits are OR-ed
+//! assert!(cheap.area(&AreaModel::nm45()) < exact.area(&AreaModel::nm45()));
+//! ```
+
+pub mod approx;
+mod area;
+pub mod generators;
+mod netlist;
+pub mod verilog;
+
+pub use crate::approx::Component;
+pub use crate::area::AreaModel;
+pub use crate::netlist::{Gate, GateOp, Netlist, Signal};

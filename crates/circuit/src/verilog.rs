@@ -1,0 +1,154 @@
+//! Structural Verilog emission.
+//!
+//! Netlists can be written as flat gate-level Verilog modules for
+//! synthesis flows or waveform-level inspection — the interchange format
+//! the original tooling used for golden circuits and final results.
+
+use crate::netlist::{GateOp, Netlist, Signal};
+use std::fmt::Write as _;
+
+/// Renders a netlist as a flat structural Verilog module.
+///
+/// Inputs are `in0 … inN`, outputs `out0 … outM`, internal nets
+/// `w0 … wK` (one per gate). Gates are emitted as continuous
+/// assignments, so the module is synthesizable by any tool.
+///
+/// # Examples
+///
+/// ```
+/// use axmc_circuit::{generators, verilog};
+///
+/// let text = verilog::to_verilog(&generators::ripple_carry_adder(4), "add4");
+/// assert!(text.starts_with("module add4"));
+/// assert!(text.contains("endmodule"));
+/// ```
+///
+/// # Panics
+///
+/// Panics if `name` is not a valid Verilog identifier start (letter or
+/// underscore).
+pub fn to_verilog(netlist: &Netlist, name: &str) -> String {
+    assert!(
+        name.chars()
+            .next()
+            .is_some_and(|c| c.is_ascii_alphabetic() || c == '_'),
+        "invalid module name '{name}'"
+    );
+    let n_in = netlist.num_inputs();
+    let n_out = netlist.num_outputs();
+    let mut out = String::new();
+    let _ = write!(out, "module {name}(");
+    let ports: Vec<String> = (0..n_in)
+        .map(|i| format!("in{i}"))
+        .chain((0..n_out).map(|o| format!("out{o}")))
+        .collect();
+    let _ = writeln!(out, "{});", ports.join(", "));
+    for i in 0..n_in {
+        let _ = writeln!(out, "  input in{i};");
+    }
+    for o in 0..n_out {
+        let _ = writeln!(out, "  output out{o};");
+    }
+    if netlist.num_gates() > 0 {
+        let nets: Vec<String> = (0..netlist.num_gates()).map(|g| format!("w{g}")).collect();
+        let _ = writeln!(out, "  wire {};", nets.join(", "));
+    }
+    let operand = |s: Signal| -> String {
+        match s {
+            Signal::Const(false) => "1'b0".to_string(),
+            Signal::Const(true) => "1'b1".to_string(),
+            Signal::Input(i) => format!("in{i}"),
+            Signal::Gate(g) => format!("w{g}"),
+        }
+    };
+    for (g, gate) in netlist.gates().iter().enumerate() {
+        let a = operand(gate.a);
+        let b = operand(gate.b);
+        let expr = match gate.op {
+            GateOp::And => format!("{a} & {b}"),
+            GateOp::Or => format!("{a} | {b}"),
+            GateOp::Xor => format!("{a} ^ {b}"),
+            GateOp::Nand => format!("~({a} & {b})"),
+            GateOp::Nor => format!("~({a} | {b})"),
+            GateOp::Xnor => format!("~({a} ^ {b})"),
+            GateOp::Not1 => format!("~{a}"),
+            GateOp::Not2 => format!("~{b}"),
+            GateOp::Buf1 => a.clone(),
+        };
+        let _ = writeln!(out, "  assign w{g} = {expr};");
+    }
+    for (o, &sig) in netlist.outputs().iter().enumerate() {
+        let _ = writeln!(out, "  assign out{o} = {};", operand(sig));
+    }
+    out.push_str("endmodule\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn half_adder_shape() {
+        let mut nl = Netlist::new(2);
+        let a = nl.input(0);
+        let b = nl.input(1);
+        let s = nl.add_gate(GateOp::Xor, a, b);
+        let c = nl.add_gate(GateOp::And, a, b);
+        nl.add_output(s);
+        nl.add_output(c);
+        let v = to_verilog(&nl, "half_adder");
+        assert!(v.contains("module half_adder(in0, in1, out0, out1);"));
+        assert!(v.contains("assign w0 = in0 ^ in1;"));
+        assert!(v.contains("assign w1 = in0 & in1;"));
+        assert!(v.contains("assign out0 = w0;"));
+        assert!(v.contains("assign out1 = w1;"));
+        assert!(v.trim_end().ends_with("endmodule"));
+    }
+
+    #[test]
+    fn all_gate_ops_emit() {
+        let mut nl = Netlist::new(2);
+        let a = nl.input(0);
+        let b = nl.input(1);
+        for op in GateOp::ALL {
+            let g = nl.add_gate(op, a, b);
+            nl.add_output(g);
+        }
+        let v = to_verilog(&nl, "ops");
+        for needle in ["&", "|", "^", "~("] {
+            assert!(v.contains(needle), "missing {needle}");
+        }
+        // One assign per gate and per output.
+        assert_eq!(v.matches("assign").count(), 2 * GateOp::ALL.len());
+    }
+
+    #[test]
+    fn constants_render() {
+        let mut nl = Netlist::new(1);
+        let a = nl.input(0);
+        let g = nl.add_gate(GateOp::And, a, Signal::Const(true));
+        nl.add_output(g);
+        nl.add_output(Signal::Const(false));
+        let v = to_verilog(&nl, "consts");
+        assert!(v.contains("1'b1"));
+        assert!(v.contains("assign out1 = 1'b0;"));
+    }
+
+    #[test]
+    fn generated_adder_is_well_formed() {
+        let v = to_verilog(&generators::ripple_carry_adder(8), "add8");
+        // Every wire referenced is declared.
+        let wire_count = generators::ripple_carry_adder(8).num_gates();
+        assert!(v.contains(&format!("w{}", wire_count - 1)));
+        assert!(!v.contains(&format!("w{wire_count}")));
+        assert_eq!(v.matches("endmodule").count(), 1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn bad_module_name_panics() {
+        let _ = to_verilog(&generators::ripple_carry_adder(2), "2bad");
+    }
+}

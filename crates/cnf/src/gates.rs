@@ -1,0 +1,194 @@
+//! Clause-level gate construction.
+//!
+//! Small helpers that build logic directly inside a [`Solver`] as Tseitin
+//! clauses over existing literals — used when a query needs extra logic
+//! (e.g. a threshold comparator) on top of an already-encoded circuit,
+//! without re-encoding anything.
+
+use axmc_sat::{Lit, Solver};
+
+/// Returns a literal constrained to `a AND b`.
+pub fn and(solver: &mut Solver, a: Lit, b: Lit) -> Lit {
+    let y = solver.new_var().positive();
+    solver.add_clause(&[!y, a]);
+    solver.add_clause(&[!y, b]);
+    solver.add_clause(&[y, !a, !b]);
+    y
+}
+
+/// Returns a literal constrained to `a OR b`.
+pub fn or(solver: &mut Solver, a: Lit, b: Lit) -> Lit {
+    !and(solver, !a, !b)
+}
+
+/// Returns a literal constrained to the conjunction of all `lits`
+/// (the given `true_lit` — a literal asserted true — for an empty slice).
+pub fn and_all(solver: &mut Solver, lits: &[Lit], true_lit: Lit) -> Lit {
+    match lits.len() {
+        0 => true_lit,
+        1 => lits[0],
+        _ => {
+            let mid = lits.len() / 2;
+            let l = and_all(solver, &lits[..mid], true_lit);
+            let r = and_all(solver, &lits[mid..], true_lit);
+            and(solver, l, r)
+        }
+    }
+}
+
+/// Returns a literal constrained to the disjunction of all `lits`
+/// (`!true_lit` for an empty slice).
+pub fn or_all(solver: &mut Solver, lits: &[Lit], true_lit: Lit) -> Lit {
+    match lits.len() {
+        0 => !true_lit,
+        1 => lits[0],
+        _ => {
+            let mid = lits.len() / 2;
+            let l = or_all(solver, &lits[..mid], true_lit);
+            let r = or_all(solver, &lits[mid..], true_lit);
+            or(solver, l, r)
+        }
+    }
+}
+
+/// Builds the constant comparator `word > threshold` (unsigned,
+/// little-endian `word`) over existing solver literals, using the
+/// XOR-free constant-propagated construction.
+///
+/// `true_lit` must be a literal asserted true in the solver (used for
+/// degenerate cases).
+pub fn ugt_const(solver: &mut Solver, word: &[Lit], threshold: u128, true_lit: Lit) -> Lit {
+    let w = word.len();
+    let saturated = if w >= 128 {
+        threshold == u128::MAX
+    } else {
+        threshold >= (1u128 << w) - 1
+    };
+    if saturated {
+        return !true_lit;
+    }
+    let mut terms: Vec<Lit> = Vec::new();
+    let mut suffix_ones = true_lit;
+    for i in (0..w).rev() {
+        let t_bit = i < 128 && (threshold >> i) & 1 == 1;
+        if t_bit {
+            suffix_ones = and(solver, suffix_ones, word[i]);
+        } else {
+            terms.push(and(solver, word[i], suffix_ones));
+        }
+    }
+    or_all(solver, &terms, true_lit)
+}
+
+/// Builds the flag `|diff| > threshold` for a two's-complement difference
+/// word (sign bit last) — the clause-level mirror of the AIG-level
+/// `axmc_miter::diff_exceeds` construction.
+///
+/// `true_lit` must be a literal asserted true in the solver.
+///
+/// # Panics
+///
+/// Panics if `diff` has fewer than 2 bits.
+pub fn abs_diff_exceeds(
+    solver: &mut Solver,
+    diff: &[Lit],
+    threshold: u128,
+    true_lit: Lit,
+) -> Lit {
+    assert!(diff.len() >= 2, "need magnitude and sign bits");
+    let width = diff.len() - 1;
+    let sign = diff[width];
+    let low = &diff[..width];
+    let pos = ugt_const(solver, low, threshold, true_lit);
+    let pos_side = and(solver, !sign, pos);
+    let neg_side = if width >= 128 || threshold >= (1u128 << width) {
+        !true_lit
+    } else {
+        let not_small = ugt_const(solver, low, (1u128 << width) - threshold - 1, true_lit);
+        and(solver, sign, !not_small)
+    };
+    or(solver, pos_side, neg_side)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use axmc_sat::SolveResult;
+
+    fn setup(bits: usize) -> (Solver, Vec<Lit>, Lit) {
+        let mut solver = Solver::new();
+        let t = solver.new_var().positive();
+        solver.add_clause(&[t]);
+        let word: Vec<Lit> = (0..bits).map(|_| solver.new_var().positive()).collect();
+        (solver, word, t)
+    }
+
+    fn pin(_solver: &mut Solver, word: &[Lit], value: u128) -> Vec<Lit> {
+        word.iter()
+            .enumerate()
+            .map(|(i, &l)| if (value >> i) & 1 == 1 { l } else { !l })
+            .collect()
+    }
+
+    #[test]
+    fn ugt_const_truth() {
+        for threshold in 0..18u128 {
+            let (mut solver, word, t) = setup(4);
+            let gt = ugt_const(&mut solver, &word, threshold, t);
+            for v in 0..16u128 {
+                let mut assumptions = pin(&mut solver, &word, v);
+                assumptions.push(gt);
+                let expect = v > threshold;
+                let got = solver.solve_with_assumptions(&assumptions);
+                assert_eq!(
+                    got == SolveResult::Sat,
+                    expect,
+                    "{v} > {threshold}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn abs_diff_exceeds_truth() {
+        // 5-bit two's complement diff in [-16, 15].
+        for threshold in [0u128, 1, 3, 7, 14, 15] {
+            let (mut solver, word, t) = setup(5);
+            let flag = abs_diff_exceeds(&mut solver, &word, threshold, t);
+            for v in -16i128..16 {
+                let raw = (v & 0x1F) as u128;
+                let mut assumptions = pin(&mut solver, &word, raw);
+                assumptions.push(flag);
+                let expect = v.unsigned_abs() > threshold;
+                let got = solver.solve_with_assumptions(&assumptions);
+                assert_eq!(got == SolveResult::Sat, expect, "|{v}| > {threshold}");
+            }
+        }
+    }
+
+    #[test]
+    fn and_or_helpers() {
+        let (mut solver, word, t) = setup(3);
+        let conj = and_all(&mut solver, &word, t);
+        let disj = or_all(&mut solver, &word, t);
+        // All true -> conj true.
+        let mut a = pin(&mut solver, &word, 0b111);
+        a.push(conj);
+        assert_eq!(solver.solve_with_assumptions(&a), SolveResult::Sat);
+        // One false -> conj false.
+        let mut a = pin(&mut solver, &word, 0b101);
+        a.push(conj);
+        assert_eq!(solver.solve_with_assumptions(&a), SolveResult::Unsat);
+        // All false -> disj false.
+        let mut a = pin(&mut solver, &word, 0);
+        a.push(disj);
+        assert_eq!(solver.solve_with_assumptions(&a), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn empty_slices() {
+        let (mut solver, _, t) = setup(1);
+        assert_eq!(and_all(&mut solver, &[], t), t);
+        assert_eq!(or_all(&mut solver, &[], t), !t);
+    }
+}

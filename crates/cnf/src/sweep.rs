@@ -1,0 +1,363 @@
+//! SAT sweeping (FRAIGing): semi-canonical AIG reduction by proving
+//! internal node equivalences.
+//!
+//! The classic ABC recipe the thesis describes for `iprove`: random
+//! simulation partitions nodes into candidate-equivalence classes
+//! (matching 64-bit signatures), then budgeted SAT calls either **prove**
+//! a candidate equivalent to its class representative — merging the two
+//! nodes and shrinking everything downstream — or **refute** it with a
+//! counterexample. Sweeping a miter of similar circuits collapses their
+//! shared logic; a strict miter of equivalent circuits reduces to
+//! constant false outright.
+//!
+//! Latch outputs are treated as free variables, so equivalences hold for
+//! *all* states (including unreachable ones) and the reduction is sound
+//! for sequential circuits as well.
+
+use axmc_aig::{Aig, Lit as AigLit, Node};
+use axmc_sat::{Budget, Lit as SatLit, SolveResult, Solver};
+use std::collections::HashMap;
+
+/// Options controlling [`fraig`].
+#[derive(Clone, Copy, Debug)]
+pub struct SweepOptions {
+    /// 64-bit random simulation words per node used to form candidate
+    /// classes (more words = fewer false candidates).
+    pub sim_words: usize,
+    /// Budget per equivalence SAT call; `Unknown` keeps nodes separate
+    /// (sound, just less reduction).
+    pub budget: Budget,
+    /// Seed for the simulation patterns.
+    pub seed: u64,
+}
+
+impl Default for SweepOptions {
+    fn default() -> Self {
+        SweepOptions {
+            sim_words: 16,
+            budget: Budget::unlimited().with_conflicts(10_000),
+            seed: 0x5EED,
+        }
+    }
+}
+
+/// Counters from one sweep.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SweepStats {
+    /// Nodes merged into an equivalent representative.
+    pub merged: usize,
+    /// SAT calls that proved an equivalence (UNSAT miters).
+    pub proved: usize,
+    /// SAT calls that refuted a candidate (found a distinguishing input).
+    pub refuted: usize,
+    /// SAT calls that ran out of budget (candidates kept separate).
+    pub unknown: usize,
+}
+
+/// Sweeps `aig`, returning a behaviorally equivalent AIG (same interface)
+/// with proven-equivalent internal nodes merged, plus statistics.
+///
+/// # Examples
+///
+/// ```
+/// use axmc_circuit::generators;
+/// use axmc_miter::strict_miter;
+/// use axmc_cnf::sweep::{fraig, SweepOptions};
+///
+/// // A miter of two equivalent adders collapses to constant false.
+/// let a = generators::ripple_carry_adder(6).to_aig();
+/// let b = generators::carry_select_adder(6, 3).to_aig();
+/// let miter = strict_miter(&a, &b);
+/// let (swept, stats) = fraig(&miter, &SweepOptions::default());
+/// assert_eq!(swept.num_ands(), 0);
+/// assert!(stats.merged > 0);
+/// ```
+pub fn fraig(aig: &Aig, options: &SweepOptions) -> (Aig, SweepStats) {
+    let mut stats = SweepStats::default();
+
+    // --- 1. Random simulation signatures over the ORIGINAL aig. ---
+    let words = options.sim_words.max(1);
+    let mut rng_state = options.seed | 1;
+    let mut next_word = move || {
+        // xorshift64*
+        rng_state ^= rng_state << 13;
+        rng_state ^= rng_state >> 7;
+        rng_state ^= rng_state << 17;
+        rng_state.wrapping_mul(0x2545F4914F6CDD1D)
+    };
+    let mut signature: Vec<Vec<u64>> = vec![vec![0; words]; aig.num_nodes()];
+    for w in 0..words {
+        for (v, node) in aig.iter() {
+            let value = match node {
+                Node::Const => 0,
+                Node::Input(_) | Node::Latch(_) => next_word(),
+                Node::And(a, b) => {
+                    let va = signature[a.var().index() as usize][w]
+                        ^ if a.is_negated() { u64::MAX } else { 0 };
+                    let vb = signature[b.var().index() as usize][w]
+                        ^ if b.is_negated() { u64::MAX } else { 0 };
+                    va & vb
+                }
+            };
+            signature[v.index() as usize][w] = value;
+        }
+    }
+    // Normalized key: the signature or its complement, whichever is
+    // lexicographically smaller, plus the phase flag.
+    let normalize = |sig: &[u64]| -> (Vec<u64>, bool) {
+        let flipped: Vec<u64> = sig.iter().map(|&x| !x).collect();
+        if *sig <= flipped[..] {
+            (sig.to_vec(), false)
+        } else {
+            (flipped, true)
+        }
+    };
+
+    // --- 2. Rebuild, proving candidate equivalences on the fly. ---
+    let mut out = Aig::new();
+    let mut solver = Solver::new();
+    solver.set_budget(options.budget);
+    let const_false_sat = {
+        let f = solver.new_var().positive();
+        solver.add_clause(&[!f]);
+        f
+    };
+    // SAT literal per NEW aig variable (lazily created for ANDs).
+    let mut sat_of: Vec<SatLit> = vec![const_false_sat];
+    let mut map: Vec<AigLit> = vec![AigLit::FALSE; aig.num_nodes()];
+    // Class key -> list of (representative new-lit in normalized phase).
+    let mut classes: HashMap<Vec<u64>, Vec<AigLit>> = HashMap::new();
+
+    // Ensure a SAT literal exists for a new-AIG literal's variable,
+    // encoding any not-yet-encoded AND nodes (they are created in
+    // topological order, so a simple sweep suffices).
+    fn ensure_encoded(out: &Aig, sat_of: &mut Vec<SatLit>, solver: &mut Solver) {
+        while sat_of.len() < out.num_nodes() {
+            let v = axmc_aig::Var::new(sat_of.len() as u32);
+            let lit = match out.node(v) {
+                Node::Const => unreachable!("const is var 0"),
+                Node::Input(_) | Node::Latch(_) => solver.new_var().positive(),
+                Node::And(a, b) => {
+                    let la = sat_of[a.var().index() as usize]
+                        .negate_if_sat(a.is_negated());
+                    let lb = sat_of[b.var().index() as usize]
+                        .negate_if_sat(b.is_negated());
+                    let y = solver.new_var().positive();
+                    solver.add_clause(&[!y, la]);
+                    solver.add_clause(&[!y, lb]);
+                    solver.add_clause(&[y, !la, !lb]);
+                    y
+                }
+            };
+            sat_of.push(lit);
+        }
+    }
+
+    // Copy interface.
+    for _ in 0..aig.num_inputs() {
+        out.add_input();
+    }
+    for l in aig.latches() {
+        out.add_latch(l.init);
+    }
+    for (v, node) in aig.iter() {
+        let image = match node {
+            Node::Const => AigLit::FALSE,
+            Node::Input(k) => out.inputs()[k as usize].lit(),
+            Node::Latch(k) => out.latches()[k as usize].var.lit(),
+            Node::And(a, b) => {
+                let fa = map[a.var().index() as usize].negate_if(a.is_negated());
+                let fb = map[b.var().index() as usize].negate_if(b.is_negated());
+                let candidate = out.and(fa, fb);
+                if candidate.is_const() {
+                    candidate
+                } else {
+                    // Look for an equivalent representative.
+                    let (key, phase) = normalize(&signature[v.index() as usize]);
+                    let mut resolved = None;
+                    if let Some(reps) = classes.get(&key) {
+                        for &rep in reps {
+                            let rep_lit = rep.negate_if(phase);
+                            if rep_lit == candidate {
+                                resolved = Some(rep_lit);
+                                break;
+                            }
+                            ensure_encoded(&out, &mut sat_of, &mut solver);
+                            let sa = sat_of[candidate.var().index() as usize]
+                                .negate_if_sat(candidate.is_negated());
+                            let sb = sat_of[rep_lit.var().index() as usize]
+                                .negate_if_sat(rep_lit.is_negated());
+                            // Equivalent iff both (sa & !sb) and (!sa & sb)
+                            // are unsatisfiable.
+                            match check_differs(&mut solver, sa, sb) {
+                                Some(true) => {
+                                    stats.refuted += 1;
+                                }
+                                Some(false) => {
+                                    stats.proved += 1;
+                                    stats.merged += 1;
+                                    resolved = Some(rep_lit);
+                                    break;
+                                }
+                                None => {
+                                    stats.unknown += 1;
+                                }
+                            }
+                        }
+                    }
+                    match resolved {
+                        Some(lit) => lit,
+                        None => {
+                            classes
+                                .entry(key)
+                                .or_default()
+                                .push(candidate.negate_if(phase));
+                            candidate
+                        }
+                    }
+                }
+            }
+        };
+        map[v.index() as usize] = image;
+    }
+    // Interface wiring.
+    for (k, l) in aig.latches().iter().enumerate() {
+        let next = map[l.next.var().index() as usize].negate_if(l.next.is_negated());
+        out.set_latch_next(k, next);
+    }
+    for &o in aig.outputs() {
+        let image = map[o.var().index() as usize].negate_if(o.is_negated());
+        out.add_output(image);
+    }
+    (out.compact(), stats)
+}
+
+/// Returns `Some(true)` if the two SAT literals can differ, `Some(false)`
+/// if proven equal, `None` on budget exhaustion.
+fn check_differs(solver: &mut Solver, a: SatLit, b: SatLit) -> Option<bool> {
+    match solver.solve_with_assumptions(&[a, !b]) {
+        SolveResult::Sat => return Some(true),
+        SolveResult::Unknown => return None,
+        SolveResult::Unsat => {}
+    }
+    match solver.solve_with_assumptions(&[!a, b]) {
+        SolveResult::Sat => Some(true),
+        SolveResult::Unsat => Some(false),
+        SolveResult::Unknown => None,
+    }
+}
+
+/// Conditional negation for SAT literals (mirror of `Lit::negate_if`).
+trait NegateIfSat {
+    fn negate_if_sat(self, flip: bool) -> Self;
+}
+
+impl NegateIfSat for SatLit {
+    #[inline]
+    fn negate_if_sat(self, flip: bool) -> Self {
+        if flip {
+            !self
+        } else {
+            self
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use axmc_aig::Word;
+
+    fn behaviorally_equal(a: &Aig, b: &Aig, rounds: u64) -> bool {
+        assert_eq!(a.num_inputs(), b.num_inputs());
+        assert_eq!(a.num_latches(), 0);
+        let mut seed = 0xABCD_EF01u64;
+        for _ in 0..rounds {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let input: Vec<bool> = (0..a.num_inputs()).map(|i| (seed >> (i % 60)) & 1 == 1).collect();
+            if a.eval_comb(&input) != b.eval_comb(&input) {
+                return false;
+            }
+        }
+        true
+    }
+
+    #[test]
+    fn sweep_preserves_behavior() {
+        let mut aig = Aig::new();
+        let a = Word::new_inputs(&mut aig, 5);
+        let b = Word::new_inputs(&mut aig, 5);
+        let (s1, _) = a.add(&mut aig, &b);
+        // A redundant second adder over the same operands.
+        let (s2, _) = b.add(&mut aig, &a);
+        for i in 0..5 {
+            let x = aig.xor(s1.bit(i), s2.bit(i));
+            aig.add_output(x);
+            aig.add_output(s1.bit(i));
+        }
+        let (swept, stats) = fraig(&aig, &SweepOptions::default());
+        assert!(behaviorally_equal(&aig, &swept, 200));
+        // Commutativity is not structural (a+b vs b+a differ in strashing
+        // only partially), so real merges must happen.
+        assert!(swept.num_ands() <= aig.num_ands());
+        let _ = stats;
+    }
+
+    #[test]
+    fn miter_of_equivalent_circuits_collapses() {
+        use axmc_circuit::generators;
+        let a = generators::ripple_carry_adder(8).to_aig();
+        let b = generators::carry_select_adder(8, 3).to_aig();
+        let miter = axmc_miter::strict_miter(&a, &b);
+        assert!(miter.num_ands() > 100);
+        let (swept, stats) = fraig(&miter, &SweepOptions::default());
+        assert_eq!(swept.num_ands(), 0, "miter must collapse to constant");
+        assert_eq!(swept.outputs()[0], axmc_aig::Lit::FALSE);
+        assert!(stats.proved > 0);
+    }
+
+    #[test]
+    fn miter_of_different_circuits_stays_sat() {
+        use axmc_circuit::{approx, generators};
+        let a = generators::ripple_carry_adder(6).to_aig();
+        let b = approx::truncated_adder(6, 2).to_aig();
+        let miter = axmc_miter::strict_miter(&a, &b);
+        let (swept, _) = fraig(&miter, &SweepOptions::default());
+        // Behavior preserved: some input still distinguishes them.
+        assert!(behaviorally_equal(&miter, &swept, 500));
+        assert!(swept.num_ands() > 0 || swept.outputs()[0] != axmc_aig::Lit::FALSE);
+    }
+
+    #[test]
+    fn sequential_sweep_preserves_step_behavior() {
+        use axmc_circuit::generators;
+        // Product of two equivalent accumulators: the sweep may merge
+        // across the two machines (latches are free variables).
+        let acc1 = axmc_seq::accumulator(&generators::ripple_carry_adder(4), 4);
+        let acc2 = axmc_seq::accumulator(&generators::carry_select_adder(4, 2), 4);
+        let miter = axmc_miter::sequential_strict_miter(&acc1, &acc2);
+        let (swept, _) = fraig(&miter, &SweepOptions::default());
+        assert_eq!(swept.num_latches(), miter.num_latches());
+        // Simulate both for several cycles on identical stimuli.
+        let mut s1 = axmc_aig::Simulator::new(&miter);
+        let mut s2 = axmc_aig::Simulator::new(&swept);
+        let mut seed = 7u64;
+        for _ in 0..40 {
+            seed = seed.wrapping_mul(48271) % 0x7FFF_FFFF;
+            let inputs: Vec<u64> = (0..miter.num_inputs()).map(|i| seed.rotate_left(i as u32)).collect();
+            assert_eq!(s1.step(&inputs), s2.step(&inputs));
+        }
+    }
+
+    #[test]
+    fn budget_zero_still_sound() {
+        use axmc_circuit::generators;
+        let a = generators::array_multiplier(3).to_aig();
+        let opts = SweepOptions {
+            budget: Budget::unlimited().with_conflicts(0).with_propagations(1),
+            ..SweepOptions::default()
+        };
+        let (swept, _) = fraig(&a, &opts);
+        assert!(behaviorally_equal(&a, &swept, 300));
+    }
+}

@@ -1,0 +1,277 @@
+//! Tseitin encoding of AIGs into SAT solvers.
+//!
+//! Every AND node `y = a ∧ b` contributes the three clauses
+//! `(¬y ∨ a) (¬y ∨ b) (y ∨ ¬a ∨ ¬b)`, producing an equisatisfiable CNF
+//! linear in the circuit size.
+
+use axmc_aig::{Aig, Node};
+use axmc_sat::{Lit as SatLit, Solver};
+
+/// The result of encoding one combinational copy ("frame") of an AIG.
+#[derive(Clone, Debug)]
+pub struct FrameEncoding {
+    /// Solver literal for each AIG variable of the encoded frame.
+    node_lits: Vec<SatLit>,
+    /// Solver literals of the primary inputs (in input order).
+    pub inputs: Vec<SatLit>,
+    /// Solver literals of the primary outputs (in output order).
+    pub outputs: Vec<SatLit>,
+    /// Solver literals of the latch next-state functions (in latch order).
+    pub latch_next: Vec<SatLit>,
+}
+
+impl FrameEncoding {
+    /// Translates an AIG literal of the encoded circuit into the solver
+    /// literal of this frame.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lit` does not belong to the encoded AIG.
+    pub fn lit(&self, lit: axmc_aig::Lit) -> SatLit {
+        let base = self.node_lits[lit.var().index() as usize];
+        if lit.is_negated() {
+            !base
+        } else {
+            base
+        }
+    }
+}
+
+/// Encodes the combinational logic of `aig` into `solver` with caller-chosen
+/// literals for the inputs and latch outputs.
+///
+/// `input_lits` / `latch_lits` give the solver literal standing for each
+/// primary input / latch current-state output. Fresh solver variables are
+/// created for every AND gate. The constant-false node is encoded through
+/// `const_false`, a solver literal the caller must have asserted false
+/// (see [`assert_const_false`]).
+///
+/// This is the building block for BMC unrolling: frame `k+1` passes the
+/// `latch_next` literals of frame `k` as its `latch_lits`.
+///
+/// # Panics
+///
+/// Panics if the slices do not match the AIG's input/latch counts.
+pub fn encode_frame(
+    aig: &Aig,
+    solver: &mut Solver,
+    input_lits: &[SatLit],
+    latch_lits: &[SatLit],
+    const_false: SatLit,
+) -> FrameEncoding {
+    assert_eq!(input_lits.len(), aig.num_inputs(), "input literal count");
+    assert_eq!(latch_lits.len(), aig.num_latches(), "latch literal count");
+    let mut node_lits: Vec<SatLit> = Vec::with_capacity(aig.num_nodes());
+    for (_, node) in aig.iter() {
+        let lit = match node {
+            Node::Const => const_false,
+            Node::Input(k) => input_lits[k as usize],
+            Node::Latch(k) => latch_lits[k as usize],
+            Node::And(a, b) => {
+                let la = node_lits[a.var().index() as usize].xor_sign(a.is_negated());
+                let lb = node_lits[b.var().index() as usize].xor_sign(b.is_negated());
+                let y = solver.new_var().positive();
+                solver.add_clause(&[!y, la]);
+                solver.add_clause(&[!y, lb]);
+                solver.add_clause(&[y, !la, !lb]);
+                y
+            }
+        };
+        node_lits.push(lit);
+    }
+    let outputs = aig
+        .outputs()
+        .iter()
+        .map(|o| node_lits[o.var().index() as usize].xor_sign(o.is_negated()))
+        .collect();
+    let latch_next = aig
+        .latches()
+        .iter()
+        .map(|l| node_lits[l.next.var().index() as usize].xor_sign(l.next.is_negated()))
+        .collect();
+    FrameEncoding {
+        node_lits,
+        inputs: input_lits.to_vec(),
+        outputs,
+        latch_next,
+    }
+}
+
+/// Creates (and asserts) a solver literal that is always false, for use as
+/// the `const_false` argument of [`encode_frame`].
+pub fn assert_const_false(solver: &mut Solver) -> SatLit {
+    let f = solver.new_var().positive();
+    solver.add_clause(&[!f]);
+    f
+}
+
+/// Convenience: encodes a purely combinational AIG into a fresh solver,
+/// creating a solver variable per primary input.
+///
+/// Returns the solver together with the frame encoding.
+///
+/// # Panics
+///
+/// Panics if the AIG has latches.
+pub fn encode_comb(aig: &Aig) -> (Solver, FrameEncoding) {
+    assert_eq!(aig.num_latches(), 0, "combinational AIGs only");
+    let mut solver = Solver::new();
+    let const_false = assert_const_false(&mut solver);
+    let inputs: Vec<SatLit> = (0..aig.num_inputs())
+        .map(|_| solver.new_var().positive())
+        .collect();
+    let enc = encode_frame(aig, &mut solver, &inputs, &[], const_false);
+    (solver, enc)
+}
+
+/// Small extension trait to conditionally flip a SAT literal.
+trait XorSign {
+    fn xor_sign(self, flip: bool) -> Self;
+}
+
+impl XorSign for SatLit {
+    #[inline]
+    fn xor_sign(self, flip: bool) -> Self {
+        if flip {
+            !self
+        } else {
+            self
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use axmc_aig::Word;
+    use axmc_sat::SolveResult;
+
+    #[test]
+    fn encode_and_gate() {
+        let mut aig = Aig::new();
+        let a = aig.add_input();
+        let b = aig.add_input();
+        let x = aig.and(a, b);
+        aig.add_output(x);
+
+        let (mut solver, enc) = encode_comb(&aig);
+        // Output forced true => both inputs true.
+        solver.add_clause(&[enc.outputs[0]]);
+        assert_eq!(solver.solve(), SolveResult::Sat);
+        assert_eq!(solver.model_lit(enc.inputs[0]), Some(true));
+        assert_eq!(solver.model_lit(enc.inputs[1]), Some(true));
+    }
+
+    #[test]
+    fn encode_respects_negations() {
+        let mut aig = Aig::new();
+        let a = aig.add_input();
+        let b = aig.add_input();
+        let x = aig.or(a, b); // uses complemented and
+        aig.add_output(!x);
+
+        let (mut solver, enc) = encode_comb(&aig);
+        solver.add_clause(&[enc.outputs[0]]); // !(a|b) true
+        assert_eq!(solver.solve(), SolveResult::Sat);
+        assert_eq!(solver.model_lit(enc.inputs[0]), Some(false));
+        assert_eq!(solver.model_lit(enc.inputs[1]), Some(false));
+    }
+
+    #[test]
+    fn xor_miter_is_unsat_for_equivalent_circuits() {
+        // (a & b) vs (b & a) by construction share nodes, so build the two
+        // variants in separate AIGs and miter them at the CNF level.
+        let mut f = Aig::new();
+        let a = f.add_input();
+        let b = f.add_input();
+        let x = f.and(a, b);
+        f.add_output(x);
+
+        let mut g = Aig::new();
+        let a2 = g.add_input();
+        let b2 = g.add_input();
+        let nor = g.or(!a2, !b2);
+        g.add_output(!nor); // De Morgan: !( !a | !b ) == a & b
+        let mut solver = Solver::new();
+        let cf = assert_const_false(&mut solver);
+        let ins: Vec<SatLit> = (0..2).map(|_| solver.new_var().positive()).collect();
+        let ef = encode_frame(&f, &mut solver, &ins, &[], cf);
+        let eg = encode_frame(&g, &mut solver, &ins, &[], cf);
+        // XOR of outputs must be satisfiable iff circuits differ.
+        let o1 = ef.outputs[0];
+        let o2 = eg.outputs[0];
+        let d = solver.new_var().positive();
+        // d <-> o1 xor o2
+        solver.add_clause(&[!d, o1, o2]);
+        solver.add_clause(&[!d, !o1, !o2]);
+        solver.add_clause(&[d, !o1, o2]);
+        solver.add_clause(&[d, o1, !o2]);
+        assert_eq!(solver.solve_with_assumptions(&[d]), SolveResult::Unsat);
+        assert_eq!(solver.solve_with_assumptions(&[!d]), SolveResult::Sat);
+    }
+
+    #[test]
+    fn adder_encoding_agrees_with_simulation() {
+        let mut aig = Aig::new();
+        let a = Word::new_inputs(&mut aig, 4);
+        let b = Word::new_inputs(&mut aig, 4);
+        let (sum, carry) = a.add(&mut aig, &b);
+        for &s in sum.bits() {
+            aig.add_output(s);
+        }
+        aig.add_output(carry);
+
+        let (mut solver, enc) = encode_comb(&aig);
+        // Pin inputs to 11 + 7 and read the outputs from the model.
+        let pin = |solver: &mut Solver, lits: &[SatLit], value: u32| {
+            for (i, &l) in lits.iter().enumerate() {
+                let bit = (value >> i) & 1 == 1;
+                solver.add_clause(&[l.xor_sign(!bit)]);
+            }
+        };
+        pin(&mut solver, &enc.inputs[..4], 11);
+        pin(&mut solver, &enc.inputs[4..], 7);
+        assert_eq!(solver.solve(), SolveResult::Sat);
+        let mut result = 0u32;
+        for (i, &o) in enc.outputs.iter().enumerate() {
+            if solver.model_lit(o) == Some(true) {
+                result |= 1 << i;
+            }
+        }
+        assert_eq!(result, 18);
+    }
+
+    #[test]
+    fn frame_encoding_lit_lookup() {
+        let mut aig = Aig::new();
+        let a = aig.add_input();
+        let x = aig.and(a, a); // folded to a
+        let (mut solver, enc) = encode_comb(&aig);
+        assert_eq!(enc.lit(x), enc.inputs[0]);
+        assert_eq!(enc.lit(!x), !enc.inputs[0]);
+        assert_eq!(solver.solve(), SolveResult::Sat);
+    }
+
+    #[test]
+    fn sequential_frame_chaining() {
+        // Toggle latch: q' = !q, output q. Unroll 3 frames by hand.
+        let mut aig = Aig::new();
+        let q = aig.add_latch(false);
+        aig.set_latch_next(0, !q);
+        aig.add_output(q);
+
+        let mut solver = Solver::new();
+        let cf = assert_const_false(&mut solver);
+        let mut state = vec![cf]; // initial state: false
+        let mut outs = Vec::new();
+        for _ in 0..3 {
+            let enc = encode_frame(&aig, &mut solver, &[], &state, cf);
+            outs.push(enc.outputs[0]);
+            state = enc.latch_next.clone();
+        }
+        assert_eq!(solver.solve(), SolveResult::Sat);
+        assert_eq!(solver.model_lit(outs[0]), Some(false));
+        assert_eq!(solver.model_lit(outs[1]), Some(true));
+        assert_eq!(solver.model_lit(outs[2]), Some(false));
+    }
+}

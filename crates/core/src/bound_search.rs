@@ -1,0 +1,140 @@
+//! Counterexample-guided threshold search, shared by the combinational
+//! and sequential analyzers.
+//!
+//! The worst-case metrics are located by probing "can the error exceed
+//! T?" for varying T. SAT probes are cheap (the solver stops at the first
+//! witness, and the witness's actual error tightens the lower bound);
+//! UNSAT probes are the expensive part. The search therefore *gallops*
+//! upward from the first witnessed error, doubling the threshold until
+//! the first UNSAT probe, and only then bisects — the hard UNSAT probes
+//! all happen near the true value instead of in the middle of the huge
+//! output range.
+
+use crate::report::AnalysisError;
+
+/// The answer of one threshold probe.
+pub(crate) enum Probe {
+    /// Error above the threshold is possible; payload is the *witnessed*
+    /// error (strictly above the probed threshold).
+    Exceeds(u128),
+    /// The error provably never exceeds the threshold.
+    Within,
+}
+
+/// Finds the exact maximum error in `[0, max]` given a probe oracle.
+///
+/// `probe(t)` must answer whether the error can exceed `t`, returning the
+/// witnessed error on the exceeding side.
+pub(crate) fn search_max_error(
+    max: u128,
+    mut probe: impl FnMut(u128) -> Result<Probe, AnalysisError>,
+) -> Result<u128, AnalysisError> {
+    // First probe at zero: a fully accurate candidate exits immediately.
+    let mut lo = match probe(0)? {
+        Probe::Within => return Ok(0),
+        Probe::Exceeds(e) => {
+            debug_assert!(e > 0);
+            e
+        }
+    };
+    if lo >= max {
+        return Ok(lo.min(max));
+    }
+    // Galloping phase: double until the first Within.
+    let mut hi = max;
+    let mut t = lo.saturating_mul(2).min(max);
+    loop {
+        if t >= hi {
+            break;
+        }
+        match probe(t)? {
+            Probe::Exceeds(e) => {
+                lo = e.max(t + 1);
+                if lo >= hi {
+                    break;
+                }
+                t = lo.saturating_mul(2).min(max);
+            }
+            Probe::Within => {
+                hi = t;
+                break;
+            }
+        }
+    }
+    // Bisection phase.
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        match probe(mid)? {
+            Probe::Exceeds(e) => lo = e.max(mid + 1),
+            Probe::Within => hi = mid,
+        }
+    }
+    Ok(lo)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn oracle(true_wce: u128) -> impl FnMut(u128) -> Result<Probe, AnalysisError> {
+        move |t| {
+            Ok(if true_wce > t {
+                Probe::Exceeds(true_wce) // best-case witness
+            } else {
+                Probe::Within
+            })
+        }
+    }
+
+    fn weak_oracle(true_wce: u128) -> impl FnMut(u128) -> Result<Probe, AnalysisError> {
+        // Witness barely exceeds the threshold (worst-case witness).
+        move |t| {
+            Ok(if true_wce > t {
+                Probe::Exceeds(t + 1)
+            } else {
+                Probe::Within
+            })
+        }
+    }
+
+    #[test]
+    fn finds_exact_value() {
+        for wce in [0u128, 1, 2, 5, 7, 100, 255, 4095, 65535] {
+            let max = 65535;
+            assert_eq!(search_max_error(max, oracle(wce)).unwrap(), wce, "{wce}");
+            assert_eq!(search_max_error(max, weak_oracle(wce)).unwrap(), wce, "{wce}");
+        }
+    }
+
+    #[test]
+    fn value_at_max() {
+        assert_eq!(search_max_error(255, oracle(255)).unwrap(), 255);
+        assert_eq!(search_max_error(255, weak_oracle(255)).unwrap(), 255);
+    }
+
+    #[test]
+    fn probe_count_scales_with_value_not_range() {
+        // Count probes for a small wce over a huge range.
+        let mut count = 0u32;
+        let wce = 6u128;
+        let max = (1u128 << 64) - 1;
+        let mut oracle = oracle(wce);
+        let counted = |t: u128| {
+            count += 1;
+            oracle(t)
+        };
+        assert_eq!(search_max_error(max, counted).unwrap(), wce);
+        assert!(count <= 10, "took {count} probes");
+    }
+
+    #[test]
+    fn errors_propagate() {
+        let result = search_max_error(100, |_| {
+            Err(AnalysisError::BudgetExhausted {
+                known_low: 0,
+                known_high: 100,
+            })
+        });
+        assert!(result.is_err());
+    }
+}

@@ -1,0 +1,606 @@
+//! Precise error determination for combinational candidates.
+//!
+//! The worst-case metrics are computed **exactly** by a counterexample-
+//! guided binary search over threshold miters: each SAT query asks "can
+//! the error exceed T", a SAT answer yields a concrete input whose actual
+//! error tightens the lower bound, an UNSAT answer tightens the upper
+//! bound. Exhaustive sweeps serve as oracles for small circuits and
+//! provide the average-case metrics (MAE, error rate) that have no
+//! polynomial SAT formulation.
+
+use crate::bound_search::{search_max_error, Probe};
+use crate::report::{AnalysisError, ErrorReport};
+use axmc_aig::{bits_to_u128, sim::for_each_assignment, Aig};
+use axmc_cnf::{encode_comb, gates};
+use axmc_miter::{
+    bit_flip_threshold_miter, diff_threshold_miter, diff_word_miter, nth_bit_miter,
+    popcount_word_miter,
+};
+use axmc_sat::{Budget, SolveResult};
+
+/// Exact and statistical error analysis of a combinational candidate
+/// against a golden reference.
+///
+/// Both circuits must be latch-free with identical input/output counts;
+/// outputs are interpreted as unsigned little-endian integers.
+///
+/// # Examples
+///
+/// ```
+/// use axmc_circuit::{generators, approx};
+/// use axmc_core::CombAnalyzer;
+///
+/// let golden = generators::ripple_carry_adder(8).to_aig();
+/// let cand = approx::truncated_adder(8, 3).to_aig();
+/// let wce = CombAnalyzer::new(&golden, &cand).worst_case_error()?;
+/// assert_eq!(wce.value, (1 << 4) - 2); // 2^(cut+1) - 2
+/// # Ok::<(), axmc_core::AnalysisError>(())
+/// ```
+#[derive(Debug)]
+pub struct CombAnalyzer<'a> {
+    golden: &'a Aig,
+    candidate: &'a Aig,
+    budget: Budget,
+}
+
+impl<'a> CombAnalyzer<'a> {
+    /// Creates an analyzer for the pair.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the interfaces differ or either circuit has latches.
+    pub fn new(golden: &'a Aig, candidate: &'a Aig) -> Self {
+        assert_eq!(golden.num_inputs(), candidate.num_inputs(), "input counts");
+        assert_eq!(
+            golden.num_outputs(),
+            candidate.num_outputs(),
+            "output counts"
+        );
+        assert_eq!(golden.num_latches(), 0, "golden must be combinational");
+        assert_eq!(candidate.num_latches(), 0, "candidate must be combinational");
+        CombAnalyzer {
+            golden,
+            candidate,
+            budget: Budget::unlimited(),
+        }
+    }
+
+    /// Applies a solver budget to every subsequent SAT query.
+    pub fn with_budget(mut self, budget: Budget) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// One threshold query: can `|int(G) - int(C)| > threshold`?
+    ///
+    /// Returns the witnessing input (as bits) on SAT, `Ok(None)` on UNSAT.
+    ///
+    /// # Errors
+    ///
+    /// [`AnalysisError::BudgetExhausted`] if the budget runs out (bounds
+    /// are reported as the trivial interval).
+    pub fn check_error_exceeds(
+        &self,
+        threshold: u128,
+    ) -> Result<Option<Vec<bool>>, AnalysisError> {
+        let miter = diff_threshold_miter(self.golden, self.candidate, threshold);
+        self.solve_miter(&miter)
+    }
+
+    /// One Hamming-distance query: can more than `threshold` output bits
+    /// differ?
+    ///
+    /// # Errors
+    ///
+    /// [`AnalysisError::BudgetExhausted`] if the budget runs out.
+    pub fn check_bit_flips_exceed(
+        &self,
+        threshold: u32,
+    ) -> Result<Option<Vec<bool>>, AnalysisError> {
+        let miter = bit_flip_threshold_miter(self.golden, self.candidate, threshold);
+        self.solve_miter(&miter)
+    }
+
+    fn solve_miter(&self, miter: &Aig) -> Result<Option<Vec<bool>>, AnalysisError> {
+        let (mut solver, enc) = encode_comb(miter);
+        solver.set_budget(self.budget);
+        match solver.solve_with_assumptions(&[enc.outputs[0]]) {
+            SolveResult::Sat => Ok(Some(
+                enc.inputs
+                    .iter()
+                    .map(|&l| solver.model_lit(l).unwrap_or(false))
+                    .collect(),
+            )),
+            SolveResult::Unsat => Ok(None),
+            SolveResult::Unknown => Err(AnalysisError::BudgetExhausted {
+                known_low: 0,
+                known_high: u128::MAX,
+            }),
+        }
+    }
+
+    /// Evaluates both circuits on one input and returns `|G - C|`.
+    fn error_on(&self, input: &[bool]) -> u128 {
+        let g = bits_to_u128(&self.golden.eval_comb(input));
+        let c = bits_to_u128(&self.candidate.eval_comb(input));
+        g.abs_diff(c)
+    }
+
+    /// The exact worst-case error, via counterexample-guided galloping
+    /// search over threshold miters.
+    ///
+    /// # Errors
+    ///
+    /// [`AnalysisError::BudgetExhausted`] if any query runs out of budget.
+    pub fn worst_case_error(&self) -> Result<ErrorReport<u128>, AnalysisError> {
+        let m = self.golden.num_outputs();
+        let max: u128 = if m >= 128 { u128::MAX } else { (1u128 << m) - 1 };
+        // Encode the difference word once; each probe adds only a small
+        // comparator and an assumption, so learnt clauses are shared
+        // across the whole search.
+        let miter = diff_word_miter(self.golden, self.candidate).compact();
+        let (mut solver, enc) = encode_comb(&miter);
+        solver.set_budget(self.budget);
+        let true_lit = enc.lit(axmc_aig::Lit::TRUE);
+        let mut sat_calls = 0u64;
+        let value = search_max_error(max, |t| {
+            sat_calls += 1;
+            let flag = gates::abs_diff_exceeds(&mut solver, &enc.outputs, t, true_lit);
+            match solver.solve_with_assumptions(&[flag]) {
+                SolveResult::Sat => {
+                    let input: Vec<bool> = enc
+                        .inputs
+                        .iter()
+                        .map(|&l| solver.model_lit(l).unwrap_or(false))
+                        .collect();
+                    let witnessed = self.error_on(&input);
+                    debug_assert!(witnessed > t, "miter witness must exceed threshold");
+                    Ok(Probe::Exceeds(witnessed))
+                }
+                SolveResult::Unsat => Ok(Probe::Within),
+                SolveResult::Unknown => Err(AnalysisError::BudgetExhausted {
+                    known_low: 0,
+                    known_high: max,
+                }),
+            }
+        })?;
+        Ok(ErrorReport {
+            value,
+            sat_calls,
+            conflicts: solver.stats().conflicts,
+        })
+    }
+
+    /// The exact worst-case Hamming distance (bit-flip error).
+    ///
+    /// # Errors
+    ///
+    /// [`AnalysisError::BudgetExhausted`] if any query runs out of budget.
+    pub fn bit_flip_error(&self) -> Result<ErrorReport<u32>, AnalysisError> {
+        let max = self.golden.num_outputs() as u128;
+        let miter = popcount_word_miter(self.golden, self.candidate).compact();
+        let (mut solver, enc) = encode_comb(&miter);
+        solver.set_budget(self.budget);
+        let true_lit = enc.lit(axmc_aig::Lit::TRUE);
+        let mut sat_calls = 0u64;
+        let value = search_max_error(max, |t| {
+            sat_calls += 1;
+            let flag = gates::ugt_const(&mut solver, &enc.outputs, t, true_lit);
+            match solver.solve_with_assumptions(&[flag]) {
+                SolveResult::Sat => {
+                    let input: Vec<bool> = enc
+                        .inputs
+                        .iter()
+                        .map(|&l| solver.model_lit(l).unwrap_or(false))
+                        .collect();
+                    let g = bits_to_u128(&self.golden.eval_comb(&input));
+                    let c = bits_to_u128(&self.candidate.eval_comb(&input));
+                    Ok(Probe::Exceeds((g ^ c).count_ones() as u128))
+                }
+                SolveResult::Unsat => Ok(Probe::Within),
+                SolveResult::Unknown => Err(AnalysisError::BudgetExhausted {
+                    known_low: 0,
+                    known_high: max,
+                }),
+            }
+        })?;
+        Ok(ErrorReport {
+            value: value as u32,
+            sat_calls,
+            conflicts: solver.stats().conflicts,
+        })
+    }
+}
+
+impl<'a> CombAnalyzer<'a> {
+    /// The most significant output bit on which the candidate can ever
+    /// differ from the golden circuit, or `None` if the circuits are
+    /// equivalent — the classic n-th-bit scan. The candidate's worst-case
+    /// error is below `2^(bit + 1)`.
+    ///
+    /// Scans from the MSB down, one single-bit miter per step; each miter
+    /// contains only the scanned bit's logic cones, which is what makes
+    /// the scan cheap compared to a full arithmetic miter.
+    ///
+    /// # Errors
+    ///
+    /// [`AnalysisError::BudgetExhausted`] if a query runs out of budget.
+    pub fn most_significant_error_bit(&self) -> Result<Option<usize>, AnalysisError> {
+        for bit in (0..self.golden.num_outputs()).rev() {
+            let miter = nth_bit_miter(self.golden, self.candidate, bit);
+            let (mut solver, enc) = encode_comb(&miter);
+            solver.set_budget(self.budget);
+            match solver.solve_with_assumptions(&[enc.outputs[0]]) {
+                SolveResult::Sat => return Ok(Some(bit)),
+                SolveResult::Unsat => continue,
+                SolveResult::Unknown => {
+                    return Err(AnalysisError::BudgetExhausted {
+                        known_low: 0,
+                        known_high: u128::MAX,
+                    })
+                }
+            }
+        }
+        Ok(None)
+    }
+
+    /// Counts distinct input assignments on which the circuits disagree,
+    /// up to `limit`, by SAT model enumeration with blocking clauses.
+    ///
+    /// Returns `Ok(ErrorInputCount::Exactly(n))` when the enumeration
+    /// exhausts all erroneous inputs below the limit — an **exact** error
+    /// rate of `n / 2^inputs` — or `Ok(ErrorInputCount::AtLeast(limit))`
+    /// when the limit is hit first.
+    ///
+    /// # Errors
+    ///
+    /// [`AnalysisError::BudgetExhausted`] if a query runs out of budget.
+    pub fn count_error_inputs(&self, limit: u64) -> Result<ErrorInputCount, AnalysisError> {
+        let miter = axmc_miter::strict_miter(self.golden, self.candidate).compact();
+        let (mut solver, enc) = encode_comb(&miter);
+        solver.set_budget(self.budget);
+        let mut count = 0u64;
+        while count < limit {
+            match solver.solve_with_assumptions(&[enc.outputs[0]]) {
+                SolveResult::Sat => {
+                    count += 1;
+                    // Block this input assignment.
+                    let blocking: Vec<axmc_sat::Lit> = enc
+                        .inputs
+                        .iter()
+                        .map(|&l| {
+                            if solver.model_lit(l).unwrap_or(false) {
+                                !l
+                            } else {
+                                l
+                            }
+                        })
+                        .collect();
+                    if !solver.add_clause(&blocking) {
+                        // Blocking made the instance trivially unsat.
+                        return Ok(ErrorInputCount::Exactly(count));
+                    }
+                }
+                SolveResult::Unsat => return Ok(ErrorInputCount::Exactly(count)),
+                SolveResult::Unknown => {
+                    return Err(AnalysisError::BudgetExhausted {
+                        known_low: count as u128,
+                        known_high: u128::MAX,
+                    })
+                }
+            }
+        }
+        Ok(ErrorInputCount::AtLeast(limit))
+    }
+}
+
+/// Result of [`CombAnalyzer::count_error_inputs`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ErrorInputCount {
+    /// The enumeration completed: exactly this many inputs err.
+    Exactly(u64),
+    /// The enumeration limit was reached first.
+    AtLeast(u64),
+}
+
+impl ErrorInputCount {
+    /// The error rate as a fraction of `2^inputs`, when exact.
+    pub fn exact_rate(&self, num_inputs: usize) -> Option<f64> {
+        match self {
+            ErrorInputCount::Exactly(n) => {
+                Some(*n as f64 / 2f64.powi(num_inputs as i32))
+            }
+            ErrorInputCount::AtLeast(_) => None,
+        }
+    }
+}
+
+/// Exact full-sweep statistics of a combinational pair (oracle path).
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct ExhaustiveStats {
+    /// Worst-case absolute error.
+    pub wce: u128,
+    /// Mean absolute error over all inputs.
+    pub mae: f64,
+    /// Fraction of inputs with any error.
+    pub error_rate: f64,
+    /// Worst-case Hamming distance.
+    pub bit_flip: u32,
+    /// Number of input assignments swept.
+    pub assignments: u64,
+}
+
+/// Exhaustively sweeps all input assignments of a (small) combinational
+/// pair and reports the exact metrics.
+///
+/// # Panics
+///
+/// Panics if the circuits are sequential, differ in interface, or have
+/// more than 22 inputs.
+pub fn exhaustive_stats(golden: &Aig, candidate: &Aig) -> ExhaustiveStats {
+    assert_eq!(golden.num_inputs(), candidate.num_inputs(), "input counts");
+    assert_eq!(golden.num_outputs(), candidate.num_outputs(), "output counts");
+    let mut golden_out: Vec<u128> = Vec::new();
+    for_each_assignment(golden, |_, out| golden_out.push(out));
+    let mut wce = 0u128;
+    let mut total_err = 0f64;
+    let mut errors = 0u64;
+    let mut bit_flip = 0u32;
+    let mut count = 0u64;
+    for_each_assignment(candidate, |idx, out| {
+        let g = golden_out[idx as usize];
+        let e = g.abs_diff(out);
+        wce = wce.max(e);
+        total_err += e as f64;
+        if e != 0 {
+            errors += 1;
+        }
+        bit_flip = bit_flip.max((g ^ out).count_ones());
+        count += 1;
+    });
+    ExhaustiveStats {
+        wce,
+        mae: total_err / count as f64,
+        error_rate: errors as f64 / count as f64,
+        bit_flip,
+        assignments: count,
+    }
+}
+
+/// Statistical (non-guaranteed) estimates from uniform random sampling —
+/// the baseline the paper's precise approach is compared against.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct SampledStats {
+    /// Largest error observed (a **lower bound** on the true WCE).
+    pub wce_observed: u128,
+    /// Estimated mean absolute error.
+    pub mae_estimate: f64,
+    /// Estimated error rate.
+    pub error_rate_estimate: f64,
+    /// Number of samples drawn.
+    pub samples: u64,
+}
+
+/// Estimates error statistics from `samples` uniform random inputs using
+/// a deterministic seed.
+///
+/// # Panics
+///
+/// Panics if the circuits are sequential or differ in interface.
+pub fn sampled_stats(golden: &Aig, candidate: &Aig, samples: u64, seed: u64) -> SampledStats {
+    use rand::{Rng, SeedableRng};
+    assert_eq!(golden.num_inputs(), candidate.num_inputs(), "input counts");
+    assert_eq!(golden.num_outputs(), candidate.num_outputs(), "output counts");
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let n = golden.num_inputs();
+    let mut wce = 0u128;
+    let mut total = 0f64;
+    let mut errors = 0u64;
+    let mut input = vec![false; n];
+    for _ in 0..samples {
+        for b in input.iter_mut() {
+            *b = rng.gen();
+        }
+        let g = bits_to_u128(&golden.eval_comb(&input));
+        let c = bits_to_u128(&candidate.eval_comb(&input));
+        let e = g.abs_diff(c);
+        wce = wce.max(e);
+        total += e as f64;
+        if e != 0 {
+            errors += 1;
+        }
+    }
+    SampledStats {
+        wce_observed: wce,
+        mae_estimate: total / samples as f64,
+        error_rate_estimate: errors as f64 / samples as f64,
+        samples,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use axmc_circuit::{approx, generators};
+
+    #[test]
+    fn wce_matches_exhaustive_for_adders() {
+        let width = 6;
+        let golden = generators::ripple_carry_adder(width).to_aig();
+        for candidate_nl in [
+            approx::truncated_adder(width, 2),
+            approx::lower_or_adder(width, 3),
+            approx::speculative_adder(width, 2),
+        ] {
+            let candidate = candidate_nl.to_aig();
+            let exact = exhaustive_stats(&golden, &candidate);
+            let analyzer = CombAnalyzer::new(&golden, &candidate);
+            let formal = analyzer.worst_case_error().unwrap();
+            assert_eq!(formal.value, exact.wce);
+            assert!(formal.sat_calls > 0);
+        }
+    }
+
+    #[test]
+    fn wce_matches_exhaustive_for_multipliers() {
+        let width = 4;
+        let golden = generators::array_multiplier(width).to_aig();
+        for candidate_nl in [
+            approx::truncated_multiplier(width, 3),
+            approx::operand_truncated_multiplier(width, 2),
+            approx::kulkarni_multiplier(width),
+        ] {
+            let candidate = candidate_nl.to_aig();
+            let exact = exhaustive_stats(&golden, &candidate);
+            let analyzer = CombAnalyzer::new(&golden, &candidate);
+            let formal = analyzer.worst_case_error().unwrap();
+            assert_eq!(formal.value, exact.wce);
+        }
+    }
+
+    #[test]
+    fn wce_zero_for_equivalent_circuits() {
+        let a = generators::ripple_carry_adder(5).to_aig();
+        let b = generators::carry_select_adder(5, 2).to_aig();
+        let formal = CombAnalyzer::new(&a, &b).worst_case_error().unwrap();
+        assert_eq!(formal.value, 0);
+    }
+
+    #[test]
+    fn bit_flip_matches_exhaustive() {
+        let width = 5;
+        let golden = generators::ripple_carry_adder(width).to_aig();
+        let candidate = approx::truncated_adder(width, 2).to_aig();
+        let exact = exhaustive_stats(&golden, &candidate);
+        let formal = CombAnalyzer::new(&golden, &candidate)
+            .bit_flip_error()
+            .unwrap();
+        assert_eq!(formal.value, exact.bit_flip);
+    }
+
+    #[test]
+    fn threshold_query_directions() {
+        let golden = generators::ripple_carry_adder(4).to_aig();
+        let candidate = approx::truncated_adder(4, 2).to_aig();
+        let wce = exhaustive_stats(&golden, &candidate).wce;
+        let analyzer = CombAnalyzer::new(&golden, &candidate);
+        assert!(analyzer.check_error_exceeds(wce).unwrap().is_none());
+        let witness = analyzer.check_error_exceeds(wce - 1).unwrap().unwrap();
+        // Witness really errs by more than wce - 1.
+        let g = bits_to_u128(&golden.eval_comb(&witness));
+        let c = bits_to_u128(&candidate.eval_comb(&witness));
+        assert!(g.abs_diff(c) > wce - 1);
+    }
+
+    #[test]
+    fn sampling_underestimates_or_matches() {
+        let width = 8;
+        let golden = generators::ripple_carry_adder(width).to_aig();
+        let candidate = approx::lower_or_adder(width, 4).to_aig();
+        let formal = CombAnalyzer::new(&golden, &candidate)
+            .worst_case_error()
+            .unwrap();
+        let sampled = sampled_stats(&golden, &candidate, 200, 42);
+        assert!(sampled.wce_observed <= formal.value);
+    }
+
+    #[test]
+    fn budget_exhaustion_reports_bounds() {
+        let width = 8;
+        let golden = generators::array_multiplier(width).to_aig();
+        let candidate = approx::truncated_multiplier(width, 6).to_aig();
+        let analyzer = CombAnalyzer::new(&golden, &candidate)
+            .with_budget(Budget::unlimited().with_conflicts(1).with_propagations(200));
+        match analyzer.worst_case_error() {
+            Err(AnalysisError::BudgetExhausted {
+                known_low,
+                known_high,
+            }) => assert!(known_low <= known_high),
+            Ok(report) => {
+                // Tiny instances may still finish within the budget.
+                assert!(report.value > 0);
+            }
+        }
+    }
+
+    #[test]
+    fn msb_error_bit_scan() {
+        let width = 5;
+        let golden = generators::ripple_carry_adder(width).to_aig();
+        // Equivalent circuit: no error bit.
+        let same = generators::carry_select_adder(width, 2).to_aig();
+        let analyzer = CombAnalyzer::new(&golden, &same);
+        assert_eq!(analyzer.most_significant_error_bit().unwrap(), None);
+        // Truncated adder: find the true MSB error bit exhaustively.
+        for cut in [1usize, 2, 3] {
+            let cand_nl = approx::truncated_adder(width, cut);
+            let cand = cand_nl.to_aig();
+            let mut expect: Option<usize> = None;
+            for a in 0..(1u128 << width) {
+                for b in 0..(1u128 << width) {
+                    let x = (a + b) ^ cand_nl.eval_binop(a, b);
+                    if x != 0 {
+                        let msb = 127 - x.leading_zeros() as usize;
+                        expect = Some(expect.map_or(msb, |t| t.max(msb)));
+                    }
+                }
+            }
+            let analyzer = CombAnalyzer::new(&golden, &cand);
+            let got = analyzer.most_significant_error_bit().unwrap();
+            assert_eq!(got, expect, "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn error_input_enumeration_is_exact() {
+        // 3-bit adder with cut 1: count erroneous inputs exhaustively and
+        // via SAT enumeration.
+        let width = 3;
+        let golden = generators::ripple_carry_adder(width).to_aig();
+        let cand = approx::truncated_adder(width, 1).to_aig();
+        let mut expect = 0u64;
+        for a in 0..8u128 {
+            for b in 0..8u128 {
+                if approx::truncated_adder(width, 1).eval_binop(a, b) != a + b {
+                    expect += 1;
+                }
+            }
+        }
+        let analyzer = CombAnalyzer::new(&golden, &cand);
+        assert_eq!(
+            analyzer.count_error_inputs(1_000).unwrap(),
+            ErrorInputCount::Exactly(expect)
+        );
+        // With a tiny limit the count is truncated.
+        assert_eq!(
+            analyzer.count_error_inputs(2).unwrap(),
+            ErrorInputCount::AtLeast(2)
+        );
+        // Rate helper.
+        let rate = ErrorInputCount::Exactly(expect).exact_rate(2 * width).unwrap();
+        let exact = exhaustive_stats(&golden, &cand);
+        assert!((rate - exact.error_rate).abs() < 1e-12);
+    }
+
+    #[test]
+    fn equivalent_circuits_have_zero_error_inputs() {
+        let a = generators::ripple_carry_adder(4).to_aig();
+        let b = generators::carry_select_adder(4, 2).to_aig();
+        let analyzer = CombAnalyzer::new(&a, &b);
+        assert_eq!(
+            analyzer.count_error_inputs(100).unwrap(),
+            ErrorInputCount::Exactly(0)
+        );
+    }
+
+    #[test]
+    fn exhaustive_stats_fields_consistent() {
+        let golden = generators::ripple_carry_adder(4).to_aig();
+        let candidate = approx::truncated_adder(4, 1).to_aig();
+        let s = exhaustive_stats(&golden, &candidate);
+        assert_eq!(s.assignments, 1 << 8);
+        assert!(s.error_rate > 0.0 && s.error_rate < 1.0);
+        assert!(s.mae > 0.0 && s.mae <= s.wce as f64);
+        assert!(s.bit_flip >= 1);
+    }
+}

@@ -1,0 +1,56 @@
+//! # axmc-core — precise error determination of approximated components
+//! in sequential circuits with model checking
+//!
+//! This crate is the primary contribution of the reproduced system: given
+//! a golden circuit and a version in which a combinational component
+//! (adder, multiplier, …) has been replaced by an approximate variant, it
+//! determines the approximation's error **exactly**, with formal
+//! guarantees — including when the component sits inside a sequential
+//! circuit where errors can be masked, delayed, or amplified through
+//! feedback.
+//!
+//! ## Combinational metrics ([`CombAnalyzer`])
+//!
+//! * exact worst-case error and worst-case bit-flip (Hamming) error via
+//!   counterexample-guided binary search over threshold miters;
+//! * exact MAE / error-rate by exhaustive sweep (small circuits), and
+//!   sampled estimates (flagged as non-guaranteed) otherwise.
+//!
+//! ## Sequential metrics ([`SeqAnalyzer`])
+//!
+//! * earliest error cycle (incremental BMC);
+//! * precise worst-case error and bit-flip error within `k` cycles;
+//! * per-horizon error profiles and growth classification
+//!   ([`ErrorGrowth`]) — does the design accumulate error?
+//! * unbounded error-bound **proofs** via k-induction;
+//! * a random-simulation baseline for comparison.
+//!
+//! # Examples
+//!
+//! ```
+//! use axmc_circuit::{generators, approx};
+//! use axmc_seq::accumulator;
+//! use axmc_core::{SeqAnalyzer, ErrorGrowth};
+//!
+//! // Embed a truncated adder in an accumulator and measure precisely.
+//! let golden = accumulator(&generators::ripple_carry_adder(4), 4);
+//! let cheap = accumulator(&approx::truncated_adder(4, 2), 4);
+//! let analyzer = SeqAnalyzer::new(&golden, &cheap);
+//!
+//! let wce3 = analyzer.worst_case_error_at(3)?;
+//! let profile = analyzer.error_profile(5)?;
+//! assert!(wce3.value > 0);
+//! assert_eq!(profile.growth(), ErrorGrowth::Accumulating);
+//! # Ok::<(), axmc_core::AnalysisError>(())
+//! ```
+
+mod bound_search;
+mod comb;
+mod report;
+mod seq;
+
+pub use crate::comb::{
+    exhaustive_stats, sampled_stats, CombAnalyzer, ErrorInputCount, ExhaustiveStats, SampledStats,
+};
+pub use crate::report::{AnalysisError, ErrorGrowth, ErrorProfile, ErrorReport};
+pub use crate::seq::{EarliestError, SeqAnalyzer};

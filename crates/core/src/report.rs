@@ -1,0 +1,124 @@
+//! Result types shared by the error-determination engines.
+
+use std::fmt;
+
+/// A precisely determined error value together with the formal effort
+/// spent obtaining it.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct ErrorReport<T> {
+    /// The exact metric value (e.g. worst-case error).
+    pub value: T,
+    /// Number of decision-procedure (SAT/BMC) queries issued.
+    pub sat_calls: u64,
+    /// Total solver conflicts across those queries.
+    pub conflicts: u64,
+}
+
+/// Why an analysis could not run to completion.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum AnalysisError {
+    /// The solver budget ran out; the metric is bracketed by the interval
+    /// `[known_low, known_high]` established before exhaustion.
+    BudgetExhausted {
+        /// Largest error value witnessed by a counterexample so far.
+        known_low: u128,
+        /// Smallest bound proved (exclusive upper bound is `known_high`).
+        known_high: u128,
+    },
+}
+
+impl fmt::Display for AnalysisError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AnalysisError::BudgetExhausted {
+                known_low,
+                known_high,
+            } => write!(
+                f,
+                "solver budget exhausted; metric in [{known_low}, {known_high}]"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for AnalysisError {}
+
+/// Growth classification of the sequential worst-case error as the
+/// observation horizon grows.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ErrorGrowth {
+    /// The error profile is identically zero: the approximation is
+    /// invisible at the outputs within the horizon.
+    Silent,
+    /// The error appears but stops growing within the horizon.
+    Bounded,
+    /// The error keeps growing up to the horizon — the design accumulates
+    /// error (feedback amplification).
+    Accumulating,
+}
+
+/// A per-cycle worst-case error profile, `profile[k]` being the precise
+/// worst-case error over all cycles `<= k`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ErrorProfile {
+    /// `profile[k]` = WCE over cycles `0..=k`.
+    pub profile: Vec<u128>,
+    /// Total SAT/BMC queries used.
+    pub sat_calls: u64,
+}
+
+impl ErrorProfile {
+    /// Classifies the growth shape of the profile.
+    ///
+    /// The tail is considered still-growing if the last quarter of the
+    /// horizon shows an increase.
+    pub fn growth(&self) -> ErrorGrowth {
+        let n = self.profile.len();
+        if n == 0 || *self.profile.last().expect("nonempty") == 0 {
+            return ErrorGrowth::Silent;
+        }
+        let tail_start = n - (n / 4).max(1);
+        let before = self.profile[tail_start - 1];
+        let after = *self.profile.last().expect("nonempty");
+        if after > before {
+            ErrorGrowth::Accumulating
+        } else {
+            ErrorGrowth::Bounded
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn growth_classification() {
+        let silent = ErrorProfile {
+            profile: vec![0, 0, 0, 0],
+            sat_calls: 0,
+        };
+        assert_eq!(silent.growth(), ErrorGrowth::Silent);
+
+        let bounded = ErrorProfile {
+            profile: vec![0, 3, 3, 3, 3, 3, 3, 3],
+            sat_calls: 0,
+        };
+        assert_eq!(bounded.growth(), ErrorGrowth::Bounded);
+
+        let accumulating = ErrorProfile {
+            profile: vec![0, 2, 4, 6, 8, 10, 12, 14],
+            sat_calls: 0,
+        };
+        assert_eq!(accumulating.growth(), ErrorGrowth::Accumulating);
+    }
+
+    #[test]
+    fn analysis_error_displays() {
+        let e = AnalysisError::BudgetExhausted {
+            known_low: 3,
+            known_high: 10,
+        };
+        assert!(e.to_string().contains("[3, 10]"));
+    }
+}

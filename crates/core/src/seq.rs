@@ -1,0 +1,820 @@
+//! Precise error determination for approximated components in
+//! **sequential** circuits — the paper's headline capability.
+//!
+//! All metrics are defined over the golden/approximated product machine
+//! from the reset state:
+//!
+//! * **earliest error** — the first cycle in which the outputs can differ
+//!   at all (incremental BMC over the strict sequential miter);
+//! * **WCE@k** — the precise worst-case arithmetic error over all input
+//!   sequences and all cycles `<= k` (counterexample-guided binary search,
+//!   each probe a BMC run over a threshold miter);
+//! * **bit-flip@k** — the analogous Hamming-distance metric;
+//! * **total error@k** — the maximum accumulated sum of per-cycle errors
+//!   (the general accumulating-miter scheme);
+//! * **temporal error rate** — the maximum number of erroneous cycles
+//!   within a horizon;
+//! * **error-bound proof** — `G (|error| <= T)` for *unbounded* time via
+//!   k-induction over the threshold miter;
+//! * **growth classification** — whether WCE@k keeps growing with k
+//!   (feedback accumulation) or saturates.
+
+use crate::bound_search::{search_max_error, Probe};
+use crate::report::{AnalysisError, ErrorProfile, ErrorReport};
+use axmc_aig::{bits_to_u128, Aig, Simulator};
+use axmc_cnf::gates;
+use axmc_cnf::sweep::{fraig, SweepOptions};
+use axmc_mc::{prove_invariant, Bmc, BmcResult, InductionOptions, ProofResult, Trace, Unroller};
+use axmc_miter::{
+    accumulated_error_miter, error_cycle_count_miter, sequential_diff_miter,
+    sequential_diff_word_miter, sequential_popcount_word_miter, sequential_strict_miter,
+};
+use axmc_sat::{Budget, SolveResult};
+
+/// How one persistent threshold probe interprets the miter's output word.
+enum WordKind {
+    /// Two's-complement difference (sign bit last): probe `|diff| > t`.
+    SignedDiff,
+    /// Unsigned magnitude (popcount): probe `word > t`.
+    Unsigned,
+}
+
+/// A persistent incremental engine for threshold probes over a BMC
+/// unrolling: the product machine is encoded **once**; every probe only
+/// adds a small comparator at the clause level and solves under an
+/// assumption, so learnt clauses amortize across the entire search.
+struct ThresholdEngine {
+    unroller: Unroller,
+    kind: WordKind,
+}
+
+impl ThresholdEngine {
+    fn new(miter: Aig, kind: WordKind, budget: Budget, sweep: bool) -> Self {
+        let miter = if sweep {
+            fraig(&miter, &SweepOptions::default()).0
+        } else {
+            miter.compact()
+        };
+        let mut unroller = Unroller::new(miter);
+        unroller.set_budget(budget);
+        ThresholdEngine { unroller, kind }
+    }
+
+    /// Can the per-cycle word exceed `threshold` in any cycle `<= k`?
+    fn probe(&mut self, threshold: u128, k: usize) -> Result<Option<Trace>, AnalysisError> {
+        self.unroller.extend_to(k + 1);
+        let true_lit = self.unroller.true_lit();
+        let mut flags = Vec::with_capacity(k + 1);
+        for frame in 0..=k {
+            let word = self.unroller.frame(frame).outputs.clone();
+            let solver = self.unroller.solver_mut();
+            let flag = match self.kind {
+                WordKind::SignedDiff => {
+                    gates::abs_diff_exceeds(solver, &word, threshold, true_lit)
+                }
+                WordKind::Unsigned => gates::ugt_const(solver, &word, threshold, true_lit),
+            };
+            flags.push(flag);
+        }
+        let solver = self.unroller.solver_mut();
+        let any = gates::or_all(solver, &flags, true_lit);
+        match solver.solve_with_assumptions(&[any]) {
+            SolveResult::Sat => Ok(Some(self.unroller.extract_trace(k))),
+            SolveResult::Unsat => Ok(None),
+            SolveResult::Unknown => Err(AnalysisError::BudgetExhausted {
+                known_low: 0,
+                known_high: u128::MAX,
+            }),
+        }
+    }
+
+    fn conflicts(&self) -> u64 {
+        self.unroller.solver().stats().conflicts
+    }
+}
+
+/// The result of the earliest-error analysis.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct EarliestError {
+    /// First cycle (0-based) in which the outputs can differ, or `None`
+    /// if they provably agree for all cycles up to the horizon.
+    pub cycle: Option<usize>,
+    /// A witnessing input trace when `cycle` is `Some`.
+    pub trace: Option<Trace>,
+    /// BMC queries issued.
+    pub sat_calls: u64,
+}
+
+/// Precise sequential error analysis of a golden/approximated pair.
+///
+/// Both circuits must have identical input and output counts; outputs are
+/// interpreted as unsigned little-endian integers each cycle.
+///
+/// # Examples
+///
+/// ```
+/// use axmc_circuit::{generators, approx};
+/// use axmc_seq::accumulator;
+/// use axmc_core::SeqAnalyzer;
+///
+/// let golden = accumulator(&generators::ripple_carry_adder(4), 4);
+/// let apx = accumulator(&approx::truncated_adder(4, 1), 4);
+/// let analyzer = SeqAnalyzer::new(&golden, &apx);
+/// // The truncated accumulator state first differs one cycle after the
+/// // first mis-added input arrives.
+/// let earliest = analyzer.earliest_error(8)?;
+/// assert_eq!(earliest.cycle, Some(1));
+/// # Ok::<(), axmc_core::AnalysisError>(())
+/// ```
+#[derive(Debug)]
+pub struct SeqAnalyzer<'a> {
+    golden: &'a Aig,
+    approx: &'a Aig,
+    budget: Budget,
+    sweep: bool,
+}
+
+impl<'a> SeqAnalyzer<'a> {
+    /// Creates an analyzer for the pair.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the interfaces differ.
+    pub fn new(golden: &'a Aig, approx: &'a Aig) -> Self {
+        assert_eq!(golden.num_inputs(), approx.num_inputs(), "input counts");
+        assert_eq!(golden.num_outputs(), approx.num_outputs(), "output counts");
+        SeqAnalyzer {
+            golden,
+            approx,
+            budget: Budget::unlimited(),
+            sweep: false,
+        }
+    }
+
+    /// Applies a solver budget to every subsequent query.
+    pub fn with_budget(mut self, budget: Budget) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Enables SAT sweeping (FRAIGing) of the product-machine miter
+    /// before unrolling: shared logic between the golden and approximated
+    /// circuits is merged once, shrinking every BMC frame.
+    pub fn with_sweep(mut self, sweep: bool) -> Self {
+        self.sweep = sweep;
+        self
+    }
+
+    /// Finds the earliest cycle (up to `max_cycles - 1`) in which the two
+    /// circuits' outputs can differ.
+    ///
+    /// # Errors
+    ///
+    /// [`AnalysisError::BudgetExhausted`] if a BMC query runs out of
+    /// budget before a verdict.
+    pub fn earliest_error(&self, max_cycles: usize) -> Result<EarliestError, AnalysisError> {
+        let miter = sequential_strict_miter(self.golden, self.approx);
+        let mut bmc = Bmc::new(&miter);
+        bmc.set_budget(self.budget);
+        let mut sat_calls = 0;
+        for k in 0..max_cycles {
+            sat_calls += 1;
+            match bmc.check_at(k) {
+                BmcResult::Cex(trace) => {
+                    return Ok(EarliestError {
+                        cycle: Some(k),
+                        trace: Some(trace),
+                        sat_calls,
+                    })
+                }
+                BmcResult::Clear => continue,
+                BmcResult::Unknown => {
+                    return Err(AnalysisError::BudgetExhausted {
+                        known_low: k as u128,
+                        known_high: u128::MAX,
+                    })
+                }
+            }
+        }
+        Ok(EarliestError {
+            cycle: None,
+            trace: None,
+            sat_calls,
+        })
+    }
+
+    /// Replays a trace on both circuits and returns the maximum per-cycle
+    /// absolute output difference.
+    pub fn trace_error(&self, trace: &Trace) -> u128 {
+        let og = trace.replay(self.golden);
+        let oc = trace.replay(self.approx);
+        og.iter()
+            .zip(&oc)
+            .map(|(g, c)| bits_to_u128(g).abs_diff(bits_to_u128(c)))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// One threshold probe: can the error exceed `threshold` in any cycle
+    /// `<= k`? Returns the witnessing trace on SAT.
+    ///
+    /// # Errors
+    ///
+    /// [`AnalysisError::BudgetExhausted`] if the budget runs out.
+    pub fn check_error_exceeds(
+        &self,
+        threshold: u128,
+        k: usize,
+    ) -> Result<Option<Trace>, AnalysisError> {
+        let mut engine = self.diff_engine();
+        engine.probe(threshold, k)
+    }
+
+    fn diff_engine(&self) -> ThresholdEngine {
+        ThresholdEngine::new(
+            sequential_diff_word_miter(self.golden, self.approx),
+            WordKind::SignedDiff,
+            self.budget,
+            self.sweep,
+        )
+    }
+
+    /// The precise worst-case error over all cycles `<= k`, via
+    /// counterexample-guided galloping search over BMC probes.
+    ///
+    /// # Errors
+    ///
+    /// [`AnalysisError::BudgetExhausted`] with the bracketing interval.
+    pub fn worst_case_error_at(&self, k: usize) -> Result<ErrorReport<u128>, AnalysisError> {
+        let m = self.golden.num_outputs();
+        let max: u128 = if m >= 128 { u128::MAX } else { (1u128 << m) - 1 };
+        let mut engine = self.diff_engine();
+        let mut sat_calls = 0u64;
+        let value = search_max_error(max, |t| {
+            sat_calls += 1;
+            match engine.probe(t, k)? {
+                Some(trace) => {
+                    let witnessed = self.trace_error(&trace);
+                    debug_assert!(witnessed > t);
+                    Ok(Probe::Exceeds(witnessed))
+                }
+                None => Ok(Probe::Within),
+            }
+        })?;
+        Ok(ErrorReport {
+            value,
+            sat_calls,
+            conflicts: engine.conflicts(),
+        })
+    }
+
+    /// The precise worst-case Hamming distance of the outputs over all
+    /// cycles `<= k`.
+    ///
+    /// # Errors
+    ///
+    /// [`AnalysisError::BudgetExhausted`] with the bracketing interval.
+    pub fn bit_flip_error_at(&self, k: usize) -> Result<ErrorReport<u32>, AnalysisError> {
+        let max = self.golden.num_outputs() as u128;
+        let mut engine = ThresholdEngine::new(
+            sequential_popcount_word_miter(self.golden, self.approx),
+            WordKind::Unsigned,
+            self.budget,
+            self.sweep,
+        );
+        let mut sat_calls = 0u64;
+        let value = search_max_error(max, |t| {
+            sat_calls += 1;
+            match engine.probe(t, k)? {
+                Some(trace) => {
+                    let og = trace.replay(self.golden);
+                    let oc = trace.replay(self.approx);
+                    let witnessed = og
+                        .iter()
+                        .zip(&oc)
+                        .map(|(g, c)| (bits_to_u128(g) ^ bits_to_u128(c)).count_ones())
+                        .max()
+                        .unwrap_or(0);
+                    Ok(Probe::Exceeds(witnessed as u128))
+                }
+                None => Ok(Probe::Within),
+            }
+        })?;
+        Ok(ErrorReport {
+            value: value as u32,
+            sat_calls,
+            conflicts: engine.conflicts(),
+        })
+    }
+
+    /// The per-horizon worst-case error profile `WCE@0 .. WCE@k`, computed
+    /// incrementally (each horizon's search starts from the previous
+    /// value as lower bound).
+    ///
+    /// # Errors
+    ///
+    /// [`AnalysisError::BudgetExhausted`] if any probe runs out of budget.
+    pub fn error_profile(&self, k: usize) -> Result<ErrorProfile, AnalysisError> {
+        let m = self.golden.num_outputs();
+        let max = if m >= 128 { u128::MAX } else { (1u128 << m) - 1 };
+        let mut profile = Vec::with_capacity(k + 1);
+        let mut sat_calls = 0u64;
+        let mut prev: u128 = 0;
+        let mut engine = self.diff_engine();
+        for horizon in 0..=k {
+            // WCE@horizon >= WCE@(horizon-1): probes below `prev` are
+            // answered from the invariant without touching the solver.
+            let value = search_max_error(max, |t| {
+                if t < prev {
+                    return Ok(Probe::Exceeds(prev));
+                }
+                sat_calls += 1;
+                match engine.probe(t, horizon)? {
+                    Some(trace) => Ok(Probe::Exceeds(self.trace_error(&trace))),
+                    None => Ok(Probe::Within),
+                }
+            })?;
+            prev = value;
+            profile.push(value);
+        }
+        Ok(ErrorProfile { profile, sat_calls })
+    }
+
+    /// Attempts to prove the **unbounded** bound `G (|error| <= threshold)`
+    /// by k-induction over the sequential threshold miter.
+    pub fn prove_error_bound(
+        &self,
+        threshold: u128,
+        options: &InductionOptions,
+    ) -> ProofResult {
+        let miter = sequential_diff_miter(self.golden, self.approx, threshold);
+        prove_invariant(&miter, options)
+    }
+
+    /// One probe of the **total** (accumulated) error: can the sum of the
+    /// per-cycle absolute errors over cycles `<= k` exceed `threshold`?
+    ///
+    /// Uses the general accumulating miter (the paper's Gen/C/G/E/A/D
+    /// scheme) with a saturating `acc_width`-bit running total, checked by
+    /// BMC. Saturation makes a positive answer sound for any horizon.
+    ///
+    /// # Errors
+    ///
+    /// [`AnalysisError::BudgetExhausted`] if the budget runs out.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `acc_width` is 0 or exceeds 127.
+    pub fn check_total_error_exceeds(
+        &self,
+        threshold: u128,
+        k: usize,
+        acc_width: usize,
+    ) -> Result<Option<Trace>, AnalysisError> {
+        let miter = accumulated_error_miter(self.golden, self.approx, acc_width, threshold);
+        let mut bmc = Bmc::new(&miter);
+        bmc.set_budget(self.budget);
+        match bmc.check_any_up_to(k) {
+            BmcResult::Cex(t) => Ok(Some(t)),
+            BmcResult::Clear => Ok(None),
+            BmcResult::Unknown => Err(AnalysisError::BudgetExhausted {
+                known_low: 0,
+                known_high: u128::MAX,
+            }),
+        }
+    }
+
+    /// The exact **total** error within `k` cycles: the maximum over input
+    /// sequences of the *sum* of per-cycle absolute errors.
+    ///
+    /// `acc_width` must be wide enough to hold the result; it is checked
+    /// by verifying the final answer is below the saturation point.
+    ///
+    /// # Errors
+    ///
+    /// [`AnalysisError::BudgetExhausted`] if any probe runs out of budget,
+    /// or with `known_high == u128::MAX` if `acc_width` saturated (the
+    /// total exceeds its range).
+    pub fn total_error_at(
+        &self,
+        k: usize,
+        acc_width: usize,
+    ) -> Result<ErrorReport<u128>, AnalysisError> {
+        let max = (1u128 << acc_width) - 1;
+        let mut sat_calls = 0u64;
+        let value = search_max_error(max, |t| {
+            sat_calls += 1;
+            match self.check_total_error_exceeds(t, k, acc_width)? {
+                Some(trace) => {
+                    let witnessed = self.trace_total_error(&trace);
+                    Ok(Probe::Exceeds(witnessed.max(t + 1).min(max)))
+                }
+                None => Ok(Probe::Within),
+            }
+        })?;
+        if value >= max {
+            // The saturating accumulator cannot distinguish totals at or
+            // above its ceiling; the caller must widen it.
+            return Err(AnalysisError::BudgetExhausted {
+                known_low: max,
+                known_high: u128::MAX,
+            });
+        }
+        Ok(ErrorReport {
+            value,
+            sat_calls,
+            conflicts: 0,
+        })
+    }
+
+    /// Replays a trace on both circuits and returns the **sum** of
+    /// per-cycle absolute output differences.
+    pub fn trace_total_error(&self, trace: &Trace) -> u128 {
+        let og = trace.replay(self.golden);
+        let oc = trace.replay(self.approx);
+        og.iter()
+            .zip(&oc)
+            .map(|(g, c)| bits_to_u128(g).abs_diff(bits_to_u128(c)))
+            .sum()
+    }
+
+    /// One probe of the **temporal error rate**: can more than
+    /// `max_bad_cycles` of the first `k + 1` cycles have a per-cycle
+    /// absolute error exceeding `per_cycle_threshold`?
+    ///
+    /// # Errors
+    ///
+    /// [`AnalysisError::BudgetExhausted`] if the budget runs out.
+    pub fn check_error_cycles_exceed(
+        &self,
+        max_bad_cycles: u128,
+        k: usize,
+        per_cycle_threshold: u128,
+    ) -> Result<Option<Trace>, AnalysisError> {
+        // The counter must hold k + 1; one extra bit covers saturation.
+        let count_width = (usize::BITS - (k + 1).leading_zeros()) as usize + 1;
+        let miter = error_cycle_count_miter(
+            self.golden,
+            self.approx,
+            count_width.min(127),
+            max_bad_cycles,
+            per_cycle_threshold,
+        );
+        let mut bmc = Bmc::new(&miter);
+        bmc.set_budget(self.budget);
+        match bmc.check_any_up_to(k) {
+            BmcResult::Cex(t) => Ok(Some(t)),
+            BmcResult::Clear => Ok(None),
+            BmcResult::Unknown => Err(AnalysisError::BudgetExhausted {
+                known_low: 0,
+                known_high: u128::MAX,
+            }),
+        }
+    }
+
+    /// The exact maximum number of erroneous cycles (error above
+    /// `per_cycle_threshold`) any input sequence can cause within the
+    /// first `k + 1` cycles — the worst-case temporal error rate is this
+    /// value divided by `k + 1`.
+    ///
+    /// # Errors
+    ///
+    /// [`AnalysisError::BudgetExhausted`] if any probe runs out of budget.
+    pub fn max_error_cycles_at(
+        &self,
+        k: usize,
+        per_cycle_threshold: u128,
+    ) -> Result<ErrorReport<u32>, AnalysisError> {
+        let mut sat_calls = 0u64;
+        let value = search_max_error((k + 1) as u128, |t| {
+            sat_calls += 1;
+            match self.check_error_cycles_exceed(t, k, per_cycle_threshold)? {
+                Some(trace) => {
+                    // Count the erroneous cycles the witness actually shows.
+                    let og = trace.replay(self.golden);
+                    let oc = trace.replay(self.approx);
+                    let witnessed = og
+                        .iter()
+                        .zip(&oc)
+                        .filter(|(g, c)| {
+                            bits_to_u128(g).abs_diff(bits_to_u128(c)) > per_cycle_threshold
+                        })
+                        .count() as u128;
+                    Ok(Probe::Exceeds(witnessed.max(t + 1)))
+                }
+                None => Ok(Probe::Within),
+            }
+        })?;
+        Ok(ErrorReport {
+            value: value as u32,
+            sat_calls,
+            conflicts: 0,
+        })
+    }
+
+    /// Random-simulation baseline: the largest error observed over
+    /// `trajectories` random input sequences of `cycles` cycles (64
+    /// trajectories are simulated per pass). A **lower bound** with no
+    /// guarantee — the comparison point for the precise engines.
+    pub fn simulated_worst_case_error(
+        &self,
+        cycles: usize,
+        trajectories: u64,
+        seed: u64,
+    ) -> u128 {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let n_in = self.golden.num_inputs();
+        let n_out = self.golden.num_outputs();
+        let mut worst = 0u128;
+        let mut done = 0u64;
+        while done < trajectories {
+            let lanes = 64.min(trajectories - done) as usize;
+            let mut sg = Simulator::new(self.golden);
+            let mut sa = Simulator::new(self.approx);
+            for _ in 0..cycles {
+                let inputs: Vec<u64> = (0..n_in).map(|_| rng.gen()).collect();
+                let og = sg.step(&inputs);
+                let oc = sa.step(&inputs);
+                for l in 0..lanes {
+                    let mut g = 0u128;
+                    let mut c = 0u128;
+                    for b in 0..n_out.min(128) {
+                        g |= (((og[b] >> l) & 1) as u128) << b;
+                        c |= (((oc[b] >> l) & 1) as u128) << b;
+                    }
+                    worst = worst.max(g.abs_diff(c));
+                }
+            }
+            done += lanes as u64;
+        }
+        worst
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::ErrorGrowth;
+    use axmc_circuit::{approx, generators};
+    use axmc_seq::{accumulator, fir_moving_sum, registered_alu};
+
+    #[test]
+    fn earliest_error_accumulator() {
+        let golden = accumulator(&generators::ripple_carry_adder(4), 4);
+        let apx = accumulator(&approx::truncated_adder(4, 2), 4);
+        let analyzer = SeqAnalyzer::new(&golden, &apx);
+        let e = analyzer.earliest_error(8).unwrap();
+        // State is output; first wrong state appears at cycle 1 (after the
+        // first mis-addition is latched).
+        assert_eq!(e.cycle, Some(1));
+        let trace = e.trace.unwrap();
+        assert!(analyzer.trace_error(&trace) > 0);
+    }
+
+    #[test]
+    fn earliest_error_respects_pipeline_latency() {
+        // Registered ALU: operands register in cycle 0, result registers in
+        // cycle 1, output observable in cycle 2.
+        let golden = registered_alu(&generators::ripple_carry_adder(4), 4);
+        let apx = registered_alu(&approx::truncated_adder(4, 2), 4);
+        let analyzer = SeqAnalyzer::new(&golden, &apx);
+        let e = analyzer.earliest_error(8).unwrap();
+        assert_eq!(e.cycle, Some(2));
+    }
+
+    #[test]
+    fn no_error_for_equivalent_components() {
+        let golden = accumulator(&generators::ripple_carry_adder(4), 4);
+        let same = accumulator(&generators::carry_select_adder(4, 2), 4);
+        let analyzer = SeqAnalyzer::new(&golden, &same);
+        let e = analyzer.earliest_error(6).unwrap();
+        assert_eq!(e.cycle, None);
+        assert_eq!(analyzer.worst_case_error_at(4).unwrap().value, 0);
+    }
+
+    #[test]
+    fn wce_at_k_matches_explicit_search() {
+        // 4-bit accumulator with LOA(2): cross-check BMC-based WCE@k
+        // against brute-force search over all input sequences.
+        let width = 4;
+        let golden = accumulator(&generators::ripple_carry_adder(width), width);
+        let apx = accumulator(&approx::lower_or_adder(width, 2), width);
+        let analyzer = SeqAnalyzer::new(&golden, &apx);
+
+        // Brute force over all input sequences of length 3 (16^3 = 4096).
+        let mut brute = 0u128;
+        for seq_id in 0..(16u64 * 16 * 16) {
+            let inputs: Vec<u128> =
+                vec![(seq_id % 16) as u128, ((seq_id / 16) % 16) as u128, ((seq_id / 256) % 16) as u128];
+            let trace = Trace {
+                inputs: inputs
+                    .iter()
+                    .map(|&v| (0..width).map(|i| (v >> i) & 1 == 1).collect())
+                    .collect(),
+            };
+            brute = brute.max(analyzer.trace_error(&trace));
+        }
+        let formal = analyzer.worst_case_error_at(2).unwrap();
+        assert_eq!(formal.value, brute);
+    }
+
+    #[test]
+    fn accumulator_errors_grow_but_fir_errors_plateau() {
+        let width = 4;
+        let golden_acc = accumulator(&generators::ripple_carry_adder(width), width);
+        let apx_acc = accumulator(&approx::truncated_adder(width, 2), width);
+        let acc_profile = SeqAnalyzer::new(&golden_acc, &apx_acc)
+            .error_profile(5)
+            .unwrap();
+        assert_eq!(acc_profile.growth(), ErrorGrowth::Accumulating);
+        // Profile is monotone by construction.
+        for w in acc_profile.profile.windows(2) {
+            assert!(w[0] <= w[1]);
+        }
+
+        let golden_fir = fir_moving_sum(&generators::ripple_carry_adder(width), width, 2);
+        let apx_fir = fir_moving_sum(&approx::truncated_adder(width, 2), width, 2);
+        let fir_profile = SeqAnalyzer::new(&golden_fir, &apx_fir)
+            .error_profile(5)
+            .unwrap();
+        assert_eq!(fir_profile.growth(), ErrorGrowth::Bounded);
+    }
+
+    #[test]
+    fn prove_bound_on_feedforward_design() {
+        // Registered ALU output error equals the component's combinational
+        // error, so the component's WCE is an unbounded sequential bound.
+        let width = 4;
+        let golden = registered_alu(&generators::ripple_carry_adder(width), width);
+        let apx = registered_alu(&approx::truncated_adder(width, 2), width);
+        let analyzer = SeqAnalyzer::new(&golden, &apx);
+        let comb_wce: u128 = 6; // 2^(cut+1) - 2 for cut = 2
+        let opts = InductionOptions {
+            max_k: 4,
+            budget: Budget::unlimited(),
+            simple_path: false,
+        };
+        match analyzer.prove_error_bound(comb_wce, &opts) {
+            ProofResult::Proved { .. } => {}
+            other => panic!("expected proof, got {other:?}"),
+        }
+        // One less is falsifiable.
+        match analyzer.prove_error_bound(comb_wce - 1, &opts) {
+            ProofResult::Falsified(t) => assert!(analyzer.trace_error(&t) > comb_wce - 1),
+            other => panic!("expected falsification, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn simulation_is_a_lower_bound() {
+        let width = 4;
+        let golden = accumulator(&generators::ripple_carry_adder(width), width);
+        let apx = accumulator(&approx::speculative_adder(width, 2), width);
+        let analyzer = SeqAnalyzer::new(&golden, &apx);
+        let formal = analyzer.worst_case_error_at(3).unwrap().value;
+        let simulated = analyzer.simulated_worst_case_error(4, 128, 7);
+        assert!(simulated <= formal || formal == 0);
+    }
+
+    #[test]
+    fn temporal_error_rate_matches_structure() {
+        // Registered ALU (2-deep pipeline): within k = 4 (5 cycles), at
+        // most 3 result cycles are visible (cycles 2, 3, 4), and with a
+        // truncated adder every visible result can err.
+        let width = 4;
+        let golden = registered_alu(&generators::ripple_carry_adder(width), width);
+        let apx = registered_alu(&approx::truncated_adder(width, 2), width);
+        let analyzer = SeqAnalyzer::new(&golden, &apx);
+        let cycles = analyzer.max_error_cycles_at(4, 0).unwrap();
+        assert_eq!(cycles.value, 3);
+        // With a per-cycle threshold at the component WCE nothing counts.
+        let none = analyzer.max_error_cycles_at(4, 6).unwrap();
+        assert_eq!(none.value, 0);
+        // Equivalent pair: zero erroneous cycles.
+        let same = registered_alu(&generators::carry_select_adder(width, 2), width);
+        let eq = SeqAnalyzer::new(&golden, &same);
+        assert_eq!(eq.max_error_cycles_at(3, 0).unwrap().value, 0);
+    }
+
+    #[test]
+    fn max_tracker_error_is_bounded_in_feedback() {
+        // A feedback design whose error does NOT accumulate: the truncated
+        // comparator's lag is capped at 2^cut - 1 forever.
+        use axmc_seq::max_tracker;
+        let width = 4;
+        let cut = 2;
+        let bound = (1u128 << cut) - 1;
+        let golden = max_tracker(&generators::comparator(width), width);
+        let apx = max_tracker(&approx::truncated_comparator(width, cut), width);
+        let analyzer = SeqAnalyzer::new(&golden, &apx);
+        let profile = analyzer.error_profile(6).unwrap();
+        assert_eq!(profile.growth(), crate::report::ErrorGrowth::Bounded);
+        assert_eq!(*profile.profile.last().unwrap(), bound);
+        // The bound can never be falsified at any horizon.
+        let opts = InductionOptions {
+            max_k: 6,
+            budget: Budget::unlimited(),
+            simple_path: false,
+        };
+        match analyzer.prove_error_bound(bound, &opts) {
+            ProofResult::Falsified(t) => {
+                panic!("bound {bound} falsified by a {}-cycle trace", t.len())
+            }
+            // Proved or Unknown are both acceptable: the invariant may
+            // need auxiliary strengthening to close inductively.
+            _ => {}
+        }
+        // One below the bound is falsifiable.
+        match analyzer.prove_error_bound(bound - 1, &opts) {
+            ProofResult::Falsified(_) => {}
+            other => panic!("expected falsification below the bound, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn sweep_does_not_change_answers() {
+        let width = 4;
+        let golden = accumulator(&generators::ripple_carry_adder(width), width);
+        let apx = accumulator(&approx::lower_or_adder(width, 2), width);
+        let plain = SeqAnalyzer::new(&golden, &apx);
+        let swept = SeqAnalyzer::new(&golden, &apx).with_sweep(true);
+        for k in [1usize, 3] {
+            assert_eq!(
+                plain.worst_case_error_at(k).unwrap().value,
+                swept.worst_case_error_at(k).unwrap().value,
+                "k = {k}"
+            );
+            assert_eq!(
+                plain.bit_flip_error_at(k).unwrap().value,
+                swept.bit_flip_error_at(k).unwrap().value,
+                "bitflip k = {k}"
+            );
+        }
+        // Witness traces from the swept engine replay on the originals.
+        let trace = swept.check_error_exceeds(0, 3).unwrap().expect("diverges");
+        assert!(swept.trace_error(&trace) > 0);
+    }
+
+    #[test]
+    fn total_error_bounds_worst_case() {
+        // In a feed-forward pipeline each cycle contributes independently:
+        // the total error over k cycles can reach roughly k * WCE, while
+        // WCE@k is the single-cycle maximum.
+        let width = 4;
+        let golden = registered_alu(&generators::ripple_carry_adder(width), width);
+        let apx = registered_alu(&approx::truncated_adder(width, 2), width);
+        let analyzer = SeqAnalyzer::new(&golden, &apx);
+        let k = 3;
+        let wce = analyzer.worst_case_error_at(k).unwrap().value;
+        let total = analyzer.total_error_at(k, 10).unwrap().value;
+        assert!(total >= wce, "total {total} >= per-cycle max {wce}");
+        assert!(
+            total <= wce * (k as u128 + 1),
+            "total {total} bounded by (k+1)*wce"
+        );
+        // A 2-deep pipeline emits its first result in cycle 2, so within
+        // k = 3 at most two results are visible: total = 2 * wce.
+        assert_eq!(total, 2 * wce);
+    }
+
+    #[test]
+    fn total_error_zero_for_equivalent() {
+        let width = 4;
+        let a = accumulator(&generators::ripple_carry_adder(width), width);
+        let b = accumulator(&generators::carry_select_adder(width, 2), width);
+        let analyzer = SeqAnalyzer::new(&a, &b);
+        assert_eq!(analyzer.total_error_at(3, 8).unwrap().value, 0);
+        assert!(analyzer
+            .check_total_error_exceeds(0, 4, 8)
+            .unwrap()
+            .is_none());
+    }
+
+    #[test]
+    fn total_error_saturation_is_reported() {
+        // A 2-bit accumulator-wide total cannot hold the real sum: the
+        // API must refuse instead of under-reporting.
+        let width = 4;
+        let golden = accumulator(&generators::ripple_carry_adder(width), width);
+        let apx = accumulator(&approx::truncated_adder(width, 2), width);
+        let analyzer = SeqAnalyzer::new(&golden, &apx);
+        match analyzer.total_error_at(4, 2) {
+            Err(AnalysisError::BudgetExhausted { known_low, .. }) => {
+                assert_eq!(known_low, 3); // saturated at 2^2 - 1
+            }
+            other => panic!("expected saturation error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bit_flip_at_k_is_positive_for_truncation() {
+        let width = 4;
+        let golden = accumulator(&generators::ripple_carry_adder(width), width);
+        let apx = accumulator(&approx::truncated_adder(width, 2), width);
+        let analyzer = SeqAnalyzer::new(&golden, &apx);
+        let bf = analyzer.bit_flip_error_at(3).unwrap();
+        assert!(bf.value >= 1);
+        assert!(bf.value <= width as u32);
+    }
+}

@@ -1,0 +1,47 @@
+//! Model-checking engines for the `axmc` toolkit.
+//!
+//! The paper's error metrics for approximated components inside sequential
+//! circuits all reduce to safety questions over a sequential miter ("can
+//! the error flag ever rise?"). This crate answers them:
+//!
+//! * [`Bmc`] — incremental bounded model checking: unrolls the miter frame
+//!   by frame into one growing SAT instance and asks per-cycle assumptions,
+//!   returning shortest counterexample [`Trace`]s.
+//! * [`prove_invariant`] — k-induction with optional simple-path
+//!   constraints, for *unbounded* guarantees (the error can **never**
+//!   exceed the threshold).
+//! * [`explicit_reach`] — exact breadth-first state exploration for small
+//!   designs; the oracle the SAT engines are cross-checked against.
+//!
+//! # Examples
+//!
+//! Earliest cycle at which a settable latch can be observed high:
+//!
+//! ```
+//! use axmc_aig::Aig;
+//! use axmc_mc::{Bmc, BmcResult};
+//!
+//! let mut aig = Aig::new();
+//! let set = aig.add_input();
+//! let q = aig.add_latch(false);
+//! let nxt = aig.or(q, set);
+//! aig.set_latch_next(0, nxt);
+//! aig.add_output(q);
+//!
+//! let mut bmc = Bmc::new(&aig);
+//! assert_eq!(bmc.check_at(0), BmcResult::Clear);
+//! assert!(matches!(bmc.check_at(1), BmcResult::Cex(_)));
+//! ```
+
+mod bmc;
+mod induction;
+mod reach;
+mod trace;
+mod unroll;
+pub mod vcd;
+
+pub use crate::bmc::{Bmc, BmcResult};
+pub use crate::induction::{prove_invariant, InductionOptions, ProofResult};
+pub use crate::reach::{explicit_reach, ReachResult};
+pub use crate::trace::Trace;
+pub use crate::unroll::Unroller;

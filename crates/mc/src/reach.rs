@@ -1,0 +1,205 @@
+//! Explicit-state reachability for small designs.
+//!
+//! A breadth-first sweep over the concrete state space. Exponential, but
+//! exact — used as a cross-checking oracle for the SAT-based engines and
+//! for tiny FSM-style benchmarks.
+
+use axmc_aig::{Aig, Simulator};
+use std::collections::{HashMap, VecDeque};
+
+/// Result of an explicit reachability sweep.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ReachResult {
+    /// Depth (cycle index) at which the bad output first fires, if ever.
+    pub bad_depth: Option<usize>,
+    /// Number of distinct reachable states visited.
+    pub num_states: usize,
+    /// True if the sweep explored every reachable state (always, unless a
+    /// limit is added later); retained for API stability.
+    pub complete: bool,
+}
+
+/// Exhaustively explores the reachable states of a single-output
+/// sequential AIG, reporting the earliest cycle in which the output can
+/// be 1.
+///
+/// The output is checked *in* each visited state over all input values
+/// (Moore- and Mealy-style properties both work: the output may depend on
+/// current inputs).
+///
+/// # Examples
+///
+/// ```
+/// use axmc_aig::{Aig, Word};
+/// use axmc_mc::explicit_reach;
+///
+/// // 2-bit counter; bad = state == 2.
+/// let mut aig = Aig::new();
+/// let state = Word::from_lits((0..2).map(|_| aig.add_latch(false)).collect());
+/// let (next, _) = state.add(&mut aig, &Word::constant(1, 2));
+/// for (k, &b) in next.bits().iter().enumerate() {
+///     aig.set_latch_next(k, b);
+/// }
+/// let eq = state.equals(&mut aig, &Word::constant(2, 2));
+/// aig.add_output(eq);
+///
+/// let r = explicit_reach(&aig, 100);
+/// assert_eq!(r.bad_depth, Some(2));
+/// assert_eq!(r.num_states, 4);
+/// ```
+///
+/// # Panics
+///
+/// Panics if the AIG has more than one output, more than 24 latches, or
+/// more than 16 inputs.
+pub fn explicit_reach(aig: &Aig, max_depth: usize) -> ReachResult {
+    assert_eq!(aig.num_outputs(), 1, "single-output circuits only");
+    let n_latches = aig.num_latches();
+    let n_inputs = aig.num_inputs();
+    assert!(n_latches <= 24, "too many latches for explicit search");
+    assert!(n_inputs <= 16, "too many inputs for explicit search");
+
+    let initial: u32 = aig
+        .latches()
+        .iter()
+        .enumerate()
+        .fold(0, |acc, (k, l)| acc | ((l.init as u32) << k));
+
+    let num_input_combos: u64 = 1u64 << n_inputs;
+    let mut sim = Simulator::new(aig);
+    let mut depth_of: HashMap<u32, usize> = HashMap::new();
+    depth_of.insert(initial, 0);
+    let mut queue: VecDeque<u32> = VecDeque::new();
+    queue.push_back(initial);
+    let mut bad_depth: Option<usize> = None;
+
+    while let Some(state) = queue.pop_front() {
+        let depth = depth_of[&state];
+        if depth > max_depth {
+            continue;
+        }
+        if let Some(b) = bad_depth {
+            if depth >= b {
+                continue; // deeper states cannot improve the earliest hit
+            }
+        }
+        // Evaluate all input combinations in batches of 64 lanes.
+        let mut base: u64 = 0;
+        while base < num_input_combos {
+            let lanes = 64.min(num_input_combos - base) as u32;
+            let state_packed: Vec<u64> = (0..n_latches)
+                .map(|k| if (state >> k) & 1 == 1 { u64::MAX } else { 0 })
+                .collect();
+            sim.set_state(&state_packed);
+            let inputs: Vec<u64> = (0..n_inputs)
+                .map(|i| {
+                    let mut p = 0u64;
+                    for l in 0..lanes {
+                        if ((base + l as u64) >> i) & 1 == 1 {
+                            p |= 1 << l;
+                        }
+                    }
+                    p
+                })
+                .collect();
+            let out = sim.step(&inputs);
+            let next_states = sim.state().to_vec();
+            for l in 0..lanes {
+                if (out[0] >> l) & 1 == 1 {
+                    bad_depth = Some(bad_depth.map_or(depth, |b| b.min(depth)));
+                }
+                let mut ns: u32 = 0;
+                for (k, &pat) in next_states.iter().enumerate() {
+                    if (pat >> l) & 1 == 1 {
+                        ns |= 1 << k;
+                    }
+                }
+                if depth + 1 <= max_depth {
+                    depth_of.entry(ns).or_insert_with(|| {
+                        queue.push_back(ns);
+                        depth + 1
+                    });
+                }
+            }
+            base += 64;
+        }
+    }
+
+    ReachResult {
+        bad_depth,
+        num_states: depth_of.len(),
+        complete: true,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use axmc_aig::Word;
+
+    #[test]
+    fn unreachable_stays_none() {
+        // Counter by 2: odd states unreachable; bad = state == 3.
+        let mut aig = Aig::new();
+        let state = Word::from_lits((0..3).map(|_| aig.add_latch(false)).collect());
+        let (next, _) = state.add(&mut aig, &Word::constant(2, 3));
+        for (k, &b) in next.bits().iter().enumerate() {
+            aig.set_latch_next(k, b);
+        }
+        let eq = state.equals(&mut aig, &Word::constant(3, 3));
+        aig.add_output(eq);
+
+        let r = explicit_reach(&aig, 50);
+        assert_eq!(r.bad_depth, None);
+        assert_eq!(r.num_states, 4); // 0, 2, 4, 6
+    }
+
+    #[test]
+    fn input_driven_reachability() {
+        // Saturating set latch; bad = latch high (needs input true).
+        let mut aig = Aig::new();
+        let set = aig.add_input();
+        let q = aig.add_latch(false);
+        let nxt = aig.or(q, set);
+        aig.set_latch_next(0, nxt);
+        aig.add_output(q);
+
+        let r = explicit_reach(&aig, 10);
+        assert_eq!(r.bad_depth, Some(1));
+        assert_eq!(r.num_states, 2);
+    }
+
+    #[test]
+    fn mealy_output_detected_at_depth_zero() {
+        // bad = input itself (combinational escape).
+        let mut aig = Aig::new();
+        let x = aig.add_input();
+        let _q = aig.add_latch(false);
+        aig.add_output(x);
+        let r = explicit_reach(&aig, 5);
+        assert_eq!(r.bad_depth, Some(0));
+    }
+
+    #[test]
+    fn agrees_with_bmc_on_counter() {
+        use crate::{Bmc, BmcResult};
+        // Counter reaches 6 at depth 6.
+        let mut aig = Aig::new();
+        let state = Word::from_lits((0..3).map(|_| aig.add_latch(false)).collect());
+        let (next, _) = state.add(&mut aig, &Word::constant(1, 3));
+        for (k, &b) in next.bits().iter().enumerate() {
+            aig.set_latch_next(k, b);
+        }
+        let eq = state.equals(&mut aig, &Word::constant(6, 3));
+        aig.add_output(eq);
+
+        let r = explicit_reach(&aig, 50);
+        assert_eq!(r.bad_depth, Some(6));
+
+        let mut bmc = Bmc::new(&aig);
+        for k in 0..6 {
+            assert_eq!(bmc.check_at(k), BmcResult::Clear);
+        }
+        assert!(matches!(bmc.check_at(6), BmcResult::Cex(_)));
+    }
+}

@@ -1,0 +1,76 @@
+//! Counterexample traces.
+
+use axmc_aig::{Aig, Simulator};
+
+/// A finite input trace witnessing a property violation.
+///
+/// `inputs[k]` holds the primary-input values applied in cycle `k`; the
+/// violation occurs in the final cycle.
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct Trace {
+    /// Per-cycle input assignments.
+    pub inputs: Vec<Vec<bool>>,
+}
+
+impl Trace {
+    /// Number of cycles in the trace.
+    pub fn len(&self) -> usize {
+        self.inputs.len()
+    }
+
+    /// Returns `true` if the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.inputs.is_empty()
+    }
+
+    /// Replays the trace on a sequential AIG from its reset state and
+    /// returns the outputs observed in each cycle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trace's input width differs from the AIG's.
+    pub fn replay(&self, aig: &Aig) -> Vec<Vec<bool>> {
+        let mut sim = Simulator::new(aig);
+        self.inputs
+            .iter()
+            .map(|frame| {
+                assert_eq!(frame.len(), aig.num_inputs(), "trace width mismatch");
+                let packed: Vec<u64> = frame.iter().map(|&b| b as u64).collect();
+                sim.step(&packed).iter().map(|&v| v & 1 == 1).collect()
+            })
+            .collect()
+    }
+
+    /// Replays the trace and returns the final-cycle outputs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trace is empty or widths mismatch.
+    pub fn final_outputs(&self, aig: &Aig) -> Vec<bool> {
+        self.replay(aig).pop().expect("nonempty trace")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use axmc_aig::Aig;
+
+    #[test]
+    fn replay_toggle_latch() {
+        let mut aig = Aig::new();
+        let en = aig.add_input();
+        let q = aig.add_latch(false);
+        let nxt = aig.xor(q, en);
+        aig.set_latch_next(0, nxt);
+        aig.add_output(q);
+
+        let trace = Trace {
+            inputs: vec![vec![true], vec![false], vec![true]],
+        };
+        let outs = trace.replay(&aig);
+        assert_eq!(outs, vec![vec![false], vec![true], vec![true]]);
+        assert_eq!(trace.final_outputs(&aig), vec![true]);
+        assert_eq!(trace.len(), 3);
+    }
+}

@@ -1,0 +1,214 @@
+//! VCD (Value Change Dump) export of counterexample traces.
+//!
+//! Every counterexample the engines produce is an input [`Trace`]; for
+//! debugging in a waveform viewer (GTKWave etc.) this module replays the
+//! trace on the circuit and dumps inputs, outputs and latch states as a
+//! standard VCD file.
+
+use crate::Trace;
+use axmc_aig::{Aig, Simulator};
+use std::fmt::Write as _;
+
+/// Signal naming for the VCD dump.
+#[derive(Clone, Debug, Default)]
+pub struct VcdNames {
+    /// Name of the module scope (default `"axmc"`).
+    pub scope: Option<String>,
+    /// Per-input names; missing entries default to `in<k>`.
+    pub inputs: Vec<String>,
+    /// Per-output names; missing entries default to `out<k>`.
+    pub outputs: Vec<String>,
+}
+
+/// Renders a trace replayed on `aig` as VCD text.
+///
+/// Each trace step occupies 10 time units; inputs change at the step
+/// boundary, outputs and latch states are sampled in the same step
+/// (combinational view of the current cycle).
+///
+/// # Examples
+///
+/// ```
+/// use axmc_aig::Aig;
+/// use axmc_mc::{Trace, vcd};
+///
+/// let mut aig = Aig::new();
+/// let x = aig.add_input();
+/// let q = aig.add_latch(false);
+/// let nxt = aig.or(q, x);
+/// aig.set_latch_next(0, nxt);
+/// aig.add_output(q);
+///
+/// let trace = Trace { inputs: vec![vec![true], vec![false]] };
+/// let dump = vcd::trace_to_vcd(&aig, &trace, &vcd::VcdNames::default());
+/// assert!(dump.contains("$enddefinitions"));
+/// assert!(dump.contains("#10"));
+/// ```
+///
+/// # Panics
+///
+/// Panics if the trace's input width does not match the circuit's.
+pub fn trace_to_vcd(aig: &Aig, trace: &Trace, names: &VcdNames) -> String {
+    let n_in = aig.num_inputs();
+    let n_out = aig.num_outputs();
+    let n_state = aig.num_latches();
+    // VCD identifier characters: printable ASCII, assigned sequentially.
+    let ident = |k: usize| -> String {
+        let mut k = k;
+        let mut s = String::new();
+        loop {
+            s.push((33 + (k % 94)) as u8 as char);
+            k /= 94;
+            if k == 0 {
+                break;
+            }
+        }
+        s
+    };
+    let name_of = |list: &[String], prefix: &str, k: usize| -> String {
+        list.get(k)
+            .cloned()
+            .unwrap_or_else(|| format!("{prefix}{k}"))
+    };
+
+    let mut out = String::new();
+    out.push_str("$date axmc counterexample $end\n");
+    out.push_str("$version axmc $end\n");
+    out.push_str("$timescale 1ns $end\n");
+    let scope = names.scope.clone().unwrap_or_else(|| "axmc".to_string());
+    let _ = writeln!(out, "$scope module {scope} $end");
+    for k in 0..n_in {
+        let _ = writeln!(
+            out,
+            "$var wire 1 {} {} $end",
+            ident(k),
+            name_of(&names.inputs, "in", k)
+        );
+    }
+    for k in 0..n_out {
+        let _ = writeln!(
+            out,
+            "$var wire 1 {} {} $end",
+            ident(n_in + k),
+            name_of(&names.outputs, "out", k)
+        );
+    }
+    for k in 0..n_state {
+        let _ = writeln!(out, "$var reg 1 {} state{k} $end", ident(n_in + n_out + k));
+    }
+    out.push_str("$upscope $end\n$enddefinitions $end\n");
+
+    let mut sim = Simulator::new(aig);
+    let mut last: Vec<Option<bool>> = vec![None; n_in + n_out + n_state];
+    for (step, frame) in trace.inputs.iter().enumerate() {
+        assert_eq!(frame.len(), n_in, "trace width mismatch");
+        let state_before: Vec<bool> = sim.state().iter().map(|&w| w & 1 == 1).collect();
+        let packed: Vec<u64> = frame.iter().map(|&b| b as u64).collect();
+        let outputs: Vec<bool> = sim.step(&packed).iter().map(|&w| w & 1 == 1).collect();
+
+        let _ = writeln!(out, "#{}", step * 10);
+        let mut emit = |slot: usize, value: bool, out: &mut String| {
+            if last[slot] != Some(value) {
+                let _ = writeln!(out, "{}{}", if value { '1' } else { '0' }, ident(slot));
+                last[slot] = Some(value);
+            }
+        };
+        for (k, &b) in frame.iter().enumerate() {
+            emit(k, b, &mut out);
+        }
+        for (k, &b) in outputs.iter().enumerate() {
+            emit(n_in + k, b, &mut out);
+        }
+        for (k, &b) in state_before.iter().enumerate() {
+            emit(n_in + n_out + k, b, &mut out);
+        }
+    }
+    let _ = writeln!(out, "#{}", trace.len() * 10);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toggle_circuit() -> Aig {
+        let mut aig = Aig::new();
+        let en = aig.add_input();
+        let q = aig.add_latch(false);
+        let nxt = aig.xor(q, en);
+        aig.set_latch_next(0, nxt);
+        aig.add_output(q);
+        aig
+    }
+
+    #[test]
+    fn header_and_timesteps_present() {
+        let aig = toggle_circuit();
+        let trace = Trace {
+            inputs: vec![vec![true], vec![true], vec![false]],
+        };
+        let dump = trace_to_vcd(&aig, &trace, &VcdNames::default());
+        for needle in [
+            "$timescale",
+            "$enddefinitions",
+            "$var wire 1 ! in0",
+            "$var wire 1 \" out0",
+            "$var reg 1 # state0",
+            "#0",
+            "#10",
+            "#20",
+            "#30",
+        ] {
+            assert!(dump.contains(needle), "missing {needle:?} in:\n{dump}");
+        }
+    }
+
+    #[test]
+    fn values_track_the_replay() {
+        let aig = toggle_circuit();
+        // enable, enable, hold: q = 0, 1, 0 at sample times.
+        let trace = Trace {
+            inputs: vec![vec![true], vec![true], vec![false]],
+        };
+        let dump = trace_to_vcd(&aig, &trace, &VcdNames::default());
+        // Output identifier is '"' (second signal). Initial 0, then 1 at
+        // #10, then 0 at #20.
+        let lines: Vec<&str> = dump.lines().collect();
+        let idx0 = lines.iter().position(|&l| l == "#0").unwrap();
+        let idx10 = lines.iter().position(|&l| l == "#10").unwrap();
+        let idx20 = lines.iter().position(|&l| l == "#20").unwrap();
+        assert!(lines[idx0..idx10].contains(&"0\""));
+        assert!(lines[idx10..idx20].contains(&"1\""));
+        assert!(lines[idx20..].contains(&"0\""));
+    }
+
+    #[test]
+    fn custom_names_are_used() {
+        let aig = toggle_circuit();
+        let trace = Trace {
+            inputs: vec![vec![true]],
+        };
+        let names = VcdNames {
+            scope: Some("dut".into()),
+            inputs: vec!["enable".into()],
+            outputs: vec!["q".into()],
+        };
+        let dump = trace_to_vcd(&aig, &trace, &names);
+        assert!(dump.contains("$scope module dut $end"));
+        assert!(dump.contains("enable $end"));
+        assert!(dump.contains("q $end"));
+    }
+
+    #[test]
+    fn change_only_encoding() {
+        // Constant input: after the first step no further value lines for
+        // the input appear.
+        let aig = toggle_circuit();
+        let trace = Trace {
+            inputs: vec![vec![false]; 4],
+        };
+        let dump = trace_to_vcd(&aig, &trace, &VcdNames::default());
+        let input_changes = dump.lines().filter(|l| *l == "0!" || *l == "1!").count();
+        assert_eq!(input_changes, 1);
+    }
+}

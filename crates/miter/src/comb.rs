@@ -1,0 +1,403 @@
+//! Combinational miter constructions.
+//!
+//! A miter combines a golden circuit `G` and a candidate `C` over shared
+//! inputs into a single-output circuit whose output is satisfiable exactly
+//! when the two circuits disagree in the sense under test: strict
+//! inequality, arithmetic error above a threshold, or Hamming distance
+//! above a threshold.
+
+use axmc_aig::{Aig, Lit, Word};
+
+/// Copies the combinational logic of `src` into `dst` over the given input
+/// literals, returning the images of `src`'s outputs.
+///
+/// # Panics
+///
+/// Panics if `src` has latches or `inputs.len() != src.num_inputs()`.
+pub fn embed_comb(dst: &mut Aig, src: &Aig, inputs: &[Lit]) -> Vec<Lit> {
+    assert_eq!(src.num_latches(), 0, "combinational circuits only");
+    assert_eq!(inputs.len(), src.num_inputs(), "input count mismatch");
+    let outputs: Vec<_> = src.outputs().to_vec();
+    dst.import_cone(src, &outputs, inputs, &[])
+}
+
+fn check_interfaces(golden: &Aig, candidate: &Aig) {
+    assert_eq!(
+        golden.num_inputs(),
+        candidate.num_inputs(),
+        "input count mismatch between golden and candidate"
+    );
+    assert_eq!(
+        golden.num_outputs(),
+        candidate.num_outputs(),
+        "output count mismatch between golden and candidate"
+    );
+}
+
+/// The strict equivalence miter: output is 1 iff any output bit differs.
+///
+/// # Examples
+///
+/// ```
+/// use axmc_circuit::generators::ripple_carry_adder;
+/// use axmc_miter::strict_miter;
+///
+/// let a = ripple_carry_adder(4).to_aig();
+/// let b = ripple_carry_adder(4).to_aig();
+/// let miter = strict_miter(&a, &b);
+/// assert_eq!(miter.num_outputs(), 1);
+/// ```
+///
+/// # Panics
+///
+/// Panics if the interfaces differ or either circuit is sequential.
+pub fn strict_miter(golden: &Aig, candidate: &Aig) -> Aig {
+    check_interfaces(golden, candidate);
+    let mut m = Aig::new();
+    let inputs = m.add_inputs(golden.num_inputs());
+    let og = embed_comb(&mut m, golden, &inputs);
+    let oc = embed_comb(&mut m, candidate, &inputs);
+    let diffs: Vec<Lit> = og
+        .iter()
+        .zip(&oc)
+        .map(|(&a, &b)| m.xor(a, b))
+        .collect();
+    let bad = m.or_all(&diffs);
+    m.add_output(bad);
+    m
+}
+
+/// The n-th-bit miter: output is 1 iff output bit `bit` differs.
+///
+/// Only the cone of that single bit is constructed, which is what makes
+/// the bit-by-bit scan cheap.
+///
+/// # Panics
+///
+/// Panics if `bit` is out of range, the interfaces differ, or either
+/// circuit is sequential.
+pub fn nth_bit_miter(golden: &Aig, candidate: &Aig, bit: usize) -> Aig {
+    check_interfaces(golden, candidate);
+    assert!(bit < golden.num_outputs(), "bit index out of range");
+    let mut m = Aig::new();
+    let inputs = m.add_inputs(golden.num_inputs());
+    let og = m.import_cone(golden, &[golden.outputs()[bit]], &inputs, &[]);
+    let oc = m.import_cone(candidate, &[candidate.outputs()[bit]], &inputs, &[]);
+    let bad = m.xor(og[0], oc[0]);
+    m.add_output(bad);
+    m.compact()
+}
+
+/// The baseline worst-case-error miter: subtractor, absolute value, and a
+/// comparator against `threshold`. Output is 1 iff
+/// `|int(G) - int(C)| > threshold`.
+///
+/// This is the construction the cheaper [`diff_threshold_miter`] is
+/// measured against in the evaluation.
+///
+/// # Panics
+///
+/// Panics if the interfaces differ or either circuit is sequential.
+pub fn abs_diff_threshold_miter(golden: &Aig, candidate: &Aig, threshold: u128) -> Aig {
+    check_interfaces(golden, candidate);
+    let mut m = Aig::new();
+    let inputs = m.add_inputs(golden.num_inputs());
+    let og = Word::from_lits(embed_comb(&mut m, golden, &inputs));
+    let oc = Word::from_lits(embed_comb(&mut m, candidate, &inputs));
+    let diff = og.sub_signed(&mut m, &oc); // m+1 bits, two's complement
+    let abs = diff.abs(&mut m);
+    let bad = abs.ugt_const(&mut m, threshold);
+    m.add_output(bad);
+    m
+}
+
+/// The proposed worst-case-error miter: subtractor with **two's-complement**
+/// result and a constant-propagated comparator on each sign side — no
+/// absolute-value stage. Output is 1 iff `|int(G) - int(C)| > threshold`.
+///
+/// With output width `m`, writing `low` for the unsigned value of the low
+/// `m` difference bits and `s` for the sign bit:
+///
+/// * positive side: `!s && low > T`
+/// * negative side: `s && low < 2^m - T`, encoded as `!(low > 2^m - T - 1)`
+///
+/// # Examples
+///
+/// ```
+/// use axmc_circuit::{generators, approx};
+/// use axmc_miter::diff_threshold_miter;
+///
+/// let golden = generators::ripple_carry_adder(4).to_aig();
+/// let cheap = approx::truncated_adder(4, 2).to_aig();
+/// let miter = diff_threshold_miter(&golden, &cheap, 5);
+/// // satisfiable iff some input pair errs by more than 5
+/// assert_eq!(miter.num_outputs(), 1);
+/// ```
+///
+/// # Panics
+///
+/// Panics if the interfaces differ or either circuit is sequential.
+pub fn diff_threshold_miter(golden: &Aig, candidate: &Aig, threshold: u128) -> Aig {
+    check_interfaces(golden, candidate);
+    let mut m = Aig::new();
+    let inputs = m.add_inputs(golden.num_inputs());
+    let og = Word::from_lits(embed_comb(&mut m, golden, &inputs));
+    let oc = Word::from_lits(embed_comb(&mut m, candidate, &inputs));
+    let diff = og.sub_signed(&mut m, &oc);
+    let bad = diff_exceeds(&mut m, &diff, threshold);
+    m.add_output(bad);
+    m
+}
+
+/// Given a two's-complement difference word (sign bit on top), builds the
+/// flag `|diff| > threshold` without an absolute-value stage.
+pub fn diff_exceeds(m: &mut Aig, diff: &Word, threshold: u128) -> Lit {
+    let width = diff.width() - 1; // magnitude bits
+    let sign = diff.msb();
+    let low = Word::from_lits(diff.bits()[..width].to_vec());
+    let pos = low.ugt_const(m, threshold);
+    let pos_side = m.and(!sign, pos);
+    // Negative: |v| = 2^width - low > T  <=>  low < 2^width - T.
+    let neg_side = if width >= 128 || threshold >= (1u128 << width) {
+        // |v| <= 2^width can never exceed such a threshold on this side.
+        Lit::FALSE
+    } else {
+        let not_small = low.ugt_const(m, (1u128 << width) - threshold - 1);
+        m.and(sign, !not_small)
+    };
+    m.or(pos_side, neg_side)
+}
+
+/// The comparator-less difference miter: outputs the **two's-complement
+/// difference word** `int(G) - int(C)` (`m + 1` bits, sign last) instead
+/// of a single flag.
+///
+/// This is the encode-once form used by incremental threshold searches:
+/// the caller attaches comparators for each probed threshold at the CNF
+/// level (see `axmc_cnf::gates::abs_diff_exceeds`), so the circuits are
+/// encoded a single time for the whole search.
+///
+/// # Panics
+///
+/// Panics if the interfaces differ or either circuit is sequential.
+pub fn diff_word_miter(golden: &Aig, candidate: &Aig) -> Aig {
+    check_interfaces(golden, candidate);
+    let mut m = Aig::new();
+    let inputs = m.add_inputs(golden.num_inputs());
+    let og = Word::from_lits(embed_comb(&mut m, golden, &inputs));
+    let oc = Word::from_lits(embed_comb(&mut m, candidate, &inputs));
+    let diff = og.sub_signed(&mut m, &oc);
+    for &b in diff.bits() {
+        m.add_output(b);
+    }
+    m
+}
+
+/// The comparator-less Hamming miter: outputs the **popcount word** of the
+/// XOR of the two circuits' outputs (encode-once form of
+/// [`bit_flip_threshold_miter`]).
+///
+/// # Panics
+///
+/// Panics if the interfaces differ or either circuit is sequential.
+pub fn popcount_word_miter(golden: &Aig, candidate: &Aig) -> Aig {
+    check_interfaces(golden, candidate);
+    let mut m = Aig::new();
+    let inputs = m.add_inputs(golden.num_inputs());
+    let og = embed_comb(&mut m, golden, &inputs);
+    let oc = embed_comb(&mut m, candidate, &inputs);
+    let diffs: Vec<Lit> = og
+        .iter()
+        .zip(&oc)
+        .map(|(&a, &b)| m.xor(a, b))
+        .collect();
+    let count = Word::from_lits(diffs).popcount(&mut m);
+    for &b in count.bits() {
+        m.add_output(b);
+    }
+    m
+}
+
+/// The bit-flip (Hamming-distance) miter: output is 1 iff the number of
+/// differing output bits exceeds `threshold`.
+///
+/// # Panics
+///
+/// Panics if the interfaces differ or either circuit is sequential.
+pub fn bit_flip_threshold_miter(golden: &Aig, candidate: &Aig, threshold: u32) -> Aig {
+    check_interfaces(golden, candidate);
+    let mut m = Aig::new();
+    let inputs = m.add_inputs(golden.num_inputs());
+    let og = embed_comb(&mut m, golden, &inputs);
+    let oc = embed_comb(&mut m, candidate, &inputs);
+    let diffs: Vec<Lit> = og
+        .iter()
+        .zip(&oc)
+        .map(|(&a, &b)| m.xor(a, b))
+        .collect();
+    let count = Word::from_lits(diffs).popcount(&mut m);
+    let bad = count.ugt_const(&mut m, threshold as u128);
+    m.add_output(bad);
+    m
+}
+
+/// Size statistics of a miter, for the miter-architecture comparison.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct MiterStats {
+    /// AND nodes after compaction.
+    pub nodes: usize,
+    /// Non-constant fanin edges after compaction.
+    pub edges: usize,
+}
+
+/// Measures a miter's size after dead-logic compaction.
+pub fn miter_stats(miter: &Aig) -> MiterStats {
+    let c = miter.compact();
+    MiterStats {
+        nodes: c.num_ands(),
+        edges: c.num_edges(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use axmc_aig::sim::for_each_assignment;
+    use axmc_circuit::{approx, generators};
+
+    /// True iff the miter output is 1 for some assignment (exhaustive).
+    fn satisfiable(miter: &Aig) -> bool {
+        let mut sat = false;
+        for_each_assignment(miter, |_, out| {
+            if out & 1 == 1 {
+                sat = true;
+            }
+        });
+        sat
+    }
+
+    fn wce_exhaustive(width: usize, candidate: &axmc_circuit::Netlist) -> u128 {
+        let mut worst = 0u128;
+        for a in 0..(1u128 << width) {
+            for b in 0..(1u128 << width) {
+                let got = candidate.eval_binop(a, b);
+                worst = worst.max((a + b).abs_diff(got));
+            }
+        }
+        worst
+    }
+
+    #[test]
+    fn strict_miter_unsat_for_equivalent() {
+        let rca = generators::ripple_carry_adder(3).to_aig();
+        let csa = generators::carry_select_adder(3, 2).to_aig();
+        let m = strict_miter(&rca, &csa);
+        assert!(!satisfiable(&m));
+    }
+
+    #[test]
+    fn strict_miter_sat_for_different() {
+        let exact = generators::ripple_carry_adder(3).to_aig();
+        let trunc = approx::truncated_adder(3, 1).to_aig();
+        let m = strict_miter(&exact, &trunc);
+        assert!(satisfiable(&m));
+    }
+
+    #[test]
+    fn diff_miter_brackets_wce() {
+        let width = 4;
+        let golden = generators::ripple_carry_adder(width).to_aig();
+        for cut in [1usize, 2] {
+            let cand_nl = approx::truncated_adder(width, cut);
+            let wce = wce_exhaustive(width, &cand_nl);
+            let cand = cand_nl.to_aig();
+            // err > wce  -> unsat; err > wce-1 -> sat.
+            assert!(!satisfiable(&diff_threshold_miter(&golden, &cand, wce)));
+            assert!(satisfiable(&diff_threshold_miter(&golden, &cand, wce - 1)));
+        }
+    }
+
+    #[test]
+    fn abs_and_diff_miters_agree() {
+        let width = 3;
+        let golden = generators::ripple_carry_adder(width).to_aig();
+        let cand = approx::lower_or_adder(width, 2).to_aig();
+        for t in 0..8u128 {
+            let a = satisfiable(&abs_diff_threshold_miter(&golden, &cand, t));
+            let b = satisfiable(&diff_threshold_miter(&golden, &cand, t));
+            assert_eq!(a, b, "threshold {t}");
+        }
+    }
+
+    #[test]
+    fn diff_miter_detects_negative_errors() {
+        // LOA over-estimates some sums (OR >= ADD on single bits is false;
+        // OR <= ADD, so candidate > golden is possible: 1|1=1 vs 1+1=2 means
+        // candidate < golden; to test the negative side swap roles).
+        let width = 3;
+        let golden = approx::lower_or_adder(width, 2).to_aig();
+        let cand = generators::ripple_carry_adder(width).to_aig();
+        // golden - cand is negative where the LOA underestimates.
+        let m = diff_threshold_miter(&golden, &cand, 0);
+        assert!(satisfiable(&m));
+    }
+
+    #[test]
+    fn proposed_miter_is_smaller() {
+        let width = 8;
+        let golden = generators::ripple_carry_adder(width).to_aig();
+        let cand = approx::truncated_adder(width, 3).to_aig();
+        let abs = miter_stats(&abs_diff_threshold_miter(&golden, &cand, 5));
+        let two = miter_stats(&diff_threshold_miter(&golden, &cand, 5));
+        assert!(
+            two.nodes < abs.nodes,
+            "two's-complement miter {} vs abs {}",
+            two.nodes,
+            abs.nodes
+        );
+    }
+
+    #[test]
+    fn nth_bit_miter_scans() {
+        let width = 3;
+        let golden = generators::ripple_carry_adder(width).to_aig();
+        let cand = approx::truncated_adder(width, 1).to_aig();
+        // Bit 0 is forced to 0 in the candidate -> differs.
+        assert!(satisfiable(&nth_bit_miter(&golden, &cand, 0)));
+        // The top bit (carry) is exact in the truncated adder for cut=1
+        // except when a carry from bit 0 would have rippled all the way up.
+        let full = strict_miter(&golden, &cand);
+        assert!(satisfiable(&full));
+    }
+
+    #[test]
+    fn bit_flip_miter_threshold() {
+        let width = 3;
+        let golden = generators::ripple_carry_adder(width).to_aig();
+        let cand = approx::truncated_adder(width, 2).to_aig();
+        // Max Hamming distance computed exhaustively.
+        let cand_nl = approx::truncated_adder(width, 2);
+        let golden_nl = generators::ripple_carry_adder(width);
+        let mut max_hd = 0u32;
+        for a in 0..8u128 {
+            for b in 0..8u128 {
+                let d = (golden_nl.eval_binop(a, b) ^ cand_nl.eval_binop(a, b)).count_ones();
+                max_hd = max_hd.max(d);
+            }
+        }
+        assert!(max_hd > 0);
+        assert!(!satisfiable(&bit_flip_threshold_miter(&golden, &cand, max_hd)));
+        assert!(satisfiable(&bit_flip_threshold_miter(&golden, &cand, max_hd - 1)));
+    }
+
+    #[test]
+    fn zero_threshold_equals_strict_for_arith() {
+        let width = 3;
+        let golden = generators::ripple_carry_adder(width).to_aig();
+        let cand = approx::truncated_adder(width, 1).to_aig();
+        assert_eq!(
+            satisfiable(&strict_miter(&golden, &cand)),
+            satisfiable(&diff_threshold_miter(&golden, &cand, 0))
+        );
+    }
+}

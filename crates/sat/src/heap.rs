@@ -1,0 +1,153 @@
+//! An indexed max-heap over variable activities (the VSIDS order).
+
+use crate::Var;
+
+/// A binary max-heap of variables keyed by an external activity array,
+/// supporting decrease/increase-key via an index map.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct VarOrder {
+    heap: Vec<Var>,
+    /// Position of each variable in `heap`, or `usize::MAX` if absent.
+    position: Vec<usize>,
+}
+
+const ABSENT: usize = usize::MAX;
+
+impl VarOrder {
+    #[cfg(test)]
+    pub fn new() -> Self {
+        VarOrder::default()
+    }
+
+    /// Registers a new variable index (must be called in increasing order).
+    pub fn grow_to(&mut self, num_vars: usize) {
+        while self.position.len() < num_vars {
+            self.position.push(ABSENT);
+        }
+    }
+
+    pub fn contains(&self, var: Var) -> bool {
+        self.position[var.index() as usize] != ABSENT
+    }
+
+    /// Inserts `var` if absent.
+    pub fn insert(&mut self, var: Var, activity: &[f64]) {
+        if self.contains(var) {
+            return;
+        }
+        self.position[var.index() as usize] = self.heap.len();
+        self.heap.push(var);
+        self.sift_up(self.heap.len() - 1, activity);
+    }
+
+    /// Removes and returns the variable with maximal activity.
+    pub fn pop(&mut self, activity: &[f64]) -> Option<Var> {
+        let top = *self.heap.first()?;
+        let last = self.heap.pop().expect("nonempty");
+        self.position[top.index() as usize] = ABSENT;
+        if !self.heap.is_empty() {
+            self.heap[0] = last;
+            self.position[last.index() as usize] = 0;
+            self.sift_down(0, activity);
+        }
+        Some(top)
+    }
+
+    /// Restores heap order after `var`'s activity increased.
+    pub fn update(&mut self, var: Var, activity: &[f64]) {
+        let pos = self.position[var.index() as usize];
+        if pos != ABSENT {
+            self.sift_up(pos, activity);
+        }
+    }
+
+    fn sift_up(&mut self, mut i: usize, activity: &[f64]) {
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            if activity[self.heap[i].index() as usize]
+                <= activity[self.heap[parent].index() as usize]
+            {
+                break;
+            }
+            self.swap(i, parent);
+            i = parent;
+        }
+    }
+
+    fn sift_down(&mut self, mut i: usize, activity: &[f64]) {
+        loop {
+            let l = 2 * i + 1;
+            let r = 2 * i + 2;
+            let mut best = i;
+            if l < self.heap.len()
+                && activity[self.heap[l].index() as usize]
+                    > activity[self.heap[best].index() as usize]
+            {
+                best = l;
+            }
+            if r < self.heap.len()
+                && activity[self.heap[r].index() as usize]
+                    > activity[self.heap[best].index() as usize]
+            {
+                best = r;
+            }
+            if best == i {
+                break;
+            }
+            self.swap(i, best);
+            i = best;
+        }
+    }
+
+    fn swap(&mut self, i: usize, j: usize) {
+        self.heap.swap(i, j);
+        self.position[self.heap[i].index() as usize] = i;
+        self.position[self.heap[j].index() as usize] = j;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_activity_order() {
+        let activity = vec![1.0, 5.0, 3.0, 4.0, 2.0];
+        let mut order = VarOrder::new();
+        order.grow_to(5);
+        for i in 0..5 {
+            order.insert(Var::new(i), &activity);
+        }
+        let mut popped = Vec::new();
+        while let Some(v) = order.pop(&activity) {
+            popped.push(v.index());
+        }
+        assert_eq!(popped, vec![1, 3, 2, 4, 0]);
+    }
+
+    #[test]
+    fn update_reorders() {
+        let mut activity = vec![1.0, 2.0, 3.0];
+        let mut order = VarOrder::new();
+        order.grow_to(3);
+        for i in 0..3 {
+            order.insert(Var::new(i), &activity);
+        }
+        activity[0] = 10.0;
+        order.update(Var::new(0), &activity);
+        assert_eq!(order.pop(&activity), Some(Var::new(0)));
+    }
+
+    #[test]
+    fn reinsert_after_pop() {
+        let activity = vec![1.0, 2.0];
+        let mut order = VarOrder::new();
+        order.grow_to(2);
+        order.insert(Var::new(0), &activity);
+        order.insert(Var::new(1), &activity);
+        let v = order.pop(&activity).unwrap();
+        assert!(!order.contains(v));
+        order.insert(v, &activity);
+        assert!(order.contains(v));
+    }
+}

@@ -1,0 +1,48 @@
+//! A from-scratch CDCL SAT solver with resource budgets, written for the
+//! `axmc` approximate-circuit verification toolkit.
+//!
+//! The solver implements the modern conflict-driven clause-learning loop:
+//!
+//! * two-watched-literal unit propagation,
+//! * first-UIP conflict analysis with local clause minimization,
+//! * VSIDS variable ordering with phase saving,
+//! * Luby-sequence restarts,
+//! * glue/activity-based learnt-clause database reduction,
+//! * incremental solving under **assumptions**.
+//!
+//! The feature that matters most to `axmc` is the **budget**: a solve call
+//! can be capped to a number of conflicts (or propagations) and returns
+//! [`SolveResult::Unknown`] when the cap is hit. The verifiability-driven
+//! search strategy treats `Unknown` as "this candidate is too expensive to
+//! verify — discard it", which is what keeps the evolutionary loop fast.
+//!
+//! # Examples
+//!
+//! ```
+//! use axmc_sat::{Solver, SolveResult, Budget};
+//!
+//! let mut solver = Solver::new();
+//! let x = solver.new_var();
+//! let y = solver.new_var();
+//! solver.add_clause(&[x.positive(), y.positive()]);
+//! solver.add_clause(&[x.negative(), y.negative()]);
+//!
+//! assert_eq!(solver.solve(), SolveResult::Sat);
+//! let (mx, my) = (
+//!     solver.model_value(x).unwrap(),
+//!     solver.model_value(y).unwrap(),
+//! );
+//! assert!(mx != my);
+//!
+//! // The same solver, reused under an assumption and a budget.
+//! solver.set_budget(Budget::unlimited().with_conflicts(10_000));
+//! assert_eq!(solver.solve_with_assumptions(&[x.positive()]), SolveResult::Sat);
+//! assert_eq!(solver.model_value(y), Some(false));
+//! ```
+
+mod heap;
+mod solver;
+mod types;
+
+pub use crate::solver::{Budget, SolveResult, Solver, SolverStats};
+pub use crate::types::{LBool, Lit, Var};

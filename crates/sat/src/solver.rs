@@ -1,0 +1,984 @@
+//! A conflict-driven clause-learning (CDCL) SAT solver.
+//!
+//! The design follows the MiniSat lineage: two-watched-literal propagation,
+//! first-UIP conflict analysis with clause minimization, VSIDS branching
+//! with phase saving, Luby restarts and activity-based learnt-clause
+//! deletion. On top of the classic loop it exposes **resource budgets**
+//! (conflict and propagation limits): a budgeted call returns
+//! [`SolveResult::Unknown`] instead of running to completion, which is the
+//! primitive the verifiability-driven search strategy is built on.
+
+use crate::heap::VarOrder;
+use crate::{LBool, Lit, Var};
+
+/// Outcome of a [`Solver::solve`] call.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SolveResult {
+    /// A satisfying assignment was found (see [`Solver::model_value`]).
+    Sat,
+    /// The formula is unsatisfiable (under the given assumptions, if any).
+    Unsat,
+    /// The resource budget was exhausted before a verdict was reached.
+    Unknown,
+}
+
+/// Resource limits for a single solver invocation.
+///
+/// A fresh [`Budget::unlimited`] imposes no limits. Limits are measured
+/// per-call: each `solve` starts counting from zero.
+///
+/// # Examples
+///
+/// ```
+/// use axmc_sat::Budget;
+///
+/// let b = Budget::unlimited().with_conflicts(20_000);
+/// assert_eq!(b.max_conflicts(), Some(20_000));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct Budget {
+    max_conflicts: Option<u64>,
+    max_propagations: Option<u64>,
+}
+
+impl Budget {
+    /// A budget with no limits.
+    pub const fn unlimited() -> Self {
+        Budget {
+            max_conflicts: None,
+            max_propagations: None,
+        }
+    }
+
+    /// Limits the number of conflicts per call.
+    pub const fn with_conflicts(mut self, limit: u64) -> Self {
+        self.max_conflicts = Some(limit);
+        self
+    }
+
+    /// Limits the number of unit propagations per call.
+    pub const fn with_propagations(mut self, limit: u64) -> Self {
+        self.max_propagations = Some(limit);
+        self
+    }
+
+    /// The conflict limit, if any.
+    pub const fn max_conflicts(&self) -> Option<u64> {
+        self.max_conflicts
+    }
+
+    /// The propagation limit, if any.
+    pub const fn max_propagations(&self) -> Option<u64> {
+        self.max_propagations
+    }
+}
+
+/// Cumulative statistics over the lifetime of a [`Solver`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct SolverStats {
+    /// Conflicts encountered.
+    pub conflicts: u64,
+    /// Branching decisions made.
+    pub decisions: u64,
+    /// Literals propagated.
+    pub propagations: u64,
+    /// Restarts performed.
+    pub restarts: u64,
+    /// Learnt clauses added.
+    pub learnt: u64,
+    /// Learnt clauses deleted by database reduction.
+    pub removed: u64,
+    /// `solve` invocations.
+    pub solves: u64,
+}
+
+const NO_REASON: u32 = u32::MAX;
+
+#[derive(Debug, Default)]
+struct Clause {
+    lits: Vec<Lit>,
+    activity: f64,
+    lbd: u32,
+    learnt: bool,
+    deleted: bool,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Watcher {
+    cref: u32,
+    blocker: Lit,
+}
+
+/// An incremental CDCL SAT solver with assumption and budget support.
+///
+/// # Examples
+///
+/// ```
+/// use axmc_sat::{Solver, SolveResult};
+///
+/// let mut solver = Solver::new();
+/// let a = solver.new_var().positive();
+/// let b = solver.new_var().positive();
+/// solver.add_clause(&[a, b]);
+/// solver.add_clause(&[!a]);
+/// assert_eq!(solver.solve(), SolveResult::Sat);
+/// assert_eq!(solver.model_value(b.var()), Some(true));
+///
+/// solver.add_clause(&[!b]);
+/// assert_eq!(solver.solve(), SolveResult::Unsat);
+/// ```
+#[derive(Debug, Default)]
+pub struct Solver {
+    clauses: Vec<Clause>,
+    learnt_refs: Vec<u32>,
+    watches: Vec<Vec<Watcher>>,
+    assigns: Vec<LBool>,
+    polarity: Vec<bool>,
+    level: Vec<u32>,
+    reason: Vec<u32>,
+    trail: Vec<Lit>,
+    trail_lim: Vec<usize>,
+    qhead: usize,
+    activity: Vec<f64>,
+    var_inc: f64,
+    order: VarOrder,
+    cla_inc: f64,
+    ok: bool,
+    seen: Vec<bool>,
+    model: Vec<LBool>,
+    stats: SolverStats,
+    budget: Budget,
+    max_learnts: f64,
+    num_original: usize,
+}
+
+impl Solver {
+    /// Creates an empty solver.
+    pub fn new() -> Self {
+        Solver {
+            var_inc: 1.0,
+            cla_inc: 1.0,
+            ok: true,
+            max_learnts: 3000.0,
+            ..Default::default()
+        }
+    }
+
+    /// Adds a fresh variable and returns it.
+    pub fn new_var(&mut self) -> Var {
+        let v = Var::new(self.assigns.len() as u32);
+        self.assigns.push(LBool::Undef);
+        self.polarity.push(false);
+        self.level.push(0);
+        self.reason.push(NO_REASON);
+        self.activity.push(0.0);
+        self.seen.push(false);
+        self.watches.push(Vec::new());
+        self.watches.push(Vec::new());
+        self.order.grow_to(self.assigns.len());
+        self.order.insert(v, &self.activity);
+        v
+    }
+
+    /// Number of variables created so far.
+    pub fn num_vars(&self) -> usize {
+        self.assigns.len()
+    }
+
+    /// Number of original (problem) clauses added, excluding units
+    /// absorbed into the top-level assignment.
+    pub fn num_clauses(&self) -> usize {
+        self.num_original
+    }
+
+    /// Lifetime statistics.
+    pub fn stats(&self) -> &SolverStats {
+        &self.stats
+    }
+
+    /// Sets the resource budget applied to each subsequent `solve` call.
+    pub fn set_budget(&mut self, budget: Budget) {
+        self.budget = budget;
+    }
+
+    /// Current decision level.
+    fn decision_level(&self) -> u32 {
+        self.trail_lim.len() as u32
+    }
+
+    #[inline]
+    fn value_lit(&self, l: Lit) -> LBool {
+        self.assigns[l.var().index() as usize].negate_if(l.is_negative())
+    }
+
+    /// Adds a clause. Returns `false` if the solver is now in an
+    /// unsatisfiable state at the root level (the clause — possibly
+    /// combined with earlier ones — is contradictory).
+    ///
+    /// Must be called with the solver at decision level 0, which is always
+    /// the case between `solve` calls.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any literal refers to a variable that was not created
+    /// with [`Solver::new_var`].
+    pub fn add_clause(&mut self, lits: &[Lit]) -> bool {
+        debug_assert_eq!(self.decision_level(), 0);
+        if !self.ok {
+            return false;
+        }
+        for &l in lits {
+            assert!(
+                (l.var().index() as usize) < self.assigns.len(),
+                "unknown variable {:?}",
+                l.var()
+            );
+        }
+        let mut c: Vec<Lit> = lits.to_vec();
+        c.sort_unstable();
+        c.dedup();
+        // Tautology / root-level simplification.
+        let mut filtered = Vec::with_capacity(c.len());
+        for (i, &l) in c.iter().enumerate() {
+            if i + 1 < c.len() && c[i + 1] == !l {
+                return true; // tautology: contains l and !l adjacently after sort
+            }
+            match self.value_lit(l) {
+                LBool::True => return true,
+                LBool::False => {}
+                LBool::Undef => filtered.push(l),
+            }
+        }
+        match filtered.len() {
+            0 => {
+                self.ok = false;
+                false
+            }
+            1 => {
+                self.unchecked_enqueue(filtered[0], NO_REASON);
+                if self.propagate().is_some() {
+                    self.ok = false;
+                }
+                self.ok
+            }
+            _ => {
+                self.alloc_clause(filtered, false);
+                true
+            }
+        }
+    }
+
+    fn alloc_clause(&mut self, lits: Vec<Lit>, learnt: bool) -> u32 {
+        debug_assert!(lits.len() >= 2);
+        let cref = self.clauses.len() as u32;
+        let w0 = !lits[0];
+        let w1 = !lits[1];
+        let blocker0 = lits[1];
+        let blocker1 = lits[0];
+        self.clauses.push(Clause {
+            lits,
+            activity: 0.0,
+            lbd: 0,
+            learnt,
+            deleted: false,
+        });
+        self.watches[w0.code() as usize].push(Watcher {
+            cref,
+            blocker: blocker0,
+        });
+        self.watches[w1.code() as usize].push(Watcher {
+            cref,
+            blocker: blocker1,
+        });
+        if learnt {
+            self.learnt_refs.push(cref);
+            self.stats.learnt += 1;
+        } else {
+            self.num_original += 1;
+        }
+        cref
+    }
+
+    fn unchecked_enqueue(&mut self, l: Lit, reason: u32) {
+        debug_assert_eq!(self.value_lit(l), LBool::Undef);
+        let v = l.var().index() as usize;
+        self.assigns[v] = LBool::from_bool(!l.is_negative());
+        self.level[v] = self.decision_level();
+        self.reason[v] = reason;
+        self.trail.push(l);
+    }
+
+    /// Unit propagation; returns the conflicting clause reference, if any.
+    fn propagate(&mut self) -> Option<u32> {
+        let mut conflict = None;
+        while self.qhead < self.trail.len() {
+            let p = self.trail[self.qhead];
+            self.qhead += 1;
+            self.stats.propagations += 1;
+
+            let mut ws = std::mem::take(&mut self.watches[p.code() as usize]);
+            let mut j = 0;
+            let mut i = 0;
+            'watchers: while i < ws.len() {
+                let w = ws[i];
+                i += 1;
+                // Fast path: blocker already satisfied.
+                if self.value_lit(w.blocker) == LBool::True {
+                    ws[j] = w;
+                    j += 1;
+                    continue;
+                }
+                if self.clauses[w.cref as usize].deleted {
+                    continue; // drop watcher of deleted clause
+                }
+                let false_lit = !p;
+                // Normalize: watched false literal at index 1.
+                {
+                    let c = &mut self.clauses[w.cref as usize];
+                    if c.lits[0] == false_lit {
+                        c.lits.swap(0, 1);
+                    }
+                    debug_assert_eq!(c.lits[1], false_lit);
+                }
+                let first = self.clauses[w.cref as usize].lits[0];
+                if first != w.blocker && self.value_lit(first) == LBool::True {
+                    ws[j] = Watcher {
+                        cref: w.cref,
+                        blocker: first,
+                    };
+                    j += 1;
+                    continue;
+                }
+                // Look for a new literal to watch.
+                let len = self.clauses[w.cref as usize].lits.len();
+                for k in 2..len {
+                    let lk = self.clauses[w.cref as usize].lits[k];
+                    if self.value_lit(lk) != LBool::False {
+                        let c = &mut self.clauses[w.cref as usize];
+                        c.lits.swap(1, k);
+                        let new_watch = !c.lits[1];
+                        self.watches[new_watch.code() as usize].push(Watcher {
+                            cref: w.cref,
+                            blocker: first,
+                        });
+                        continue 'watchers;
+                    }
+                }
+                // Clause is unit or conflicting under the current trail.
+                ws[j] = Watcher {
+                    cref: w.cref,
+                    blocker: first,
+                };
+                j += 1;
+                if self.value_lit(first) == LBool::False {
+                    // Conflict: flush remaining watchers and stop.
+                    while i < ws.len() {
+                        ws[j] = ws[i];
+                        j += 1;
+                        i += 1;
+                    }
+                    self.qhead = self.trail.len();
+                    conflict = Some(w.cref);
+                } else {
+                    self.unchecked_enqueue(first, w.cref);
+                }
+            }
+            ws.truncate(j);
+            self.watches[p.code() as usize] = ws;
+            if conflict.is_some() {
+                break;
+            }
+        }
+        conflict
+    }
+
+    fn cancel_until(&mut self, target: u32) {
+        if self.decision_level() <= target {
+            return;
+        }
+        let bound = self.trail_lim[target as usize];
+        for idx in (bound..self.trail.len()).rev() {
+            let l = self.trail[idx];
+            let v = l.var().index() as usize;
+            self.assigns[v] = LBool::Undef;
+            self.polarity[v] = !l.is_negative();
+            self.reason[v] = NO_REASON;
+            self.order.insert(l.var(), &self.activity);
+        }
+        self.trail.truncate(bound);
+        self.trail_lim.truncate(target as usize);
+        self.qhead = self.trail.len();
+    }
+
+    fn bump_var(&mut self, v: Var) {
+        let a = &mut self.activity[v.index() as usize];
+        *a += self.var_inc;
+        if *a > 1e100 {
+            for act in &mut self.activity {
+                *act *= 1e-100;
+            }
+            self.var_inc *= 1e-100;
+        }
+        self.order.update(v, &self.activity);
+    }
+
+    fn bump_clause(&mut self, cref: u32) {
+        let c = &mut self.clauses[cref as usize];
+        c.activity += self.cla_inc;
+        if c.activity > 1e20 {
+            for r in &self.learnt_refs {
+                self.clauses[*r as usize].activity *= 1e-20;
+            }
+            self.cla_inc *= 1e-20;
+        }
+    }
+
+    /// First-UIP conflict analysis. Returns the learnt clause (asserting
+    /// literal first) and the backtrack level.
+    fn analyze(&mut self, mut confl: u32) -> (Vec<Lit>, u32) {
+        let mut learnt: Vec<Lit> = vec![Lit::from_code(0)]; // slot for the UIP
+        let mut path_count: u32 = 0;
+        let mut p: Option<Lit> = None;
+        let mut index = self.trail.len();
+        let mut to_clear: Vec<Var> = Vec::new();
+        let current = self.decision_level();
+
+        loop {
+            debug_assert_ne!(confl, NO_REASON, "decision reached during analysis");
+            if self.clauses[confl as usize].learnt {
+                self.bump_clause(confl);
+            }
+            let start = usize::from(p.is_some());
+            let nlits = self.clauses[confl as usize].lits.len();
+            for k in start..nlits {
+                let q = self.clauses[confl as usize].lits[k];
+                let v = q.var();
+                let vi = v.index() as usize;
+                if !self.seen[vi] && self.level[vi] > 0 {
+                    self.seen[vi] = true;
+                    to_clear.push(v);
+                    self.bump_var(v);
+                    if self.level[vi] >= current {
+                        path_count += 1;
+                    } else {
+                        learnt.push(q);
+                    }
+                }
+            }
+            // Select the next trail literal to resolve on.
+            loop {
+                index -= 1;
+                if self.seen[self.trail[index].var().index() as usize] {
+                    break;
+                }
+            }
+            let pl = self.trail[index];
+            p = Some(pl);
+            self.seen[pl.var().index() as usize] = false;
+            path_count -= 1;
+            if path_count == 0 {
+                break;
+            }
+            confl = self.reason[pl.var().index() as usize];
+        }
+        learnt[0] = !p.expect("UIP exists");
+
+        // Local clause minimization: drop literals implied by the rest.
+        let mut minimized = vec![learnt[0]];
+        for &l in &learnt[1..] {
+            if !self.implied_by_seen(l) {
+                minimized.push(l);
+            }
+        }
+        let mut learnt = minimized;
+
+        // Clear seen flags.
+        for v in to_clear {
+            self.seen[v.index() as usize] = false;
+        }
+
+        // Compute backtrack level; place a watch on the second-highest level.
+        let bt_level = if learnt.len() == 1 {
+            0
+        } else {
+            let mut max_i = 1;
+            for i in 2..learnt.len() {
+                if self.level[learnt[i].var().index() as usize]
+                    > self.level[learnt[max_i].var().index() as usize]
+                {
+                    max_i = i;
+                }
+            }
+            learnt.swap(1, max_i);
+            self.level[learnt[1].var().index() as usize]
+        };
+        (learnt, bt_level)
+    }
+
+    /// A literal is redundant if its reason clause's other literals are all
+    /// already in the learnt clause (marked seen) or at level 0.
+    fn implied_by_seen(&self, l: Lit) -> bool {
+        let r = self.reason[l.var().index() as usize];
+        if r == NO_REASON {
+            return false;
+        }
+        let c = &self.clauses[r as usize];
+        c.lits.iter().skip(1).all(|&q| {
+            let vi = q.var().index() as usize;
+            self.seen[vi] || self.level[vi] == 0
+        })
+    }
+
+    fn lbd(&mut self, lits: &[Lit]) -> u32 {
+        let mut levels: Vec<u32> = lits
+            .iter()
+            .map(|l| self.level[l.var().index() as usize])
+            .collect();
+        levels.sort_unstable();
+        levels.dedup();
+        levels.len() as u32
+    }
+
+    fn pick_branch_var(&mut self) -> Option<Var> {
+        while let Some(v) = self.order.pop(&self.activity) {
+            if self.assigns[v.index() as usize] == LBool::Undef {
+                return Some(v);
+            }
+        }
+        None
+    }
+
+    fn reduce_db(&mut self) {
+        // Sort learnt clauses by (glue, activity): keep low-LBD, active ones.
+        let clauses = &self.clauses;
+        self.learnt_refs.retain(|&r| !clauses[r as usize].deleted);
+        let mut refs = self.learnt_refs.clone();
+        refs.sort_by(|&a, &b| {
+            let ca = &self.clauses[a as usize];
+            let cb = &self.clauses[b as usize];
+            cb.lbd
+                .cmp(&ca.lbd)
+                .then(ca.activity.partial_cmp(&cb.activity).unwrap_or(std::cmp::Ordering::Equal))
+        });
+        let target = refs.len() / 2;
+        let mut removed = 0;
+        for &r in &refs {
+            if removed >= target {
+                break;
+            }
+            let keep = {
+                let c = &self.clauses[r as usize];
+                c.lbd <= 2 || c.lits.len() == 2 || self.is_locked(r)
+            };
+            if !keep {
+                let c = &mut self.clauses[r as usize];
+                c.deleted = true;
+                c.lits = Vec::new();
+                removed += 1;
+                self.stats.removed += 1;
+            }
+        }
+        let clauses = &self.clauses;
+        self.learnt_refs.retain(|&r| !clauses[r as usize].deleted);
+    }
+
+    fn is_locked(&self, cref: u32) -> bool {
+        let c = &self.clauses[cref as usize];
+        if c.lits.is_empty() {
+            return false;
+        }
+        let first = c.lits[0];
+        self.value_lit(first) == LBool::True
+            && self.reason[first.var().index() as usize] == cref
+    }
+
+    fn decay_activities(&mut self) {
+        self.var_inc /= 0.95;
+        self.cla_inc /= 0.999;
+    }
+
+    /// Solves the formula without assumptions.
+    pub fn solve(&mut self) -> SolveResult {
+        self.solve_with_assumptions(&[])
+    }
+
+    /// Solves under the given assumption literals.
+    ///
+    /// [`SolveResult::Unsat`] means unsatisfiable *under the assumptions*;
+    /// the solver remains usable afterwards (assumptions are not clauses).
+    pub fn solve_with_assumptions(&mut self, assumptions: &[Lit]) -> SolveResult {
+        self.stats.solves += 1;
+        if !self.ok {
+            return SolveResult::Unsat;
+        }
+        let start_conflicts = self.stats.conflicts;
+        let start_props = self.stats.propagations;
+        let mut restart_round: u64 = 0;
+        let restart_base: u64 = 100;
+
+        let result = 'outer: loop {
+            let budget_limit = restart_base * luby(restart_round);
+            restart_round += 1;
+            let mut conflicts_this_round: u64 = 0;
+
+            loop {
+                if let Some(confl) = self.propagate() {
+                    self.stats.conflicts += 1;
+                    conflicts_this_round += 1;
+                    if self.decision_level() == 0 {
+                        self.ok = false;
+                        break 'outer SolveResult::Unsat;
+                    }
+                    let (learnt, bt) = self.analyze(confl);
+                    self.cancel_until(bt);
+                    if learnt.len() == 1 {
+                        self.unchecked_enqueue(learnt[0], NO_REASON);
+                    } else {
+                        let lbd = self.lbd(&learnt);
+                        let first = learnt[0];
+                        let cref = self.alloc_clause(learnt, true);
+                        self.clauses[cref as usize].lbd = lbd;
+                        self.bump_clause(cref);
+                        self.unchecked_enqueue(first, cref);
+                    }
+                    self.decay_activities();
+
+                    if let Some(max) = self.budget.max_conflicts {
+                        if self.stats.conflicts - start_conflicts >= max {
+                            break 'outer SolveResult::Unknown;
+                        }
+                    }
+                    if let Some(max) = self.budget.max_propagations {
+                        if self.stats.propagations - start_props >= max {
+                            break 'outer SolveResult::Unknown;
+                        }
+                    }
+                } else {
+                    // No conflict: maybe restart, reduce, then decide.
+                    if conflicts_this_round >= budget_limit {
+                        self.stats.restarts += 1;
+                        self.cancel_until(0);
+                        break; // next Luby round
+                    }
+                    if self.learnt_refs.len() as f64 > self.max_learnts {
+                        self.reduce_db();
+                        self.max_learnts *= 1.1;
+                    }
+                    // Assumption levels first.
+                    let dl = self.decision_level() as usize;
+                    if dl < assumptions.len() {
+                        let p = assumptions[dl];
+                        match self.value_lit(p) {
+                            LBool::True => {
+                                // Dummy level so indices line up.
+                                self.trail_lim.push(self.trail.len());
+                            }
+                            LBool::False => {
+                                break 'outer SolveResult::Unsat;
+                            }
+                            LBool::Undef => {
+                                self.stats.decisions += 1;
+                                self.trail_lim.push(self.trail.len());
+                                self.unchecked_enqueue(p, NO_REASON);
+                            }
+                        }
+                        continue;
+                    }
+                    match self.pick_branch_var() {
+                        None => {
+                            // Complete assignment: model found.
+                            self.model = self.assigns.clone();
+                            break 'outer SolveResult::Sat;
+                        }
+                        Some(v) => {
+                            self.stats.decisions += 1;
+                            let phase = self.polarity[v.index() as usize];
+                            self.trail_lim.push(self.trail.len());
+                            self.unchecked_enqueue(Lit::new(v, !phase), NO_REASON);
+                        }
+                    }
+                }
+            }
+        };
+        self.cancel_until(0);
+        result
+    }
+
+    /// Returns the model value of `var` from the most recent
+    /// [`SolveResult::Sat`] answer, or `None` if the variable was
+    /// irrelevant or no model is available.
+    pub fn model_value(&self, var: Var) -> Option<bool> {
+        self.model
+            .get(var.index() as usize)
+            .and_then(|v| v.to_option())
+    }
+
+    /// Returns the model value of a literal (see [`Solver::model_value`]).
+    pub fn model_lit(&self, lit: Lit) -> Option<bool> {
+        self.model_value(lit.var())
+            .map(|b| b ^ lit.is_negative())
+    }
+}
+
+/// The Luby restart sequence: 1 1 2 1 1 2 4 1 1 2 1 1 2 4 8 …
+fn luby(mut i: u64) -> u64 {
+    // Find the subsequence containing index i.
+    let mut size: u64 = 1;
+    let mut seq: u32 = 0;
+    while size < i + 1 {
+        seq += 1;
+        size = 2 * size + 1;
+    }
+    while size - 1 != i {
+        size = (size - 1) / 2;
+        seq -= 1;
+        i %= size;
+    }
+    1u64 << seq
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lit(solver_vars: &[Var], dimacs: i64) -> Lit {
+        let v = solver_vars[(dimacs.unsigned_abs() - 1) as usize];
+        Lit::new(v, dimacs < 0)
+    }
+
+    fn make(n: usize) -> (Solver, Vec<Var>) {
+        let mut s = Solver::new();
+        let vars = (0..n).map(|_| s.new_var()).collect();
+        (s, vars)
+    }
+
+    #[test]
+    fn luby_prefix() {
+        let expected = [1u64, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8];
+        for (i, &e) in expected.iter().enumerate() {
+            assert_eq!(luby(i as u64), e, "luby({i})");
+        }
+    }
+
+    #[test]
+    fn trivially_sat() {
+        let (mut s, v) = make(2);
+        s.add_clause(&[lit(&v, 1), lit(&v, 2)]);
+        assert_eq!(s.solve(), SolveResult::Sat);
+        let m1 = s.model_value(v[0]).unwrap();
+        let m2 = s.model_value(v[1]).unwrap();
+        assert!(m1 || m2);
+    }
+
+    #[test]
+    fn trivially_unsat() {
+        let (mut s, v) = make(1);
+        s.add_clause(&[lit(&v, 1)]);
+        assert!(!s.add_clause(&[lit(&v, -1)]));
+        assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn empty_formula_is_sat() {
+        let mut s = Solver::new();
+        assert_eq!(s.solve(), SolveResult::Sat);
+    }
+
+    #[test]
+    fn unit_propagation_chain() {
+        let (mut s, v) = make(4);
+        s.add_clause(&[lit(&v, 1)]);
+        s.add_clause(&[lit(&v, -1), lit(&v, 2)]);
+        s.add_clause(&[lit(&v, -2), lit(&v, 3)]);
+        s.add_clause(&[lit(&v, -3), lit(&v, 4)]);
+        assert_eq!(s.solve(), SolveResult::Sat);
+        for &var in &v {
+            assert_eq!(s.model_value(var), Some(true));
+        }
+    }
+
+    #[test]
+    fn pigeonhole_3_into_2_unsat() {
+        // p[i][j]: pigeon i in hole j. 3 pigeons, 2 holes.
+        let (mut s, v) = make(6);
+        let p = |i: usize, j: usize| v[i * 2 + j].positive();
+        for i in 0..3 {
+            s.add_clause(&[p(i, 0), p(i, 1)]);
+        }
+        for j in 0..2 {
+            for i1 in 0..3 {
+                for i2 in (i1 + 1)..3 {
+                    s.add_clause(&[!p(i1, j), !p(i2, j)]);
+                }
+            }
+        }
+        assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn pigeonhole_5_into_4_unsat() {
+        let n = 5;
+        let h = 4;
+        let (mut s, v) = make(n * h);
+        let p = |i: usize, j: usize| v[i * h + j].positive();
+        for i in 0..n {
+            let holes: Vec<Lit> = (0..h).map(|j| p(i, j)).collect();
+            s.add_clause(&holes);
+        }
+        for j in 0..h {
+            for i1 in 0..n {
+                for i2 in (i1 + 1)..n {
+                    s.add_clause(&[!p(i1, j), !p(i2, j)]);
+                }
+            }
+        }
+        assert_eq!(s.solve(), SolveResult::Unsat);
+        assert!(s.stats().conflicts > 0);
+    }
+
+    #[test]
+    fn assumptions_do_not_persist() {
+        let (mut s, v) = make(2);
+        s.add_clause(&[lit(&v, 1), lit(&v, 2)]);
+        assert_eq!(
+            s.solve_with_assumptions(&[lit(&v, -1), lit(&v, -2)]),
+            SolveResult::Unsat
+        );
+        // Without the assumptions the formula is still satisfiable.
+        assert_eq!(s.solve(), SolveResult::Sat);
+        assert_eq!(
+            s.solve_with_assumptions(&[lit(&v, -1)]),
+            SolveResult::Sat
+        );
+        assert_eq!(s.model_value(v[1]), Some(true));
+    }
+
+    #[test]
+    fn contradictory_assumptions() {
+        let (mut s, v) = make(1);
+        assert_eq!(
+            s.solve_with_assumptions(&[lit(&v, 1), lit(&v, -1)]),
+            SolveResult::Unsat
+        );
+        assert_eq!(s.solve(), SolveResult::Sat);
+    }
+
+    #[test]
+    fn budget_exhaustion_returns_unknown() {
+        // A hard pigeonhole instance with a one-conflict budget.
+        let n = 8;
+        let h = 7;
+        let (mut s, v) = make(n * h);
+        let p = |i: usize, j: usize| v[i * h + j].positive();
+        for i in 0..n {
+            let holes: Vec<Lit> = (0..h).map(|j| p(i, j)).collect();
+            s.add_clause(&holes);
+        }
+        for j in 0..h {
+            for i1 in 0..n {
+                for i2 in (i1 + 1)..n {
+                    s.add_clause(&[!p(i1, j), !p(i2, j)]);
+                }
+            }
+        }
+        s.set_budget(Budget::unlimited().with_conflicts(1));
+        assert_eq!(s.solve(), SolveResult::Unknown);
+        // Lifting the budget lets it finish.
+        s.set_budget(Budget::unlimited());
+        assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn incremental_clause_addition() {
+        let (mut s, v) = make(3);
+        s.add_clause(&[lit(&v, 1), lit(&v, 2), lit(&v, 3)]);
+        assert_eq!(s.solve(), SolveResult::Sat);
+        s.add_clause(&[lit(&v, -1)]);
+        assert_eq!(s.solve(), SolveResult::Sat);
+        s.add_clause(&[lit(&v, -2)]);
+        assert_eq!(s.solve(), SolveResult::Sat);
+        assert_eq!(s.model_value(v[2]), Some(true));
+        s.add_clause(&[lit(&v, -3)]);
+        assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn tautologies_are_ignored() {
+        let (mut s, v) = make(2);
+        assert!(s.add_clause(&[lit(&v, 1), lit(&v, -1)]));
+        assert_eq!(s.num_clauses(), 0);
+        assert_eq!(s.solve(), SolveResult::Sat);
+    }
+
+    #[test]
+    fn duplicate_literals_are_merged() {
+        let (mut s, v) = make(2);
+        s.add_clause(&[lit(&v, 1), lit(&v, 1), lit(&v, 2)]);
+        s.add_clause(&[lit(&v, -1)]);
+        s.add_clause(&[lit(&v, -2), lit(&v, -2)]);
+        assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn random_3sat_smoke() {
+        // Deterministic pseudo-random 3-SAT instances around the phase
+        // transition; verify SAT answers against the model.
+        let mut seed = 0x243F_6A88_85A3_08D3u64;
+        let mut next = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            seed
+        };
+        for round in 0..20 {
+            let n = 30;
+            let m = 120 + round;
+            let (mut s, v) = make(n);
+            let mut cls = Vec::new();
+            for _ in 0..m {
+                let mut lits = Vec::new();
+                for _ in 0..3 {
+                    let var = (next() % n as u64) as usize;
+                    let neg = next() % 2 == 1;
+                    lits.push(Lit::new(v[var], neg));
+                }
+                cls.push(lits.clone());
+                s.add_clause(&lits);
+            }
+            if s.solve() == SolveResult::Sat {
+                for c in &cls {
+                    assert!(
+                        c.iter().any(|&l| s.model_lit(l) == Some(true)),
+                        "model violates clause {c:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn xor_chain_forces_unique_model() {
+        // x1 ^ x2 = 1, x2 ^ x3 = 1, x1 = 1 -> x2 = 0, x3 = 1.
+        let (mut s, v) = make(3);
+        let xor_clauses = |s: &mut Solver, a: Lit, b: Lit| {
+            s.add_clause(&[a, b]);
+            s.add_clause(&[!a, !b]);
+        };
+        xor_clauses(&mut s, lit(&v, 1), lit(&v, 2));
+        xor_clauses(&mut s, lit(&v, 2), lit(&v, 3));
+        s.add_clause(&[lit(&v, 1)]);
+        assert_eq!(s.solve(), SolveResult::Sat);
+        assert_eq!(s.model_value(v[0]), Some(true));
+        assert_eq!(s.model_value(v[1]), Some(false));
+        assert_eq!(s.model_value(v[2]), Some(true));
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let (mut s, v) = make(2);
+        s.add_clause(&[lit(&v, 1), lit(&v, 2)]);
+        s.solve();
+        s.solve();
+        assert_eq!(s.stats().solves, 2);
+    }
+}

@@ -1,0 +1,36 @@
+//! Sequential circuit templates and the benchmark suite for the `axmc`
+//! toolkit.
+//!
+//! The DAC'16 problem setting is: a combinational component (adder,
+//! multiplier, incrementer) sits inside a sequential circuit, and the
+//! component is replaced by an approximate variant. This crate provides
+//! the sequential substrate:
+//!
+//! * design templates with pluggable components ([`accumulator`], [`mac`],
+//!   [`fir_moving_sum`], [`leaky_integrator`], [`counter`],
+//!   [`registered_alu`]) covering feedback, feed-forward and pipeline
+//!   structures;
+//! * [`suite::standard_suite`] — the golden/approximated pairs the
+//!   evaluation harnesses run on.
+//!
+//! # Examples
+//!
+//! ```
+//! use axmc_circuit::{generators, approx};
+//! use axmc_seq::accumulator;
+//!
+//! // An 8-bit accumulator, exact vs lower-OR adder.
+//! let golden = accumulator(&generators::ripple_carry_adder(8), 8);
+//! let cheap = accumulator(&approx::lower_or_adder(8, 4), 8);
+//! assert_eq!(golden.num_inputs(), cheap.num_inputs());
+//! assert_eq!(golden.num_latches(), 8);
+//! ```
+
+mod designs;
+pub mod suite;
+
+pub use crate::designs::{
+    accumulator, counter, fir_moving_sum, instantiate, leaky_integrator, mac, mac_wide,
+    max_tracker, pulse_counter, registered_alu, wide_accumulator, wide_leaky_integrator,
+};
+pub use crate::suite::BenchmarkPair;

@@ -1,0 +1,314 @@
+//! The standard benchmark suite: golden/approximated sequential circuit
+//! pairs used throughout the evaluation.
+//!
+//! Each [`BenchmarkPair`] instantiates one design template twice — once
+//! with the exact component and once with an approximate variant — so the
+//! error-determination engines can be pointed at `golden` vs `approx`
+//! directly.
+
+use crate::designs;
+use axmc_aig::Aig;
+use axmc_circuit::{approx, generators};
+
+/// A golden/approximated pair of sequential circuits built from the same
+/// template.
+#[derive(Clone, Debug)]
+pub struct BenchmarkPair {
+    /// Suite-unique identifier, e.g. `"accumulator8/loa4"`.
+    pub name: String,
+    /// The design template name, e.g. `"accumulator"`.
+    pub design: String,
+    /// The approximate component's name, e.g. `"loa4"`.
+    pub component: String,
+    /// Whether the design contains feedback through the component (errors
+    /// can accumulate).
+    pub feedback: bool,
+    /// The golden instance.
+    pub golden: Aig,
+    /// The approximated instance.
+    pub approx: Aig,
+}
+
+impl BenchmarkPair {
+    fn new(
+        design: &str,
+        component: &str,
+        feedback: bool,
+        golden: Aig,
+        approx: Aig,
+    ) -> Self {
+        BenchmarkPair {
+            name: format!("{design}/{component}"),
+            design: design.to_string(),
+            component: component.to_string(),
+            feedback,
+            golden,
+            approx,
+        }
+    }
+}
+
+/// Adder-based benchmarks at the given operand width: accumulator, 4-tap
+/// FIR, leaky integrator and registered ALU, each against truncated,
+/// lower-OR and speculative adder variants.
+///
+/// # Panics
+///
+/// Panics if `width < 4`.
+pub fn adder_benchmarks(width: usize) -> Vec<BenchmarkPair> {
+    assert!(width >= 4, "width must be at least 4");
+    // Approximation parameters are relative to the data width; the
+    // accumulator instantiates the same architectures at the (wider)
+    // accumulator width so its error growth is visible instead of being
+    // swallowed by modular wrap-around.
+    let acc_width = width + 4;
+    let variants: [(&str, fn(usize, usize) -> axmc_circuit::Netlist, usize); 3] = [
+        ("trunc", approx::truncated_adder, width / 2),
+        ("loa", approx::lower_or_adder, width / 2),
+        ("spec", approx::speculative_adder, width / 4),
+    ];
+    let exact = generators::ripple_carry_adder(width);
+    let exact_acc = generators::ripple_carry_adder(acc_width);
+    let mut out = Vec::new();
+    for (kind, build, param) in &variants {
+        let comp_name = format!("{kind}{param}");
+        let apx = build(width, *param);
+        let apx_acc = build(acc_width, *param);
+        out.push(BenchmarkPair::new(
+            &format!("accumulator{width}"),
+            &comp_name,
+            true,
+            designs::wide_accumulator(&exact_acc, width, acc_width),
+            designs::wide_accumulator(&apx_acc, width, acc_width),
+        ));
+        out.push(BenchmarkPair::new(
+            &format!("fir4_{width}"),
+            &comp_name,
+            false,
+            designs::fir_moving_sum(&exact, width, 4),
+            designs::fir_moving_sum(&apx, width, 4),
+        ));
+        let leaky_width = width + 1;
+        let exact_leaky = generators::ripple_carry_adder(leaky_width);
+        let apx_leaky = build(leaky_width, *param);
+        out.push(BenchmarkPair::new(
+            &format!("leaky{width}"),
+            &comp_name,
+            true,
+            designs::wide_leaky_integrator(&exact_leaky, width, leaky_width),
+            designs::wide_leaky_integrator(&apx_leaky, width, leaky_width),
+        ));
+        out.push(BenchmarkPair::new(
+            &format!("alu{width}"),
+            &comp_name,
+            false,
+            designs::registered_alu(&exact, width),
+            designs::registered_alu(&apx, width),
+        ));
+    }
+    out
+}
+
+/// Multiplier-based benchmarks: a MAC unit (approximate multiplier, exact
+/// accumulator adder) and a registered multiplier, against truncation and
+/// Kulkarni variants.
+///
+/// # Panics
+///
+/// Panics if `width < 2` or `width` is not a power of two (the Kulkarni
+/// variant requires it).
+pub fn multiplier_benchmarks(width: usize) -> Vec<BenchmarkPair> {
+    assert!(width >= 2 && width.is_power_of_two(), "width must be a power of two >= 2");
+    let acc_width = 2 * width + 3;
+    let exact_mul = generators::array_multiplier(width);
+    let exact_add = generators::ripple_carry_adder(acc_width);
+    let variants = [
+        (
+            format!("pptrunc{}", width / 2),
+            approx::truncated_multiplier(width, width / 2),
+        ),
+        (
+            format!("optrunc{}", width / 2),
+            approx::operand_truncated_multiplier(width, width / 2),
+        ),
+        ("kulkarni".to_string(), approx::kulkarni_multiplier(width)),
+    ];
+    let mut out = Vec::new();
+    for (comp_name, apx) in &variants {
+        out.push(BenchmarkPair::new(
+            &format!("mac{width}"),
+            comp_name,
+            true,
+            designs::mac_wide(&exact_mul, &exact_add, width, acc_width),
+            designs::mac_wide(apx, &exact_add, width, acc_width),
+        ));
+        out.push(BenchmarkPair::new(
+            &format!("regmul{width}"),
+            comp_name,
+            false,
+            designs::registered_alu(&exact_mul, width),
+            designs::registered_alu(apx, width),
+        ));
+    }
+    out
+}
+
+/// Counter benchmarks against the speculative incrementer.
+///
+/// # Panics
+///
+/// Panics if `width < 4`.
+pub fn counter_benchmarks(width: usize) -> Vec<BenchmarkPair> {
+    assert!(width >= 4, "width must be at least 4");
+    let exact = generators::incrementer(width);
+    // Two aggressiveness levels: segment 1 errs within a few counts,
+    // segment width/4 needs a longer run before the first wrong carry.
+    [1, width / 4]
+        .iter()
+        .map(|&seg| {
+            let apx = approx::speculative_incrementer(width, seg);
+            BenchmarkPair::new(
+                &format!("counter{width}"),
+                &format!("specinc{seg}"),
+                true,
+                designs::counter(&exact, width),
+                designs::counter(&apx, width),
+            )
+        })
+        .collect()
+}
+
+/// Max-tracker benchmarks against truncated comparators — the suite's
+/// bounded-error feedback design.
+///
+/// # Panics
+///
+/// Panics if `width < 4`.
+pub fn comparator_benchmarks(width: usize) -> Vec<BenchmarkPair> {
+    assert!(width >= 4, "width must be at least 4");
+    let exact = generators::comparator(width);
+    [1, width / 2]
+        .iter()
+        .map(|&cut| {
+            let apx = approx::truncated_comparator(width, cut);
+            BenchmarkPair::new(
+                &format!("maxtrack{width}"),
+                &format!("trunccmp{cut}"),
+                true,
+                designs::max_tracker(&exact, width),
+                designs::max_tracker(&apx, width),
+            )
+        })
+        .collect()
+}
+
+/// Pulse-counter benchmarks: control-flow divergence through a truncated
+/// comparator against a mid-range level.
+///
+/// # Panics
+///
+/// Panics if `width < 4`.
+pub fn pulse_counter_benchmarks(width: usize) -> Vec<BenchmarkPair> {
+    assert!(width >= 4, "width must be at least 4");
+    let exact = generators::comparator(width);
+    // A level whose low bits are NOT all ones, so truncated comparators
+    // actually mis-judge the band just above it (level = 2^(w-1) - 1
+    // would make every truncation exact).
+    let level = (1u128 << width) / 2 + 2;
+    let count_width = width;
+    [1, width / 2]
+        .iter()
+        .map(|&cut| {
+            let apx = approx::truncated_comparator(width, cut);
+            BenchmarkPair::new(
+                &format!("pulsecnt{width}"),
+                &format!("trunccmp{cut}"),
+                true,
+                designs::pulse_counter(&exact, width, level, count_width),
+                designs::pulse_counter(&apx, width, level, count_width),
+            )
+        })
+        .collect()
+}
+
+/// The full standard suite at a given adder width (multipliers use
+/// `width / 2` to keep state spaces comparable).
+///
+/// # Panics
+///
+/// Panics if `width` is not a power of two `>= 8`.
+pub fn standard_suite(width: usize) -> Vec<BenchmarkPair> {
+    assert!(width >= 8 && width.is_power_of_two(), "width must be a power of two >= 8");
+    let mut suite = adder_benchmarks(width);
+    suite.extend(multiplier_benchmarks(width / 2));
+    suite.extend(counter_benchmarks(width));
+    suite.extend(comparator_benchmarks(width));
+    suite.extend(pulse_counter_benchmarks(width));
+    suite
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use axmc_aig::Simulator;
+
+    #[test]
+    fn suite_builds_and_interfaces_match() {
+        for pair in standard_suite(8) {
+            assert_eq!(
+                pair.golden.num_inputs(),
+                pair.approx.num_inputs(),
+                "{}",
+                pair.name
+            );
+            assert_eq!(
+                pair.golden.num_outputs(),
+                pair.approx.num_outputs(),
+                "{}",
+                pair.name
+            );
+            assert!(pair.golden.num_latches() > 0, "{} is sequential", pair.name);
+        }
+    }
+
+    #[test]
+    fn suite_names_are_unique() {
+        let suite = standard_suite(8);
+        let mut names: Vec<&str> = suite.iter().map(|p| p.name.as_str()).collect();
+        names.sort_unstable();
+        let before = names.len();
+        names.dedup();
+        assert_eq!(names.len(), before, "duplicate benchmark names");
+    }
+
+    #[test]
+    fn golden_and_approx_eventually_differ() {
+        // Drive every pair with a varied deterministic stimulus. Designs
+        // built on truncated/lower-OR adders err on dense inputs quickly;
+        // for speculative variants only the accumulator is guaranteed to
+        // hit a cross-block carry within the horizon, so scope the claim.
+        for pair in adder_benchmarks(8) {
+            let must_diverge = pair.component.starts_with("trunc")
+                || pair.component.starts_with("loa")
+                || pair.design.starts_with("accumulator");
+            if !must_diverge {
+                continue;
+            }
+            let mut sg = Simulator::new(&pair.golden);
+            let mut sa = Simulator::new(&pair.approx);
+            let mut seed = 0x9E37_79B9u64;
+            let mut differed = false;
+            for _ in 0..200 {
+                seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                let inputs: Vec<u64> = (0..pair.golden.num_inputs())
+                    .map(|i| if (seed >> (i % 64)) & 1 == 1 { u64::MAX } else { 0 })
+                    .collect();
+                if sg.step(&inputs) != sa.step(&inputs) {
+                    differed = true;
+                    break;
+                }
+            }
+            assert!(differed, "{} never diverged", pair.name);
+        }
+    }
+}

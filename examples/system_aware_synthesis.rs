@@ -1,0 +1,84 @@
+//! System-aware synthesis: evolve a component against a **system-level**
+//! error certificate.
+//!
+//! Two searches, same adder, same effort:
+//!
+//! 1. component-level: accept candidates whose own worst-case error is
+//!    within T (classic), then embed the winner in a FIR filter;
+//! 2. system-level: accept candidates only when BMC certifies the FIR
+//!    filter built around them errs by at most T at its outputs.
+//!
+//! The feed-forward filter sums four taps through the component, so a
+//! system budget of T admits less per-component error than a component
+//! budget of T — but the system-level search *knows where the slack is*
+//! (which tap positions mask errors) and spends it optimally.
+//!
+//! Run with: `cargo run --release --example system_aware_synthesis`
+
+use axmc::cgp::{evolve, evolve_in_context, SearchOptions, SequentialContext};
+use axmc::circuit::generators;
+use axmc::sat::Budget;
+use axmc::SeqAnalyzer;
+use std::time::Duration;
+
+fn main() -> Result<(), axmc::AnalysisError> {
+    let width = 4;
+    let taps = 4;
+    let horizon = 5;
+    let budget_t = 6u128;
+
+    let golden = generators::ripple_carry_adder(width);
+    let build = |c: &axmc::circuit::Netlist| axmc::seq::fir_moving_sum(c, width, taps);
+    let golden_system = build(&golden);
+
+    let base = SearchOptions {
+        threshold: budget_t,
+        population: 4,
+        max_mutations: 6,
+        max_generations: u64::MAX,
+        time_limit: Duration::from_secs(10),
+        seed: 77,
+        extra_cols: 4,
+        ..SearchOptions::default()
+    };
+
+    // --- 1. Component-level search. ---
+    let comp = evolve(&golden, &base);
+    let comp_system = build(&comp.netlist);
+    let comp_sys_wce = SeqAnalyzer::new(&golden_system, &comp_system)
+        .worst_case_error_at(horizon)?
+        .value;
+    println!(
+        "component-level search: area {:.1} um2 ({:.1} %), component WCE <= {budget_t}, \
+         resulting FIR output WCE = {comp_sys_wce}",
+        comp.area,
+        comp.relative_area() * 100.0
+    );
+
+    // --- 2. System-level search, same output budget. ---
+    let context = SequentialContext {
+        build: &build,
+        horizon,
+        budget: Budget::unlimited().with_conflicts(20_000),
+    };
+    let sys = evolve_in_context(&golden, &context, &base);
+    let sys_system = build(&sys.netlist);
+    let sys_sys_wce = SeqAnalyzer::new(&golden_system, &sys_system)
+        .worst_case_error_at(horizon)?
+        .value;
+    println!(
+        "system-level search   : area {:.1} um2 ({:.1} %), FIR output WCE = {sys_sys_wce} \
+         (certified <= {budget_t} within {horizon} cycles)",
+        sys.area,
+        sys.relative_area() * 100.0
+    );
+    assert!(sys_sys_wce <= budget_t, "BMC certificate violated");
+
+    println!();
+    println!(
+        "the component-level result honours its own bound but its FIR error ({comp_sys_wce}) \
+         is unconstrained;\nthe system-level result spends exactly the output budget it was \
+         given — the certificate applies\nwhere the designer cares: at the filter's output."
+    );
+    Ok(())
+}

@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Regenerates every table and figure of the evaluation.
+# Usage: scripts/run_all_experiments.sh [quick|full] [output-dir]
+set -u
+SCALE="${1:-quick}"
+OUT="${2:-bench_results}"
+mkdir -p "$OUT"
+export AXMC_SCALE="$SCALE"
+HARNESSES=(
+  table1_sequential_errors
+  table2_mc_vs_simulation
+  table3_exactness
+  table4_miter_size
+  table5_evals_per_sec
+  table6_sat_limits
+  table7_bdd_average_error
+  fig1_error_growth
+  fig2_runtime_scaling
+  fig3_pareto_fronts
+  fig4_masking_amplification
+)
+for h in "${HARNESSES[@]}"; do
+  echo "=== $h ($SCALE) ==="
+  cargo run --release -p axmc-bench --bin "$h" | tee "$OUT/$h.$SCALE.txt"
+  echo
+done

@@ -1,0 +1,324 @@
+//! The `axmc` command-line tool: precise error determination and
+//! certified approximate-circuit synthesis from the shell.
+//!
+//! ```text
+//! axmc analyze --golden g.aag --approx c.aag [--horizon K] [--prove] [--average] [--vcd t.vcd]
+//! axmc evolve  --kind adder|multiplier --width N (--wcre P | --config f.cfg) [--out c.aag]
+//! axmc gen     --kind <component> --width N [--param P] --out c.aag [--verilog c.v]
+//! axmc stats   --circuit c.aag
+//! ```
+//!
+//! Circuits are exchanged in ASCII AIGER (`.aag`). `analyze` treats
+//! latch-free pairs combinationally and sequential pairs via BMC.
+
+use axmc::aig::{aiger, Aig};
+use axmc::cgp::{threshold_to_wcre, wcre_to_threshold};
+use axmc::circuit::{approx, generators, AreaModel, Netlist};
+use axmc::core::{CombAnalyzer, SeqAnalyzer};
+use axmc::mc::{InductionOptions, ProofResult};
+use axmc::{evolve, SearchOptions};
+use std::collections::HashMap;
+use std::process::ExitCode;
+use std::time::Duration;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((command, rest)) = args.split_first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let opts = match parse_flags(rest) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match command.as_str() {
+        "analyze" => cmd_analyze(&opts),
+        "evolve" => cmd_evolve(&opts),
+        "gen" => cmd_gen(&opts),
+        "stats" => cmd_stats(&opts),
+        "--help" | "-h" | "help" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command '{other}'")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+axmc — precise error determination of approximated components with model checking
+
+USAGE:
+  axmc analyze --golden G.aag --approx C.aag [--horizon K] [--prove] [--average] [--vcd F.vcd]
+      Exact worst-case / bit-flip error of C against G. Sequential pairs
+      are analyzed within K cycles (default 8); --prove additionally
+      attempts an unbounded k-induction certificate at the measured WCE.
+
+  axmc evolve --kind adder|multiplier --width N (--wcre P | --config F)
+              [--seconds S] [--seed X] [--out C.aag]
+      Verifiability-driven CGP synthesis of an approximate circuit whose
+      worst-case relative error provably stays below P percent.
+
+  axmc gen --kind KIND --width N [--param P] --out C.aag [--verilog C.v]
+      Writes a library circuit as AIGER. KIND: adder, multiplier,
+      trunc-adder, loa-adder, spec-adder, trunc-multiplier,
+      optrunc-multiplier, kulkarni-multiplier, incrementer.
+
+  axmc stats --circuit C.aag
+      Structural statistics of an AIGER circuit.";
+
+type Flags = HashMap<String, String>;
+
+fn parse_flags(args: &[String]) -> Result<Flags, String> {
+    let mut out = Flags::new();
+    let mut it = args.iter().peekable();
+    while let Some(arg) = it.next() {
+        let Some(name) = arg.strip_prefix("--") else {
+            return Err(format!("expected a --flag, found '{arg}'"));
+        };
+        // Boolean flags have no value or are followed by another flag.
+        let value = match it.peek() {
+            Some(v) if !v.starts_with("--") => it.next().expect("peeked").clone(),
+            _ => "true".to_string(),
+        };
+        out.insert(name.to_string(), value);
+    }
+    Ok(out)
+}
+
+fn required<'a>(opts: &'a Flags, name: &str) -> Result<&'a str, String> {
+    opts.get(name)
+        .map(String::as_str)
+        .ok_or_else(|| format!("missing required flag --{name}"))
+}
+
+fn numeric<T: std::str::FromStr>(opts: &Flags, name: &str, default: T) -> Result<T, String> {
+    match opts.get(name) {
+        None => Ok(default),
+        Some(v) => v.parse().map_err(|_| format!("invalid --{name} '{v}'")),
+    }
+}
+
+fn load_aig(path: &str) -> Result<Aig, String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read '{path}': {e}"))?;
+    aiger::from_ascii(&text).map_err(|e| format!("cannot parse '{path}': {e}"))
+}
+
+fn save_aig(path: &str, aig: &Aig) -> Result<(), String> {
+    std::fs::write(path, aiger::to_ascii(aig)).map_err(|e| format!("cannot write '{path}': {e}"))
+}
+
+fn cmd_analyze(opts: &Flags) -> Result<(), String> {
+    let golden = load_aig(required(opts, "golden")?)?;
+    let approx = load_aig(required(opts, "approx")?)?;
+    if golden.num_inputs() != approx.num_inputs()
+        || golden.num_outputs() != approx.num_outputs()
+    {
+        return Err("golden and approx interfaces differ".into());
+    }
+    let horizon: usize = numeric(opts, "horizon", 8)?;
+    let sequential = golden.num_latches() > 0 || approx.num_latches() > 0;
+    if sequential {
+        println!("sequential analysis (horizon {horizon} cycles)");
+        let analyzer = SeqAnalyzer::new(&golden, &approx);
+        let earliest = analyzer.earliest_error(horizon + 1).map_err(|e| e.to_string())?;
+        match earliest.cycle {
+            Some(c) => println!("earliest error cycle : {c}"),
+            None => println!("earliest error cycle : none within horizon"),
+        }
+        if let (Some(path), Some(trace)) = (opts.get("vcd"), &earliest.trace) {
+            let dump = axmc::mc::vcd::trace_to_vcd(
+                &approx,
+                trace,
+                &axmc::mc::vcd::VcdNames::default(),
+            );
+            std::fs::write(path, dump).map_err(|e| format!("cannot write '{path}': {e}"))?;
+            println!("counterexample trace : written to {path} (VCD)");
+        }
+        let wce = analyzer.worst_case_error_at(horizon).map_err(|e| e.to_string())?;
+        println!(
+            "worst-case error@k   : {} ({} probes, {} conflicts)",
+            wce.value, wce.sat_calls, wce.conflicts
+        );
+        let bf = analyzer.bit_flip_error_at(horizon).map_err(|e| e.to_string())?;
+        println!("bit-flip error@k     : {}", bf.value);
+        if opts.contains_key("prove") {
+            let verdict = analyzer.prove_error_bound(
+                wce.value,
+                &InductionOptions {
+                    max_k: 4,
+                    simple_path: false,
+                    ..InductionOptions::default()
+                },
+            );
+            match verdict {
+                ProofResult::Proved { k } => {
+                    println!("unbounded bound      : |error| <= {} proved (k = {k})", wce.value)
+                }
+                ProofResult::Falsified(t) => println!(
+                    "unbounded bound      : exceeded in a {}-cycle run (error accumulates)",
+                    t.len()
+                ),
+                ProofResult::Unknown => println!("unbounded bound      : not k-inductive (unknown)"),
+            }
+        }
+    } else {
+        println!("combinational analysis");
+        let analyzer = CombAnalyzer::new(&golden, &approx);
+        let wce = analyzer.worst_case_error().map_err(|e| e.to_string())?;
+        println!(
+            "worst-case error     : {} ({} probes, {} conflicts)",
+            wce.value, wce.sat_calls, wce.conflicts
+        );
+        println!(
+            "worst-case rel error : {:.4} %",
+            threshold_to_wcre(wce.value, golden.num_outputs())
+        );
+        let bf = analyzer.bit_flip_error().map_err(|e| e.to_string())?;
+        println!("bit-flip error       : {}", bf.value);
+        let msb = analyzer.most_significant_error_bit().map_err(|e| e.to_string())?;
+        match msb {
+            Some(bit) => println!("MSB error bit        : {bit}"),
+            None => println!("MSB error bit        : none (equivalent)"),
+        }
+        if opts.contains_key("average") {
+            // Exact average-case metrics via BDDs; adder-class circuits
+            // succeed, multiplier-class ones fall back to sampling.
+            match axmc::bdd::exact_mae(&golden, &approx, 5_000_000) {
+                Ok(stats) => {
+                    let rate = axmc::bdd::exact_error_rate(&golden, &approx, 5_000_000)
+                        .map_err(|e| e.to_string())?;
+                    println!("mean abs error       : {:.6} (exact, BDD)", stats.mae);
+                    println!("error rate           : {:.4} % (exact, BDD)", rate * 100.0);
+                }
+                Err(_) => {
+                    let sampled = axmc::core::sampled_stats(&golden, &approx, 100_000, 1);
+                    println!(
+                        "mean abs error       : {:.6} (sampled estimate; BDD blew up)",
+                        sampled.mae_estimate
+                    );
+                    println!(
+                        "error rate           : {:.4} % (sampled estimate)",
+                        sampled.error_rate_estimate * 100.0
+                    );
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+fn cmd_evolve(opts: &Flags) -> Result<(), String> {
+    let kind = required(opts, "kind")?;
+    let width: usize = numeric(opts, "width", 8)?;
+    let seed: u64 = numeric(opts, "seed", 1)?;
+    let golden: Netlist = match kind {
+        "adder" => generators::ripple_carry_adder(width),
+        "multiplier" => generators::array_multiplier(width),
+        other => return Err(format!("unknown --kind '{other}' (adder|multiplier)")),
+    };
+    // Either a classic CGP configuration file or --wcre/--seconds flags.
+    let (options, wcre) = if let Some(path) = opts.get("config") {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read '{path}': {e}"))?;
+        let cfg = axmc::cgp::parse_config(&text).map_err(|e| e.to_string())?;
+        if !cfg.ignored_keys.is_empty() {
+            eprintln!("note: ignored config keys: {}", cfg.ignored_keys.join(", "));
+        }
+        let mut options = cfg.options;
+        options.threshold = wcre_to_threshold(cfg.wcre_percent, golden.num_outputs()).max(1);
+        options.seed = seed;
+        options.extra_cols = 4;
+        (options, cfg.wcre_percent)
+    } else {
+        let wcre: f64 = numeric(opts, "wcre", 1.0)?;
+        let seconds: u64 = numeric(opts, "seconds", 20)?;
+        let options = SearchOptions {
+            threshold: wcre_to_threshold(wcre, golden.num_outputs()).max(1),
+            max_generations: u64::MAX,
+            time_limit: Duration::from_secs(seconds),
+            seed,
+            extra_cols: 4,
+            ..SearchOptions::default()
+        };
+        (options, wcre)
+    };
+    println!(
+        "evolving {kind} (width {width}) under WCRE <= {wcre}% (threshold {}), {:?}",
+        options.threshold, options.time_limit
+    );
+    let result = evolve(&golden, &options);
+    println!(
+        "area: {:.1} -> {:.1} um2 ({:.1} % of exact), {} improvements, {} UNSAT certificates",
+        result.golden_area,
+        result.area,
+        result.relative_area() * 100.0,
+        result.stats.improvements,
+        result.stats.verified_ok
+    );
+    if let Some(path) = opts.get("out") {
+        save_aig(path, &result.netlist.to_aig())?;
+        println!("wrote {path}");
+    }
+    Ok(())
+}
+
+fn cmd_gen(opts: &Flags) -> Result<(), String> {
+    let kind = required(opts, "kind")?;
+    let width: usize = numeric(opts, "width", 8)?;
+    let param: usize = numeric(opts, "param", width / 2)?;
+    let netlist = match kind {
+        "adder" => generators::ripple_carry_adder(width),
+        "multiplier" => generators::array_multiplier(width),
+        "incrementer" => generators::incrementer(width),
+        "trunc-adder" => approx::truncated_adder(width, param),
+        "loa-adder" => approx::lower_or_adder(width, param),
+        "spec-adder" => approx::speculative_adder(width, param.max(1)),
+        "trunc-multiplier" => approx::truncated_multiplier(width, param),
+        "optrunc-multiplier" => approx::operand_truncated_multiplier(width, param),
+        "kulkarni-multiplier" => approx::kulkarni_multiplier(width),
+        other => return Err(format!("unknown --kind '{other}'")),
+    };
+    let path = required(opts, "out")?;
+    save_aig(path, &netlist.to_aig())?;
+    if let Some(vpath) = opts.get("verilog") {
+        let module = vpath
+            .rsplit('/')
+            .next()
+            .and_then(|f| f.split('.').next())
+            .filter(|s| !s.is_empty())
+            .unwrap_or("axmc_gen");
+        let text = axmc::circuit::verilog::to_verilog(&netlist, module);
+        std::fs::write(vpath, text).map_err(|e| format!("cannot write '{vpath}': {e}"))?;
+        println!("wrote {vpath} (structural Verilog)");
+    }
+    println!(
+        "wrote {path}: {} inputs, {} outputs, {} gates ({:.1} um2)",
+        netlist.num_inputs(),
+        netlist.num_outputs(),
+        netlist.num_active_gates(),
+        netlist.area(&AreaModel::nm45())
+    );
+    Ok(())
+}
+
+fn cmd_stats(opts: &Flags) -> Result<(), String> {
+    let aig = load_aig(required(opts, "circuit")?)?;
+    println!("inputs  : {}", aig.num_inputs());
+    println!("outputs : {}", aig.num_outputs());
+    println!("latches : {}", aig.num_latches());
+    println!("ands    : {}", aig.num_ands());
+    println!("depth   : {}", aig.depth());
+    Ok(())
+}

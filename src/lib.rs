@@ -1,0 +1,65 @@
+//! # axmc — precise error determination of approximated components in
+//! sequential circuits with model checking
+//!
+//! `axmc` is a self-contained Rust toolkit that determines, with formal
+//! guarantees, the error introduced by replacing a combinational component
+//! (adder, multiplier, incrementer, …) with an approximate variant —
+//! including when the component is embedded in a **sequential** circuit,
+//! where errors can be masked, delayed, or amplified through feedback.
+//! On top of the analysis engines it provides a verifiability-driven CGP
+//! synthesis loop that *generates* approximate circuits carrying formal
+//! worst-case-error certificates.
+//!
+//! This crate is an umbrella that re-exports the workspace members:
+//!
+//! | Module | Crate | Contents |
+//! |---|---|---|
+//! | [`aig`] | `axmc-aig` | And-Inverter Graphs, word-level helpers, 64-way simulation, AIGER I/O |
+//! | [`sat`] | `axmc-sat` | CDCL SAT solver with assumptions and resource budgets |
+//! | [`cnf`] | `axmc-cnf` | CNF formulas, DIMACS, Tseitin encoding |
+//! | [`circuit`] | `axmc-circuit` | Gate-level netlists, exact generators, approximate component library |
+//! | [`miter`] | `axmc-miter` | Combinational and sequential error miters |
+//! | [`seq`] | `axmc-seq` | Sequential design templates and the benchmark suite |
+//! | [`mc`] | `axmc-mc` | Bounded model checking, k-induction, explicit reachability |
+//! | [`core`] | `axmc-core` | The error-determination engines ([`CombAnalyzer`], [`SeqAnalyzer`]) |
+//! | [`cgp`] | `axmc-cgp` | Verifiability-driven CGP synthesis |
+//!
+//! The most common entry points are re-exported at the top level.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use axmc::circuit::{generators, approx};
+//! use axmc::{CombAnalyzer, SeqAnalyzer};
+//! use axmc::seq::accumulator;
+//!
+//! // 1. How wrong is a lower-OR adder, at worst? (exact, via SAT)
+//! let golden = generators::ripple_carry_adder(8).to_aig();
+//! let cheap = approx::lower_or_adder(8, 4).to_aig();
+//! let wce = CombAnalyzer::new(&golden, &cheap).worst_case_error()?;
+//! println!("combinational WCE = {}", wce.value);
+//!
+//! // 2. And once it sits inside an accumulator? (exact, via BMC)
+//! let g = accumulator(&generators::ripple_carry_adder(8), 8);
+//! let c = accumulator(&approx::lower_or_adder(8, 4), 8);
+//! let wce8 = SeqAnalyzer::new(&g, &c).worst_case_error_at(8)?;
+//! println!("sequential WCE within 8 cycles = {}", wce8.value);
+//! # Ok::<(), axmc::AnalysisError>(())
+//! ```
+
+pub use axmc_aig as aig;
+pub use axmc_bdd as bdd;
+pub use axmc_cgp as cgp;
+pub use axmc_circuit as circuit;
+pub use axmc_cnf as cnf;
+pub use axmc_core as core;
+pub use axmc_mc as mc;
+pub use axmc_miter as miter;
+pub use axmc_sat as sat;
+pub use axmc_seq as seq;
+
+pub use axmc_cgp::{evolve, SearchOptions, SearchResult};
+pub use axmc_core::{
+    AnalysisError, CombAnalyzer, ErrorGrowth, ErrorProfile, ErrorReport, SeqAnalyzer,
+};
+pub use axmc_mc::{Bmc, BmcResult, InductionOptions, ProofResult};

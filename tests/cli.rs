@@ -1,0 +1,106 @@
+//! End-to-end tests of the `axmc` command-line tool: generate circuits,
+//! analyze them, evolve with a certificate, and read the outputs back.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn axmc() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_axmc"))
+}
+
+fn tmp(name: &str) -> PathBuf {
+    let mut dir = std::env::temp_dir();
+    dir.push(format!("axmc-cli-test-{}-{name}", std::process::id()));
+    dir
+}
+
+#[test]
+fn gen_analyze_round_trip() {
+    let g = tmp("g.aag");
+    let c = tmp("c.aag");
+    let s1 = axmc()
+        .args(["gen", "--kind", "adder", "--width", "5", "--out"])
+        .arg(&g)
+        .output()
+        .expect("spawn");
+    assert!(s1.status.success(), "{}", String::from_utf8_lossy(&s1.stderr));
+    let s2 = axmc()
+        .args(["gen", "--kind", "trunc-adder", "--width", "5", "--param", "2", "--out"])
+        .arg(&c)
+        .output()
+        .expect("spawn");
+    assert!(s2.status.success());
+
+    let out = axmc()
+        .args(["analyze", "--golden"])
+        .arg(&g)
+        .arg("--approx")
+        .arg(&c)
+        .output()
+        .expect("spawn");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    // Truncated adder cut 2: WCE = 2^3 - 2 = 6.
+    assert!(text.contains("worst-case error     : 6"), "{text}");
+    assert!(text.contains("combinational analysis"), "{text}");
+}
+
+#[test]
+fn stats_reports_structure() {
+    let g = tmp("s.aag");
+    axmc()
+        .args(["gen", "--kind", "multiplier", "--width", "3", "--out"])
+        .arg(&g)
+        .output()
+        .expect("spawn");
+    let out = axmc().args(["stats", "--circuit"]).arg(&g).output().expect("spawn");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("inputs  : 6"), "{text}");
+    assert!(text.contains("outputs : 6"), "{text}");
+    assert!(text.contains("latches : 0"), "{text}");
+}
+
+#[test]
+fn evolve_produces_certified_circuit() {
+    let out_path = tmp("e.aag");
+    let out = axmc()
+        .args([
+            "evolve", "--kind", "adder", "--width", "4", "--wcre", "10", "--seconds", "2",
+            "--seed", "3", "--out",
+        ])
+        .arg(&out_path)
+        .output()
+        .expect("spawn");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    // Load the result and check the certificate independently.
+    let text = std::fs::read_to_string(&out_path).expect("evolved file");
+    let evolved = axmc::aig::aiger::from_ascii(&text).expect("valid aiger");
+    let golden = axmc::circuit::generators::ripple_carry_adder(4).to_aig();
+    let report = axmc::CombAnalyzer::new(&golden, &evolved)
+        .worst_case_error()
+        .expect("analysis");
+    // WCRE 10% of 2^5 = 3.2 -> threshold 3.
+    assert!(report.value <= 3, "wce {}", report.value);
+}
+
+#[test]
+fn errors_are_reported_cleanly() {
+    let out = axmc().args(["analyze", "--golden", "/nonexistent.aag"]).output().expect("spawn");
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("error:"), "{err}");
+
+    let out = axmc().args(["frobnicate"]).output().expect("spawn");
+    assert!(!out.status.success());
+}
+
+#[test]
+fn help_prints_usage() {
+    let out = axmc().args(["--help"]).output().expect("spawn");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("USAGE"), "{text}");
+    assert!(text.contains("analyze"), "{text}");
+    assert!(text.contains("evolve"), "{text}");
+}

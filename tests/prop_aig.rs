@@ -1,0 +1,169 @@
+//! Property-based tests of the AIG substrate: word-level arithmetic
+//! against native integers, structural invariants of compaction, AIGER
+//! round-trips, and simulator/evaluator agreement.
+
+use axmc::aig::{aiger, bits_to_i128, bits_to_u128, u128_to_bits, Aig, Simulator, Word};
+use proptest::prelude::*;
+
+fn eval_u128(aig: &Aig, bits: &[bool]) -> u128 {
+    bits_to_u128(&aig.eval_comb(bits))
+}
+
+proptest! {
+    #[test]
+    fn word_add_matches_integers(a in 0u128..=0xFFFF, b in 0u128..=0xFFFF, width in 1usize..16) {
+        let a = a & ((1 << width) - 1);
+        let b = b & ((1 << width) - 1);
+        let mut aig = Aig::new();
+        let wa = Word::new_inputs(&mut aig, width);
+        let wb = Word::new_inputs(&mut aig, width);
+        let (sum, carry) = wa.add(&mut aig, &wb);
+        for &bit in sum.bits() {
+            aig.add_output(bit);
+        }
+        aig.add_output(carry);
+        let mut input = u128_to_bits(a, width);
+        input.extend(u128_to_bits(b, width));
+        prop_assert_eq!(eval_u128(&aig, &input), a + b);
+    }
+
+    #[test]
+    fn word_sub_signed_matches_integers(a in 0u128..=0xFFFF, b in 0u128..=0xFFFF, width in 1usize..16) {
+        let a = a & ((1 << width) - 1);
+        let b = b & ((1 << width) - 1);
+        let mut aig = Aig::new();
+        let wa = Word::new_inputs(&mut aig, width);
+        let wb = Word::new_inputs(&mut aig, width);
+        let diff = wa.sub_signed(&mut aig, &wb);
+        for &bit in diff.bits() {
+            aig.add_output(bit);
+        }
+        let mut input = u128_to_bits(a, width);
+        input.extend(u128_to_bits(b, width));
+        let out = aig.eval_comb(&input);
+        prop_assert_eq!(bits_to_i128(&out), a as i128 - b as i128);
+    }
+
+    #[test]
+    fn ugt_const_matches_compare(a in 0u128..=0xFFFF, t in 0u128..=0x1FFFF, width in 1usize..16) {
+        let a = a & ((1 << width) - 1);
+        let mut aig = Aig::new();
+        let wa = Word::new_inputs(&mut aig, width);
+        let flag = wa.ugt_const(&mut aig, t);
+        aig.add_output(flag);
+        let input = u128_to_bits(a, width);
+        prop_assert_eq!(aig.eval_comb(&input)[0], a > t);
+    }
+
+    #[test]
+    fn popcount_matches_count_ones(a in 0u128..=0x3FFFFF, width in 1usize..20) {
+        let a = a & ((1 << width) - 1);
+        let mut aig = Aig::new();
+        let wa = Word::new_inputs(&mut aig, width);
+        let pc = wa.popcount(&mut aig);
+        for &bit in pc.bits() {
+            aig.add_output(bit);
+        }
+        let input = u128_to_bits(a, width);
+        prop_assert_eq!(eval_u128(&aig, &input), a.count_ones() as u128);
+    }
+
+    #[test]
+    fn abs_matches_integer_abs(raw in any::<u16>(), width in 2usize..17) {
+        let pattern = (raw as u128) & ((1 << width) - 1);
+        let mut aig = Aig::new();
+        let w = Word::new_inputs(&mut aig, width);
+        let abs = w.abs(&mut aig);
+        for &bit in abs.bits() {
+            aig.add_output(bit);
+        }
+        let input = u128_to_bits(pattern, width);
+        let signed = bits_to_i128(&input);
+        // Hardware semantics: the most negative value maps to itself.
+        let expect = signed.unsigned_abs() % (1u128 << width);
+        prop_assert_eq!(eval_u128(&aig, &input), expect);
+    }
+
+    #[test]
+    fn bit_conversions_round_trip(v in any::<u64>(), width in 1usize..64) {
+        let masked = (v as u128) & ((1 << width) - 1);
+        prop_assert_eq!(bits_to_u128(&u128_to_bits(masked, width)), masked);
+    }
+}
+
+/// A strategy producing a small random combinational AIG together with
+/// enough structure to compare behaviors.
+fn random_aig(max_inputs: usize, max_gates: usize) -> impl Strategy<Value = Aig> {
+    (1..=max_inputs, proptest::collection::vec((any::<u32>(), any::<u32>(), any::<bool>(), any::<bool>(), 0u8..3), 1..=max_gates))
+        .prop_map(|(n_in, gates)| {
+            let mut aig = Aig::new();
+            let inputs = aig.add_inputs(n_in);
+            let mut nodes: Vec<axmc::aig::Lit> = inputs;
+            for (a, b, na, nb, op) in gates {
+                let la = nodes[a as usize % nodes.len()].negate_if(na);
+                let lb = nodes[b as usize % nodes.len()].negate_if(nb);
+                let y = match op {
+                    0 => aig.and(la, lb),
+                    1 => aig.or(la, lb),
+                    _ => aig.xor(la, lb),
+                };
+                nodes.push(y);
+            }
+            // A few outputs from the tail.
+            let n = nodes.len();
+            for i in 0..3.min(n) {
+                let out = nodes[n - 1 - i];
+                aig.add_output(out);
+            }
+            aig
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn compact_preserves_semantics(aig in random_aig(5, 30), stim in any::<u64>()) {
+        let compacted = aig.compact();
+        prop_assert!(compacted.num_ands() <= aig.num_ands());
+        let input: Vec<bool> = (0..aig.num_inputs()).map(|i| (stim >> i) & 1 == 1).collect();
+        prop_assert_eq!(aig.eval_comb(&input), compacted.eval_comb(&input));
+    }
+
+    #[test]
+    fn aiger_round_trip_preserves_semantics(aig in random_aig(5, 30), stim in any::<u64>()) {
+        let text = aiger::to_ascii(&aig);
+        let back = aiger::from_ascii(&text).unwrap();
+        let input: Vec<bool> = (0..aig.num_inputs()).map(|i| (stim >> i) & 1 == 1).collect();
+        prop_assert_eq!(aig.eval_comb(&input), back.eval_comb(&input));
+    }
+
+    #[test]
+    fn parallel_simulation_matches_scalar(aig in random_aig(5, 30), seed in any::<u64>()) {
+        let mut sim = Simulator::new(&aig);
+        let patterns: Vec<u64> = (0..aig.num_inputs())
+            .map(|i| seed.rotate_left(7 * i as u32 + 1))
+            .collect();
+        let packed = sim.eval_comb(&patterns);
+        for lane in [0usize, 17, 63] {
+            let input: Vec<bool> = patterns.iter().map(|p| (p >> lane) & 1 == 1).collect();
+            let scalar = aig.eval_comb(&input);
+            for (o, &word) in packed.iter().enumerate() {
+                prop_assert_eq!((word >> lane) & 1 == 1, scalar[o]);
+            }
+        }
+    }
+
+    #[test]
+    fn import_cone_is_faithful(aig in random_aig(4, 20), stim in any::<u16>()) {
+        let mut dst = Aig::new();
+        let inputs = dst.add_inputs(aig.num_inputs());
+        let roots: Vec<_> = aig.outputs().to_vec();
+        let images = dst.import_cone(&aig, &roots, &inputs, &[]);
+        for img in images {
+            dst.add_output(img);
+        }
+        let input: Vec<bool> = (0..aig.num_inputs()).map(|i| (stim >> i) & 1 == 1).collect();
+        prop_assert_eq!(aig.eval_comb(&input), dst.eval_comb(&input));
+    }
+}

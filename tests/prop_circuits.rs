@@ -1,0 +1,143 @@
+//! Property-based tests of the circuit layer: netlist/AIG agreement,
+//! compaction, generator correctness at random widths, approximate
+//! component error bounds, and CGP chromosome invariants.
+
+use axmc::cgp::Chromosome;
+use axmc::circuit::{approx, generators, AreaModel, GateOp, Netlist, Signal};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A random topologically valid netlist.
+fn random_netlist() -> impl Strategy<Value = Netlist> {
+    (
+        1usize..=5,
+        proptest::collection::vec((any::<u32>(), any::<u32>(), 0u8..9), 1..25),
+        proptest::collection::vec(any::<u32>(), 1..4),
+    )
+        .prop_map(|(n_in, gates, outs)| {
+            let mut nl = Netlist::new(n_in);
+            for (a, b, op) in gates {
+                let pick = |x: u32, nl: &Netlist| -> Signal {
+                    let total = n_in + nl.num_gates() + 2;
+                    match x as usize % total {
+                        0 => Signal::Const(false),
+                        1 => Signal::Const(true),
+                        k if k - 2 < n_in => Signal::Input((k - 2) as u32),
+                        k => Signal::Gate((k - 2 - n_in) as u32),
+                    }
+                };
+                let sa = pick(a, &nl);
+                let sb = pick(b, &nl);
+                nl.add_gate(GateOp::ALL[op as usize], sa, sb);
+            }
+            for o in outs {
+                let total = n_in + nl.num_gates();
+                let sig = match o as usize % total {
+                    k if k < n_in => Signal::Input(k as u32),
+                    k => Signal::Gate((k - n_in) as u32),
+                };
+                nl.add_output(sig);
+            }
+            nl
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn netlist_and_aig_agree(nl in random_netlist(), stim in any::<u64>()) {
+        let aig = nl.to_aig();
+        let input: Vec<bool> = (0..nl.num_inputs()).map(|i| (stim >> i) & 1 == 1).collect();
+        prop_assert_eq!(nl.eval(&input), aig.eval_comb(&input));
+    }
+
+    #[test]
+    fn netlist_compaction_preserves_behavior(nl in random_netlist(), stim in any::<u64>()) {
+        let compacted = nl.compact();
+        prop_assert!(compacted.num_gates() <= nl.num_gates());
+        let input: Vec<bool> = (0..nl.num_inputs()).map(|i| (stim >> i) & 1 == 1).collect();
+        prop_assert_eq!(nl.eval(&input), compacted.eval(&input));
+    }
+
+    #[test]
+    fn area_is_monotone_under_compaction(nl in random_netlist()) {
+        let model = AreaModel::nm45();
+        // Active-gate area is invariant; total gate count is not.
+        prop_assert!((nl.area(&model) - nl.compact().area(&model)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn adders_are_correct_at_random_widths(width in 1usize..24, a in any::<u64>(), b in any::<u64>()) {
+        let mask = if width >= 64 { u64::MAX } else { (1 << width) - 1 };
+        let (a, b) = ((a & mask) as u128, (b & mask) as u128);
+        let rca = generators::ripple_carry_adder(width);
+        prop_assert_eq!(rca.eval_binop(a, b), a + b);
+        let csa = generators::carry_select_adder(width, (width / 3).max(1));
+        prop_assert_eq!(csa.eval_binop(a, b), a + b);
+    }
+
+    #[test]
+    fn multipliers_are_correct_at_random_widths(width in 1usize..12, a in any::<u32>(), b in any::<u32>()) {
+        let mask = (1u128 << width) - 1;
+        let (a, b) = (a as u128 & mask, b as u128 & mask);
+        prop_assert_eq!(generators::array_multiplier(width).eval_binop(a, b), a * b);
+        prop_assert_eq!(generators::wallace_multiplier(width).eval_binop(a, b), a * b);
+    }
+
+    #[test]
+    fn truncated_adder_error_bound_holds(width in 2usize..10, cut_frac in 0usize..100, a in any::<u32>(), b in any::<u32>()) {
+        let cut = cut_frac % (width + 1);
+        let mask = (1u128 << width) - 1;
+        let (a, b) = (a as u128 & mask, b as u128 & mask);
+        let nl = approx::truncated_adder(width, cut);
+        let got = nl.eval_binop(a, b);
+        let bound = if cut == 0 { 0 } else { (1u128 << (cut + 1)) - 2 };
+        prop_assert!((a + b).abs_diff(got) <= bound);
+    }
+
+    #[test]
+    fn loa_error_bound_holds(width in 2usize..10, lower_frac in 0usize..100, a in any::<u32>(), b in any::<u32>()) {
+        let lower = lower_frac % (width + 1);
+        let mask = (1u128 << width) - 1;
+        let (a, b) = (a as u128 & mask, b as u128 & mask);
+        let nl = approx::lower_or_adder(width, lower);
+        let got = nl.eval_binop(a, b);
+        let bound = if lower == 0 { 0 } else { 1u128 << (lower + 1) };
+        prop_assert!((a + b).abs_diff(got) <= bound);
+    }
+
+    #[test]
+    fn chromosome_decode_respects_interface(width in 2usize..6, seed in any::<u64>(), steps in 1usize..50) {
+        let golden = generators::ripple_carry_adder(width);
+        let mut chrom = Chromosome::from_netlist(&golden, 4);
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..steps {
+            chrom.mutate(4, &mut rng);
+        }
+        let nl = chrom.decode();
+        prop_assert_eq!(nl.num_inputs(), golden.num_inputs());
+        prop_assert_eq!(nl.num_outputs(), golden.num_outputs());
+        // Evaluation never panics (topological validity).
+        let _ = nl.eval_binop(1, 1);
+    }
+
+    #[test]
+    fn neutral_mutations_preserve_semantics(width in 2usize..5, seed in any::<u64>()) {
+        let golden = generators::ripple_carry_adder(width);
+        let base = Chromosome::from_netlist(&golden, 6);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut child = base.clone();
+        if !child.mutate(2, &mut rng) {
+            // Reported neutral: behavior must be identical everywhere.
+            let a = base.decode();
+            let b = child.decode();
+            for x in 0..(1u128 << width) {
+                for y in 0..(1u128 << width) {
+                    prop_assert_eq!(a.eval_binop(x, y), b.eval_binop(x, y));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,148 @@
+//! Property-based tests of the SAT solver: answers cross-checked against
+//! brute-force enumeration on random formulas, model validity, assumption
+//! semantics and budget behavior.
+
+use axmc::sat::{Budget, Lit, SolveResult, Solver, Var};
+use proptest::prelude::*;
+
+type Formula = Vec<Vec<i64>>;
+
+/// A random k-CNF over `n` variables; DIMACS-style signed literals.
+fn formula(n: i64, max_clauses: usize) -> impl Strategy<Value = Formula> {
+    proptest::collection::vec(
+        proptest::collection::vec((1..=n, any::<bool>()), 1..=3),
+        1..=max_clauses,
+    )
+    .prop_map(|clauses| {
+        clauses
+            .into_iter()
+            .map(|c| c.into_iter().map(|(v, neg)| if neg { -v } else { v }).collect())
+            .collect()
+    })
+}
+
+fn brute_force_sat(n: usize, formula: &Formula) -> bool {
+    'outer: for assignment in 0u64..(1 << n) {
+        for clause in formula {
+            let satisfied = clause.iter().any(|&lit| {
+                let v = lit.unsigned_abs() as usize - 1;
+                let value = (assignment >> v) & 1 == 1;
+                value != (lit < 0)
+            });
+            if !satisfied {
+                continue 'outer;
+            }
+        }
+        return true;
+    }
+    false
+}
+
+fn load(n: usize, formula: &Formula) -> (Solver, Vec<Var>) {
+    let mut solver = Solver::new();
+    let vars: Vec<Var> = (0..n).map(|_| solver.new_var()).collect();
+    for clause in formula {
+        let lits: Vec<Lit> = clause
+            .iter()
+            .map(|&l| Lit::new(vars[l.unsigned_abs() as usize - 1], l < 0))
+            .collect();
+        solver.add_clause(&lits);
+    }
+    (solver, vars)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn agrees_with_brute_force(f in formula(10, 60)) {
+        let n = 10;
+        let expect = brute_force_sat(n, &f);
+        let (mut solver, _) = load(n, &f);
+        let got = solver.solve();
+        prop_assert_eq!(got == SolveResult::Sat, expect);
+    }
+
+    #[test]
+    fn sat_models_satisfy_every_clause(f in formula(12, 70)) {
+        let n = 12;
+        let (mut solver, vars) = load(n, &f);
+        if solver.solve() == SolveResult::Sat {
+            for clause in &f {
+                let ok = clause.iter().any(|&l| {
+                    let value = solver
+                        .model_value(vars[l.unsigned_abs() as usize - 1])
+                        .unwrap_or(false);
+                    value != (l < 0)
+                });
+                prop_assert!(ok, "model violates clause {:?}", clause);
+            }
+        }
+    }
+
+    #[test]
+    fn assumptions_behave_like_units(f in formula(9, 40), forced in any::<u32>()) {
+        // Solving under assumptions must equal solving the formula with
+        // those units added — on a fresh solver.
+        let n = 9;
+        let assumed: Vec<i64> = (0..n)
+            .filter(|i| (forced >> i) & 1 == 1)
+            .map(|i| if (forced >> (i + 8)) & 1 == 1 { -(i as i64 + 1) } else { i as i64 + 1 })
+            .collect();
+
+        let (mut s1, vars1) = load(n, &f);
+        let assumptions: Vec<Lit> = assumed
+            .iter()
+            .map(|&l| Lit::new(vars1[l.unsigned_abs() as usize - 1], l < 0))
+            .collect();
+        let under_assumptions = s1.solve_with_assumptions(&assumptions);
+
+        let mut f2 = f.clone();
+        for &l in &assumed {
+            f2.push(vec![l]);
+        }
+        let (mut s2, _) = load(n, &f2);
+        let with_units = s2.solve();
+        prop_assert_eq!(under_assumptions, with_units);
+        // And the solver is reusable afterwards with the same answer as a
+        // fresh one.
+        let (mut s3, _) = load(n, &f);
+        prop_assert_eq!(s1.solve(), s3.solve());
+    }
+
+    #[test]
+    fn budget_never_flips_answers(f in formula(10, 60), limit in 1u64..50) {
+        let n = 10;
+        let expect = brute_force_sat(n, &f);
+        let (mut solver, _) = load(n, &f);
+        solver.set_budget(Budget::unlimited().with_conflicts(limit));
+        match solver.solve() {
+            SolveResult::Sat => prop_assert!(expect),
+            SolveResult::Unsat => prop_assert!(!expect),
+            SolveResult::Unknown => {} // allowed under a budget
+        }
+        // Lifting the budget must produce the definitive answer.
+        solver.set_budget(Budget::unlimited());
+        prop_assert_eq!(solver.solve() == SolveResult::Sat, expect);
+    }
+
+    #[test]
+    fn incremental_equals_monolithic(f in formula(10, 40), g in formula(10, 20)) {
+        let n = 10;
+        // Add f, solve, add g, solve; compare against f ∪ g from scratch.
+        let (mut inc, vars) = load(n, &f);
+        let _ = inc.solve();
+        for clause in &g {
+            let lits: Vec<Lit> = clause
+                .iter()
+                .map(|&l| Lit::new(vars[l.unsigned_abs() as usize - 1], l < 0))
+                .collect();
+            inc.add_clause(&lits);
+        }
+        let incremental = inc.solve();
+        let mut combined = f.clone();
+        combined.extend(g.clone());
+        let (mut mono, _) = load(n, &combined);
+        prop_assert_eq!(incremental, mono.solve());
+    }
+}
