@@ -553,9 +553,9 @@ mod tests {
         let e = aig.add_input();
         let m = aig.mux(s, t, e);
         aig.add_output(m);
-        assert_eq!(aig.eval_comb(&[true, true, false])[0], true);
-        assert_eq!(aig.eval_comb(&[false, true, false])[0], false);
-        assert_eq!(aig.eval_comb(&[false, false, true])[0], true);
+        assert!(aig.eval_comb(&[true, true, false])[0]);
+        assert!(!aig.eval_comb(&[false, true, false])[0]);
+        assert!(aig.eval_comb(&[false, false, true])[0]);
     }
 
     #[test]
@@ -602,7 +602,7 @@ mod tests {
         aig.add_output(q);
         let c = aig.compact();
         assert_eq!(c.num_latches(), 1);
-        assert_eq!(c.latches()[0].init, false);
+        assert!(!c.latches()[0].init);
         assert_eq!(c.num_outputs(), 1);
     }
 
@@ -631,8 +631,8 @@ mod tests {
         let q = dst.add_input();
         let roots = dst.import_cone(&src, &[x], &[p, q], &[]);
         dst.add_output(roots[0]);
-        assert_eq!(dst.eval_comb(&[true, false])[0], true);
-        assert_eq!(dst.eval_comb(&[true, true])[0], false);
+        assert!(dst.eval_comb(&[true, false])[0]);
+        assert!(!dst.eval_comb(&[true, true])[0]);
     }
 
     #[test]

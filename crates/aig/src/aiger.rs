@@ -25,7 +25,11 @@ impl ParseAigerError {
 
 impl fmt::Display for ParseAigerError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "aiger parse error at line {}: {}", self.line, self.message)
+        write!(
+            f,
+            "aiger parse error at line {}: {}",
+            self.line, self.message
+        )
     }
 }
 
@@ -73,8 +77,7 @@ pub fn to_ascii(aig: &Aig) -> String {
             next += 1;
         }
     }
-    let map_lit =
-        |l: Lit| -> u32 { var_map[l.var().index() as usize] * 2 + l.is_negated() as u32 };
+    let map_lit = |l: Lit| -> u32 { var_map[l.var().index() as usize] * 2 + l.is_negated() as u32 };
 
     let mut out = String::new();
     out.push_str(&format!(
@@ -148,7 +151,10 @@ pub fn from_ascii(text: &str) -> Result<Aig, ParseAigerError> {
         let (n, s) = take_line("input")?;
         let code = parse(s.trim(), n)?;
         if code % 2 != 0 || code == 0 {
-            return Err(ParseAigerError::new(n, "input literal must be even and nonzero"));
+            return Err(ParseAigerError::new(
+                n,
+                "input literal must be even and nonzero",
+            ));
         }
         input_lits.push(code / 2);
     }
@@ -157,16 +163,29 @@ pub fn from_ascii(text: &str) -> Result<Aig, ParseAigerError> {
         let (n, s) = take_line("latch")?;
         let parts: Vec<&str> = s.split_whitespace().collect();
         if parts.len() < 2 || parts.len() > 3 {
-            return Err(ParseAigerError::new(n, "latch line needs 'lit next [init]'"));
+            return Err(ParseAigerError::new(
+                n,
+                "latch line needs 'lit next [init]'",
+            ));
         }
         let lhs = parse(parts[0], n)?;
         let nxt = parse(parts[1], n)?;
-        let init = if parts.len() == 3 { parse(parts[2], n)? } else { 0 };
+        let init = if parts.len() == 3 {
+            parse(parts[2], n)?
+        } else {
+            0
+        };
         if lhs % 2 != 0 || lhs == 0 {
-            return Err(ParseAigerError::new(n, "latch literal must be even and nonzero"));
+            return Err(ParseAigerError::new(
+                n,
+                "latch literal must be even and nonzero",
+            ));
         }
         if init > 1 {
-            return Err(ParseAigerError::new(n, "only constant latch resets supported"));
+            return Err(ParseAigerError::new(
+                n,
+                "only constant latch resets supported",
+            ));
         }
         latch_defs.push((lhs / 2, nxt, init == 1));
     }
@@ -184,7 +203,10 @@ pub fn from_ascii(text: &str) -> Result<Aig, ParseAigerError> {
         }
         let lhs = parse(parts[0], n)?;
         if lhs % 2 != 0 || lhs == 0 {
-            return Err(ParseAigerError::new(n, "and literal must be even and nonzero"));
+            return Err(ParseAigerError::new(
+                n,
+                "and literal must be even and nonzero",
+            ));
         }
         and_defs.push((n, lhs / 2, parse(parts[1], n)?, parse(parts[2], n)?));
     }
@@ -284,8 +306,7 @@ pub fn to_binary(aig: &Aig) -> Vec<u8> {
             next += 1;
         }
     }
-    let map_lit =
-        |l: Lit| -> u32 { var_map[l.var().index() as usize] * 2 + l.is_negated() as u32 };
+    let map_lit = |l: Lit| -> u32 { var_map[l.var().index() as usize] * 2 + l.is_negated() as u32 };
 
     let mut out = Vec::new();
     out.extend_from_slice(
@@ -305,7 +326,7 @@ pub fn to_binary(aig: &Aig) -> Vec<u8> {
     for &o in aig.outputs() {
         out.extend_from_slice(format!("{}\n", map_lit(o)).as_bytes());
     }
-    let mut write_delta = |mut d: u32, out: &mut Vec<u8>| loop {
+    let write_delta = |mut d: u32, out: &mut Vec<u8>| loop {
         let byte = (d & 0x7F) as u8;
         d >>= 7;
         if d == 0 {
@@ -330,7 +351,7 @@ pub fn to_binary(aig: &Aig) -> Vec<u8> {
 pub fn from_binary(bytes: &[u8]) -> Result<Aig, ParseAigerError> {
     // Header and the latch/output lines are ASCII; find their extent.
     let mut pos = 0usize;
-    let mut read_line = |pos: &mut usize| -> Result<String, ParseAigerError> {
+    let read_line = |pos: &mut usize| -> Result<String, ParseAigerError> {
         let start = *pos;
         while *pos < bytes.len() && bytes[*pos] != b'\n' {
             *pos += 1;
@@ -382,7 +403,7 @@ pub fn from_binary(bytes: &[u8]) -> Result<Aig, ParseAigerError> {
         output_codes.push(parse_num(line.trim())?);
     }
     // Delta-decoded AND section.
-    let mut read_delta = |pos: &mut usize| -> Result<u32, ParseAigerError> {
+    let read_delta = |pos: &mut usize| -> Result<u32, ParseAigerError> {
         let mut value: u32 = 0;
         let mut shift = 0u32;
         loop {

@@ -333,7 +333,9 @@ pub fn bits_to_i128(bits: &[bool]) -> i128 {
 
 /// Expands an unsigned integer into `width` little-endian bits.
 pub fn u128_to_bits(value: u128, width: usize) -> Vec<bool> {
-    (0..width).map(|i| i < 128 && (value >> i) & 1 == 1).collect()
+    (0..width)
+        .map(|i| i < 128 && (value >> i) & 1 == 1)
+        .collect()
 }
 
 #[cfg(test)]

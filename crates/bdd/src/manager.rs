@@ -203,12 +203,7 @@ impl Manager {
     /// # Errors
     ///
     /// [`BuildBddError::SizeLimit`] under a node budget.
-    pub fn ite(
-        &mut self,
-        f: NodeId,
-        g: NodeId,
-        h: NodeId,
-    ) -> Result<NodeId, BuildBddError> {
+    pub fn ite(&mut self, f: NodeId, g: NodeId, h: NodeId) -> Result<NodeId, BuildBddError> {
         // Terminal cases.
         if f == NodeId::TRUE {
             return Ok(g);
@@ -225,10 +220,7 @@ impl Manager {
         if let Some(&hit) = self.ite_cache.get(&(f, g, h)) {
             return Ok(hit);
         }
-        let top = self
-            .var_of(f)
-            .min(self.var_of(g))
-            .min(self.var_of(h));
+        let top = self.var_of(f).min(self.var_of(g)).min(self.var_of(h));
         let (f0, f1) = self.cofactors(f, top);
         let (g0, g1) = self.cofactors(g, top);
         let (h0, h1) = self.cofactors(h, top);
@@ -306,12 +298,7 @@ impl Manager {
         let mut cache: HashMap<NodeId, u128> = HashMap::new();
         let total_vars = self.num_vars as u32;
         // count(f) over variables var_of(f)..num_vars, then scale.
-        fn go(
-            m: &Manager,
-            f: NodeId,
-            cache: &mut HashMap<NodeId, u128>,
-            total_vars: u32,
-        ) -> u128 {
+        fn go(m: &Manager, f: NodeId, cache: &mut HashMap<NodeId, u128>, total_vars: u32) -> u128 {
             // Returns count over the variables strictly below var_of(f).
             if f == NodeId::FALSE {
                 return 0;
@@ -373,9 +360,17 @@ impl Manager {
                 Node::Latch(_) => unreachable!(),
                 Node::And(a, b) => {
                     let fa = map[a.var().index() as usize];
-                    let fa = if a.is_negated() { self.apply_not(fa)? } else { fa };
+                    let fa = if a.is_negated() {
+                        self.apply_not(fa)?
+                    } else {
+                        fa
+                    };
                     let fb = map[b.var().index() as usize];
-                    let fb = if b.is_negated() { self.apply_not(fb)? } else { fb };
+                    let fb = if b.is_negated() {
+                        self.apply_not(fb)?
+                    } else {
+                        fb
+                    };
                     self.ite(fa, fb, NodeId::FALSE)?
                 }
             };
@@ -384,7 +379,11 @@ impl Manager {
         let mut outputs = Vec::with_capacity(aig.num_outputs());
         for &o in aig.outputs() {
             let f = map[o.var().index() as usize];
-            outputs.push(if o.is_negated() { self.apply_not(f)? } else { f });
+            outputs.push(if o.is_negated() {
+                self.apply_not(f)?
+            } else {
+                f
+            });
         }
         Ok(outputs)
     }

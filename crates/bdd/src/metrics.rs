@@ -11,7 +11,7 @@ use axmc_aig::{Aig, Word};
 /// Interleaves the two operand halves when the input count is even (the
 /// standard layout of the generators); falls back to the natural order.
 fn two_operand_order(num_inputs: usize) -> Vec<usize> {
-    if num_inputs % 2 == 0 {
+    if num_inputs.is_multiple_of(2) {
         interleaved_order(num_inputs / 2)
     } else {
         (0..num_inputs).collect()
@@ -47,24 +47,22 @@ pub fn exact_mae(
     node_limit: usize,
 ) -> Result<BddErrorStats, BuildBddError> {
     assert_eq!(golden.num_inputs(), candidate.num_inputs(), "input counts");
-    assert_eq!(golden.num_outputs(), candidate.num_outputs(), "output counts");
-    assert_eq!(golden.num_latches() + candidate.num_latches(), 0, "combinational only");
+    assert_eq!(
+        golden.num_outputs(),
+        candidate.num_outputs(),
+        "output counts"
+    );
+    assert_eq!(
+        golden.num_latches() + candidate.num_latches(),
+        0,
+        "combinational only"
+    );
 
     // |G - C| as a combinational circuit.
     let mut diff_aig = Aig::new();
     let inputs = diff_aig.add_inputs(golden.num_inputs());
-    let og = Word::from_lits(diff_aig.import_cone(
-        golden,
-        &golden.outputs().to_vec(),
-        &inputs,
-        &[],
-    ));
-    let oc = Word::from_lits(diff_aig.import_cone(
-        candidate,
-        &candidate.outputs().to_vec(),
-        &inputs,
-        &[],
-    ));
+    let og = Word::from_lits(diff_aig.import_cone(golden, golden.outputs(), &inputs, &[]));
+    let oc = Word::from_lits(diff_aig.import_cone(candidate, candidate.outputs(), &inputs, &[]));
     let diff = og.sub_signed(&mut diff_aig, &oc);
     let abs = diff.abs(&mut diff_aig);
     for &b in abs.bits() {
@@ -104,8 +102,16 @@ pub fn exact_error_rate(
     node_limit: usize,
 ) -> Result<f64, BuildBddError> {
     assert_eq!(golden.num_inputs(), candidate.num_inputs(), "input counts");
-    assert_eq!(golden.num_outputs(), candidate.num_outputs(), "output counts");
-    assert_eq!(golden.num_latches() + candidate.num_latches(), 0, "combinational only");
+    assert_eq!(
+        golden.num_outputs(),
+        candidate.num_outputs(),
+        "output counts"
+    );
+    assert_eq!(
+        golden.num_latches() + candidate.num_latches(),
+        0,
+        "combinational only"
+    );
 
     let mut m = Manager::new(golden.num_inputs())
         .with_order(&two_operand_order(golden.num_inputs()))
@@ -156,7 +162,12 @@ mod tests {
             let cand = cand_nl.to_aig();
             let (mae, rate) = exhaustive_mae_and_rate(&golden, &cand);
             let stats = exact_mae(&golden, &cand, 1_000_000).unwrap();
-            assert!((stats.mae - mae).abs() < 1e-12, "mae {} vs {}", stats.mae, mae);
+            assert!(
+                (stats.mae - mae).abs() < 1e-12,
+                "mae {} vs {}",
+                stats.mae,
+                mae
+            );
             let r = exact_error_rate(&golden, &cand, 1_000_000).unwrap();
             assert!((r - rate).abs() < 1e-12, "rate {r} vs {rate}");
         }

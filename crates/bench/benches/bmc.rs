@@ -67,7 +67,6 @@ fn bench_cex_depth(c: &mut Criterion) {
     group.finish();
 }
 
-
 fn fast_criterion() -> Criterion {
     Criterion::default()
         .sample_size(10)
@@ -75,7 +74,7 @@ fn fast_criterion() -> Criterion {
         .measurement_time(std::time::Duration::from_secs(2))
 }
 
-criterion_group!{
+criterion_group! {
     name = benches;
     config = fast_criterion();
     targets = bench_frame_encoding,

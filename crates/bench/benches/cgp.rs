@@ -7,10 +7,10 @@ use axmc_cgp::{Chromosome, SearchOptions, Verifier};
 use axmc_circuit::{generators, AreaModel};
 use axmc_cnf::encode_comb;
 use axmc_miter::diff_threshold_miter;
+use axmc_rand::rngs::StdRng;
+use axmc_rand::SeedableRng;
 use axmc_sat::{Budget, SolveResult};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 fn bench_mutate_decode(c: &mut Criterion) {
     let mut group = c.benchmark_group("cgp/mutate_decode");
@@ -88,7 +88,6 @@ fn bench_short_evolution(c: &mut Criterion) {
     group.finish();
 }
 
-
 fn fast_criterion() -> Criterion {
     Criterion::default()
         .sample_size(10)
@@ -96,7 +95,7 @@ fn fast_criterion() -> Criterion {
         .measurement_time(std::time::Duration::from_secs(2))
 }
 
-criterion_group!{
+criterion_group! {
     name = benches;
     config = fast_criterion();
     targets = bench_mutate_decode,

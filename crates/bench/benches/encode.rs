@@ -55,7 +55,6 @@ fn bench_compaction(c: &mut Criterion) {
     group.finish();
 }
 
-
 fn fast_criterion() -> Criterion {
     Criterion::default()
         .sample_size(10)
@@ -63,7 +62,7 @@ fn fast_criterion() -> Criterion {
         .measurement_time(std::time::Duration::from_secs(2))
 }
 
-criterion_group!{
+criterion_group! {
     name = benches;
     config = fast_criterion();
     targets = bench_miter_construction, bench_tseitin, bench_compaction

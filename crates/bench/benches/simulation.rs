@@ -58,7 +58,6 @@ fn bench_exhaustive_sweep(c: &mut Criterion) {
     group.finish();
 }
 
-
 fn fast_criterion() -> Criterion {
     Criterion::default()
         .sample_size(10)
@@ -66,7 +65,7 @@ fn fast_criterion() -> Criterion {
         .measurement_time(std::time::Duration::from_secs(2))
 }
 
-criterion_group!{
+criterion_group! {
     name = benches;
     config = fast_criterion();
     targets = bench_netlist_eval64,

@@ -65,7 +65,6 @@ fn bench_threshold_unsat(c: &mut Criterion) {
     group.finish();
 }
 
-
 fn fast_criterion() -> Criterion {
     Criterion::default()
         .sample_size(10)
@@ -73,7 +72,7 @@ fn fast_criterion() -> Criterion {
         .measurement_time(std::time::Duration::from_secs(2))
 }
 
-criterion_group!{
+criterion_group! {
     name = benches;
     config = fast_criterion();
     targets = bench_equivalence_unsat,

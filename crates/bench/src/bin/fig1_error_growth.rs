@@ -6,7 +6,7 @@
 //! the per-operation error) while FIR series plateau once the window
 //! fills and the leaky integrator's feedback attenuation caps growth.
 
-use axmc_bench::{banner, Scale};
+use axmc_bench::{banner, PhaseLog, Scale};
 use axmc_circuit::{approx, generators};
 use axmc_core::SeqAnalyzer;
 use axmc_seq::{fir_moving_sum, mac_wide, wide_accumulator, wide_leaky_integrator};
@@ -16,6 +16,7 @@ fn main() {
     let width = 8;
     let horizon = scale.pick(8, 12);
     banner("F1", "worst-case error growth WCE@k", scale);
+    let mut phases = PhaseLog::new("F1", scale);
     println!("series: design/component; columns k = 0..{horizon}");
 
     let acc_width = width + 4;
@@ -70,6 +71,7 @@ fn main() {
     }
     println!(" {:>10}", "growth");
     for (name, golden, apx) in &series {
+        phases.phase(name);
         // The MAC's UNSAT probes harden steeply with depth; cap its
         // horizon so the figure completes (the growth shape is already
         // unambiguous by k = 8).
@@ -88,5 +90,8 @@ fn main() {
             print!(" {:>6}", "-");
         }
         println!(" {:>10}", format!("{:?}", profile.growth()));
+    }
+    if let Some(path) = phases.finish() {
+        println!("per-phase metrics: {}", path.display());
     }
 }

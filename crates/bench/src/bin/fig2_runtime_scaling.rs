@@ -9,18 +9,14 @@
 //! Shape expectation: roughly smooth growth in both axes; per-depth cost
 //! is amortized by incrementality (later probes reuse learnt clauses).
 
-use axmc_bench::{banner, timed, Scale};
+use axmc_bench::{banner, timed, PhaseLog, Scale};
 use axmc_circuit::{approx, generators};
 use axmc_core::SeqAnalyzer;
 use axmc_seq::wide_accumulator;
 
 fn run_cell(width: usize, horizon: usize) -> (u128, u64, u64, f64) {
     let acc_width = width + 4;
-    let golden = wide_accumulator(
-        &generators::ripple_carry_adder(acc_width),
-        width,
-        acc_width,
-    );
+    let golden = wide_accumulator(&generators::ripple_carry_adder(acc_width), width, acc_width);
     let apx = wide_accumulator(
         &approx::lower_or_adder(acc_width, width / 2),
         width,
@@ -33,7 +29,12 @@ fn run_cell(width: usize, horizon: usize) -> (u128, u64, u64, f64) {
 
 fn main() {
     let scale = Scale::from_env();
-    banner("F2", "BMC runtime scaling (exact WCE@k determination)", scale);
+    banner(
+        "F2",
+        "BMC runtime scaling (exact WCE@k determination)",
+        scale,
+    );
+    let mut phases = PhaseLog::new("F2", scale);
 
     // (a) depth sweep at fixed width.
     let width = 8;
@@ -44,6 +45,7 @@ fn main() {
         "k", "WCE@k", "probes", "conflicts", "time[ms]"
     );
     for k in (2..=max_depth).step_by(2) {
+        phases.phase(&format!("depth_k{k}"));
         let (wce, probes, conflicts, ms) = run_cell(width, k);
         println!("{k:>5} {wce:>9} {probes:>8} {conflicts:>11} {ms:>9.0}");
     }
@@ -58,7 +60,11 @@ fn main() {
         "width", "WCE@k", "probes", "conflicts", "time[ms]"
     );
     for w in widths {
+        phases.phase(&format!("width_w{w}"));
         let (wce, probes, conflicts, ms) = run_cell(w, depth);
         println!("{w:>6} {wce:>9} {probes:>8} {conflicts:>11} {ms:>9.0}");
+    }
+    if let Some(path) = phases.finish() {
+        println!("per-phase metrics: {}", path.display());
     }
 }

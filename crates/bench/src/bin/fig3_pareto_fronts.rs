@@ -6,7 +6,7 @@
 //! larger circuits save *more relative area* at the same WCRE because a
 //! fixed relative error frees proportionally more low-significance logic.
 
-use axmc_bench::{banner, Scale};
+use axmc_bench::{banner, PhaseLog, Scale};
 use axmc_cgp::{pareto_front, wcre_to_threshold, SearchOptions};
 use axmc_circuit::{generators, Netlist};
 use axmc_sat::Budget;
@@ -41,6 +41,7 @@ fn front_row(name: &str, golden: &Netlist, wcres: &[f64], seconds: u64) {
 fn main() {
     let scale = Scale::from_env();
     banner("F3", "Pareto fronts: relative area vs WCRE", scale);
+    let mut phases = PhaseLog::new("F3", scale);
     let wcres = [0.1f64, 0.5, 1.0, 2.0, 5.0, 10.0, 20.0];
     let seconds = scale.pick(4, 30);
     let adder_widths: Vec<usize> = scale.pick(vec![8, 12], vec![8, 12, 16, 24, 32]);
@@ -53,6 +54,7 @@ fn main() {
     println!();
     println!("-- adders (relative estimated area, %) --");
     for &w in &adder_widths {
+        phases.phase(&format!("add{w}"));
         front_row(
             &format!("add{w}"),
             &generators::ripple_carry_adder(w),
@@ -62,6 +64,7 @@ fn main() {
     }
     println!("-- multipliers (relative estimated area, %) --");
     for &w in &mult_widths {
+        phases.phase(&format!("mul{w}"));
         front_row(
             &format!("mul{w}"),
             &generators::array_multiplier(w),
@@ -71,4 +74,7 @@ fn main() {
     }
     println!();
     println!("100.0 = area of the exact circuit; every cell is an UNSAT-certified design.");
+    if let Some(path) = phases.finish() {
+        println!("per-phase metrics: {}", path.display());
+    }
 }

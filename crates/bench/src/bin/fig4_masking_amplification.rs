@@ -10,7 +10,7 @@
 //! integrator. The counter (in T1) shows the complement: temporal
 //! masking, zero system error until a specific state is reached.
 
-use axmc_bench::{banner, Scale};
+use axmc_bench::{banner, PhaseLog, Scale};
 use axmc_circuit::{approx, generators, Netlist};
 use axmc_core::{CombAnalyzer, SeqAnalyzer};
 use axmc_seq::{fir_moving_sum, registered_alu, wide_accumulator, wide_leaky_integrator};
@@ -32,6 +32,7 @@ fn main() {
         "component error vs system error (masking/amplification)",
         scale,
     );
+    let mut phases = PhaseLog::new("F4", scale);
     println!("component: lower-OR adders; horizon k = {horizon}");
     println!(
         "{:<22} {:>10} {:>12} {:>14}",
@@ -80,6 +81,7 @@ fn main() {
             },
         ];
         for ctx in &contexts {
+            phases.phase(&ctx.name);
             // Component-level error, measured on the component as
             // instantiated in this context (widths can differ).
             let cg = ctx.comb_golden.to_aig();
@@ -104,4 +106,7 @@ fn main() {
         println!();
     }
     println!("amplification = system WCE@k / component combinational WCE");
+    if let Some(path) = phases.finish() {
+        println!("per-phase metrics: {}", path.display());
+    }
 }

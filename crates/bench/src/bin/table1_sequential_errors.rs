@@ -12,7 +12,7 @@
 //! unbounded proof at the horizon WCE; feed-forward designs (FIR, ALU)
 //! have bounded WCE that k-induction certifies.
 
-use axmc_bench::{banner, timed, Scale};
+use axmc_bench::{banner, timed, PhaseLog, Scale};
 use axmc_core::SeqAnalyzer;
 use axmc_mc::{InductionOptions, ProofResult};
 use axmc_sat::Budget;
@@ -23,6 +23,7 @@ fn main() {
     let width = 8;
     let horizon = scale.pick(4, 8);
     banner("T1", "precise sequential error determination", scale);
+    let mut phases = PhaseLog::new("T1", scale);
     println!("suite width {width}, horizon k = {horizon}");
     println!(
         "{:<24} {:>4} {:>6} {:>6} {:>9} {:>9} {:>8} {:>14} {:>9}",
@@ -30,6 +31,7 @@ fn main() {
     );
 
     for pair in standard_suite(width) {
+        phases.phase(&pair.name);
         let analyzer = SeqAnalyzer::new(&pair.golden, &pair.approx);
         let (row, ms) = timed(|| {
             let earliest = analyzer
@@ -76,4 +78,7 @@ fn main() {
         "notes: 'grows' = the horizon WCE is exceeded in some longer run \
          (error accumulates); 'unknown' = not k-inductive within the attempt."
     );
+    if let Some(path) = phases.finish() {
+        println!("per-phase metrics: {}", path.display());
+    }
 }

@@ -8,7 +8,7 @@
 //! (speculative adders, carry-path corner cases) and near-equality on
 //! dense-error components (truncation).
 
-use axmc_bench::{banner, timed, Scale};
+use axmc_bench::{banner, timed, PhaseLog, Scale};
 use axmc_core::SeqAnalyzer;
 use axmc_seq::suite::standard_suite;
 
@@ -17,6 +17,7 @@ fn main() {
     let horizon = scale.pick(4, 8);
     let trajectories = scale.pick(1_000u64, 100_000u64);
     banner("T2", "precise (BMC) vs random-simulation WCE", scale);
+    let mut phases = PhaseLog::new("T2", scale);
     println!("horizon k = {horizon}, {trajectories} random trajectories per benchmark");
     println!(
         "{:<24} {:>10} {:>10} {:>8} {:>11} {:>11}",
@@ -26,10 +27,10 @@ fn main() {
     let mut underestimated = 0usize;
     let mut total = 0usize;
     for pair in standard_suite(8) {
+        phases.phase(&pair.name);
         let analyzer = SeqAnalyzer::new(&pair.golden, &pair.approx);
-        let (sim, sim_ms) = timed(|| {
-            analyzer.simulated_worst_case_error(horizon + 1, trajectories, 0xC0FFEE)
-        });
+        let (sim, sim_ms) =
+            timed(|| analyzer.simulated_worst_case_error(horizon + 1, trajectories, 0xC0FFEE));
         let (exact, mc_ms) = timed(|| {
             analyzer
                 .worst_case_error_at(horizon)
@@ -56,4 +57,7 @@ fn main() {
         "simulation underestimated the true worst case on {underestimated}/{total} benchmarks \
          (and provides no guarantee even when it matches)"
     );
+    if let Some(path) = phases.finish() {
+        println!("per-phase metrics: {}", path.display());
+    }
 }

@@ -7,13 +7,14 @@
 //! harness asserts equality and reports the formal effort saved (SAT
 //! probes vs 2^(2w) evaluations).
 
-use axmc_bench::{banner, timed, Scale};
+use axmc_bench::{banner, timed, PhaseLog, Scale};
 use axmc_circuit::approx::{adder_library, multiplier_library};
 use axmc_core::{exhaustive_stats, CombAnalyzer};
 
 fn main() {
     let scale = Scale::from_env();
     banner("T3", "SAT-exact vs exhaustive metrics", scale);
+    let mut phases = PhaseLog::new("T3", scale);
     let adder_width = scale.pick(8, 10);
     let mult_width = scale.pick(4, 8);
 
@@ -26,6 +27,7 @@ fn main() {
         .into_iter()
         .chain(multiplier_library(mult_width))
     {
+        phases.phase(&component.name);
         let golden = if component.name.starts_with("add") {
             axmc_circuit::generators::ripple_carry_adder(adder_width).to_aig()
         } else {
@@ -41,7 +43,11 @@ fn main() {
             )
         });
         assert_eq!(wce.value, exh.wce, "{}: WCE mismatch", component.name);
-        assert_eq!(bf.value, exh.bit_flip, "{}: bit-flip mismatch", component.name);
+        assert_eq!(
+            bf.value, exh.bit_flip,
+            "{}: bit-flip mismatch",
+            component.name
+        );
         checked += 1;
         println!(
             "{:<16} {:>8} {:>10} {:>8} {:>8} {:>10.1} {:>10.1} {:>9}",
@@ -57,4 +63,7 @@ fn main() {
     }
     println!();
     println!("{checked} components cross-checked; all SAT answers exact.");
+    if let Some(path) = phases.finish() {
+        println!("per-phase metrics: {}", path.display());
+    }
 }

@@ -12,7 +12,7 @@
 //! threshold.
 
 use axmc_aig::{Aig, Word};
-use axmc_bench::{banner, Scale};
+use axmc_bench::{banner, PhaseLog, Scale};
 use axmc_cgp::wcre_to_threshold;
 use axmc_miter::{diff_exceeds, miter_stats};
 
@@ -42,15 +42,24 @@ fn proposed_miter_logic(width: usize, threshold: u128) -> Aig {
 fn main() {
     let scale = Scale::from_env();
     banner("T4", "absolute-value miter vs proposed miter size", scale);
+    let mut phases = PhaseLog::new("T4", scale);
     println!("miter logic over two free w-bit output vectors (circuits under test excluded)");
     let widths: Vec<usize> = scale.pick(vec![16, 32, 64], vec![16, 32, 64, 128]);
     let wcres = [1e-4, 1e-3, 1e-2, 0.1, 0.5];
 
     println!(
         "{:>7} {:>9} {:>11} {:>11} {:>11} {:>11} {:>9} {:>9}",
-        "vector", "WCRE[%]", "abs nodes", "abs edges", "new nodes", "new edges", "nodes[%]", "edges[%]"
+        "vector",
+        "WCRE[%]",
+        "abs nodes",
+        "abs edges",
+        "new nodes",
+        "new edges",
+        "nodes[%]",
+        "edges[%]"
     );
     for &w in &widths {
+        phases.phase(&format!("vector{w}"));
         for &wcre in &wcres {
             let threshold = wcre_to_threshold(wcre, w).max(1);
             let abs = miter_stats(&abs_value_miter_logic(w, threshold));
@@ -74,4 +83,7 @@ fn main() {
     }
     println!();
     println!("the proposed construction removes the entire absolute-value stage.");
+    if let Some(path) = phases.finish() {
+        println!("per-phase metrics: {}", path.display());
+    }
 }

@@ -8,7 +8,7 @@
 //! the SAT path degrades far more gently, so the curves cross around
 //! 10–12 bits and only the SAT path remains usable beyond.
 
-use axmc_bench::{banner, ratio, Scale};
+use axmc_bench::{banner, ratio, PhaseLog, Scale};
 use axmc_cgp::{evolve, wcre_to_threshold, SearchOptions, Verifier};
 use axmc_circuit::generators;
 use axmc_sat::Budget;
@@ -35,6 +35,7 @@ fn throughput(width: usize, verifier: Verifier, evaluations: u64, seed: u64) -> 
 fn main() {
     let scale = Scale::from_env();
     banner("T5", "CGP evaluations/second: simulation vs SAT", scale);
+    let mut phases = PhaseLog::new("T5", scale);
     let widths: Vec<usize> = scale.pick(vec![4, 6, 8], vec![4, 6, 8, 10, 12]);
     let sim_cap = scale.pick(8, 10); // simulation beyond this is unfeasible
     let evals = scale.pick(400u64, 1_000u64);
@@ -47,6 +48,7 @@ fn main() {
     let mut prev_sim: Option<f64> = None;
     let mut prev_sat: Option<f64> = None;
     for &w in &widths {
+        phases.phase(&format!("mul{w}"));
         let sim = if w <= sim_cap {
             // Cap the evaluation count where a single exhaustive sweep is
             // already seconds long, or the cell itself takes an hour.
@@ -81,4 +83,7 @@ fn main() {
         "'slowdown' = throughput at the previous width / this width \
          (the thesis reports ~16x/2bits for simulation vs ~2x for SAT)"
     );
+    if let Some(path) = phases.finish() {
+        println!("per-phase metrics: {}", path.display());
+    }
 }

@@ -8,7 +8,7 @@
 //! per second (rejecting slow-to-verify lineages outright) and reaches
 //! smaller areas within the same time.
 
-use axmc_bench::{banner, Scale};
+use axmc_bench::{banner, PhaseLog, Scale};
 use axmc_cgp::{evolve, wcre_to_threshold, SearchOptions, Verifier};
 use axmc_circuit::generators;
 use axmc_sat::Budget;
@@ -17,11 +17,15 @@ use std::time::Duration;
 fn main() {
     let scale = Scale::from_env();
     banner("T6", "SAT conflict-budget ablation for CGP", scale);
+    let mut phases = PhaseLog::new("T6", scale);
     let width = scale.pick(6, 8);
     let seconds = scale.pick(5, 60);
     let wcres = [0.5f64, 2.0, 10.0];
-    let budgets: [(&str, Option<u64>); 3] =
-        [("unlimited", None), ("20k", Some(20_000)), ("1k", Some(1_000))];
+    let budgets: [(&str, Option<u64>); 3] = [
+        ("unlimited", None),
+        ("20k", Some(20_000)),
+        ("1k", Some(1_000)),
+    ];
 
     println!("{width}x{width} multiplier, {seconds}s per run");
     println!(
@@ -32,6 +36,7 @@ fn main() {
     for &wcre in &wcres {
         let threshold = wcre_to_threshold(wcre, 2 * width).max(1);
         for (name, limit) in &budgets {
+            phases.phase(&format!("wcre{wcre}_{name}"));
             let budget = match limit {
                 None => Budget::unlimited(),
                 Some(c) => Budget::unlimited().with_conflicts(*c),
@@ -59,5 +64,8 @@ fn main() {
                 r.stats.improvements
             );
         }
+    }
+    if let Some(path) = phases.finish() {
+        println!("per-phase metrics: {}", path.display());
     }
 }

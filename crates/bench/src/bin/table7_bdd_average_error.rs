@@ -9,13 +9,14 @@
 //! this toolkit are SAT-based.
 
 use axmc_bdd::{exact_error_rate, exact_mae, BuildBddError};
-use axmc_bench::{banner, timed, Scale};
+use axmc_bench::{banner, timed, PhaseLog, Scale};
 use axmc_circuit::{approx, generators};
 use axmc_core::sampled_stats;
 
 fn main() {
     let scale = Scale::from_env();
     banner("T7", "exact MAE / error rate via BDD model counting", scale);
+    let mut phases = PhaseLog::new("T7", scale);
     let widths: Vec<usize> = scale.pick(vec![8, 16, 24], vec![8, 16, 24, 32, 48]);
     let node_limit = 5_000_000;
     let samples = 100_000u64;
@@ -25,6 +26,7 @@ fn main() {
         "component", "inputs", "exact MAE", "sampled~", "exact rate", "nodes", "time[ms]"
     );
     for &w in &widths {
+        phases.phase(&format!("add{w}"));
         let golden = generators::ripple_carry_adder(w).to_aig();
         for (kind, cand_nl) in [
             ("trunc", approx::truncated_adder(w, w / 4)),
@@ -49,7 +51,12 @@ fn main() {
                     );
                 }
                 Err(BuildBddError::SizeLimit { .. }) => {
-                    println!("{:<16} {:>8} {:>14} — node limit exceeded", name, 2 * w, "-");
+                    println!(
+                        "{:<16} {:>8} {:>14} — node limit exceeded",
+                        name,
+                        2 * w,
+                        "-"
+                    );
                 }
             }
         }
@@ -59,19 +66,21 @@ fn main() {
     println!();
     println!("-- multipliers: the classic BDD blow-up --");
     for w in [6usize, 8, 10] {
+        phases.phase(&format!("mul{w}"));
         let golden = generators::array_multiplier(w).to_aig();
         let cand = approx::truncated_multiplier(w, w / 2).to_aig();
-        let ((), ms) = timed(|| {
-            match exact_mae(&golden, &cand, 200_000) {
-                Ok(stats) => println!(
-                    "mul{w}: OK with {} nodes (exact MAE {:.4})",
-                    stats.bdd_nodes, stats.mae
-                ),
-                Err(BuildBddError::SizeLimit { limit }) => {
-                    println!("mul{w}: exceeded {limit} nodes — fall back to SAT/sampling")
-                }
+        let ((), ms) = timed(|| match exact_mae(&golden, &cand, 200_000) {
+            Ok(stats) => println!(
+                "mul{w}: OK with {} nodes (exact MAE {:.4})",
+                stats.bdd_nodes, stats.mae
+            ),
+            Err(BuildBddError::SizeLimit { limit }) => {
+                println!("mul{w}: exceeded {limit} nodes — fall back to SAT/sampling")
             }
         });
         let _ = ms;
+    }
+    if let Some(path) = phases.finish() {
+        println!("per-phase metrics: {}", path.display());
     }
 }

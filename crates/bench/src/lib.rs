@@ -11,7 +11,16 @@
 //! Set `AXMC_SCALE=full` for the full-size runs recorded in
 //! `EXPERIMENTS.md`; the default (`quick`) uses reduced widths/horizons so
 //! every harness finishes in a couple of minutes on a laptop.
+//!
+//! # Per-phase metrics
+//!
+//! Every harness records a [`PhaseLog`]: solver/model-checker metrics per
+//! experiment phase (one phase per benchmark pair, width step, …),
+//! written as `<id>_metrics.<scale>.json` next to the text transcripts.
+//! The directory defaults to `bench_results/` and follows
+//! `AXMC_METRICS_DIR`; `AXMC_METRICS=off` disables recording entirely.
 
+use axmc_obs::Snapshot;
 use std::time::Instant;
 
 /// Execution scale selected via the `AXMC_SCALE` environment variable.
@@ -62,6 +71,185 @@ pub fn ratio(new: f64, base: f64) -> String {
     }
 }
 
+/// Records per-phase observability snapshots for one harness run and
+/// writes them as a JSON file next to the text transcripts.
+///
+/// Construction enables the global metrics registry and resets it; each
+/// [`PhaseLog::phase`] call closes the previous phase (capturing its
+/// metrics delta and wall-clock) and opens the next; [`PhaseLog::finish`]
+/// closes the last phase and writes the file. Phases see only their own
+/// metrics because the registry is reset at every boundary.
+pub struct PhaseLog {
+    id: String,
+    scale: Scale,
+    enabled: bool,
+    phases: Vec<ClosedPhase>,
+    current: Option<(String, Instant)>,
+}
+
+struct ClosedPhase {
+    name: String,
+    wall_ms: f64,
+    metrics: Snapshot,
+}
+
+impl PhaseLog {
+    /// Starts recording for harness `id` (e.g. `"T1"`). Respects
+    /// `AXMC_METRICS=off`.
+    pub fn new(id: &str, scale: Scale) -> PhaseLog {
+        let enabled = !matches!(
+            std::env::var("AXMC_METRICS").as_deref(),
+            Ok("off") | Ok("OFF") | Ok("0")
+        );
+        if enabled {
+            axmc_obs::set_enabled(true);
+            axmc_obs::reset();
+        }
+        PhaseLog {
+            id: id.to_string(),
+            scale,
+            enabled,
+            phases: Vec::new(),
+            current: None,
+        }
+    }
+
+    /// Closes the current phase (if any) and opens a new one.
+    pub fn phase(&mut self, name: &str) {
+        if !self.enabled {
+            return;
+        }
+        self.close_current();
+        self.current = Some((name.to_string(), Instant::now()));
+    }
+
+    fn close_current(&mut self) {
+        if let Some((name, start)) = self.current.take() {
+            self.phases.push(ClosedPhase {
+                name,
+                wall_ms: start.elapsed().as_secs_f64() * 1000.0,
+                metrics: axmc_obs::snapshot(),
+            });
+            axmc_obs::reset();
+        }
+    }
+
+    /// Closes the last phase and writes
+    /// `<dir>/<id>_metrics.<scale>.json`, returning the path (`None` when
+    /// recording is off or the directory cannot be created).
+    pub fn finish(mut self) -> Option<std::path::PathBuf> {
+        if !self.enabled {
+            return None;
+        }
+        self.close_current();
+        let dir = std::env::var("AXMC_METRICS_DIR").unwrap_or_else(|_| "bench_results".into());
+        let scale = match self.scale {
+            Scale::Quick => "quick",
+            Scale::Full => "full",
+        };
+        let path = std::path::Path::new(&dir).join(format!("{}_metrics.{scale}.json", self.id));
+        if std::fs::create_dir_all(&dir).is_err() {
+            return None;
+        }
+        let json = self.to_json();
+        match std::fs::write(&path, json) {
+            Ok(()) => Some(path),
+            Err(_) => None,
+        }
+    }
+
+    /// The metrics document as pretty-printed JSON.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str(&format!("  \"experiment\": {},\n", json_str(&self.id)));
+        out.push_str(&format!(
+            "  \"scale\": \"{}\",\n",
+            match self.scale {
+                Scale::Quick => "quick",
+                Scale::Full => "full",
+            }
+        ));
+        out.push_str("  \"phases\": [");
+        for (i, phase) in self.phases.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    {\n");
+            out.push_str(&format!("      \"name\": {},\n", json_str(&phase.name)));
+            out.push_str(&format!("      \"wall_ms\": {:.3},\n", phase.wall_ms));
+            out.push_str("      \"counters\": {");
+            for (j, (name, value)) in phase.metrics.counters.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!("\n        {}: {value}", json_str(name)));
+            }
+            if !phase.metrics.counters.is_empty() {
+                out.push_str("\n      ");
+            }
+            out.push_str("},\n      \"gauges\": {");
+            for (j, (name, value)) in phase.metrics.gauges.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!("\n        {}: {value}", json_str(name)));
+            }
+            if !phase.metrics.gauges.is_empty() {
+                out.push_str("\n      ");
+            }
+            out.push_str("},\n      \"histograms\": {");
+            for (j, (name, h)) in phase.metrics.histograms.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!(
+                    "\n        {}: {{\"count\": {}, \"sum\": {}, \"min\": {}, \"max\": {}, \
+                     \"mean\": {:.3}, \"p50\": {}, \"p90\": {}, \"p99\": {}}}",
+                    json_str(name),
+                    h.count,
+                    h.sum,
+                    h.min,
+                    h.max,
+                    h.mean(),
+                    h.quantile(0.50),
+                    h.quantile(0.90),
+                    h.quantile(0.99),
+                ));
+            }
+            if !phase.metrics.histograms.is_empty() {
+                out.push_str("\n      ");
+            }
+            out.push_str("}\n    }");
+        }
+        if !self.phases.is_empty() {
+            out.push('\n');
+            out.push_str("  ");
+        }
+        out.push_str("]\n}\n");
+        out
+    }
+}
+
+/// JSON string literal with the escapes the metric/phase names can need.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -83,5 +271,36 @@ mod tests {
     fn ratio_formats() {
         assert_eq!(ratio(2.0, 1.0), "2.00x");
         assert_eq!(ratio(1.0, 0.0), "-");
+    }
+
+    #[test]
+    fn phase_log_captures_per_phase_metrics() {
+        let mut log = PhaseLog::new("TST", Scale::Quick);
+        log.phase("alpha");
+        axmc_obs::counter("t.solves").add(2);
+        axmc_obs::histogram("t.us").record(100);
+        log.phase("beta");
+        axmc_obs::gauge("t.depth").set(-3);
+        log.close_current();
+
+        let json = log.to_json();
+        assert!(json.contains("\"experiment\": \"TST\""), "{json}");
+        assert!(json.contains("\"scale\": \"quick\""), "{json}");
+        assert!(json.contains("\"name\": \"alpha\""), "{json}");
+        assert!(json.contains("\"t.solves\": 2"), "{json}");
+        assert!(json.contains("\"count\": 1"), "{json}");
+        assert!(json.contains("\"name\": \"beta\""), "{json}");
+        assert!(json.contains("\"t.depth\": -3"), "{json}");
+        // The registry was reset at the phase boundary, so alpha's
+        // counter must not leak into beta.
+        let beta = json.split("\"name\": \"beta\"").nth(1).expect("beta phase");
+        assert!(!beta.contains("t.solves"), "{json}");
+    }
+
+    #[test]
+    fn json_str_escapes() {
+        assert_eq!(json_str("plain"), "\"plain\"");
+        assert_eq!(json_str("a\"b\\c"), "\"a\\\"b\\\\c\"");
+        assert_eq!(json_str("x\ny"), "\"x\\ny\"");
     }
 }

@@ -7,7 +7,7 @@
 //! nodes ride along as neutral genetic material.
 
 use axmc_circuit::{GateOp, Netlist, Signal};
-use rand::Rng;
+use axmc_rand::Rng;
 
 /// Grid and connectivity parameters of a CGP chromosome.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -108,12 +108,14 @@ impl Chromosome {
         assert!(netlist.num_inputs() > 0, "need primary inputs");
         assert!(netlist.num_outputs() > 0, "need primary outputs");
         let ni = netlist.num_inputs();
-        let uses_consts = netlist.gates().iter().any(|g| {
-            matches!(g.a, Signal::Const(_)) || matches!(g.b, Signal::Const(_))
-        }) || netlist
-            .outputs()
+        let uses_consts = netlist
+            .gates()
             .iter()
-            .any(|o| matches!(o, Signal::Const(_)));
+            .any(|g| matches!(g.a, Signal::Const(_)) || matches!(g.b, Signal::Const(_)))
+            || netlist
+                .outputs()
+                .iter()
+                .any(|o| matches!(o, Signal::Const(_)));
         let const_gates = if uses_consts { 2 } else { 0 };
         let cols = netlist.num_gates() + const_gates + extra_cols;
         let params = CgpParams {
@@ -310,8 +312,8 @@ fn random_output_source(p: &CgpParams, rng: &mut impl Rng) -> u32 {
 mod tests {
     use super::*;
     use axmc_circuit::generators;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use axmc_rand::rngs::StdRng;
+    use axmc_rand::SeedableRng;
 
     fn params() -> CgpParams {
         CgpParams {

@@ -50,7 +50,11 @@ impl ParseConfigError {
 
 impl fmt::Display for ParseConfigError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "config parse error at line {}: {}", self.line, self.message)
+        write!(
+            f,
+            "config parse error at line {}: {}",
+            self.line, self.message
+        )
     }
 }
 
@@ -109,7 +113,10 @@ pub fn parse_config(text: &str) -> Result<RunConfig, ParseConfigError> {
         let key = parts.next().expect("nonempty line").to_uppercase();
         let value: String = parts.collect::<Vec<_>>().join(" ");
         if value.is_empty() {
-            return Err(ParseConfigError::new(lineno + 1, format!("key '{key}' has no value")));
+            return Err(ParseConfigError::new(
+                lineno + 1,
+                format!("key '{key}' has no value"),
+            ));
         }
         if PATH_KEYS.contains(&key.as_str()) {
             ignored.push(key);
@@ -121,9 +128,9 @@ pub fn parse_config(text: &str) -> Result<RunConfig, ParseConfigError> {
     let mut take_num = |key: &str, default: f64| -> Result<f64, ParseConfigError> {
         match values.remove(key) {
             None => Ok(default),
-            Some((line, v)) => v
-                .parse()
-                .map_err(|_| ParseConfigError::new(line, format!("invalid number '{v}' for {key}"))),
+            Some((line, v)) => v.parse().map_err(|_| {
+                ParseConfigError::new(line, format!("invalid number '{v}' for {key}"))
+            }),
         }
     };
 

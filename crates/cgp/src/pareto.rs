@@ -73,7 +73,10 @@ pub fn pareto_front(
 /// in both coordinates and better in at least one.
 pub fn non_dominated(points: &[(u128, f64)]) -> Vec<(u128, f64)> {
     let mut sorted: Vec<(u128, f64)> = points.to_vec();
-    sorted.sort_by(|a, b| a.0.cmp(&b.0).then(a.1.partial_cmp(&b.1).expect("no NaN areas")));
+    sorted.sort_by(|a, b| {
+        a.0.cmp(&b.0)
+            .then(a.1.partial_cmp(&b.1).expect("no NaN areas"))
+    });
     let mut front: Vec<(u128, f64)> = Vec::new();
     let mut best_area = f64::INFINITY;
     for (err, area) in sorted {
@@ -107,7 +110,14 @@ mod tests {
 
     #[test]
     fn non_dominated_filters() {
-        let pts = [(1u128, 10.0), (2, 8.0), (2, 9.0), (3, 8.0), (4, 5.0), (0, 12.0)];
+        let pts = [
+            (1u128, 10.0),
+            (2, 8.0),
+            (2, 9.0),
+            (3, 8.0),
+            (4, 5.0),
+            (0, 12.0),
+        ];
         let front = non_dominated(&pts);
         assert_eq!(front, vec![(0, 12.0), (1, 10.0), (2, 8.0), (4, 5.0)]);
     }

@@ -18,9 +18,9 @@ use axmc_circuit::{AreaModel, Netlist};
 use axmc_cnf::encode_comb;
 use axmc_core::exhaustive_stats;
 use axmc_miter::diff_threshold_miter;
+use axmc_rand::rngs::StdRng;
+use axmc_rand::SeedableRng;
 use axmc_sat::{Budget, SolveResult};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use std::time::{Duration, Instant};
 
 /// How a candidate's error constraint is checked.
@@ -117,6 +117,110 @@ impl SearchStats {
     }
 }
 
+/// Observability hooks shared by the combinational and sequential search
+/// loops: throttled `cgp.progress` events (at most ~4/s, so tracing a
+/// long run stays cheap), one event per improvement, and end-of-run
+/// counters.
+pub(crate) struct SearchObs {
+    engine: &'static str,
+    start: Instant,
+    last_progress: Option<Instant>,
+}
+
+impl SearchObs {
+    pub(crate) fn new(engine: &'static str, start: Instant) -> Self {
+        SearchObs {
+            engine,
+            start,
+            last_progress: None,
+        }
+    }
+
+    /// Call once per generation; emits `cgp.progress` at most every 250ms.
+    pub(crate) fn progress(&mut self, stats: &SearchStats, best_area: f64) {
+        if !axmc_obs::tracing_active() {
+            return;
+        }
+        if let Some(last) = self.last_progress {
+            if last.elapsed() < Duration::from_millis(250) {
+                return;
+            }
+        }
+        self.last_progress = Some(Instant::now());
+        let secs = self.start.elapsed().as_secs_f64();
+        let evals_per_sec = if secs > 0.0 {
+            stats.offspring as f64 / secs
+        } else {
+            0.0
+        };
+        axmc_obs::emit(
+            axmc_obs::Event::new("cgp.progress")
+                .field("engine", self.engine)
+                .field("generation", stats.generations)
+                .field("best_area", best_area)
+                .field("offspring", stats.offspring)
+                .field("evals_per_sec", evals_per_sec)
+                .field("improvements", stats.improvements),
+        );
+    }
+
+    /// Call on every accepted improvement.
+    pub(crate) fn improvement(&self, generation: u64, area: f64, golden_area: f64) {
+        if !axmc_obs::tracing_active() {
+            return;
+        }
+        let relative = if golden_area > 0.0 {
+            area / golden_area
+        } else {
+            1.0
+        };
+        axmc_obs::emit(
+            axmc_obs::Event::new("cgp.improvement")
+                .field("engine", self.engine)
+                .field("generation", generation)
+                .field("area", area)
+                .field("relative_area", relative),
+        );
+    }
+
+    /// Call once at the end of the run; records the aggregate counters.
+    pub(crate) fn finish(&self, stats: &SearchStats, best_area: f64, golden_area: f64) {
+        if !axmc_obs::enabled() {
+            return;
+        }
+        axmc_obs::counter("cgp.runs").inc();
+        axmc_obs::counter("cgp.generations").add(stats.generations);
+        axmc_obs::counter("cgp.offspring").add(stats.offspring);
+        axmc_obs::counter("cgp.skipped_neutral").add(stats.skipped_neutral);
+        axmc_obs::counter("cgp.skipped_area").add(stats.skipped_area);
+        axmc_obs::counter("cgp.verify.ok").add(stats.verified_ok);
+        axmc_obs::counter("cgp.verify.violation").add(stats.verified_violation);
+        axmc_obs::counter("cgp.verify.timeout").add(stats.verified_timeout);
+        axmc_obs::counter("cgp.improvements").add(stats.improvements);
+        axmc_obs::histogram("cgp.run.time_us")
+            .record(stats.elapsed.as_micros().min(u64::MAX as u128) as u64);
+        if axmc_obs::tracing_active() {
+            axmc_obs::emit(
+                axmc_obs::Event::new("cgp.done")
+                    .field("engine", self.engine)
+                    .field("generations", stats.generations)
+                    .field("offspring", stats.offspring)
+                    .field("improvements", stats.improvements)
+                    .field("best_area", best_area)
+                    .field(
+                        "relative_area",
+                        if golden_area > 0.0 {
+                            best_area / golden_area
+                        } else {
+                            1.0
+                        },
+                    )
+                    .field("evals_per_sec", stats.evals_per_sec()),
+            );
+        }
+    }
+}
+
 /// The outcome of one evolutionary run.
 #[derive(Clone, Debug)]
 pub struct SearchResult {
@@ -180,12 +284,14 @@ pub fn evolve(golden: &Netlist, options: &SearchOptions) -> SearchResult {
     let mut best = Chromosome::from_netlist(golden, options.extra_cols);
     let mut best_area = golden_area;
     let mut stats = SearchStats::default();
+    let mut obs = SearchObs::new("comb", start);
 
     'outer: for generation in 0..options.max_generations {
         if start.elapsed() >= options.time_limit {
             break;
         }
         stats.generations = generation + 1;
+        obs.progress(&stats, best_area);
         for _ in 0..options.population {
             if start.elapsed() >= options.time_limit {
                 break 'outer;
@@ -216,6 +322,7 @@ pub fn evolve(golden: &Netlist, options: &SearchOptions) -> SearchResult {
                     if improved {
                         stats.improvements += 1;
                         stats.area_history.push((generation, area));
+                        obs.improvement(generation, area, golden_area);
                     }
                     stats.verified_ok += 1;
                 }
@@ -225,6 +332,7 @@ pub fn evolve(golden: &Netlist, options: &SearchOptions) -> SearchResult {
         }
     }
     stats.elapsed = start.elapsed();
+    obs.finish(&stats, best_area, golden_area);
     let netlist = best.decode().compact();
     SearchResult {
         best,
@@ -334,9 +442,7 @@ mod tests {
         let s = &result.stats;
         assert_eq!(
             s.offspring,
-            s.skipped_neutral
-                + s.skipped_area
-                + s.verifier_calls
+            s.skipped_neutral + s.skipped_area + s.verifier_calls
         );
         assert_eq!(
             s.verifier_calls,

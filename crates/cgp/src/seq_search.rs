@@ -10,14 +10,14 @@
 //! its error.
 
 use crate::chromosome::Chromosome;
-use crate::search::{SearchOptions, SearchResult, SearchStats};
+use crate::search::{SearchObs, SearchOptions, SearchResult, SearchStats};
 use axmc_aig::Aig;
 use axmc_circuit::Netlist;
 use axmc_mc::{Bmc, BmcResult};
 use axmc_miter::sequential_diff_miter;
+use axmc_rand::rngs::StdRng;
+use axmc_rand::SeedableRng;
 use axmc_sat::Budget;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use std::time::Instant;
 
 /// The sequential embedding a candidate is judged in.
@@ -81,12 +81,14 @@ pub fn evolve_in_context(
     let mut best = Chromosome::from_netlist(golden, options.extra_cols);
     let mut best_area = golden_area;
     let mut stats = SearchStats::default();
+    let mut obs = SearchObs::new("seq", start);
 
     'outer: for generation in 0..options.max_generations {
         if start.elapsed() >= options.time_limit {
             break;
         }
         stats.generations = generation + 1;
+        obs.progress(&stats, best_area);
         for _ in 0..options.population {
             if start.elapsed() >= options.time_limit {
                 break 'outer;
@@ -118,6 +120,7 @@ pub fn evolve_in_context(
                     if improved {
                         stats.improvements += 1;
                         stats.area_history.push((generation, area));
+                        obs.improvement(generation, area, golden_area);
                     }
                     stats.verified_ok += 1;
                 }
@@ -127,6 +130,7 @@ pub fn evolve_in_context(
         }
     }
     stats.elapsed = start.elapsed();
+    obs.finish(&stats, best_area, golden_area);
     let netlist = best.decode().compact();
     SearchResult {
         best,
@@ -175,9 +179,7 @@ mod tests {
             let og = trace.replay(golden);
             let oc = trace.replay(system);
             for (g, c) in og.iter().zip(&oc) {
-                worst = worst.max(
-                    axmc_aig::bits_to_u128(g).abs_diff(axmc_aig::bits_to_u128(c)),
-                );
+                worst = worst.max(axmc_aig::bits_to_u128(g).abs_diff(axmc_aig::bits_to_u128(c)));
             }
         }
         worst

@@ -268,7 +268,10 @@ impl Netlist {
     ///
     /// Panics if the input count is odd.
     pub fn eval_binop(&self, x: u128, y: u128) -> u128 {
-        assert!(self.num_inputs % 2 == 0, "eval_binop needs an even input count");
+        assert!(
+            self.num_inputs.is_multiple_of(2),
+            "eval_binop needs an even input count"
+        );
         let w = self.num_inputs / 2;
         let mut bits = axmc_aig::u128_to_bits(x, w);
         bits.extend(axmc_aig::u128_to_bits(y, w));

@@ -116,9 +116,9 @@ impl Cnf {
                 return Err(ParseDimacsError::new(lineno + 1, "clause before header"));
             }
             for tok in line.split_whitespace() {
-                let v: i64 = tok
-                    .parse()
-                    .map_err(|_| ParseDimacsError::new(lineno + 1, format!("bad literal '{tok}'")))?;
+                let v: i64 = tok.parse().map_err(|_| {
+                    ParseDimacsError::new(lineno + 1, format!("bad literal '{tok}'"))
+                })?;
                 if v == 0 {
                     cnf.add_clause(std::mem::take(&mut current));
                 } else {
@@ -152,7 +152,11 @@ impl ParseDimacsError {
 
 impl fmt::Display for ParseDimacsError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "dimacs parse error at line {}: {}", self.line, self.message)
+        write!(
+            f,
+            "dimacs parse error at line {}: {}",
+            self.line, self.message
+        )
     }
 }
 

@@ -89,12 +89,7 @@ pub fn ugt_const(solver: &mut Solver, word: &[Lit], threshold: u128, true_lit: L
 /// # Panics
 ///
 /// Panics if `diff` has fewer than 2 bits.
-pub fn abs_diff_exceeds(
-    solver: &mut Solver,
-    diff: &[Lit],
-    threshold: u128,
-    true_lit: Lit,
-) -> Lit {
+pub fn abs_diff_exceeds(solver: &mut Solver, diff: &[Lit], threshold: u128, true_lit: Lit) -> Lit {
     assert!(diff.len() >= 2, "need magnitude and sign bits");
     let width = diff.len() - 1;
     let sign = diff[width];
@@ -140,11 +135,7 @@ mod tests {
                 assumptions.push(gt);
                 let expect = v > threshold;
                 let got = solver.solve_with_assumptions(&assumptions);
-                assert_eq!(
-                    got == SolveResult::Sat,
-                    expect,
-                    "{v} > {threshold}"
-                );
+                assert_eq!(got == SolveResult::Sat, expect, "{v} > {threshold}");
             }
         }
     }

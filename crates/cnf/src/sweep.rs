@@ -86,6 +86,7 @@ pub fn fraig(aig: &Aig, options: &SweepOptions) -> (Aig, SweepStats) {
         rng_state.wrapping_mul(0x2545F4914F6CDD1D)
     };
     let mut signature: Vec<Vec<u64>> = vec![vec![0; words]; aig.num_nodes()];
+    #[allow(clippy::needless_range_loop)] // `signature` is indexed by node AND word
     for w in 0..words {
         for (v, node) in aig.iter() {
             let value = match node {
@@ -138,10 +139,8 @@ pub fn fraig(aig: &Aig, options: &SweepOptions) -> (Aig, SweepStats) {
                 Node::Const => unreachable!("const is var 0"),
                 Node::Input(_) | Node::Latch(_) => solver.new_var().positive(),
                 Node::And(a, b) => {
-                    let la = sat_of[a.var().index() as usize]
-                        .negate_if_sat(a.is_negated());
-                    let lb = sat_of[b.var().index() as usize]
-                        .negate_if_sat(b.is_negated());
+                    let la = sat_of[a.var().index() as usize].negate_if_sat(a.is_negated());
+                    let lb = sat_of[b.var().index() as usize].negate_if_sat(b.is_negated());
                     let y = solver.new_var().positive();
                     solver.add_clause(&[!y, la]);
                     solver.add_clause(&[!y, lb]);
@@ -274,7 +273,9 @@ mod tests {
         let mut seed = 0xABCD_EF01u64;
         for _ in 0..rounds {
             seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
-            let input: Vec<bool> = (0..a.num_inputs()).map(|i| (seed >> (i % 60)) & 1 == 1).collect();
+            let input: Vec<bool> = (0..a.num_inputs())
+                .map(|i| (seed >> (i % 60)) & 1 == 1)
+                .collect();
             if a.eval_comb(&input) != b.eval_comb(&input) {
                 return false;
             }
@@ -344,7 +345,9 @@ mod tests {
         let mut seed = 7u64;
         for _ in 0..40 {
             seed = seed.wrapping_mul(48271) % 0x7FFF_FFFF;
-            let inputs: Vec<u64> = (0..miter.num_inputs()).map(|i| seed.rotate_left(i as u32)).collect();
+            let inputs: Vec<u64> = (0..miter.num_inputs())
+                .map(|i| seed.rotate_left(i as u32))
+                .collect();
             assert_eq!(s1.step(&inputs), s2.step(&inputs));
         }
     }

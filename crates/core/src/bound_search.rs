@@ -21,55 +21,133 @@ pub(crate) enum Probe {
     Within,
 }
 
+/// Saturates a (possibly 128-bit) error value into a traceable `u64`.
+fn sat_u64(v: u128) -> u64 {
+    v.min(u64::MAX as u128) as u64
+}
+
+/// Emits one `core.search.probe` trajectory event: which search, which
+/// iteration/phase, the probed candidate bound, the verdict, and the
+/// refinement interval `[lo, hi]` after applying the answer.
+#[allow(clippy::too_many_arguments)]
+fn trace_probe(label: &str, iter: u64, phase: &str, t: u128, verdict: &str, lo: u128, hi: u128) {
+    axmc_obs::emit(
+        axmc_obs::Event::new("core.search.probe")
+            .field("search", label)
+            .field("iter", iter)
+            .field("phase", phase)
+            .field("threshold", sat_u64(t))
+            .field("verdict", verdict)
+            .field("lo", sat_u64(lo))
+            .field("hi", sat_u64(hi)),
+    );
+}
+
 /// Finds the exact maximum error in `[0, max]` given a probe oracle.
 ///
 /// `probe(t)` must answer whether the error can exceed `t`, returning the
 /// witnessed error on the exceeding side.
+///
+/// `label` names the search in metrics and trace events (e.g.
+/// `"seq.wce"`); with tracing active, every probe emits its candidate
+/// bound, verdict and refinement interval.
 pub(crate) fn search_max_error(
+    label: &str,
     max: u128,
     mut probe: impl FnMut(u128) -> Result<Probe, AnalysisError>,
 ) -> Result<u128, AnalysisError> {
-    // First probe at zero: a fully accurate candidate exits immediately.
-    let mut lo = match probe(0)? {
-        Probe::Within => return Ok(0),
-        Probe::Exceeds(e) => {
-            debug_assert!(e > 0);
-            e
-        }
-    };
-    if lo >= max {
-        return Ok(lo.min(max));
-    }
-    // Galloping phase: double until the first Within.
-    let mut hi = max;
-    let mut t = lo.saturating_mul(2).min(max);
-    loop {
-        if t >= hi {
-            break;
-        }
-        match probe(t)? {
-            Probe::Exceeds(e) => {
-                lo = e.max(t + 1);
-                if lo >= hi {
-                    break;
-                }
-                t = lo.saturating_mul(2).min(max);
-            }
+    let tracing = axmc_obs::tracing_active();
+    let mut iter: u64 = 0;
+    let mut result = || -> Result<u128, AnalysisError> {
+        // First probe at zero: a fully accurate candidate exits immediately.
+        iter += 1;
+        let mut lo = match probe(0)? {
             Probe::Within => {
-                hi = t;
+                if tracing {
+                    trace_probe(label, iter, "init", 0, "within", 0, 0);
+                }
+                return Ok(0);
+            }
+            Probe::Exceeds(e) => {
+                debug_assert!(e > 0);
+                if tracing {
+                    trace_probe(label, iter, "init", 0, "exceeds", e, max);
+                }
+                e
+            }
+        };
+        if lo >= max {
+            return Ok(lo.min(max));
+        }
+        // Galloping phase: double until the first Within.
+        let mut hi = max;
+        let mut t = lo.saturating_mul(2).min(max);
+        loop {
+            if t >= hi {
                 break;
             }
+            iter += 1;
+            match probe(t)? {
+                Probe::Exceeds(e) => {
+                    lo = e.max(t + 1);
+                    if tracing {
+                        trace_probe(label, iter, "gallop", t, "exceeds", lo, hi);
+                    }
+                    if lo >= hi {
+                        break;
+                    }
+                    t = lo.saturating_mul(2).min(max);
+                }
+                Probe::Within => {
+                    hi = t;
+                    if tracing {
+                        trace_probe(label, iter, "gallop", t, "within", lo, hi);
+                    }
+                    break;
+                }
+            }
+        }
+        // Bisection phase.
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            iter += 1;
+            match probe(mid)? {
+                Probe::Exceeds(e) => {
+                    lo = e.max(mid + 1);
+                    if tracing {
+                        trace_probe(label, iter, "bisect", mid, "exceeds", lo, hi);
+                    }
+                }
+                Probe::Within => {
+                    hi = mid;
+                    if tracing {
+                        trace_probe(label, iter, "bisect", mid, "within", lo, hi);
+                    }
+                }
+            }
+        }
+        Ok(lo)
+    };
+    let value = result();
+    if axmc_obs::enabled() {
+        axmc_obs::counter("core.searches").inc();
+        axmc_obs::histogram("core.search.probes").record(iter);
+        if tracing {
+            axmc_obs::emit(
+                axmc_obs::Event::new("core.search.done")
+                    .field("search", label)
+                    .field("probes", iter)
+                    .field(
+                        "result",
+                        match &value {
+                            Ok(v) => format!("{}", sat_u64(*v)),
+                            Err(_) => "budget_exhausted".to_string(),
+                        },
+                    ),
+            );
         }
     }
-    // Bisection phase.
-    while lo < hi {
-        let mid = lo + (hi - lo) / 2;
-        match probe(mid)? {
-            Probe::Exceeds(e) => lo = e.max(mid + 1),
-            Probe::Within => hi = mid,
-        }
-    }
-    Ok(lo)
+    value
 }
 
 #[cfg(test)]
@@ -101,15 +179,26 @@ mod tests {
     fn finds_exact_value() {
         for wce in [0u128, 1, 2, 5, 7, 100, 255, 4095, 65535] {
             let max = 65535;
-            assert_eq!(search_max_error(max, oracle(wce)).unwrap(), wce, "{wce}");
-            assert_eq!(search_max_error(max, weak_oracle(wce)).unwrap(), wce, "{wce}");
+            assert_eq!(
+                search_max_error("test", max, oracle(wce)).unwrap(),
+                wce,
+                "{wce}"
+            );
+            assert_eq!(
+                search_max_error("test", max, weak_oracle(wce)).unwrap(),
+                wce,
+                "{wce}"
+            );
         }
     }
 
     #[test]
     fn value_at_max() {
-        assert_eq!(search_max_error(255, oracle(255)).unwrap(), 255);
-        assert_eq!(search_max_error(255, weak_oracle(255)).unwrap(), 255);
+        assert_eq!(search_max_error("test", 255, oracle(255)).unwrap(), 255);
+        assert_eq!(
+            search_max_error("test", 255, weak_oracle(255)).unwrap(),
+            255
+        );
     }
 
     #[test]
@@ -123,13 +212,13 @@ mod tests {
             count += 1;
             oracle(t)
         };
-        assert_eq!(search_max_error(max, counted).unwrap(), wce);
+        assert_eq!(search_max_error("test", max, counted).unwrap(), wce);
         assert!(count <= 10, "took {count} probes");
     }
 
     #[test]
     fn errors_propagate() {
-        let result = search_max_error(100, |_| {
+        let result = search_max_error("test", 100, |_| {
             Err(AnalysisError::BudgetExhausted {
                 known_low: 0,
                 known_high: 100,

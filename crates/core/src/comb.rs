@@ -57,7 +57,11 @@ impl<'a> CombAnalyzer<'a> {
             "output counts"
         );
         assert_eq!(golden.num_latches(), 0, "golden must be combinational");
-        assert_eq!(candidate.num_latches(), 0, "candidate must be combinational");
+        assert_eq!(
+            candidate.num_latches(),
+            0,
+            "candidate must be combinational"
+        );
         CombAnalyzer {
             golden,
             candidate,
@@ -79,10 +83,7 @@ impl<'a> CombAnalyzer<'a> {
     ///
     /// [`AnalysisError::BudgetExhausted`] if the budget runs out (bounds
     /// are reported as the trivial interval).
-    pub fn check_error_exceeds(
-        &self,
-        threshold: u128,
-    ) -> Result<Option<Vec<bool>>, AnalysisError> {
+    pub fn check_error_exceeds(&self, threshold: u128) -> Result<Option<Vec<bool>>, AnalysisError> {
         let miter = diff_threshold_miter(self.golden, self.candidate, threshold);
         self.solve_miter(&miter)
     }
@@ -134,7 +135,11 @@ impl<'a> CombAnalyzer<'a> {
     /// [`AnalysisError::BudgetExhausted`] if any query runs out of budget.
     pub fn worst_case_error(&self) -> Result<ErrorReport<u128>, AnalysisError> {
         let m = self.golden.num_outputs();
-        let max: u128 = if m >= 128 { u128::MAX } else { (1u128 << m) - 1 };
+        let max: u128 = if m >= 128 {
+            u128::MAX
+        } else {
+            (1u128 << m) - 1
+        };
         // Encode the difference word once; each probe adds only a small
         // comparator and an assumption, so learnt clauses are shared
         // across the whole search.
@@ -143,7 +148,7 @@ impl<'a> CombAnalyzer<'a> {
         solver.set_budget(self.budget);
         let true_lit = enc.lit(axmc_aig::Lit::TRUE);
         let mut sat_calls = 0u64;
-        let value = search_max_error(max, |t| {
+        let value = search_max_error("comb.wce", max, |t| {
             sat_calls += 1;
             let flag = gates::abs_diff_exceeds(&mut solver, &enc.outputs, t, true_lit);
             match solver.solve_with_assumptions(&[flag]) {
@@ -183,7 +188,7 @@ impl<'a> CombAnalyzer<'a> {
         solver.set_budget(self.budget);
         let true_lit = enc.lit(axmc_aig::Lit::TRUE);
         let mut sat_calls = 0u64;
-        let value = search_max_error(max, |t| {
+        let value = search_max_error("comb.bit_flip", max, |t| {
             sat_calls += 1;
             let flag = gates::ugt_const(&mut solver, &enc.outputs, t, true_lit);
             match solver.solve_with_assumptions(&[flag]) {
@@ -307,9 +312,7 @@ impl ErrorInputCount {
     /// The error rate as a fraction of `2^inputs`, when exact.
     pub fn exact_rate(&self, num_inputs: usize) -> Option<f64> {
         match self {
-            ErrorInputCount::Exactly(n) => {
-                Some(*n as f64 / 2f64.powi(num_inputs as i32))
-            }
+            ErrorInputCount::Exactly(n) => Some(*n as f64 / 2f64.powi(num_inputs as i32)),
             ErrorInputCount::AtLeast(_) => None,
         }
     }
@@ -339,7 +342,11 @@ pub struct ExhaustiveStats {
 /// more than 22 inputs.
 pub fn exhaustive_stats(golden: &Aig, candidate: &Aig) -> ExhaustiveStats {
     assert_eq!(golden.num_inputs(), candidate.num_inputs(), "input counts");
-    assert_eq!(golden.num_outputs(), candidate.num_outputs(), "output counts");
+    assert_eq!(
+        golden.num_outputs(),
+        candidate.num_outputs(),
+        "output counts"
+    );
     let mut golden_out: Vec<u128> = Vec::new();
     for_each_assignment(golden, |_, out| golden_out.push(out));
     let mut wce = 0u128;
@@ -388,10 +395,14 @@ pub struct SampledStats {
 ///
 /// Panics if the circuits are sequential or differ in interface.
 pub fn sampled_stats(golden: &Aig, candidate: &Aig, samples: u64, seed: u64) -> SampledStats {
-    use rand::{Rng, SeedableRng};
+    use axmc_rand::{Rng, SeedableRng};
     assert_eq!(golden.num_inputs(), candidate.num_inputs(), "input counts");
-    assert_eq!(golden.num_outputs(), candidate.num_outputs(), "output counts");
-    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    assert_eq!(
+        golden.num_outputs(),
+        candidate.num_outputs(),
+        "output counts"
+    );
+    let mut rng = axmc_rand::rngs::StdRng::seed_from_u64(seed);
     let n = golden.num_inputs();
     let mut wce = 0u128;
     let mut total = 0f64;
@@ -577,7 +588,9 @@ mod tests {
             ErrorInputCount::AtLeast(2)
         );
         // Rate helper.
-        let rate = ErrorInputCount::Exactly(expect).exact_rate(2 * width).unwrap();
+        let rate = ErrorInputCount::Exactly(expect)
+            .exact_rate(2 * width)
+            .unwrap();
         let exact = exhaustive_stats(&golden, &cand);
         assert!((rate - exact.error_rate).abs() < 1e-12);
     }

@@ -77,8 +77,10 @@ impl ErrorProfile {
         if n == 0 || *self.profile.last().expect("nonempty") == 0 {
             return ErrorGrowth::Silent;
         }
+        // For a length-1 profile tail_start is 0; the implicit value
+        // before the horizon is 0, so any nonzero WCE@0 counts as growth.
         let tail_start = n - (n / 4).max(1);
-        let before = self.profile[tail_start - 1];
+        let before = tail_start.checked_sub(1).map_or(0, |i| self.profile[i]);
         let after = *self.profile.last().expect("nonempty");
         if after > before {
             ErrorGrowth::Accumulating
@@ -111,6 +113,42 @@ mod tests {
             sat_calls: 0,
         };
         assert_eq!(accumulating.growth(), ErrorGrowth::Accumulating);
+    }
+
+    #[test]
+    fn growth_of_short_profiles() {
+        // Regression: a length-1 nonzero profile used to underflow
+        // `tail_start - 1` and panic.
+        let single = ErrorProfile {
+            profile: vec![7],
+            sat_calls: 0,
+        };
+        assert_eq!(single.growth(), ErrorGrowth::Accumulating);
+
+        let single_zero = ErrorProfile {
+            profile: vec![0],
+            sat_calls: 0,
+        };
+        assert_eq!(single_zero.growth(), ErrorGrowth::Silent);
+
+        let empty = ErrorProfile {
+            profile: vec![],
+            sat_calls: 0,
+        };
+        assert_eq!(empty.growth(), ErrorGrowth::Silent);
+
+        // Length 2 stays consistent with the length-1 convention:
+        // [0, v] accumulates, [v, v] is bounded.
+        let two_grow = ErrorProfile {
+            profile: vec![0, 5],
+            sat_calls: 0,
+        };
+        assert_eq!(two_grow.growth(), ErrorGrowth::Accumulating);
+        let two_flat = ErrorProfile {
+            profile: vec![5, 5],
+            sat_calls: 0,
+        };
+        assert_eq!(two_flat.growth(), ErrorGrowth::Bounded);
     }
 
     #[test]

@@ -69,9 +69,7 @@ impl ThresholdEngine {
             let word = self.unroller.frame(frame).outputs.clone();
             let solver = self.unroller.solver_mut();
             let flag = match self.kind {
-                WordKind::SignedDiff => {
-                    gates::abs_diff_exceeds(solver, &word, threshold, true_lit)
-                }
+                WordKind::SignedDiff => gates::abs_diff_exceeds(solver, &word, threshold, true_lit),
                 WordKind::Unsigned => gates::ugt_const(solver, &word, threshold, true_lit),
             };
             flags.push(flag);
@@ -247,10 +245,14 @@ impl<'a> SeqAnalyzer<'a> {
     /// [`AnalysisError::BudgetExhausted`] with the bracketing interval.
     pub fn worst_case_error_at(&self, k: usize) -> Result<ErrorReport<u128>, AnalysisError> {
         let m = self.golden.num_outputs();
-        let max: u128 = if m >= 128 { u128::MAX } else { (1u128 << m) - 1 };
+        let max: u128 = if m >= 128 {
+            u128::MAX
+        } else {
+            (1u128 << m) - 1
+        };
         let mut engine = self.diff_engine();
         let mut sat_calls = 0u64;
-        let value = search_max_error(max, |t| {
+        let value = search_max_error("seq.wce", max, |t| {
             sat_calls += 1;
             match engine.probe(t, k)? {
                 Some(trace) => {
@@ -283,7 +285,7 @@ impl<'a> SeqAnalyzer<'a> {
             self.sweep,
         );
         let mut sat_calls = 0u64;
-        let value = search_max_error(max, |t| {
+        let value = search_max_error("seq.bit_flip", max, |t| {
             sat_calls += 1;
             match engine.probe(t, k)? {
                 Some(trace) => {
@@ -316,7 +318,11 @@ impl<'a> SeqAnalyzer<'a> {
     /// [`AnalysisError::BudgetExhausted`] if any probe runs out of budget.
     pub fn error_profile(&self, k: usize) -> Result<ErrorProfile, AnalysisError> {
         let m = self.golden.num_outputs();
-        let max = if m >= 128 { u128::MAX } else { (1u128 << m) - 1 };
+        let max = if m >= 128 {
+            u128::MAX
+        } else {
+            (1u128 << m) - 1
+        };
         let mut profile = Vec::with_capacity(k + 1);
         let mut sat_calls = 0u64;
         let mut prev: u128 = 0;
@@ -324,7 +330,7 @@ impl<'a> SeqAnalyzer<'a> {
         for horizon in 0..=k {
             // WCE@horizon >= WCE@(horizon-1): probes below `prev` are
             // answered from the invariant without touching the solver.
-            let value = search_max_error(max, |t| {
+            let value = search_max_error("seq.profile", max, |t| {
                 if t < prev {
                     return Ok(Probe::Exceeds(prev));
                 }
@@ -342,11 +348,7 @@ impl<'a> SeqAnalyzer<'a> {
 
     /// Attempts to prove the **unbounded** bound `G (|error| <= threshold)`
     /// by k-induction over the sequential threshold miter.
-    pub fn prove_error_bound(
-        &self,
-        threshold: u128,
-        options: &InductionOptions,
-    ) -> ProofResult {
+    pub fn prove_error_bound(&self, threshold: u128, options: &InductionOptions) -> ProofResult {
         let miter = sequential_diff_miter(self.golden, self.approx, threshold);
         prove_invariant(&miter, options)
     }
@@ -402,7 +404,7 @@ impl<'a> SeqAnalyzer<'a> {
     ) -> Result<ErrorReport<u128>, AnalysisError> {
         let max = (1u128 << acc_width) - 1;
         let mut sat_calls = 0u64;
-        let value = search_max_error(max, |t| {
+        let value = search_max_error("seq.total", max, |t| {
             sat_calls += 1;
             match self.check_total_error_exceeds(t, k, acc_width)? {
                 Some(trace) => {
@@ -486,7 +488,7 @@ impl<'a> SeqAnalyzer<'a> {
         per_cycle_threshold: u128,
     ) -> Result<ErrorReport<u32>, AnalysisError> {
         let mut sat_calls = 0u64;
-        let value = search_max_error((k + 1) as u128, |t| {
+        let value = search_max_error("seq.error_cycles", (k + 1) as u128, |t| {
             sat_calls += 1;
             match self.check_error_cycles_exceed(t, k, per_cycle_threshold)? {
                 Some(trace) => {
@@ -516,14 +518,9 @@ impl<'a> SeqAnalyzer<'a> {
     /// `trajectories` random input sequences of `cycles` cycles (64
     /// trajectories are simulated per pass). A **lower bound** with no
     /// guarantee — the comparison point for the precise engines.
-    pub fn simulated_worst_case_error(
-        &self,
-        cycles: usize,
-        trajectories: u64,
-        seed: u64,
-    ) -> u128 {
-        use rand::{Rng, SeedableRng};
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    pub fn simulated_worst_case_error(&self, cycles: usize, trajectories: u64, seed: u64) -> u128 {
+        use axmc_rand::{Rng, SeedableRng};
+        let mut rng = axmc_rand::rngs::StdRng::seed_from_u64(seed);
         let n_in = self.golden.num_inputs();
         let n_out = self.golden.num_outputs();
         let mut worst = 0u128;
@@ -605,8 +602,11 @@ mod tests {
         // Brute force over all input sequences of length 3 (16^3 = 4096).
         let mut brute = 0u128;
         for seq_id in 0..(16u64 * 16 * 16) {
-            let inputs: Vec<u128> =
-                vec![(seq_id % 16) as u128, ((seq_id / 16) % 16) as u128, ((seq_id / 256) % 16) as u128];
+            let inputs: Vec<u128> = vec![
+                (seq_id % 16) as u128,
+                ((seq_id / 16) % 16) as u128,
+                ((seq_id / 256) % 16) as u128,
+            ];
             let trace = Trace {
                 inputs: inputs
                     .iter()
@@ -717,13 +717,10 @@ mod tests {
             budget: Budget::unlimited(),
             simple_path: false,
         };
-        match analyzer.prove_error_bound(bound, &opts) {
-            ProofResult::Falsified(t) => {
-                panic!("bound {bound} falsified by a {}-cycle trace", t.len())
-            }
-            // Proved or Unknown are both acceptable: the invariant may
-            // need auxiliary strengthening to close inductively.
-            _ => {}
+        // Proved or Unknown are both acceptable: the invariant may
+        // need auxiliary strengthening to close inductively.
+        if let ProofResult::Falsified(t) = analyzer.prove_error_bound(bound, &opts) {
+            panic!("bound {bound} falsified by a {}-cycle trace", t.len())
         }
         // One below the bound is falsifiable.
         match analyzer.prove_error_bound(bound - 1, &opts) {

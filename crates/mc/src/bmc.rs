@@ -97,13 +97,16 @@ impl<'a> Bmc<'a> {
     /// Checks whether the output can be 1 **exactly** in cycle `k`
     /// (0-based). Frames are created on demand and reused.
     pub fn check_at(&mut self, k: usize) -> BmcResult {
+        let timer = axmc_obs::span("bmc.check.time_us");
         self.unroller.extend_to(k + 1);
         let bad = self.unroller.frame(k).outputs[0];
-        match self.unroller.solver_mut().solve_with_assumptions(&[bad]) {
+        let result = match self.unroller.solver_mut().solve_with_assumptions(&[bad]) {
             SolveResult::Sat => BmcResult::Cex(self.unroller.extract_trace(k)),
             SolveResult::Unsat => BmcResult::Clear,
             SolveResult::Unknown => BmcResult::Unknown,
-        }
+        };
+        self.note_check("at", k, &result, timer.finish());
+        result
     }
 
     /// Checks whether the output can be 1 in **any** cycle `<= k`,
@@ -129,16 +132,45 @@ impl<'a> Bmc<'a> {
     /// The returned counterexample spans all `k + 1` cycles and is *not*
     /// necessarily the shortest; replay it to locate the violation.
     pub fn check_any_up_to(&mut self, k: usize) -> BmcResult {
+        let timer = axmc_obs::span("bmc.check.time_us");
         self.unroller.extend_to(k + 1);
         // d -> (bad_0 | ... | bad_k); assuming d forces some frame bad.
         let d = self.unroller.solver_mut().new_var().positive();
         let mut clause: Vec<SatLit> = vec![!d];
         clause.extend((0..=k).map(|i| self.unroller.frame(i).outputs[0]));
         self.unroller.solver_mut().add_clause(&clause);
-        match self.unroller.solver_mut().solve_with_assumptions(&[d]) {
+        let result = match self.unroller.solver_mut().solve_with_assumptions(&[d]) {
             SolveResult::Sat => BmcResult::Cex(self.unroller.extract_trace(k)),
             SolveResult::Unsat => BmcResult::Clear,
             SolveResult::Unknown => BmcResult::Unknown,
+        };
+        self.note_check("any_up_to", k, &result, timer.finish());
+        result
+    }
+
+    /// Records metrics and the `bmc.check` trace event for one query.
+    fn note_check(&self, mode: &str, k: usize, result: &BmcResult, time_us: u64) {
+        if !axmc_obs::enabled() {
+            return;
+        }
+        axmc_obs::counter("bmc.checks").inc();
+        axmc_obs::gauge("bmc.max_k").set_max(k as i64);
+        let verdict = match result {
+            BmcResult::Cex(_) => "cex",
+            BmcResult::Clear => "clear",
+            BmcResult::Unknown => {
+                axmc_obs::counter("bmc.budget_exhausted").inc();
+                "unknown"
+            }
+        };
+        if axmc_obs::tracing_active() {
+            axmc_obs::emit(
+                axmc_obs::Event::new("bmc.check")
+                    .field("mode", mode)
+                    .field("k", k)
+                    .field("result", verdict)
+                    .field("time_us", time_us),
+            );
         }
     }
 

@@ -83,7 +83,32 @@ pub fn prove_invariant(aig: &Aig, options: &InductionOptions) -> ProofResult {
     let mut base = Bmc::new(aig);
     base.set_budget(options.budget);
 
+    let result = run_induction(aig, options, &mut base);
+    if axmc_obs::enabled() {
+        if axmc_obs::tracing_active() {
+            axmc_obs::emit(axmc_obs::Event::new("induction.result").field(
+                "result",
+                match &result {
+                    ProofResult::Proved { k } => format!("proved@k={k}"),
+                    ProofResult::Falsified(_) => "falsified".to_string(),
+                    ProofResult::Unknown => "unknown".to_string(),
+                },
+            ));
+        }
+        if matches!(result, ProofResult::Unknown) {
+            axmc_obs::counter("induction.unknown").inc();
+        }
+    }
+    result
+}
+
+fn run_induction(aig: &Aig, options: &InductionOptions, base: &mut Bmc) -> ProofResult {
     for k in 1..=options.max_k {
+        let round = axmc_obs::span("induction.round.time_us");
+        if axmc_obs::enabled() {
+            axmc_obs::counter("induction.rounds").inc();
+            axmc_obs::gauge("induction.max_k").set_max(k as i64);
+        }
         // Base case: no violation in cycles 0 .. k-1.
         match base.check_at(k - 1) {
             BmcResult::Cex(t) => return ProofResult::Falsified(t),
@@ -91,7 +116,24 @@ pub fn prove_invariant(aig: &Aig, options: &InductionOptions) -> ProofResult {
             BmcResult::Clear => {}
         }
         // Step case.
-        match step_case(aig, k, options) {
+        let step = step_case(aig, k, options);
+        let time_us = round.finish();
+        if axmc_obs::tracing_active() {
+            axmc_obs::emit(
+                axmc_obs::Event::new("induction.round")
+                    .field("k", k)
+                    .field(
+                        "step",
+                        match step {
+                            SolveResult::Unsat => "inductive",
+                            SolveResult::Sat => "open",
+                            SolveResult::Unknown => "budget",
+                        },
+                    )
+                    .field("time_us", time_us),
+            );
+        }
+        match step {
             SolveResult::Unsat => return ProofResult::Proved { k },
             SolveResult::Unknown => return ProofResult::Unknown,
             SolveResult::Sat => {} // not yet inductive; deepen
@@ -136,7 +178,7 @@ fn step_case(aig: &Aig, k: usize, options: &InductionOptions) -> SolveResult {
 
 /// Forces all state vectors in the window to be pairwise distinct.
 fn add_simple_path_constraints(solver: &mut Solver, states: &[Vec<SatLit>]) {
-    if states.first().map_or(true, |s| s.is_empty()) {
+    if states.first().is_none_or(|s| s.is_empty()) {
         return; // stateless circuit: nothing to distinguish
     }
     for i in 0..states.len() {
@@ -237,7 +279,10 @@ mod tests {
         }
 
         // Without simple-path: never inductive.
-        assert_eq!(prove_invariant(&aig, &options(5, false)), ProofResult::Unknown);
+        assert_eq!(
+            prove_invariant(&aig, &options(5, false)),
+            ProofResult::Unknown
+        );
         // With simple-path: proved once the window exceeds the loop-free
         // diameter of the non-bad region.
         match prove_invariant(&aig, &options(6, true)) {
@@ -275,6 +320,9 @@ mod tests {
             simple_path: false,
         };
         let r = prove_invariant(&miter, &opts);
-        assert!(matches!(r, ProofResult::Unknown | ProofResult::Proved { .. }));
+        assert!(matches!(
+            r,
+            ProofResult::Unknown | ProofResult::Proved { .. }
+        ));
     }
 }

@@ -114,7 +114,7 @@ pub fn explicit_reach(aig: &Aig, max_depth: usize) -> ReachResult {
                         ns |= 1 << k;
                     }
                 }
-                if depth + 1 <= max_depth {
+                if depth < max_depth {
                     depth_of.entry(ns).or_insert_with(|| {
                         queue.push_back(ns);
                         depth + 1

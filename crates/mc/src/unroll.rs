@@ -77,8 +77,16 @@ impl Unroller {
     }
 
     /// Ensures at least `frames` frames are encoded.
+    ///
+    /// With observability on, every newly encoded frame records its
+    /// variable/clause growth and encode time and emits an `mc.frame`
+    /// trace event.
     pub fn extend_to(&mut self, frames: usize) {
         while self.frames.len() < frames {
+            let k = self.frames.len();
+            let vars_before = self.solver.num_vars();
+            let clauses_before = self.solver.num_clauses();
+            let timer = axmc_obs::span("mc.frame.encode_us");
             let inputs: Vec<SatLit> = (0..self.aig.num_inputs())
                 .map(|_| self.solver.new_var().positive())
                 .collect();
@@ -91,6 +99,24 @@ impl Unroller {
             );
             self.frontier = enc.latch_next.clone();
             self.frames.push(enc);
+            let time_us = timer.finish();
+            if axmc_obs::enabled() {
+                let vars = (self.solver.num_vars() - vars_before) as u64;
+                let clauses = (self.solver.num_clauses() - clauses_before) as u64;
+                axmc_obs::counter("mc.frames_encoded").inc();
+                axmc_obs::gauge("mc.max_frame").set_max(k as i64);
+                axmc_obs::histogram("mc.frame.vars").record(vars);
+                axmc_obs::histogram("mc.frame.clauses").record(clauses);
+                if axmc_obs::tracing_active() {
+                    axmc_obs::emit(
+                        axmc_obs::Event::new("mc.frame")
+                            .field("frame", k)
+                            .field("vars", vars)
+                            .field("clauses", clauses)
+                            .field("time_us", time_us),
+                    );
+                }
+            }
         }
     }
 
@@ -179,7 +205,10 @@ mod tests {
         let mut u = Unroller::new(aig);
         u.extend_to(3);
         let o2 = u.frame(2).outputs[0];
-        assert_eq!(u.solver_mut().solve_with_assumptions(&[o2]), SolveResult::Sat);
+        assert_eq!(
+            u.solver_mut().solve_with_assumptions(&[o2]),
+            SolveResult::Sat
+        );
         let trace = u.extract_trace(2);
         assert_eq!(trace.len(), 3);
         // Replay: the latch must indeed be high in cycle 2.

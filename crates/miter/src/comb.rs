@@ -57,11 +57,7 @@ pub fn strict_miter(golden: &Aig, candidate: &Aig) -> Aig {
     let inputs = m.add_inputs(golden.num_inputs());
     let og = embed_comb(&mut m, golden, &inputs);
     let oc = embed_comb(&mut m, candidate, &inputs);
-    let diffs: Vec<Lit> = og
-        .iter()
-        .zip(&oc)
-        .map(|(&a, &b)| m.xor(a, b))
-        .collect();
+    let diffs: Vec<Lit> = og.iter().zip(&oc).map(|(&a, &b)| m.xor(a, b)).collect();
     let bad = m.or_all(&diffs);
     m.add_output(bad);
     m
@@ -206,11 +202,7 @@ pub fn popcount_word_miter(golden: &Aig, candidate: &Aig) -> Aig {
     let inputs = m.add_inputs(golden.num_inputs());
     let og = embed_comb(&mut m, golden, &inputs);
     let oc = embed_comb(&mut m, candidate, &inputs);
-    let diffs: Vec<Lit> = og
-        .iter()
-        .zip(&oc)
-        .map(|(&a, &b)| m.xor(a, b))
-        .collect();
+    let diffs: Vec<Lit> = og.iter().zip(&oc).map(|(&a, &b)| m.xor(a, b)).collect();
     let count = Word::from_lits(diffs).popcount(&mut m);
     for &b in count.bits() {
         m.add_output(b);
@@ -230,11 +222,7 @@ pub fn bit_flip_threshold_miter(golden: &Aig, candidate: &Aig, threshold: u32) -
     let inputs = m.add_inputs(golden.num_inputs());
     let og = embed_comb(&mut m, golden, &inputs);
     let oc = embed_comb(&mut m, candidate, &inputs);
-    let diffs: Vec<Lit> = og
-        .iter()
-        .zip(&oc)
-        .map(|(&a, &b)| m.xor(a, b))
-        .collect();
+    let diffs: Vec<Lit> = og.iter().zip(&oc).map(|(&a, &b)| m.xor(a, b)).collect();
     let count = Word::from_lits(diffs).popcount(&mut m);
     let bad = count.ugt_const(&mut m, threshold as u128);
     m.add_output(bad);
@@ -386,8 +374,14 @@ mod tests {
             }
         }
         assert!(max_hd > 0);
-        assert!(!satisfiable(&bit_flip_threshold_miter(&golden, &cand, max_hd)));
-        assert!(satisfiable(&bit_flip_threshold_miter(&golden, &cand, max_hd - 1)));
+        assert!(!satisfiable(&bit_flip_threshold_miter(
+            &golden, &cand, max_hd
+        )));
+        assert!(satisfiable(&bit_flip_threshold_miter(
+            &golden,
+            &cand,
+            max_hd - 1
+        )));
     }
 
     #[test]

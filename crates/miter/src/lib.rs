@@ -41,7 +41,7 @@ pub use crate::comb::{
     MiterStats,
 };
 pub use crate::seq::{
-    accumulated_error_miter, embed_sequential, error_cycle_count_miter,
-    sequential_bit_flip_miter, sequential_diff_miter, sequential_diff_word_miter,
-    sequential_popcount_word_miter, sequential_strict_miter,
+    accumulated_error_miter, embed_sequential, error_cycle_count_miter, sequential_bit_flip_miter,
+    sequential_diff_miter, sequential_diff_word_miter, sequential_popcount_word_miter,
+    sequential_strict_miter,
 };

@@ -277,9 +277,9 @@ mod tests {
         let mut add_inputs: Vec<Lit> = state.bits().to_vec();
         add_inputs.extend_from_slice(input.bits());
         let adder_aig = adder.to_aig();
-        let sums = aig.import_cone(&adder_aig, &adder_aig.outputs().to_vec(), &add_inputs, &[]);
-        for k in 0..width {
-            aig.set_latch_next(first + k, sums[k]); // drop carry: wrapping
+        let sums = aig.import_cone(&adder_aig, adder_aig.outputs(), &add_inputs, &[]);
+        for (k, &s) in sums.iter().enumerate().take(width) {
+            aig.set_latch_next(first + k, s); // drop carry: wrapping
         }
         for k in 0..width {
             aig.add_output(state.bit(k));
@@ -301,7 +301,9 @@ mod tests {
         let mut sim_dst = Simulator::new(&m);
         let stim = [3u64, 5, 7, 1];
         for &s in &stim {
-            let packed: Vec<u64> = (0..4).map(|i| if (s >> i) & 1 == 1 { 1 } else { 0 }).collect();
+            let packed: Vec<u64> = (0..4)
+                .map(|i| if (s >> i) & 1 == 1 { 1 } else { 0 })
+                .collect();
             assert_eq!(sim_src.step(&packed), sim_dst.step(&packed));
         }
     }
@@ -315,7 +317,13 @@ mod tests {
         let mut sim = Simulator::new(&m);
         for step in 0..20u64 {
             let inputs: Vec<u64> = (0..3)
-                .map(|i| if (step.wrapping_mul(2654435761) >> i) & 1 == 1 { u64::MAX } else { 0 })
+                .map(|i| {
+                    if (step.wrapping_mul(2654435761) >> i) & 1 == 1 {
+                        u64::MAX
+                    } else {
+                        0
+                    }
+                })
                 .collect();
             assert_eq!(sim.step(&inputs)[0], 0, "cycle {step}");
         }

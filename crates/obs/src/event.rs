@@ -1,0 +1,436 @@
+//! Structured trace events and their JSON-line wire format.
+//!
+//! An [`Event`] is a kind plus an ordered list of named fields. The wire
+//! format is one flat JSON object per line: the event kind under the
+//! reserved key `"ev"`, then the fields in insertion order:
+//!
+//! ```text
+//! {"ev":"sat.solve","result":"sat","time_us":1234,"conflicts":17}
+//! ```
+//!
+//! [`Event::parse_json`] inverts [`Event::to_json`] exactly (same kind,
+//! fields, order and values), so trace files can be post-processed with
+//! the same types that produced them — and tests can assert the
+//! round-trip. The encoder and parser are hand-rolled; they cover the
+//! subset of JSON this crate emits (flat objects, no nesting).
+
+use std::fmt;
+
+/// A field value: the JSON scalar types.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// Non-negative integer.
+    U64(u64),
+    /// Negative integer (positive ones parse as [`Value::U64`]).
+    I64(i64),
+    /// Floating point; must be finite (NaN/inf have no JSON form).
+    F64(f64),
+    /// Boolean.
+    Bool(bool),
+    /// String.
+    Str(String),
+}
+
+impl From<u64> for Value {
+    fn from(v: u64) -> Self {
+        Value::U64(v)
+    }
+}
+impl From<u32> for Value {
+    fn from(v: u32) -> Self {
+        Value::U64(v as u64)
+    }
+}
+impl From<usize> for Value {
+    fn from(v: usize) -> Self {
+        Value::U64(v as u64)
+    }
+}
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        if v >= 0 {
+            Value::U64(v as u64)
+        } else {
+            Value::I64(v)
+        }
+    }
+}
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::F64(v)
+    }
+}
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_string())
+    }
+}
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::U64(v) => write!(f, "{v}"),
+            Value::I64(v) => write!(f, "{v}"),
+            Value::F64(v) => write!(f, "{v}"),
+            Value::Bool(v) => write!(f, "{v}"),
+            Value::Str(v) => f.write_str(v),
+        }
+    }
+}
+
+/// One structured trace event.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Event {
+    /// Event kind, dotted-path style (`"bmc.frame"`, `"cgp.improvement"`).
+    pub kind: String,
+    /// Named fields in insertion order.
+    pub fields: Vec<(String, Value)>,
+}
+
+impl Event {
+    /// A new event of the given kind with no fields yet.
+    pub fn new(kind: impl Into<String>) -> Self {
+        Event {
+            kind: kind.into(),
+            fields: Vec::new(),
+        }
+    }
+
+    /// Appends a field (builder style).
+    pub fn field(mut self, name: impl Into<String>, value: impl Into<Value>) -> Self {
+        self.fields.push((name.into(), value.into()));
+        self
+    }
+
+    /// Looks up a field by name.
+    pub fn get(&self, name: &str) -> Option<&Value> {
+        self.fields.iter().find(|(n, _)| n == name).map(|(_, v)| v)
+    }
+
+    /// Encodes as one flat JSON object (no trailing newline).
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(32 + 16 * self.fields.len());
+        out.push_str("{\"ev\":");
+        encode_str(&mut out, &self.kind);
+        for (name, value) in &self.fields {
+            out.push(',');
+            encode_str(&mut out, name);
+            out.push(':');
+            match value {
+                Value::U64(v) => out.push_str(&v.to_string()),
+                Value::I64(v) => out.push_str(&v.to_string()),
+                Value::F64(v) => {
+                    debug_assert!(v.is_finite(), "non-finite float in event field");
+                    // `{:?}` keeps a decimal point or exponent, so the
+                    // value parses back as F64 rather than an integer.
+                    out.push_str(&format!("{v:?}"));
+                }
+                Value::Bool(v) => out.push_str(if *v { "true" } else { "false" }),
+                Value::Str(v) => encode_str(&mut out, v),
+            }
+        }
+        out.push('}');
+        out
+    }
+
+    /// Parses one line produced by [`Event::to_json`].
+    pub fn parse_json(line: &str) -> Result<Event, ParseError> {
+        Parser::new(line).parse_event()
+    }
+}
+
+fn encode_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Why a trace line failed to parse.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    /// Human-readable reason.
+    pub message: String,
+    /// Byte offset in the input line.
+    pub at: usize,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} at byte {}", self.message, self.at)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(s: &'a str) -> Self {
+        Parser {
+            bytes: s.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn err<T>(&self, message: &str) -> Result<T, ParseError> {
+        Err(ParseError {
+            message: message.to_string(),
+            at: self.pos,
+        })
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\r' | b'\n')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), ParseError> {
+        self.skip_ws();
+        if self.bytes.get(self.pos) == Some(&b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            self.err(&format!("expected '{}'", b as char))
+        }
+    }
+
+    fn parse_event(&mut self) -> Result<Event, ParseError> {
+        self.expect(b'{')?;
+        let (first_key, first_val) = self.parse_member()?;
+        if first_key != "ev" {
+            return self.err("first key must be \"ev\"");
+        }
+        let kind = match first_val {
+            Value::Str(s) => s,
+            _ => return self.err("\"ev\" must be a string"),
+        };
+        let mut fields = Vec::new();
+        loop {
+            self.skip_ws();
+            match self.bytes.get(self.pos) {
+                Some(b',') => {
+                    self.pos += 1;
+                    fields.push(self.parse_member()?);
+                }
+                Some(b'}') => {
+                    self.pos += 1;
+                    break;
+                }
+                _ => return self.err("expected ',' or '}'"),
+            }
+        }
+        self.skip_ws();
+        if self.pos != self.bytes.len() {
+            return self.err("trailing input after object");
+        }
+        Ok(Event { kind, fields })
+    }
+
+    fn parse_member(&mut self) -> Result<(String, Value), ParseError> {
+        self.skip_ws();
+        let key = self.parse_string()?;
+        self.expect(b':')?;
+        let value = self.parse_value()?;
+        Ok((key, value))
+    }
+
+    fn parse_value(&mut self) -> Result<Value, ParseError> {
+        self.skip_ws();
+        match self.bytes.get(self.pos) {
+            Some(b'"') => Ok(Value::Str(self.parse_string()?)),
+            Some(b't') => self.parse_literal("true", Value::Bool(true)),
+            Some(b'f') => self.parse_literal("false", Value::Bool(false)),
+            Some(b'-' | b'0'..=b'9') => self.parse_number(),
+            _ => self.err("expected a value"),
+        }
+    }
+
+    fn parse_literal(&mut self, lit: &str, value: Value) -> Result<Value, ParseError> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(value)
+        } else {
+            self.err(&format!("expected '{lit}'"))
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<Value, ParseError> {
+        let start = self.pos;
+        if self.bytes.get(self.pos) == Some(&b'-') {
+            self.pos += 1;
+        }
+        let mut float = false;
+        while let Some(&b) = self.bytes.get(self.pos) {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' => {
+                    float = true;
+                    self.pos += 1;
+                }
+                b'-' if float => self.pos += 1, // exponent sign
+                _ => break,
+            }
+        }
+        let text =
+            std::str::from_utf8(&self.bytes[start..self.pos]).expect("number slice is ASCII");
+        if float {
+            text.parse::<f64>()
+                .map(Value::F64)
+                .or_else(|_| self.err("malformed float"))
+        } else if text.starts_with('-') {
+            text.parse::<i64>()
+                .map(Value::I64)
+                .or_else(|_| self.err("malformed integer"))
+        } else {
+            text.parse::<u64>()
+                .map(Value::U64)
+                .or_else(|_| self.err("malformed integer"))
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, ParseError> {
+        self.skip_ws();
+        if self.bytes.get(self.pos) != Some(&b'"') {
+            return self.err("expected '\"'");
+        }
+        self.pos += 1;
+        let mut out = String::new();
+        loop {
+            match self.bytes.get(self.pos) {
+                None => return self.err("unterminated string"),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.bytes.get(self.pos) {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok());
+                            match hex.and_then(char::from_u32) {
+                                Some(c) => {
+                                    out.push(c);
+                                    self.pos += 4;
+                                }
+                                None => return self.err("bad \\u escape"),
+                            }
+                        }
+                        _ => return self.err("bad escape"),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (the input is a &str, so
+                    // slicing at char boundaries is safe).
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .expect("input was a valid &str");
+                    let c = rest.chars().next().expect("non-empty");
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encodes_in_insertion_order() {
+        let e = Event::new("sat.solve")
+            .field("result", "sat")
+            .field("time_us", 1234u64)
+            .field("delta", -3i64)
+            .field("rate", 0.5f64)
+            .field("ok", true);
+        assert_eq!(
+            e.to_json(),
+            r#"{"ev":"sat.solve","result":"sat","time_us":1234,"delta":-3,"rate":0.5,"ok":true}"#
+        );
+    }
+
+    #[test]
+    fn round_trips_every_value_type() {
+        let e = Event::new("k")
+            .field("u", 18_446_744_073_709_551_615u64)
+            .field("i", -9_223_372_036_854_775_808i64)
+            .field("f", 1.25e-3f64)
+            .field("whole", 2.0f64) // stays a float through the round trip
+            .field("b", false)
+            .field("s", "quote\" slash\\ tab\t newline\n unicode✓");
+        let back = Event::parse_json(&e.to_json()).expect("parses");
+        assert_eq!(back, e);
+        assert_eq!(back.to_json(), e.to_json());
+    }
+
+    #[test]
+    fn get_finds_fields() {
+        let e = Event::new("x").field("a", 1u64).field("b", "two");
+        assert_eq!(e.get("a"), Some(&Value::U64(1)));
+        assert_eq!(e.get("b"), Some(&Value::Str("two".into())));
+        assert_eq!(e.get("c"), None);
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        for bad in [
+            "",
+            "{",
+            "{}",
+            r#"{"ev":}"#,
+            r#"{"notev":"x"}"#,
+            r#"{"ev":"x""#,
+            r#"{"ev":"x"} trailing"#,
+            r#"{"ev":"x","k":}"#,
+            r#"{"ev":"x","k":"unterminated}"#,
+        ] {
+            assert!(Event::parse_json(bad).is_err(), "accepted: {bad}");
+        }
+    }
+
+    #[test]
+    fn control_chars_escape_and_return() {
+        let e = Event::new("k").field("s", "\u{1}\u{1f}");
+        let json = e.to_json();
+        assert!(json.contains("\\u0001"));
+        assert_eq!(Event::parse_json(&json).unwrap(), e);
+    }
+}

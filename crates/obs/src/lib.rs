@@ -1,0 +1,279 @@
+//! Unified observability for the axmc stack: metrics, tracing and
+//! progress instrumentation shared by the SAT solver, the model-checking
+//! engines, the error analyzers and the CGP synthesis loop.
+//!
+//! Three ideas, kept deliberately small:
+//!
+//! * **Metrics** ([`Registry`], [`Counter`], [`Gauge`], [`Histogram`]) —
+//!   cheap always-structured numbers. Histograms use log₂ buckets, which
+//!   is the right shape for solver quantities (solve times, conflicts,
+//!   clauses) that span many orders of magnitude. A [`Snapshot`] is an
+//!   immutable copy that can be merged and rendered as a table
+//!   ([`summary::render`]).
+//! * **Spans** ([`Span`], [`span`]) — RAII wall-clock timers that record
+//!   their elapsed microseconds into a histogram on drop.
+//! * **Events** ([`Event`], [`emit`], [`Sink`]) — structured trace
+//!   records streamed to a pluggable sink, e.g. a JSONL file
+//!   ([`sink::JsonlSink`]) behind the CLI's `--trace`.
+//!
+//! Everything is **off by default**. Until [`set_enabled`]`(true)` is
+//! called, spans never read the clock, [`emit`] drops events without
+//! building sinks, and the [`enabled`] check itself is one relaxed
+//! atomic load — instrumented hot paths cost nothing measurable when
+//! observability is off.
+//!
+//! ```
+//! axmc_obs::set_enabled(true);
+//! axmc_obs::counter("demo.widgets").add(3);
+//! {
+//!     let _t = axmc_obs::span("demo.phase_us");
+//!     // ... timed work ...
+//! }
+//! let table = axmc_obs::summary::render(&axmc_obs::snapshot());
+//! assert!(table.contains("demo.widgets"));
+//! # axmc_obs::set_enabled(false);
+//! # axmc_obs::reset();
+//! ```
+
+pub mod event;
+pub mod metrics;
+pub mod sink;
+pub mod summary;
+
+pub use event::{Event, Value};
+pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, Registry, Snapshot};
+pub use sink::Sink;
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, OnceLock, RwLock};
+use std::time::Instant;
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static SINK: RwLock<Option<Arc<dyn Sink>>> = RwLock::new(None);
+
+/// Turns instrumentation on or off process-wide.
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// True if instrumentation is on. One relaxed atomic load.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// The process-wide registry behind [`counter`]/[`gauge`]/[`histogram`].
+pub fn registry() -> &'static Registry {
+    static REGISTRY: OnceLock<Registry> = OnceLock::new();
+    REGISTRY.get_or_init(Registry::new)
+}
+
+/// The global counter called `name`. Resolve once outside loops.
+pub fn counter(name: &str) -> Arc<Counter> {
+    registry().counter(name)
+}
+
+/// The global gauge called `name`.
+pub fn gauge(name: &str) -> Arc<Gauge> {
+    registry().gauge(name)
+}
+
+/// The global histogram called `name`.
+pub fn histogram(name: &str) -> Arc<Histogram> {
+    registry().histogram(name)
+}
+
+/// An immutable copy of the global registry.
+pub fn snapshot() -> Snapshot {
+    registry().snapshot()
+}
+
+/// Clears the global registry (tests, phase boundaries).
+pub fn reset() {
+    registry().reset();
+}
+
+/// Installs the global event sink (replacing any previous one).
+pub fn set_sink(sink: Arc<dyn Sink>) {
+    *SINK.write().expect("obs sink slot poisoned") = Some(sink);
+}
+
+/// Removes the global event sink, flushing it first.
+pub fn clear_sink() {
+    let prev = SINK.write().expect("obs sink slot poisoned").take();
+    if let Some(s) = prev {
+        s.flush();
+    }
+}
+
+/// Flushes the global event sink, if any.
+pub fn flush_sink() {
+    if let Some(s) = SINK.read().expect("obs sink slot poisoned").as_ref() {
+        s.flush();
+    }
+}
+
+/// True if [`emit`] would deliver an event right now. Call sites that
+/// build events with non-trivial fields should guard on this so the
+/// construction cost vanishes when tracing is off.
+#[inline]
+pub fn tracing_active() -> bool {
+    enabled() && SINK.read().expect("obs sink slot poisoned").is_some()
+}
+
+/// Delivers an event to the global sink; silently dropped when
+/// instrumentation is off or no sink is installed.
+pub fn emit(event: Event) {
+    if !enabled() {
+        return;
+    }
+    if let Some(s) = SINK.read().expect("obs sink slot poisoned").as_ref() {
+        s.emit(&event);
+    }
+}
+
+/// An RAII wall-clock timer. While instrumentation is enabled, creating
+/// a span reads the clock and dropping it records the elapsed
+/// microseconds into the named global histogram; while disabled it is a
+/// two-word no-op that never touches the clock.
+#[must_use = "a span records on drop; binding it to _ drops immediately"]
+pub struct Span {
+    start: Option<Instant>,
+    hist: Option<Arc<Histogram>>,
+}
+
+/// Starts a span recording into the global histogram `name`.
+pub fn span(name: &str) -> Span {
+    if enabled() {
+        Span {
+            start: Some(Instant::now()),
+            hist: Some(histogram(name)),
+        }
+    } else {
+        Span {
+            start: None,
+            hist: None,
+        }
+    }
+}
+
+impl Span {
+    /// Microseconds since the span started (0 if instrumentation was off).
+    pub fn elapsed_us(&self) -> u64 {
+        self.start
+            .map(|s| s.elapsed().as_micros().min(u64::MAX as u128) as u64)
+            .unwrap_or(0)
+    }
+
+    /// Ends the span now, recording and returning the elapsed
+    /// microseconds (instead of waiting for scope exit).
+    pub fn finish(mut self) -> u64 {
+        let us = self.elapsed_us();
+        if let Some(h) = self.hist.take() {
+            h.record(us);
+        }
+        us
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let Some(h) = self.hist.take() {
+            h.record(self.elapsed_us());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sink::MemorySink;
+    use std::sync::Mutex;
+
+    // The global enabled flag / registry / sink slot are process-wide, so
+    // tests touching them serialize on this lock.
+    static GLOBAL_LOCK: Mutex<()> = Mutex::new(());
+
+    fn with_global_obs<T>(f: impl FnOnce() -> T) -> T {
+        let _g = GLOBAL_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+        set_enabled(true);
+        reset();
+        clear_sink();
+        let out = f();
+        set_enabled(false);
+        reset();
+        clear_sink();
+        out
+    }
+
+    #[test]
+    fn span_elapsed_is_monotone() {
+        with_global_obs(|| {
+            let s = span("t.span_us");
+            let a = s.elapsed_us();
+            std::thread::sleep(std::time::Duration::from_millis(2));
+            let b = s.elapsed_us();
+            std::thread::sleep(std::time::Duration::from_millis(2));
+            let c = s.finish();
+            assert!(a <= b && b <= c, "elapsed went backwards: {a} {b} {c}");
+            assert!(c >= 4000, "two 2ms sleeps measured as {c}us");
+            let h = snapshot().histograms["t.span_us"].clone();
+            assert_eq!(h.count, 1);
+            assert_eq!(h.max, c);
+        });
+    }
+
+    #[test]
+    fn span_records_once_on_drop() {
+        with_global_obs(|| {
+            {
+                let _s = span("t.drop_us");
+            }
+            assert_eq!(snapshot().histograms["t.drop_us"].count, 1);
+        });
+    }
+
+    #[test]
+    fn disabled_span_is_inert() {
+        let _g = GLOBAL_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+        set_enabled(false);
+        reset();
+        let s = span("t.never");
+        assert_eq!(s.elapsed_us(), 0);
+        assert_eq!(s.finish(), 0);
+        assert!(!snapshot().histograms.contains_key("t.never"));
+    }
+
+    #[test]
+    fn emit_respects_enabled_and_sink() {
+        with_global_obs(|| {
+            let sink = Arc::new(MemorySink::new());
+            // No sink installed yet: dropped.
+            emit(Event::new("lost"));
+            assert!(!tracing_active());
+            set_sink(sink.clone());
+            assert!(tracing_active());
+            emit(Event::new("kept").field("n", 1u64));
+            set_enabled(false);
+            emit(Event::new("lost.disabled"));
+            set_enabled(true);
+            let events = sink.take();
+            assert_eq!(events.len(), 1);
+            assert_eq!(events[0].kind, "kept");
+        });
+    }
+
+    #[test]
+    fn global_helpers_hit_one_registry() {
+        with_global_obs(|| {
+            counter("t.c").add(2);
+            counter("t.c").inc();
+            gauge("t.g").set(-4);
+            histogram("t.h").record(9);
+            let s = snapshot();
+            assert_eq!(s.counters["t.c"], 3);
+            assert_eq!(s.gauges["t.g"], -4);
+            assert_eq!(s.histograms["t.h"].count, 1);
+        });
+    }
+}

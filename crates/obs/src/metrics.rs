@@ -1,0 +1,473 @@
+//! Counters, gauges and log₂-bucketed histograms, plus the [`Registry`]
+//! that owns them and the immutable [`Snapshot`] taken from it.
+//!
+//! All instruments are lock-free on the hot path: a counter increment is
+//! one relaxed atomic add, a histogram record is three. Name → instrument
+//! resolution goes through a registry lock, so call sites that record in
+//! tight loops should resolve once and hold the returned [`Arc`].
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+/// Number of histogram buckets: bucket 0 holds zero values, bucket `i`
+/// (1 ≤ i ≤ 64) holds values in `[2^(i-1), 2^i - 1]`.
+pub const BUCKETS: usize = 65;
+
+/// Maps a value to its log₂ bucket index.
+#[inline]
+pub fn bucket_index(value: u64) -> usize {
+    if value == 0 {
+        0
+    } else {
+        (64 - value.leading_zeros()) as usize
+    }
+}
+
+/// The inclusive upper bound of bucket `i` (used when reporting quantiles).
+#[inline]
+pub fn bucket_upper_bound(i: usize) -> u64 {
+    match i {
+        0 => 0,
+        64 => u64::MAX,
+        _ => (1u64 << i) - 1,
+    }
+}
+
+/// A monotonically increasing event count.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-written point-in-time value (may go up or down).
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicI64);
+
+impl Gauge {
+    /// Overwrites the value.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Adjusts the value by `delta`.
+    #[inline]
+    pub fn add(&self, delta: i64) {
+        self.0.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Raises the value to `v` if `v` is larger.
+    #[inline]
+    pub fn set_max(&self, v: i64) {
+        self.0.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A distribution of `u64` samples in 65 log₂ buckets, with exact
+/// count / sum / min / max on the side.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Histogram {
+    /// Records one sample.
+    pub fn record(&self, value: u64) {
+        self.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.min.fetch_min(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    fn snapshot(&self) -> HistogramSnapshot {
+        let count = self.count.load(Ordering::Relaxed);
+        HistogramSnapshot {
+            count,
+            sum: self.sum.load(Ordering::Relaxed),
+            min: if count == 0 {
+                0
+            } else {
+                self.min.load(Ordering::Relaxed)
+            },
+            max: self.max.load(Ordering::Relaxed),
+            buckets: self
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+        }
+    }
+}
+
+/// Immutable copy of one histogram's state.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Number of samples.
+    pub count: u64,
+    /// Sum of all samples (wrapping is the caller's problem at 2^64).
+    pub sum: u64,
+    /// Smallest sample, 0 if empty.
+    pub min: u64,
+    /// Largest sample, 0 if empty.
+    pub max: u64,
+    /// Per-bucket sample counts, `BUCKETS` entries.
+    pub buckets: Vec<u64>,
+}
+
+impl HistogramSnapshot {
+    /// Arithmetic mean of the samples, 0.0 if empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Upper bound of the bucket containing the `q`-quantile (0 ≤ q ≤ 1).
+    ///
+    /// Log₂ buckets bound the answer to within 2× of the true quantile,
+    /// which is plenty for "where did the time go" reporting.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return bucket_upper_bound(i).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Folds another snapshot into this one (bucket-wise addition).
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = other.clone();
+            return;
+        }
+        self.count += other.count;
+        self.sum = self.sum.wrapping_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+    }
+}
+
+/// A named collection of counters, gauges and histograms.
+///
+/// Instruments are created on first use and live for the registry's
+/// lifetime; repeated lookups of the same name return the same instrument.
+#[derive(Debug, Default)]
+pub struct Registry {
+    counters: RwLock<BTreeMap<String, Arc<Counter>>>,
+    gauges: RwLock<BTreeMap<String, Arc<Gauge>>>,
+    histograms: RwLock<BTreeMap<String, Arc<Histogram>>>,
+}
+
+fn intern<T: Default>(map: &RwLock<BTreeMap<String, Arc<T>>>, name: &str) -> Arc<T> {
+    if let Some(v) = map.read().expect("obs registry poisoned").get(name) {
+        return Arc::clone(v);
+    }
+    let mut w = map.write().expect("obs registry poisoned");
+    Arc::clone(w.entry(name.to_string()).or_default())
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// The counter called `name`, created if absent.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        intern(&self.counters, name)
+    }
+
+    /// The gauge called `name`, created if absent.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        intern(&self.gauges, name)
+    }
+
+    /// The histogram called `name`, created if absent.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        intern(&self.histograms, name)
+    }
+
+    /// An immutable copy of every instrument's current state.
+    pub fn snapshot(&self) -> Snapshot {
+        Snapshot {
+            counters: self
+                .counters
+                .read()
+                .expect("obs registry poisoned")
+                .iter()
+                .map(|(k, v)| (k.clone(), v.get()))
+                .collect(),
+            gauges: self
+                .gauges
+                .read()
+                .expect("obs registry poisoned")
+                .iter()
+                .map(|(k, v)| (k.clone(), v.get()))
+                .collect(),
+            histograms: self
+                .histograms
+                .read()
+                .expect("obs registry poisoned")
+                .iter()
+                .map(|(k, v)| (k.clone(), v.snapshot()))
+                .collect(),
+        }
+    }
+
+    /// Drops every instrument (names and values). Mainly for tests and
+    /// for separating phases in long-running processes.
+    pub fn reset(&self) {
+        self.counters
+            .write()
+            .expect("obs registry poisoned")
+            .clear();
+        self.gauges.write().expect("obs registry poisoned").clear();
+        self.histograms
+            .write()
+            .expect("obs registry poisoned")
+            .clear();
+    }
+}
+
+/// Immutable copy of a whole registry, suitable for merging, rendering
+/// as a table ([`crate::summary::render`]) or serializing.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Snapshot {
+    /// Counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge values by name.
+    pub gauges: BTreeMap<String, i64>,
+    /// Histogram states by name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+impl Snapshot {
+    /// Folds `other` into this snapshot: counters and histograms add,
+    /// gauges keep the maximum (the convention that fits "deepest frame
+    /// reached" / "largest formula seen" style gauges).
+    pub fn merge(&mut self, other: &Snapshot) {
+        for (k, v) in &other.counters {
+            *self.counters.entry(k.clone()).or_insert(0) += v;
+        }
+        for (k, v) in &other.gauges {
+            let e = self.gauges.entry(k.clone()).or_insert(i64::MIN);
+            *e = (*e).max(*v);
+        }
+        for (k, v) in &other.histograms {
+            match self.histograms.get_mut(k) {
+                Some(h) => h.merge(v),
+                None => {
+                    self.histograms.insert(k.clone(), v.clone());
+                }
+            }
+        }
+    }
+
+    /// True if no instrument holds any data.
+    pub fn is_empty(&self) -> bool {
+        self.counters.values().all(|&v| v == 0)
+            && self.gauges.is_empty()
+            && self.histograms.values().all(|h| h.count == 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_edges() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(7), 3);
+        assert_eq!(bucket_index(8), 4);
+        // Every power of two starts a new bucket; its predecessor ends one.
+        for i in 1..64 {
+            let p = 1u64 << i;
+            assert_eq!(bucket_index(p), i + 1, "2^{i}");
+            assert_eq!(bucket_index(p - 1), i, "2^{i}-1");
+        }
+        assert_eq!(bucket_index(u64::MAX), 64);
+        assert_eq!(bucket_upper_bound(0), 0);
+        assert_eq!(bucket_upper_bound(1), 1);
+        assert_eq!(bucket_upper_bound(3), 7);
+        assert_eq!(bucket_upper_bound(64), u64::MAX);
+        // bucket_index and bucket_upper_bound agree: each upper bound is
+        // the largest value still mapping to its bucket.
+        for i in 0..BUCKETS - 1 {
+            let ub = bucket_upper_bound(i);
+            assert_eq!(bucket_index(ub), i);
+            assert_eq!(bucket_index(ub + 1), i + 1);
+        }
+    }
+
+    #[test]
+    fn histogram_records_and_summarizes() {
+        let h = Histogram::default();
+        for v in [0, 1, 1, 3, 8, 1000] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 6);
+        assert_eq!(s.sum, 1013);
+        assert_eq!(s.min, 0);
+        assert_eq!(s.max, 1000);
+        assert_eq!(s.buckets[0], 1); // the zero
+        assert_eq!(s.buckets[1], 2); // the ones
+        assert_eq!(s.buckets[2], 1); // 3
+        assert_eq!(s.buckets[4], 1); // 8
+        assert_eq!(s.buckets[10], 1); // 1000 in [512, 1023]
+        assert!((s.mean() - 1013.0 / 6.0).abs() < 1e-9);
+        assert_eq!(s.quantile(0.0), 0);
+        assert!(s.quantile(0.5) <= 3);
+        assert_eq!(s.quantile(1.0), 1000); // capped at observed max
+    }
+
+    #[test]
+    fn empty_histogram_is_benign() {
+        let s = Histogram::default().snapshot();
+        assert_eq!((s.count, s.min, s.max), (0, 0, 0));
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.quantile(0.5), 0);
+    }
+
+    #[test]
+    fn registry_interns_instruments() {
+        let r = Registry::new();
+        r.counter("a").add(2);
+        r.counter("a").inc();
+        r.gauge("g").set(7);
+        r.gauge("g").set_max(3); // lower: no effect
+        r.histogram("h").record(5);
+        let s = r.snapshot();
+        assert_eq!(s.counters["a"], 3);
+        assert_eq!(s.gauges["g"], 7);
+        assert_eq!(s.histograms["h"].count, 1);
+        r.reset();
+        assert!(r.snapshot().is_empty());
+    }
+
+    #[test]
+    fn snapshot_merge_adds_counters_and_histograms() {
+        let a = Registry::new();
+        a.counter("n").add(1);
+        a.histogram("h").record(10);
+        a.gauge("depth").set(4);
+        let b = Registry::new();
+        b.counter("n").add(2);
+        b.counter("only_b").add(5);
+        b.histogram("h").record(20);
+        b.gauge("depth").set(9);
+
+        let mut m = a.snapshot();
+        m.merge(&b.snapshot());
+        assert_eq!(m.counters["n"], 3);
+        assert_eq!(m.counters["only_b"], 5);
+        assert_eq!(m.gauges["depth"], 9);
+        let h = &m.histograms["h"];
+        assert_eq!((h.count, h.sum, h.min, h.max), (2, 30, 10, 20));
+    }
+
+    #[test]
+    fn merge_with_empty_histogram_keeps_bounds() {
+        let a = Registry::new();
+        a.histogram("h").record(42);
+        let b = Registry::new();
+        b.histogram("h"); // exists but never recorded
+        let mut m = a.snapshot();
+        m.merge(&b.snapshot());
+        assert_eq!((m.histograms["h"].min, m.histograms["h"].max), (42, 42));
+        let mut m2 = b.snapshot();
+        m2.merge(&a.snapshot());
+        assert_eq!((m2.histograms["h"].min, m2.histograms["h"].max), (42, 42));
+    }
+
+    #[test]
+    fn concurrent_updates_are_not_lost() {
+        let r = std::sync::Arc::new(Registry::new());
+        let threads: Vec<_> = (0..4)
+            .map(|_| {
+                let r = std::sync::Arc::clone(&r);
+                std::thread::spawn(move || {
+                    let c = r.counter("c");
+                    let h = r.histogram("h");
+                    for i in 0..1000 {
+                        c.inc();
+                        h.record(i);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        let s = r.snapshot();
+        assert_eq!(s.counters["c"], 4000);
+        assert_eq!(s.histograms["h"].count, 4000);
+    }
+}

@@ -1,0 +1,159 @@
+//! Event sinks: where emitted [`Event`]s go.
+//!
+//! A [`Sink`] receives every event emitted through [`crate::emit`]. The
+//! crate ships two: [`JsonlSink`], which streams events as JSON lines to
+//! any writer (the `--trace FILE.jsonl` backend), and [`MemorySink`],
+//! which buffers them for tests and in-process consumers.
+
+use crate::event::Event;
+use std::io::Write;
+use std::sync::{Arc, Mutex};
+
+/// A consumer of trace events. Implementations must tolerate concurrent
+/// calls (`Send + Sync`).
+pub trait Sink: Send + Sync {
+    /// Receives one event.
+    fn emit(&self, event: &Event);
+
+    /// Flushes any buffered output; called at end of run.
+    fn flush(&self) {}
+}
+
+/// Streams each event as one JSON line to an arbitrary writer.
+pub struct JsonlSink<W: Write + Send> {
+    writer: Mutex<W>,
+}
+
+impl<W: Write + Send> JsonlSink<W> {
+    /// Wraps a writer. Hand it a `BufWriter` for file targets.
+    pub fn new(writer: W) -> Self {
+        JsonlSink {
+            writer: Mutex::new(writer),
+        }
+    }
+}
+
+impl JsonlSink<std::io::BufWriter<std::fs::File>> {
+    /// Creates (truncating) `path` and streams events to it.
+    pub fn create(path: &std::path::Path) -> std::io::Result<Self> {
+        Ok(JsonlSink::new(std::io::BufWriter::new(
+            std::fs::File::create(path)?,
+        )))
+    }
+}
+
+impl<W: Write + Send> Sink for JsonlSink<W> {
+    fn emit(&self, event: &Event) {
+        let mut w = self.writer.lock().expect("trace writer poisoned");
+        // A failed trace write must not abort the analysis it observes.
+        let _ = writeln!(w, "{}", event.to_json());
+    }
+
+    fn flush(&self) {
+        let _ = self.writer.lock().expect("trace writer poisoned").flush();
+    }
+}
+
+/// Buffers events in memory; `take()` drains them.
+#[derive(Default)]
+pub struct MemorySink {
+    events: Mutex<Vec<Event>>,
+}
+
+impl MemorySink {
+    /// An empty sink.
+    pub fn new() -> Self {
+        MemorySink::default()
+    }
+
+    /// Removes and returns everything received so far.
+    pub fn take(&self) -> Vec<Event> {
+        std::mem::take(&mut self.events.lock().expect("memory sink poisoned"))
+    }
+
+    /// Number of buffered events.
+    pub fn len(&self) -> usize {
+        self.events.lock().expect("memory sink poisoned").len()
+    }
+
+    /// True if nothing has been received (or everything was taken).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl Sink for MemorySink {
+    fn emit(&self, event: &Event) {
+        self.events
+            .lock()
+            .expect("memory sink poisoned")
+            .push(event.clone());
+    }
+}
+
+/// Fans one event stream out to several sinks (e.g. a trace file and a
+/// live progress printer at the same time).
+pub struct TeeSink {
+    sinks: Vec<Arc<dyn Sink>>,
+}
+
+impl TeeSink {
+    /// A sink forwarding to every sink in `sinks`.
+    pub fn new(sinks: Vec<Arc<dyn Sink>>) -> Self {
+        TeeSink { sinks }
+    }
+}
+
+impl Sink for TeeSink {
+    fn emit(&self, event: &Event) {
+        for s in &self.sinks {
+            s.emit(event);
+        }
+    }
+
+    fn flush(&self) {
+        for s in &self.sinks {
+            s.flush();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jsonl_sink_writes_parseable_lines() {
+        let sink = JsonlSink::new(Vec::new());
+        sink.emit(&Event::new("a").field("n", 1u64));
+        sink.emit(&Event::new("b").field("s", "x"));
+        sink.flush();
+        let buf = sink.writer.into_inner().unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let lines: Vec<_> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(Event::parse_json(lines[0]).unwrap().kind, "a");
+        assert_eq!(Event::parse_json(lines[1]).unwrap().kind, "b");
+    }
+
+    #[test]
+    fn memory_sink_buffers_and_drains() {
+        let sink = MemorySink::new();
+        assert!(sink.is_empty());
+        sink.emit(&Event::new("x"));
+        assert_eq!(sink.len(), 1);
+        let taken = sink.take();
+        assert_eq!(taken[0].kind, "x");
+        assert!(sink.is_empty());
+    }
+
+    #[test]
+    fn tee_fans_out() {
+        let a = Arc::new(MemorySink::new());
+        let b = Arc::new(MemorySink::new());
+        let tee = TeeSink::new(vec![a.clone(), b.clone()]);
+        tee.emit(&Event::new("x"));
+        assert_eq!(a.len(), 1);
+        assert_eq!(b.len(), 1);
+    }
+}

@@ -1,0 +1,103 @@
+//! Human-readable end-of-run rendering of a metrics [`Snapshot`]
+//! (the `--metrics` summary table).
+
+use crate::metrics::Snapshot;
+
+/// Renders a snapshot as an aligned three-section table. Empty sections
+/// are omitted; an entirely empty snapshot renders a one-line notice.
+pub fn render(snapshot: &Snapshot) -> String {
+    let mut out = String::new();
+    if snapshot.is_empty() {
+        out.push_str("metrics: no instruments recorded anything\n");
+        return out;
+    }
+
+    let counters: Vec<_> = snapshot.counters.iter().filter(|(_, &v)| v > 0).collect();
+    if !counters.is_empty() {
+        let w = column_width(counters.iter().map(|(k, _)| k.as_str()));
+        out.push_str("counters\n");
+        for (name, value) in counters {
+            out.push_str(&format!("  {name:<w$}  {value:>12}\n"));
+        }
+    }
+
+    if !snapshot.gauges.is_empty() {
+        let w = column_width(snapshot.gauges.keys().map(String::as_str));
+        out.push_str("gauges\n");
+        for (name, value) in &snapshot.gauges {
+            out.push_str(&format!("  {name:<w$}  {value:>12}\n"));
+        }
+    }
+
+    let hists: Vec<_> = snapshot
+        .histograms
+        .iter()
+        .filter(|(_, h)| h.count > 0)
+        .collect();
+    if !hists.is_empty() {
+        let w = column_width(hists.iter().map(|(k, _)| k.as_str()));
+        out.push_str("histograms\n");
+        out.push_str(&format!(
+            "  {:<w$}  {:>10} {:>12} {:>12} {:>12} {:>12} {:>12}\n",
+            "name", "count", "mean", "min", "p50", "p99", "max"
+        ));
+        for (name, h) in hists {
+            out.push_str(&format!(
+                "  {name:<w$}  {:>10} {:>12.1} {:>12} {:>12} {:>12} {:>12}\n",
+                h.count,
+                h.mean(),
+                h.min,
+                h.quantile(0.50),
+                h.quantile(0.99),
+                h.max
+            ));
+        }
+    }
+    out
+}
+
+fn column_width<'a>(names: impl Iterator<Item = &'a str>) -> usize {
+    names.map(str::len).max().unwrap_or(0).max(4)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::Registry;
+
+    #[test]
+    fn renders_all_sections() {
+        let r = Registry::new();
+        r.counter("sat.solves").add(12);
+        r.gauge("bmc.max_frame").set(9);
+        for v in [10, 20, 400] {
+            r.histogram("sat.solve.time_us").record(v);
+        }
+        let table = render(&r.snapshot());
+        assert!(table.contains("counters"));
+        assert!(table.contains("sat.solves"));
+        assert!(table.contains("gauges"));
+        assert!(table.contains("bmc.max_frame"));
+        assert!(table.contains("histograms"));
+        assert!(table.contains("sat.solve.time_us"));
+        assert!(table.contains("p99"));
+    }
+
+    #[test]
+    fn zero_valued_instruments_are_hidden() {
+        let r = Registry::new();
+        r.counter("touched.but.zero");
+        r.histogram("empty.hist");
+        r.counter("real").inc();
+        let table = render(&r.snapshot());
+        assert!(!table.contains("touched.but.zero"));
+        assert!(!table.contains("empty.hist"));
+        assert!(table.contains("real"));
+    }
+
+    #[test]
+    fn empty_snapshot_has_notice() {
+        let table = render(&Registry::new().snapshot());
+        assert!(table.contains("no instruments"));
+    }
+}

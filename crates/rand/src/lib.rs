@@ -1,0 +1,385 @@
+//! A small, deterministic, dependency-free PRNG for the axmc workspace.
+//!
+//! The workspace must build and test **hermetically** (no registry
+//! access), so the external `rand` crate is replaced by this one. It
+//! exposes the minimal surface the workspace actually uses, with the same
+//! spelling as `rand` 0.8 so call sites read identically:
+//!
+//! * [`SeedableRng::seed_from_u64`] — deterministic construction;
+//! * [`Rng::gen`] — a uniform value of a primitive type;
+//! * [`Rng::gen_range`] — a uniform value in a (half-open or inclusive)
+//!   integer range, bias-free via rejection sampling;
+//! * [`Rng::gen_bool`] — a Bernoulli draw;
+//! * [`rngs::StdRng`] — the default generator (xoshiro256\*\*, seeded
+//!   through SplitMix64).
+//!
+//! xoshiro256\*\* is not cryptographically secure; it is a fast,
+//! well-distributed generator suitable for randomized testing and
+//! stochastic search, which is all the workspace needs.
+//!
+//! # Examples
+//!
+//! ```
+//! use axmc_rand::{Rng, SeedableRng};
+//!
+//! let mut rng = axmc_rand::rngs::StdRng::seed_from_u64(42);
+//! let die: u32 = rng.gen_range(1..=6);
+//! assert!((1..=6).contains(&die));
+//! let coin = rng.gen_bool(0.5);
+//! let word: u64 = rng.gen();
+//! let _ = (coin, word);
+//! ```
+
+use std::ops::{Range, RangeInclusive};
+
+/// Types constructible from a `u64` seed.
+pub trait SeedableRng: Sized {
+    /// Creates a generator whose stream is fully determined by `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// The raw entropy source: a stream of uniform `u64` words.
+pub trait RngCore {
+    /// The next 64 uniformly distributed bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// High-level sampling helpers over any [`RngCore`].
+pub trait Rng: RngCore {
+    /// A uniform value of a primitive type (`bool`, unsigned and signed
+    /// integers, `f64` in `[0, 1)`).
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample(self)
+    }
+
+    /// A uniform value in `range`, without modulo bias.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_single(self)
+    }
+
+    /// `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "probability {p} outside [0, 1]");
+        f64_unit(self.next_u64()) < p
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+/// Maps 64 random bits to a uniform `f64` in `[0, 1)` (53-bit mantissa).
+#[inline]
+fn f64_unit(bits: u64) -> f64 {
+    (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Uniform sampling of a full primitive domain; the bound of [`Rng::gen`].
+pub trait Standard: Sized {
+    /// Draws one uniform value from `rng`.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+macro_rules! impl_standard_uint {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            #[inline]
+            fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_standard_uint!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Standard for u128 {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128
+    }
+}
+
+impl Standard for i128 {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        u128::sample(rng) as i128
+    }
+}
+
+impl Standard for bool {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        f64_unit(rng.next_u64())
+    }
+}
+
+/// Ranges that can produce a uniform sample; the bound of
+/// [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draws one uniform value from the range.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// Uniform value in `[0, span)` by rejection sampling (no modulo bias).
+#[inline]
+fn uniform_below_u64<R: RngCore + ?Sized>(rng: &mut R, span: u64) -> u64 {
+    debug_assert!(span > 0);
+    if span.is_power_of_two() {
+        return rng.next_u64() & (span - 1);
+    }
+    // Largest multiple of `span` representable minus one: values above it
+    // would bias the low residues and are re-drawn.
+    let zone = u64::MAX - (u64::MAX % span + 1) % span;
+    loop {
+        let v = rng.next_u64();
+        if v <= zone {
+            return v % span;
+        }
+    }
+}
+
+#[inline]
+fn uniform_below_u128<R: RngCore + ?Sized>(rng: &mut R, span: u128) -> u128 {
+    debug_assert!(span > 0);
+    if span <= u64::MAX as u128 {
+        return uniform_below_u64(rng, span as u64) as u128;
+    }
+    if span.is_power_of_two() {
+        return u128::sample(rng) & (span - 1);
+    }
+    let zone = u128::MAX - (u128::MAX % span + 1) % span;
+    loop {
+        let v = u128::sample(rng);
+        if v <= zone {
+            return v % span;
+        }
+    }
+}
+
+macro_rules! impl_sample_range {
+    ($($t:ty => $wide:ty, $below:ident);* $(;)?) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            #[inline]
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "empty range {:?}", self);
+                let span = (self.end as $wide).wrapping_sub(self.start as $wide);
+                self.start.wrapping_add($below(rng, span) as $t)
+            }
+        }
+
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            #[inline]
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "empty range {start}..={end}");
+                // Full-domain inclusive ranges have no representable span.
+                if start == <$t>::MIN && end == <$t>::MAX {
+                    return <$t as Standard>::sample(rng);
+                }
+                let span = (end as $wide).wrapping_sub(start as $wide) + 1;
+                start.wrapping_add($below(rng, span) as $t)
+            }
+        }
+    )*};
+}
+
+impl_sample_range! {
+    u8 => u64, uniform_below_u64;
+    u16 => u64, uniform_below_u64;
+    u32 => u64, uniform_below_u64;
+    u64 => u64, uniform_below_u64;
+    usize => u64, uniform_below_u64;
+    i8 => u64, uniform_below_u64;
+    i16 => u64, uniform_below_u64;
+    i32 => u64, uniform_below_u64;
+    i64 => u64, uniform_below_u64;
+    isize => u64, uniform_below_u64;
+    u128 => u128, uniform_below_u128;
+    i128 => u128, uniform_below_u128;
+}
+
+/// SplitMix64: the seeding generator recommended for xoshiro state.
+///
+/// Also usable standalone when a tiny one-word-state stream is enough.
+#[derive(Clone, Debug)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates the generator from a raw state word.
+    pub const fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+}
+
+impl SeedableRng for SplitMix64 {
+    fn seed_from_u64(seed: u64) -> Self {
+        SplitMix64::new(seed)
+    }
+}
+
+impl RngCore for SplitMix64 {
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// xoshiro256\*\*: the workspace's default generator.
+///
+/// 256 bits of state, period 2^256 − 1, excellent equidistribution.
+#[derive(Clone, Debug)]
+pub struct Xoshiro256StarStar {
+    s: [u64; 4],
+}
+
+impl SeedableRng for Xoshiro256StarStar {
+    fn seed_from_u64(seed: u64) -> Self {
+        // Expand the seed through SplitMix64 so similar seeds yield
+        // unrelated states (the xoshiro authors' recommendation).
+        let mut sm = SplitMix64::new(seed);
+        let s = [sm.next_u64(), sm.next_u64(), sm.next_u64(), sm.next_u64()];
+        Xoshiro256StarStar { s }
+    }
+}
+
+impl RngCore for Xoshiro256StarStar {
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+}
+
+/// Named generators, mirroring `rand::rngs`.
+pub mod rngs {
+    /// The workspace default generator (xoshiro256\*\*).
+    pub type StdRng = super::Xoshiro256StarStar;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_reference_values() {
+        // Reference stream of SplitMix64 from seed 0 (Vigna's test vector).
+        let mut sm = SplitMix64::new(0);
+        assert_eq!(sm.next_u64(), 0xE220_A839_7B1D_CDAF);
+        assert_eq!(sm.next_u64(), 0x6E78_9E6A_A1B9_65F4);
+        assert_eq!(sm.next_u64(), 0x06C4_5D18_8009_454F);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = rngs::StdRng::seed_from_u64(7);
+        let mut b = rngs::StdRng::seed_from_u64(7);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = rngs::StdRng::seed_from_u64(8);
+        assert_ne!(
+            (0..8).map(|_| a.next_u64()).collect::<Vec<_>>(),
+            (0..8).map(|_| c.next_u64()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut rng = rngs::StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let v: u32 = rng.gen_range(0..3);
+            assert!(v < 3);
+            let w: usize = rng.gen_range(5..=9);
+            assert!((5..=9).contains(&w));
+            let x: i64 = rng.gen_range(-4i64..5);
+            assert!((-4..5).contains(&x));
+            let y: u128 = rng.gen_range(0u128..=u128::MAX);
+            let _ = y;
+        }
+    }
+
+    #[test]
+    fn gen_range_hits_every_value() {
+        let mut rng = rngs::StdRng::seed_from_u64(3);
+        let mut seen = [false; 7];
+        for _ in 0..1_000 {
+            seen[rng.gen_range(0usize..7)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "values missed: {seen:?}");
+    }
+
+    #[test]
+    fn single_value_inclusive_range() {
+        let mut rng = rngs::StdRng::seed_from_u64(5);
+        for _ in 0..32 {
+            assert_eq!(rng.gen_range(4u32..=4), 4);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        let mut rng = rngs::StdRng::seed_from_u64(0);
+        let _: u32 = rng.gen_range(3..3);
+    }
+
+    #[test]
+    fn gen_bool_extremes_and_balance() {
+        let mut rng = rngs::StdRng::seed_from_u64(11);
+        assert!(!(0..100).any(|_| rng.gen_bool(0.0)));
+        assert!((0..100).all(|_| rng.gen_bool(1.0)));
+        let heads = (0..10_000).filter(|_| rng.gen_bool(0.5)).count();
+        assert!((4_000..6_000).contains(&heads), "heads = {heads}");
+    }
+
+    #[test]
+    fn full_width_generation() {
+        let mut rng = rngs::StdRng::seed_from_u64(13);
+        let mut or_mask = 0u64;
+        let mut and_mask = u64::MAX;
+        for _ in 0..256 {
+            let v: u64 = rng.gen();
+            or_mask |= v;
+            and_mask &= v;
+        }
+        assert_eq!(or_mask, u64::MAX, "some bit never set");
+        assert_eq!(and_mask, 0, "some bit always set");
+        let w: u128 = rng.gen();
+        let _ = w;
+    }
+}

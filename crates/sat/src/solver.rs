@@ -556,9 +556,11 @@ impl Solver {
         refs.sort_by(|&a, &b| {
             let ca = &self.clauses[a as usize];
             let cb = &self.clauses[b as usize];
-            cb.lbd
-                .cmp(&ca.lbd)
-                .then(ca.activity.partial_cmp(&cb.activity).unwrap_or(std::cmp::Ordering::Equal))
+            cb.lbd.cmp(&ca.lbd).then(
+                ca.activity
+                    .partial_cmp(&cb.activity)
+                    .unwrap_or(std::cmp::Ordering::Equal),
+            )
         });
         let target = refs.len() / 2;
         let mut removed = 0;
@@ -588,8 +590,7 @@ impl Solver {
             return false;
         }
         let first = c.lits[0];
-        self.value_lit(first) == LBool::True
-            && self.reason[first.var().index() as usize] == cref
+        self.value_lit(first) == LBool::True && self.reason[first.var().index() as usize] == cref
     }
 
     fn decay_activities(&mut self) {
@@ -606,7 +607,59 @@ impl Solver {
     ///
     /// [`SolveResult::Unsat`] means unsatisfiable *under the assumptions*;
     /// the solver remains usable afterwards (assumptions are not clauses).
+    ///
+    /// When [`axmc_obs::enabled`] observability is on, each call records
+    /// its wall-clock time and per-query conflict/decision/propagation
+    /// deltas into the global metrics registry and emits one
+    /// `sat.solve` trace event.
     pub fn solve_with_assumptions(&mut self, assumptions: &[Lit]) -> SolveResult {
+        if !axmc_obs::enabled() {
+            return self.run_search(assumptions);
+        }
+        let before = self.stats;
+        let timer = axmc_obs::span("sat.solve.time_us");
+        let result = self.run_search(assumptions);
+        let time_us = timer.finish();
+        let conflicts = self.stats.conflicts - before.conflicts;
+        let decisions = self.stats.decisions - before.decisions;
+        let propagations = self.stats.propagations - before.propagations;
+        let restarts = self.stats.restarts - before.restarts;
+        axmc_obs::counter("sat.solves").inc();
+        axmc_obs::counter(match result {
+            SolveResult::Sat => "sat.result.sat",
+            SolveResult::Unsat => "sat.result.unsat",
+            SolveResult::Unknown => "sat.result.unknown",
+        })
+        .inc();
+        axmc_obs::counter("sat.restarts").add(restarts);
+        axmc_obs::histogram("sat.solve.conflicts").record(conflicts);
+        axmc_obs::histogram("sat.solve.decisions").record(decisions);
+        axmc_obs::histogram("sat.solve.propagations").record(propagations);
+        if axmc_obs::tracing_active() {
+            axmc_obs::emit(
+                axmc_obs::Event::new("sat.solve")
+                    .field(
+                        "result",
+                        match result {
+                            SolveResult::Sat => "sat",
+                            SolveResult::Unsat => "unsat",
+                            SolveResult::Unknown => "unknown",
+                        },
+                    )
+                    .field("time_us", time_us)
+                    .field("conflicts", conflicts)
+                    .field("decisions", decisions)
+                    .field("propagations", propagations)
+                    .field("vars", self.num_vars() as u64)
+                    .field("clauses", self.num_clauses() as u64)
+                    .field("assumptions", assumptions.len()),
+            );
+        }
+        result
+    }
+
+    /// The CDCL search loop behind [`Solver::solve_with_assumptions`].
+    fn run_search(&mut self, assumptions: &[Lit]) -> SolveResult {
         self.stats.solves += 1;
         if !self.ok {
             return SolveResult::Unsat;
@@ -715,8 +768,7 @@ impl Solver {
 
     /// Returns the model value of a literal (see [`Solver::model_value`]).
     pub fn model_lit(&self, lit: Lit) -> Option<bool> {
-        self.model_value(lit.var())
-            .map(|b| b ^ lit.is_negative())
+        self.model_value(lit.var()).map(|b| b ^ lit.is_negative())
     }
 }
 
@@ -846,10 +898,7 @@ mod tests {
         );
         // Without the assumptions the formula is still satisfiable.
         assert_eq!(s.solve(), SolveResult::Sat);
-        assert_eq!(
-            s.solve_with_assumptions(&[lit(&v, -1)]),
-            SolveResult::Sat
-        );
+        assert_eq!(s.solve_with_assumptions(&[lit(&v, -1)]), SolveResult::Sat);
         assert_eq!(s.model_value(v[1]), Some(true));
     }
 

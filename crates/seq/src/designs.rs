@@ -75,8 +75,8 @@ pub fn accumulator(adder: &Netlist, width: usize) -> Aig {
     let mut comp_inputs = state.clone();
     comp_inputs.extend_from_slice(input.bits());
     let sums = instantiate(&mut aig, adder, &comp_inputs);
-    for k in 0..width {
-        aig.set_latch_next(first + k, sums[k]);
+    for (k, &s) in sums.iter().enumerate().take(width) {
+        aig.set_latch_next(first + k, s);
     }
     for &s in &state {
         aig.add_output(s);
@@ -106,10 +106,10 @@ pub fn wide_accumulator(adder: &Netlist, input_width: usize, acc_width: usize) -
     let state: Vec<Lit> = (0..acc_width).map(|_| aig.add_latch(false)).collect();
     let mut comp_inputs = state.clone();
     comp_inputs.extend_from_slice(input.bits());
-    comp_inputs.extend(std::iter::repeat(Lit::FALSE).take(acc_width - input_width));
+    comp_inputs.extend(std::iter::repeat_n(Lit::FALSE, acc_width - input_width));
     let sums = instantiate(&mut aig, adder, &comp_inputs);
-    for k in 0..acc_width {
-        aig.set_latch_next(first + k, sums[k]);
+    for (k, &s) in sums.iter().enumerate().take(acc_width) {
+        aig.set_latch_next(first + k, s);
     }
     for &s in &state {
         aig.add_output(s);
@@ -141,12 +141,7 @@ pub fn mac(multiplier: &Netlist, adder: &Netlist, width: usize) -> Aig {
 ///
 /// Panics if the component interfaces do not match, or
 /// `acc_width < 2 * width`.
-pub fn mac_wide(
-    multiplier: &Netlist,
-    adder: &Netlist,
-    width: usize,
-    acc_width: usize,
-) -> Aig {
+pub fn mac_wide(multiplier: &Netlist, adder: &Netlist, width: usize, acc_width: usize) -> Aig {
     assert!(acc_width >= 2 * width, "need headroom");
     mac_impl(multiplier, adder, width, acc_width)
 }
@@ -170,10 +165,10 @@ fn mac_impl(multiplier: &Netlist, adder: &Netlist, width: usize, acc_width: usiz
 
     let mut add_inputs: Vec<Lit> = acc.clone();
     add_inputs.extend_from_slice(&product[..2 * width]);
-    add_inputs.extend(std::iter::repeat(Lit::FALSE).take(acc_width - 2 * width));
+    add_inputs.extend(std::iter::repeat_n(Lit::FALSE, acc_width - 2 * width));
     let sums = instantiate(&mut aig, adder, &add_inputs);
-    for k in 0..acc_width {
-        aig.set_latch_next(first + k, sums[k]);
+    for (k, &s) in sums.iter().enumerate().take(acc_width) {
+        aig.set_latch_next(first + k, s);
     }
     for &s in &acc {
         aig.add_output(s);
@@ -294,8 +289,8 @@ pub fn leaky_integrator(adder: &Netlist, width: usize) -> Aig {
     let mut comp_inputs = shifted;
     comp_inputs.extend_from_slice(input.bits());
     let sums = instantiate(&mut aig, adder, &comp_inputs);
-    for k in 0..width {
-        aig.set_latch_next(first + k, sums[k]);
+    for (k, &s) in sums.iter().enumerate().take(width) {
+        aig.set_latch_next(first + k, s);
     }
     for &s in &state {
         aig.add_output(s);
@@ -324,10 +319,10 @@ pub fn wide_leaky_integrator(adder: &Netlist, input_width: usize, state_width: u
     shifted.push(Lit::FALSE);
     let mut comp_inputs = shifted;
     comp_inputs.extend_from_slice(input.bits());
-    comp_inputs.extend(std::iter::repeat(Lit::FALSE).take(state_width - input_width));
+    comp_inputs.extend(std::iter::repeat_n(Lit::FALSE, state_width - input_width));
     let sums = instantiate(&mut aig, adder, &comp_inputs);
-    for k in 0..state_width {
-        aig.set_latch_next(first + k, sums[k]);
+    for (k, &s) in sums.iter().enumerate().take(state_width) {
+        aig.set_latch_next(first + k, s);
     }
     for &s in &state {
         aig.add_output(s);
@@ -377,7 +372,10 @@ pub fn counter(incrementer: &Netlist, width: usize) -> Aig {
 /// Panics if the comparator's interface does not match `width`.
 pub fn max_tracker(comparator: &Netlist, width: usize) -> Aig {
     assert_eq!(comparator.num_inputs(), 2 * width, "comparator input width");
-    assert!(comparator.num_outputs() >= 1, "comparator needs a gt output");
+    assert!(
+        comparator.num_outputs() >= 1,
+        "comparator needs a gt output"
+    );
     let mut aig = Aig::new();
     let input = Word::new_inputs(&mut aig, width);
     let first = aig.num_latches();
@@ -385,8 +383,8 @@ pub fn max_tracker(comparator: &Netlist, width: usize) -> Aig {
     let mut cmp_inputs: Vec<Lit> = input.bits().to_vec();
     cmp_inputs.extend_from_slice(&state);
     let gt = instantiate(&mut aig, comparator, &cmp_inputs)[0];
-    for k in 0..width {
-        let next = aig.mux(gt, input.bit(k), state[k]);
+    for (k, &s) in state.iter().enumerate() {
+        let next = aig.mux(gt, input.bit(k), s);
         aig.set_latch_next(first + k, next);
     }
     for &s in &state {
@@ -408,14 +406,12 @@ pub fn max_tracker(comparator: &Netlist, width: usize) -> Aig {
 ///
 /// Panics if the comparator's interface does not match `width`, or
 /// `count_width` is 0.
-pub fn pulse_counter(
-    comparator: &Netlist,
-    width: usize,
-    level: u128,
-    count_width: usize,
-) -> Aig {
+pub fn pulse_counter(comparator: &Netlist, width: usize, level: u128, count_width: usize) -> Aig {
     assert_eq!(comparator.num_inputs(), 2 * width, "comparator input width");
-    assert!(comparator.num_outputs() >= 1, "comparator needs a gt output");
+    assert!(
+        comparator.num_outputs() >= 1,
+        "comparator needs a gt output"
+    );
     assert!(count_width > 0, "count_width must be positive");
     let mut aig = Aig::new();
     let input = Word::new_inputs(&mut aig, width);
@@ -470,8 +466,8 @@ pub fn registered_alu(component: &Netlist, width: usize) -> Aig {
     // Stage 2: output register.
     let first_out = aig.num_latches();
     let ro: Vec<Lit> = (0..out_width).map(|_| aig.add_latch(false)).collect();
-    for k in 0..out_width {
-        aig.set_latch_next(first_out + k, result[k]);
+    for (k, &r) in result.iter().enumerate().take(out_width) {
+        aig.set_latch_next(first_out + k, r);
     }
     for &s in &ro {
         aig.add_output(s);
@@ -536,8 +532,8 @@ mod tests {
             window.rotate_right(1);
             window[0] = x;
             let got = step_value(&mut sim, &bits(x, 4));
-            let want: u128 = window.iter().take(n + 1).sum::<u128>()
-                + window.iter().skip(n + 1).sum::<u128>();
+            let want: u128 =
+                window.iter().take(n + 1).sum::<u128>() + window.iter().skip(n + 1).sum::<u128>();
             assert_eq!(got, want, "cycle {n}");
         }
     }

@@ -30,13 +30,7 @@ pub struct BenchmarkPair {
 }
 
 impl BenchmarkPair {
-    fn new(
-        design: &str,
-        component: &str,
-        feedback: bool,
-        golden: Aig,
-        approx: Aig,
-    ) -> Self {
+    fn new(design: &str, component: &str, feedback: bool, golden: Aig, approx: Aig) -> Self {
         BenchmarkPair {
             name: format!("{design}/{component}"),
             design: design.to_string(),
@@ -62,7 +56,8 @@ pub fn adder_benchmarks(width: usize) -> Vec<BenchmarkPair> {
     // accumulator width so its error growth is visible instead of being
     // swallowed by modular wrap-around.
     let acc_width = width + 4;
-    let variants: [(&str, fn(usize, usize) -> axmc_circuit::Netlist, usize); 3] = [
+    type AdderBuilder = fn(usize, usize) -> axmc_circuit::Netlist;
+    let variants: [(&str, AdderBuilder, usize); 3] = [
         ("trunc", approx::truncated_adder, width / 2),
         ("loa", approx::lower_or_adder, width / 2),
         ("spec", approx::speculative_adder, width / 4),
@@ -118,7 +113,10 @@ pub fn adder_benchmarks(width: usize) -> Vec<BenchmarkPair> {
 /// Panics if `width < 2` or `width` is not a power of two (the Kulkarni
 /// variant requires it).
 pub fn multiplier_benchmarks(width: usize) -> Vec<BenchmarkPair> {
-    assert!(width >= 2 && width.is_power_of_two(), "width must be a power of two >= 2");
+    assert!(
+        width >= 2 && width.is_power_of_two(),
+        "width must be a power of two >= 2"
+    );
     let acc_width = 2 * width + 3;
     let exact_mul = generators::array_multiplier(width);
     let exact_add = generators::ripple_carry_adder(acc_width);
@@ -238,7 +236,10 @@ pub fn pulse_counter_benchmarks(width: usize) -> Vec<BenchmarkPair> {
 ///
 /// Panics if `width` is not a power of two `>= 8`.
 pub fn standard_suite(width: usize) -> Vec<BenchmarkPair> {
-    assert!(width >= 8 && width.is_power_of_two(), "width must be a power of two >= 8");
+    assert!(
+        width >= 8 && width.is_power_of_two(),
+        "width must be a power of two >= 8"
+    );
     let mut suite = adder_benchmarks(width);
     suite.extend(multiplier_benchmarks(width / 2));
     suite.extend(counter_benchmarks(width));
@@ -299,9 +300,17 @@ mod tests {
             let mut seed = 0x9E37_79B9u64;
             let mut differed = false;
             for _ in 0..200 {
-                seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                seed = seed
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 let inputs: Vec<u64> = (0..pair.golden.num_inputs())
-                    .map(|i| if (seed >> (i % 64)) & 1 == 1 { u64::MAX } else { 0 })
+                    .map(|i| {
+                        if (seed >> (i % 64)) & 1 == 1 {
+                            u64::MAX
+                        } else {
+                            0
+                        }
+                    })
                     .collect();
                 if sg.step(&inputs) != sa.step(&inputs) {
                     differed = true;

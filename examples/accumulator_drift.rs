@@ -48,7 +48,10 @@ fn main() -> Result<(), axmc::AnalysisError> {
     let fir = SeqAnalyzer::new(&fir_g, &fir_c);
     let fir_profile = fir.error_profile(horizon)?;
     println!("  fir(4 taps): WCE@k profile   = {:?}", fir_profile.profile);
-    println!("  fir(4 taps): growth          = {:?}", fir_profile.growth());
+    println!(
+        "  fir(4 taps): growth          = {:?}",
+        fir_profile.growth()
+    );
 
     // Registered ALU: prove an unbounded bound by k-induction.
     let alu_g = registered_alu(&exact, width);

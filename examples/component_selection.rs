@@ -38,10 +38,7 @@ fn main() -> Result<(), axmc::AnalysisError> {
     for component in approx::multiplier_library(width) {
         let area = component.netlist.area(&model);
         // Component-level error (exhaustive; 8 inputs).
-        let comb = axmc::core::exhaustive_stats(
-            &exact_mul.to_aig(),
-            &component.netlist.to_aig(),
-        );
+        let comb = axmc::core::exhaustive_stats(&exact_mul.to_aig(), &component.netlist.to_aig());
         // System-level error within the burst, determined precisely.
         let system = mac_wide(&component.netlist, &exact_add, width, acc_width);
         let analyzer = SeqAnalyzer::new(&golden, &system);

@@ -16,7 +16,10 @@ fn main() -> Result<(), axmc::AnalysisError> {
     let golden_nl = generators::ripple_carry_adder(width);
     let golden = golden_nl.to_aig();
 
-    println!("golden: {width}-bit ripple-carry adder, area {:.1} um2", golden_nl.area(&model));
+    println!(
+        "golden: {width}-bit ripple-carry adder, area {:.1} um2",
+        golden_nl.area(&model)
+    );
     println!();
     println!(
         "{:<12} {:>9} {:>8} {:>8} {:>10} {:>10} {:>9}",

@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# The full local CI gate: formatting, lints, build, tests.
+#
+# Runs fully offline (--offline everywhere; the workspace has no external
+# dependencies, so no registry access is ever needed). Every step must
+# pass; the script stops at the first failure.
+#
+# Usage: scripts/ci.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+run() {
+    echo "== $* =="
+    "$@"
+}
+
+run cargo fmt --all -- --check
+run cargo clippy --workspace --all-targets --offline -- -D warnings
+run cargo clippy --workspace --all-targets --offline \
+    --features proptest-tests -- -D warnings
+run cargo clippy -p axmc-bench --all-targets --offline \
+    --features micro-benches -- -D warnings
+run cargo build --release --offline
+run cargo test --workspace -q --offline
+run cargo test --workspace -q --offline --features proptest-tests
+run cargo bench -p axmc-bench --features micro-benches --offline --no-run
+
+echo "== CI green =="

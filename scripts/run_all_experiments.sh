@@ -6,6 +6,8 @@ SCALE="${1:-quick}"
 OUT="${2:-bench_results}"
 mkdir -p "$OUT"
 export AXMC_SCALE="$SCALE"
+# Harnesses drop per-phase metrics JSON next to the text transcripts.
+export AXMC_METRICS_DIR="$OUT"
 HARNESSES=(
   table1_sequential_errors
   table2_mc_vs_simulation

@@ -16,22 +16,65 @@ use axmc::cgp::{threshold_to_wcre, wcre_to_threshold};
 use axmc::circuit::{approx, generators, AreaModel, Netlist};
 use axmc::core::{CombAnalyzer, SeqAnalyzer};
 use axmc::mc::{InductionOptions, ProofResult};
+use axmc::obs::sink::{JsonlSink, TeeSink};
+use axmc::obs::{Event, Sink, Value};
 use axmc::{evolve, SearchOptions};
 use std::collections::HashMap;
 use std::process::ExitCode;
+use std::sync::Arc;
 use std::time::Duration;
 
+/// Exits with the conventional SIGPIPE status (128 + 13) instead of a
+/// panic backtrace when stdout's reader goes away (`axmc ... | head`).
+/// Rust ignores SIGPIPE, so the closed pipe surfaces as a print panic.
+fn exit_quietly_on_broken_pipe() {
+    let default = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let broken = info
+            .payload()
+            .downcast_ref::<String>()
+            .is_some_and(|s| s.contains("Broken pipe"));
+        if broken {
+            std::process::exit(141);
+        }
+        default(info);
+    }));
+}
+
 fn main() -> ExitCode {
+    exit_quietly_on_broken_pipe();
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some((command, rest)) = args.split_first() else {
         eprintln!("{USAGE}");
         return ExitCode::FAILURE;
     };
-    let opts = match parse_flags(rest) {
+    let specs = match command.as_str() {
+        "analyze" => ANALYZE_FLAGS,
+        "evolve" => EVOLVE_FLAGS,
+        "gen" => GEN_FLAGS,
+        "stats" => STATS_FLAGS,
+        "--help" | "-h" | "help" => {
+            println!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        other => {
+            eprintln!("error: unknown command '{other}'");
+            eprintln!("{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let opts = match parse_flags(command, specs, rest) {
         Ok(o) => o,
         Err(e) => {
             eprintln!("error: {e}");
             eprintln!("{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let obs = match ObsSession::start(&opts, command == "evolve") {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}");
             return ExitCode::FAILURE;
         }
     };
@@ -40,12 +83,9 @@ fn main() -> ExitCode {
         "evolve" => cmd_evolve(&opts),
         "gen" => cmd_gen(&opts),
         "stats" => cmd_stats(&opts),
-        "--help" | "-h" | "help" => {
-            println!("{USAGE}");
-            Ok(())
-        }
-        other => Err(format!("unknown command '{other}'")),
+        _ => unreachable!("command validated above"),
     };
+    obs.finish();
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
@@ -59,13 +99,15 @@ const USAGE: &str = "\
 axmc — precise error determination of approximated components with model checking
 
 USAGE:
-  axmc analyze --golden G.aag --approx C.aag [--horizon K] [--prove] [--average] [--vcd F.vcd]
+  axmc analyze --golden G.aag --approx C.aag [--horizon K] [--prove] [--average]
+               [--vcd F.vcd] [--metrics] [--trace F.jsonl]
       Exact worst-case / bit-flip error of C against G. Sequential pairs
       are analyzed within K cycles (default 8); --prove additionally
       attempts an unbounded k-induction certificate at the measured WCE.
 
   axmc evolve --kind adder|multiplier --width N (--wcre P | --config F)
-              [--seconds S] [--seed X] [--out C.aag]
+              [--seconds S] [--seed X] [--out C.aag] [--progress]
+              [--metrics] [--trace F.jsonl]
       Verifiability-driven CGP synthesis of an approximate circuit whose
       worst-case relative error provably stays below P percent.
 
@@ -75,25 +117,190 @@ USAGE:
       optrunc-multiplier, kulkarni-multiplier, incrementer.
 
   axmc stats --circuit C.aag
-      Structural statistics of an AIGER circuit.";
+      Structural statistics of an AIGER circuit.
+
+OBSERVABILITY:
+  --metrics         print a summary table of solver/model-checker/search
+                    metrics (counters, gauges, log2 histograms) at exit
+  --trace F.jsonl   stream structured trace events (one JSON object per
+                    line) to F: SAT solves, BMC frames, induction rounds,
+                    error-search probes, CGP progress and improvements
+  --progress        (evolve) print a live one-line progress update at
+                    most four times a second";
 
 type Flags = HashMap<String, String>;
 
-fn parse_flags(args: &[String]) -> Result<Flags, String> {
+/// A flag a subcommand accepts: its name and whether it takes a value
+/// (`--name VALUE`) or is a plain switch (`--name`).
+struct FlagSpec {
+    name: &'static str,
+    takes_value: bool,
+}
+
+const fn val(name: &'static str) -> FlagSpec {
+    FlagSpec {
+        name,
+        takes_value: true,
+    }
+}
+
+const fn switch(name: &'static str) -> FlagSpec {
+    FlagSpec {
+        name,
+        takes_value: false,
+    }
+}
+
+const ANALYZE_FLAGS: &[FlagSpec] = &[
+    val("golden"),
+    val("approx"),
+    val("horizon"),
+    switch("prove"),
+    switch("average"),
+    val("vcd"),
+    switch("metrics"),
+    val("trace"),
+];
+
+const EVOLVE_FLAGS: &[FlagSpec] = &[
+    val("kind"),
+    val("width"),
+    val("wcre"),
+    val("config"),
+    val("seconds"),
+    val("seed"),
+    val("out"),
+    switch("progress"),
+    switch("metrics"),
+    val("trace"),
+];
+
+const GEN_FLAGS: &[FlagSpec] = &[
+    val("kind"),
+    val("width"),
+    val("param"),
+    val("out"),
+    val("verilog"),
+];
+
+const STATS_FLAGS: &[FlagSpec] = &[val("circuit")];
+
+/// Parses `args` against the subcommand's flag table. Unknown flags,
+/// repeated flags, and value flags without a value are all hard errors —
+/// a typo must never be silently ignored.
+fn parse_flags(command: &str, specs: &[FlagSpec], args: &[String]) -> Result<Flags, String> {
     let mut out = Flags::new();
-    let mut it = args.iter().peekable();
+    let mut it = args.iter();
     while let Some(arg) = it.next() {
         let Some(name) = arg.strip_prefix("--") else {
             return Err(format!("expected a --flag, found '{arg}'"));
         };
-        // Boolean flags have no value or are followed by another flag.
-        let value = match it.peek() {
-            Some(v) if !v.starts_with("--") => it.next().expect("peeked").clone(),
-            _ => "true".to_string(),
+        let Some(spec) = specs.iter().find(|s| s.name == name) else {
+            let known: Vec<String> = specs.iter().map(|s| format!("--{}", s.name)).collect();
+            return Err(format!(
+                "unknown flag --{name} for '{command}' (expected one of: {})",
+                known.join(", ")
+            ));
         };
-        out.insert(name.to_string(), value);
+        let value = if spec.takes_value {
+            match it.next() {
+                Some(v) if !v.starts_with("--") => v.clone(),
+                Some(v) => return Err(format!("flag --{name} expects a value, found '{v}'")),
+                None => return Err(format!("flag --{name} expects a value")),
+            }
+        } else {
+            "true".to_string()
+        };
+        if out.insert(name.to_string(), value).is_some() {
+            return Err(format!("duplicate flag --{name}"));
+        }
     }
     Ok(out)
+}
+
+/// The CLI's view of the observability stack: set up from `--metrics`,
+/// `--trace` and `--progress` before the command runs, torn down (sink
+/// flushed, summary table printed) after it returns.
+struct ObsSession {
+    metrics: bool,
+    sink_installed: bool,
+}
+
+impl ObsSession {
+    fn start(opts: &Flags, progress_allowed: bool) -> Result<ObsSession, String> {
+        let metrics = opts.contains_key("metrics");
+        let mut sinks: Vec<Arc<dyn Sink>> = Vec::new();
+        if let Some(path) = opts.get("trace") {
+            let sink = JsonlSink::create(std::path::Path::new(path))
+                .map_err(|e| format!("cannot create trace file '{path}': {e}"))?;
+            sinks.push(Arc::new(sink));
+        }
+        if progress_allowed && opts.contains_key("progress") {
+            sinks.push(Arc::new(ProgressPrinter));
+        }
+        let sink_installed = !sinks.is_empty();
+        match sinks.len() {
+            0 => {}
+            1 => axmc::obs::set_sink(sinks.pop().expect("one sink")),
+            _ => axmc::obs::set_sink(Arc::new(TeeSink::new(sinks))),
+        }
+        if metrics || sink_installed {
+            axmc::obs::set_enabled(true);
+        }
+        Ok(ObsSession {
+            metrics,
+            sink_installed,
+        })
+    }
+
+    fn finish(&self) {
+        if self.sink_installed {
+            axmc::obs::clear_sink(); // flushes
+        }
+        if self.metrics {
+            print!("{}", axmc::obs::summary::render(&axmc::obs::snapshot()));
+        }
+    }
+}
+
+/// Live progress lines for `evolve --progress`, fed by the search loop's
+/// throttled `cgp.progress` events (plus one line per improvement).
+struct ProgressPrinter;
+
+fn num(event: &Event, name: &str) -> f64 {
+    match event.get(name) {
+        Some(Value::U64(v)) => *v as f64,
+        Some(Value::I64(v)) => *v as f64,
+        Some(Value::F64(v)) => *v,
+        _ => 0.0,
+    }
+}
+
+impl Sink for ProgressPrinter {
+    fn emit(&self, event: &Event) {
+        use std::io::Write;
+        // Ignore write errors: a closed pipe (`axmc evolve ... | head`)
+        // must not abort the search.
+        let mut out = std::io::stdout();
+        let _ = match event.kind.as_str() {
+            "cgp.progress" => writeln!(
+                out,
+                "[gen {:>6}] best area {:.1} um2 | {:.0} evals/s | {} improvements",
+                num(event, "generation") as u64,
+                num(event, "best_area"),
+                num(event, "evals_per_sec"),
+                num(event, "improvements") as u64,
+            ),
+            "cgp.improvement" => writeln!(
+                out,
+                "[gen {:>6}] improved: area {:.1} um2 ({:.1} % of exact)",
+                num(event, "generation") as u64,
+                num(event, "area"),
+                num(event, "relative_area") * 100.0,
+            ),
+            _ => Ok(()),
+        };
+    }
 }
 
 fn required<'a>(opts: &'a Flags, name: &str) -> Result<&'a str, String> {
@@ -110,8 +317,7 @@ fn numeric<T: std::str::FromStr>(opts: &Flags, name: &str, default: T) -> Result
 }
 
 fn load_aig(path: &str) -> Result<Aig, String> {
-    let text =
-        std::fs::read_to_string(path).map_err(|e| format!("cannot read '{path}': {e}"))?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read '{path}': {e}"))?;
     aiger::from_ascii(&text).map_err(|e| format!("cannot parse '{path}': {e}"))
 }
 
@@ -122,9 +328,7 @@ fn save_aig(path: &str, aig: &Aig) -> Result<(), String> {
 fn cmd_analyze(opts: &Flags) -> Result<(), String> {
     let golden = load_aig(required(opts, "golden")?)?;
     let approx = load_aig(required(opts, "approx")?)?;
-    if golden.num_inputs() != approx.num_inputs()
-        || golden.num_outputs() != approx.num_outputs()
-    {
+    if golden.num_inputs() != approx.num_inputs() || golden.num_outputs() != approx.num_outputs() {
         return Err("golden and approx interfaces differ".into());
     }
     let horizon: usize = numeric(opts, "horizon", 8)?;
@@ -132,26 +336,29 @@ fn cmd_analyze(opts: &Flags) -> Result<(), String> {
     if sequential {
         println!("sequential analysis (horizon {horizon} cycles)");
         let analyzer = SeqAnalyzer::new(&golden, &approx);
-        let earliest = analyzer.earliest_error(horizon + 1).map_err(|e| e.to_string())?;
+        let earliest = analyzer
+            .earliest_error(horizon + 1)
+            .map_err(|e| e.to_string())?;
         match earliest.cycle {
             Some(c) => println!("earliest error cycle : {c}"),
             None => println!("earliest error cycle : none within horizon"),
         }
         if let (Some(path), Some(trace)) = (opts.get("vcd"), &earliest.trace) {
-            let dump = axmc::mc::vcd::trace_to_vcd(
-                &approx,
-                trace,
-                &axmc::mc::vcd::VcdNames::default(),
-            );
+            let dump =
+                axmc::mc::vcd::trace_to_vcd(&approx, trace, &axmc::mc::vcd::VcdNames::default());
             std::fs::write(path, dump).map_err(|e| format!("cannot write '{path}': {e}"))?;
             println!("counterexample trace : written to {path} (VCD)");
         }
-        let wce = analyzer.worst_case_error_at(horizon).map_err(|e| e.to_string())?;
+        let wce = analyzer
+            .worst_case_error_at(horizon)
+            .map_err(|e| e.to_string())?;
         println!(
             "worst-case error@k   : {} ({} probes, {} conflicts)",
             wce.value, wce.sat_calls, wce.conflicts
         );
-        let bf = analyzer.bit_flip_error_at(horizon).map_err(|e| e.to_string())?;
+        let bf = analyzer
+            .bit_flip_error_at(horizon)
+            .map_err(|e| e.to_string())?;
         println!("bit-flip error@k     : {}", bf.value);
         if opts.contains_key("prove") {
             let verdict = analyzer.prove_error_bound(
@@ -164,13 +371,18 @@ fn cmd_analyze(opts: &Flags) -> Result<(), String> {
             );
             match verdict {
                 ProofResult::Proved { k } => {
-                    println!("unbounded bound      : |error| <= {} proved (k = {k})", wce.value)
+                    println!(
+                        "unbounded bound      : |error| <= {} proved (k = {k})",
+                        wce.value
+                    )
                 }
                 ProofResult::Falsified(t) => println!(
                     "unbounded bound      : exceeded in a {}-cycle run (error accumulates)",
                     t.len()
                 ),
-                ProofResult::Unknown => println!("unbounded bound      : not k-inductive (unknown)"),
+                ProofResult::Unknown => {
+                    println!("unbounded bound      : not k-inductive (unknown)")
+                }
             }
         }
     } else {
@@ -187,7 +399,9 @@ fn cmd_analyze(opts: &Flags) -> Result<(), String> {
         );
         let bf = analyzer.bit_flip_error().map_err(|e| e.to_string())?;
         println!("bit-flip error       : {}", bf.value);
-        let msb = analyzer.most_significant_error_bit().map_err(|e| e.to_string())?;
+        let msb = analyzer
+            .most_significant_error_bit()
+            .map_err(|e| e.to_string())?;
         match msb {
             Some(bit) => println!("MSB error bit        : {bit}"),
             None => println!("MSB error bit        : none (equivalent)"),
@@ -230,8 +444,8 @@ fn cmd_evolve(opts: &Flags) -> Result<(), String> {
     };
     // Either a classic CGP configuration file or --wcre/--seconds flags.
     let (options, wcre) = if let Some(path) = opts.get("config") {
-        let text = std::fs::read_to_string(path)
-            .map_err(|e| format!("cannot read '{path}': {e}"))?;
+        let text =
+            std::fs::read_to_string(path).map_err(|e| format!("cannot read '{path}': {e}"))?;
         let cfg = axmc::cgp::parse_config(&text).map_err(|e| e.to_string())?;
         if !cfg.ignored_keys.is_empty() {
             eprintln!("note: ignored config keys: {}", cfg.ignored_keys.join(", "));

@@ -23,6 +23,7 @@
 //! | [`mc`] | `axmc-mc` | Bounded model checking, k-induction, explicit reachability |
 //! | [`core`] | `axmc-core` | The error-determination engines ([`CombAnalyzer`], [`SeqAnalyzer`]) |
 //! | [`cgp`] | `axmc-cgp` | Verifiability-driven CGP synthesis |
+//! | [`obs`] | `axmc-obs` | Metrics, spans and trace events behind the CLI's `--metrics`/`--trace` |
 //!
 //! The most common entry points are re-exported at the top level.
 //!
@@ -55,6 +56,7 @@ pub use axmc_cnf as cnf;
 pub use axmc_core as core;
 pub use axmc_mc as mc;
 pub use axmc_miter as miter;
+pub use axmc_obs as obs;
 pub use axmc_sat as sat;
 pub use axmc_seq as seq;
 

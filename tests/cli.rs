@@ -23,9 +23,22 @@ fn gen_analyze_round_trip() {
         .arg(&g)
         .output()
         .expect("spawn");
-    assert!(s1.status.success(), "{}", String::from_utf8_lossy(&s1.stderr));
+    assert!(
+        s1.status.success(),
+        "{}",
+        String::from_utf8_lossy(&s1.stderr)
+    );
     let s2 = axmc()
-        .args(["gen", "--kind", "trunc-adder", "--width", "5", "--param", "2", "--out"])
+        .args([
+            "gen",
+            "--kind",
+            "trunc-adder",
+            "--width",
+            "5",
+            "--param",
+            "2",
+            "--out",
+        ])
         .arg(&c)
         .output()
         .expect("spawn");
@@ -53,7 +66,11 @@ fn stats_reports_structure() {
         .arg(&g)
         .output()
         .expect("spawn");
-    let out = axmc().args(["stats", "--circuit"]).arg(&g).output().expect("spawn");
+    let out = axmc()
+        .args(["stats", "--circuit"])
+        .arg(&g)
+        .output()
+        .expect("spawn");
     assert!(out.status.success());
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("inputs  : 6"), "{text}");
@@ -66,13 +83,27 @@ fn evolve_produces_certified_circuit() {
     let out_path = tmp("e.aag");
     let out = axmc()
         .args([
-            "evolve", "--kind", "adder", "--width", "4", "--wcre", "10", "--seconds", "2",
-            "--seed", "3", "--out",
+            "evolve",
+            "--kind",
+            "adder",
+            "--width",
+            "4",
+            "--wcre",
+            "10",
+            "--seconds",
+            "2",
+            "--seed",
+            "3",
+            "--out",
         ])
         .arg(&out_path)
         .output()
         .expect("spawn");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     // Load the result and check the certificate independently.
     let text = std::fs::read_to_string(&out_path).expect("evolved file");
     let evolved = axmc::aig::aiger::from_ascii(&text).expect("valid aiger");
@@ -86,13 +117,160 @@ fn evolve_produces_certified_circuit() {
 
 #[test]
 fn errors_are_reported_cleanly() {
-    let out = axmc().args(["analyze", "--golden", "/nonexistent.aag"]).output().expect("spawn");
+    let out = axmc()
+        .args(["analyze", "--golden", "/nonexistent.aag"])
+        .output()
+        .expect("spawn");
     assert!(!out.status.success());
     let err = String::from_utf8_lossy(&out.stderr);
     assert!(err.contains("error:"), "{err}");
 
     let out = axmc().args(["frobnicate"]).output().expect("spawn");
     assert!(!out.status.success());
+}
+
+#[test]
+fn unknown_flags_are_rejected() {
+    let out = axmc()
+        .args(["analyze", "--golden", "g.aag", "--bogus"])
+        .output()
+        .expect("spawn");
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("unknown flag --bogus"), "{err}");
+    assert!(err.contains("'analyze'"), "{err}");
+
+    // A flag valid for one subcommand is still rejected for another.
+    let out = axmc()
+        .args(["stats", "--circuit", "c.aag", "--prove"])
+        .output()
+        .expect("spawn");
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("unknown flag --prove"), "{err}");
+}
+
+#[test]
+fn duplicate_flags_are_rejected() {
+    let out = axmc()
+        .args(["stats", "--circuit", "a.aag", "--circuit", "b.aag"])
+        .output()
+        .expect("spawn");
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("duplicate flag --circuit"), "{err}");
+}
+
+#[test]
+fn value_flags_require_values() {
+    let out = axmc()
+        .args(["analyze", "--golden"])
+        .output()
+        .expect("spawn");
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("--golden expects a value"), "{err}");
+
+    // A following flag is not a value.
+    let out = axmc()
+        .args(["analyze", "--golden", "--approx", "c.aag"])
+        .output()
+        .expect("spawn");
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("--golden expects a value"), "{err}");
+}
+
+#[test]
+fn metrics_and_trace_instrument_an_analysis() {
+    let g = tmp("mt-g.aag");
+    let c = tmp("mt-c.aag");
+    let trace = tmp("mt-t.jsonl");
+    for (kind, path, extra) in [
+        ("adder", &g, None),
+        ("trunc-adder", &c, Some(["--param", "2"])),
+    ] {
+        let mut cmd = axmc();
+        cmd.args(["gen", "--kind", kind, "--width", "5"]);
+        if let Some(extra) = extra {
+            cmd.args(extra);
+        }
+        let out = cmd.arg("--out").arg(path).output().expect("spawn");
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+    }
+
+    let out = axmc()
+        .args(["analyze", "--golden"])
+        .arg(&g)
+        .arg("--approx")
+        .arg(&c)
+        .args(["--metrics", "--trace"])
+        .arg(&trace)
+        .output()
+        .expect("spawn");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+
+    // The analysis result is still printed, followed by the summary table.
+    assert!(text.contains("worst-case error     : 6"), "{text}");
+    assert!(text.contains("counters"), "{text}");
+    assert!(text.contains("sat.solves"), "{text}");
+    assert!(text.contains("histograms"), "{text}");
+    assert!(text.contains("sat.solve.time_us"), "{text}");
+    assert!(text.contains("core.search.probes"), "{text}");
+
+    // Every trace line round-trips exactly through the event parser.
+    let dump = std::fs::read_to_string(&trace).expect("trace file");
+    let lines: Vec<&str> = dump.lines().collect();
+    assert!(!lines.is_empty(), "trace is empty");
+    let mut kinds = std::collections::BTreeSet::new();
+    for line in &lines {
+        let event = axmc::obs::Event::parse_json(line)
+            .unwrap_or_else(|e| panic!("bad trace line '{line}': {e}"));
+        assert_eq!(&event.to_json(), line, "round-trip changed the line");
+        kinds.insert(event.kind);
+    }
+    for expected in ["sat.solve", "core.search.probe", "core.search.done"] {
+        assert!(kinds.contains(expected), "no {expected} event in {kinds:?}");
+    }
+}
+
+#[test]
+fn evolve_progress_prints_live_lines() {
+    let out = axmc()
+        .args([
+            "evolve",
+            "--kind",
+            "adder",
+            "--width",
+            "3",
+            "--wcre",
+            "15",
+            "--seconds",
+            "1",
+            "--seed",
+            "7",
+            "--progress",
+        ])
+        .output()
+        .expect("spawn");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    // The first progress event is emitted unthrottled, so at least one
+    // line is guaranteed even on a fast machine.
+    assert!(text.contains("evals/s"), "{text}");
 }
 
 #[test]

@@ -1,3 +1,5 @@
+#![cfg(feature = "proptest-tests")]
+
 //! Cross-engine agreement tests: the three model-checking engines (BMC,
 //! k-induction, explicit reachability) must tell one consistent story on
 //! randomly generated sequential property circuits.
@@ -11,10 +13,10 @@ use proptest::prelude::*;
 /// predicate. Rich enough to exercise reachable/unreachable bad states.
 fn random_machine() -> impl Strategy<Value = Aig> {
     (
-        1usize..=3,                                  // inputs
-        2usize..=4,                                  // latches
+        1usize..=3, // inputs
+        2usize..=4, // latches
         proptest::collection::vec((any::<u32>(), any::<u32>(), any::<bool>(), 0u8..3), 4..20),
-        any::<u32>(),                                // output shape
+        any::<u32>(), // output shape
     )
         .prop_map(|(n_in, n_latch, gates, out_sel)| {
             let mut aig = Aig::new();

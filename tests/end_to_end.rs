@@ -16,7 +16,9 @@ fn comb_pipeline_adder() {
     let golden = generators::ripple_carry_adder(7).to_aig();
     let cand = approx::lower_or_adder(7, 3).to_aig();
     let exact = exhaustive_stats(&golden, &cand);
-    let report = CombAnalyzer::new(&golden, &cand).worst_case_error().unwrap();
+    let report = CombAnalyzer::new(&golden, &cand)
+        .worst_case_error()
+        .unwrap();
     assert_eq!(report.value, exact.wce);
 }
 
@@ -50,7 +52,10 @@ fn wce_witness_traces_replay_correctly() {
     let golden = wide_accumulator(&generators::ripple_carry_adder(width + 2), width, width + 2);
     let apx = wide_accumulator(&approx::lower_or_adder(width + 2, 2), width, width + 2);
     let analyzer = SeqAnalyzer::new(&golden, &apx);
-    let trace = analyzer.check_error_exceeds(0, 3).unwrap().expect("diverges");
+    let trace = analyzer
+        .check_error_exceeds(0, 3)
+        .unwrap()
+        .expect("diverges");
     assert!(analyzer.trace_error(&trace) > 0);
     // A manually-constructed all-zero trace shows no error.
     let silent = Trace {
@@ -100,7 +105,9 @@ fn evolved_circuit_certificate_survives_independent_check() {
     let evolved = result.netlist.to_aig();
     let exact = exhaustive_stats(&golden, &evolved);
     assert!(exact.wce <= 4, "certificate violated: wce {}", exact.wce);
-    let formal = CombAnalyzer::new(&golden, &evolved).worst_case_error().unwrap();
+    let formal = CombAnalyzer::new(&golden, &evolved)
+        .worst_case_error()
+        .unwrap();
     assert_eq!(formal.value, exact.wce);
 }
 

@@ -1,3 +1,5 @@
+#![cfg(feature = "proptest-tests")]
+
 //! Property-based tests of the AIG substrate: word-level arithmetic
 //! against native integers, structural invariants of compaction, AIGER
 //! round-trips, and simulator/evaluator agreement.
@@ -94,7 +96,19 @@ proptest! {
 /// A strategy producing a small random combinational AIG together with
 /// enough structure to compare behaviors.
 fn random_aig(max_inputs: usize, max_gates: usize) -> impl Strategy<Value = Aig> {
-    (1..=max_inputs, proptest::collection::vec((any::<u32>(), any::<u32>(), any::<bool>(), any::<bool>(), 0u8..3), 1..=max_gates))
+    (
+        1..=max_inputs,
+        proptest::collection::vec(
+            (
+                any::<u32>(),
+                any::<u32>(),
+                any::<bool>(),
+                any::<bool>(),
+                0u8..3,
+            ),
+            1..=max_gates,
+        ),
+    )
         .prop_map(|(n_in, gates)| {
             let mut aig = Aig::new();
             let inputs = aig.add_inputs(n_in);

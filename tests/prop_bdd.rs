@@ -1,3 +1,5 @@
+#![cfg(feature = "proptest-tests")]
+
 //! Property-based tests of the BDD substrate: canonical operations
 //! cross-checked against brute-force evaluation and model counting on
 //! random Boolean expressions and random circuits.
@@ -14,9 +16,8 @@ struct Expr {
 }
 
 fn expr(n_vars: usize) -> impl Strategy<Value = Expr> {
-    proptest::collection::vec((0u8..4, any::<u32>(), any::<u32>()), 1..20).prop_map(move |ops| {
-        Expr { n_vars, ops }
-    })
+    proptest::collection::vec((0u8..4, any::<u32>(), any::<u32>()), 1..20)
+        .prop_map(move |ops| Expr { n_vars, ops })
 }
 
 /// Builds the expression in a manager, returning the final node.

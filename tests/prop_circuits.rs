@@ -1,12 +1,14 @@
+#![cfg(feature = "proptest-tests")]
+
 //! Property-based tests of the circuit layer: netlist/AIG agreement,
 //! compaction, generator correctness at random widths, approximate
 //! component error bounds, and CGP chromosome invariants.
 
 use axmc::cgp::Chromosome;
 use axmc::circuit::{approx, generators, AreaModel, GateOp, Netlist, Signal};
+use axmc_rand::rngs::StdRng;
+use axmc_rand::SeedableRng;
 use proptest::prelude::*;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 /// A random topologically valid netlist.
 fn random_netlist() -> impl Strategy<Value = Netlist> {

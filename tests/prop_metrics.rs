@@ -1,3 +1,5 @@
+#![cfg(feature = "proptest-tests")]
+
 //! Property-based tests of the error-determination engines: the SAT/BMC
 //! answers must match exhaustive ground truth on randomly *mutated*
 //! circuits — a much broader space than the hand-written component
@@ -8,9 +10,9 @@ use axmc::circuit::{generators, Netlist};
 use axmc::core::{exhaustive_stats, CombAnalyzer, SeqAnalyzer};
 use axmc::mc::Trace;
 use axmc::seq::accumulator;
+use axmc_rand::rngs::StdRng;
+use axmc_rand::SeedableRng;
 use proptest::prelude::*;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 /// A random approximate mutant of an exact circuit, produced by CGP
 /// mutations on the seeded chromosome (always interface-compatible).

@@ -1,3 +1,5 @@
+#![cfg(feature = "proptest-tests")]
+
 //! Property-based tests of the SAT solver: answers cross-checked against
 //! brute-force enumeration on random formulas, model validity, assumption
 //! semantics and budget behavior.
@@ -16,7 +18,11 @@ fn formula(n: i64, max_clauses: usize) -> impl Strategy<Value = Formula> {
     .prop_map(|clauses| {
         clauses
             .into_iter()
-            .map(|c| c.into_iter().map(|(v, neg)| if neg { -v } else { v }).collect())
+            .map(|c| {
+                c.into_iter()
+                    .map(|(v, neg)| if neg { -v } else { v })
+                    .collect()
+            })
             .collect()
     })
 }
