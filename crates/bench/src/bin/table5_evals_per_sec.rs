@@ -7,14 +7,18 @@
 //! 16x for every two added operand bits (the 2^(2w) sweep dominates);
 //! the SAT path degrades far more gently, so the curves cross around
 //! 10–12 bits and only the SAT path remains usable beyond.
+//!
+//! With `AXMC_JOBS=N` (N > 1) the SAT column is additionally measured
+//! with an N-worker verifier fleet and a speedup column is printed; the
+//! trajectory is identical by construction, only wall-clock changes.
 
-use axmc_bench::{banner, ratio, PhaseLog, Scale};
+use axmc_bench::{banner, jobs_from_env, ratio, PhaseLog, Scale};
 use axmc_cgp::{evolve, wcre_to_threshold, SearchOptions, Verifier};
 use axmc_circuit::generators;
 use axmc_sat::Budget;
 use std::time::Duration;
 
-fn throughput(width: usize, verifier: Verifier, evaluations: u64, seed: u64) -> f64 {
+fn throughput(width: usize, verifier: Verifier, evaluations: u64, seed: u64, jobs: usize) -> f64 {
     let golden = generators::array_multiplier(width);
     let threshold = wcre_to_threshold(10.0, 2 * width); // WCRE 10 %
     let options = SearchOptions {
@@ -26,6 +30,7 @@ fn throughput(width: usize, verifier: Verifier, evaluations: u64, seed: u64) -> 
         verifier,
         seed,
         extra_cols: 0,
+        jobs,
         ..SearchOptions::default()
     };
     let result = evolve(&golden, &options);
@@ -34,17 +39,26 @@ fn throughput(width: usize, verifier: Verifier, evaluations: u64, seed: u64) -> 
 
 fn main() {
     let scale = Scale::from_env();
+    let jobs = jobs_from_env();
     banner("T5", "CGP evaluations/second: simulation vs SAT", scale);
-    let mut phases = PhaseLog::new("T5", scale);
+    let mut phases = PhaseLog::new("T5", scale).with_jobs(jobs);
     let widths: Vec<usize> = scale.pick(vec![4, 6, 8], vec![4, 6, 8, 10, 12]);
     let sim_cap = scale.pick(8, 10); // simulation beyond this is unfeasible
     let evals = scale.pick(400u64, 1_000u64);
-    println!("WCRE target 10 %, {evals} evaluations per cell");
-    println!(
-        "{:>6} {:>14} {:>9} {:>14} {:>9}",
-        "width", "sim[evals/s]", "slowdown", "sat[evals/s]", "slowdown"
-    );
+    println!("WCRE target 10 %, {evals} evaluations per cell, jobs={jobs}");
+    if jobs > 1 {
+        println!(
+            "{:>6} {:>14} {:>9} {:>14} {:>9} {:>14} {:>8}",
+            "width", "sim[evals/s]", "slowdown", "sat[evals/s]", "slowdown", "sat[j=N]", "speedup"
+        );
+    } else {
+        println!(
+            "{:>6} {:>14} {:>9} {:>14} {:>9}",
+            "width", "sim[evals/s]", "slowdown", "sat[evals/s]", "slowdown"
+        );
+    }
 
+    let budget = || Budget::unlimited().with_conflicts(20_000);
     let mut prev_sim: Option<f64> = None;
     let mut prev_sat: Option<f64> = None;
     for &w in &widths {
@@ -53,18 +67,11 @@ fn main() {
             // Cap the evaluation count where a single exhaustive sweep is
             // already seconds long, or the cell itself takes an hour.
             let sim_evals = if w >= 10 { evals.min(60) } else { evals };
-            Some(throughput(w, Verifier::Simulation, sim_evals, 11))
+            Some(throughput(w, Verifier::Simulation, sim_evals, 11, 1))
         } else {
             None
         };
-        let sat = throughput(
-            w,
-            Verifier::Sat {
-                budget: Budget::unlimited().with_conflicts(20_000),
-            },
-            evals,
-            11,
-        );
+        let sat = throughput(w, Verifier::Sat { budget: budget() }, evals, 11, 1);
         let sim_str = sim.map_or("-".into(), |v| format!("{v:.1}"));
         let sim_ratio = match (prev_sim, sim) {
             (Some(p), Some(c)) if c > 0.0 => ratio(p, c),
@@ -74,7 +81,20 @@ fn main() {
             Some(p) if sat > 0.0 => ratio(p, sat),
             _ => "-".into(),
         };
-        println!("{w:>6} {sim_str:>14} {sim_ratio:>9} {sat:>14.1} {sat_ratio:>9}");
+        if jobs > 1 {
+            let sat_par = throughput(w, Verifier::Sat { budget: budget() }, evals, 11, jobs);
+            let speedup = if sat > 0.0 {
+                ratio(sat_par, sat)
+            } else {
+                "-".into()
+            };
+            println!(
+                "{w:>6} {sim_str:>14} {sim_ratio:>9} {sat:>14.1} {sat_ratio:>9} \
+                 {sat_par:>14.1} {speedup:>8}"
+            );
+        } else {
+            println!("{w:>6} {sim_str:>14} {sim_ratio:>9} {sat:>14.1} {sat_ratio:>9}");
+        }
         prev_sim = sim;
         prev_sat = Some(sat);
     }
@@ -83,6 +103,9 @@ fn main() {
         "'slowdown' = throughput at the previous width / this width \
          (the thesis reports ~16x/2bits for simulation vs ~2x for SAT)"
     );
+    if jobs > 1 {
+        println!("'speedup' = sat[jobs={jobs}] / sat[jobs=1] on the same seed");
+    }
     if let Some(path) = phases.finish() {
         println!("per-phase metrics: {}", path.display());
     }

@@ -19,9 +19,29 @@
 //! written as `<id>_metrics.<scale>.json` next to the text transcripts.
 //! The directory defaults to `bench_results/` and follows
 //! `AXMC_METRICS_DIR`; `AXMC_METRICS=off` disables recording entirely.
+//!
+//! # Parallelism knob
+//!
+//! Harnesses that exercise the parallel oracle layer read `AXMC_JOBS`
+//! (default `1`, so recorded numbers stay comparable across machines
+//! unless parallelism is requested explicitly) via [`jobs_from_env`].
+//! The value in effect is recorded in the metrics JSON.
 
 use axmc_obs::Snapshot;
 use std::time::Instant;
+
+/// Reads the worker count from the `AXMC_JOBS` environment variable.
+///
+/// Defaults to `1` (serial) so benchmark numbers are machine-independent
+/// unless the operator opts into parallelism; `AXMC_JOBS=0` selects the
+/// machine's available parallelism, mirroring the CLI's `--jobs` default.
+pub fn jobs_from_env() -> usize {
+    match std::env::var("AXMC_JOBS").ok().and_then(|v| v.parse().ok()) {
+        Some(0) => axmc_par::available_parallelism(),
+        Some(n) => n,
+        None => 1,
+    }
+}
 
 /// Execution scale selected via the `AXMC_SCALE` environment variable.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -82,6 +102,7 @@ pub fn ratio(new: f64, base: f64) -> String {
 pub struct PhaseLog {
     id: String,
     scale: Scale,
+    jobs: usize,
     enabled: bool,
     phases: Vec<ClosedPhase>,
     current: Option<(String, Instant)>,
@@ -108,10 +129,17 @@ impl PhaseLog {
         PhaseLog {
             id: id.to_string(),
             scale,
+            jobs: jobs_from_env(),
             enabled,
             phases: Vec::new(),
             current: None,
         }
+    }
+
+    /// Overrides the recorded worker count (defaults to [`jobs_from_env`]).
+    pub fn with_jobs(mut self, jobs: usize) -> PhaseLog {
+        self.jobs = jobs.max(1);
+        self
     }
 
     /// Closes the current phase (if any) and opens a new one.
@@ -170,6 +198,7 @@ impl PhaseLog {
                 Scale::Full => "full",
             }
         ));
+        out.push_str(&format!("  \"jobs\": {},\n", self.jobs));
         out.push_str("  \"phases\": [");
         for (i, phase) in self.phases.iter().enumerate() {
             if i > 0 {
@@ -295,6 +324,16 @@ mod tests {
         // counter must not leak into beta.
         let beta = json.split("\"name\": \"beta\"").nth(1).expect("beta phase");
         assert!(!beta.contains("t.solves"), "{json}");
+    }
+
+    #[test]
+    fn phase_log_records_jobs() {
+        let log = PhaseLog::new("TSTJ", Scale::Quick).with_jobs(4);
+        let json = log.to_json();
+        assert!(json.contains("\"jobs\": 4"), "{json}");
+        // `with_jobs` clamps to at least one worker.
+        let log = PhaseLog::new("TSTJ", Scale::Quick).with_jobs(0);
+        assert!(log.to_json().contains("\"jobs\": 1"));
     }
 
     #[test]

@@ -11,6 +11,13 @@
 //! purely neutral mutations inherit the parent's verdict, and candidates
 //! whose estimated area is no better than the current best are discarded
 //! without building a miter.
+//!
+//! Each generation is bred **serially** (one RNG stream) and verified on
+//! a fleet of up to [`SearchOptions::jobs`] workers — every surviving
+//! candidate gets its own miter and solver — with the verdicts merged
+//! back in candidate order. A fixed seed therefore produces an identical
+//! search trajectory for every `jobs` value; parallelism only changes
+//! wall-clock time.
 
 use crate::chromosome::Chromosome;
 use axmc_aig::Aig;
@@ -58,6 +65,9 @@ pub struct SearchOptions {
     pub seed: u64,
     /// Spare grid columns appended to the seed layout.
     pub extra_cols: usize,
+    /// Verification workers per generation. The search trajectory is
+    /// identical for every value; only wall-clock time changes.
+    pub jobs: usize,
 }
 
 impl Default for SearchOptions {
@@ -74,6 +84,7 @@ impl Default for SearchOptions {
             area_model: AreaModel::nm45(),
             seed: 1,
             extra_cols: 0,
+            jobs: 1,
         }
     }
 }
@@ -286,16 +297,20 @@ pub fn evolve(golden: &Netlist, options: &SearchOptions) -> SearchResult {
     let mut stats = SearchStats::default();
     let mut obs = SearchObs::new("comb", start);
 
-    'outer: for generation in 0..options.max_generations {
+    let jobs = options.jobs.max(1);
+    for generation in 0..options.max_generations {
         if start.elapsed() >= options.time_limit {
             break;
         }
         stats.generations = generation + 1;
         obs.progress(&stats, best_area);
+        // Breed the whole generation serially: one RNG stream, so every
+        // child is identical regardless of the worker count. Neutral
+        // drift and the area filter need no evaluation and apply here;
+        // only the surviving candidates reach the verifier fleet.
+        let mut candidates: Vec<(Chromosome, Netlist, f64)> =
+            Vec::with_capacity(options.population);
         for _ in 0..options.population {
-            if start.elapsed() >= options.time_limit {
-                break 'outer;
-            }
             stats.offspring += 1;
             let mut child = best.clone();
             let touched_active = child.mutate(options.max_mutations, &mut rng);
@@ -314,17 +329,30 @@ pub fn evolve(golden: &Netlist, options: &SearchOptions) -> SearchResult {
                 continue;
             }
             stats.verifier_calls += 1;
-            match verify(&golden_aig, &netlist, options) {
+            candidates.push((child, netlist, area));
+        }
+        // Verify on the fleet — each candidate gets its own miter and
+        // solver — and merge the verdicts in candidate order, so the
+        // accepted trajectory is byte-identical for every `jobs` value.
+        let verdicts = axmc_par::parallel_map(jobs, &candidates, |_, (_, netlist, _)| {
+            verify(&golden_aig, netlist, options)
+        });
+        for ((child, _, area), verdict) in candidates.into_iter().zip(verdicts) {
+            match verdict {
                 Verdict::WithinBound => {
-                    let improved = area < best_area;
-                    best = child;
-                    best_area = area;
-                    if improved {
-                        stats.improvements += 1;
-                        stats.area_history.push((generation, area));
-                        obs.improvement(generation, area, golden_area);
-                    }
                     stats.verified_ok += 1;
+                    // An earlier sibling may have lowered the bar below
+                    // this candidate's area; only adopt if still no worse.
+                    if area <= best_area {
+                        let improved = area < best_area;
+                        best = child;
+                        best_area = area;
+                        if improved {
+                            stats.improvements += 1;
+                            stats.area_history.push((generation, area));
+                            obs.improvement(generation, area, golden_area);
+                        }
+                    }
                 }
                 Verdict::Violation => stats.verified_violation += 1,
                 Verdict::ResourceLimit => stats.verified_timeout += 1,
@@ -465,6 +493,29 @@ mod tests {
         let b = evolve(&golden, &opts);
         assert_eq!(a.best.genes(), b.best.genes());
         assert_eq!(a.area, b.area);
+    }
+
+    /// The tentpole guarantee: the verification fleet only changes
+    /// wall-clock time. Byte-identical trajectory for every jobs value.
+    #[test]
+    fn jobs_do_not_change_the_trajectory() {
+        let golden = generators::ripple_carry_adder(3);
+        let mut opts = quick_options(2);
+        opts.max_generations = 80;
+        opts.time_limit = Duration::from_secs(600); // generations bound only
+        let serial = evolve(&golden, &opts);
+        for jobs in [2usize, 4, 8] {
+            let mut par_opts = opts.clone();
+            par_opts.jobs = jobs;
+            let par = evolve(&golden, &par_opts);
+            assert_eq!(serial.best.genes(), par.best.genes(), "jobs {jobs}");
+            assert_eq!(serial.area, par.area, "jobs {jobs}");
+            let mut a = serial.stats.clone();
+            let mut b = par.stats.clone();
+            a.elapsed = Duration::ZERO;
+            b.elapsed = Duration::ZERO;
+            assert_eq!(a, b, "jobs {jobs}");
+        }
     }
 
     #[test]

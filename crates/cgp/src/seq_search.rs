@@ -24,8 +24,9 @@ use std::time::Instant;
 pub struct SequentialContext<'a> {
     /// Builds the sequential system around a component netlist. Must
     /// produce the same interface for every interface-compatible
-    /// component (the templates in `axmc-seq` all qualify).
-    pub build: &'a dyn Fn(&Netlist) -> Aig,
+    /// component (the templates in `axmc-seq` all qualify). `Sync`
+    /// because the verifier fleet calls it from worker threads.
+    pub build: &'a (dyn Fn(&Netlist) -> Aig + Sync),
     /// BMC horizon: the error bound is certified for all input sequences
     /// of up to `horizon + 1` cycles.
     pub horizon: usize,
@@ -83,16 +84,19 @@ pub fn evolve_in_context(
     let mut stats = SearchStats::default();
     let mut obs = SearchObs::new("seq", start);
 
-    'outer: for generation in 0..options.max_generations {
+    let jobs = options.jobs.max(1);
+    for generation in 0..options.max_generations {
         if start.elapsed() >= options.time_limit {
             break;
         }
         stats.generations = generation + 1;
         obs.progress(&stats, best_area);
+        // Breed serially (one RNG stream), verify on the fleet, merge in
+        // candidate order — same scheme as the combinational loop, so a
+        // fixed seed gives one trajectory for every `jobs` value.
+        let mut candidates: Vec<(Chromosome, Netlist, f64)> =
+            Vec::with_capacity(options.population);
         for _ in 0..options.population {
-            if start.elapsed() >= options.time_limit {
-                break 'outer;
-            }
             stats.offspring += 1;
             let mut child = best.clone();
             let touched_active = child.mutate(options.max_mutations, &mut rng);
@@ -108,21 +112,29 @@ pub fn evolve_in_context(
                 continue;
             }
             stats.verifier_calls += 1;
-            let system = (context.build)(&netlist);
+            candidates.push((child, netlist, area));
+        }
+        let verdicts = axmc_par::parallel_map(jobs, &candidates, |_, (_, netlist, _)| {
+            let system = (context.build)(netlist);
             let miter = sequential_diff_miter(&golden_system, &system, options.threshold);
             let mut bmc = Bmc::new(&miter);
             bmc.set_budget(context.budget);
-            match bmc.check_any_up_to(context.horizon) {
+            bmc.check_any_up_to(context.horizon)
+        });
+        for ((child, _, area), verdict) in candidates.into_iter().zip(verdicts) {
+            match verdict {
                 BmcResult::Clear => {
-                    let improved = area < best_area;
-                    best = child;
-                    best_area = area;
-                    if improved {
-                        stats.improvements += 1;
-                        stats.area_history.push((generation, area));
-                        obs.improvement(generation, area, golden_area);
-                    }
                     stats.verified_ok += 1;
+                    if area <= best_area {
+                        let improved = area < best_area;
+                        best = child;
+                        best_area = area;
+                        if improved {
+                            stats.improvements += 1;
+                            stats.area_history.push((generation, area));
+                            obs.improvement(generation, area, golden_area);
+                        }
+                    }
                 }
                 BmcResult::Cex(_) => stats.verified_violation += 1,
                 BmcResult::Unknown => stats.verified_timeout += 1,
@@ -225,6 +237,30 @@ mod tests {
         let evolved_system = axmc_seq::registered_alu(&result.netlist, width);
         let wce = brute_system_wce(&golden_system, &evolved_system, 2 * width, 2);
         assert!(wce <= threshold);
+    }
+
+    #[test]
+    fn jobs_do_not_change_the_system_level_trajectory() {
+        let width = 3;
+        let golden = generators::ripple_carry_adder(width);
+        let context = SequentialContext {
+            build: &|c| axmc_seq::accumulator(c, width),
+            horizon: 2,
+            budget: Budget::unlimited().with_conflicts(20_000),
+        };
+        let mut opts = options(4, 60);
+        opts.time_limit = Duration::from_secs(600); // generations bound only
+        let serial = evolve_in_context(&golden, &context, &opts);
+        let mut par_opts = opts.clone();
+        par_opts.jobs = 8;
+        let par = evolve_in_context(&golden, &context, &par_opts);
+        assert_eq!(serial.best.genes(), par.best.genes());
+        assert_eq!(serial.area, par.area);
+        let mut a = serial.stats.clone();
+        let mut b = par.stats.clone();
+        a.elapsed = Duration::ZERO;
+        b.elapsed = Duration::ZERO;
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -43,6 +43,20 @@ fn trace_probe(label: &str, iter: u64, phase: &str, t: u128, verdict: &str, lo: 
     );
 }
 
+/// Clamps an `Exceeds` witness back into contract: the probe promised a
+/// witness strictly above the probed threshold and no larger than the
+/// metric's representable maximum. A buggy or budget-degraded oracle may
+/// hand back a stale witness (`e <= t`) or one past `max`; the search
+/// must stay sound and terminating regardless, so the witness is clamped
+/// to `[t + 1, max]` (and the violation flagged in debug builds).
+fn clamp_witness(t: u128, e: u128, max: u128) -> u128 {
+    debug_assert!(
+        e > t && e <= max,
+        "probe witness {e} out of contract at threshold {t} (max {max})"
+    );
+    e.max(t.saturating_add(1)).min(max)
+}
+
 /// Finds the exact maximum error in `[0, max]` given a probe oracle.
 ///
 /// `probe(t)` must answer whether the error can exceed `t`, returning the
@@ -56,12 +70,95 @@ pub(crate) fn search_max_error(
     max: u128,
     mut probe: impl FnMut(u128) -> Result<Probe, AnalysisError>,
 ) -> Result<u128, AnalysisError> {
+    search_max_error_batched(label, max, 1, |ts| ts.iter().map(|&t| probe(t)).collect())
+}
+
+/// Batched variant of [`search_max_error`]: each round hands the oracle
+/// up to `batch` speculative thresholds at once, which is what lets the
+/// sequential analyzer probe a portfolio of thresholds on parallel
+/// engines.
+///
+/// Every answer is authoritative for its own threshold — an `Exceeds`
+/// raises the lower bound, a `Within` lowers the upper bound — so the
+/// merged interval does not depend on which speculative probe "wins",
+/// and `batch = 1` degenerates to exactly the serial probe sequence.
+///
+/// A probe may individually fail (e.g. its solve budget ran out). Failed
+/// probes are skipped as long as at least one probe in the round
+/// answered: a budget-exhausted speculative worker never discards a
+/// successful sibling's answer. Only a round with *zero* answers
+/// propagates the (lowest-threshold) error.
+pub(crate) fn search_max_error_batched(
+    label: &str,
+    max: u128,
+    batch: usize,
+    mut probe_batch: impl FnMut(&[u128]) -> Vec<Result<Probe, AnalysisError>>,
+) -> Result<u128, AnalysisError> {
+    let batch = batch.max(1);
     let tracing = axmc_obs::tracing_active();
     let mut iter: u64 = 0;
+
+    // Applies one round of answers to the interval `[lo, hi]`. Returns
+    // `Err` only when no probe in the round produced an answer.
+    let merge_round = |phase: &str,
+                       thresholds: &[u128],
+                       answers: Vec<Result<Probe, AnalysisError>>,
+                       lo: &mut u128,
+                       hi: &mut u128,
+                       iter: &mut u64|
+     -> Result<bool, AnalysisError> {
+        assert_eq!(
+            answers.len(),
+            thresholds.len(),
+            "oracle must answer every probed threshold"
+        );
+        let mut saw_within = false;
+        let mut first_err: Option<AnalysisError> = None;
+        let mut any_ok = false;
+        for (&t, ans) in thresholds.iter().zip(answers) {
+            *iter += 1;
+            match ans {
+                Ok(Probe::Exceeds(e)) => {
+                    any_ok = true;
+                    *lo = (*lo).max(clamp_witness(t, e, max));
+                    if tracing {
+                        trace_probe(label, *iter, phase, t, "exceeds", *lo, *hi);
+                    }
+                }
+                Ok(Probe::Within) => {
+                    any_ok = true;
+                    saw_within = true;
+                    *hi = (*hi).min(t);
+                    if tracing {
+                        trace_probe(label, *iter, phase, t, "within", *lo, *hi);
+                    }
+                }
+                Err(e) => {
+                    if tracing {
+                        trace_probe(label, *iter, phase, t, "budget_exhausted", *lo, *hi);
+                    }
+                    first_err.get_or_insert(e);
+                }
+            }
+        }
+        if !any_ok {
+            return Err(first_err.expect("merge_round called with an empty batch"));
+        }
+        // A consistent oracle never crosses the bounds; an adversarial
+        // one is clamped so the search still terminates.
+        debug_assert!(*lo <= *hi, "probe answers crossed: lo {lo} > hi {hi}");
+        *lo = (*lo).min(*hi);
+        Ok(saw_within)
+    };
+
     let mut result = || -> Result<u128, AnalysisError> {
         // First probe at zero: a fully accurate candidate exits immediately.
         iter += 1;
-        let mut lo = match probe(0)? {
+        let first = probe_batch(&[0])
+            .into_iter()
+            .next()
+            .expect("oracle must answer the initial threshold")?;
+        let mut lo = match first {
             Probe::Within => {
                 if tracing {
                     trace_probe(label, iter, "init", 0, "within", 0, 0);
@@ -69,62 +166,50 @@ pub(crate) fn search_max_error(
                 return Ok(0);
             }
             Probe::Exceeds(e) => {
-                debug_assert!(e > 0);
+                let w = clamp_witness(0, e, max.max(1)).min(max);
                 if tracing {
-                    trace_probe(label, iter, "init", 0, "exceeds", e, max);
+                    trace_probe(label, iter, "init", 0, "exceeds", w, max);
                 }
-                e
+                w
             }
         };
         if lo >= max {
             return Ok(lo.min(max));
         }
-        // Galloping phase: double until the first Within.
+        // Galloping phase: a geometric ladder of up to `batch`
+        // speculative thresholds per round, until the first Within.
         let mut hi = max;
-        let mut t = lo.saturating_mul(2).min(max);
-        loop {
-            if t >= hi {
-                break;
-            }
-            iter += 1;
-            match probe(t)? {
-                Probe::Exceeds(e) => {
-                    lo = e.max(t + 1);
-                    if tracing {
-                        trace_probe(label, iter, "gallop", t, "exceeds", lo, hi);
-                    }
-                    if lo >= hi {
-                        break;
-                    }
-                    t = lo.saturating_mul(2).min(max);
-                }
-                Probe::Within => {
-                    hi = t;
-                    if tracing {
-                        trace_probe(label, iter, "gallop", t, "within", lo, hi);
-                    }
+        while lo < hi {
+            let mut ladder = Vec::with_capacity(batch);
+            let mut t = lo.saturating_mul(2).min(max);
+            while ladder.len() < batch && t < hi {
+                ladder.push(t);
+                let next = t.saturating_mul(2).min(max);
+                if next == t {
                     break;
                 }
+                t = next;
+            }
+            if ladder.is_empty() {
+                break;
+            }
+            let answers = probe_batch(&ladder);
+            if merge_round("gallop", &ladder, answers, &mut lo, &mut hi, &mut iter)? {
+                break;
             }
         }
-        // Bisection phase.
+        // Bisection phase: evenly spaced speculative midpoints. When the
+        // remaining span fits in one batch, probe every point and finish.
         while lo < hi {
-            let mid = lo + (hi - lo) / 2;
-            iter += 1;
-            match probe(mid)? {
-                Probe::Exceeds(e) => {
-                    lo = e.max(mid + 1);
-                    if tracing {
-                        trace_probe(label, iter, "bisect", mid, "exceeds", lo, hi);
-                    }
-                }
-                Probe::Within => {
-                    hi = mid;
-                    if tracing {
-                        trace_probe(label, iter, "bisect", mid, "within", lo, hi);
-                    }
-                }
-            }
+            let span = hi - lo;
+            let points: Vec<u128> = if span <= batch as u128 {
+                (lo..hi).collect()
+            } else {
+                let step = span / (batch as u128 + 1);
+                (1..=batch as u128).map(|j| lo + step * j).collect()
+            };
+            let answers = probe_batch(&points);
+            merge_round("bisect", &points, answers, &mut lo, &mut hi, &mut iter)?;
         }
         Ok(lo)
     };
@@ -225,5 +310,192 @@ mod tests {
             })
         });
         assert!(result.is_err());
+    }
+
+    fn batch_oracle(true_wce: u128) -> impl FnMut(&[u128]) -> Vec<Result<Probe, AnalysisError>> {
+        move |ts| {
+            ts.iter()
+                .map(|&t| {
+                    Ok(if true_wce > t {
+                        Probe::Exceeds(true_wce)
+                    } else {
+                        Probe::Within
+                    })
+                })
+                .collect()
+        }
+    }
+
+    #[test]
+    fn batched_finds_exact_value_for_every_batch_size() {
+        for batch in [1usize, 2, 3, 5, 8] {
+            for wce in [0u128, 1, 2, 5, 7, 100, 255, 4095, 65535] {
+                let max = 65535;
+                assert_eq!(
+                    search_max_error_batched("test", max, batch, batch_oracle(wce)).unwrap(),
+                    wce,
+                    "batch {batch}, wce {wce}"
+                );
+            }
+        }
+    }
+
+    /// `batch = 1` must degenerate to exactly the serial probe sequence:
+    /// `--jobs 1` and the pre-portfolio code path are the same search.
+    #[test]
+    fn batch_one_probes_identical_thresholds_to_serial() {
+        for wce in [0u128, 3, 17, 100, 254, 255] {
+            let max = 255;
+            let mut serial_seq = Vec::new();
+            let mut oracle_serial = oracle(wce);
+            search_max_error("test", max, |t| {
+                serial_seq.push(t);
+                oracle_serial(t)
+            })
+            .unwrap();
+            let mut batched_seq = Vec::new();
+            let mut oracle_batched = batch_oracle(wce);
+            search_max_error_batched("test", max, 1, |ts| {
+                batched_seq.extend_from_slice(ts);
+                oracle_batched(ts)
+            })
+            .unwrap();
+            assert_eq!(serial_seq, batched_seq, "wce {wce}");
+        }
+    }
+
+    // -- satellite: hardening against out-of-contract witnesses --------
+
+    /// A witness past `max` is clamped in release builds; the search
+    /// still converges and never reports a value above `max`.
+    #[test]
+    #[cfg(not(debug_assertions))]
+    fn adversarial_witness_above_max_is_clamped() {
+        let wce = 200u128;
+        let max = 255u128;
+        let result = search_max_error("test", max, |t| {
+            Ok(if wce > t {
+                Probe::Exceeds(u128::MAX) // wildly out of contract
+            } else {
+                Probe::Within
+            })
+        })
+        .unwrap();
+        assert!(result <= max);
+        assert!(result >= wce, "clamped witness still drives lo past wce");
+    }
+
+    /// A stale witness (`e <= t`) is bumped to `t + 1` in release builds
+    /// so the interval still strictly shrinks and the search terminates.
+    #[test]
+    #[cfg(not(debug_assertions))]
+    fn adversarial_stale_witness_still_terminates() {
+        let wce = 50u128;
+        let max = 255u128;
+        let mut probes = 0u32;
+        let result = search_max_error("test", max, |t| {
+            probes += 1;
+            assert!(
+                probes < 1000,
+                "stale witnesses must not livelock the search"
+            );
+            Ok(if wce > t {
+                Probe::Exceeds(1) // stale: at most the very first witness
+            } else {
+                Probe::Within
+            })
+        })
+        .unwrap();
+        assert_eq!(result, wce);
+    }
+
+    /// In debug builds the same contract violations trip an assertion so
+    /// oracle bugs are caught at the source instead of silently clamped.
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "out of contract")]
+    fn adversarial_witness_above_max_asserts_in_debug() {
+        let _ = search_max_error("test", 255, |_| Ok(Probe::Exceeds(u128::MAX)));
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "out of contract")]
+    fn adversarial_stale_witness_asserts_in_debug() {
+        let _ = search_max_error("test", 255, |t| {
+            Ok(if t < 50 {
+                Probe::Exceeds(1)
+            } else {
+                Probe::Within
+            })
+        });
+    }
+
+    // -- satellite: deterministic handling of per-probe failures -------
+
+    /// A budget-exhausted probe in a portfolio round must not discard a
+    /// sibling's successful answer: the search keeps refining with the
+    /// answers it got.
+    #[test]
+    fn failed_probe_does_not_drop_sibling_answers() {
+        let wce = 1000u128;
+        let max = 65535u128;
+        let mut failed = 0u32;
+        let mut answered = 0u32;
+        let result = search_max_error_batched("test", max, 4, |ts| {
+            ts.iter()
+                .enumerate()
+                .map(|(lane, &t)| {
+                    // The second lane of the portfolio always runs out of
+                    // budget; its siblings' answers must carry the round.
+                    if lane == 1 {
+                        failed += 1;
+                        return Err(AnalysisError::BudgetExhausted {
+                            known_low: 0,
+                            known_high: max,
+                        });
+                    }
+                    answered += 1;
+                    Ok(if wce > t {
+                        Probe::Exceeds(wce)
+                    } else {
+                        Probe::Within
+                    })
+                })
+                .collect()
+        })
+        .unwrap();
+        assert_eq!(result, wce);
+        assert!(failed > 0, "test must actually exercise failing probes");
+        assert!(answered > 0);
+    }
+
+    /// Only a round where *every* probe fails propagates the error (the
+    /// lowest-threshold one, deterministically).
+    #[test]
+    fn all_probes_failing_propagates_lowest_threshold_error() {
+        let max = 65535u128;
+        let result = search_max_error_batched("test", max, 4, |ts| {
+            ts.iter()
+                .map(|&t| {
+                    if t == 0 {
+                        Ok(Probe::Exceeds(7))
+                    } else {
+                        Err(AnalysisError::BudgetExhausted {
+                            known_low: t,
+                            known_high: max,
+                        })
+                    }
+                })
+                .collect()
+        });
+        match result {
+            Err(AnalysisError::BudgetExhausted { known_low, .. }) => {
+                // First gallop round probes [14, 28, 56, 112]; the error
+                // carried back must be the lowest threshold's.
+                assert_eq!(known_low, 14);
+            }
+            other => panic!("expected budget exhaustion, got {other:?}"),
+        }
     }
 }

@@ -19,7 +19,7 @@
 //! * **growth classification** — whether WCE@k keeps growing with k
 //!   (feedback accumulation) or saturates.
 
-use crate::bound_search::{search_max_error, Probe};
+use crate::bound_search::{search_max_error_batched, Probe};
 use crate::report::{AnalysisError, ErrorProfile, ErrorReport};
 use axmc_aig::{bits_to_u128, Aig, Simulator};
 use axmc_cnf::gates;
@@ -30,8 +30,10 @@ use axmc_miter::{
     sequential_diff_word_miter, sequential_popcount_word_miter, sequential_strict_miter,
 };
 use axmc_sat::{Budget, SolveResult};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// How one persistent threshold probe interprets the miter's output word.
+#[derive(Clone, Copy)]
 enum WordKind {
     /// Two's-complement difference (sign bit last): probe `|diff| > t`.
     SignedDiff,
@@ -43,6 +45,11 @@ enum WordKind {
 /// unrolling: the product machine is encoded **once**; every probe only
 /// adds a small comparator at the clause level and solves under an
 /// assumption, so learnt clauses amortize across the entire search.
+///
+/// Cloning duplicates the whole warmed-up solver state, which is how a
+/// portfolio of speculative probes gets one independent engine per lane
+/// without re-encoding the product machine.
+#[derive(Clone)]
 struct ThresholdEngine {
     unroller: Unroller,
     kind: WordKind,
@@ -130,6 +137,7 @@ pub struct SeqAnalyzer<'a> {
     approx: &'a Aig,
     budget: Budget,
     sweep: bool,
+    jobs: usize,
 }
 
 impl<'a> SeqAnalyzer<'a> {
@@ -146,6 +154,7 @@ impl<'a> SeqAnalyzer<'a> {
             approx,
             budget: Budget::unlimited(),
             sweep: false,
+            jobs: 1,
         }
     }
 
@@ -161,6 +170,29 @@ impl<'a> SeqAnalyzer<'a> {
     pub fn with_sweep(mut self, sweep: bool) -> Self {
         self.sweep = sweep;
         self
+    }
+
+    /// Runs every threshold search as a **portfolio**: each round probes
+    /// up to `jobs` speculative thresholds concurrently, one cloned
+    /// engine per lane. `jobs = 1` (the default) is the exact serial
+    /// probe sequence; any `jobs` value yields the same final metric
+    /// values, because every speculative answer is authoritative for its
+    /// own threshold and the answers are merged in a fixed order.
+    pub fn with_jobs(mut self, jobs: usize) -> Self {
+        self.jobs = jobs.max(1);
+        self
+    }
+
+    /// One warmed-up engine per portfolio lane, all starting from the
+    /// same encoded product machine.
+    fn engine_pool(&self, prototype: ThresholdEngine) -> Vec<ThresholdEngine> {
+        let mut pool = Vec::with_capacity(self.jobs);
+        pool.push(prototype);
+        while pool.len() < self.jobs {
+            let clone = pool[0].clone();
+            pool.push(clone);
+        }
+        pool
     }
 
     /// Finds the earliest cycle (up to `max_cycles - 1`) in which the two
@@ -238,7 +270,9 @@ impl<'a> SeqAnalyzer<'a> {
     }
 
     /// The precise worst-case error over all cycles `<= k`, via
-    /// counterexample-guided galloping search over BMC probes.
+    /// counterexample-guided galloping search over BMC probes. With
+    /// [`with_jobs`](Self::with_jobs) above 1 the probes run as a
+    /// speculative portfolio on cloned engines.
     ///
     /// # Errors
     ///
@@ -250,23 +284,25 @@ impl<'a> SeqAnalyzer<'a> {
         } else {
             (1u128 << m) - 1
         };
-        let mut engine = self.diff_engine();
-        let mut sat_calls = 0u64;
-        let value = search_max_error("seq.wce", max, |t| {
-            sat_calls += 1;
-            match engine.probe(t, k)? {
-                Some(trace) => {
-                    let witnessed = self.trace_error(&trace);
-                    debug_assert!(witnessed > t);
-                    Ok(Probe::Exceeds(witnessed))
+        let mut engines = self.engine_pool(self.diff_engine());
+        let sat_calls = AtomicU64::new(0);
+        let value = search_max_error_batched("seq.wce", max, engines.len(), |ts| {
+            axmc_par::parallel_zip_mut(&mut engines, ts, |_, engine, &t| {
+                sat_calls.fetch_add(1, Ordering::Relaxed);
+                match engine.probe(t, k)? {
+                    Some(trace) => {
+                        let witnessed = self.trace_error(&trace);
+                        debug_assert!(witnessed > t);
+                        Ok(Probe::Exceeds(witnessed))
+                    }
+                    None => Ok(Probe::Within),
                 }
-                None => Ok(Probe::Within),
-            }
+            })
         })?;
         Ok(ErrorReport {
             value,
-            sat_calls,
-            conflicts: engine.conflicts(),
+            sat_calls: sat_calls.into_inner(),
+            conflicts: engines.iter().map(ThresholdEngine::conflicts).sum(),
         })
     }
 
@@ -278,34 +314,36 @@ impl<'a> SeqAnalyzer<'a> {
     /// [`AnalysisError::BudgetExhausted`] with the bracketing interval.
     pub fn bit_flip_error_at(&self, k: usize) -> Result<ErrorReport<u32>, AnalysisError> {
         let max = self.golden.num_outputs() as u128;
-        let mut engine = ThresholdEngine::new(
+        let mut engines = self.engine_pool(ThresholdEngine::new(
             sequential_popcount_word_miter(self.golden, self.approx),
             WordKind::Unsigned,
             self.budget,
             self.sweep,
-        );
-        let mut sat_calls = 0u64;
-        let value = search_max_error("seq.bit_flip", max, |t| {
-            sat_calls += 1;
-            match engine.probe(t, k)? {
-                Some(trace) => {
-                    let og = trace.replay(self.golden);
-                    let oc = trace.replay(self.approx);
-                    let witnessed = og
-                        .iter()
-                        .zip(&oc)
-                        .map(|(g, c)| (bits_to_u128(g) ^ bits_to_u128(c)).count_ones())
-                        .max()
-                        .unwrap_or(0);
-                    Ok(Probe::Exceeds(witnessed as u128))
+        ));
+        let sat_calls = AtomicU64::new(0);
+        let value = search_max_error_batched("seq.bit_flip", max, engines.len(), |ts| {
+            axmc_par::parallel_zip_mut(&mut engines, ts, |_, engine, &t| {
+                sat_calls.fetch_add(1, Ordering::Relaxed);
+                match engine.probe(t, k)? {
+                    Some(trace) => {
+                        let og = trace.replay(self.golden);
+                        let oc = trace.replay(self.approx);
+                        let witnessed = og
+                            .iter()
+                            .zip(&oc)
+                            .map(|(g, c)| (bits_to_u128(g) ^ bits_to_u128(c)).count_ones())
+                            .max()
+                            .unwrap_or(0);
+                        Ok(Probe::Exceeds(witnessed as u128))
+                    }
+                    None => Ok(Probe::Within),
                 }
-                None => Ok(Probe::Within),
-            }
+            })
         })?;
         Ok(ErrorReport {
             value: value as u32,
-            sat_calls,
-            conflicts: engine.conflicts(),
+            sat_calls: sat_calls.into_inner(),
+            conflicts: engines.iter().map(ThresholdEngine::conflicts).sum(),
         })
     }
 
@@ -324,26 +362,32 @@ impl<'a> SeqAnalyzer<'a> {
             (1u128 << m) - 1
         };
         let mut profile = Vec::with_capacity(k + 1);
-        let mut sat_calls = 0u64;
+        let sat_calls = AtomicU64::new(0);
         let mut prev: u128 = 0;
-        let mut engine = self.diff_engine();
+        let mut engines = self.engine_pool(self.diff_engine());
         for horizon in 0..=k {
             // WCE@horizon >= WCE@(horizon-1): probes below `prev` are
             // answered from the invariant without touching the solver.
-            let value = search_max_error("seq.profile", max, |t| {
-                if t < prev {
-                    return Ok(Probe::Exceeds(prev));
-                }
-                sat_calls += 1;
-                match engine.probe(t, horizon)? {
-                    Some(trace) => Ok(Probe::Exceeds(self.trace_error(&trace))),
-                    None => Ok(Probe::Within),
-                }
+            let floor = prev;
+            let value = search_max_error_batched("seq.profile", max, engines.len(), |ts| {
+                axmc_par::parallel_zip_mut(&mut engines, ts, |_, engine, &t| {
+                    if t < floor {
+                        return Ok(Probe::Exceeds(floor));
+                    }
+                    sat_calls.fetch_add(1, Ordering::Relaxed);
+                    match engine.probe(t, horizon)? {
+                        Some(trace) => Ok(Probe::Exceeds(self.trace_error(&trace))),
+                        None => Ok(Probe::Within),
+                    }
+                })
             })?;
             prev = value;
             profile.push(value);
         }
-        Ok(ErrorProfile { profile, sat_calls })
+        Ok(ErrorProfile {
+            profile,
+            sat_calls: sat_calls.into_inner(),
+        })
     }
 
     /// Attempts to prove the **unbounded** bound `G (|error| <= threshold)`
@@ -403,16 +447,20 @@ impl<'a> SeqAnalyzer<'a> {
         acc_width: usize,
     ) -> Result<ErrorReport<u128>, AnalysisError> {
         let max = (1u128 << acc_width) - 1;
-        let mut sat_calls = 0u64;
-        let value = search_max_error("seq.total", max, |t| {
-            sat_calls += 1;
-            match self.check_total_error_exceeds(t, k, acc_width)? {
-                Some(trace) => {
-                    let witnessed = self.trace_total_error(&trace);
-                    Ok(Probe::Exceeds(witnessed.max(t + 1).min(max)))
+        let sat_calls = AtomicU64::new(0);
+        // Each probe builds its own accumulating miter + BMC instance, so
+        // the portfolio shape here is a plain parallel map.
+        let value = search_max_error_batched("seq.total", max, self.jobs, |ts| {
+            axmc_par::parallel_map(self.jobs, ts, |_, &t| {
+                sat_calls.fetch_add(1, Ordering::Relaxed);
+                match self.check_total_error_exceeds(t, k, acc_width)? {
+                    Some(trace) => {
+                        let witnessed = self.trace_total_error(&trace);
+                        Ok(Probe::Exceeds(witnessed.max(t + 1).min(max)))
+                    }
+                    None => Ok(Probe::Within),
                 }
-                None => Ok(Probe::Within),
-            }
+            })
         })?;
         if value >= max {
             // The saturating accumulator cannot distinguish totals at or
@@ -424,7 +472,7 @@ impl<'a> SeqAnalyzer<'a> {
         }
         Ok(ErrorReport {
             value,
-            sat_calls,
+            sat_calls: sat_calls.into_inner(),
             conflicts: 0,
         })
     }
@@ -487,29 +535,32 @@ impl<'a> SeqAnalyzer<'a> {
         k: usize,
         per_cycle_threshold: u128,
     ) -> Result<ErrorReport<u32>, AnalysisError> {
-        let mut sat_calls = 0u64;
-        let value = search_max_error("seq.error_cycles", (k + 1) as u128, |t| {
-            sat_calls += 1;
-            match self.check_error_cycles_exceed(t, k, per_cycle_threshold)? {
-                Some(trace) => {
-                    // Count the erroneous cycles the witness actually shows.
-                    let og = trace.replay(self.golden);
-                    let oc = trace.replay(self.approx);
-                    let witnessed = og
-                        .iter()
-                        .zip(&oc)
-                        .filter(|(g, c)| {
-                            bits_to_u128(g).abs_diff(bits_to_u128(c)) > per_cycle_threshold
-                        })
-                        .count() as u128;
-                    Ok(Probe::Exceeds(witnessed.max(t + 1)))
+        let sat_calls = AtomicU64::new(0);
+        let max = (k + 1) as u128;
+        let value = search_max_error_batched("seq.error_cycles", max, self.jobs, |ts| {
+            axmc_par::parallel_map(self.jobs, ts, |_, &t| {
+                sat_calls.fetch_add(1, Ordering::Relaxed);
+                match self.check_error_cycles_exceed(t, k, per_cycle_threshold)? {
+                    Some(trace) => {
+                        // Count the erroneous cycles the witness actually shows.
+                        let og = trace.replay(self.golden);
+                        let oc = trace.replay(self.approx);
+                        let witnessed = og
+                            .iter()
+                            .zip(&oc)
+                            .filter(|(g, c)| {
+                                bits_to_u128(g).abs_diff(bits_to_u128(c)) > per_cycle_threshold
+                            })
+                            .count() as u128;
+                        Ok(Probe::Exceeds(witnessed.max(t + 1)))
+                    }
+                    None => Ok(Probe::Within),
                 }
-                None => Ok(Probe::Within),
-            }
+            })
         })?;
         Ok(ErrorReport {
             value: value as u32,
-            sat_calls,
+            sat_calls: sat_calls.into_inner(),
             conflicts: 0,
         })
     }
@@ -802,6 +853,64 @@ mod tests {
             }
             other => panic!("expected saturation error, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn portfolio_jobs_match_serial_values() {
+        // The portfolio merges speculative answers deterministically:
+        // every metric must come out identical to the serial search for
+        // any jobs value.
+        let width = 4;
+        let golden = accumulator(&generators::ripple_carry_adder(width), width);
+        let apx = accumulator(&approx::lower_or_adder(width, 2), width);
+        let serial = SeqAnalyzer::new(&golden, &apx);
+        for jobs in [2usize, 4] {
+            let par = SeqAnalyzer::new(&golden, &apx).with_jobs(jobs);
+            assert_eq!(
+                serial.worst_case_error_at(3).unwrap().value,
+                par.worst_case_error_at(3).unwrap().value,
+                "wce, jobs {jobs}"
+            );
+            assert_eq!(
+                serial.bit_flip_error_at(3).unwrap().value,
+                par.bit_flip_error_at(3).unwrap().value,
+                "bit flip, jobs {jobs}"
+            );
+            assert_eq!(
+                serial.error_profile(4).unwrap().profile,
+                par.error_profile(4).unwrap().profile,
+                "profile, jobs {jobs}"
+            );
+            assert_eq!(
+                serial.total_error_at(3, 10).unwrap().value,
+                par.total_error_at(3, 10).unwrap().value,
+                "total, jobs {jobs}"
+            );
+            assert_eq!(
+                serial.max_error_cycles_at(3, 0).unwrap().value,
+                par.max_error_cycles_at(3, 0).unwrap().value,
+                "error cycles, jobs {jobs}"
+            );
+        }
+    }
+
+    #[test]
+    fn budget_exhaustion_in_portfolio_is_deterministic() {
+        // With a starvation budget, a portfolio run either brackets the
+        // metric from the lanes that finished or reports exhaustion —
+        // and repeated runs with the same jobs value agree exactly.
+        let width = 4;
+        let golden = accumulator(&generators::ripple_carry_adder(width), width);
+        let apx = accumulator(&approx::truncated_adder(width, 2), width);
+        let budget = Budget::unlimited().with_conflicts(1);
+        let run = || {
+            SeqAnalyzer::new(&golden, &apx)
+                .with_budget(budget)
+                .with_jobs(4)
+                .worst_case_error_at(3)
+                .map(|r| r.value)
+        };
+        assert_eq!(run(), run(), "same jobs value must reproduce exactly");
     }
 
     #[test]

@@ -59,6 +59,11 @@ pub struct Bmc<'a> {
     /// Kept for API compatibility (traces replay against it).
     aig: &'a Aig,
     unroller: Unroller,
+    /// Live activation literal of the `check_any_up_to` disjunction and
+    /// the depth it covers. Reused while the depth stays the same;
+    /// retired with a unit `!d` when the depth changes, so repeated
+    /// queries don't leak a fresh variable and clause per call.
+    any_activation: Option<(usize, SatLit)>,
 }
 
 impl<'a> Bmc<'a> {
@@ -76,6 +81,7 @@ impl<'a> Bmc<'a> {
         Bmc {
             aig,
             unroller: Unroller::new(aig.clone()),
+            any_activation: None,
         }
     }
 
@@ -87,6 +93,16 @@ impl<'a> Bmc<'a> {
     /// Access to the underlying solver's statistics.
     pub fn solver_stats(&self) -> &axmc_sat::SolverStats {
         self.unroller.solver().stats()
+    }
+
+    /// Number of variables in the underlying solver (growth watchdog).
+    pub fn num_vars(&self) -> usize {
+        self.unroller.solver().num_vars()
+    }
+
+    /// Number of problem clauses in the underlying solver.
+    pub fn num_clauses(&self) -> usize {
+        self.unroller.solver().num_clauses()
     }
 
     /// Sets the budget applied to each subsequent solver call.
@@ -135,10 +151,25 @@ impl<'a> Bmc<'a> {
         let timer = axmc_obs::span("bmc.check.time_us");
         self.unroller.extend_to(k + 1);
         // d -> (bad_0 | ... | bad_k); assuming d forces some frame bad.
-        let d = self.unroller.solver_mut().new_var().positive();
-        let mut clause: Vec<SatLit> = vec![!d];
-        clause.extend((0..=k).map(|i| self.unroller.frame(i).outputs[0]));
-        self.unroller.solver_mut().add_clause(&clause);
+        // The activation literal is cached per depth: repeated queries at
+        // the same k reuse it (zero solver growth), and moving to a new
+        // depth retires the stale literal with a unit !d so the solver
+        // may discard its satisfied disjunction instead of leaking one
+        // variable and clause per call.
+        let d = match self.any_activation {
+            Some((depth, lit)) if depth == k => lit,
+            stale => {
+                if let Some((_, old)) = stale {
+                    self.unroller.solver_mut().add_clause(&[!old]);
+                }
+                let d = self.unroller.solver_mut().new_var().positive();
+                let mut clause: Vec<SatLit> = vec![!d];
+                clause.extend((0..=k).map(|i| self.unroller.frame(i).outputs[0]));
+                self.unroller.solver_mut().add_clause(&clause);
+                self.any_activation = Some((k, d));
+                d
+            }
+        };
         let result = match self.unroller.solver_mut().solve_with_assumptions(&[d]) {
             SolveResult::Sat => BmcResult::Cex(self.unroller.extract_trace(k)),
             SolveResult::Unsat => BmcResult::Clear,
@@ -269,6 +300,49 @@ mod tests {
         assert_eq!(outs, vec![true]);
         // Needs at least two increments before observation.
         assert!(cex.len() >= 3);
+    }
+
+    #[test]
+    fn check_any_up_to_does_not_leak_activation_state() {
+        // Regression: every call used to add a fresh activation variable
+        // plus its disjunction clause, growing the solver without bound
+        // on long-lived checkers. Repeated queries at one depth must now
+        // reuse the cached activation (zero growth), and alternating
+        // depths must stay bounded by the retire-and-recreate scheme.
+        let aig = counter_reaches(3);
+        let mut bmc = Bmc::new(&aig);
+        assert!(matches!(bmc.check_any_up_to(4), BmcResult::Cex(_)));
+        let vars_after_first = bmc.num_vars();
+        let clauses_after_first = bmc.num_clauses();
+        for _ in 0..20 {
+            assert!(matches!(bmc.check_any_up_to(4), BmcResult::Cex(_)));
+        }
+        assert_eq!(
+            bmc.num_vars(),
+            vars_after_first,
+            "repeated same-depth queries must not add variables"
+        );
+        assert_eq!(
+            bmc.num_clauses(),
+            clauses_after_first,
+            "repeated same-depth queries must not add clauses"
+        );
+        // Alternating depths: growth bounded (one activation per switch,
+        // retired with a unit), never one per historical call.
+        let before_alt = bmc.num_vars();
+        for _ in 0..5 {
+            assert!(matches!(bmc.check_any_up_to(2), BmcResult::Clear));
+            assert!(matches!(bmc.check_any_up_to(4), BmcResult::Cex(_)));
+        }
+        assert!(
+            bmc.num_vars() - before_alt <= 10,
+            "alternating depths added {} vars, expected at most one per switch",
+            bmc.num_vars() - before_alt
+        );
+        // And the retired activations must not constrain later answers:
+        // depth 2 is still clear, depth 4 still violating.
+        assert!(matches!(bmc.check_any_up_to(2), BmcResult::Clear));
+        assert!(matches!(bmc.check_any_up_to(4), BmcResult::Cex(_)));
     }
 
     #[test]

@@ -33,7 +33,12 @@ use axmc_sat::{Budget, Lit as SatLit, Solver};
 /// // The latch is high in frame 1.
 /// assert_eq!(unroller.solver_mut().solve_with_assumptions(&[o1]), SolveResult::Sat);
 /// ```
-#[derive(Debug)]
+///
+/// An unroller is plain owned data: it is `Send` (movable onto worker
+/// threads) and `Clone` — cloning duplicates the solver with all frames
+/// and learnt clauses, which is how portfolio threshold probes get
+/// warmed-up engines without re-encoding the product machine.
+#[derive(Clone, Debug)]
 pub struct Unroller {
     aig: Aig,
     solver: Solver,
@@ -167,6 +172,40 @@ mod tests {
     use super::*;
     use axmc_aig::Word;
     use axmc_sat::SolveResult;
+
+    /// Compile-time audit for the parallel layer: unrollers (and the BMC
+    /// engines built on them) must move onto worker threads.
+    #[test]
+    fn unroller_is_send() {
+        fn assert_send<T: Send>() {}
+        assert_send::<Unroller>();
+        assert_send::<crate::Bmc<'_>>();
+    }
+
+    #[test]
+    fn cloned_unroller_is_independent() {
+        let mut aig = Aig::new();
+        let q = aig.add_latch(false);
+        aig.set_latch_next(0, !q);
+        aig.add_output(q);
+        let mut a = Unroller::new(aig);
+        a.extend_to(2);
+        let mut b = a.clone();
+        b.extend_to(5);
+        assert_eq!(a.num_frames(), 2);
+        assert_eq!(b.num_frames(), 5);
+        let o1 = a.frame(1).outputs[0];
+        assert_eq!(
+            a.solver_mut().solve_with_assumptions(&[o1]),
+            SolveResult::Sat
+        );
+        let o3 = b.frame(3).outputs[0];
+        assert_eq!(
+            b.solver_mut().solve_with_assumptions(&[!o3]),
+            SolveResult::Unsat,
+            "toggle latch is high in every odd frame"
+        );
+    }
 
     #[test]
     fn frames_chain_state() {

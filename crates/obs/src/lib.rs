@@ -68,19 +68,67 @@ pub fn registry() -> &'static Registry {
     REGISTRY.get_or_init(Registry::new)
 }
 
-/// The global counter called `name`. Resolve once outside loops.
+thread_local! {
+    /// Per-thread registry override installed by [`worker_scope`]. While
+    /// present, all instrument helpers resolve against it instead of the
+    /// process-wide registry, so parallel workers never contend on the
+    /// global name-lookup lock.
+    static WORKER_REGISTRY: std::cell::RefCell<Option<Arc<Registry>>> =
+        const { std::cell::RefCell::new(None) };
+}
+
+fn with_current<R>(f: impl FnOnce(&Registry) -> R) -> R {
+    WORKER_REGISTRY.with(|local| match local.borrow().as_ref() {
+        Some(r) => f(r),
+        None => f(registry()),
+    })
+}
+
+/// Runs `f` with a fresh thread-local registry installed; on return the
+/// local registry is folded into the process-wide one in a single
+/// [`Registry::absorb`] pass. Parallel worker threads wrap their work in
+/// this so hot-path metric updates stay thread-private (no shared-lock
+/// traffic) while `--metrics` output still sees every worker's numbers.
+///
+/// While instrumentation is disabled this is a plain call to `f`. Scopes
+/// nest: an inner scope absorbs into the outer thread-local registry's
+/// place (the previous override is restored on exit). If `f` panics the
+/// override is restored but the worker's partial metrics are dropped.
+pub fn worker_scope<R>(f: impl FnOnce() -> R) -> R {
+    if !enabled() {
+        return f();
+    }
+    let local = Arc::new(Registry::new());
+    let previous = WORKER_REGISTRY.with(|slot| slot.borrow_mut().replace(Arc::clone(&local)));
+    struct Restore(Option<Arc<Registry>>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            let prev = self.0.take();
+            WORKER_REGISTRY.with(|slot| *slot.borrow_mut() = prev);
+        }
+    }
+    let restore = Restore(previous);
+    let out = f();
+    drop(restore);
+    with_current(|target| target.absorb(&local.snapshot()));
+    out
+}
+
+/// The current thread's counter called `name` (worker-local inside
+/// [`worker_scope`], process-global otherwise). Resolve once outside
+/// loops.
 pub fn counter(name: &str) -> Arc<Counter> {
-    registry().counter(name)
+    with_current(|r| r.counter(name))
 }
 
-/// The global gauge called `name`.
+/// The current thread's gauge called `name`.
 pub fn gauge(name: &str) -> Arc<Gauge> {
-    registry().gauge(name)
+    with_current(|r| r.gauge(name))
 }
 
-/// The global histogram called `name`.
+/// The current thread's histogram called `name`.
 pub fn histogram(name: &str) -> Arc<Histogram> {
-    registry().histogram(name)
+    with_current(|r| r.histogram(name))
 }
 
 /// An immutable copy of the global registry.
@@ -261,6 +309,83 @@ mod tests {
             assert_eq!(events.len(), 1);
             assert_eq!(events[0].kind, "kept");
         });
+    }
+
+    #[test]
+    fn worker_scope_rolls_up_into_global() {
+        with_global_obs(|| {
+            counter("w.c").add(1); // global, outside any scope
+            let threads: Vec<_> = (0..4)
+                .map(|_| {
+                    std::thread::spawn(|| {
+                        worker_scope(|| {
+                            counter("w.c").add(10);
+                            gauge("w.depth").set_max(3);
+                            histogram("w.h").record(16);
+                        })
+                    })
+                })
+                .collect();
+            for t in threads {
+                t.join().unwrap();
+            }
+            let s = snapshot();
+            assert_eq!(s.counters["w.c"], 41);
+            assert_eq!(s.gauges["w.depth"], 3);
+            assert_eq!(s.histograms["w.h"].count, 4);
+            assert_eq!(s.histograms["w.h"].sum, 64);
+        });
+    }
+
+    #[test]
+    fn worker_scope_disabled_is_passthrough() {
+        let _g = GLOBAL_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+        set_enabled(false);
+        reset();
+        let out = worker_scope(|| {
+            counter("w.off").inc();
+            7
+        });
+        assert_eq!(out, 7);
+        // Disabled scope records straight into the global registry (the
+        // increment itself is still live; only the scoping is skipped).
+        assert_eq!(snapshot().counters["w.off"], 1);
+        reset();
+    }
+
+    #[test]
+    fn nested_worker_scopes_restore_outer() {
+        with_global_obs(|| {
+            worker_scope(|| {
+                counter("n.outer").inc();
+                worker_scope(|| counter("n.inner").add(5));
+                // The inner scope's numbers are visible to the outer
+                // scope's registry and roll up to global with it.
+                counter("n.outer").inc();
+            });
+            let s = snapshot();
+            assert_eq!(s.counters["n.outer"], 2);
+            assert_eq!(s.counters["n.inner"], 5);
+        });
+    }
+
+    #[test]
+    fn registry_absorb_merges_all_instruments() {
+        let global = Registry::new();
+        global.counter("c").add(1);
+        global.histogram("h").record(2);
+        let worker = Registry::new();
+        worker.counter("c").add(2);
+        worker.gauge("g").set(9);
+        worker.histogram("h").record(40);
+        global.absorb(&worker.snapshot());
+        let s = global.snapshot();
+        assert_eq!(s.counters["c"], 3);
+        assert_eq!(s.gauges["g"], 9);
+        assert_eq!(s.histograms["h"].count, 2);
+        assert_eq!(s.histograms["h"].sum, 42);
+        assert_eq!(s.histograms["h"].min, 2);
+        assert_eq!(s.histograms["h"].max, 40);
     }
 
     #[test]

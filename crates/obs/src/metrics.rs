@@ -126,6 +126,24 @@ impl Histogram {
         self.count.load(Ordering::Relaxed)
     }
 
+    /// Folds a snapshot (e.g. taken from a worker-local registry) into
+    /// this histogram in one pass per bucket, without going through
+    /// per-sample [`Histogram::record`] calls.
+    pub fn absorb(&self, other: &HistogramSnapshot) {
+        if other.count == 0 {
+            return;
+        }
+        for (i, &n) in other.buckets.iter().enumerate().take(BUCKETS) {
+            if n > 0 {
+                self.buckets[i].fetch_add(n, Ordering::Relaxed);
+            }
+        }
+        self.count.fetch_add(other.count, Ordering::Relaxed);
+        self.sum.fetch_add(other.sum, Ordering::Relaxed);
+        self.min.fetch_min(other.min, Ordering::Relaxed);
+        self.max.fetch_max(other.max, Ordering::Relaxed);
+    }
+
     fn snapshot(&self) -> HistogramSnapshot {
         let count = self.count.load(Ordering::Relaxed);
         HistogramSnapshot {
@@ -273,6 +291,28 @@ impl Registry {
                 .iter()
                 .map(|(k, v)| (k.clone(), v.snapshot()))
                 .collect(),
+        }
+    }
+
+    /// Folds a whole snapshot into this registry: counters add,
+    /// gauges keep the maximum, histograms merge bucket-wise — the same
+    /// conventions as [`Snapshot::merge`]. This is how per-worker
+    /// registries roll up into the global one: workers record into their
+    /// own registry lock-free, and one `absorb` per worker at the end
+    /// touches the shared maps instead of every hot-path increment.
+    pub fn absorb(&self, snapshot: &Snapshot) {
+        for (name, &value) in &snapshot.counters {
+            if value > 0 {
+                self.counter(name).add(value);
+            }
+        }
+        for (name, &value) in &snapshot.gauges {
+            self.gauge(name).set_max(value);
+        }
+        for (name, h) in &snapshot.histograms {
+            if h.count > 0 {
+                self.histogram(name).absorb(h);
+            }
         }
     }
 

@@ -94,7 +94,7 @@ pub struct SolverStats {
 
 const NO_REASON: u32 = u32::MAX;
 
-#[derive(Debug, Default)]
+#[derive(Clone, Debug, Default)]
 struct Clause {
     lits: Vec<Lit>,
     activity: f64,
@@ -127,7 +127,12 @@ struct Watcher {
 /// solver.add_clause(&[!b]);
 /// assert_eq!(solver.solve(), SolveResult::Unsat);
 /// ```
-#[derive(Debug, Default)]
+///
+/// The solver is plain owned data (no interior shared state), so it is
+/// `Send` — instances move freely onto worker threads — and `Clone` —
+/// a warmed-up instance (including its learnt clauses) can be duplicated
+/// for portfolio solving, after which the copies are fully independent.
+#[derive(Clone, Debug, Default)]
 pub struct Solver {
     clauses: Vec<Clause>,
     learnt_refs: Vec<u32>,
@@ -1029,5 +1034,36 @@ mod tests {
         s.solve();
         s.solve();
         assert_eq!(s.stats().solves, 2);
+    }
+
+    /// The parallel oracle layer moves solvers onto worker threads; this
+    /// fails to compile if interior non-`Send` state (e.g. `Rc`) sneaks
+    /// into the solver.
+    #[test]
+    fn solver_is_send() {
+        fn assert_send<T: Send>() {}
+        assert_send::<Solver>();
+        assert_send::<Budget>();
+        assert_send::<SolveResult>();
+    }
+
+    #[test]
+    fn cloned_solvers_diverge_independently() {
+        let (mut a, v) = make(3);
+        a.add_clause(&[lit(&v, 1), lit(&v, 2)]);
+        a.add_clause(&[lit(&v, -1), lit(&v, 3)]);
+        assert_eq!(a.solve(), SolveResult::Sat);
+        let mut b = a.clone();
+        // Contradict var 3 only in the clone.
+        b.add_clause(&[lit(&v, -3)]);
+        b.add_clause(&[lit(&v, 3)]);
+        assert_eq!(b.solve(), SolveResult::Unsat);
+        assert_eq!(b.solve(), SolveResult::Unsat);
+        // The original is unaffected and still satisfiable.
+        assert_eq!(a.solve(), SolveResult::Sat);
+        // Stats diverge per instance after the clone point (both started
+        // from the snapshot of one solve).
+        assert_eq!(a.stats().solves, 2);
+        assert_eq!(b.stats().solves, 3);
     }
 }

@@ -25,4 +25,20 @@ run cargo test --workspace -q --offline
 run cargo test --workspace -q --offline --features proptest-tests
 run cargo bench -p axmc-bench --features micro-benches --offline --no-run
 
+# Concurrency stress: loop the determinism suite and the worker-pool
+# tests with varying worker counts to shake out scheduling-dependent
+# bugs a single run can miss. Even iterations run with the proptest
+# feature config so the suite is exercised in both configurations.
+for i in $(seq 1 10); do
+    jobs=$(( (i % 5) * 3 + 2 )) # 5, 8, 11, 14, 2, 5, ...
+    features=()
+    if (( i % 2 == 0 )); then
+        features=(--features proptest-tests)
+    fi
+    echo "== stress $i/10 (AXMC_TEST_JOBS=$jobs ${features[*]:-default})=="
+    AXMC_TEST_JOBS="$jobs" run cargo test -q --offline \
+        --test determinism "${features[@]}"
+    AXMC_TEST_JOBS="$jobs" run cargo test -q --offline -p axmc-par
+done
+
 echo "== CI green =="

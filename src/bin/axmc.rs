@@ -99,14 +99,14 @@ const USAGE: &str = "\
 axmc — precise error determination of approximated components with model checking
 
 USAGE:
-  axmc analyze --golden G.aag --approx C.aag [--horizon K] [--prove] [--average]
-               [--vcd F.vcd] [--metrics] [--trace F.jsonl]
+  axmc analyze --golden G.aag --approx C.aag [--horizon K] [--jobs N]
+               [--prove] [--average] [--vcd F.vcd] [--metrics] [--trace F.jsonl]
       Exact worst-case / bit-flip error of C against G. Sequential pairs
       are analyzed within K cycles (default 8); --prove additionally
       attempts an unbounded k-induction certificate at the measured WCE.
 
   axmc evolve --kind adder|multiplier --width N (--wcre P | --config F)
-              [--seconds S] [--seed X] [--out C.aag] [--progress]
+              [--seconds S] [--seed X] [--jobs N] [--out C.aag] [--progress]
               [--metrics] [--trace F.jsonl]
       Verifiability-driven CGP synthesis of an approximate circuit whose
       worst-case relative error provably stays below P percent.
@@ -118,6 +118,13 @@ USAGE:
 
   axmc stats --circuit C.aag
       Structural statistics of an AIGER circuit.
+
+PARALLELISM:
+  --jobs N          worker threads for candidate verification (evolve) and
+                    speculative threshold probes (analyze). Defaults to the
+                    machine's available parallelism; must be >= 1. Results
+                    are identical for every N — a fixed --seed reproduces
+                    the same evolve trajectory byte for byte.
 
 OBSERVABILITY:
   --metrics         print a summary table of solver/model-checker/search
@@ -155,6 +162,7 @@ const ANALYZE_FLAGS: &[FlagSpec] = &[
     val("golden"),
     val("approx"),
     val("horizon"),
+    val("jobs"),
     switch("prove"),
     switch("average"),
     val("vcd"),
@@ -169,6 +177,7 @@ const EVOLVE_FLAGS: &[FlagSpec] = &[
     val("config"),
     val("seconds"),
     val("seed"),
+    val("jobs"),
     val("out"),
     switch("progress"),
     switch("metrics"),
@@ -316,6 +325,16 @@ fn numeric<T: std::str::FromStr>(opts: &Flags, name: &str, default: T) -> Result
     }
 }
 
+/// Parses `--jobs`: a positive worker count, defaulting to the machine's
+/// available parallelism. `--jobs 0` is a hard error, not a silent 1.
+fn jobs_flag(opts: &Flags) -> Result<usize, String> {
+    let jobs = numeric(opts, "jobs", axmc::par::available_parallelism())?;
+    if jobs == 0 {
+        return Err("--jobs must be at least 1".into());
+    }
+    Ok(jobs)
+}
+
 fn load_aig(path: &str) -> Result<Aig, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read '{path}': {e}"))?;
     aiger::from_ascii(&text).map_err(|e| format!("cannot parse '{path}': {e}"))
@@ -326,16 +345,18 @@ fn save_aig(path: &str, aig: &Aig) -> Result<(), String> {
 }
 
 fn cmd_analyze(opts: &Flags) -> Result<(), String> {
+    // Validate the cheap flags before touching the filesystem.
+    let horizon: usize = numeric(opts, "horizon", 8)?;
+    let jobs = jobs_flag(opts)?;
     let golden = load_aig(required(opts, "golden")?)?;
     let approx = load_aig(required(opts, "approx")?)?;
     if golden.num_inputs() != approx.num_inputs() || golden.num_outputs() != approx.num_outputs() {
         return Err("golden and approx interfaces differ".into());
     }
-    let horizon: usize = numeric(opts, "horizon", 8)?;
     let sequential = golden.num_latches() > 0 || approx.num_latches() > 0;
     if sequential {
-        println!("sequential analysis (horizon {horizon} cycles)");
-        let analyzer = SeqAnalyzer::new(&golden, &approx);
+        println!("sequential analysis (horizon {horizon} cycles, {jobs} jobs)");
+        let analyzer = SeqAnalyzer::new(&golden, &approx).with_jobs(jobs);
         let earliest = analyzer
             .earliest_error(horizon + 1)
             .map_err(|e| e.to_string())?;
@@ -437,6 +458,7 @@ fn cmd_evolve(opts: &Flags) -> Result<(), String> {
     let kind = required(opts, "kind")?;
     let width: usize = numeric(opts, "width", 8)?;
     let seed: u64 = numeric(opts, "seed", 1)?;
+    let jobs = jobs_flag(opts)?;
     let golden: Netlist = match kind {
         "adder" => generators::ripple_carry_adder(width),
         "multiplier" => generators::array_multiplier(width),
@@ -454,6 +476,7 @@ fn cmd_evolve(opts: &Flags) -> Result<(), String> {
         options.threshold = wcre_to_threshold(cfg.wcre_percent, golden.num_outputs()).max(1);
         options.seed = seed;
         options.extra_cols = 4;
+        options.jobs = jobs;
         (options, cfg.wcre_percent)
     } else {
         let wcre: f64 = numeric(opts, "wcre", 1.0)?;
@@ -464,12 +487,13 @@ fn cmd_evolve(opts: &Flags) -> Result<(), String> {
             time_limit: Duration::from_secs(seconds),
             seed,
             extra_cols: 4,
+            jobs,
             ..SearchOptions::default()
         };
         (options, wcre)
     };
     println!(
-        "evolving {kind} (width {width}) under WCRE <= {wcre}% (threshold {}), {:?}",
+        "evolving {kind} (width {width}) under WCRE <= {wcre}% (threshold {}), {:?}, {jobs} jobs",
         options.threshold, options.time_limit
     );
     let result = evolve(&golden, &options);

@@ -24,6 +24,7 @@
 //! | [`core`] | `axmc-core` | The error-determination engines ([`CombAnalyzer`], [`SeqAnalyzer`]) |
 //! | [`cgp`] | `axmc-cgp` | Verifiability-driven CGP synthesis |
 //! | [`obs`] | `axmc-obs` | Metrics, spans and trace events behind the CLI's `--metrics`/`--trace` |
+//! | [`par`] | `axmc-par` | Zero-dependency worker pools behind `--jobs` (deterministic parallel oracles) |
 //!
 //! The most common entry points are re-exported at the top level.
 //!
@@ -57,6 +58,7 @@ pub use axmc_core as core;
 pub use axmc_mc as mc;
 pub use axmc_miter as miter;
 pub use axmc_obs as obs;
+pub use axmc_par as par;
 pub use axmc_sat as sat;
 pub use axmc_seq as seq;
 

@@ -274,6 +274,66 @@ fn evolve_progress_prints_live_lines() {
 }
 
 #[test]
+fn jobs_flag_is_validated() {
+    let out = axmc()
+        .args(["evolve", "--kind", "adder", "--width", "3", "--jobs", "0"])
+        .output()
+        .expect("spawn");
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("--jobs must be at least 1"), "{err}");
+
+    let out = axmc()
+        .args(["analyze", "--golden", "g.aag", "--jobs", "nope"])
+        .output()
+        .expect("spawn");
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("--jobs"), "{err}");
+}
+
+#[test]
+fn evolve_results_are_identical_across_jobs() {
+    // Generation-bounded run (config path) so wall-clock cannot end the
+    // search early on one side: the evolved circuit and the reported
+    // area line must match bytewise between --jobs 1 and --jobs 8.
+    let cfg = tmp("det.cfg");
+    std::fs::write(
+        &cfg,
+        "GENERATIONS 30\nMAX_ERR_PERC 10\nPARAM_OUT 5\nPOP_MAX 4\n\
+         MUTATION_MAX 4\nMAX_RUN_TIME 600\nSAT_LIMIT 20000\n",
+    )
+    .expect("write config");
+    let mut runs = Vec::new();
+    for jobs in ["1", "8"] {
+        let out_path = tmp(&format!("det-{jobs}.aag"));
+        let out = axmc()
+            .args(["evolve", "--kind", "adder", "--width", "4", "--seed", "9"])
+            .arg("--config")
+            .arg(&cfg)
+            .args(["--jobs", jobs, "--out"])
+            .arg(&out_path)
+            .output()
+            .expect("spawn");
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let stdout = String::from_utf8_lossy(&out.stdout).to_string();
+        let area_line = stdout
+            .lines()
+            .find(|l| l.starts_with("area:"))
+            .unwrap_or_else(|| panic!("no area line in {stdout}"))
+            .to_string();
+        let circuit = std::fs::read(&out_path).expect("evolved file");
+        runs.push((area_line, circuit));
+    }
+    assert_eq!(runs[0].0, runs[1].0, "area summary differs across jobs");
+    assert_eq!(runs[0].1, runs[1].1, "evolved AIGER differs across jobs");
+}
+
+#[test]
 fn help_prints_usage() {
     let out = axmc().args(["--help"]).output().expect("spawn");
     assert!(out.status.success());
