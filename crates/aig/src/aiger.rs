@@ -115,8 +115,9 @@ pub fn to_ascii(aig: &Aig) -> String {
 ///
 /// # Errors
 ///
-/// Returns [`ParseAigerError`] on malformed headers, out-of-range literals,
-/// cyclic or incomplete AND definitions.
+/// Returns [`ParseAigerError`] on malformed or truncated headers,
+/// out-of-range or duplicated variable definitions, junk tokens, missing
+/// section lines, and cyclic or incomplete AND definitions.
 pub fn from_ascii(text: &str) -> Result<Aig, ParseAigerError> {
     let mut lines = text.lines().enumerate();
     let (_, header) = lines
@@ -135,7 +136,9 @@ pub fn from_ascii(text: &str) -> Result<Aig, ParseAigerError> {
     let l = parse(fields[3], 1)?;
     let o = parse(fields[4], 1)?;
     let a = parse(fields[5], 1)?;
-    if m < i + l + a {
+    // Sum in u64: a hostile header like `aag 1 4294967295 4294967295 0
+    // 4294967295` must be rejected, not wrapped around.
+    if (m as u64) < i as u64 + l as u64 + a as u64 {
         return Err(ParseAigerError::new(1, "M must be at least I + L + A"));
     }
 
@@ -143,7 +146,9 @@ pub fn from_ascii(text: &str) -> Result<Aig, ParseAigerError> {
         lines
             .next()
             .map(|(n, s)| (n + 1, s.to_string()))
-            .ok_or_else(|| ParseAigerError::new(usize::MAX, format!("missing {what} line")))
+            .ok_or_else(|| {
+                ParseAigerError::new(0, format!("missing {what} line (file truncated?)"))
+            })
     };
 
     let mut input_lits = Vec::with_capacity(i as usize);
@@ -219,13 +224,39 @@ pub fn from_ascii(text: &str) -> Result<Aig, ParseAigerError> {
         if v > m {
             return Err(ParseAigerError::new(0, format!("input var {v} exceeds M")));
         }
+        if map[v as usize].is_some() {
+            return Err(ParseAigerError::new(
+                0,
+                format!("variable {v} defined more than once"),
+            ));
+        }
         map[v as usize] = Some(aig.add_input());
     }
     for &(v, _, init) in &latch_defs {
         if v > m {
             return Err(ParseAigerError::new(0, format!("latch var {v} exceeds M")));
         }
+        if map[v as usize].is_some() {
+            return Err(ParseAigerError::new(
+                0,
+                format!("variable {v} defined more than once"),
+            ));
+        }
         map[v as usize] = Some(aig.add_latch(init));
+    }
+    // Every AND left-hand side must fit the declared range and be fresh —
+    // a silently overwritten definition would corrupt the graph.
+    let mut seen_and = std::collections::HashSet::new();
+    for &(line, v, _, _) in &and_defs {
+        if v > m {
+            return Err(ParseAigerError::new(line, format!("and var {v} exceeds M")));
+        }
+        if map[v as usize].is_some() || !seen_and.insert(v) {
+            return Err(ParseAigerError::new(
+                line,
+                format!("variable {v} defined more than once"),
+            ));
+        }
     }
     // Topologically insert AND gates (defs may be out of order).
     let mut pending: Vec<(usize, u32, u32, u32)> = and_defs;
@@ -347,7 +378,8 @@ pub fn to_binary(aig: &Aig) -> Vec<u8> {
 ///
 /// # Errors
 ///
-/// Returns [`ParseAigerError`] on malformed headers or truncated data.
+/// Returns [`ParseAigerError`] on malformed or inconsistent headers
+/// (`M < I + L + A`), truncated data, and out-of-range literal codes.
 pub fn from_binary(bytes: &[u8]) -> Result<Aig, ParseAigerError> {
     // Header and the latch/output lines are ASCII; find their extent.
     let mut pos = 0usize;
@@ -373,11 +405,14 @@ pub fn from_binary(bytes: &[u8]) -> Result<Aig, ParseAigerError> {
         s.parse()
             .map_err(|_| ParseAigerError::new(1, format!("invalid number '{s}'")))
     };
-    let _m = parse_num(fields[1])?;
+    let m = parse_num(fields[1])?;
     let i = parse_num(fields[2])?;
     let l = parse_num(fields[3])?;
     let o = parse_num(fields[4])?;
     let a = parse_num(fields[5])?;
+    if (m as u64) < i as u64 + l as u64 + a as u64 {
+        return Err(ParseAigerError::new(1, "M must be at least I + L + A"));
+    }
 
     let mut aig = Aig::new();
     // Vars 1..=i are inputs, i+1..=i+l latches, rest ANDs.
@@ -429,7 +464,10 @@ pub fn from_binary(bytes: &[u8]) -> Result<Aig, ParseAigerError> {
             .ok_or_else(|| ParseAigerError::new(0, format!("undefined literal {code}")))
     };
     for k in 0..a {
-        let lhs = (i + l + 1 + k) * 2;
+        // Computed in u64: with I + L + A close to u32::MAX the doubled
+        // literal code no longer fits and must be a parse error.
+        let lhs = u32::try_from((i as u64 + l as u64 + 1 + k as u64) * 2)
+            .map_err(|_| ParseAigerError::new(0, "and literal code overflows"))?;
         let d0 = read_delta(&mut pos)?;
         let d1 = read_delta(&mut pos)?;
         let r0 = lhs
@@ -518,6 +556,68 @@ mod tests {
     }
 
     #[test]
+    fn rejects_and_var_beyond_m() {
+        // lhs var 2 exceeds M = 1; this used to index out of bounds.
+        let err = from_ascii("aag 1 0 0 0 1\n4 2 3\n").unwrap_err();
+        assert!(err.to_string().contains("exceeds M"), "{err}");
+    }
+
+    #[test]
+    fn rejects_header_count_overflow() {
+        // I + L + A wraps u32; the sum must be compared without overflow.
+        let text = "aag 1 4294967295 4294967295 0 4294967295\n";
+        let err = from_ascii(text).unwrap_err();
+        assert!(err.to_string().contains("M must be at least"), "{err}");
+    }
+
+    #[test]
+    fn rejects_duplicate_definitions() {
+        let dup_input = from_ascii("aag 2 2 0 0 0\n2\n2\n").unwrap_err();
+        assert!(
+            dup_input.to_string().contains("defined more than once"),
+            "{dup_input}"
+        );
+        let dup_and = from_ascii("aag 3 1 0 0 2\n2\n4 2 3\n4 2 2\n").unwrap_err();
+        assert!(
+            dup_and.to_string().contains("defined more than once"),
+            "{dup_and}"
+        );
+        let input_as_and = from_ascii("aag 2 1 0 0 1\n2\n2 3 3\n").unwrap_err();
+        assert!(
+            input_as_and.to_string().contains("defined more than once"),
+            "{input_as_and}"
+        );
+    }
+
+    #[test]
+    fn rejects_truncated_sections() {
+        let missing_input = from_ascii("aag 2 2 0 0 0\n2\n").unwrap_err();
+        assert!(
+            missing_input.to_string().contains("missing input line"),
+            "{missing_input}"
+        );
+        let missing_and = from_ascii("aag 2 1 0 1 1\n2\n4\n").unwrap_err();
+        assert!(
+            missing_and.to_string().contains("missing and line"),
+            "{missing_and}"
+        );
+    }
+
+    #[test]
+    fn rejects_junk_tokens() {
+        assert!(from_ascii("aag x 0 0 0 0\n").is_err());
+        assert!(from_ascii("aag 1 1 0 0 0\ntwo\n").is_err());
+        assert!(from_ascii("aag 3 1 0 0 1\n2\n4 2 banana\n").is_err());
+    }
+
+    #[test]
+    fn rejects_out_of_range_references() {
+        // Output literal 8 references var 4 > M = 2.
+        let err = from_ascii("aag 2 1 0 1 0\n2\n8\n").unwrap_err();
+        assert!(err.to_string().contains("undefined literal"), "{err}");
+    }
+
+    #[test]
     fn binary_round_trip_combinational() {
         let mut aig = Aig::new();
         let a = aig.add_input();
@@ -585,6 +685,12 @@ mod tests {
         assert!(from_binary(b"").is_err());
         assert!(from_binary(b"aag 1 0 0 0 0\n").is_err());
         assert!(from_binary(b"aig 2 1 0 1 1\n2\n").is_err()); // truncated ands
+    }
+
+    #[test]
+    fn binary_rejects_inconsistent_header() {
+        let err = from_binary(b"aig 0 1 0 0 0\n").unwrap_err();
+        assert!(err.to_string().contains("M must be at least"), "{err}");
     }
 
     #[test]

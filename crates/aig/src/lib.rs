@@ -39,6 +39,9 @@
 //! assert_eq!(aig.eval_comb(&input), vec![true]); // |9 - 4| = 5 > 2
 //! ```
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 mod aig;
 pub mod aiger;
 mod lit;

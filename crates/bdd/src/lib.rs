@@ -22,6 +22,9 @@
 //! assert_eq!(m.count_sat(f), 2); // two of four assignments satisfy XOR
 //! ```
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 mod manager;
 mod metrics;
 

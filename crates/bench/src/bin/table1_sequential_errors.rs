@@ -50,6 +50,7 @@ fn main() {
                     max_k: 3,
                     budget: Budget::unlimited().with_conflicts(200_000),
                     simple_path: false,
+                    certify: false,
                 },
             );
             (earliest, wce, bf, proof)

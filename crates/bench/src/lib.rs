@@ -27,6 +27,9 @@
 //! unless parallelism is requested explicitly) via [`jobs_from_env`].
 //! The value in effect is recorded in the metrics JSON.
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 use axmc_obs::Snapshot;
 use std::time::Instant;
 

@@ -38,6 +38,9 @@
 //! );
 //! ```
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 mod chromosome;
 mod config;
 mod pareto;

@@ -68,6 +68,11 @@ pub struct SearchOptions {
     /// Verification workers per generation. The search trajectory is
     /// identical for every value; only wall-clock time changes.
     pub jobs: usize,
+    /// Re-validate every UNSAT acceptance verdict of the SAT verifier
+    /// with the forward RUP/DRAT checker before a candidate is accepted.
+    /// No effect on the simulation verifier. A checker rejection panics:
+    /// it means the solver, and hence the acceptance, is unsound.
+    pub certify: bool,
 }
 
 impl Default for SearchOptions {
@@ -85,6 +90,7 @@ impl Default for SearchOptions {
             seed: 1,
             extra_cols: 0,
             jobs: 1,
+            certify: false,
         }
     }
 }
@@ -384,8 +390,21 @@ fn verify(golden_aig: &Aig, candidate: &Netlist, options: &SearchOptions) -> Ver
             let miter = diff_threshold_miter(golden_aig, &cand_aig, options.threshold);
             let (mut solver, enc) = encode_comb(&miter);
             solver.set_budget(budget);
+            if options.certify {
+                solver.set_proof_logging(true);
+            }
             match solver.solve_with_assumptions(&[enc.outputs[0]]) {
-                SolveResult::Unsat => Verdict::WithinBound,
+                SolveResult::Unsat => {
+                    if options.certify {
+                        if let Err(e) = axmc_check::certify_unsat(&solver) {
+                            panic!(
+                                "UNSAT certificate for a candidate acceptance failed \
+                                 validation ({e}); the verdict cannot be trusted"
+                            );
+                        }
+                    }
+                    Verdict::WithinBound
+                }
                 SolveResult::Sat => Verdict::Violation,
                 SolveResult::Unknown => Verdict::ResourceLimit,
             }
@@ -444,6 +463,27 @@ mod tests {
         assert_result_within(&golden, &result, 3);
         assert!(result.stats.improvements > 0);
         assert!(result.stats.verifier_calls > 0);
+    }
+
+    #[test]
+    fn certified_evolution_accepts_only_checked_candidates() {
+        // Same run as evolve_shrinks_adder_within_bound, but every UNSAT
+        // acceptance verdict must survive the RUP/DRAT checker (a
+        // rejection panics). The trajectory is identical: certification
+        // observes the solver, it never steers it.
+        let golden = generators::ripple_carry_adder(4);
+        let plain = evolve(&golden, &quick_options(3));
+        let certified = evolve(
+            &golden,
+            &SearchOptions {
+                certify: true,
+                ..quick_options(3)
+            },
+        );
+        assert!(certified.stats.verified_ok > 0);
+        assert_eq!(plain.stats.verified_ok, certified.stats.verified_ok);
+        assert_eq!(plain.area, certified.area);
+        assert_result_within(&golden, &certified, 3);
     }
 
     #[test]

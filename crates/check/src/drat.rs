@@ -1,0 +1,745 @@
+//! A forward RUP/DRAT proof checker.
+//!
+//! The checker replays a [`Certificate`] recorded by a proof-logging
+//! [`Solver`]: it loads the premises, re-verifies every added clause by
+//! **reverse unit propagation** (assume the clause's negation, run unit
+//! propagation over the live database, require a conflict), applies
+//! deletions, and finally verifies the concluded clause — the empty
+//! clause for an unconditional refutation, or an assumption core for an
+//! `Unsat`-under-assumptions answer.
+//!
+//! Soundness notes:
+//!
+//! * Deletions can never make the check unsound — clause entailment is
+//!   monotone — so a deletion that does not match any derived clause is
+//!   *ignored* (and counted), never an error. Premises are never deleted.
+//! * Tautological clauses cannot participate in unit propagation and are
+//!   skipped on insertion.
+//! * Once the root database propagates to a conflict, every clause is
+//!   trivially RUP; the checker short-circuits from that point on.
+
+use axmc_sat::{Certificate, LBool, Lit, ProofStep, Solver};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Counters describing one successful certificate check.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CheckStats {
+    /// Premise clauses loaded.
+    pub premises: usize,
+    /// Derivation steps verified as RUP additions.
+    pub additions: usize,
+    /// Deletion steps applied.
+    pub deletions: usize,
+    /// Deletion steps that matched no deletable clause (skipped; sound).
+    pub ignored_deletions: usize,
+    /// Unit propagations performed while checking.
+    pub propagations: u64,
+    /// Literals in the concluded clause (0 = unconditional refutation).
+    pub conclusion_len: usize,
+}
+
+/// A defect found while checking a certificate: the proof does **not**
+/// establish the claimed `Unsat` verdict.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ProofError {
+    /// A clause mentions a variable outside the declared range.
+    LitOutOfRange {
+        /// Which section of the certificate the clause came from.
+        section: &'static str,
+        /// Clause index within that section.
+        index: usize,
+        /// The offending literal.
+        lit: Lit,
+    },
+    /// An added clause is not a reverse-unit-propagation consequence of
+    /// the clauses alive before it.
+    NotRup {
+        /// Index of the offending step in [`Certificate::steps`].
+        step: usize,
+    },
+    /// The concluded clause is not RUP with respect to the final database.
+    ConclusionNotRup,
+    /// A conclusion literal is not the negation of any assumption.
+    ConclusionNotOnAssumptions {
+        /// The offending literal.
+        lit: Lit,
+    },
+}
+
+impl fmt::Display for ProofError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProofError::LitOutOfRange {
+                section,
+                index,
+                lit,
+            } => write!(f, "{section} clause {index}: literal {lit} out of range"),
+            ProofError::NotRup { step } => {
+                write!(f, "derivation step {step} is not a RUP consequence")
+            }
+            ProofError::ConclusionNotRup => write!(f, "concluded clause is not RUP"),
+            ProofError::ConclusionNotOnAssumptions { lit } => {
+                write!(f, "conclusion literal {lit} does not negate any assumption")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ProofError {}
+
+/// Why [`certify_unsat`] could not produce a verdict about a solver.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CertifyError {
+    /// The solver has no certificate: proof logging is off, or the most
+    /// recent answer was not `Unsat`.
+    NoCertificate,
+    /// The certificate was checked and rejected.
+    Rejected(ProofError),
+}
+
+impl fmt::Display for CertifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CertifyError::NoCertificate => {
+                write!(f, "no certificate (logging off or last answer not Unsat)")
+            }
+            CertifyError::Rejected(e) => write!(f, "certificate rejected: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CertifyError {}
+
+/// The watched-literal clause database of the forward checker.
+struct Checker {
+    assigns: Vec<LBool>,
+    clauses: Vec<Vec<Lit>>,
+    alive: Vec<bool>,
+    /// Watcher lists indexed by the code of the *negation* of the watched
+    /// literal (visited when that literal becomes false).
+    watches: Vec<Vec<u32>>,
+    trail: Vec<Lit>,
+    qhead: usize,
+    /// Sorted-literal key → derived (deletable) clause ids.
+    by_key: HashMap<Vec<Lit>, Vec<u32>>,
+    root_conflict: bool,
+    propagations: u64,
+}
+
+impl Checker {
+    fn new(num_vars: usize) -> Self {
+        Checker {
+            assigns: vec![LBool::Undef; num_vars],
+            clauses: Vec::new(),
+            alive: Vec::new(),
+            watches: vec![Vec::new(); 2 * num_vars],
+            trail: Vec::new(),
+            qhead: 0,
+            by_key: HashMap::new(),
+            root_conflict: false,
+            propagations: 0,
+        }
+    }
+
+    #[inline]
+    fn value(&self, l: Lit) -> LBool {
+        self.assigns[l.var().index() as usize].negate_if(l.is_negative())
+    }
+
+    #[inline]
+    fn enqueue(&mut self, l: Lit) {
+        debug_assert_eq!(self.value(l), LBool::Undef);
+        self.assigns[l.var().index() as usize] = LBool::from_bool(!l.is_negative());
+        self.trail.push(l);
+    }
+
+    /// Unit propagation to fixpoint; returns `true` on conflict.
+    fn propagate(&mut self) -> bool {
+        while self.qhead < self.trail.len() {
+            let p = self.trail[self.qhead];
+            self.qhead += 1;
+            self.propagations += 1;
+            let false_lit = !p;
+            let mut ws = std::mem::take(&mut self.watches[p.code() as usize]);
+            let mut j = 0;
+            let mut i = 0;
+            'watchers: while i < ws.len() {
+                let cid = ws[i];
+                i += 1;
+                if !self.alive[cid as usize] {
+                    continue; // lazily drop watchers of deleted clauses
+                }
+                let c = &mut self.clauses[cid as usize];
+                if c[0] == false_lit {
+                    c.swap(0, 1);
+                }
+                debug_assert_eq!(c[1], false_lit);
+                let first = c[0];
+                if self.value(first) == LBool::True {
+                    ws[j] = cid;
+                    j += 1;
+                    continue;
+                }
+                let len = self.clauses[cid as usize].len();
+                for k in 2..len {
+                    let lk = self.clauses[cid as usize][k];
+                    if self.value(lk) != LBool::False {
+                        let c = &mut self.clauses[cid as usize];
+                        c.swap(1, k);
+                        let new_watch = c[1];
+                        self.watches[(!new_watch).code() as usize].push(cid);
+                        continue 'watchers;
+                    }
+                }
+                // Unit or conflicting.
+                ws[j] = cid;
+                j += 1;
+                if self.value(first) == LBool::False {
+                    while i < ws.len() {
+                        ws[j] = ws[i];
+                        j += 1;
+                        i += 1;
+                    }
+                    ws.truncate(j);
+                    self.watches[p.code() as usize] = ws;
+                    self.qhead = self.trail.len();
+                    return true;
+                }
+                self.enqueue(first);
+            }
+            ws.truncate(j);
+            self.watches[p.code() as usize] = ws;
+        }
+        false
+    }
+
+    /// Inserts a clause at the root level, classifying it under the
+    /// current root assignment, and propagates to fixpoint.
+    fn insert(&mut self, lits: &[Lit], deletable: bool) {
+        if self.root_conflict {
+            return;
+        }
+        let mut c: Vec<Lit> = lits.to_vec();
+        c.sort_unstable();
+        c.dedup();
+        for i in 0..c.len().saturating_sub(1) {
+            if c[i + 1] == !c[i] {
+                return; // tautology: never propagates, skip
+            }
+        }
+        let key = c.clone();
+        // Partition: move non-false literals to the front.
+        let mut n_nonfalse = 0;
+        for i in 0..c.len() {
+            if self.value(c[i]) != LBool::False {
+                c.swap(n_nonfalse, i);
+                n_nonfalse += 1;
+            }
+        }
+        match n_nonfalse {
+            0 => {
+                self.root_conflict = true;
+            }
+            1 => {
+                match self.value(c[0]) {
+                    LBool::True => {} // satisfied at root forever
+                    LBool::Undef => {
+                        self.enqueue(c[0]);
+                        if self.propagate() {
+                            self.root_conflict = true;
+                        }
+                    }
+                    LBool::False => unreachable!("partitioned as non-false"),
+                }
+            }
+            _ => {
+                let cid = self.clauses.len() as u32;
+                self.watches[(!c[0]).code() as usize].push(cid);
+                self.watches[(!c[1]).code() as usize].push(cid);
+                self.clauses.push(c);
+                self.alive.push(true);
+                if deletable {
+                    self.by_key.entry(key).or_default().push(cid);
+                }
+            }
+        }
+    }
+
+    /// Checks that `clause` is a reverse-unit-propagation consequence of
+    /// the live database: assuming its negation must propagate to a
+    /// conflict.
+    fn is_rup(&mut self, clause: &[Lit]) -> bool {
+        if self.root_conflict {
+            return true;
+        }
+        let mark = self.trail.len();
+        let mut conflict = false;
+        for &l in clause {
+            match self.value(!l) {
+                LBool::True => {}
+                LBool::False => {
+                    conflict = true;
+                    break;
+                }
+                LBool::Undef => self.enqueue(!l),
+            }
+        }
+        if !conflict {
+            conflict = self.propagate();
+        }
+        for idx in mark..self.trail.len() {
+            self.assigns[self.trail[idx].var().index() as usize] = LBool::Undef;
+        }
+        self.trail.truncate(mark);
+        self.qhead = mark;
+        conflict
+    }
+
+    /// Removes one derived clause with the given literal set, if any.
+    /// Returns `false` when nothing matched (the deletion is skipped).
+    fn delete(&mut self, lits: &[Lit]) -> bool {
+        let mut key: Vec<Lit> = lits.to_vec();
+        key.sort_unstable();
+        key.dedup();
+        if let Some(ids) = self.by_key.get_mut(&key) {
+            while let Some(cid) = ids.pop() {
+                if self.alive[cid as usize] {
+                    self.alive[cid as usize] = false;
+                    return true;
+                }
+            }
+        }
+        false
+    }
+}
+
+fn check_range(
+    num_vars: usize,
+    section: &'static str,
+    index: usize,
+    lits: &[Lit],
+) -> Result<(), ProofError> {
+    for &l in lits {
+        if l.var().index() as usize >= num_vars {
+            return Err(ProofError::LitOutOfRange {
+                section,
+                index,
+                lit: l,
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Forward-checks a complete certificate.
+///
+/// Verifies, in order: every premise and step literal is in range; every
+/// [`ProofStep::Add`] clause is RUP with respect to the database alive
+/// before it; the concluded clause consists only of negated assumptions;
+/// and the concluded clause is itself RUP with respect to the final
+/// database. An empty conclusion therefore certifies that the premises
+/// alone are unsatisfiable.
+///
+/// # Errors
+///
+/// Returns the first [`ProofError`] encountered; a returned `Ok` means
+/// the `Unsat` verdict is independently established by the certificate.
+pub fn check_certificate(cert: &Certificate<'_>) -> Result<CheckStats, ProofError> {
+    let mut checker = Checker::new(cert.num_vars);
+    let mut stats = CheckStats {
+        conclusion_len: cert.conclusion.len(),
+        ..CheckStats::default()
+    };
+    for (i, premise) in cert.premises.iter().enumerate() {
+        check_range(cert.num_vars, "premise", i, premise)?;
+        checker.insert(premise, false);
+        stats.premises += 1;
+    }
+    for (i, step) in cert.steps.iter().enumerate() {
+        match step {
+            ProofStep::Add(lits) => {
+                check_range(cert.num_vars, "derivation", i, lits)?;
+                if !checker.is_rup(lits) {
+                    return Err(ProofError::NotRup { step: i });
+                }
+                checker.insert(lits, true);
+                stats.additions += 1;
+            }
+            ProofStep::Delete(lits) => {
+                check_range(cert.num_vars, "deletion", i, lits)?;
+                if checker.delete(lits) {
+                    stats.deletions += 1;
+                } else {
+                    stats.ignored_deletions += 1;
+                }
+            }
+        }
+    }
+    check_range(cert.num_vars, "conclusion", 0, cert.conclusion)?;
+    for &l in cert.conclusion {
+        if !cert.assumptions.contains(&!l) {
+            return Err(ProofError::ConclusionNotOnAssumptions { lit: l });
+        }
+    }
+    if !checker.is_rup(cert.conclusion) {
+        return Err(ProofError::ConclusionNotRup);
+    }
+    stats.propagations = checker.propagations;
+    Ok(stats)
+}
+
+/// Fetches and forward-checks the certificate of `solver`'s most recent
+/// `Unsat` answer, recording proof size and check time via `axmc-obs`
+/// (`check.certified` / `check.rejected` counters, `check.proof.steps`
+/// and `check.proof.premises` histograms, `check.certify.time_us` span).
+///
+/// # Errors
+///
+/// [`CertifyError::NoCertificate`] when the solver is not logging or its
+/// last answer was not `Unsat`; [`CertifyError::Rejected`] when the
+/// checker refutes the proof (which indicates a solver soundness bug).
+pub fn certify_unsat(solver: &Solver) -> Result<CheckStats, CertifyError> {
+    let cert = solver.certificate().ok_or(CertifyError::NoCertificate)?;
+    let timer = axmc_obs::span("check.certify.time_us");
+    let outcome = check_certificate(&cert);
+    let time_us = timer.finish();
+    if axmc_obs::enabled() {
+        match &outcome {
+            Ok(stats) => {
+                axmc_obs::counter("check.certified").inc();
+                axmc_obs::histogram("check.proof.steps").record(cert.steps.len() as u64);
+                axmc_obs::histogram("check.proof.premises").record(cert.premises.len() as u64);
+                axmc_obs::histogram("check.certify.propagations").record(stats.propagations);
+            }
+            Err(_) => {
+                axmc_obs::counter("check.rejected").inc();
+            }
+        }
+        if axmc_obs::tracing_active() {
+            axmc_obs::emit(
+                axmc_obs::Event::new("check.certify")
+                    .field("ok", outcome.is_ok())
+                    .field("premises", cert.premises.len())
+                    .field("steps", cert.steps.len())
+                    .field("conclusion_len", cert.conclusion.len())
+                    .field("time_us", time_us),
+            );
+        }
+    }
+    outcome.map_err(CertifyError::Rejected)
+}
+
+/// Error produced when parsing DRAT text fails.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseDratError {
+    line: usize,
+    message: String,
+}
+
+impl fmt::Display for ParseDratError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "drat parse error at line {}: {}",
+            self.line, self.message
+        )
+    }
+}
+
+impl std::error::Error for ParseDratError {}
+
+/// Serializes derivation steps as standard DRAT text (the same format
+/// [`Solver::write_drat`] streams).
+pub fn format_drat(steps: &[ProofStep]) -> String {
+    let mut out = String::new();
+    for step in steps {
+        let lits = match step {
+            ProofStep::Add(lits) => lits,
+            ProofStep::Delete(lits) => {
+                out.push_str("d ");
+                lits
+            }
+        };
+        for l in lits {
+            out.push_str(&l.to_dimacs().to_string());
+            out.push(' ');
+        }
+        out.push_str("0\n");
+    }
+    out
+}
+
+/// Parses DRAT text (clause-addition lines and `d`-prefixed deletion
+/// lines, DIMACS literal numbering, `0`-terminated) into derivation
+/// steps. Comment lines starting with `c` and blank lines are skipped.
+///
+/// # Errors
+///
+/// Returns [`ParseDratError`] on junk tokens or unterminated lines.
+pub fn parse_drat(text: &str) -> Result<Vec<ProofStep>, ParseDratError> {
+    let mut steps = Vec::new();
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('c') {
+            continue;
+        }
+        let (is_delete, rest) = match line.strip_prefix('d') {
+            Some(rest) if rest.starts_with(char::is_whitespace) => (true, rest),
+            _ => (false, line),
+        };
+        let mut lits = Vec::new();
+        let mut terminated = false;
+        for tok in rest.split_whitespace() {
+            if terminated {
+                return Err(ParseDratError {
+                    line: lineno + 1,
+                    message: format!("token '{tok}' after clause terminator"),
+                });
+            }
+            let v: i64 = tok.parse().map_err(|_| ParseDratError {
+                line: lineno + 1,
+                message: format!("bad literal '{tok}'"),
+            })?;
+            if v == 0 {
+                terminated = true;
+            } else {
+                lits.push(Lit::from_dimacs(v));
+            }
+        }
+        if !terminated {
+            return Err(ParseDratError {
+                line: lineno + 1,
+                message: "missing clause terminator 0".to_string(),
+            });
+        }
+        steps.push(if is_delete {
+            ProofStep::Delete(lits)
+        } else {
+            ProofStep::Add(lits)
+        });
+    }
+    Ok(steps)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use axmc_sat::{SolveResult, Var};
+
+    fn pigeonhole(n: usize, h: usize) -> Solver {
+        let mut s = Solver::new();
+        let vars: Vec<Var> = (0..n * h).map(|_| s.new_var()).collect();
+        s.set_proof_logging(true);
+        let p = |i: usize, j: usize| vars[i * h + j].positive();
+        for i in 0..n {
+            let holes: Vec<Lit> = (0..h).map(|j| p(i, j)).collect();
+            s.add_clause(&holes);
+        }
+        for j in 0..h {
+            for i1 in 0..n {
+                for i2 in (i1 + 1)..n {
+                    s.add_clause(&[!p(i1, j), !p(i2, j)]);
+                }
+            }
+        }
+        s
+    }
+
+    #[test]
+    fn accepts_pigeonhole_refutation() {
+        let mut s = pigeonhole(5, 4);
+        assert_eq!(s.solve(), SolveResult::Unsat);
+        let stats = certify_unsat(&s).expect("valid refutation");
+        assert!(stats.additions > 0);
+        assert_eq!(stats.conclusion_len, 0);
+    }
+
+    #[test]
+    fn accepts_assumption_core() {
+        let mut s = Solver::new();
+        let v: Vec<Var> = (0..3).map(|_| s.new_var()).collect();
+        s.set_proof_logging(true);
+        s.add_clause(&[v[0].negative(), v[1].positive()]);
+        s.add_clause(&[v[1].negative(), v[2].positive()]);
+        assert_eq!(
+            s.solve_with_assumptions(&[v[0].positive(), v[2].negative()]),
+            SolveResult::Unsat
+        );
+        let stats = certify_unsat(&s).expect("valid assumption core");
+        assert!(stats.conclusion_len > 0);
+    }
+
+    #[test]
+    fn accepts_contradictory_assumptions() {
+        let mut s = Solver::new();
+        let x = s.new_var();
+        s.set_proof_logging(true);
+        assert_eq!(
+            s.solve_with_assumptions(&[x.positive(), x.negative()]),
+            SolveResult::Unsat
+        );
+        certify_unsat(&s).expect("tautological core is trivially RUP");
+    }
+
+    #[test]
+    fn no_certificate_for_sat_answers() {
+        let mut s = Solver::new();
+        let x = s.new_var();
+        s.set_proof_logging(true);
+        s.add_clause(&[x.positive()]);
+        assert_eq!(s.solve(), SolveResult::Sat);
+        assert_eq!(certify_unsat(&s), Err(CertifyError::NoCertificate));
+    }
+
+    #[test]
+    fn rejects_fabricated_non_rup_step() {
+        // Premises: (a ∨ b). Claimed derivation: (a) — not RUP.
+        let a = Var::new(0).positive();
+        let b = Var::new(1).positive();
+        let premises = vec![vec![a, b]];
+        let steps = vec![ProofStep::Add(vec![a])];
+        let cert = Certificate {
+            num_vars: 2,
+            premises: &premises,
+            steps: &steps,
+            conclusion: &[],
+            assumptions: &[],
+        };
+        assert_eq!(
+            check_certificate(&cert),
+            Err(ProofError::NotRup { step: 0 })
+        );
+    }
+
+    #[test]
+    fn rejects_claimed_refutation_of_satisfiable_premises() {
+        let a = Var::new(0).positive();
+        let premises = vec![vec![a]];
+        let cert = Certificate {
+            num_vars: 1,
+            premises: &premises,
+            steps: &[],
+            conclusion: &[],
+            assumptions: &[],
+        };
+        assert_eq!(check_certificate(&cert), Err(ProofError::ConclusionNotRup));
+    }
+
+    #[test]
+    fn rejects_out_of_range_literal() {
+        let premises = vec![vec![Var::new(7).positive()]];
+        let cert = Certificate {
+            num_vars: 3,
+            premises: &premises,
+            steps: &[],
+            conclusion: &[],
+            assumptions: &[],
+        };
+        assert!(matches!(
+            check_certificate(&cert),
+            Err(ProofError::LitOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_conclusion_literal_outside_assumptions() {
+        let mut s = Solver::new();
+        let v: Vec<Var> = (0..2).map(|_| s.new_var()).collect();
+        s.set_proof_logging(true);
+        s.add_clause(&[v[0].negative(), v[1].positive()]);
+        assert_eq!(
+            s.solve_with_assumptions(&[v[0].positive(), v[1].negative()]),
+            SolveResult::Unsat
+        );
+        let cert = s.certificate().unwrap();
+        assert!(!cert.conclusion.is_empty());
+        // Corrupt the conclusion: !(!v1) = v1 is not among the assumptions.
+        let corrupted = vec![Var::new(1).negative()];
+        let bad = Certificate {
+            conclusion: &corrupted,
+            ..cert
+        };
+        assert!(matches!(
+            check_certificate(&bad),
+            Err(ProofError::ConclusionNotOnAssumptions { .. })
+        ));
+    }
+
+    #[test]
+    fn deletion_of_unknown_clause_is_ignored_not_fatal() {
+        let mut s = pigeonhole(4, 3);
+        assert_eq!(s.solve(), SolveResult::Unsat);
+        let cert = s.certificate().unwrap();
+        let mut steps: Vec<ProofStep> = cert.steps.to_vec();
+        steps.insert(
+            0,
+            ProofStep::Delete(vec![Var::new(0).positive(), Var::new(1).positive()]),
+        );
+        let patched = Certificate {
+            steps: &steps,
+            ..cert
+        };
+        let stats = check_certificate(&patched).expect("still a valid proof");
+        assert_eq!(stats.ignored_deletions, 1);
+    }
+
+    #[test]
+    fn deleted_derived_clause_no_longer_propagates() {
+        // Premises: (a ∨ b), (a ∨ !b). Derive (a) by RUP, delete it, then
+        // claim (a) again — after re-deriving it must still be RUP (from
+        // the premises), so this stays valid; but deleting BOTH premises'
+        // consequence and claiming something unsupported must fail.
+        let a = Var::new(0).positive();
+        let b = Var::new(1).positive();
+        let c = Var::new(2).positive();
+        let premises = vec![vec![a, b], vec![a, !b]];
+        let steps = vec![
+            ProofStep::Add(vec![a]),
+            ProofStep::Delete(vec![a]),
+            ProofStep::Add(vec![c]), // unsupported: not RUP
+        ];
+        let cert = Certificate {
+            num_vars: 3,
+            premises: &premises,
+            steps: &steps,
+            conclusion: &[],
+            assumptions: &[],
+        };
+        assert_eq!(
+            check_certificate(&cert),
+            Err(ProofError::NotRup { step: 2 })
+        );
+    }
+
+    #[test]
+    fn drat_text_round_trip() {
+        let a = Var::new(0).positive();
+        let b = Var::new(1).negative();
+        let steps = vec![
+            ProofStep::Add(vec![a, b]),
+            ProofStep::Delete(vec![a, b]),
+            ProofStep::Add(vec![]),
+        ];
+        let text = format_drat(&steps);
+        let back = parse_drat(&text).unwrap();
+        assert_eq!(back, steps);
+    }
+
+    #[test]
+    fn parse_drat_rejects_junk() {
+        assert!(parse_drat("1 2 x 0\n").is_err());
+        assert!(parse_drat("1 2\n").is_err()); // missing terminator
+        assert!(parse_drat("1 0 2\n").is_err()); // token after terminator
+        assert!(parse_drat("c comment\n\nd 1 0\n").is_ok());
+    }
+
+    #[test]
+    fn solver_drat_text_parses_back() {
+        let mut s = pigeonhole(4, 3);
+        assert_eq!(s.solve(), SolveResult::Unsat);
+        let text = s.proof_drat().unwrap();
+        let steps = parse_drat(&text).unwrap();
+        assert_eq!(steps.len(), s.certificate().unwrap().steps.len());
+    }
+}

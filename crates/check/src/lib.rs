@@ -1,0 +1,53 @@
+//! Static analysis and self-certification for the `axmc` toolkit.
+//!
+//! Every headline number `axmc` produces — worst-case errors, earliest
+//! error cycles, `G (error ≤ T)` bound proofs, CGP acceptance verdicts —
+//! ultimately rests on an **UNSAT** answer from the in-tree CDCL solver.
+//! This crate turns "trust the solver" into "check the proof", with two
+//! pillars:
+//!
+//! * **Certified UNSAT** ([`drat`]): a forward RUP/DRAT checker that
+//!   independently validates the clausal proofs recorded by a
+//!   proof-logging [`axmc_sat::Solver`] (see
+//!   [`axmc_sat::Solver::set_proof_logging`]). The checker re-derives
+//!   every learnt clause by reverse unit propagation and finally verifies
+//!   the concluded clause — including assumption cores for incremental
+//!   BMC queries. [`certify_unsat`] is the one-call entry point the
+//!   engines use behind `--certify`.
+//! * **Structural linting** ([`lint`]): diagnostics-style well-formedness
+//!   passes over the circuit IRs — AIG topology and latch wiring, netlist
+//!   topology and interface contracts, miter pair wiring, CNF sanity —
+//!   exposed as `axmc lint` and as debug-build entry checks in the
+//!   engines.
+//!
+//! # Examples
+//!
+//! Certify a small refutation end to end:
+//!
+//! ```
+//! use axmc_sat::{Solver, SolveResult};
+//! use axmc_check::certify_unsat;
+//!
+//! let mut solver = Solver::new();
+//! let x = solver.new_var().positive();
+//! solver.set_proof_logging(true);
+//! solver.add_clause(&[x]);
+//! solver.add_clause(&[!x]);
+//! assert_eq!(solver.solve(), SolveResult::Unsat);
+//! let stats = certify_unsat(&solver).expect("proof checks");
+//! assert_eq!(stats.premises, 2);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod drat;
+pub mod lint;
+
+pub use crate::drat::{
+    certify_unsat, check_certificate, format_drat, parse_drat, CertifyError, CheckStats,
+    ParseDratError, ProofError,
+};
+pub use crate::lint::{
+    has_errors, lint_aig, lint_cnf, lint_netlist, lint_pair, Diagnostic, Severity,
+};

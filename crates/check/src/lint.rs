@@ -1,0 +1,614 @@
+//! Structural well-formedness linting for circuit IRs and CNF formulas.
+//!
+//! Every pass returns a list of [`Diagnostic`]s — rule id, severity,
+//! location, human-readable message — and never panics on malformed
+//! input: that is the point. The rule families are
+//!
+//! | prefix | subject | pass |
+//! |--------|---------|------|
+//! | `AIG`  | And-Inverter Graphs | [`lint_aig`] |
+//! | `NET`  | gate-level netlists | [`lint_netlist`] |
+//! | `MIT`  | golden/approx pair wiring | [`lint_pair`] |
+//! | `CNF`  | CNF formulas | [`lint_cnf`] |
+//!
+//! **Errors** mark structures the downstream engines would mis-handle or
+//! crash on (topological-order violations, out-of-range references,
+//! interface arity mismatches). **Warnings** mark suspicious-but-legal
+//! shapes (dead logic, unused inputs, hold latches) that shipped
+//! approximate components routinely contain.
+
+use axmc_aig::{Aig, Node, Var};
+use axmc_circuit::{Netlist, Signal};
+use axmc_cnf::Cnf;
+use std::collections::HashSet;
+use std::fmt;
+
+/// How bad a [`Diagnostic`] is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Informational note.
+    Info,
+    /// Legal but suspicious; engines will still behave correctly.
+    Warning,
+    /// Structurally broken; engine behavior is undefined.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Info => write!(f, "info"),
+            Severity::Warning => write!(f, "warning"),
+            Severity::Error => write!(f, "error"),
+        }
+    }
+}
+
+/// One finding of a lint pass.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Stable rule identifier, e.g. `"AIG002"`.
+    pub rule: &'static str,
+    /// How bad the finding is.
+    pub severity: Severity,
+    /// Where in the structure the finding anchors, e.g. `"node 13"`.
+    pub location: String,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl Diagnostic {
+    fn new(
+        rule: &'static str,
+        severity: Severity,
+        location: impl Into<String>,
+        message: impl Into<String>,
+    ) -> Self {
+        Diagnostic {
+            rule,
+            severity,
+            location: location.into(),
+            message: message.into(),
+        }
+    }
+
+    fn error(rule: &'static str, location: impl Into<String>, message: impl Into<String>) -> Self {
+        Diagnostic::new(rule, Severity::Error, location, message)
+    }
+
+    fn warning(
+        rule: &'static str,
+        location: impl Into<String>,
+        message: impl Into<String>,
+    ) -> Self {
+        Diagnostic::new(rule, Severity::Warning, location, message)
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}[{}] {}: {}",
+            self.severity, self.rule, self.location, self.message
+        )
+    }
+}
+
+/// Returns `true` if any diagnostic has [`Severity::Error`].
+pub fn has_errors(diagnostics: &[Diagnostic]) -> bool {
+    diagnostics.iter().any(|d| d.severity == Severity::Error)
+}
+
+/// Lints an And-Inverter Graph.
+///
+/// Errors: `AIG001` node-table corruption (constant node misplaced,
+/// input/latch ordinal not matching the side tables), `AIG002` AND fanin
+/// not strictly below the gate (topological-order violation), `AIG003`
+/// output literal out of range, `AIG004` latch next-state literal out of
+/// range. Warnings: `AIG005` hold latch (next state is its own output,
+/// the `add_latch` default), `AIG006` AND nodes unreachable from every
+/// output and latch, `AIG007` no outputs.
+pub fn lint_aig(aig: &Aig) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let n = aig.num_nodes();
+
+    for (var, node) in aig.iter() {
+        let v = var.index();
+        match node {
+            Node::Const => {
+                if v != 0 {
+                    out.push(Diagnostic::error(
+                        "AIG001",
+                        format!("node {v}"),
+                        "constant node at a variable other than 0",
+                    ));
+                }
+            }
+            Node::Input(i) => {
+                if aig.inputs().get(i as usize) != Some(&var) {
+                    out.push(Diagnostic::error(
+                        "AIG001",
+                        format!("node {v}"),
+                        format!("input ordinal {i} does not match the input table"),
+                    ));
+                }
+            }
+            Node::Latch(i) => {
+                if aig.latches().get(i as usize).map(|l| l.var) != Some(var) {
+                    out.push(Diagnostic::error(
+                        "AIG001",
+                        format!("node {v}"),
+                        format!("latch ordinal {i} does not match the latch table"),
+                    ));
+                }
+            }
+            Node::And(a, b) => {
+                for (side, l) in [("left", a), ("right", b)] {
+                    if l.var().index() >= v {
+                        out.push(Diagnostic::error(
+                            "AIG002",
+                            format!("node {v}"),
+                            format!(
+                                "{side} fanin {l} is not strictly below the gate \
+                                 (topological order violated)"
+                            ),
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    if aig.node(Var::CONST) != Node::Const {
+        out.push(Diagnostic::error(
+            "AIG001",
+            "node 0",
+            "variable 0 is not the constant node",
+        ));
+    }
+
+    for (i, &lit) in aig.outputs().iter().enumerate() {
+        if (lit.var().index() as usize) >= n {
+            out.push(Diagnostic::error(
+                "AIG003",
+                format!("output {i}"),
+                format!("literal {lit} references a node outside the graph"),
+            ));
+        }
+    }
+    for (i, latch) in aig.latches().iter().enumerate() {
+        if (latch.next.var().index() as usize) >= n {
+            out.push(Diagnostic::error(
+                "AIG004",
+                format!("latch {i}"),
+                format!(
+                    "next-state literal {} references a node outside the graph",
+                    latch.next
+                ),
+            ));
+        } else if latch.next == latch.var.lit() {
+            out.push(Diagnostic::warning(
+                "AIG005",
+                format!("latch {i}"),
+                "latch holds its own value forever (next state never set?)",
+            ));
+        }
+    }
+
+    // Reachability from outputs and latch next-states.
+    let mut reach = vec![false; n];
+    let mut stack: Vec<Var> = Vec::new();
+    for &o in aig.outputs() {
+        if (o.var().index() as usize) < n {
+            stack.push(o.var());
+        }
+    }
+    for l in aig.latches() {
+        if (l.next.var().index() as usize) < n {
+            stack.push(l.next.var());
+        }
+    }
+    while let Some(v) = stack.pop() {
+        let idx = v.index() as usize;
+        if reach[idx] {
+            continue;
+        }
+        reach[idx] = true;
+        if let Node::And(a, b) = aig.node(v) {
+            if (a.var().index() as usize) < n {
+                stack.push(a.var());
+            }
+            if (b.var().index() as usize) < n {
+                stack.push(b.var());
+            }
+        }
+    }
+    let dead = aig
+        .iter()
+        .filter(|(v, node)| matches!(node, Node::And(..)) && !reach[v.index() as usize])
+        .count();
+    if dead > 0 {
+        out.push(Diagnostic::warning(
+            "AIG006",
+            "graph",
+            format!("{dead} AND node(s) unreachable from every output and latch"),
+        ));
+    }
+    if aig.num_outputs() == 0 {
+        out.push(Diagnostic::warning(
+            "AIG007",
+            "graph",
+            "graph has no outputs",
+        ));
+    }
+    out
+}
+
+fn signal_in_range(s: Signal, num_inputs: usize, gate_bound: usize) -> bool {
+    match s {
+        Signal::Const(_) => true,
+        Signal::Input(i) => (i as usize) < num_inputs,
+        Signal::Gate(g) => (g as usize) < gate_bound,
+    }
+}
+
+/// Lints a gate-level netlist.
+///
+/// Errors: `NET001` gate fanin referencing the gate itself or a later
+/// gate (combinational cycle / forward reference), `NET002` fanin input
+/// ordinal out of range, `NET003` output signal out of range. Warnings:
+/// `NET004` gates feeding no output (dead logic), `NET005` inputs no
+/// active gate or output reads.
+pub fn lint_netlist(netlist: &Netlist) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let ni = netlist.num_inputs();
+    let ng = netlist.num_gates();
+
+    for (g, gate) in netlist.gates().iter().enumerate() {
+        let mut fanins = Vec::new();
+        if gate.op.uses_first_input() {
+            fanins.push(("first", gate.a));
+        }
+        if gate.op.uses_second_input() {
+            fanins.push(("second", gate.b));
+        }
+        for (side, s) in fanins {
+            match s {
+                Signal::Gate(f) if (f as usize) >= g => {
+                    out.push(Diagnostic::error(
+                        "NET001",
+                        format!("gate {g}"),
+                        format!(
+                            "{side} fanin reads gate {f}, which is not strictly earlier \
+                             (cycle or forward reference)"
+                        ),
+                    ));
+                }
+                Signal::Input(i) if (i as usize) >= ni => {
+                    out.push(Diagnostic::error(
+                        "NET002",
+                        format!("gate {g}"),
+                        format!("{side} fanin reads input {i}, but only {ni} input(s) exist"),
+                    ));
+                }
+                _ => {}
+            }
+        }
+    }
+
+    for (o, &s) in netlist.outputs().iter().enumerate() {
+        if !signal_in_range(s, ni, ng) {
+            out.push(Diagnostic::error(
+                "NET003",
+                format!("output {o}"),
+                format!("output signal {s:?} is out of range"),
+            ));
+        }
+    }
+
+    // Dead-logic and unused-input analysis over the valid part only.
+    if !has_errors(&out) {
+        let active = netlist.active_gates();
+        let dead = active.iter().filter(|&&a| !a).count();
+        if dead > 0 {
+            out.push(Diagnostic::warning(
+                "NET004",
+                "netlist",
+                format!("{dead} gate(s) feed no output (dead logic)"),
+            ));
+        }
+        let mut used = vec![false; ni];
+        let mut mark = |s: Signal| {
+            if let Signal::Input(i) = s {
+                used[i as usize] = true;
+            }
+        };
+        for (g, gate) in netlist.gates().iter().enumerate() {
+            if active[g] {
+                if gate.op.uses_first_input() {
+                    mark(gate.a);
+                }
+                if gate.op.uses_second_input() {
+                    mark(gate.b);
+                }
+            }
+        }
+        for &s in netlist.outputs() {
+            mark(s);
+        }
+        let unused = used.iter().filter(|&&u| !u).count();
+        if unused > 0 {
+            out.push(Diagnostic::warning(
+                "NET005",
+                "netlist",
+                format!("{unused} input(s) are read by no active gate or output"),
+            ));
+        }
+    }
+    out
+}
+
+/// Lints the interface wiring of a golden/approximate pair about to be
+/// mitered.
+///
+/// Errors: `MIT001` input-count mismatch, `MIT002` output-count mismatch,
+/// `MIT004` a side with zero outputs (nothing to compare). Warning:
+/// `MIT003` latch-count mismatch (legal — approximation may add or remove
+/// state — but worth flagging).
+pub fn lint_pair(golden: &Aig, approx: &Aig) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    if golden.num_inputs() != approx.num_inputs() {
+        out.push(Diagnostic::error(
+            "MIT001",
+            "pair",
+            format!(
+                "input counts differ: golden has {}, approx has {}",
+                golden.num_inputs(),
+                approx.num_inputs()
+            ),
+        ));
+    }
+    if golden.num_outputs() != approx.num_outputs() {
+        out.push(Diagnostic::error(
+            "MIT002",
+            "pair",
+            format!(
+                "output counts differ: golden has {}, approx has {}",
+                golden.num_outputs(),
+                approx.num_outputs()
+            ),
+        ));
+    }
+    if golden.num_latches() != approx.num_latches() {
+        out.push(Diagnostic::warning(
+            "MIT003",
+            "pair",
+            format!(
+                "latch counts differ: golden has {}, approx has {}",
+                golden.num_latches(),
+                approx.num_latches()
+            ),
+        ));
+    }
+    if golden.num_outputs() == 0 || approx.num_outputs() == 0 {
+        out.push(Diagnostic::error(
+            "MIT004",
+            "pair",
+            "a side has no outputs; the miter would compare nothing",
+        ));
+    }
+    out
+}
+
+/// Lints a CNF formula.
+///
+/// Error: `CNF001` a literal references a variable at or beyond
+/// `num_vars`. Warnings: `CNF002` tautological clause (contains `x` and
+/// `!x`), `CNF003` duplicate literal within a clause, `CNF004` duplicate
+/// clause, `CNF005` empty clause (trivially unsatisfiable formula).
+pub fn lint_cnf(cnf: &Cnf) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let nv = cnf.num_vars();
+    let mut seen_clauses: HashSet<Vec<axmc_sat::Lit>> = HashSet::new();
+    for (ci, clause) in cnf.clauses().iter().enumerate() {
+        let loc = format!("clause {ci}");
+        if clause.is_empty() {
+            out.push(Diagnostic::warning(
+                "CNF005",
+                loc.clone(),
+                "empty clause (the formula is trivially unsatisfiable)",
+            ));
+        }
+        let mut vars_pos: HashSet<u32> = HashSet::new();
+        let mut vars_neg: HashSet<u32> = HashSet::new();
+        let mut tautology = false;
+        let mut duplicate = false;
+        for &l in clause {
+            let v = l.var().index();
+            if (v as usize) >= nv {
+                out.push(Diagnostic::error(
+                    "CNF001",
+                    loc.clone(),
+                    format!("literal {l} exceeds the declared {nv} variable(s)"),
+                ));
+            }
+            let (mine, other) = if l.is_negative() {
+                (&mut vars_neg, &vars_pos)
+            } else {
+                (&mut vars_pos, &vars_neg)
+            };
+            if other.contains(&v) {
+                tautology = true;
+            }
+            if !mine.insert(v) {
+                duplicate = true;
+            }
+        }
+        if tautology {
+            out.push(Diagnostic::warning(
+                "CNF002",
+                loc.clone(),
+                "clause contains a variable in both polarities (tautology)",
+            ));
+        }
+        if duplicate {
+            out.push(Diagnostic::warning(
+                "CNF003",
+                loc.clone(),
+                "clause contains a duplicate literal",
+            ));
+        }
+        let mut key = clause.clone();
+        key.sort_unstable();
+        key.dedup();
+        if !seen_clauses.insert(key) {
+            out.push(Diagnostic::warning(
+                "CNF004",
+                loc,
+                "clause duplicates an earlier clause",
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use axmc_circuit::approx::{adder_library, multiplier_library};
+    use axmc_circuit::{Gate, GateOp};
+
+    fn full_adder() -> Aig {
+        let mut aig = Aig::new();
+        let a = aig.add_input();
+        let b = aig.add_input();
+        let cin = aig.add_input();
+        let ab = aig.xor(a, b);
+        let s = aig.xor(ab, cin);
+        let c1 = aig.and(a, b);
+        let c2 = aig.and(ab, cin);
+        let cout = aig.or(c1, c2);
+        aig.add_output(s);
+        aig.add_output(cout);
+        aig
+    }
+
+    #[test]
+    fn clean_aig_has_no_diagnostics() {
+        assert_eq!(lint_aig(&full_adder()), Vec::new());
+    }
+
+    #[test]
+    fn hold_latch_is_warned() {
+        let mut aig = Aig::new();
+        let l = aig.add_latch(false);
+        aig.add_output(l);
+        let diags = lint_aig(&aig);
+        assert!(diags.iter().any(|d| d.rule == "AIG005"));
+        assert!(!has_errors(&diags));
+    }
+
+    #[test]
+    fn unreachable_and_nodes_are_warned() {
+        let mut aig = Aig::new();
+        let a = aig.add_input();
+        let b = aig.add_input();
+        let _dead = aig.and(a, b);
+        aig.add_output(a);
+        let diags = lint_aig(&aig);
+        assert!(diags.iter().any(|d| d.rule == "AIG006"));
+        assert!(!diags.iter().any(|d| d.rule == "AIG007"));
+        assert!(!has_errors(&diags));
+    }
+
+    #[test]
+    fn outputless_graph_is_warned() {
+        let diags = lint_aig(&Aig::new());
+        assert!(diags.iter().any(|d| d.rule == "AIG007"));
+    }
+
+    #[test]
+    fn component_libraries_lint_clean_of_errors() {
+        for width in [4usize, 8] {
+            for comp in adder_library(width) {
+                let diags = lint_netlist(&comp.netlist);
+                assert!(
+                    !has_errors(&diags),
+                    "{} (width {width}): {diags:?}",
+                    comp.name
+                );
+            }
+        }
+        for comp in multiplier_library(4) {
+            let diags = lint_netlist(&comp.netlist);
+            assert!(!has_errors(&diags), "{}: {diags:?}", comp.name);
+        }
+    }
+
+    #[test]
+    fn broken_netlist_is_flagged() {
+        // Gate 0 reads gate 5 (forward reference) and input 9 (of 2).
+        let gates = vec![Gate {
+            op: GateOp::And,
+            a: Signal::Gate(5),
+            b: Signal::Input(9),
+        }];
+        let outputs = vec![Signal::Gate(3)];
+        let broken = Netlist::from_raw_parts(2, gates, outputs);
+        let diags = lint_netlist(&broken);
+        assert!(diags.iter().any(|d| d.rule == "NET001"));
+        assert!(diags.iter().any(|d| d.rule == "NET002"));
+        assert!(diags.iter().any(|d| d.rule == "NET003"));
+        assert!(has_errors(&diags));
+    }
+
+    #[test]
+    fn dead_gates_and_unused_inputs_are_warned() {
+        let mut n = Netlist::new(3);
+        let a = n.input(0);
+        let b = n.input(1);
+        let _dead = n.add_gate(GateOp::And, a, b);
+        n.add_output(a);
+        let diags = lint_netlist(&n);
+        assert!(diags.iter().any(|d| d.rule == "NET004"));
+        assert!(diags.iter().any(|d| d.rule == "NET005"));
+        assert!(!has_errors(&diags));
+    }
+
+    #[test]
+    fn mismatched_pair_is_flagged() {
+        let golden = full_adder();
+        let mut approx = Aig::new();
+        let x = approx.add_input();
+        approx.add_output(x);
+        let diags = lint_pair(&golden, &approx);
+        assert!(diags.iter().any(|d| d.rule == "MIT001"));
+        assert!(diags.iter().any(|d| d.rule == "MIT002"));
+        assert!(has_errors(&diags));
+        assert!(lint_pair(&golden, &golden.clone()).is_empty());
+    }
+
+    #[test]
+    fn cnf_shape_warnings() {
+        use axmc_sat::Var;
+        let mut cnf = Cnf::new(2);
+        let x = Var::new(0).positive();
+        let y = Var::new(1).positive();
+        cnf.add_clause(vec![x, !x]); // CNF002
+        cnf.add_clause(vec![y, y]); // CNF003
+        cnf.add_clause(vec![x, y]);
+        cnf.add_clause(vec![y, x]); // CNF004 (same set)
+        cnf.add_clause(vec![]); // CNF005
+        let diags = lint_cnf(&cnf);
+        for rule in ["CNF002", "CNF003", "CNF004", "CNF005"] {
+            assert!(diags.iter().any(|d| d.rule == rule), "missing {rule}");
+        }
+        assert!(!has_errors(&diags));
+    }
+
+    #[test]
+    fn diagnostics_render_readably() {
+        let d = Diagnostic::error("NET001", "gate 3", "cycle");
+        assert_eq!(d.to_string(), "error[NET001] gate 3: cycle");
+    }
+}

@@ -27,6 +27,9 @@
 //! assert!(cheap.area(&AreaModel::nm45()) < exact.area(&AreaModel::nm45()));
 //! ```
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 pub mod approx;
 mod area;
 pub mod generators;

@@ -167,6 +167,22 @@ impl Netlist {
         }
     }
 
+    /// Assembles a netlist from raw parts **without validation**.
+    ///
+    /// Unlike [`Netlist::add_gate`] and [`Netlist::add_output`], no
+    /// topology or range checks are performed, so the result may be
+    /// structurally broken. Intended for interchange (deserializing
+    /// externally produced netlists) and for exercising the structural
+    /// linter; run `axmc-check`'s netlist lint before trusting the
+    /// result in an engine.
+    pub fn from_raw_parts(num_inputs: usize, gates: Vec<Gate>, outputs: Vec<Signal>) -> Self {
+        Netlist {
+            num_inputs,
+            gates,
+            outputs,
+        }
+    }
+
     /// The signal of primary input `i`.
     ///
     /// # Panics

@@ -88,20 +88,36 @@ impl Cnf {
 
     /// Parses DIMACS CNF text.
     ///
+    /// The parser is strict where silence would hide corruption: the
+    /// header's variable *and* clause counts must parse, every literal
+    /// must fall within the declared variable range, every clause must be
+    /// `0`-terminated (a truncated file is rejected, not silently
+    /// accepted), and the number of clauses must match the header.
+    ///
     /// # Errors
     ///
-    /// Returns [`ParseDimacsError`] on a malformed header or literal.
+    /// Returns [`ParseDimacsError`] on a malformed or missing header, a
+    /// duplicated header, a junk token, an out-of-range literal, an
+    /// unterminated final clause, or a header/body clause-count mismatch.
     pub fn from_dimacs(text: &str) -> Result<Self, ParseDimacsError> {
+        // The solver packs a literal as `2 * var + sign` in a `u32`, so
+        // the largest representable DIMACS variable is (u32::MAX - 1) / 2.
+        const MAX_VARS: u64 = (u32::MAX as u64 - 1) / 2;
         let mut cnf = Cnf::new(0);
-        let mut header_vars = 0usize;
+        let mut header_vars = 0u64;
+        let mut header_clauses = 0usize;
         let mut seen_header = false;
         let mut current: Vec<Lit> = Vec::new();
+        let mut open_clause_line = 0usize;
         for (lineno, line) in text.lines().enumerate() {
             let line = line.trim();
             if line.is_empty() || line.starts_with('c') {
                 continue;
             }
             if line.starts_with('p') {
+                if seen_header {
+                    return Err(ParseDimacsError::new(lineno + 1, "duplicate problem line"));
+                }
                 let f: Vec<&str> = line.split_whitespace().collect();
                 if f.len() != 4 || f[1] != "cnf" {
                     return Err(ParseDimacsError::new(lineno + 1, "bad problem line"));
@@ -109,6 +125,15 @@ impl Cnf {
                 header_vars = f[2]
                     .parse()
                     .map_err(|_| ParseDimacsError::new(lineno + 1, "bad variable count"))?;
+                if header_vars > MAX_VARS {
+                    return Err(ParseDimacsError::new(
+                        lineno + 1,
+                        format!("variable count {header_vars} exceeds the representable maximum {MAX_VARS}"),
+                    ));
+                }
+                header_clauses = f[3]
+                    .parse()
+                    .map_err(|_| ParseDimacsError::new(lineno + 1, "bad clause count"))?;
                 seen_header = true;
                 continue;
             }
@@ -122,14 +147,35 @@ impl Cnf {
                 if v == 0 {
                     cnf.add_clause(std::mem::take(&mut current));
                 } else {
+                    if v.unsigned_abs() > header_vars {
+                        return Err(ParseDimacsError::new(
+                            lineno + 1,
+                            format!("literal {v} out of range (header declares {header_vars} variables)"),
+                        ));
+                    }
+                    if current.is_empty() {
+                        open_clause_line = lineno + 1;
+                    }
                     current.push(Lit::from_dimacs(v));
                 }
             }
         }
         if !current.is_empty() {
-            cnf.add_clause(current);
+            return Err(ParseDimacsError::new(
+                open_clause_line,
+                "unterminated clause (missing trailing 0; file truncated?)",
+            ));
         }
-        cnf.num_vars = cnf.num_vars.max(header_vars);
+        if cnf.clauses.len() != header_clauses {
+            return Err(ParseDimacsError::new(
+                text.lines().count().max(1),
+                format!(
+                    "header declares {header_clauses} clauses but the body contains {}",
+                    cnf.clauses.len()
+                ),
+            ));
+        }
+        cnf.num_vars = cnf.num_vars.max(header_vars as usize);
         Ok(cnf)
     }
 }
@@ -195,6 +241,58 @@ mod tests {
         assert!(Cnf::from_dimacs("p wrong 1 1\n1 0\n").is_err());
         assert!(Cnf::from_dimacs("1 0\n").is_err());
         assert!(Cnf::from_dimacs("p cnf 1 1\nx 0\n").is_err());
+    }
+
+    #[test]
+    fn rejects_truncated_header() {
+        let err = Cnf::from_dimacs("p cnf 3\n").unwrap_err();
+        assert!(err.to_string().contains("bad problem line"), "{err}");
+    }
+
+    #[test]
+    fn rejects_junk_counts_in_header() {
+        let vars = Cnf::from_dimacs("p cnf three 1\n1 0\n").unwrap_err();
+        assert!(vars.to_string().contains("bad variable count"), "{vars}");
+        let clauses = Cnf::from_dimacs("p cnf 3 many\n1 0\n").unwrap_err();
+        assert!(
+            clauses.to_string().contains("bad clause count"),
+            "{clauses}"
+        );
+    }
+
+    #[test]
+    fn rejects_duplicate_header() {
+        let err = Cnf::from_dimacs("p cnf 1 1\np cnf 1 1\n1 0\n").unwrap_err();
+        assert!(err.to_string().contains("duplicate problem line"), "{err}");
+    }
+
+    #[test]
+    fn rejects_out_of_range_literal() {
+        let err = Cnf::from_dimacs("p cnf 2 1\n1 -3 0\n").unwrap_err();
+        assert!(err.to_string().contains("literal -3 out of range"), "{err}");
+    }
+
+    #[test]
+    fn rejects_unterminated_final_clause() {
+        let err = Cnf::from_dimacs("p cnf 2 2\n1 0\n1 -2\n").unwrap_err();
+        assert!(err.to_string().contains("unterminated clause"), "{err}");
+        assert!(err.to_string().contains("line 3"), "{err}");
+    }
+
+    #[test]
+    fn rejects_clause_count_mismatch() {
+        let err = Cnf::from_dimacs("p cnf 2 3\n1 0\n-2 0\n").unwrap_err();
+        assert!(
+            err.to_string()
+                .contains("declares 3 clauses but the body contains 2"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn rejects_unrepresentable_variable_count() {
+        let err = Cnf::from_dimacs("p cnf 99999999999 0\n").unwrap_err();
+        assert!(err.to_string().contains("representable maximum"), "{err}");
     }
 
     #[test]

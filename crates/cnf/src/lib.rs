@@ -31,6 +31,9 @@
 //! assert_eq!(solver.solve(), SolveResult::Sat);
 //! ```
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 mod formula;
 pub mod gates;
 pub mod sweep;

@@ -41,6 +41,7 @@ pub struct CombAnalyzer<'a> {
     golden: &'a Aig,
     candidate: &'a Aig,
     budget: Budget,
+    certify: bool,
 }
 
 impl<'a> CombAnalyzer<'a> {
@@ -66,6 +67,7 @@ impl<'a> CombAnalyzer<'a> {
             golden,
             candidate,
             budget: Budget::unlimited(),
+            certify: false,
         }
     }
 
@@ -73,6 +75,39 @@ impl<'a> CombAnalyzer<'a> {
     pub fn with_budget(mut self, budget: Budget) -> Self {
         self.budget = budget;
         self
+    }
+
+    /// Switches certified mode on or off: every UNSAT answer behind a
+    /// subsequent query is re-validated by the forward RUP/DRAT checker.
+    ///
+    /// # Panics
+    ///
+    /// Subsequent queries panic if a recorded proof fails validation —
+    /// the solver produced an unsound answer.
+    pub fn with_certify(mut self, certify: bool) -> Self {
+        self.certify = certify;
+        self
+    }
+
+    /// Applies the certify setting to a freshly encoded solver.
+    fn arm(&self, solver: &mut axmc_sat::Solver) {
+        solver.set_budget(self.budget);
+        if self.certify {
+            solver.set_proof_logging(true);
+        }
+    }
+
+    /// In certified mode, validates the UNSAT answer `solver` just gave.
+    fn certify_unsat(&self, solver: &axmc_sat::Solver, what: &str) {
+        if !self.certify {
+            return;
+        }
+        if let Err(e) = axmc_check::certify_unsat(solver) {
+            panic!(
+                "UNSAT certificate for {what} failed validation ({e}); \
+                 the verdict cannot be trusted"
+            );
+        }
     }
 
     /// One threshold query: can `|int(G) - int(C)| > threshold`?
@@ -104,7 +139,7 @@ impl<'a> CombAnalyzer<'a> {
 
     fn solve_miter(&self, miter: &Aig) -> Result<Option<Vec<bool>>, AnalysisError> {
         let (mut solver, enc) = encode_comb(miter);
-        solver.set_budget(self.budget);
+        self.arm(&mut solver);
         match solver.solve_with_assumptions(&[enc.outputs[0]]) {
             SolveResult::Sat => Ok(Some(
                 enc.inputs
@@ -112,7 +147,10 @@ impl<'a> CombAnalyzer<'a> {
                     .map(|&l| solver.model_lit(l).unwrap_or(false))
                     .collect(),
             )),
-            SolveResult::Unsat => Ok(None),
+            SolveResult::Unsat => {
+                self.certify_unsat(&solver, "a threshold miter query");
+                Ok(None)
+            }
             SolveResult::Unknown => Err(AnalysisError::BudgetExhausted {
                 known_low: 0,
                 known_high: u128::MAX,
@@ -145,7 +183,7 @@ impl<'a> CombAnalyzer<'a> {
         // across the whole search.
         let miter = diff_word_miter(self.golden, self.candidate).compact();
         let (mut solver, enc) = encode_comb(&miter);
-        solver.set_budget(self.budget);
+        self.arm(&mut solver);
         let true_lit = enc.lit(axmc_aig::Lit::TRUE);
         let mut sat_calls = 0u64;
         let value = search_max_error("comb.wce", max, |t| {
@@ -162,7 +200,10 @@ impl<'a> CombAnalyzer<'a> {
                     debug_assert!(witnessed > t, "miter witness must exceed threshold");
                     Ok(Probe::Exceeds(witnessed))
                 }
-                SolveResult::Unsat => Ok(Probe::Within),
+                SolveResult::Unsat => {
+                    self.certify_unsat(&solver, "a worst-case-error probe");
+                    Ok(Probe::Within)
+                }
                 SolveResult::Unknown => Err(AnalysisError::BudgetExhausted {
                     known_low: 0,
                     known_high: max,
@@ -185,7 +226,7 @@ impl<'a> CombAnalyzer<'a> {
         let max = self.golden.num_outputs() as u128;
         let miter = popcount_word_miter(self.golden, self.candidate).compact();
         let (mut solver, enc) = encode_comb(&miter);
-        solver.set_budget(self.budget);
+        self.arm(&mut solver);
         let true_lit = enc.lit(axmc_aig::Lit::TRUE);
         let mut sat_calls = 0u64;
         let value = search_max_error("comb.bit_flip", max, |t| {
@@ -202,7 +243,10 @@ impl<'a> CombAnalyzer<'a> {
                     let c = bits_to_u128(&self.candidate.eval_comb(&input));
                     Ok(Probe::Exceeds((g ^ c).count_ones() as u128))
                 }
-                SolveResult::Unsat => Ok(Probe::Within),
+                SolveResult::Unsat => {
+                    self.certify_unsat(&solver, "a bit-flip probe");
+                    Ok(Probe::Within)
+                }
                 SolveResult::Unknown => Err(AnalysisError::BudgetExhausted {
                     known_low: 0,
                     known_high: max,
@@ -234,10 +278,13 @@ impl<'a> CombAnalyzer<'a> {
         for bit in (0..self.golden.num_outputs()).rev() {
             let miter = nth_bit_miter(self.golden, self.candidate, bit);
             let (mut solver, enc) = encode_comb(&miter);
-            solver.set_budget(self.budget);
+            self.arm(&mut solver);
             match solver.solve_with_assumptions(&[enc.outputs[0]]) {
                 SolveResult::Sat => return Ok(Some(bit)),
-                SolveResult::Unsat => continue,
+                SolveResult::Unsat => {
+                    self.certify_unsat(&solver, "an nth-bit miter query");
+                    continue;
+                }
                 SolveResult::Unknown => {
                     return Err(AnalysisError::BudgetExhausted {
                         known_low: 0,
@@ -263,7 +310,7 @@ impl<'a> CombAnalyzer<'a> {
     pub fn count_error_inputs(&self, limit: u64) -> Result<ErrorInputCount, AnalysisError> {
         let miter = axmc_miter::strict_miter(self.golden, self.candidate).compact();
         let (mut solver, enc) = encode_comb(&miter);
-        solver.set_budget(self.budget);
+        self.arm(&mut solver);
         let mut count = 0u64;
         while count < limit {
             match solver.solve_with_assumptions(&[enc.outputs[0]]) {
@@ -286,7 +333,10 @@ impl<'a> CombAnalyzer<'a> {
                         return Ok(ErrorInputCount::Exactly(count));
                     }
                 }
-                SolveResult::Unsat => return Ok(ErrorInputCount::Exactly(count)),
+                SolveResult::Unsat => {
+                    self.certify_unsat(&solver, "the error-input enumeration closure");
+                    return Ok(ErrorInputCount::Exactly(count));
+                }
                 SolveResult::Unknown => {
                     return Err(AnalysisError::BudgetExhausted {
                         known_low: count as u128,

@@ -44,6 +44,9 @@
 //! # Ok::<(), axmc_core::AnalysisError>(())
 //! ```
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 mod bound_search;
 mod comb;
 mod report;

@@ -56,7 +56,7 @@ struct ThresholdEngine {
 }
 
 impl ThresholdEngine {
-    fn new(miter: Aig, kind: WordKind, budget: Budget, sweep: bool) -> Self {
+    fn new(miter: Aig, kind: WordKind, budget: Budget, sweep: bool, certify: bool) -> Self {
         let miter = if sweep {
             fraig(&miter, &SweepOptions::default()).0
         } else {
@@ -64,6 +64,7 @@ impl ThresholdEngine {
         };
         let mut unroller = Unroller::new(miter);
         unroller.set_budget(budget);
+        unroller.set_certify(certify);
         ThresholdEngine { unroller, kind }
     }
 
@@ -85,7 +86,17 @@ impl ThresholdEngine {
         let any = gates::or_all(solver, &flags, true_lit);
         match solver.solve_with_assumptions(&[any]) {
             SolveResult::Sat => Ok(Some(self.unroller.extract_trace(k))),
-            SolveResult::Unsat => Ok(None),
+            SolveResult::Unsat => {
+                if self.unroller.certify() {
+                    if let Err(e) = axmc_check::certify_unsat(self.unroller.solver()) {
+                        panic!(
+                            "UNSAT certificate for a threshold probe (t={threshold}, \
+                             k={k}) failed validation ({e}); the bound cannot be trusted"
+                        );
+                    }
+                }
+                Ok(None)
+            }
             SolveResult::Unknown => Err(AnalysisError::BudgetExhausted {
                 known_low: 0,
                 known_high: u128::MAX,
@@ -138,6 +149,7 @@ pub struct SeqAnalyzer<'a> {
     budget: Budget,
     sweep: bool,
     jobs: usize,
+    certify: bool,
 }
 
 impl<'a> SeqAnalyzer<'a> {
@@ -155,7 +167,22 @@ impl<'a> SeqAnalyzer<'a> {
             budget: Budget::unlimited(),
             sweep: false,
             jobs: 1,
+            certify: false,
         }
+    }
+
+    /// Switches certified mode on or off: every UNSAT answer behind a
+    /// subsequent query — threshold probes, BMC clears, induction steps —
+    /// is re-validated by the forward RUP/DRAT checker, and every
+    /// counterexample trace is replayed through AIG simulation.
+    ///
+    /// # Panics
+    ///
+    /// Subsequent queries panic if a proof or trace fails validation —
+    /// the solver produced an unsound answer.
+    pub fn with_certify(mut self, certify: bool) -> Self {
+        self.certify = certify;
+        self
     }
 
     /// Applies a solver budget to every subsequent query.
@@ -206,6 +233,7 @@ impl<'a> SeqAnalyzer<'a> {
         let miter = sequential_strict_miter(self.golden, self.approx);
         let mut bmc = Bmc::new(&miter);
         bmc.set_budget(self.budget);
+        bmc.set_certify(self.certify);
         let mut sat_calls = 0;
         for k in 0..max_cycles {
             sat_calls += 1;
@@ -266,6 +294,7 @@ impl<'a> SeqAnalyzer<'a> {
             WordKind::SignedDiff,
             self.budget,
             self.sweep,
+            self.certify,
         )
     }
 
@@ -319,6 +348,7 @@ impl<'a> SeqAnalyzer<'a> {
             WordKind::Unsigned,
             self.budget,
             self.sweep,
+            self.certify,
         ));
         let sat_calls = AtomicU64::new(0);
         let value = search_max_error_batched("seq.bit_flip", max, engines.len(), |ts| {
@@ -394,7 +424,9 @@ impl<'a> SeqAnalyzer<'a> {
     /// by k-induction over the sequential threshold miter.
     pub fn prove_error_bound(&self, threshold: u128, options: &InductionOptions) -> ProofResult {
         let miter = sequential_diff_miter(self.golden, self.approx, threshold);
-        prove_invariant(&miter, options)
+        let mut options = *options;
+        options.certify |= self.certify;
+        prove_invariant(&miter, &options)
     }
 
     /// One probe of the **total** (accumulated) error: can the sum of the
@@ -420,6 +452,7 @@ impl<'a> SeqAnalyzer<'a> {
         let miter = accumulated_error_miter(self.golden, self.approx, acc_width, threshold);
         let mut bmc = Bmc::new(&miter);
         bmc.set_budget(self.budget);
+        bmc.set_certify(self.certify);
         match bmc.check_any_up_to(k) {
             BmcResult::Cex(t) => Ok(Some(t)),
             BmcResult::Clear => Ok(None),
@@ -512,6 +545,7 @@ impl<'a> SeqAnalyzer<'a> {
         );
         let mut bmc = Bmc::new(&miter);
         bmc.set_budget(self.budget);
+        bmc.set_certify(self.certify);
         match bmc.check_any_up_to(k) {
             BmcResult::Cex(t) => Ok(Some(t)),
             BmcResult::Clear => Ok(None),
@@ -621,6 +655,25 @@ mod tests {
     }
 
     #[test]
+    fn certified_analysis_matches_uncertified() {
+        // The full earliest-error + WCE pipeline with every UNSAT answer
+        // re-validated by the RUP/DRAT checker must agree with the plain
+        // run bit for bit. A checker rejection panics.
+        let golden = accumulator(&generators::ripple_carry_adder(4), 4);
+        let apx = accumulator(&approx::truncated_adder(4, 2), 4);
+        let plain = SeqAnalyzer::new(&golden, &apx);
+        let certified = SeqAnalyzer::new(&golden, &apx).with_certify(true);
+        assert_eq!(
+            plain.earliest_error(6).unwrap().cycle,
+            certified.earliest_error(6).unwrap().cycle
+        );
+        assert_eq!(
+            plain.worst_case_error_at(3).unwrap().value,
+            certified.worst_case_error_at(3).unwrap().value
+        );
+    }
+
+    #[test]
     fn earliest_error_respects_pipeline_latency() {
         // Registered ALU: operands register in cycle 0, result registers in
         // cycle 1, output observable in cycle 2.
@@ -705,6 +758,7 @@ mod tests {
             max_k: 4,
             budget: Budget::unlimited(),
             simple_path: false,
+            certify: false,
         };
         match analyzer.prove_error_bound(comb_wce, &opts) {
             ProofResult::Proved { .. } => {}
@@ -767,6 +821,7 @@ mod tests {
             max_k: 6,
             budget: Budget::unlimited(),
             simple_path: false,
+            certify: false,
         };
         // Proved or Unknown are both acceptable: the invariant may
         // need auxiliary strengthening to close inductively.

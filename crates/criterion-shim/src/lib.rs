@@ -13,6 +13,9 @@
 //! statistical outlier analysis, HTML report, or baseline comparison —
 //! this is a smoke-level harness for relative, local numbers.
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 use std::fmt;
 use std::time::{Duration, Instant};
 

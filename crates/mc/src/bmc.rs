@@ -78,6 +78,20 @@ impl<'a> Bmc<'a> {
             1,
             "BMC expects a single-output property circuit"
         );
+        debug_assert!(
+            {
+                let diags = axmc_check::lint_aig(aig);
+                if axmc_check::has_errors(&diags) {
+                    for d in &diags {
+                        eprintln!("{d}");
+                    }
+                    false
+                } else {
+                    true
+                }
+            },
+            "structurally broken AIG handed to Bmc::new (see lint output)"
+        );
         Bmc {
             aig,
             unroller: Unroller::new(aig.clone()),
@@ -110,6 +124,58 @@ impl<'a> Bmc<'a> {
         self.unroller.set_budget(budget);
     }
 
+    /// Switches certified mode on or off. While on, every `Clear`
+    /// verdict is independently validated by replaying the solver's
+    /// clausal proof through the forward RUP/DRAT checker, and every
+    /// counterexample is replayed through AIG simulation before being
+    /// returned.
+    ///
+    /// # Panics
+    ///
+    /// Subsequent checks panic if a proof or a trace fails validation —
+    /// that means the solver produced an unsound answer, and no result
+    /// derived from it can be trusted.
+    pub fn set_certify(&mut self, on: bool) {
+        self.unroller.set_certify(on);
+    }
+
+    /// Returns `true` if certified mode is on.
+    pub fn certify(&self) -> bool {
+        self.unroller.certify()
+    }
+
+    /// In certified mode, validates the proof behind the UNSAT answer
+    /// just produced by the unroller's solver.
+    fn certify_clear(&self, mode: &str, k: usize) {
+        if !self.unroller.certify() {
+            return;
+        }
+        if let Err(e) = axmc_check::certify_unsat(self.unroller.solver()) {
+            panic!(
+                "UNSAT certificate for BMC {mode} query at k={k} failed \
+                 validation ({e}); the verdict cannot be trusted"
+            );
+        }
+    }
+
+    /// In certified mode, replays `trace` through AIG simulation and
+    /// asserts the property output really is violated where claimed.
+    fn certify_cex(&self, mode: &str, k: usize, trace: &Trace) {
+        if !self.unroller.certify() {
+            return;
+        }
+        let outputs = trace.replay(self.aig);
+        let hit = match mode {
+            "at" => outputs.get(k).is_some_and(|cycle| cycle[0]),
+            _ => outputs.iter().take(k + 1).any(|cycle| cycle[0]),
+        };
+        assert!(
+            hit,
+            "counterexample for BMC {mode} query at k={k} does not replay \
+             to a violation; the trace cannot be trusted"
+        );
+    }
+
     /// Checks whether the output can be 1 **exactly** in cycle `k`
     /// (0-based). Frames are created on demand and reused.
     pub fn check_at(&mut self, k: usize) -> BmcResult {
@@ -117,8 +183,15 @@ impl<'a> Bmc<'a> {
         self.unroller.extend_to(k + 1);
         let bad = self.unroller.frame(k).outputs[0];
         let result = match self.unroller.solver_mut().solve_with_assumptions(&[bad]) {
-            SolveResult::Sat => BmcResult::Cex(self.unroller.extract_trace(k)),
-            SolveResult::Unsat => BmcResult::Clear,
+            SolveResult::Sat => {
+                let trace = self.unroller.extract_trace(k);
+                self.certify_cex("at", k, &trace);
+                BmcResult::Cex(trace)
+            }
+            SolveResult::Unsat => {
+                self.certify_clear("at", k);
+                BmcResult::Clear
+            }
             SolveResult::Unknown => BmcResult::Unknown,
         };
         self.note_check("at", k, &result, timer.finish());
@@ -171,8 +244,15 @@ impl<'a> Bmc<'a> {
             }
         };
         let result = match self.unroller.solver_mut().solve_with_assumptions(&[d]) {
-            SolveResult::Sat => BmcResult::Cex(self.unroller.extract_trace(k)),
-            SolveResult::Unsat => BmcResult::Clear,
+            SolveResult::Sat => {
+                let trace = self.unroller.extract_trace(k);
+                self.certify_cex("any_up_to", k, &trace);
+                BmcResult::Cex(trace)
+            }
+            SolveResult::Unsat => {
+                self.certify_clear("any_up_to", k);
+                BmcResult::Clear
+            }
             SolveResult::Unknown => BmcResult::Unknown,
         };
         self.note_check("any_up_to", k, &result, timer.finish());

@@ -38,6 +38,11 @@ pub struct InductionOptions {
     /// step case. Needed to prove properties whose inductive strength
     /// comes from non-repetition; costs quadratically many clauses.
     pub simple_path: bool,
+    /// Record clausal proofs for every SAT call and validate each UNSAT
+    /// answer — base-case clears and the closing inductive step — with
+    /// the forward RUP/DRAT checker before reporting a result. A failed
+    /// validation panics: it means the underlying solver is unsound.
+    pub certify: bool,
 }
 
 impl Default for InductionOptions {
@@ -46,6 +51,7 @@ impl Default for InductionOptions {
             max_k: 8,
             budget: Budget::unlimited(),
             simple_path: true,
+            certify: false,
         }
     }
 }
@@ -82,6 +88,7 @@ pub fn prove_invariant(aig: &Aig, options: &InductionOptions) -> ProofResult {
     );
     let mut base = Bmc::new(aig);
     base.set_budget(options.budget);
+    base.set_certify(options.certify);
 
     let result = run_induction(aig, options, &mut base);
     if axmc_obs::enabled() {
@@ -148,6 +155,9 @@ fn run_induction(aig: &Aig, options: &InductionOptions, base: &mut Bmc) -> Proof
 fn step_case(aig: &Aig, k: usize, options: &InductionOptions) -> SolveResult {
     let mut solver = Solver::new();
     solver.set_budget(options.budget);
+    if options.certify {
+        solver.set_proof_logging(true);
+    }
     let const_false = assert_const_false(&mut solver);
 
     // Free initial state.
@@ -173,7 +183,16 @@ fn step_case(aig: &Aig, k: usize, options: &InductionOptions) -> SolveResult {
     if options.simple_path {
         add_simple_path_constraints(&mut solver, &states[..=k]);
     }
-    solver.solve()
+    let result = solver.solve();
+    if options.certify && result == SolveResult::Unsat {
+        if let Err(e) = axmc_check::certify_unsat(&solver) {
+            panic!(
+                "UNSAT certificate for the k={k} inductive step failed \
+                 validation ({e}); the proof cannot be trusted"
+            );
+        }
+    }
+    result
 }
 
 /// Forces all state vectors in the window to be pairwise distinct.
@@ -207,6 +226,7 @@ mod tests {
             max_k,
             budget: Budget::unlimited(),
             simple_path,
+            certify: false,
         }
     }
 
@@ -292,6 +312,45 @@ mod tests {
     }
 
     #[test]
+    fn certified_proof_round_trips_through_the_checker() {
+        // Same proof obligation as stuck_latch_proved_at_k1, but with
+        // every UNSAT answer (base clears + closing step) re-validated
+        // by the RUP/DRAT checker. A checker rejection panics.
+        let mut aig = Aig::new();
+        let q = aig.add_latch(false);
+        aig.set_latch_next(0, q);
+        aig.add_output(q);
+        let opts = InductionOptions {
+            certify: true,
+            simple_path: false,
+            ..InductionOptions::default()
+        };
+        assert_eq!(prove_invariant(&aig, &opts), ProofResult::Proved { k: 1 });
+    }
+
+    #[test]
+    fn certified_falsification_replays() {
+        let mut aig = Aig::new();
+        let state = Word::from_lits((0..2).map(|_| aig.add_latch(false)).collect());
+        let one = Word::constant(1, 2);
+        let (next, _) = state.add(&mut aig, &one);
+        for (i, &b) in next.bits().iter().enumerate() {
+            aig.set_latch_next(i, b);
+        }
+        let tgt = Word::constant(3, 2);
+        let eq = state.equals(&mut aig, &tgt);
+        aig.add_output(eq);
+        let opts = InductionOptions {
+            certify: true,
+            ..InductionOptions::default()
+        };
+        assert!(matches!(
+            prove_invariant(&aig, &opts),
+            ProofResult::Falsified(_)
+        ));
+    }
+
+    #[test]
     fn equivalent_accumulators_proved() {
         use axmc_circuit::generators;
         use axmc_miter::sequential_strict_miter;
@@ -318,6 +377,7 @@ mod tests {
             max_k: 3,
             budget: Budget::unlimited().with_conflicts(1),
             simple_path: false,
+            certify: false,
         };
         let r = prove_invariant(&miter, &opts);
         assert!(matches!(

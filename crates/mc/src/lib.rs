@@ -33,6 +33,9 @@
 //! assert!(matches!(bmc.check_at(1), BmcResult::Cex(_)));
 //! ```
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 mod bmc;
 mod induction;
 mod reach;

@@ -151,6 +151,20 @@ impl Unroller {
         self.solver.set_budget(budget);
     }
 
+    /// Enables or disables clausal proof logging on the underlying
+    /// solver, so UNSAT answers posed over the frames carry a
+    /// [`Certificate`](axmc_sat::Certificate) checkable with
+    /// [`axmc_check::certify_unsat`]. Enabling on a live unroller
+    /// snapshots the already-encoded frames as premises.
+    pub fn set_certify(&mut self, on: bool) {
+        self.solver.set_proof_logging(on);
+    }
+
+    /// Returns `true` if proof logging is active.
+    pub fn certify(&self) -> bool {
+        self.solver.proof_logging()
+    }
+
     /// Reads the inputs of frames `0..=k` out of the current model into a
     /// trace (valid after a `Sat` answer).
     pub fn extract_trace(&self, k: usize) -> Trace {

@@ -199,6 +199,90 @@ mod tests {
         assert!(dump.contains("q $end"));
     }
 
+    /// Signal-name → identifier map from the `$var` lines.
+    type Idents = std::collections::HashMap<String, String>;
+    /// Per-time-step lists of `(identifier, value)` changes.
+    type Changes = Vec<Vec<(String, bool)>>;
+
+    /// Minimal VCD reader for the round-trip test: maps signal names to
+    /// identifiers from the `$var` lines, then reconstructs the full value
+    /// of every signal at each time step by carrying values forward.
+    fn parse_vcd(dump: &str) -> (Idents, Changes) {
+        let mut idents = std::collections::HashMap::new();
+        let mut steps: Vec<Vec<(String, bool)>> = Vec::new();
+        for line in dump.lines() {
+            if let Some(rest) = line.strip_prefix("$var ") {
+                // "$var wire 1 <ident> <name> $end"
+                let parts: Vec<&str> = rest.split_whitespace().collect();
+                idents.insert(parts[3].to_string(), parts[2].to_string());
+            } else if line.starts_with('#') {
+                steps.push(Vec::new());
+            } else if let Some(stripped) = line.strip_prefix('0') {
+                if let Some(step) = steps.last_mut() {
+                    step.push((stripped.to_string(), false));
+                }
+            } else if let Some(stripped) = line.strip_prefix('1') {
+                if let Some(step) = steps.last_mut() {
+                    step.push((stripped.to_string(), true));
+                }
+            }
+        }
+        (idents, steps)
+    }
+
+    #[test]
+    fn vcd_round_trips_inputs_and_outputs() {
+        // 2 inputs, a carry latch, 2 outputs: a tiny serial adder.
+        let mut aig = Aig::new();
+        let a = aig.add_input();
+        let b = aig.add_input();
+        let c = aig.add_latch(false);
+        let ab = aig.xor(a, b);
+        let sum = aig.xor(ab, c);
+        let ab_and = aig.and(a, b);
+        let abc = aig.and(ab, c);
+        let carry = aig.or(ab_and, abc);
+        aig.set_latch_next(0, carry);
+        aig.add_output(sum);
+        aig.add_output(carry);
+
+        let trace = Trace {
+            inputs: vec![
+                vec![true, false],
+                vec![true, true],
+                vec![false, true],
+                vec![false, false],
+                vec![true, true],
+            ],
+        };
+        let dump = trace_to_vcd(&aig, &trace, &VcdNames::default());
+        let (idents, steps) = parse_vcd(&dump);
+        // One change-set per trace step plus the closing timestamp.
+        assert_eq!(steps.len(), trace.len() + 1);
+
+        // Replay the change-only encoding back into dense per-cycle values.
+        let mut current: std::collections::HashMap<String, bool> = std::collections::HashMap::new();
+        let mut dense: Vec<std::collections::HashMap<String, bool>> = Vec::new();
+        for step in &steps[..trace.len()] {
+            for (ident, value) in step {
+                current.insert(ident.clone(), *value);
+            }
+            dense.push(current.clone());
+        }
+
+        let expected_outputs = trace.replay(&aig);
+        for (cycle, values) in dense.iter().enumerate() {
+            for (k, &expected) in trace.inputs[cycle].iter().enumerate() {
+                let ident = &idents[&format!("in{k}")];
+                assert_eq!(values[ident], expected, "in{k} at cycle {cycle}");
+            }
+            for (k, &expected) in expected_outputs[cycle].iter().enumerate() {
+                let ident = &idents[&format!("out{k}")];
+                assert_eq!(values[ident], expected, "out{k} at cycle {cycle}");
+            }
+        }
+    }
+
     #[test]
     fn change_only_encoding() {
         // Constant input: after the first step no further value lines for

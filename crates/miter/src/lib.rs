@@ -32,6 +32,9 @@
 //! println!("miter size: {:?}", miter_stats(&miter));
 //! ```
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 mod comb;
 mod seq;
 

@@ -35,6 +35,9 @@
 //! # axmc_obs::reset();
 //! ```
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 pub mod event;
 pub mod metrics;
 pub mod sink;

@@ -24,6 +24,9 @@
 //! order, which is what lets `--jobs N` reproduce `--jobs 1` byte for
 //! byte when each work item is itself deterministic.
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 

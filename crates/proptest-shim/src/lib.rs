@@ -18,6 +18,9 @@
 //!
 //! The surface is intentionally small; extend it as tests require.
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 use axmc_rand::SeedableRng;
 
 /// Test-runner configuration (the `ProptestConfig` of real proptest).
@@ -57,6 +60,8 @@ pub fn rng_for(test_name: &str) -> test_runner::TestRng {
     test_runner::TestRng::seed_from_u64(h)
 }
 
+/// Value-generation strategies: the [`Strategy`](strategy::Strategy)
+/// trait plus the combinators `proptest!` macros expand into.
 pub mod strategy {
     use super::test_runner::TestRng;
     use axmc_rand::{Rng, SampleRange, Standard};
@@ -180,6 +185,7 @@ pub mod strategy {
     fn _assert_ranges_sample<T>(_r: impl SampleRange<T>) {}
 }
 
+/// The [`any`](arbitrary::any) entry point for whole-domain strategies.
 pub mod arbitrary {
     use super::strategy::Any;
     use std::marker::PhantomData;
@@ -190,6 +196,7 @@ pub mod arbitrary {
     }
 }
 
+/// Strategies for collections (`vec(element, size_range)`).
 pub mod collection {
     use super::strategy::Strategy;
     use super::test_runner::TestRng;

@@ -30,6 +30,9 @@
 //! let _ = (coin, word);
 //! ```
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 use std::ops::{Range, RangeInclusive};
 
 /// Types constructible from a `u64` seed.

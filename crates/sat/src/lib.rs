@@ -40,9 +40,12 @@
 //! assert_eq!(solver.model_value(y), Some(false));
 //! ```
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 mod heap;
 mod solver;
 mod types;
 
-pub use crate::solver::{Budget, SolveResult, Solver, SolverStats};
+pub use crate::solver::{Budget, Certificate, ProofStep, SolveResult, Solver, SolverStats};
 pub use crate::types::{LBool, Lit, Var};

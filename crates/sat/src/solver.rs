@@ -94,6 +94,61 @@ pub struct SolverStats {
 
 const NO_REASON: u32 = u32::MAX;
 
+/// One step of the clausal (DRAT-style) derivation recorded by a proof
+/// logging [`Solver`] (see [`Solver::set_proof_logging`]).
+///
+/// The sequence of steps, replayed in order on top of the premises,
+/// reconstructs the evolution of the solver's clause database. Every
+/// [`ProofStep::Add`] clause is a *reverse unit propagation* (RUP)
+/// consequence of the clauses alive before it, which is what the
+/// `axmc-check` forward checker verifies.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ProofStep {
+    /// A derived (learnt) clause appended to the database.
+    Add(Vec<Lit>),
+    /// A clause removed from the database by garbage collection.
+    Delete(Vec<Lit>),
+}
+
+/// The in-memory proof buffer of a logging solver.
+#[derive(Clone, Debug, Default)]
+struct ProofLog {
+    /// The trusted input clauses, recorded verbatim as passed to
+    /// [`Solver::add_clause`] (plus a snapshot of the database at the
+    /// moment logging was enabled).
+    premises: Vec<Vec<Lit>>,
+    /// The derivation: learnt-clause additions and deletions, in order.
+    steps: Vec<ProofStep>,
+    /// The conclusion clause of the most recent `Unsat` answer: empty for
+    /// an unconditional refutation, otherwise a subset of the negated
+    /// assumptions. `None` when the last answer was not `Unsat`.
+    conclusion: Option<Vec<Lit>>,
+    /// The assumptions of the most recent `Unsat` answer.
+    assumptions: Vec<Lit>,
+}
+
+/// A borrowed view of everything needed to independently re-check an
+/// `Unsat` verdict: premises, derivation steps, the concluded clause and
+/// the assumptions it is expressed over.
+///
+/// Produced by [`Solver::certificate`]; consumed by the `axmc-check`
+/// forward RUP/DRAT checker.
+#[derive(Clone, Copy, Debug)]
+pub struct Certificate<'a> {
+    /// Number of variables in the solver at certificate time.
+    pub num_vars: usize,
+    /// The trusted input clauses (exactly as given to the solver).
+    pub premises: &'a [Vec<Lit>],
+    /// The recorded derivation steps.
+    pub steps: &'a [ProofStep],
+    /// The concluded clause: empty means the premises alone are
+    /// unsatisfiable; otherwise every literal is the negation of one of
+    /// the `assumptions`.
+    pub conclusion: &'a [Lit],
+    /// The assumptions the `Unsat` answer was conditional on.
+    pub assumptions: &'a [Lit],
+}
+
 #[derive(Clone, Debug, Default)]
 struct Clause {
     lits: Vec<Lit>,
@@ -155,6 +210,7 @@ pub struct Solver {
     budget: Budget,
     max_learnts: f64,
     num_original: usize,
+    proof: Option<Box<ProofLog>>,
 }
 
 impl Solver {
@@ -206,6 +262,113 @@ impl Solver {
         self.budget = budget;
     }
 
+    /// Enables or disables clausal proof logging.
+    ///
+    /// While logging is on, every clause passed to [`Solver::add_clause`]
+    /// is recorded verbatim as a premise, and every learnt-clause addition
+    /// or deletion is recorded as a derivation step. After an `Unsat`
+    /// answer, [`Solver::certificate`] returns the complete material for
+    /// an independent forward RUP/DRAT check (the `axmc-check` crate
+    /// implements one).
+    ///
+    /// Enabling logging on a solver that already holds clauses snapshots
+    /// the current database (including the root-level trail) as premises:
+    /// certification is then relative to that state, not to clauses added
+    /// before the call. Disabling logging discards the buffer.
+    pub fn set_proof_logging(&mut self, on: bool) {
+        if !on {
+            self.proof = None;
+            return;
+        }
+        if self.proof.is_some() {
+            return;
+        }
+        let mut log = ProofLog::default();
+        for c in &self.clauses {
+            if !c.deleted {
+                log.premises.push(c.lits.clone());
+            }
+        }
+        debug_assert_eq!(self.decision_level(), 0);
+        for &l in &self.trail {
+            log.premises.push(vec![l]);
+        }
+        if !self.ok {
+            log.premises.push(Vec::new());
+        }
+        self.proof = Some(Box::new(log));
+    }
+
+    /// Returns `true` if proof logging is currently enabled.
+    pub fn proof_logging(&self) -> bool {
+        self.proof.is_some()
+    }
+
+    /// Returns the certificate of the most recent `Unsat` answer, or
+    /// `None` if proof logging is off or the last answer was not `Unsat`.
+    pub fn certificate(&self) -> Option<Certificate<'_>> {
+        let log = self.proof.as_deref()?;
+        let conclusion = log.conclusion.as_deref()?;
+        Some(Certificate {
+            num_vars: self.num_vars(),
+            premises: &log.premises,
+            steps: &log.steps,
+            conclusion,
+            assumptions: &log.assumptions,
+        })
+    }
+
+    /// Streams the recorded derivation in standard DRAT text format
+    /// (`d` lines for deletions, plain clause lines for additions, DIMACS
+    /// literal numbering) to `out`.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err` if proof logging is off (`InvalidInput`), or
+    /// propagates I/O errors from `out`.
+    pub fn write_drat<W: std::io::Write>(&self, out: &mut W) -> std::io::Result<()> {
+        let log = self.proof.as_deref().ok_or_else(|| {
+            std::io::Error::new(std::io::ErrorKind::InvalidInput, "proof logging is off")
+        })?;
+        for step in &log.steps {
+            let lits = match step {
+                ProofStep::Add(lits) => lits,
+                ProofStep::Delete(lits) => {
+                    out.write_all(b"d ")?;
+                    lits
+                }
+            };
+            for l in lits {
+                write!(out, "{} ", l.to_dimacs())?;
+            }
+            out.write_all(b"0\n")?;
+        }
+        Ok(())
+    }
+
+    /// The recorded derivation as DRAT text (see [`Solver::write_drat`]),
+    /// or `None` if proof logging is off.
+    pub fn proof_drat(&self) -> Option<String> {
+        let mut buf = Vec::new();
+        self.write_drat(&mut buf).ok()?;
+        Some(String::from_utf8(buf).expect("DRAT text is ASCII"))
+    }
+
+    #[inline]
+    fn log_step(&mut self, step: ProofStep) {
+        if let Some(log) = self.proof.as_mut() {
+            log.steps.push(step);
+        }
+    }
+
+    /// Records the verdict of the search that just finished.
+    fn log_conclusion(&mut self, conclusion: Option<Vec<Lit>>, assumptions: &[Lit]) {
+        if let Some(log) = self.proof.as_mut() {
+            log.conclusion = conclusion;
+            log.assumptions = assumptions.to_vec();
+        }
+    }
+
     /// Current decision level.
     fn decision_level(&self) -> u32 {
         self.trail_lim.len() as u32
@@ -238,6 +401,9 @@ impl Solver {
                 "unknown variable {:?}",
                 l.var()
             );
+        }
+        if let Some(log) = self.proof.as_mut() {
+            log.premises.push(lits.to_vec());
         }
         let mut c: Vec<Lit> = lits.to_vec();
         c.sort_unstable();
@@ -578,6 +744,10 @@ impl Solver {
                 c.lbd <= 2 || c.lits.len() == 2 || self.is_locked(r)
             };
             if !keep {
+                if self.proof.is_some() {
+                    let lits = self.clauses[r as usize].lits.clone();
+                    self.log_step(ProofStep::Delete(lits));
+                }
                 let c = &mut self.clauses[r as usize];
                 c.deleted = true;
                 c.lits = Vec::new();
@@ -667,12 +837,16 @@ impl Solver {
     fn run_search(&mut self, assumptions: &[Lit]) -> SolveResult {
         self.stats.solves += 1;
         if !self.ok {
+            self.log_conclusion(Some(Vec::new()), assumptions);
             return SolveResult::Unsat;
         }
         let start_conflicts = self.stats.conflicts;
         let start_props = self.stats.propagations;
         let mut restart_round: u64 = 0;
         let restart_base: u64 = 100;
+        // Conclusion clause of an Unsat answer: empty for an unconditional
+        // refutation, an assumption core otherwise.
+        let mut conclusion: Vec<Lit> = Vec::new();
 
         let result = 'outer: loop {
             let budget_limit = restart_base * luby(restart_round);
@@ -688,6 +862,9 @@ impl Solver {
                         break 'outer SolveResult::Unsat;
                     }
                     let (learnt, bt) = self.analyze(confl);
+                    if self.proof.is_some() {
+                        self.log_step(ProofStep::Add(learnt.clone()));
+                    }
                     self.cancel_until(bt);
                     if learnt.len() == 1 {
                         self.unchecked_enqueue(learnt[0], NO_REASON);
@@ -732,6 +909,9 @@ impl Solver {
                                 self.trail_lim.push(self.trail.len());
                             }
                             LBool::False => {
+                                if self.proof.is_some() {
+                                    conclusion = self.analyze_final(p);
+                                }
                                 break 'outer SolveResult::Unsat;
                             }
                             LBool::Undef => {
@@ -758,8 +938,56 @@ impl Solver {
                 }
             }
         };
+        self.log_conclusion(
+            if result == SolveResult::Unsat {
+                Some(conclusion)
+            } else {
+                None
+            },
+            assumptions,
+        );
         self.cancel_until(0);
         result
+    }
+
+    /// Computes the conclusion clause of an `Unsat`-under-assumptions
+    /// answer: the MiniSat-style assumption core. `p` is the assumption
+    /// found false on the current trail; the returned clause consists of
+    /// `!p` plus the negations of the assumptions that forced it, and is a
+    /// RUP consequence of the clause database.
+    fn analyze_final(&mut self, p: Lit) -> Vec<Lit> {
+        let mut out = vec![!p];
+        if self.level[p.var().index() as usize] == 0 || self.decision_level() == 0 {
+            return out;
+        }
+        self.seen[p.var().index() as usize] = true;
+        for idx in (self.trail_lim[0]..self.trail.len()).rev() {
+            let q = self.trail[idx];
+            let qv = q.var().index() as usize;
+            if !self.seen[qv] {
+                continue;
+            }
+            self.seen[qv] = false;
+            let r = self.reason[qv];
+            if r == NO_REASON {
+                // Every decision below `assumptions.len()` levels is an
+                // assumption; its negation belongs in the core. (When `p`
+                // contradicts an earlier assumption `!p` this yields the
+                // tautology `{!p, p}`, which is trivially RUP.)
+                out.push(!q);
+            } else {
+                let nlits = self.clauses[r as usize].lits.len();
+                for k in 1..nlits {
+                    let l = self.clauses[r as usize].lits[k];
+                    let lv = l.var().index() as usize;
+                    if self.level[lv] > 0 {
+                        self.seen[lv] = true;
+                    }
+                }
+            }
+        }
+        self.seen[p.var().index() as usize] = false;
+        out
     }
 
     /// Returns the model value of `var` from the most recent
@@ -1045,6 +1273,104 @@ mod tests {
         assert_send::<Solver>();
         assert_send::<Budget>();
         assert_send::<SolveResult>();
+    }
+
+    #[test]
+    fn proof_logging_records_premises_and_conclusion() {
+        let (mut s, v) = make(2);
+        s.set_proof_logging(true);
+        assert!(s.proof_logging());
+        s.add_clause(&[lit(&v, 1), lit(&v, 2)]);
+        s.add_clause(&[lit(&v, -1)]);
+        s.add_clause(&[lit(&v, -2)]);
+        assert_eq!(s.solve(), SolveResult::Unsat);
+        let cert = s.certificate().expect("unsat certificate");
+        assert_eq!(cert.premises.len(), 3);
+        assert!(cert.conclusion.is_empty());
+        assert!(cert.assumptions.is_empty());
+    }
+
+    #[test]
+    fn certificate_is_absent_for_sat_answers() {
+        let (mut s, v) = make(2);
+        s.set_proof_logging(true);
+        s.add_clause(&[lit(&v, 1), lit(&v, 2)]);
+        assert_eq!(s.solve(), SolveResult::Sat);
+        assert!(s.certificate().is_none());
+        // A later Unsat answer on the same solver does produce one.
+        assert_eq!(
+            s.solve_with_assumptions(&[lit(&v, -1), lit(&v, -2)]),
+            SolveResult::Unsat
+        );
+        assert!(s.certificate().is_some());
+    }
+
+    #[test]
+    fn assumption_core_consists_of_negated_assumptions() {
+        let (mut s, v) = make(3);
+        s.set_proof_logging(true);
+        s.add_clause(&[lit(&v, -1), lit(&v, 2)]);
+        s.add_clause(&[lit(&v, -2), lit(&v, 3)]);
+        let a = [lit(&v, 1), lit(&v, -3)];
+        assert_eq!(s.solve_with_assumptions(&a), SolveResult::Unsat);
+        let cert = s.certificate().expect("unsat certificate");
+        assert!(!cert.conclusion.is_empty());
+        for l in cert.conclusion {
+            assert!(cert.assumptions.contains(&!*l), "{l:?} not an assumption");
+        }
+    }
+
+    #[test]
+    fn proof_logging_snapshots_existing_clauses() {
+        let (mut s, v) = make(2);
+        s.add_clause(&[lit(&v, 1), lit(&v, 2)]);
+        s.add_clause(&[lit(&v, -2)]); // becomes a root-trail unit
+        s.set_proof_logging(true);
+        s.add_clause(&[lit(&v, -1)]);
+        assert_eq!(s.solve(), SolveResult::Unsat);
+        let cert = s.certificate().expect("unsat certificate");
+        // Snapshot: binary clause + the unit from the trail + the new unit.
+        assert!(cert.premises.len() >= 3);
+        assert!(cert.conclusion.is_empty());
+    }
+
+    #[test]
+    fn pigeonhole_proof_records_learnt_steps() {
+        let n = 5;
+        let h = 4;
+        let (mut s, v) = make(n * h);
+        s.set_proof_logging(true);
+        let p = |i: usize, j: usize| v[i * h + j].positive();
+        for i in 0..n {
+            let holes: Vec<Lit> = (0..h).map(|j| p(i, j)).collect();
+            s.add_clause(&holes);
+        }
+        for j in 0..h {
+            for i1 in 0..n {
+                for i2 in (i1 + 1)..n {
+                    s.add_clause(&[!p(i1, j), !p(i2, j)]);
+                }
+            }
+        }
+        assert_eq!(s.solve(), SolveResult::Unsat);
+        let cert = s.certificate().expect("unsat certificate");
+        assert!(!cert.steps.is_empty(), "refutation has derivation steps");
+        let drat = s.proof_drat().expect("drat text");
+        assert!(drat.lines().count() >= cert.steps.len());
+        assert!(drat.lines().all(|l| l.ends_with(" 0") || l == "0"));
+    }
+
+    #[test]
+    fn disabling_proof_logging_discards_the_buffer() {
+        let (mut s, v) = make(1);
+        s.set_proof_logging(true);
+        s.add_clause(&[lit(&v, 1)]);
+        s.add_clause(&[lit(&v, -1)]);
+        assert_eq!(s.solve(), SolveResult::Unsat);
+        s.set_proof_logging(false);
+        assert!(!s.proof_logging());
+        assert!(s.certificate().is_none());
+        assert!(s.proof_drat().is_none());
     }
 
     #[test]

@@ -26,6 +26,9 @@
 //! assert_eq!(golden.num_latches(), 8);
 //! ```
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 mod designs;
 pub mod suite;
 

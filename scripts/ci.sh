@@ -21,6 +21,18 @@ run cargo clippy --workspace --all-targets --offline \
 run cargo clippy -p axmc-bench --all-targets --offline \
     --features micro-benches -- -D warnings
 run cargo build --release --offline
+
+# Structural linting over everything we ship: the full sequential design
+# suite plus the whole approximate-component library. Any error-severity
+# diagnostic fails the build.
+run cargo run --release --offline --bin axmc -- lint --suite
+
+# The certified-solve suite (DRAT proof logging + in-tree checker,
+# including the corrupted-proof rejection paths), in both feature
+# configurations.
+run cargo test -q --offline --test certify
+run cargo test -q --offline --test certify --features proptest-tests
+
 run cargo test --workspace -q --offline
 run cargo test --workspace -q --offline --features proptest-tests
 run cargo bench -p axmc-bench --features micro-benches --offline --no-run

@@ -2,10 +2,11 @@
 //! certified approximate-circuit synthesis from the shell.
 //!
 //! ```text
-//! axmc analyze --golden g.aag --approx c.aag [--horizon K] [--prove] [--average] [--vcd t.vcd]
-//! axmc evolve  --kind adder|multiplier --width N (--wcre P | --config f.cfg) [--out c.aag]
+//! axmc analyze --golden g.aag --approx c.aag [--horizon K] [--prove] [--average] [--certify] [--vcd t.vcd]
+//! axmc evolve  --kind adder|multiplier --width N (--wcre P | --config f.cfg) [--certify] [--out c.aag]
 //! axmc gen     --kind <component> --width N [--param P] --out c.aag [--verilog c.v]
 //! axmc stats   --circuit c.aag
+//! axmc lint    [--circuit c.aag] [--suite]
 //! ```
 //!
 //! Circuits are exchanged in ASCII AIGER (`.aag`). `analyze` treats
@@ -53,6 +54,7 @@ fn main() -> ExitCode {
         "evolve" => EVOLVE_FLAGS,
         "gen" => GEN_FLAGS,
         "stats" => STATS_FLAGS,
+        "lint" => LINT_FLAGS,
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
             return ExitCode::SUCCESS;
@@ -83,6 +85,7 @@ fn main() -> ExitCode {
         "evolve" => cmd_evolve(&opts),
         "gen" => cmd_gen(&opts),
         "stats" => cmd_stats(&opts),
+        "lint" => cmd_lint(&opts),
         _ => unreachable!("command validated above"),
     };
     obs.finish();
@@ -100,14 +103,15 @@ axmc — precise error determination of approximated components with model check
 
 USAGE:
   axmc analyze --golden G.aag --approx C.aag [--horizon K] [--jobs N]
-               [--prove] [--average] [--vcd F.vcd] [--metrics] [--trace F.jsonl]
+               [--prove] [--average] [--certify] [--vcd F.vcd] [--metrics]
+               [--trace F.jsonl]
       Exact worst-case / bit-flip error of C against G. Sequential pairs
       are analyzed within K cycles (default 8); --prove additionally
       attempts an unbounded k-induction certificate at the measured WCE.
 
   axmc evolve --kind adder|multiplier --width N (--wcre P | --config F)
-              [--seconds S] [--seed X] [--jobs N] [--out C.aag] [--progress]
-              [--metrics] [--trace F.jsonl]
+              [--seconds S] [--seed X] [--jobs N] [--certify] [--out C.aag]
+              [--progress] [--metrics] [--trace F.jsonl]
       Verifiability-driven CGP synthesis of an approximate circuit whose
       worst-case relative error provably stays below P percent.
 
@@ -118,6 +122,19 @@ USAGE:
 
   axmc stats --circuit C.aag
       Structural statistics of an AIGER circuit.
+
+  axmc lint [--circuit C.aag] [--suite]
+      Structural well-formedness linting. --circuit lints one AIGER file;
+      --suite lints every shipped sequential benchmark pair and the whole
+      approximate component library. Exits nonzero if any error-severity
+      diagnostic is found (warnings alone do not fail the run).
+
+CERTIFICATION:
+  --certify         re-derive every UNSAT verdict: the solver records a
+                    DRAT clausal proof and an independent in-tree RUP/DRAT
+                    checker validates it before the result is reported.
+                    A verdict whose certificate fails validation aborts
+                    the run rather than printing an untrusted number.
 
 PARALLELISM:
   --jobs N          worker threads for candidate verification (evolve) and
@@ -165,6 +182,7 @@ const ANALYZE_FLAGS: &[FlagSpec] = &[
     val("jobs"),
     switch("prove"),
     switch("average"),
+    switch("certify"),
     val("vcd"),
     switch("metrics"),
     val("trace"),
@@ -179,6 +197,7 @@ const EVOLVE_FLAGS: &[FlagSpec] = &[
     val("seed"),
     val("jobs"),
     val("out"),
+    switch("certify"),
     switch("progress"),
     switch("metrics"),
     val("trace"),
@@ -193,6 +212,8 @@ const GEN_FLAGS: &[FlagSpec] = &[
 ];
 
 const STATS_FLAGS: &[FlagSpec] = &[val("circuit")];
+
+const LINT_FLAGS: &[FlagSpec] = &[val("circuit"), switch("suite")];
 
 /// Parses `args` against the subcommand's flag table. Unknown flags,
 /// repeated flags, and value flags without a value are all hard errors —
@@ -344,10 +365,34 @@ fn save_aig(path: &str, aig: &Aig) -> Result<(), String> {
     std::fs::write(path, aiger::to_ascii(aig)).map_err(|e| format!("cannot write '{path}': {e}"))
 }
 
+/// Turns on obs (the checker's verdict counters live there) and returns
+/// whether `--certify` was passed.
+fn certify_flag(opts: &Flags) -> bool {
+    let certify = opts.contains_key("certify");
+    if certify {
+        axmc::obs::set_enabled(true);
+    }
+    certify
+}
+
+/// Prints how many UNSAT verdicts the in-tree RUP/DRAT checker validated
+/// during the run (the engines abort on the first rejected certificate,
+/// so reaching this line means every one of them checked out).
+fn report_certificates(label: &str) {
+    let snapshot = axmc::obs::snapshot();
+    let certified = snapshot
+        .counters
+        .get("check.certified")
+        .copied()
+        .unwrap_or(0);
+    println!("{label}: {certified} UNSAT verdicts re-derived by the RUP/DRAT checker");
+}
+
 fn cmd_analyze(opts: &Flags) -> Result<(), String> {
     // Validate the cheap flags before touching the filesystem.
     let horizon: usize = numeric(opts, "horizon", 8)?;
     let jobs = jobs_flag(opts)?;
+    let certify = certify_flag(opts);
     let golden = load_aig(required(opts, "golden")?)?;
     let approx = load_aig(required(opts, "approx")?)?;
     if golden.num_inputs() != approx.num_inputs() || golden.num_outputs() != approx.num_outputs() {
@@ -356,7 +401,9 @@ fn cmd_analyze(opts: &Flags) -> Result<(), String> {
     let sequential = golden.num_latches() > 0 || approx.num_latches() > 0;
     if sequential {
         println!("sequential analysis (horizon {horizon} cycles, {jobs} jobs)");
-        let analyzer = SeqAnalyzer::new(&golden, &approx).with_jobs(jobs);
+        let analyzer = SeqAnalyzer::new(&golden, &approx)
+            .with_jobs(jobs)
+            .with_certify(certify);
         let earliest = analyzer
             .earliest_error(horizon + 1)
             .map_err(|e| e.to_string())?;
@@ -408,7 +455,7 @@ fn cmd_analyze(opts: &Flags) -> Result<(), String> {
         }
     } else {
         println!("combinational analysis");
-        let analyzer = CombAnalyzer::new(&golden, &approx);
+        let analyzer = CombAnalyzer::new(&golden, &approx).with_certify(certify);
         let wce = analyzer.worst_case_error().map_err(|e| e.to_string())?;
         println!(
             "worst-case error     : {} ({} probes, {} conflicts)",
@@ -451,6 +498,9 @@ fn cmd_analyze(opts: &Flags) -> Result<(), String> {
             }
         }
     }
+    if certify {
+        report_certificates("certified results    ");
+    }
     Ok(())
 }
 
@@ -459,6 +509,7 @@ fn cmd_evolve(opts: &Flags) -> Result<(), String> {
     let width: usize = numeric(opts, "width", 8)?;
     let seed: u64 = numeric(opts, "seed", 1)?;
     let jobs = jobs_flag(opts)?;
+    let certify = certify_flag(opts);
     let golden: Netlist = match kind {
         "adder" => generators::ripple_carry_adder(width),
         "multiplier" => generators::array_multiplier(width),
@@ -477,6 +528,7 @@ fn cmd_evolve(opts: &Flags) -> Result<(), String> {
         options.seed = seed;
         options.extra_cols = 4;
         options.jobs = jobs;
+        options.certify = certify;
         (options, cfg.wcre_percent)
     } else {
         let wcre: f64 = numeric(opts, "wcre", 1.0)?;
@@ -488,6 +540,7 @@ fn cmd_evolve(opts: &Flags) -> Result<(), String> {
             seed,
             extra_cols: 4,
             jobs,
+            certify,
             ..SearchOptions::default()
         };
         (options, wcre)
@@ -505,6 +558,9 @@ fn cmd_evolve(opts: &Flags) -> Result<(), String> {
         result.stats.improvements,
         result.stats.verified_ok
     );
+    if certify {
+        report_certificates("certified acceptances");
+    }
     if let Some(path) = opts.get("out") {
         save_aig(path, &result.netlist.to_aig())?;
         println!("wrote {path}");
@@ -558,5 +614,52 @@ fn cmd_stats(opts: &Flags) -> Result<(), String> {
     println!("latches : {}", aig.num_latches());
     println!("ands    : {}", aig.num_ands());
     println!("depth   : {}", aig.depth());
+    Ok(())
+}
+
+fn cmd_lint(opts: &Flags) -> Result<(), String> {
+    use axmc::check::{lint_aig, lint_netlist, lint_pair, Diagnostic, Severity};
+    if !opts.contains_key("circuit") && !opts.contains_key("suite") {
+        return Err("pass --circuit C.aag, --suite, or both".into());
+    }
+    let mut targets = 0usize;
+    let mut warnings = 0usize;
+    let mut errors = 0usize;
+    let mut report = |subject: &str, diags: Vec<Diagnostic>| {
+        targets += 1;
+        for d in &diags {
+            println!("{subject}: {d}");
+            match d.severity {
+                Severity::Error => errors += 1,
+                Severity::Warning => warnings += 1,
+                Severity::Info => {}
+            }
+        }
+    };
+    if let Some(path) = opts.get("circuit") {
+        let aig = load_aig(path)?;
+        report(path, lint_aig(&aig));
+    }
+    if opts.contains_key("suite") {
+        for pair in axmc::seq::suite::standard_suite(8) {
+            report(&format!("{} (golden)", pair.name), lint_aig(&pair.golden));
+            report(&format!("{} (approx)", pair.name), lint_aig(&pair.approx));
+            report(&pair.name, lint_pair(&pair.golden, &pair.approx));
+        }
+        for width in [4, 8, 16] {
+            for component in axmc::circuit::approx::adder_library(width) {
+                report(&component.name, lint_netlist(&component.netlist));
+            }
+        }
+        for width in [4, 8] {
+            for component in axmc::circuit::approx::multiplier_library(width) {
+                report(&component.name, lint_netlist(&component.netlist));
+            }
+        }
+    }
+    println!("linted {targets} structures: {errors} errors, {warnings} warnings");
+    if errors > 0 {
+        return Err(format!("lint found {errors} error-severity diagnostics"));
+    }
     Ok(())
 }

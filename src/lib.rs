@@ -23,6 +23,7 @@
 //! | [`mc`] | `axmc-mc` | Bounded model checking, k-induction, explicit reachability |
 //! | [`core`] | `axmc-core` | The error-determination engines ([`CombAnalyzer`], [`SeqAnalyzer`]) |
 //! | [`cgp`] | `axmc-cgp` | Verifiability-driven CGP synthesis |
+//! | [`check`] | `axmc-check` | RUP/DRAT proof checking for certified UNSAT results, structural linting |
 //! | [`obs`] | `axmc-obs` | Metrics, spans and trace events behind the CLI's `--metrics`/`--trace` |
 //! | [`par`] | `axmc-par` | Zero-dependency worker pools behind `--jobs` (deterministic parallel oracles) |
 //!
@@ -49,9 +50,13 @@
 //! # Ok::<(), axmc::AnalysisError>(())
 //! ```
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 pub use axmc_aig as aig;
 pub use axmc_bdd as bdd;
 pub use axmc_cgp as cgp;
+pub use axmc_check as check;
 pub use axmc_circuit as circuit;
 pub use axmc_cnf as cnf;
 pub use axmc_core as core;
