@@ -40,13 +40,13 @@ fn bench_scan_vs_disjunction(c: &mut Criterion) {
     group.bench_function("per_cycle_scan", |b| {
         b.iter(|| {
             let mut bmc = Bmc::new(&miter);
-            assert_eq!(bmc.check_up_to(6), BmcResult::Clear);
+            assert_eq!(bmc.check_up_to(6), Ok(BmcResult::Clear));
         })
     });
     group.bench_function("single_disjunction", |b| {
         b.iter(|| {
             let mut bmc = Bmc::new(&miter);
-            assert_eq!(bmc.check_any_up_to(6), BmcResult::Clear);
+            assert_eq!(bmc.check_any_up_to(6), Ok(BmcResult::Clear));
         })
     });
     group.finish();
@@ -60,7 +60,7 @@ fn bench_cex_depth(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::from_parameter(depth), &depth, |b, &d| {
             b.iter(|| {
                 let mut bmc = Bmc::new(&miter);
-                assert!(matches!(bmc.check_any_up_to(d), BmcResult::Cex(_)));
+                assert!(matches!(bmc.check_any_up_to(d), Ok(BmcResult::Cex(_))));
             })
         });
     }

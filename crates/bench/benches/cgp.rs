@@ -82,7 +82,7 @@ fn bench_short_evolution(c: &mut Criterion) {
                 seed: 5,
                 ..SearchOptions::default()
             };
-            axmc_cgp::evolve(&golden, &options).area
+            axmc_cgp::evolve(&golden, &options).unwrap().area
         })
     });
     group.finish();

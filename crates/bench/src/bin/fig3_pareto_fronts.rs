@@ -30,7 +30,8 @@ fn front_row(name: &str, golden: &Netlist, wcres: &[f64], seconds: u64) {
         extra_cols: 0,
         ..SearchOptions::default()
     };
-    let points = pareto_front(golden, &thresholds, &base);
+    let points = pareto_front(golden, &thresholds, &base)
+        .expect("uncertified front cannot reject a certificate");
     print!("{name:<10}");
     for p in &points {
         print!(" {:>7.1}", p.result.relative_area() * 100.0);

@@ -13,9 +13,9 @@
 //! have bounded WCE that k-induction certifies.
 
 use axmc_bench::{banner, timed, PhaseLog, Scale};
-use axmc_core::SeqAnalyzer;
-use axmc_mc::{InductionOptions, ProofResult};
-use axmc_sat::Budget;
+use axmc_core::{SeqAnalyzer, Verdict};
+use axmc_mc::InductionOptions;
+use axmc_sat::{Budget, ResourceCtl};
 use axmc_seq::suite::standard_suite;
 
 fn main() {
@@ -48,7 +48,8 @@ fn main() {
                 wce.value,
                 &InductionOptions {
                     max_k: 3,
-                    budget: Budget::unlimited().with_conflicts(200_000),
+                    ctl: ResourceCtl::unlimited()
+                        .with_budget(Budget::unlimited().with_conflicts(200_000)),
                     simple_path: false,
                     certify: false,
                 },
@@ -56,10 +57,10 @@ fn main() {
             (earliest, wce, bf, proof)
         });
         let (earliest, wce, bf, proof) = row;
-        let verdict = match proof {
-            ProofResult::Proved { k } => format!("proved(k={k})"),
-            ProofResult::Falsified(_) => "grows".to_string(),
-            ProofResult::Unknown => "unknown".to_string(),
+        let verdict = match proof.expect("uncertified analysis") {
+            Verdict::Proved => "proved".to_string(),
+            Verdict::Refuted { .. } => "grows".to_string(),
+            Verdict::Interrupted { .. } => "unknown".to_string(),
         };
         println!(
             "{:<24} {:>4} {:>6} {:>6} {:>9} {:>9} {:>8} {:>14} {:>9.0}",

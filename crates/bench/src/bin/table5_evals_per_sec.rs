@@ -34,7 +34,10 @@ fn throughput(width: usize, verifier: Verifier, evaluations: u64, seed: u64, job
         ..SearchOptions::default()
     };
     let result = evolve(&golden, &options);
-    result.stats.evals_per_sec()
+    result
+        .expect("uncertified run cannot reject a certificate")
+        .stats
+        .evals_per_sec()
 }
 
 fn main() {

@@ -52,7 +52,7 @@ fn main() {
                 extra_cols: 0,
                 ..SearchOptions::default()
             };
-            let r = evolve(&golden, &options);
+            let r = evolve(&golden, &options).expect("uncertified run cannot reject a certificate");
             println!(
                 "{:>8.1} {:>10} {:>13.1} {:>8.1}% {:>9} {:>9} {:>10}",
                 wcre,

@@ -31,12 +31,19 @@
 //!     time_limit: Duration::from_secs(5),
 //!     ..SearchOptions::default()
 //! };
-//! let result = evolve(&golden, &options);
+//! let result = evolve(&golden, &options)?;
 //! println!(
 //!     "area {:.1} -> {:.1} µm² ({} improvements)",
 //!     result.golden_area, result.area, result.stats.improvements
 //! );
+//! # Ok::<(), axmc_core::AnalysisError>(())
 //! ```
+//!
+//! Runs are *anytime*: a deadline or cancellation raised through
+//! [`SearchOptions::ctl`] (see [`axmc_core::ResourceCtl`]) stops the
+//! search at the next generation boundary and returns the best verified
+//! circuit so far — sound because the search is seeded with the golden
+//! circuit itself.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -7,6 +7,7 @@
 
 use crate::search::{evolve, SearchOptions, SearchResult};
 use axmc_circuit::Netlist;
+use axmc_core::AnalysisError;
 
 /// One point of an error/area Pareto set.
 #[derive(Clone, Debug)]
@@ -43,12 +44,20 @@ pub fn threshold_to_wcre(threshold: u128, output_bits: usize) -> f64 {
 
 /// Runs one evolution per threshold and returns the resulting points
 /// (in the thresholds' order). Each run uses `base` with the threshold
-/// and a per-run seed derived from `base.seed`.
+/// and a per-run seed derived from `base.seed`. The shared `base.ctl`
+/// deadline/token spans the *whole front*: once it fires, the current
+/// run returns its best-so-far and the remaining runs return their seed
+/// immediately, so a timed front is still complete and sound.
+///
+/// # Errors
+///
+/// Returns [`AnalysisError::CertificateRejected`] if any run's certified
+/// verification rejects a certificate.
 pub fn pareto_front(
     golden: &Netlist,
     thresholds: &[u128],
     base: &SearchOptions,
-) -> Vec<ParetoPoint> {
+) -> Result<Vec<ParetoPoint>, AnalysisError> {
     let output_bits = golden.num_outputs();
     thresholds
         .iter()
@@ -59,11 +68,11 @@ pub fn pareto_front(
                 seed: base.seed.wrapping_add(i as u64),
                 ..base.clone()
             };
-            ParetoPoint {
+            Ok(ParetoPoint {
                 threshold,
                 wcre_percent: threshold_to_wcre(threshold, output_bits),
-                result: evolve(golden, &options),
-            }
+                result: evolve(golden, &options)?,
+            })
         })
         .collect()
 }
@@ -133,7 +142,7 @@ mod tests {
             extra_cols: 2,
             ..SearchOptions::default()
         };
-        let points = pareto_front(&golden, &[1, 7], &base);
+        let points = pareto_front(&golden, &[1, 7], &base).unwrap();
         assert_eq!(points.len(), 2);
         for p in &points {
             // Every point's circuit respects its threshold (exhaustive).

@@ -18,16 +18,25 @@
 //! back in candidate order. A fixed seed therefore produces an identical
 //! search trajectory for every `jobs` value; parallelism only changes
 //! wall-clock time.
+//!
+//! The search is *anytime*: a wall-clock deadline or cancellation raised
+//! through [`SearchOptions::ctl`] stops the loop at the next generation
+//! boundary and returns the best verified circuit found so far (sound,
+//! because the search is seeded with the golden circuit itself). The
+//! reason is recorded in [`SearchStats::interrupt`]. Candidates whose
+//! *individual* verification is cut short by the deadline or token are
+//! merely skipped — counted under `cgp.verify.degraded` — never turned
+//! into an abort.
 
 use crate::chromosome::Chromosome;
 use axmc_aig::Aig;
 use axmc_circuit::{AreaModel, Netlist};
 use axmc_cnf::encode_comb;
-use axmc_core::exhaustive_stats;
+use axmc_core::{exhaustive_stats, AnalysisError};
 use axmc_miter::diff_threshold_miter;
 use axmc_rand::rngs::StdRng;
 use axmc_rand::SeedableRng;
-use axmc_sat::{Budget, SolveResult};
+use axmc_sat::{Budget, Interrupt, ResourceCtl, SolveResult};
 use std::time::{Duration, Instant};
 
 /// How a candidate's error constraint is checked.
@@ -70,9 +79,15 @@ pub struct SearchOptions {
     pub jobs: usize,
     /// Re-validate every UNSAT acceptance verdict of the SAT verifier
     /// with the forward RUP/DRAT checker before a candidate is accepted.
-    /// No effect on the simulation verifier. A checker rejection panics:
-    /// it means the solver, and hence the acceptance, is unsound.
+    /// No effect on the simulation verifier. A checker rejection aborts
+    /// the run with [`AnalysisError::CertificateRejected`]: it means the
+    /// solver, and hence the acceptance, is unsound.
     pub certify: bool,
+    /// Resource control shared with the rest of the analysis stack: a
+    /// deadline or cancellation stops the run at the next generation
+    /// boundary (anytime — the best-so-far is returned), and is also
+    /// observed *inside* every verification solver call.
+    pub ctl: ResourceCtl,
 }
 
 impl Default for SearchOptions {
@@ -91,6 +106,7 @@ impl Default for SearchOptions {
             extra_cols: 0,
             jobs: 1,
             certify: false,
+            ctl: ResourceCtl::unlimited(),
         }
     }
 }
@@ -120,6 +136,10 @@ pub struct SearchStats {
     pub area_history: Vec<(u64, f64)>,
     /// Total wall-clock of the run.
     pub elapsed: Duration,
+    /// Why the run stopped early, if a deadline or cancellation raised
+    /// through [`SearchOptions::ctl`] cut it short (`None` when the run
+    /// ended on its own generation/time limits).
+    pub interrupt: Option<Interrupt>,
 }
 
 impl SearchStats {
@@ -214,6 +234,9 @@ impl SearchObs {
         axmc_obs::counter("cgp.verify.violation").add(stats.verified_violation);
         axmc_obs::counter("cgp.verify.timeout").add(stats.verified_timeout);
         axmc_obs::counter("cgp.improvements").add(stats.improvements);
+        if stats.interrupt.is_some() {
+            axmc_obs::counter("cgp.interrupted").inc();
+        }
         axmc_obs::histogram("cgp.run.time_us")
             .record(stats.elapsed.as_micros().min(u64::MAX as u128) as u64);
         if axmc_obs::tracing_active() {
@@ -269,7 +292,17 @@ impl SearchResult {
 /// `options.threshold`.
 ///
 /// The search is seeded with the golden circuit itself, so every
-/// intermediate best is a *verified* approximation.
+/// intermediate best is a *verified* approximation — which is also what
+/// makes the run *anytime*: a deadline or cancellation raised through
+/// `options.ctl` returns the best-so-far (with the reason in
+/// [`SearchStats::interrupt`]) instead of aborting.
+///
+/// # Errors
+///
+/// Returns [`AnalysisError::CertificateRejected`] when certified mode is
+/// on and an UNSAT acceptance certificate fails validation — the search
+/// cannot continue past an unsound verdict. Resource exhaustion is *not*
+/// an error: it ends the run early with the best verified circuit.
 ///
 /// # Examples
 ///
@@ -285,14 +318,15 @@ impl SearchResult {
 ///     time_limit: Duration::from_secs(10),
 ///     ..SearchOptions::default()
 /// };
-/// let result = evolve(&golden, &options);
+/// let result = evolve(&golden, &options)?;
 /// assert!(result.area <= result.golden_area);
+/// # Ok::<(), axmc_core::AnalysisError>(())
 /// ```
 ///
 /// # Panics
 ///
 /// Panics if `golden` has no inputs or outputs.
-pub fn evolve(golden: &Netlist, options: &SearchOptions) -> SearchResult {
+pub fn evolve(golden: &Netlist, options: &SearchOptions) -> Result<SearchResult, AnalysisError> {
     let start = Instant::now();
     let mut rng = StdRng::seed_from_u64(options.seed);
     let golden_aig = golden.to_aig().compact();
@@ -305,6 +339,10 @@ pub fn evolve(golden: &Netlist, options: &SearchOptions) -> SearchResult {
 
     let jobs = options.jobs.max(1);
     for generation in 0..options.max_generations {
+        if let Some(reason) = options.ctl.interrupted() {
+            stats.interrupt = Some(reason);
+            break;
+        }
         if start.elapsed() >= options.time_limit {
             break;
         }
@@ -344,8 +382,8 @@ pub fn evolve(golden: &Netlist, options: &SearchOptions) -> SearchResult {
             verify(&golden_aig, netlist, options)
         });
         for ((child, _, area), verdict) in candidates.into_iter().zip(verdicts) {
-            match verdict {
-                Verdict::WithinBound => {
+            match verdict? {
+                CandidateVerdict::WithinBound => {
                     stats.verified_ok += 1;
                     // An earlier sibling may have lowered the bar below
                     // this candidate's area; only adopt if still no worse.
@@ -360,36 +398,59 @@ pub fn evolve(golden: &Netlist, options: &SearchOptions) -> SearchResult {
                         }
                     }
                 }
-                Verdict::Violation => stats.verified_violation += 1,
-                Verdict::ResourceLimit => stats.verified_timeout += 1,
+                CandidateVerdict::Violation => stats.verified_violation += 1,
+                CandidateVerdict::ResourceLimit(reason) => {
+                    stats.verified_timeout += 1;
+                    record_degraded(reason);
+                }
             }
         }
     }
     stats.elapsed = start.elapsed();
     obs.finish(&stats, best_area, golden_area);
     let netlist = best.decode().compact();
-    SearchResult {
+    Ok(SearchResult {
         best,
         netlist,
         area: best_area,
         golden_area,
         stats,
+    })
+}
+
+/// How one candidate fared against the error bound.
+pub(crate) enum CandidateVerdict {
+    WithinBound,
+    Violation,
+    /// Verification stopped before a verdict; the candidate is skipped,
+    /// never escalated into an abort.
+    ResourceLimit(Interrupt),
+}
+
+/// Counts a verification that was cut short by *shared* resource
+/// pressure (deadline, cancellation) rather than the per-candidate
+/// budget — the degradations an operator wants to see when a run under a
+/// `--timeout` starts discarding candidates it would otherwise accept.
+pub(crate) fn record_degraded(reason: Interrupt) {
+    if !axmc_obs::enabled() {
+        return;
+    }
+    if matches!(reason, Interrupt::Deadline | Interrupt::Cancelled) {
+        axmc_obs::counter("cgp.verify.degraded").inc();
     }
 }
 
-enum Verdict {
-    WithinBound,
-    Violation,
-    ResourceLimit,
-}
-
-fn verify(golden_aig: &Aig, candidate: &Netlist, options: &SearchOptions) -> Verdict {
+fn verify(
+    golden_aig: &Aig,
+    candidate: &Netlist,
+    options: &SearchOptions,
+) -> Result<CandidateVerdict, AnalysisError> {
     match options.verifier {
         Verifier::Sat { budget } => {
             let cand_aig = candidate.to_aig();
             let miter = diff_threshold_miter(golden_aig, &cand_aig, options.threshold);
             let (mut solver, enc) = encode_comb(&miter);
-            solver.set_budget(budget);
+            solver.set_ctl(options.ctl.clone().with_budget(budget));
             if options.certify {
                 solver.set_proof_logging(true);
             }
@@ -397,25 +458,30 @@ fn verify(golden_aig: &Aig, candidate: &Netlist, options: &SearchOptions) -> Ver
                 SolveResult::Unsat => {
                     if options.certify {
                         if let Err(e) = axmc_check::certify_unsat(&solver) {
-                            panic!(
-                                "UNSAT certificate for a candidate acceptance failed \
-                                 validation ({e}); the verdict cannot be trusted"
-                            );
+                            return Err(AnalysisError::CertificateRejected {
+                                engine: "cgp".to_string(),
+                                detail: format!(
+                                    "UNSAT certificate for a candidate acceptance failed \
+                                     validation ({e})"
+                                ),
+                            });
                         }
                     }
-                    Verdict::WithinBound
+                    Ok(CandidateVerdict::WithinBound)
                 }
-                SolveResult::Sat => Verdict::Violation,
-                SolveResult::Unknown => Verdict::ResourceLimit,
+                SolveResult::Sat => Ok(CandidateVerdict::Violation),
+                SolveResult::Unknown => Ok(CandidateVerdict::ResourceLimit(
+                    solver.last_interrupt().unwrap_or(Interrupt::Conflicts),
+                )),
             }
         }
         Verifier::Simulation => {
             let cand_aig = candidate.to_aig();
             let stats = exhaustive_stats(golden_aig, &cand_aig);
             if stats.wce <= options.threshold {
-                Verdict::WithinBound
+                Ok(CandidateVerdict::WithinBound)
             } else {
-                Verdict::Violation
+                Ok(CandidateVerdict::Violation)
             }
         }
     }
@@ -425,6 +491,7 @@ fn verify(golden_aig: &Aig, candidate: &Netlist, options: &SearchOptions) -> Ver
 mod tests {
     use super::*;
     use axmc_circuit::generators;
+    use axmc_sat::CancelToken;
 
     fn quick_options(threshold: u128) -> SearchOptions {
         SearchOptions {
@@ -458,28 +525,30 @@ mod tests {
     #[test]
     fn evolve_shrinks_adder_within_bound() {
         let golden = generators::ripple_carry_adder(4);
-        let result = evolve(&golden, &quick_options(3));
+        let result = evolve(&golden, &quick_options(3)).unwrap();
         assert!(result.area < result.golden_area, "no reduction achieved");
         assert_result_within(&golden, &result, 3);
         assert!(result.stats.improvements > 0);
         assert!(result.stats.verifier_calls > 0);
+        assert_eq!(result.stats.interrupt, None);
     }
 
     #[test]
     fn certified_evolution_accepts_only_checked_candidates() {
         // Same run as evolve_shrinks_adder_within_bound, but every UNSAT
         // acceptance verdict must survive the RUP/DRAT checker (a
-        // rejection panics). The trajectory is identical: certification
-        // observes the solver, it never steers it.
+        // rejection aborts the run). The trajectory is identical:
+        // certification observes the solver, it never steers it.
         let golden = generators::ripple_carry_adder(4);
-        let plain = evolve(&golden, &quick_options(3));
+        let plain = evolve(&golden, &quick_options(3)).unwrap();
         let certified = evolve(
             &golden,
             &SearchOptions {
                 certify: true,
                 ..quick_options(3)
             },
-        );
+        )
+        .unwrap();
         assert!(certified.stats.verified_ok > 0);
         assert_eq!(plain.stats.verified_ok, certified.stats.verified_ok);
         assert_eq!(plain.area, certified.area);
@@ -489,7 +558,7 @@ mod tests {
     #[test]
     fn zero_threshold_preserves_exactness() {
         let golden = generators::ripple_carry_adder(3);
-        let result = evolve(&golden, &quick_options(0));
+        let result = evolve(&golden, &quick_options(0)).unwrap();
         assert_result_within(&golden, &result, 0);
     }
 
@@ -498,7 +567,7 @@ mod tests {
         let golden = generators::ripple_carry_adder(3);
         let mut opts = quick_options(2);
         opts.verifier = Verifier::Simulation;
-        let result = evolve(&golden, &opts);
+        let result = evolve(&golden, &opts).unwrap();
         assert_result_within(&golden, &result, 2);
     }
 
@@ -506,7 +575,7 @@ mod tests {
     fn stats_are_consistent() {
         let golden = generators::ripple_carry_adder(4);
         let opts = quick_options(5);
-        let result = evolve(&golden, &opts);
+        let result = evolve(&golden, &opts).unwrap();
         let s = &result.stats;
         assert_eq!(
             s.offspring,
@@ -529,8 +598,8 @@ mod tests {
         let mut opts = quick_options(2);
         opts.max_generations = 100;
         opts.time_limit = Duration::from_secs(600); // generations bound only
-        let a = evolve(&golden, &opts);
-        let b = evolve(&golden, &opts);
+        let a = evolve(&golden, &opts).unwrap();
+        let b = evolve(&golden, &opts).unwrap();
         assert_eq!(a.best.genes(), b.best.genes());
         assert_eq!(a.area, b.area);
     }
@@ -543,11 +612,11 @@ mod tests {
         let mut opts = quick_options(2);
         opts.max_generations = 80;
         opts.time_limit = Duration::from_secs(600); // generations bound only
-        let serial = evolve(&golden, &opts);
+        let serial = evolve(&golden, &opts).unwrap();
         for jobs in [2usize, 4, 8] {
             let mut par_opts = opts.clone();
             par_opts.jobs = jobs;
-            let par = evolve(&golden, &par_opts);
+            let par = evolve(&golden, &par_opts).unwrap();
             assert_eq!(serial.best.genes(), par.best.genes(), "jobs {jobs}");
             assert_eq!(serial.area, par.area, "jobs {jobs}");
             let mut a = serial.stats.clone();
@@ -566,7 +635,7 @@ mod tests {
         opts.verifier = Verifier::Sat {
             budget: Budget::unlimited().with_conflicts(1).with_propagations(100),
         };
-        let result = evolve(&golden, &opts);
+        let result = evolve(&golden, &opts).unwrap();
         // With such a tiny budget, most non-trivial verifications time out;
         // the run must still terminate quickly and keep a valid best.
         assert_result_within(&golden, &result, 8);
@@ -579,9 +648,75 @@ mod tests {
         // so cross-threshold comparisons are only statistical).
         let golden = generators::ripple_carry_adder(4);
         for threshold in [1, 15] {
-            let r = evolve(&golden, &quick_options(threshold));
+            let r = evolve(&golden, &quick_options(threshold)).unwrap();
             assert!(r.area <= r.golden_area + 1e-9, "threshold {threshold}");
             assert_result_within(&golden, &r, threshold);
         }
+    }
+
+    #[test]
+    fn expired_deadline_returns_the_golden_seed_anytime() {
+        // A deadline that has already passed stops the run before the
+        // first generation; the anytime contract hands back the (always
+        // verified) seed instead of erroring.
+        let golden = generators::ripple_carry_adder(4);
+        let mut opts = quick_options(3);
+        opts.ctl = ResourceCtl::unlimited().with_timeout(Duration::ZERO);
+        let result = evolve(&golden, &opts).unwrap();
+        assert_eq!(result.stats.interrupt, Some(Interrupt::Deadline));
+        assert_eq!(result.stats.generations, 0);
+        assert_eq!(result.area, result.golden_area);
+        assert_result_within(&golden, &result, 0);
+    }
+
+    #[test]
+    fn cancellation_stops_the_search_with_best_so_far() {
+        let golden = generators::ripple_carry_adder(4);
+        let token = CancelToken::new();
+        token.cancel();
+        let mut opts = quick_options(3);
+        opts.ctl = ResourceCtl::unlimited().with_cancel(token);
+        let result = evolve(&golden, &opts).unwrap();
+        assert_eq!(result.stats.interrupt, Some(Interrupt::Cancelled));
+        assert_eq!(result.area, result.golden_area);
+    }
+
+    #[test]
+    fn per_query_deadline_skips_candidates_without_aborting() {
+        // A per-call timeout of zero makes every verification come back
+        // Unknown(Deadline). Candidates must be skipped — not escalated
+        // into an abort — and the run must still complete all
+        // generations, keeping the seed as its best.
+        let golden = generators::ripple_carry_adder(3);
+        let mut opts = quick_options(2);
+        opts.max_generations = 10;
+        opts.ctl = ResourceCtl::unlimited().with_query_timeout(Duration::ZERO);
+        let result = evolve(&golden, &opts).unwrap();
+        assert_eq!(result.stats.interrupt, None);
+        assert_eq!(result.stats.generations, 10);
+        assert_eq!(result.stats.verified_ok, 0);
+        assert_eq!(result.stats.verified_timeout, result.stats.verifier_calls);
+        assert_eq!(result.area, result.golden_area);
+    }
+
+    #[test]
+    fn generous_timeout_is_byte_identical_to_no_timeout() {
+        // A deadline that never trips must not perturb the trajectory:
+        // resource governance observes the search, it never steers it.
+        let golden = generators::ripple_carry_adder(3);
+        let mut opts = quick_options(2);
+        opts.max_generations = 80;
+        opts.time_limit = Duration::from_secs(600); // generations bound only
+        let plain = evolve(&golden, &opts).unwrap();
+        let mut timed_opts = opts.clone();
+        timed_opts.ctl = ResourceCtl::unlimited().with_timeout(Duration::from_secs(3600));
+        let timed = evolve(&golden, &timed_opts).unwrap();
+        assert_eq!(plain.best.genes(), timed.best.genes());
+        assert_eq!(plain.area, timed.area);
+        let mut a = plain.stats.clone();
+        let mut b = timed.stats.clone();
+        a.elapsed = Duration::ZERO;
+        b.elapsed = Duration::ZERO;
+        assert_eq!(a, b);
     }
 }

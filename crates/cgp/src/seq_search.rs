@@ -8,11 +8,20 @@
 //! the system is thereby exploited automatically — a component can be
 //! much sloppier (and smaller) when the surrounding design hides most of
 //! its error.
+//!
+//! Resource governance mirrors the combinational loop: the shared
+//! [`SearchOptions::ctl`](crate::SearchOptions) stops the run at the next
+//! generation boundary (anytime, best-so-far) and is observed inside
+//! every BMC verification call; candidates whose verification it cuts
+//! short are skipped, never turned into an abort.
 
 use crate::chromosome::Chromosome;
-use crate::search::{SearchObs, SearchOptions, SearchResult, SearchStats};
+use crate::search::{
+    record_degraded, CandidateVerdict, SearchObs, SearchOptions, SearchResult, SearchStats,
+};
 use axmc_aig::Aig;
 use axmc_circuit::Netlist;
+use axmc_core::AnalysisError;
 use axmc_mc::{Bmc, BmcResult};
 use axmc_miter::sequential_diff_miter;
 use axmc_rand::rngs::StdRng;
@@ -40,7 +49,15 @@ pub struct SequentialContext<'a> {
 /// system's worst-case output error within `options.threshold` up to the
 /// context's horizon.
 ///
-/// `options.verifier` is ignored (verification is defined by `context`).
+/// `options.verifier` is ignored (verification is defined by `context`);
+/// `options.ctl` and `options.certify` apply to the BMC calls.
+///
+/// # Errors
+///
+/// Returns [`AnalysisError::CertificateRejected`] when certified mode is
+/// on and a BMC acceptance certificate fails validation. Resource
+/// exhaustion is *not* an error: it ends the run early with the best
+/// verified circuit (see [`SearchStats::interrupt`]).
 ///
 /// # Examples
 ///
@@ -62,8 +79,9 @@ pub struct SequentialContext<'a> {
 ///     time_limit: Duration::from_secs(10),
 ///     ..SearchOptions::default()
 /// };
-/// let result = evolve_in_context(&golden, &context, &options);
+/// let result = evolve_in_context(&golden, &context, &options)?;
 /// assert!(result.area <= result.golden_area);
+/// # Ok::<(), axmc_core::AnalysisError>(())
 /// ```
 ///
 /// # Panics
@@ -73,7 +91,7 @@ pub fn evolve_in_context(
     golden: &Netlist,
     context: &SequentialContext<'_>,
     options: &SearchOptions,
-) -> SearchResult {
+) -> Result<SearchResult, AnalysisError> {
     let start = Instant::now();
     let mut rng = StdRng::seed_from_u64(options.seed);
     let golden_system = (context.build)(golden).compact();
@@ -86,6 +104,10 @@ pub fn evolve_in_context(
 
     let jobs = options.jobs.max(1);
     for generation in 0..options.max_generations {
+        if let Some(reason) = options.ctl.interrupted() {
+            stats.interrupt = Some(reason);
+            break;
+        }
         if start.elapsed() >= options.time_limit {
             break;
         }
@@ -115,15 +137,11 @@ pub fn evolve_in_context(
             candidates.push((child, netlist, area));
         }
         let verdicts = axmc_par::parallel_map(jobs, &candidates, |_, (_, netlist, _)| {
-            let system = (context.build)(netlist);
-            let miter = sequential_diff_miter(&golden_system, &system, options.threshold);
-            let mut bmc = Bmc::new(&miter);
-            bmc.set_budget(context.budget);
-            bmc.check_any_up_to(context.horizon)
+            verify_in_context(&golden_system, netlist, context, options)
         });
         for ((child, _, area), verdict) in candidates.into_iter().zip(verdicts) {
-            match verdict {
-                BmcResult::Clear => {
+            match verdict? {
+                CandidateVerdict::WithinBound => {
                     stats.verified_ok += 1;
                     if area <= best_area {
                         let improved = area < best_area;
@@ -136,20 +154,48 @@ pub fn evolve_in_context(
                         }
                     }
                 }
-                BmcResult::Cex(_) => stats.verified_violation += 1,
-                BmcResult::Unknown => stats.verified_timeout += 1,
+                CandidateVerdict::Violation => stats.verified_violation += 1,
+                CandidateVerdict::ResourceLimit(reason) => {
+                    stats.verified_timeout += 1;
+                    record_degraded(reason);
+                }
             }
         }
     }
     stats.elapsed = start.elapsed();
     obs.finish(&stats, best_area, golden_area);
     let netlist = best.decode().compact();
-    SearchResult {
+    Ok(SearchResult {
         best,
         netlist,
         area: best_area,
         golden_area,
         stats,
+    })
+}
+
+/// One candidate's system-level acceptance check: BMC on the sequential
+/// difference miter, under the run's shared resource control plus the
+/// context's per-call budget.
+fn verify_in_context(
+    golden_system: &Aig,
+    netlist: &Netlist,
+    context: &SequentialContext<'_>,
+    options: &SearchOptions,
+) -> Result<CandidateVerdict, AnalysisError> {
+    let system = (context.build)(netlist);
+    let miter = sequential_diff_miter(golden_system, &system, options.threshold);
+    let mut bmc = Bmc::new(&miter);
+    bmc.set_ctl(options.ctl.clone().with_budget(context.budget));
+    bmc.set_certify(options.certify);
+    match bmc.check_any_up_to(context.horizon) {
+        Ok(BmcResult::Clear) => Ok(CandidateVerdict::WithinBound),
+        Ok(BmcResult::Cex(_)) => Ok(CandidateVerdict::Violation),
+        Ok(BmcResult::Unknown(reason)) => Ok(CandidateVerdict::ResourceLimit(reason)),
+        Err(e) => Err(AnalysisError::CertificateRejected {
+            engine: "cgp".to_string(),
+            detail: format!("system-level BMC acceptance check failed validation ({e})"),
+        }),
     }
 }
 
@@ -158,6 +204,7 @@ mod tests {
     use super::*;
     use axmc_circuit::generators;
     use axmc_mc::Trace;
+    use axmc_sat::{Interrupt, ResourceCtl};
     use std::time::Duration;
 
     fn options(threshold: u128, generations: u64) -> SearchOptions {
@@ -208,7 +255,7 @@ mod tests {
             horizon,
             budget: Budget::unlimited().with_conflicts(20_000),
         };
-        let result = evolve_in_context(&golden, &context, &options(threshold, 250));
+        let result = evolve_in_context(&golden, &context, &options(threshold, 250)).unwrap();
         // Independent brute-force check of the certificate.
         let golden_system = axmc_seq::accumulator(&golden, width);
         let evolved_system = axmc_seq::accumulator(&result.netlist, width);
@@ -232,7 +279,7 @@ mod tests {
             budget: Budget::unlimited().with_conflicts(20_000),
         };
         let threshold = 1;
-        let result = evolve_in_context(&golden, &context, &options(threshold, 200));
+        let result = evolve_in_context(&golden, &context, &options(threshold, 200)).unwrap();
         let golden_system = axmc_seq::registered_alu(&golden, width);
         let evolved_system = axmc_seq::registered_alu(&result.netlist, width);
         let wce = brute_system_wce(&golden_system, &evolved_system, 2 * width, 2);
@@ -250,10 +297,10 @@ mod tests {
         };
         let mut opts = options(4, 60);
         opts.time_limit = Duration::from_secs(600); // generations bound only
-        let serial = evolve_in_context(&golden, &context, &opts);
+        let serial = evolve_in_context(&golden, &context, &opts).unwrap();
         let mut par_opts = opts.clone();
         par_opts.jobs = 8;
-        let par = evolve_in_context(&golden, &context, &par_opts);
+        let par = evolve_in_context(&golden, &context, &par_opts).unwrap();
         assert_eq!(serial.best.genes(), par.best.genes());
         assert_eq!(serial.area, par.area);
         let mut a = serial.stats.clone();
@@ -272,12 +319,29 @@ mod tests {
             horizon: 2,
             budget: Budget::unlimited(),
         };
-        let result = evolve_in_context(&golden, &context, &options(0, 120));
+        let result = evolve_in_context(&golden, &context, &options(0, 120)).unwrap();
         let golden_system = axmc_seq::accumulator(&golden, width);
         let evolved_system = axmc_seq::accumulator(&result.netlist, width);
         assert_eq!(
             brute_system_wce(&golden_system, &evolved_system, width, 2),
             0
         );
+    }
+
+    #[test]
+    fn expired_deadline_returns_the_golden_seed_anytime() {
+        let width = 3;
+        let golden = generators::ripple_carry_adder(width);
+        let context = SequentialContext {
+            build: &|c| axmc_seq::accumulator(c, width),
+            horizon: 2,
+            budget: Budget::unlimited(),
+        };
+        let mut opts = options(4, 100);
+        opts.ctl = ResourceCtl::unlimited().with_timeout(Duration::ZERO);
+        let result = evolve_in_context(&golden, &context, &opts).unwrap();
+        assert_eq!(result.stats.interrupt, Some(Interrupt::Deadline));
+        assert_eq!(result.stats.generations, 0);
+        assert_eq!(result.area, result.golden_area);
     }
 }

@@ -9,17 +9,18 @@
 //! the first UNSAT probe, and only then bisects — the hard UNSAT probes
 //! all happen near the true value instead of in the middle of the huge
 //! output range.
+//!
+//! Probes answer with a [`Verdict<u128>`]: `Refuted { witness }` raises
+//! the lower bound, `Proved` lowers the upper bound, and `Interrupted`
+//! (budget/deadline/cancel) is *skipped* — the search keeps refining with
+//! the answers it got and only gives up when an entire round is
+//! interrupted, at which point it reports the **current tightest**
+//! certified interval `[lo, hi]` as the anytime result. A hard error
+//! (`Err`, e.g. a rejected certificate) aborts the search immediately.
 
-use crate::report::AnalysisError;
-
-/// The answer of one threshold probe.
-pub(crate) enum Probe {
-    /// Error above the threshold is possible; payload is the *witnessed*
-    /// error (strictly above the probed threshold).
-    Exceeds(u128),
-    /// The error provably never exceeds the threshold.
-    Within,
-}
+use crate::report::{AnalysisError, Partial};
+use crate::verdict::Verdict;
+use axmc_sat::Interrupt;
 
 /// Saturates a (possibly 128-bit) error value into a traceable `u64`.
 fn sat_u64(v: u128) -> u64 {
@@ -43,7 +44,7 @@ fn trace_probe(label: &str, iter: u64, phase: &str, t: u128, verdict: &str, lo: 
     );
 }
 
-/// Clamps an `Exceeds` witness back into contract: the probe promised a
+/// Clamps a `Refuted` witness back into contract: the probe promised a
 /// witness strictly above the probed threshold and no larger than the
 /// metric's representable maximum. A buggy or budget-degraded oracle may
 /// hand back a stale witness (`e <= t`) or one past `max`; the search
@@ -60,7 +61,7 @@ fn clamp_witness(t: u128, e: u128, max: u128) -> u128 {
 /// Finds the exact maximum error in `[0, max]` given a probe oracle.
 ///
 /// `probe(t)` must answer whether the error can exceed `t`, returning the
-/// witnessed error on the exceeding side.
+/// witnessed error on the exceeding (`Refuted`) side.
 ///
 /// `label` names the search in metrics and trace events (e.g.
 /// `"seq.wce"`); with tracing active, every probe emits its candidate
@@ -68,7 +69,7 @@ fn clamp_witness(t: u128, e: u128, max: u128) -> u128 {
 pub(crate) fn search_max_error(
     label: &str,
     max: u128,
-    mut probe: impl FnMut(u128) -> Result<Probe, AnalysisError>,
+    mut probe: impl FnMut(u128) -> Result<Verdict<u128>, AnalysisError>,
 ) -> Result<u128, AnalysisError> {
     search_max_error_batched(label, max, 1, |ts| ts.iter().map(|&t| probe(t)).collect())
 }
@@ -78,31 +79,33 @@ pub(crate) fn search_max_error(
 /// sequential analyzer probe a portfolio of thresholds on parallel
 /// engines.
 ///
-/// Every answer is authoritative for its own threshold — an `Exceeds`
-/// raises the lower bound, a `Within` lowers the upper bound — so the
+/// Every answer is authoritative for its own threshold — a `Refuted`
+/// raises the lower bound, a `Proved` lowers the upper bound — so the
 /// merged interval does not depend on which speculative probe "wins",
 /// and `batch = 1` degenerates to exactly the serial probe sequence.
 ///
-/// A probe may individually fail (e.g. its solve budget ran out). Failed
-/// probes are skipped as long as at least one probe in the round
-/// answered: a budget-exhausted speculative worker never discards a
-/// successful sibling's answer. Only a round with *zero* answers
-/// propagates the (lowest-threshold) error.
+/// A probe may individually be interrupted (its budget or deadline ran
+/// out). Interrupted probes are skipped as long as at least one probe in
+/// the round answered: an exhausted speculative worker never discards a
+/// successful sibling's answer. Only a round with *zero* answers gives
+/// up, reporting the tightest certified interval reached so far. A hard
+/// `Err` (certificate rejection) aborts the whole search at once.
 pub(crate) fn search_max_error_batched(
     label: &str,
     max: u128,
     batch: usize,
-    mut probe_batch: impl FnMut(&[u128]) -> Vec<Result<Probe, AnalysisError>>,
+    mut probe_batch: impl FnMut(&[u128]) -> Vec<Result<Verdict<u128>, AnalysisError>>,
 ) -> Result<u128, AnalysisError> {
     let batch = batch.max(1);
     let tracing = axmc_obs::tracing_active();
     let mut iter: u64 = 0;
 
     // Applies one round of answers to the interval `[lo, hi]`. Returns
-    // `Err` only when no probe in the round produced an answer.
+    // `Err` when no probe in the round produced an answer (anytime
+    // payload = current interval) or when any probe failed hard.
     let merge_round = |phase: &str,
                        thresholds: &[u128],
-                       answers: Vec<Result<Probe, AnalysisError>>,
+                       answers: Vec<Result<Verdict<u128>, AnalysisError>>,
                        lo: &mut u128,
                        hi: &mut u128,
                        iter: &mut u64|
@@ -112,43 +115,50 @@ pub(crate) fn search_max_error_batched(
             thresholds.len(),
             "oracle must answer every probed threshold"
         );
-        let mut saw_within = false;
-        let mut first_err: Option<AnalysisError> = None;
+        let mut saw_proved = false;
+        let mut first_interrupt: Option<Option<Interrupt>> = None;
         let mut any_ok = false;
         for (&t, ans) in thresholds.iter().zip(answers) {
             *iter += 1;
             match ans {
-                Ok(Probe::Exceeds(e)) => {
+                Ok(Verdict::Refuted { witness }) => {
                     any_ok = true;
-                    *lo = (*lo).max(clamp_witness(t, e, max));
+                    *lo = (*lo).max(clamp_witness(t, witness, max));
                     if tracing {
                         trace_probe(label, *iter, phase, t, "exceeds", *lo, *hi);
                     }
                 }
-                Ok(Probe::Within) => {
+                Ok(Verdict::Proved) => {
                     any_ok = true;
-                    saw_within = true;
+                    saw_proved = true;
                     *hi = (*hi).min(t);
                     if tracing {
                         trace_probe(label, *iter, phase, t, "within", *lo, *hi);
                     }
                 }
-                Err(e) => {
+                Ok(Verdict::Interrupted { best_so_far }) => {
                     if tracing {
-                        trace_probe(label, *iter, phase, t, "budget_exhausted", *lo, *hi);
+                        trace_probe(label, *iter, phase, t, "interrupted", *lo, *hi);
                     }
-                    first_err.get_or_insert(e);
+                    first_interrupt.get_or_insert(best_so_far.reason);
                 }
+                Err(e) => return Err(e),
             }
         }
         if !any_ok {
-            return Err(first_err.expect("merge_round called with an empty batch"));
+            let reason = first_interrupt.expect("merge_round called with an empty batch");
+            return Err(AnalysisError::Interrupted(Partial {
+                reason,
+                known_low: *lo,
+                known_high: *hi,
+                completed_bound: None,
+            }));
         }
         // A consistent oracle never crosses the bounds; an adversarial
         // one is clamped so the search still terminates.
         debug_assert!(*lo <= *hi, "probe answers crossed: lo {lo} > hi {hi}");
         *lo = (*lo).min(*hi);
-        Ok(saw_within)
+        Ok(saw_proved)
     };
 
     let mut result = || -> Result<u128, AnalysisError> {
@@ -159,25 +169,36 @@ pub(crate) fn search_max_error_batched(
             .next()
             .expect("oracle must answer the initial threshold")?;
         let mut lo = match first {
-            Probe::Within => {
+            Verdict::Proved => {
                 if tracing {
                     trace_probe(label, iter, "init", 0, "within", 0, 0);
                 }
                 return Ok(0);
             }
-            Probe::Exceeds(e) => {
-                let w = clamp_witness(0, e, max.max(1)).min(max);
+            Verdict::Refuted { witness } => {
+                let w = clamp_witness(0, witness, max.max(1)).min(max);
                 if tracing {
                     trace_probe(label, iter, "init", 0, "exceeds", w, max);
                 }
                 w
+            }
+            Verdict::Interrupted { best_so_far } => {
+                if tracing {
+                    trace_probe(label, iter, "init", 0, "interrupted", 0, max);
+                }
+                return Err(AnalysisError::Interrupted(Partial {
+                    reason: best_so_far.reason,
+                    known_low: 0,
+                    known_high: max,
+                    completed_bound: None,
+                }));
             }
         };
         if lo >= max {
             return Ok(lo.min(max));
         }
         // Galloping phase: a geometric ladder of up to `batch`
-        // speculative thresholds per round, until the first Within.
+        // speculative thresholds per round, until the first Proved.
         let mut hi = max;
         while lo < hi {
             let mut ladder = Vec::with_capacity(batch);
@@ -226,7 +247,10 @@ pub(crate) fn search_max_error_batched(
                         "result",
                         match &value {
                             Ok(v) => format!("{}", sat_u64(*v)),
-                            Err(_) => "budget_exhausted".to_string(),
+                            Err(AnalysisError::Interrupted(_)) => "interrupted".to_string(),
+                            Err(AnalysisError::CertificateRejected { .. }) => {
+                                "certificate_rejected".to_string()
+                            }
                         },
                     ),
             );
@@ -239,24 +263,38 @@ pub(crate) fn search_max_error_batched(
 mod tests {
     use super::*;
 
-    fn oracle(true_wce: u128) -> impl FnMut(u128) -> Result<Probe, AnalysisError> {
+    fn exceeds(witness: u128) -> Result<Verdict<u128>, AnalysisError> {
+        Ok(Verdict::Refuted { witness })
+    }
+
+    fn within() -> Result<Verdict<u128>, AnalysisError> {
+        Ok(Verdict::Proved)
+    }
+
+    fn interrupted() -> Result<Verdict<u128>, AnalysisError> {
+        Ok(Verdict::Interrupted {
+            best_so_far: Partial::trivial(Interrupt::Conflicts),
+        })
+    }
+
+    fn oracle(true_wce: u128) -> impl FnMut(u128) -> Result<Verdict<u128>, AnalysisError> {
         move |t| {
-            Ok(if true_wce > t {
-                Probe::Exceeds(true_wce) // best-case witness
+            if true_wce > t {
+                exceeds(true_wce) // best-case witness
             } else {
-                Probe::Within
-            })
+                within()
+            }
         }
     }
 
-    fn weak_oracle(true_wce: u128) -> impl FnMut(u128) -> Result<Probe, AnalysisError> {
+    fn weak_oracle(true_wce: u128) -> impl FnMut(u128) -> Result<Verdict<u128>, AnalysisError> {
         // Witness barely exceeds the threshold (worst-case witness).
         move |t| {
-            Ok(if true_wce > t {
-                Probe::Exceeds(t + 1)
+            if true_wce > t {
+                exceeds(t + 1)
             } else {
-                Probe::Within
-            })
+                within()
+            }
         }
     }
 
@@ -302,25 +340,49 @@ mod tests {
     }
 
     #[test]
-    fn errors_propagate() {
-        let result = search_max_error("test", 100, |_| {
-            Err(AnalysisError::BudgetExhausted {
-                known_low: 0,
-                known_high: 100,
-            })
-        });
-        assert!(result.is_err());
+    fn interruptions_propagate() {
+        let result = search_max_error("test", 100, |_| interrupted());
+        match result {
+            Err(AnalysisError::Interrupted(p)) => {
+                assert_eq!(p.reason, Some(Interrupt::Conflicts));
+                assert_eq!((p.known_low, p.known_high), (0, 100));
+            }
+            other => panic!("expected interruption, got {other:?}"),
+        }
     }
 
-    fn batch_oracle(true_wce: u128) -> impl FnMut(&[u128]) -> Vec<Result<Probe, AnalysisError>> {
+    #[test]
+    fn hard_errors_abort_immediately() {
+        let mut probes = 0u32;
+        let result = search_max_error("test", 100, |t| {
+            probes += 1;
+            if t == 0 {
+                exceeds(10)
+            } else {
+                Err(AnalysisError::CertificateRejected {
+                    engine: "test".to_string(),
+                    detail: "bad proof".to_string(),
+                })
+            }
+        });
+        assert!(matches!(
+            result,
+            Err(AnalysisError::CertificateRejected { .. })
+        ));
+        assert_eq!(probes, 2, "the rejection must abort the search at once");
+    }
+
+    fn batch_oracle(
+        true_wce: u128,
+    ) -> impl FnMut(&[u128]) -> Vec<Result<Verdict<u128>, AnalysisError>> {
         move |ts| {
             ts.iter()
                 .map(|&t| {
-                    Ok(if true_wce > t {
-                        Probe::Exceeds(true_wce)
+                    if true_wce > t {
+                        exceeds(true_wce)
                     } else {
-                        Probe::Within
-                    })
+                        within()
+                    }
                 })
                 .collect()
         }
@@ -374,11 +436,11 @@ mod tests {
         let wce = 200u128;
         let max = 255u128;
         let result = search_max_error("test", max, |t| {
-            Ok(if wce > t {
-                Probe::Exceeds(u128::MAX) // wildly out of contract
+            if wce > t {
+                exceeds(u128::MAX) // wildly out of contract
             } else {
-                Probe::Within
-            })
+                within()
+            }
         })
         .unwrap();
         assert!(result <= max);
@@ -399,11 +461,11 @@ mod tests {
                 probes < 1000,
                 "stale witnesses must not livelock the search"
             );
-            Ok(if wce > t {
-                Probe::Exceeds(1) // stale: at most the very first witness
+            if wce > t {
+                exceeds(1) // stale: at most the very first witness
             } else {
-                Probe::Within
-            })
+                within()
+            }
         })
         .unwrap();
         assert_eq!(result, wce);
@@ -415,32 +477,26 @@ mod tests {
     #[cfg(debug_assertions)]
     #[should_panic(expected = "out of contract")]
     fn adversarial_witness_above_max_asserts_in_debug() {
-        let _ = search_max_error("test", 255, |_| Ok(Probe::Exceeds(u128::MAX)));
+        let _ = search_max_error("test", 255, |_| exceeds(u128::MAX));
     }
 
     #[test]
     #[cfg(debug_assertions)]
     #[should_panic(expected = "out of contract")]
     fn adversarial_stale_witness_asserts_in_debug() {
-        let _ = search_max_error("test", 255, |t| {
-            Ok(if t < 50 {
-                Probe::Exceeds(1)
-            } else {
-                Probe::Within
-            })
-        });
+        let _ = search_max_error("test", 255, |t| if t < 50 { exceeds(1) } else { within() });
     }
 
-    // -- satellite: deterministic handling of per-probe failures -------
+    // -- satellite: deterministic handling of per-probe interrupts -----
 
-    /// A budget-exhausted probe in a portfolio round must not discard a
+    /// An interrupted probe in a portfolio round must not discard a
     /// sibling's successful answer: the search keeps refining with the
     /// answers it got.
     #[test]
-    fn failed_probe_does_not_drop_sibling_answers() {
+    fn interrupted_probe_does_not_drop_sibling_answers() {
         let wce = 1000u128;
         let max = 65535u128;
-        let mut failed = 0u32;
+        let mut skipped = 0u32;
         let mut answered = 0u32;
         let result = search_max_error_batched("test", max, 4, |ts| {
             ts.iter()
@@ -449,53 +505,48 @@ mod tests {
                     // The second lane of the portfolio always runs out of
                     // budget; its siblings' answers must carry the round.
                     if lane == 1 {
-                        failed += 1;
-                        return Err(AnalysisError::BudgetExhausted {
-                            known_low: 0,
-                            known_high: max,
-                        });
+                        skipped += 1;
+                        return interrupted();
                     }
                     answered += 1;
-                    Ok(if wce > t {
-                        Probe::Exceeds(wce)
+                    if wce > t {
+                        exceeds(wce)
                     } else {
-                        Probe::Within
-                    })
+                        within()
+                    }
                 })
                 .collect()
         })
         .unwrap();
         assert_eq!(result, wce);
-        assert!(failed > 0, "test must actually exercise failing probes");
+        assert!(
+            skipped > 0,
+            "test must actually exercise interrupted probes"
+        );
         assert!(answered > 0);
     }
 
-    /// Only a round where *every* probe fails propagates the error (the
-    /// lowest-threshold one, deterministically).
+    /// Only a round where *every* probe is interrupted gives up — and the
+    /// anytime payload carries the tightest interval certified so far,
+    /// not the trivial one.
     #[test]
-    fn all_probes_failing_propagates_lowest_threshold_error() {
+    fn fully_interrupted_round_reports_the_tightest_interval() {
         let max = 65535u128;
         let result = search_max_error_batched("test", max, 4, |ts| {
             ts.iter()
-                .map(|&t| {
-                    if t == 0 {
-                        Ok(Probe::Exceeds(7))
-                    } else {
-                        Err(AnalysisError::BudgetExhausted {
-                            known_low: t,
-                            known_high: max,
-                        })
-                    }
-                })
+                .map(|&t| if t == 0 { exceeds(7) } else { interrupted() })
                 .collect()
         });
         match result {
-            Err(AnalysisError::BudgetExhausted { known_low, .. }) => {
-                // First gallop round probes [14, 28, 56, 112]; the error
-                // carried back must be the lowest threshold's.
-                assert_eq!(known_low, 14);
+            Err(AnalysisError::Interrupted(p)) => {
+                // The init probe witnessed 7 before the gallop round
+                // [14, 28, 56, 112] was starved: the interval must
+                // remember that certified lower bound.
+                assert_eq!(p.known_low, 7);
+                assert_eq!(p.known_high, max);
+                assert_eq!(p.reason, Some(Interrupt::Conflicts));
             }
-            other => panic!("expected budget exhaustion, got {other:?}"),
+            other => panic!("expected interruption, got {other:?}"),
         }
     }
 }

@@ -8,15 +8,23 @@
 //! provide the average-case metrics (MAE, error rate) that have no
 //! polynomial SAT formulation.
 
-use crate::bound_search::{search_max_error, Probe};
-use crate::report::{AnalysisError, ErrorReport};
+use crate::bound_search::search_max_error;
+use crate::options::AnalysisOptions;
+use crate::report::{AnalysisError, ErrorReport, Partial};
+use crate::verdict::Verdict;
 use axmc_aig::{bits_to_u128, sim::for_each_assignment, Aig};
 use axmc_cnf::{encode_comb, gates};
 use axmc_miter::{
     bit_flip_threshold_miter, diff_threshold_miter, diff_word_miter, nth_bit_miter,
     popcount_word_miter,
 };
-use axmc_sat::{Budget, SolveResult};
+use axmc_sat::{Budget, Interrupt, SolveResult, Solver};
+
+/// The interrupt a solver reported for its last `Unknown`, defaulting to
+/// the conflict budget when the solver predates interrupt tracking.
+fn interrupt_of(solver: &Solver) -> Interrupt {
+    solver.last_interrupt().unwrap_or(Interrupt::Conflicts)
+}
 
 /// Exact and statistical error analysis of a combinational candidate
 /// against a golden reference.
@@ -40,8 +48,7 @@ use axmc_sat::{Budget, SolveResult};
 pub struct CombAnalyzer<'a> {
     golden: &'a Aig,
     candidate: &'a Aig,
-    budget: Budget,
-    certify: bool,
+    options: AnalysisOptions,
 }
 
 impl<'a> CombAnalyzer<'a> {
@@ -66,59 +73,76 @@ impl<'a> CombAnalyzer<'a> {
         CombAnalyzer {
             golden,
             candidate,
-            budget: Budget::unlimited(),
-            certify: false,
+            options: AnalysisOptions::default(),
         }
     }
 
+    /// Replaces the full analysis option bundle (resource control,
+    /// certification, portfolio width, sweeping).
+    pub fn with_options(mut self, options: AnalysisOptions) -> Self {
+        self.options = options;
+        self
+    }
+
     /// Applies a solver budget to every subsequent SAT query.
+    #[deprecated(
+        since = "0.5.0",
+        note = "use `with_options(AnalysisOptions::new().with_budget(..))`"
+    )]
     pub fn with_budget(mut self, budget: Budget) -> Self {
-        self.budget = budget;
+        self.options = self.options.with_budget(budget);
         self
     }
 
     /// Switches certified mode on or off: every UNSAT answer behind a
-    /// subsequent query is re-validated by the forward RUP/DRAT checker.
-    ///
-    /// # Panics
-    ///
-    /// Subsequent queries panic if a recorded proof fails validation —
-    /// the solver produced an unsound answer.
+    /// subsequent query is re-validated by the forward RUP/DRAT checker,
+    /// and rejections surface as [`AnalysisError::CertificateRejected`].
+    #[deprecated(
+        since = "0.5.0",
+        note = "use `with_options(AnalysisOptions::new().with_certify(..))`"
+    )]
     pub fn with_certify(mut self, certify: bool) -> Self {
-        self.certify = certify;
+        self.options = self.options.with_certify(certify);
         self
     }
 
-    /// Applies the certify setting to a freshly encoded solver.
-    fn arm(&self, solver: &mut axmc_sat::Solver) {
-        solver.set_budget(self.budget);
-        if self.certify {
+    /// Applies the resource control and certify setting to a freshly
+    /// encoded solver.
+    fn arm(&self, solver: &mut Solver) {
+        solver.set_ctl(self.options.ctl.clone());
+        if self.options.certify {
             solver.set_proof_logging(true);
         }
     }
 
     /// In certified mode, validates the UNSAT answer `solver` just gave.
-    fn certify_unsat(&self, solver: &axmc_sat::Solver, what: &str) {
-        if !self.certify {
-            return;
+    fn certify_unsat(&self, solver: &Solver, what: &str) -> Result<(), AnalysisError> {
+        if !self.options.certify {
+            return Ok(());
         }
-        if let Err(e) = axmc_check::certify_unsat(solver) {
-            panic!(
-                "UNSAT certificate for {what} failed validation ({e}); \
-                 the verdict cannot be trusted"
-            );
+        match axmc_check::certify_unsat(solver) {
+            Ok(_) => Ok(()),
+            Err(e) => Err(AnalysisError::CertificateRejected {
+                engine: "comb".to_string(),
+                detail: format!("UNSAT certificate for {what} failed validation ({e})"),
+            }),
         }
     }
 
     /// One threshold query: can `|int(G) - int(C)| > threshold`?
     ///
-    /// Returns the witnessing input (as bits) on SAT, `Ok(None)` on UNSAT.
+    /// `Refuted` carries the witnessing input (as bits); `Proved` means
+    /// the error provably stays within the threshold; `Interrupted` means
+    /// a resource limit stopped the solve first.
     ///
     /// # Errors
     ///
-    /// [`AnalysisError::BudgetExhausted`] if the budget runs out (bounds
-    /// are reported as the trivial interval).
-    pub fn check_error_exceeds(&self, threshold: u128) -> Result<Option<Vec<bool>>, AnalysisError> {
+    /// [`AnalysisError::CertificateRejected`] if certified mode is on and
+    /// the UNSAT certificate fails validation.
+    pub fn check_error_exceeds(
+        &self,
+        threshold: u128,
+    ) -> Result<Verdict<Vec<bool>>, AnalysisError> {
         let miter = diff_threshold_miter(self.golden, self.candidate, threshold);
         self.solve_miter(&miter)
     }
@@ -128,32 +152,33 @@ impl<'a> CombAnalyzer<'a> {
     ///
     /// # Errors
     ///
-    /// [`AnalysisError::BudgetExhausted`] if the budget runs out.
+    /// [`AnalysisError::CertificateRejected`] if certified mode is on and
+    /// the UNSAT certificate fails validation.
     pub fn check_bit_flips_exceed(
         &self,
         threshold: u32,
-    ) -> Result<Option<Vec<bool>>, AnalysisError> {
+    ) -> Result<Verdict<Vec<bool>>, AnalysisError> {
         let miter = bit_flip_threshold_miter(self.golden, self.candidate, threshold);
         self.solve_miter(&miter)
     }
 
-    fn solve_miter(&self, miter: &Aig) -> Result<Option<Vec<bool>>, AnalysisError> {
+    fn solve_miter(&self, miter: &Aig) -> Result<Verdict<Vec<bool>>, AnalysisError> {
         let (mut solver, enc) = encode_comb(miter);
         self.arm(&mut solver);
         match solver.solve_with_assumptions(&[enc.outputs[0]]) {
-            SolveResult::Sat => Ok(Some(
-                enc.inputs
+            SolveResult::Sat => Ok(Verdict::Refuted {
+                witness: enc
+                    .inputs
                     .iter()
                     .map(|&l| solver.model_lit(l).unwrap_or(false))
                     .collect(),
-            )),
+            }),
             SolveResult::Unsat => {
-                self.certify_unsat(&solver, "a threshold miter query");
-                Ok(None)
+                self.certify_unsat(&solver, "a threshold miter query")?;
+                Ok(Verdict::Proved)
             }
-            SolveResult::Unknown => Err(AnalysisError::BudgetExhausted {
-                known_low: 0,
-                known_high: u128::MAX,
+            SolveResult::Unknown => Ok(Verdict::Interrupted {
+                best_so_far: Partial::trivial(interrupt_of(&solver)),
             }),
         }
     }
@@ -170,7 +195,11 @@ impl<'a> CombAnalyzer<'a> {
     ///
     /// # Errors
     ///
-    /// [`AnalysisError::BudgetExhausted`] if any query runs out of budget.
+    /// [`AnalysisError::Interrupted`] if a resource limit (budget,
+    /// deadline, cancellation) stops the search — the payload carries the
+    /// tightest certified interval reached — and
+    /// [`AnalysisError::CertificateRejected`] if certified mode is on and
+    /// a certificate fails validation.
     pub fn worst_case_error(&self) -> Result<ErrorReport<u128>, AnalysisError> {
         let m = self.golden.num_outputs();
         let max: u128 = if m >= 128 {
@@ -198,15 +227,14 @@ impl<'a> CombAnalyzer<'a> {
                         .collect();
                     let witnessed = self.error_on(&input);
                     debug_assert!(witnessed > t, "miter witness must exceed threshold");
-                    Ok(Probe::Exceeds(witnessed))
+                    Ok(Verdict::Refuted { witness: witnessed })
                 }
                 SolveResult::Unsat => {
-                    self.certify_unsat(&solver, "a worst-case-error probe");
-                    Ok(Probe::Within)
+                    self.certify_unsat(&solver, "a worst-case-error probe")?;
+                    Ok(Verdict::Proved)
                 }
-                SolveResult::Unknown => Err(AnalysisError::BudgetExhausted {
-                    known_low: 0,
-                    known_high: max,
+                SolveResult::Unknown => Ok(Verdict::Interrupted {
+                    best_so_far: Partial::trivial(interrupt_of(&solver)),
                 }),
             }
         })?;
@@ -221,7 +249,9 @@ impl<'a> CombAnalyzer<'a> {
     ///
     /// # Errors
     ///
-    /// [`AnalysisError::BudgetExhausted`] if any query runs out of budget.
+    /// [`AnalysisError::Interrupted`] if a resource limit stops the
+    /// search; [`AnalysisError::CertificateRejected`] on a rejected
+    /// certificate in certified mode.
     pub fn bit_flip_error(&self) -> Result<ErrorReport<u32>, AnalysisError> {
         let max = self.golden.num_outputs() as u128;
         let miter = popcount_word_miter(self.golden, self.candidate).compact();
@@ -241,15 +271,16 @@ impl<'a> CombAnalyzer<'a> {
                         .collect();
                     let g = bits_to_u128(&self.golden.eval_comb(&input));
                     let c = bits_to_u128(&self.candidate.eval_comb(&input));
-                    Ok(Probe::Exceeds((g ^ c).count_ones() as u128))
+                    Ok(Verdict::Refuted {
+                        witness: (g ^ c).count_ones() as u128,
+                    })
                 }
                 SolveResult::Unsat => {
-                    self.certify_unsat(&solver, "a bit-flip probe");
-                    Ok(Probe::Within)
+                    self.certify_unsat(&solver, "a bit-flip probe")?;
+                    Ok(Verdict::Proved)
                 }
-                SolveResult::Unknown => Err(AnalysisError::BudgetExhausted {
-                    known_low: 0,
-                    known_high: max,
+                SolveResult::Unknown => Ok(Verdict::Interrupted {
+                    best_so_far: Partial::trivial(interrupt_of(&solver)),
                 }),
             }
         })?;
@@ -273,7 +304,10 @@ impl<'a> CombAnalyzer<'a> {
     ///
     /// # Errors
     ///
-    /// [`AnalysisError::BudgetExhausted`] if a query runs out of budget.
+    /// [`AnalysisError::Interrupted`] if a query is stopped by a resource
+    /// limit. The partial result is still informative: every bit *above*
+    /// the interrupted one was proven clean, so `known_high` is
+    /// `2^(bit + 1) - 1` for the bit under scan.
     pub fn most_significant_error_bit(&self) -> Result<Option<usize>, AnalysisError> {
         for bit in (0..self.golden.num_outputs()).rev() {
             let miter = nth_bit_miter(self.golden, self.candidate, bit);
@@ -282,14 +316,21 @@ impl<'a> CombAnalyzer<'a> {
             match solver.solve_with_assumptions(&[enc.outputs[0]]) {
                 SolveResult::Sat => return Ok(Some(bit)),
                 SolveResult::Unsat => {
-                    self.certify_unsat(&solver, "an nth-bit miter query");
+                    self.certify_unsat(&solver, "an nth-bit miter query")?;
                     continue;
                 }
                 SolveResult::Unknown => {
-                    return Err(AnalysisError::BudgetExhausted {
+                    let known_high = if bit + 1 >= 128 {
+                        u128::MAX
+                    } else {
+                        (1u128 << (bit + 1)) - 1
+                    };
+                    return Err(AnalysisError::Interrupted(Partial {
+                        reason: Some(interrupt_of(&solver)),
                         known_low: 0,
-                        known_high: u128::MAX,
-                    })
+                        known_high,
+                        completed_bound: None,
+                    }));
                 }
             }
         }
@@ -306,7 +347,9 @@ impl<'a> CombAnalyzer<'a> {
     ///
     /// # Errors
     ///
-    /// [`AnalysisError::BudgetExhausted`] if a query runs out of budget.
+    /// [`AnalysisError::Interrupted`] if a query is stopped by a resource
+    /// limit; the partial result carries the enumeration count reached so
+    /// far as `known_low`.
     pub fn count_error_inputs(&self, limit: u64) -> Result<ErrorInputCount, AnalysisError> {
         let miter = axmc_miter::strict_miter(self.golden, self.candidate).compact();
         let (mut solver, enc) = encode_comb(&miter);
@@ -334,14 +377,16 @@ impl<'a> CombAnalyzer<'a> {
                     }
                 }
                 SolveResult::Unsat => {
-                    self.certify_unsat(&solver, "the error-input enumeration closure");
+                    self.certify_unsat(&solver, "the error-input enumeration closure")?;
                     return Ok(ErrorInputCount::Exactly(count));
                 }
                 SolveResult::Unknown => {
-                    return Err(AnalysisError::BudgetExhausted {
+                    return Err(AnalysisError::Interrupted(Partial {
+                        reason: Some(interrupt_of(&solver)),
                         known_low: count as u128,
                         known_high: u128::MAX,
-                    })
+                        completed_bound: None,
+                    }))
                 }
             }
         }
@@ -483,6 +528,7 @@ pub fn sampled_stats(golden: &Aig, candidate: &Aig, samples: u64, seed: u64) -> 
 mod tests {
     use super::*;
     use axmc_circuit::{approx, generators};
+    use std::time::Duration;
 
     #[test]
     fn wce_matches_exhaustive_for_adders() {
@@ -545,8 +591,12 @@ mod tests {
         let candidate = approx::truncated_adder(4, 2).to_aig();
         let wce = exhaustive_stats(&golden, &candidate).wce;
         let analyzer = CombAnalyzer::new(&golden, &candidate);
-        assert!(analyzer.check_error_exceeds(wce).unwrap().is_none());
-        let witness = analyzer.check_error_exceeds(wce - 1).unwrap().unwrap();
+        assert!(analyzer.check_error_exceeds(wce).unwrap().is_proved());
+        let witness = analyzer
+            .check_error_exceeds(wce - 1)
+            .unwrap()
+            .witness()
+            .expect("a threshold below the WCE must be refuted");
         // Witness really errs by more than wce - 1.
         let g = bits_to_u128(&golden.eval_comb(&witness));
         let c = bits_to_u128(&candidate.eval_comb(&witness));
@@ -570,18 +620,47 @@ mod tests {
         let width = 8;
         let golden = generators::array_multiplier(width).to_aig();
         let candidate = approx::truncated_multiplier(width, 6).to_aig();
-        let analyzer = CombAnalyzer::new(&golden, &candidate)
-            .with_budget(Budget::unlimited().with_conflicts(1).with_propagations(200));
+        let analyzer = CombAnalyzer::new(&golden, &candidate).with_options(
+            AnalysisOptions::new()
+                .with_budget(Budget::unlimited().with_conflicts(1).with_propagations(200)),
+        );
         match analyzer.worst_case_error() {
-            Err(AnalysisError::BudgetExhausted {
-                known_low,
-                known_high,
-            }) => assert!(known_low <= known_high),
+            Err(AnalysisError::Interrupted(p)) => {
+                assert!(p.known_low <= p.known_high);
+                assert!(p.reason.is_some(), "a budget interrupt must carry a reason");
+            }
             Ok(report) => {
                 // Tiny instances may still finish within the budget.
                 assert!(report.value > 0);
             }
+            Err(other) => panic!("unexpected error: {other}"),
         }
+    }
+
+    #[test]
+    fn expired_deadline_interrupts_the_analysis() {
+        let width = 8;
+        let golden = generators::array_multiplier(width).to_aig();
+        let candidate = approx::truncated_multiplier(width, 6).to_aig();
+        let analyzer = CombAnalyzer::new(&golden, &candidate)
+            .with_options(AnalysisOptions::new().with_timeout(Duration::ZERO));
+        match analyzer.worst_case_error() {
+            Err(AnalysisError::Interrupted(p)) => {
+                assert_eq!(p.reason, Some(Interrupt::Deadline));
+            }
+            other => panic!("expected a deadline interruption, got {other:?}"),
+        }
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_builders_still_forward() {
+        let golden = generators::ripple_carry_adder(4).to_aig();
+        let candidate = approx::truncated_adder(4, 1).to_aig();
+        let analyzer = CombAnalyzer::new(&golden, &candidate)
+            .with_budget(Budget::unlimited())
+            .with_certify(false);
+        assert!(analyzer.worst_case_error().unwrap().value > 0);
     }
 
     #[test]

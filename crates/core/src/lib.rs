@@ -25,6 +25,16 @@
 //! * unbounded error-bound **proofs** via k-induction;
 //! * a random-simulation baseline for comparison.
 //!
+//! ## Resource governance
+//!
+//! Every engine accepts an [`AnalysisOptions`] bundle carrying a
+//! [`ResourceCtl`] (deterministic budget, wall-clock deadline, per-query
+//! timeout, cancellation token) plus the certify/jobs/sweep knobs. All
+//! analyses are *anytime*: a blown deadline or raised token yields a
+//! typed [`AnalysisError::Interrupted`] (or an `Interrupted`
+//! [`Verdict`]) whose [`Partial`] payload carries the tightest certified
+//! bounds reached — never a panic, never a wasted run.
+//!
 //! # Examples
 //!
 //! ```
@@ -49,11 +59,19 @@
 
 mod bound_search;
 mod comb;
+mod options;
 mod report;
 mod seq;
+mod verdict;
 
 pub use crate::comb::{
     exhaustive_stats, sampled_stats, CombAnalyzer, ErrorInputCount, ExhaustiveStats, SampledStats,
 };
-pub use crate::report::{AnalysisError, ErrorGrowth, ErrorProfile, ErrorReport};
+pub use crate::options::AnalysisOptions;
+pub use crate::report::{AnalysisError, ErrorGrowth, ErrorProfile, ErrorReport, Partial};
 pub use crate::seq::{EarliestError, SeqAnalyzer};
+pub use crate::verdict::Verdict;
+
+// Re-exported so downstream users can build an `AnalysisOptions` without
+// depending on the solver crate directly.
+pub use axmc_sat::{Budget, CancelToken, Interrupt, ResourceCtl};

@@ -1,0 +1,117 @@
+//! The one shared bundle of analysis knobs.
+//!
+//! Budget/certify/jobs/sweep used to drift independently across
+//! `CombAnalyzer`, `SeqAnalyzer`, `InductionOptions` and the CGP search
+//! options. [`AnalysisOptions`] consolidates them: both analyzers accept
+//! it via `with_options`, and the old per-knob builders survive only as
+//! deprecated forwarders.
+
+use axmc_sat::{Budget, CancelToken, ResourceCtl};
+use std::time::Duration;
+
+/// Knobs shared by every analysis engine.
+#[derive(Clone, Debug, Default)]
+pub struct AnalysisOptions {
+    /// Resource control (budget, deadline, cancellation) applied to every
+    /// solver call the analysis issues.
+    pub ctl: ResourceCtl,
+    /// Certified mode: re-validate every UNSAT answer with the forward
+    /// RUP/DRAT checker and replay every counterexample. Rejections
+    /// surface as `AnalysisError::CertificateRejected`.
+    pub certify: bool,
+    /// Portfolio width for the threshold searches: each round probes up
+    /// to `jobs` speculative thresholds concurrently. `0` is treated as
+    /// `1` (serial).
+    pub jobs: usize,
+    /// SAT-sweep (FRAIG) the product-machine miter before unrolling.
+    pub sweep: bool,
+}
+
+impl AnalysisOptions {
+    /// Default options: unlimited resources, no certification, serial,
+    /// no sweeping.
+    pub fn new() -> Self {
+        AnalysisOptions::default()
+    }
+
+    /// Replaces the resource control.
+    pub fn with_ctl(mut self, ctl: ResourceCtl) -> Self {
+        self.ctl = ctl;
+        self
+    }
+
+    /// Replaces the deterministic solver budget, keeping the rest of the
+    /// control.
+    pub fn with_budget(mut self, budget: Budget) -> Self {
+        self.ctl = self.ctl.with_budget(budget);
+        self
+    }
+
+    /// Imposes a wall-clock deadline of `timeout` from now (tightening
+    /// only: a child phase can never extend its parent's deadline).
+    pub fn with_timeout(mut self, timeout: Duration) -> Self {
+        self.ctl = self.ctl.with_timeout(timeout);
+        self
+    }
+
+    /// Caps every individual solver call at `timeout` of wall clock.
+    pub fn with_query_timeout(mut self, timeout: Duration) -> Self {
+        self.ctl = self.ctl.with_query_timeout(timeout);
+        self
+    }
+
+    /// Attaches a cancellation token observed by every solver call.
+    pub fn with_cancel(mut self, token: CancelToken) -> Self {
+        self.ctl = self.ctl.with_cancel(token);
+        self
+    }
+
+    /// Enables or disables certified mode.
+    pub fn with_certify(mut self, certify: bool) -> Self {
+        self.certify = certify;
+        self
+    }
+
+    /// Sets the portfolio width (clamped to at least 1).
+    pub fn with_jobs(mut self, jobs: usize) -> Self {
+        self.jobs = jobs.max(1);
+        self
+    }
+
+    /// Enables or disables miter sweeping.
+    pub fn with_sweep(mut self, sweep: bool) -> Self {
+        self.sweep = sweep;
+        self
+    }
+
+    /// The effective portfolio width (at least 1).
+    pub fn effective_jobs(&self) -> usize {
+        self.jobs.max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_composes() {
+        let opts = AnalysisOptions::new()
+            .with_budget(Budget::unlimited().with_conflicts(10))
+            .with_timeout(Duration::from_secs(60))
+            .with_certify(true)
+            .with_jobs(4)
+            .with_sweep(true);
+        assert_eq!(opts.ctl.budget().max_conflicts(), Some(10));
+        assert!(opts.ctl.deadline().is_some());
+        assert!(opts.certify);
+        assert_eq!(opts.jobs, 4);
+        assert!(opts.sweep);
+    }
+
+    #[test]
+    fn zero_jobs_means_serial() {
+        assert_eq!(AnalysisOptions::new().effective_jobs(), 1);
+        assert_eq!(AnalysisOptions::new().with_jobs(0).jobs, 1);
+    }
+}

@@ -1,5 +1,6 @@
 //! Result types shared by the error-determination engines.
 
+use axmc_sat::Interrupt;
 use std::fmt;
 
 /// A precisely determined error value together with the formal effort
@@ -14,34 +15,103 @@ pub struct ErrorReport<T> {
     pub conflicts: u64,
 }
 
+/// The best certified knowledge an analysis had accumulated when it was
+/// stopped — the *anytime* payload of an interrupted run.
+///
+/// Every interrupted engine reports the tightest interval it had proven
+/// for its metric, so a blown deadline still yields usable (and still
+/// certified) information instead of nothing.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Partial {
+    /// Why the analysis stopped, when a resource limit did it. `None`
+    /// means a configured search range was exhausted without a verdict
+    /// (e.g. `max_k` induction depth, accumulator saturation).
+    pub reason: Option<Interrupt>,
+    /// Largest metric value witnessed by a counterexample so far.
+    pub known_low: u128,
+    /// Smallest proven upper bound on the metric so far.
+    pub known_high: u128,
+    /// Deepest fully completed BMC bound, for the cycle-indexed engines:
+    /// all cycles `< completed_bound` are certified clear.
+    pub completed_bound: Option<usize>,
+}
+
+impl Partial {
+    /// A partial result carrying no information beyond the interrupt
+    /// reason: the trivial interval over the full metric range.
+    pub fn trivial(reason: Interrupt) -> Self {
+        Partial {
+            reason: Some(reason),
+            known_low: 0,
+            known_high: u128::MAX,
+            completed_bound: None,
+        }
+    }
+}
+
+impl fmt::Display for Partial {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.reason {
+            Some(reason) => write!(f, "{reason}")?,
+            None => f.write_str("search range exhausted")?,
+        }
+        write!(f, "; metric in [{}, {}]", self.known_low, self.known_high)?;
+        if let Some(k) = self.completed_bound {
+            write!(f, "; cycles < {k} certified clear")?;
+        }
+        Ok(())
+    }
+}
+
 /// Why an analysis could not run to completion.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum AnalysisError {
-    /// The solver budget ran out; the metric is bracketed by the interval
-    /// `[known_low, known_high]` established before exhaustion.
-    BudgetExhausted {
-        /// Largest error value witnessed by a counterexample so far.
-        known_low: u128,
-        /// Smallest bound proved (exclusive upper bound is `known_high`).
-        known_high: u128,
+    /// A resource limit (budget, deadline, cancellation) or an exhausted
+    /// search range stopped the analysis; the payload carries the best
+    /// certified-so-far result.
+    Interrupted(Partial),
+    /// A certificate produced in certified mode failed independent
+    /// validation — the underlying solver produced an unsound answer and
+    /// the verdict cannot be trusted.
+    CertificateRejected {
+        /// The engine whose answer failed validation.
+        engine: String,
+        /// Human-readable description of what failed to validate.
+        detail: String,
     },
+}
+
+impl AnalysisError {
+    /// An interruption carrying no information beyond the reason.
+    pub fn interrupted(reason: Interrupt) -> Self {
+        AnalysisError::Interrupted(Partial::trivial(reason))
+    }
 }
 
 impl fmt::Display for AnalysisError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            AnalysisError::BudgetExhausted {
-                known_low,
-                known_high,
-            } => write!(
+            AnalysisError::Interrupted(partial) => {
+                write!(f, "analysis interrupted: {partial}")
+            }
+            AnalysisError::CertificateRejected { engine, detail } => write!(
                 f,
-                "solver budget exhausted; metric in [{known_low}, {known_high}]"
+                "certificate rejected in {engine} engine: {detail}; the verdict cannot be trusted"
             ),
         }
     }
 }
 
 impl std::error::Error for AnalysisError {}
+
+impl From<axmc_mc::CertificateRejected> for AnalysisError {
+    fn from(e: axmc_mc::CertificateRejected) -> Self {
+        AnalysisError::CertificateRejected {
+            engine: e.engine,
+            detail: e.detail,
+        }
+    }
+}
 
 /// Growth classification of the sequential worst-case error as the
 /// observation horizon grows.
@@ -153,10 +223,36 @@ mod tests {
 
     #[test]
     fn analysis_error_displays() {
-        let e = AnalysisError::BudgetExhausted {
+        let e = AnalysisError::Interrupted(Partial {
+            reason: Some(Interrupt::Conflicts),
             known_low: 3,
             known_high: 10,
+            completed_bound: None,
+        });
+        let s = e.to_string();
+        assert!(s.contains("[3, 10]"), "{s}");
+        assert!(s.contains("conflict budget exhausted"), "{s}");
+
+        let c = AnalysisError::CertificateRejected {
+            engine: "bmc".to_string(),
+            detail: "proof replay failed".to_string(),
         };
-        assert!(e.to_string().contains("[3, 10]"));
+        let s = c.to_string();
+        assert!(s.contains("bmc"), "{s}");
+        assert!(s.contains("proof replay failed"), "{s}");
+    }
+
+    #[test]
+    fn partial_display_includes_the_completed_bound() {
+        let p = Partial {
+            reason: Some(Interrupt::Deadline),
+            known_low: 5,
+            known_high: 9,
+            completed_bound: Some(4),
+        };
+        let s = p.to_string();
+        assert!(s.contains("deadline expired"), "{s}");
+        assert!(s.contains("[5, 9]"), "{s}");
+        assert!(s.contains("cycles < 4"), "{s}");
     }
 }

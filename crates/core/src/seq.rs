@@ -18,9 +18,16 @@
 //!   k-induction over the threshold miter;
 //! * **growth classification** — whether WCE@k keeps growing with k
 //!   (feedback accumulation) or saturates.
+//!
+//! Every engine is *anytime* under resource governance: a blown deadline,
+//! exhausted budget or raised cancellation token surfaces as
+//! [`AnalysisError::Interrupted`] (or an `Interrupted` [`Verdict`]) whose
+//! payload carries the tightest certified bounds reached so far.
 
-use crate::bound_search::{search_max_error_batched, Probe};
-use crate::report::{AnalysisError, ErrorProfile, ErrorReport};
+use crate::bound_search::search_max_error_batched;
+use crate::options::AnalysisOptions;
+use crate::report::{AnalysisError, ErrorProfile, ErrorReport, Partial};
+use crate::verdict::Verdict;
 use axmc_aig::{bits_to_u128, Aig, Simulator};
 use axmc_cnf::gates;
 use axmc_cnf::sweep::{fraig, SweepOptions};
@@ -29,7 +36,7 @@ use axmc_miter::{
     accumulated_error_miter, error_cycle_count_miter, sequential_diff_miter,
     sequential_diff_word_miter, sequential_popcount_word_miter, sequential_strict_miter,
 };
-use axmc_sat::{Budget, SolveResult};
+use axmc_sat::{Budget, Interrupt, SolveResult};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// How one persistent threshold probe interprets the miter's output word.
@@ -48,7 +55,8 @@ enum WordKind {
 ///
 /// Cloning duplicates the whole warmed-up solver state, which is how a
 /// portfolio of speculative probes gets one independent engine per lane
-/// without re-encoding the product machine.
+/// without re-encoding the product machine. Clones share the control's
+/// cancellation token, so one `cancel()` stops the whole pool.
 #[derive(Clone)]
 struct ThresholdEngine {
     unroller: Unroller,
@@ -56,20 +64,20 @@ struct ThresholdEngine {
 }
 
 impl ThresholdEngine {
-    fn new(miter: Aig, kind: WordKind, budget: Budget, sweep: bool, certify: bool) -> Self {
-        let miter = if sweep {
+    fn new(miter: Aig, kind: WordKind, options: &AnalysisOptions) -> Self {
+        let miter = if options.sweep {
             fraig(&miter, &SweepOptions::default()).0
         } else {
             miter.compact()
         };
         let mut unroller = Unroller::new(miter);
-        unroller.set_budget(budget);
-        unroller.set_certify(certify);
+        unroller.set_ctl(options.ctl.clone());
+        unroller.set_certify(options.certify);
         ThresholdEngine { unroller, kind }
     }
 
     /// Can the per-cycle word exceed `threshold` in any cycle `<= k`?
-    fn probe(&mut self, threshold: u128, k: usize) -> Result<Option<Trace>, AnalysisError> {
+    fn probe(&mut self, threshold: u128, k: usize) -> Result<Verdict<Trace>, AnalysisError> {
         self.unroller.extend_to(k + 1);
         let true_lit = self.unroller.true_lit();
         let mut flags = Vec::with_capacity(k + 1);
@@ -85,21 +93,30 @@ impl ThresholdEngine {
         let solver = self.unroller.solver_mut();
         let any = gates::or_all(solver, &flags, true_lit);
         match solver.solve_with_assumptions(&[any]) {
-            SolveResult::Sat => Ok(Some(self.unroller.extract_trace(k))),
+            SolveResult::Sat => Ok(Verdict::Refuted {
+                witness: self.unroller.extract_trace(k),
+            }),
             SolveResult::Unsat => {
                 if self.unroller.certify() {
                     if let Err(e) = axmc_check::certify_unsat(self.unroller.solver()) {
-                        panic!(
-                            "UNSAT certificate for a threshold probe (t={threshold}, \
-                             k={k}) failed validation ({e}); the bound cannot be trusted"
-                        );
+                        return Err(AnalysisError::CertificateRejected {
+                            engine: "seq".to_string(),
+                            detail: format!(
+                                "UNSAT certificate for a threshold probe (t={threshold}, \
+                                 k={k}) failed validation ({e})"
+                            ),
+                        });
                     }
                 }
-                Ok(None)
+                Ok(Verdict::Proved)
             }
-            SolveResult::Unknown => Err(AnalysisError::BudgetExhausted {
-                known_low: 0,
-                known_high: u128::MAX,
+            SolveResult::Unknown => Ok(Verdict::Interrupted {
+                best_so_far: Partial::trivial(
+                    self.unroller
+                        .solver()
+                        .last_interrupt()
+                        .unwrap_or(Interrupt::Conflicts),
+                ),
             }),
         }
     }
@@ -146,10 +163,7 @@ pub struct EarliestError {
 pub struct SeqAnalyzer<'a> {
     golden: &'a Aig,
     approx: &'a Aig,
-    budget: Budget,
-    sweep: bool,
-    jobs: usize,
-    certify: bool,
+    options: AnalysisOptions,
 }
 
 impl<'a> SeqAnalyzer<'a> {
@@ -164,38 +178,50 @@ impl<'a> SeqAnalyzer<'a> {
         SeqAnalyzer {
             golden,
             approx,
-            budget: Budget::unlimited(),
-            sweep: false,
-            jobs: 1,
-            certify: false,
+            options: AnalysisOptions::default(),
         }
+    }
+
+    /// Replaces the full analysis option bundle (resource control,
+    /// certification, portfolio width, sweeping).
+    pub fn with_options(mut self, options: AnalysisOptions) -> Self {
+        self.options = options;
+        self
     }
 
     /// Switches certified mode on or off: every UNSAT answer behind a
     /// subsequent query — threshold probes, BMC clears, induction steps —
     /// is re-validated by the forward RUP/DRAT checker, and every
-    /// counterexample trace is replayed through AIG simulation.
-    ///
-    /// # Panics
-    ///
-    /// Subsequent queries panic if a proof or trace fails validation —
-    /// the solver produced an unsound answer.
+    /// counterexample trace is replayed through AIG simulation. Rejections
+    /// surface as [`AnalysisError::CertificateRejected`].
+    #[deprecated(
+        since = "0.5.0",
+        note = "use `with_options(AnalysisOptions::new().with_certify(..))`"
+    )]
     pub fn with_certify(mut self, certify: bool) -> Self {
-        self.certify = certify;
+        self.options = self.options.with_certify(certify);
         self
     }
 
     /// Applies a solver budget to every subsequent query.
+    #[deprecated(
+        since = "0.5.0",
+        note = "use `with_options(AnalysisOptions::new().with_budget(..))`"
+    )]
     pub fn with_budget(mut self, budget: Budget) -> Self {
-        self.budget = budget;
+        self.options = self.options.with_budget(budget);
         self
     }
 
     /// Enables SAT sweeping (FRAIGing) of the product-machine miter
     /// before unrolling: shared logic between the golden and approximated
     /// circuits is merged once, shrinking every BMC frame.
+    #[deprecated(
+        since = "0.5.0",
+        note = "use `with_options(AnalysisOptions::new().with_sweep(..))`"
+    )]
     pub fn with_sweep(mut self, sweep: bool) -> Self {
-        self.sweep = sweep;
+        self.options = self.options.with_sweep(sweep);
         self
     }
 
@@ -205,17 +231,22 @@ impl<'a> SeqAnalyzer<'a> {
     /// probe sequence; any `jobs` value yields the same final metric
     /// values, because every speculative answer is authoritative for its
     /// own threshold and the answers are merged in a fixed order.
+    #[deprecated(
+        since = "0.5.0",
+        note = "use `with_options(AnalysisOptions::new().with_jobs(..))`"
+    )]
     pub fn with_jobs(mut self, jobs: usize) -> Self {
-        self.jobs = jobs.max(1);
+        self.options = self.options.with_jobs(jobs);
         self
     }
 
     /// One warmed-up engine per portfolio lane, all starting from the
     /// same encoded product machine.
     fn engine_pool(&self, prototype: ThresholdEngine) -> Vec<ThresholdEngine> {
-        let mut pool = Vec::with_capacity(self.jobs);
+        let jobs = self.options.effective_jobs();
+        let mut pool = Vec::with_capacity(jobs);
         pool.push(prototype);
-        while pool.len() < self.jobs {
+        while pool.len() < jobs {
             let clone = pool[0].clone();
             pool.push(clone);
         }
@@ -227,17 +258,20 @@ impl<'a> SeqAnalyzer<'a> {
     ///
     /// # Errors
     ///
-    /// [`AnalysisError::BudgetExhausted`] if a BMC query runs out of
-    /// budget before a verdict.
+    /// [`AnalysisError::Interrupted`] if a BMC query is stopped by a
+    /// resource limit before a verdict; `completed_bound` in the payload
+    /// is the number of leading cycles already certified clear.
+    /// [`AnalysisError::CertificateRejected`] on a rejected certificate
+    /// in certified mode.
     pub fn earliest_error(&self, max_cycles: usize) -> Result<EarliestError, AnalysisError> {
         let miter = sequential_strict_miter(self.golden, self.approx);
         let mut bmc = Bmc::new(&miter);
-        bmc.set_budget(self.budget);
-        bmc.set_certify(self.certify);
+        bmc.set_ctl(self.options.ctl.clone());
+        bmc.set_certify(self.options.certify);
         let mut sat_calls = 0;
         for k in 0..max_cycles {
             sat_calls += 1;
-            match bmc.check_at(k) {
+            match bmc.check_at(k)? {
                 BmcResult::Cex(trace) => {
                     return Ok(EarliestError {
                         cycle: Some(k),
@@ -246,11 +280,13 @@ impl<'a> SeqAnalyzer<'a> {
                     })
                 }
                 BmcResult::Clear => continue,
-                BmcResult::Unknown => {
-                    return Err(AnalysisError::BudgetExhausted {
-                        known_low: k as u128,
+                BmcResult::Unknown(reason) => {
+                    return Err(AnalysisError::Interrupted(Partial {
+                        reason: Some(reason),
+                        known_low: 0,
                         known_high: u128::MAX,
-                    })
+                        completed_bound: Some(k),
+                    }))
                 }
             }
         }
@@ -274,16 +310,17 @@ impl<'a> SeqAnalyzer<'a> {
     }
 
     /// One threshold probe: can the error exceed `threshold` in any cycle
-    /// `<= k`? Returns the witnessing trace on SAT.
+    /// `<= k`? `Refuted` carries the witnessing trace.
     ///
     /// # Errors
     ///
-    /// [`AnalysisError::BudgetExhausted`] if the budget runs out.
+    /// [`AnalysisError::CertificateRejected`] on a rejected certificate
+    /// in certified mode.
     pub fn check_error_exceeds(
         &self,
         threshold: u128,
         k: usize,
-    ) -> Result<Option<Trace>, AnalysisError> {
+    ) -> Result<Verdict<Trace>, AnalysisError> {
         let mut engine = self.diff_engine();
         engine.probe(threshold, k)
     }
@@ -292,20 +329,19 @@ impl<'a> SeqAnalyzer<'a> {
         ThresholdEngine::new(
             sequential_diff_word_miter(self.golden, self.approx),
             WordKind::SignedDiff,
-            self.budget,
-            self.sweep,
-            self.certify,
+            &self.options,
         )
     }
 
     /// The precise worst-case error over all cycles `<= k`, via
     /// counterexample-guided galloping search over BMC probes. With
-    /// [`with_jobs`](Self::with_jobs) above 1 the probes run as a
-    /// speculative portfolio on cloned engines.
+    /// `jobs` above 1 in the options the probes run as a speculative
+    /// portfolio on cloned engines.
     ///
     /// # Errors
     ///
-    /// [`AnalysisError::BudgetExhausted`] with the bracketing interval.
+    /// [`AnalysisError::Interrupted`] with the tightest bracketing
+    /// interval reached when a resource limit stops the search.
     pub fn worst_case_error_at(&self, k: usize) -> Result<ErrorReport<u128>, AnalysisError> {
         let m = self.golden.num_outputs();
         let max: u128 = if m >= 128 {
@@ -318,14 +354,11 @@ impl<'a> SeqAnalyzer<'a> {
         let value = search_max_error_batched("seq.wce", max, engines.len(), |ts| {
             axmc_par::parallel_zip_mut(&mut engines, ts, |_, engine, &t| {
                 sat_calls.fetch_add(1, Ordering::Relaxed);
-                match engine.probe(t, k)? {
-                    Some(trace) => {
-                        let witnessed = self.trace_error(&trace);
-                        debug_assert!(witnessed > t);
-                        Ok(Probe::Exceeds(witnessed))
-                    }
-                    None => Ok(Probe::Within),
-                }
+                Ok(engine.probe(t, k)?.map(|trace| {
+                    let witnessed = self.trace_error(&trace);
+                    debug_assert!(witnessed > t);
+                    witnessed
+                }))
             })
         })?;
         Ok(ErrorReport {
@@ -340,34 +373,28 @@ impl<'a> SeqAnalyzer<'a> {
     ///
     /// # Errors
     ///
-    /// [`AnalysisError::BudgetExhausted`] with the bracketing interval.
+    /// [`AnalysisError::Interrupted`] with the tightest bracketing
+    /// interval reached when a resource limit stops the search.
     pub fn bit_flip_error_at(&self, k: usize) -> Result<ErrorReport<u32>, AnalysisError> {
         let max = self.golden.num_outputs() as u128;
         let mut engines = self.engine_pool(ThresholdEngine::new(
             sequential_popcount_word_miter(self.golden, self.approx),
             WordKind::Unsigned,
-            self.budget,
-            self.sweep,
-            self.certify,
+            &self.options,
         ));
         let sat_calls = AtomicU64::new(0);
         let value = search_max_error_batched("seq.bit_flip", max, engines.len(), |ts| {
             axmc_par::parallel_zip_mut(&mut engines, ts, |_, engine, &t| {
                 sat_calls.fetch_add(1, Ordering::Relaxed);
-                match engine.probe(t, k)? {
-                    Some(trace) => {
-                        let og = trace.replay(self.golden);
-                        let oc = trace.replay(self.approx);
-                        let witnessed = og
-                            .iter()
-                            .zip(&oc)
-                            .map(|(g, c)| (bits_to_u128(g) ^ bits_to_u128(c)).count_ones())
-                            .max()
-                            .unwrap_or(0);
-                        Ok(Probe::Exceeds(witnessed as u128))
-                    }
-                    None => Ok(Probe::Within),
-                }
+                Ok(engine.probe(t, k)?.map(|trace| {
+                    let og = trace.replay(self.golden);
+                    let oc = trace.replay(self.approx);
+                    og.iter()
+                        .zip(&oc)
+                        .map(|(g, c)| (bits_to_u128(g) ^ bits_to_u128(c)).count_ones())
+                        .max()
+                        .unwrap_or(0) as u128
+                }))
             })
         })?;
         Ok(ErrorReport {
@@ -383,7 +410,8 @@ impl<'a> SeqAnalyzer<'a> {
     ///
     /// # Errors
     ///
-    /// [`AnalysisError::BudgetExhausted`] if any probe runs out of budget.
+    /// [`AnalysisError::Interrupted`] if a resource limit stops any
+    /// horizon's search.
     pub fn error_profile(&self, k: usize) -> Result<ErrorProfile, AnalysisError> {
         let m = self.golden.num_outputs();
         let max = if m >= 128 {
@@ -402,13 +430,12 @@ impl<'a> SeqAnalyzer<'a> {
             let value = search_max_error_batched("seq.profile", max, engines.len(), |ts| {
                 axmc_par::parallel_zip_mut(&mut engines, ts, |_, engine, &t| {
                     if t < floor {
-                        return Ok(Probe::Exceeds(floor));
+                        return Ok(Verdict::Refuted { witness: floor });
                     }
                     sat_calls.fetch_add(1, Ordering::Relaxed);
-                    match engine.probe(t, horizon)? {
-                        Some(trace) => Ok(Probe::Exceeds(self.trace_error(&trace))),
-                        None => Ok(Probe::Within),
-                    }
+                    Ok(engine
+                        .probe(t, horizon)?
+                        .map(|trace| self.trace_error(&trace)))
                 })
             })?;
             prev = value;
@@ -422,11 +449,49 @@ impl<'a> SeqAnalyzer<'a> {
 
     /// Attempts to prove the **unbounded** bound `G (|error| <= threshold)`
     /// by k-induction over the sequential threshold miter.
-    pub fn prove_error_bound(&self, threshold: u128, options: &InductionOptions) -> ProofResult {
+    ///
+    /// The analyzer's resource control composes into the proof attempt:
+    /// its deadline can only tighten the one in `options`, and its
+    /// cancellation token is adopted when `options` carries none. An
+    /// attempt stopped by `max_k` or a resource limit returns
+    /// `Verdict::Interrupted`; `completed_bound` in the payload is the
+    /// number of leading cycles certified clear by the base cases.
+    ///
+    /// # Errors
+    ///
+    /// [`AnalysisError::CertificateRejected`] on a rejected certificate
+    /// in certified mode.
+    pub fn prove_error_bound(
+        &self,
+        threshold: u128,
+        options: &InductionOptions,
+    ) -> Result<Verdict<Trace>, AnalysisError> {
         let miter = sequential_diff_miter(self.golden, self.approx, threshold);
-        let mut options = *options;
-        options.certify |= self.certify;
-        prove_invariant(&miter, &options)
+        let mut options = options.clone();
+        if let Some(deadline) = self.options.ctl.deadline() {
+            options.ctl = options.ctl.with_deadline(deadline);
+        }
+        if options.ctl.cancel_token().is_none() {
+            if let Some(token) = self.options.ctl.cancel_token() {
+                options.ctl = options.ctl.with_cancel(token.clone());
+            }
+        }
+        options.certify |= self.options.certify;
+        match prove_invariant(&miter, &options)? {
+            ProofResult::Proved { .. } => Ok(Verdict::Proved),
+            ProofResult::Falsified(trace) => Ok(Verdict::Refuted { witness: trace }),
+            ProofResult::Unknown {
+                completed_k,
+                interrupt,
+            } => Ok(Verdict::Interrupted {
+                best_so_far: Partial {
+                    reason: interrupt,
+                    known_low: 0,
+                    known_high: u128::MAX,
+                    completed_bound: Some(completed_k),
+                },
+            }),
+        }
     }
 
     /// One probe of the **total** (accumulated) error: can the sum of the
@@ -438,7 +503,8 @@ impl<'a> SeqAnalyzer<'a> {
     ///
     /// # Errors
     ///
-    /// [`AnalysisError::BudgetExhausted`] if the budget runs out.
+    /// [`AnalysisError::CertificateRejected`] on a rejected certificate
+    /// in certified mode.
     ///
     /// # Panics
     ///
@@ -448,17 +514,16 @@ impl<'a> SeqAnalyzer<'a> {
         threshold: u128,
         k: usize,
         acc_width: usize,
-    ) -> Result<Option<Trace>, AnalysisError> {
+    ) -> Result<Verdict<Trace>, AnalysisError> {
         let miter = accumulated_error_miter(self.golden, self.approx, acc_width, threshold);
         let mut bmc = Bmc::new(&miter);
-        bmc.set_budget(self.budget);
-        bmc.set_certify(self.certify);
-        match bmc.check_any_up_to(k) {
-            BmcResult::Cex(t) => Ok(Some(t)),
-            BmcResult::Clear => Ok(None),
-            BmcResult::Unknown => Err(AnalysisError::BudgetExhausted {
-                known_low: 0,
-                known_high: u128::MAX,
+        bmc.set_ctl(self.options.ctl.clone());
+        bmc.set_certify(self.options.certify);
+        match bmc.check_any_up_to(k)? {
+            BmcResult::Cex(t) => Ok(Verdict::Refuted { witness: t }),
+            BmcResult::Clear => Ok(Verdict::Proved),
+            BmcResult::Unknown(reason) => Ok(Verdict::Interrupted {
+                best_so_far: Partial::trivial(reason),
             }),
         }
     }
@@ -471,9 +536,10 @@ impl<'a> SeqAnalyzer<'a> {
     ///
     /// # Errors
     ///
-    /// [`AnalysisError::BudgetExhausted`] if any probe runs out of budget,
-    /// or with `known_high == u128::MAX` if `acc_width` saturated (the
-    /// total exceeds its range).
+    /// [`AnalysisError::Interrupted`] if a resource limit stops the
+    /// search, or — with `reason: None` and `known_low` at the saturation
+    /// point — if `acc_width` saturated (the total exceeds its range and
+    /// the caller must widen the accumulator).
     pub fn total_error_at(
         &self,
         k: usize,
@@ -481,27 +547,29 @@ impl<'a> SeqAnalyzer<'a> {
     ) -> Result<ErrorReport<u128>, AnalysisError> {
         let max = (1u128 << acc_width) - 1;
         let sat_calls = AtomicU64::new(0);
+        let jobs = self.options.effective_jobs();
         // Each probe builds its own accumulating miter + BMC instance, so
         // the portfolio shape here is a plain parallel map.
-        let value = search_max_error_batched("seq.total", max, self.jobs, |ts| {
-            axmc_par::parallel_map(self.jobs, ts, |_, &t| {
+        let value = search_max_error_batched("seq.total", max, jobs, |ts| {
+            axmc_par::parallel_map(jobs, ts, |_, &t| {
                 sat_calls.fetch_add(1, Ordering::Relaxed);
-                match self.check_total_error_exceeds(t, k, acc_width)? {
-                    Some(trace) => {
+                Ok(self
+                    .check_total_error_exceeds(t, k, acc_width)?
+                    .map(|trace| {
                         let witnessed = self.trace_total_error(&trace);
-                        Ok(Probe::Exceeds(witnessed.max(t + 1).min(max)))
-                    }
-                    None => Ok(Probe::Within),
-                }
+                        witnessed.max(t + 1).min(max)
+                    }))
             })
         })?;
         if value >= max {
             // The saturating accumulator cannot distinguish totals at or
             // above its ceiling; the caller must widen it.
-            return Err(AnalysisError::BudgetExhausted {
+            return Err(AnalysisError::Interrupted(Partial {
+                reason: None,
                 known_low: max,
                 known_high: u128::MAX,
-            });
+                completed_bound: None,
+            }));
         }
         Ok(ErrorReport {
             value,
@@ -527,13 +595,14 @@ impl<'a> SeqAnalyzer<'a> {
     ///
     /// # Errors
     ///
-    /// [`AnalysisError::BudgetExhausted`] if the budget runs out.
+    /// [`AnalysisError::CertificateRejected`] on a rejected certificate
+    /// in certified mode.
     pub fn check_error_cycles_exceed(
         &self,
         max_bad_cycles: u128,
         k: usize,
         per_cycle_threshold: u128,
-    ) -> Result<Option<Trace>, AnalysisError> {
+    ) -> Result<Verdict<Trace>, AnalysisError> {
         // The counter must hold k + 1; one extra bit covers saturation.
         let count_width = (usize::BITS - (k + 1).leading_zeros()) as usize + 1;
         let miter = error_cycle_count_miter(
@@ -544,14 +613,13 @@ impl<'a> SeqAnalyzer<'a> {
             per_cycle_threshold,
         );
         let mut bmc = Bmc::new(&miter);
-        bmc.set_budget(self.budget);
-        bmc.set_certify(self.certify);
-        match bmc.check_any_up_to(k) {
-            BmcResult::Cex(t) => Ok(Some(t)),
-            BmcResult::Clear => Ok(None),
-            BmcResult::Unknown => Err(AnalysisError::BudgetExhausted {
-                known_low: 0,
-                known_high: u128::MAX,
+        bmc.set_ctl(self.options.ctl.clone());
+        bmc.set_certify(self.options.certify);
+        match bmc.check_any_up_to(k)? {
+            BmcResult::Cex(t) => Ok(Verdict::Refuted { witness: t }),
+            BmcResult::Clear => Ok(Verdict::Proved),
+            BmcResult::Unknown(reason) => Ok(Verdict::Interrupted {
+                best_so_far: Partial::trivial(reason),
             }),
         }
     }
@@ -563,7 +631,8 @@ impl<'a> SeqAnalyzer<'a> {
     ///
     /// # Errors
     ///
-    /// [`AnalysisError::BudgetExhausted`] if any probe runs out of budget.
+    /// [`AnalysisError::Interrupted`] if a resource limit stops the
+    /// search.
     pub fn max_error_cycles_at(
         &self,
         k: usize,
@@ -571,11 +640,13 @@ impl<'a> SeqAnalyzer<'a> {
     ) -> Result<ErrorReport<u32>, AnalysisError> {
         let sat_calls = AtomicU64::new(0);
         let max = (k + 1) as u128;
-        let value = search_max_error_batched("seq.error_cycles", max, self.jobs, |ts| {
-            axmc_par::parallel_map(self.jobs, ts, |_, &t| {
+        let jobs = self.options.effective_jobs();
+        let value = search_max_error_batched("seq.error_cycles", max, jobs, |ts| {
+            axmc_par::parallel_map(jobs, ts, |_, &t| {
                 sat_calls.fetch_add(1, Ordering::Relaxed);
-                match self.check_error_cycles_exceed(t, k, per_cycle_threshold)? {
-                    Some(trace) => {
+                Ok(self
+                    .check_error_cycles_exceed(t, k, per_cycle_threshold)?
+                    .map(|trace| {
                         // Count the erroneous cycles the witness actually shows.
                         let og = trace.replay(self.golden);
                         let oc = trace.replay(self.approx);
@@ -586,10 +657,8 @@ impl<'a> SeqAnalyzer<'a> {
                                 bits_to_u128(g).abs_diff(bits_to_u128(c)) > per_cycle_threshold
                             })
                             .count() as u128;
-                        Ok(Probe::Exceeds(witnessed.max(t + 1)))
-                    }
-                    None => Ok(Probe::Within),
-                }
+                        witnessed.max(t + 1)
+                    }))
             })
         })?;
         Ok(ErrorReport {
@@ -639,7 +708,18 @@ mod tests {
     use super::*;
     use crate::report::ErrorGrowth;
     use axmc_circuit::{approx, generators};
+    use axmc_sat::{CancelToken, ResourceCtl};
     use axmc_seq::{accumulator, fir_moving_sum, registered_alu};
+    use std::time::Duration;
+
+    fn induction_options(max_k: usize) -> InductionOptions {
+        InductionOptions {
+            max_k,
+            ctl: ResourceCtl::unlimited(),
+            simple_path: false,
+            certify: false,
+        }
+    }
 
     #[test]
     fn earliest_error_accumulator() {
@@ -658,11 +738,12 @@ mod tests {
     fn certified_analysis_matches_uncertified() {
         // The full earliest-error + WCE pipeline with every UNSAT answer
         // re-validated by the RUP/DRAT checker must agree with the plain
-        // run bit for bit. A checker rejection panics.
+        // run bit for bit. A checker rejection surfaces as an error.
         let golden = accumulator(&generators::ripple_carry_adder(4), 4);
         let apx = accumulator(&approx::truncated_adder(4, 2), 4);
         let plain = SeqAnalyzer::new(&golden, &apx);
-        let certified = SeqAnalyzer::new(&golden, &apx).with_certify(true);
+        let certified =
+            SeqAnalyzer::new(&golden, &apx).with_options(AnalysisOptions::new().with_certify(true));
         assert_eq!(
             plain.earliest_error(6).unwrap().cycle,
             certified.earliest_error(6).unwrap().cycle
@@ -754,19 +835,19 @@ mod tests {
         let apx = registered_alu(&approx::truncated_adder(width, 2), width);
         let analyzer = SeqAnalyzer::new(&golden, &apx);
         let comb_wce: u128 = 6; // 2^(cut+1) - 2 for cut = 2
-        let opts = InductionOptions {
-            max_k: 4,
-            budget: Budget::unlimited(),
-            simple_path: false,
-            certify: false,
-        };
-        match analyzer.prove_error_bound(comb_wce, &opts) {
-            ProofResult::Proved { .. } => {}
-            other => panic!("expected proof, got {other:?}"),
-        }
+        let opts = induction_options(4);
+        assert!(
+            analyzer
+                .prove_error_bound(comb_wce, &opts)
+                .unwrap()
+                .is_proved(),
+            "the component WCE must close inductively"
+        );
         // One less is falsifiable.
-        match analyzer.prove_error_bound(comb_wce - 1, &opts) {
-            ProofResult::Falsified(t) => assert!(analyzer.trace_error(&t) > comb_wce - 1),
+        match analyzer.prove_error_bound(comb_wce - 1, &opts).unwrap() {
+            Verdict::Refuted { witness } => {
+                assert!(analyzer.trace_error(&witness) > comb_wce - 1)
+            }
             other => panic!("expected falsification, got {other:?}"),
         }
     }
@@ -816,21 +897,16 @@ mod tests {
         let profile = analyzer.error_profile(6).unwrap();
         assert_eq!(profile.growth(), crate::report::ErrorGrowth::Bounded);
         assert_eq!(*profile.profile.last().unwrap(), bound);
-        // The bound can never be falsified at any horizon.
-        let opts = InductionOptions {
-            max_k: 6,
-            budget: Budget::unlimited(),
-            simple_path: false,
-            certify: false,
-        };
-        // Proved or Unknown are both acceptable: the invariant may
-        // need auxiliary strengthening to close inductively.
-        if let ProofResult::Falsified(t) = analyzer.prove_error_bound(bound, &opts) {
-            panic!("bound {bound} falsified by a {}-cycle trace", t.len())
+        // The bound can never be falsified at any horizon. Proved or
+        // Interrupted are both acceptable: the invariant may need
+        // auxiliary strengthening to close inductively.
+        let opts = induction_options(6);
+        if let Verdict::Refuted { witness } = analyzer.prove_error_bound(bound, &opts).unwrap() {
+            panic!("bound {bound} falsified by a {}-cycle trace", witness.len())
         }
         // One below the bound is falsifiable.
-        match analyzer.prove_error_bound(bound - 1, &opts) {
-            ProofResult::Falsified(_) => {}
+        match analyzer.prove_error_bound(bound - 1, &opts).unwrap() {
+            Verdict::Refuted { .. } => {}
             other => panic!("expected falsification below the bound, got {other:?}"),
         }
     }
@@ -841,7 +917,8 @@ mod tests {
         let golden = accumulator(&generators::ripple_carry_adder(width), width);
         let apx = accumulator(&approx::lower_or_adder(width, 2), width);
         let plain = SeqAnalyzer::new(&golden, &apx);
-        let swept = SeqAnalyzer::new(&golden, &apx).with_sweep(true);
+        let swept =
+            SeqAnalyzer::new(&golden, &apx).with_options(AnalysisOptions::new().with_sweep(true));
         for k in [1usize, 3] {
             assert_eq!(
                 plain.worst_case_error_at(k).unwrap().value,
@@ -855,7 +932,11 @@ mod tests {
             );
         }
         // Witness traces from the swept engine replay on the originals.
-        let trace = swept.check_error_exceeds(0, 3).unwrap().expect("diverges");
+        let trace = swept
+            .check_error_exceeds(0, 3)
+            .unwrap()
+            .witness()
+            .expect("diverges");
         assert!(swept.trace_error(&trace) > 0);
     }
 
@@ -891,7 +972,7 @@ mod tests {
         assert!(analyzer
             .check_total_error_exceeds(0, 4, 8)
             .unwrap()
-            .is_none());
+            .is_proved());
     }
 
     #[test]
@@ -903,8 +984,13 @@ mod tests {
         let apx = accumulator(&approx::truncated_adder(width, 2), width);
         let analyzer = SeqAnalyzer::new(&golden, &apx);
         match analyzer.total_error_at(4, 2) {
-            Err(AnalysisError::BudgetExhausted { known_low, .. }) => {
-                assert_eq!(known_low, 3); // saturated at 2^2 - 1
+            Err(AnalysisError::Interrupted(p)) => {
+                assert_eq!(p.known_low, 3); // saturated at 2^2 - 1
+                assert_eq!(p.known_high, u128::MAX);
+                assert_eq!(
+                    p.reason, None,
+                    "saturation is range exhaustion, not a limit"
+                );
             }
             other => panic!("expected saturation error, got {other:?}"),
         }
@@ -920,7 +1006,8 @@ mod tests {
         let apx = accumulator(&approx::lower_or_adder(width, 2), width);
         let serial = SeqAnalyzer::new(&golden, &apx);
         for jobs in [2usize, 4] {
-            let par = SeqAnalyzer::new(&golden, &apx).with_jobs(jobs);
+            let par = SeqAnalyzer::new(&golden, &apx)
+                .with_options(AnalysisOptions::new().with_jobs(jobs));
             assert_eq!(
                 serial.worst_case_error_at(3).unwrap().value,
                 par.worst_case_error_at(3).unwrap().value,
@@ -960,8 +1047,7 @@ mod tests {
         let budget = Budget::unlimited().with_conflicts(1);
         let run = || {
             SeqAnalyzer::new(&golden, &apx)
-                .with_budget(budget)
-                .with_jobs(4)
+                .with_options(AnalysisOptions::new().with_budget(budget).with_jobs(4))
                 .worst_case_error_at(3)
                 .map(|r| r.value)
         };
@@ -977,5 +1063,136 @@ mod tests {
         let bf = analyzer.bit_flip_error_at(3).unwrap();
         assert!(bf.value >= 1);
         assert!(bf.value <= width as u32);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_builders_still_forward() {
+        let width = 4;
+        let golden = accumulator(&generators::ripple_carry_adder(width), width);
+        let apx = accumulator(&approx::truncated_adder(width, 2), width);
+        let analyzer = SeqAnalyzer::new(&golden, &apx)
+            .with_budget(Budget::unlimited())
+            .with_jobs(2)
+            .with_sweep(false)
+            .with_certify(false);
+        assert!(analyzer.worst_case_error_at(2).unwrap().value > 0);
+    }
+
+    // -- satellite: typed interruption behavior ------------------------
+
+    #[test]
+    fn expired_deadline_mid_bmc_reports_the_completed_bound() {
+        // An already-expired deadline stops the very first BMC bound: the
+        // anytime payload must say "0 cycles certified clear" and name
+        // the deadline as the reason — and return in microseconds, not
+        // after grinding through the instance.
+        let width = 8;
+        let golden = accumulator(&generators::ripple_carry_adder(width), width);
+        let apx = accumulator(&approx::truncated_adder(width, 4), width);
+        let analyzer = SeqAnalyzer::new(&golden, &apx)
+            .with_options(AnalysisOptions::new().with_timeout(Duration::ZERO));
+        match analyzer.earliest_error(16) {
+            Err(AnalysisError::Interrupted(p)) => {
+                assert_eq!(p.reason, Some(Interrupt::Deadline));
+                assert_eq!(p.completed_bound, Some(0));
+            }
+            other => panic!("expected a deadline interruption, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn budget_interruption_carries_certified_clear_cycles() {
+        // A conflict budget that clears a few bounds and then starves:
+        // the payload's completed_bound must reflect the cycles actually
+        // certified clear (deterministic for a fixed budget).
+        let width = 4;
+        let golden = accumulator(&generators::ripple_carry_adder(width), width);
+        let same = accumulator(&generators::carry_select_adder(width, 2), width);
+        let starving = SeqAnalyzer::new(&golden, &same).with_options(
+            AnalysisOptions::new().with_budget(Budget::unlimited().with_conflicts(1)),
+        );
+        match starving.earliest_error(12) {
+            Err(AnalysisError::Interrupted(p)) => {
+                assert!(matches!(
+                    p.reason,
+                    Some(Interrupt::Conflicts | Interrupt::Propagations)
+                ));
+                assert!(p.completed_bound.is_some());
+            }
+            // A tiny equivalent pair may still clear every bound within
+            // the budget; that is also a correct outcome.
+            Ok(e) => assert_eq!(e.cycle, None),
+            Err(other) => panic!("unexpected error: {other}"),
+        }
+    }
+
+    #[test]
+    fn cancel_token_stops_all_portfolio_workers() {
+        // A 20-bit accumulator WCE search takes far longer than the
+        // cancellation delay; raising the token from another thread must
+        // stop every cloned portfolio engine promptly with a typed
+        // Cancelled interrupt.
+        let width = 20;
+        let golden = accumulator(&generators::ripple_carry_adder(width), width);
+        let apx = accumulator(&approx::truncated_adder(width, 10), width);
+        let token = CancelToken::new();
+        let canceller = token.clone();
+        let handle = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(100));
+            canceller.cancel();
+        });
+        let analyzer = SeqAnalyzer::new(&golden, &apx)
+            .with_options(AnalysisOptions::new().with_jobs(4).with_cancel(token));
+        let result = analyzer.worst_case_error_at(12);
+        handle.join().unwrap();
+        match result {
+            Err(AnalysisError::Interrupted(p)) => {
+                assert_eq!(p.reason, Some(Interrupt::Cancelled));
+                assert!(p.known_low <= p.known_high);
+            }
+            other => panic!("expected cancellation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn deadline_composes_into_induction_proofs() {
+        // The analyzer's (expired) deadline must tighten the induction
+        // options' unlimited control: the proof attempt is interrupted
+        // with zero cycles certified, not run to completion.
+        let width = 4;
+        let golden = registered_alu(&generators::ripple_carry_adder(width), width);
+        let apx = registered_alu(&approx::truncated_adder(width, 2), width);
+        let analyzer = SeqAnalyzer::new(&golden, &apx)
+            .with_options(AnalysisOptions::new().with_timeout(Duration::ZERO));
+        match analyzer
+            .prove_error_bound(6, &induction_options(4))
+            .unwrap()
+        {
+            Verdict::Interrupted { best_so_far } => {
+                assert_eq!(best_so_far.reason, Some(Interrupt::Deadline));
+                assert_eq!(best_so_far.completed_bound, Some(0));
+            }
+            other => panic!("expected an interrupted proof, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn generous_timeout_is_byte_identical_to_no_timeout() {
+        // A deadline that never trips must not perturb any answer: the
+        // deterministic trajectory with and without it is identical.
+        let width = 4;
+        let golden = accumulator(&generators::ripple_carry_adder(width), width);
+        let apx = accumulator(&approx::lower_or_adder(width, 2), width);
+        let plain = SeqAnalyzer::new(&golden, &apx);
+        let timed = SeqAnalyzer::new(&golden, &apx)
+            .with_options(AnalysisOptions::new().with_timeout(Duration::from_secs(3600)));
+        let a = plain.worst_case_error_at(3).unwrap();
+        let b = timed.worst_case_error_at(3).unwrap();
+        assert_eq!((a.value, a.sat_calls), (b.value, b.sat_calls));
+        assert_eq!(
+            plain.error_profile(4).unwrap().profile,
+            timed.error_profile(4).unwrap().profile
+        );
     }
 }

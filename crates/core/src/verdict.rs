@@ -1,0 +1,89 @@
+//! The unified three-valued answer of every decision query.
+//!
+//! Threshold probes, unbounded proofs and bound searches all answer the
+//! same shape of question — "does the property hold?" — and under
+//! resource governance they all need the same third outcome: *stopped
+//! early, here is what I know*. [`Verdict`] replaces the former mix of
+//! `Option<Vec<bool>>`, `Option<Trace>` and ad-hoc enums with one type,
+//! generic over the witness a refutation carries.
+
+use crate::report::Partial;
+
+/// Outcome of a decision query under resource governance.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Verdict<T> {
+    /// The property holds (e.g. the error provably cannot exceed the
+    /// threshold).
+    Proved,
+    /// The property is violated, with a concrete witness (an input
+    /// assignment, a trace, or a witnessed metric value).
+    Refuted {
+        /// The witness demonstrating the violation.
+        witness: T,
+    },
+    /// A resource limit stopped the query; the payload carries the best
+    /// certified-so-far knowledge.
+    Interrupted {
+        /// Tightest certified interval and interrupt reason.
+        best_so_far: Partial,
+    },
+}
+
+impl<T> Verdict<T> {
+    /// `true` if the property was proved.
+    pub fn is_proved(&self) -> bool {
+        matches!(self, Verdict::Proved)
+    }
+
+    /// `true` if the property was refuted.
+    pub fn is_refuted(&self) -> bool {
+        matches!(self, Verdict::Refuted { .. })
+    }
+
+    /// `true` if the query was interrupted before a verdict.
+    pub fn is_interrupted(&self) -> bool {
+        matches!(self, Verdict::Interrupted { .. })
+    }
+
+    /// The refutation witness, if any.
+    pub fn witness(self) -> Option<T> {
+        match self {
+            Verdict::Refuted { witness } => Some(witness),
+            _ => None,
+        }
+    }
+
+    /// Maps the witness type, preserving the verdict.
+    pub fn map<U>(self, f: impl FnOnce(T) -> U) -> Verdict<U> {
+        match self {
+            Verdict::Proved => Verdict::Proved,
+            Verdict::Refuted { witness } => Verdict::Refuted {
+                witness: f(witness),
+            },
+            Verdict::Interrupted { best_so_far } => Verdict::Interrupted { best_so_far },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use axmc_sat::Interrupt;
+
+    #[test]
+    fn verdict_accessors() {
+        let p: Verdict<u32> = Verdict::Proved;
+        assert!(p.is_proved() && !p.is_refuted() && !p.is_interrupted());
+        assert_eq!(p.witness(), None);
+
+        let r = Verdict::Refuted { witness: 7u32 };
+        assert!(r.is_refuted());
+        assert_eq!(r.clone().map(|w| w * 2).witness(), Some(14));
+
+        let i: Verdict<u32> = Verdict::Interrupted {
+            best_so_far: Partial::trivial(Interrupt::Deadline),
+        };
+        assert!(i.is_interrupted());
+        assert_eq!(i.map(|w| w).witness(), None);
+    }
+}

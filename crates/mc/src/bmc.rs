@@ -5,9 +5,9 @@
 //! k" is posed as an assumption, so earlier frames' learnt clauses are
 //! reused across bounds — the standard incremental BMC loop.
 
-use crate::{Trace, Unroller};
+use crate::{CertificateRejected, Trace, Unroller};
 use axmc_aig::Aig;
-use axmc_sat::{Budget, Lit as SatLit, SolveResult};
+use axmc_sat::{Budget, Interrupt, Lit as SatLit, ResourceCtl, SolveResult};
 
 /// Outcome of a bounded check.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -16,8 +16,9 @@ pub enum BmcResult {
     Cex(Trace),
     /// No counterexample exists within the checked bound.
     Clear,
-    /// The solver budget was exhausted before a verdict.
-    Unknown,
+    /// A resource limit (budget, deadline or cancellation) stopped the
+    /// query before a verdict; the payload says which.
+    Unknown(Interrupt),
 }
 
 impl BmcResult {
@@ -49,10 +50,11 @@ impl BmcResult {
 ///
 /// let mut bmc = Bmc::new(&aig);
 /// // In cycle 0 the latch still holds its reset value...
-/// assert_eq!(bmc.check_at(0), BmcResult::Clear);
+/// assert_eq!(bmc.check_at(0)?, BmcResult::Clear);
 /// // ...but it can be high in cycle 1.
-/// let cex = bmc.check_at(1).cex().expect("reachable");
+/// let cex = bmc.check_at(1)?.cex().expect("reachable");
 /// assert_eq!(cex.inputs[0], vec![true]);
+/// # Ok::<(), axmc_mc::CertificateRejected>(())
 /// ```
 #[derive(Debug)]
 pub struct Bmc<'a> {
@@ -124,17 +126,24 @@ impl<'a> Bmc<'a> {
         self.unroller.set_budget(budget);
     }
 
+    /// Sets the full resource control — budget, deadline and cancellation
+    /// token — applied to each subsequent solver call.
+    pub fn set_ctl(&mut self, ctl: ResourceCtl) {
+        self.unroller.set_ctl(ctl);
+    }
+
+    /// The resource control currently governing solver calls.
+    pub fn ctl(&self) -> &ResourceCtl {
+        self.unroller.solver().ctl()
+    }
+
     /// Switches certified mode on or off. While on, every `Clear`
     /// verdict is independently validated by replaying the solver's
     /// clausal proof through the forward RUP/DRAT checker, and every
     /// counterexample is replayed through AIG simulation before being
-    /// returned.
-    ///
-    /// # Panics
-    ///
-    /// Subsequent checks panic if a proof or a trace fails validation —
-    /// that means the solver produced an unsound answer, and no result
-    /// derived from it can be trusted.
+    /// returned. A failed validation surfaces as
+    /// [`CertificateRejected`] from the check call — the solver produced
+    /// an unsound answer, and no result derived from it can be trusted.
     pub fn set_certify(&mut self, on: bool) {
         self.unroller.set_certify(on);
     }
@@ -146,73 +155,98 @@ impl<'a> Bmc<'a> {
 
     /// In certified mode, validates the proof behind the UNSAT answer
     /// just produced by the unroller's solver.
-    fn certify_clear(&self, mode: &str, k: usize) {
+    fn certify_clear(&self, mode: &str, k: usize) -> Result<(), CertificateRejected> {
         if !self.unroller.certify() {
-            return;
+            return Ok(());
         }
         if let Err(e) = axmc_check::certify_unsat(self.unroller.solver()) {
-            panic!(
-                "UNSAT certificate for BMC {mode} query at k={k} failed \
-                 validation ({e}); the verdict cannot be trusted"
-            );
+            return Err(CertificateRejected {
+                engine: "bmc".to_string(),
+                detail: format!(
+                    "UNSAT certificate for {mode} query at k={k} failed validation ({e})"
+                ),
+            });
         }
+        Ok(())
     }
 
     /// In certified mode, replays `trace` through AIG simulation and
-    /// asserts the property output really is violated where claimed.
-    fn certify_cex(&self, mode: &str, k: usize, trace: &Trace) {
+    /// checks the property output really is violated where claimed.
+    fn certify_cex(&self, mode: &str, k: usize, trace: &Trace) -> Result<(), CertificateRejected> {
         if !self.unroller.certify() {
-            return;
+            return Ok(());
         }
         let outputs = trace.replay(self.aig);
         let hit = match mode {
             "at" => outputs.get(k).is_some_and(|cycle| cycle[0]),
             _ => outputs.iter().take(k + 1).any(|cycle| cycle[0]),
         };
-        assert!(
-            hit,
-            "counterexample for BMC {mode} query at k={k} does not replay \
-             to a violation; the trace cannot be trusted"
-        );
+        if !hit {
+            return Err(CertificateRejected {
+                engine: "bmc".to_string(),
+                detail: format!(
+                    "counterexample for {mode} query at k={k} does not replay to a violation"
+                ),
+            });
+        }
+        Ok(())
+    }
+
+    /// The interrupt reason behind the solver's last `Unknown` answer.
+    fn last_interrupt(&self) -> Interrupt {
+        self.unroller
+            .solver()
+            .last_interrupt()
+            .unwrap_or(Interrupt::Conflicts)
     }
 
     /// Checks whether the output can be 1 **exactly** in cycle `k`
     /// (0-based). Frames are created on demand and reused.
-    pub fn check_at(&mut self, k: usize) -> BmcResult {
+    ///
+    /// # Errors
+    ///
+    /// In certified mode, returns [`CertificateRejected`] if the
+    /// validation of a proof or a counterexample fails.
+    pub fn check_at(&mut self, k: usize) -> Result<BmcResult, CertificateRejected> {
         let timer = axmc_obs::span("bmc.check.time_us");
         self.unroller.extend_to(k + 1);
         let bad = self.unroller.frame(k).outputs[0];
         let result = match self.unroller.solver_mut().solve_with_assumptions(&[bad]) {
             SolveResult::Sat => {
                 let trace = self.unroller.extract_trace(k);
-                self.certify_cex("at", k, &trace);
+                self.certify_cex("at", k, &trace)?;
                 BmcResult::Cex(trace)
             }
             SolveResult::Unsat => {
-                self.certify_clear("at", k);
+                self.certify_clear("at", k)?;
                 BmcResult::Clear
             }
-            SolveResult::Unknown => BmcResult::Unknown,
+            SolveResult::Unknown => BmcResult::Unknown(self.last_interrupt()),
         };
         self.note_check("at", k, &result, timer.finish());
-        result
+        Ok(result)
     }
 
     /// Checks whether the output can be 1 in **any** cycle `<= k`,
     /// scanning cycle by cycle.
     ///
     /// Returns the shortest counterexample if one exists; `Unknown` as soon
-    /// as any per-cycle query exhausts the budget. Prefer
+    /// as any per-cycle query is interrupted. Prefer
     /// [`Bmc::check_any_up_to`] when the violation cycle does not matter —
     /// it poses a single disjunctive query instead of `k + 1`.
-    pub fn check_up_to(&mut self, k: usize) -> BmcResult {
+    ///
+    /// # Errors
+    ///
+    /// In certified mode, returns [`CertificateRejected`] if the
+    /// validation of a proof or a counterexample fails.
+    pub fn check_up_to(&mut self, k: usize) -> Result<BmcResult, CertificateRejected> {
         for i in 0..=k {
-            match self.check_at(i) {
+            match self.check_at(i)? {
                 BmcResult::Clear => continue,
-                other => return other,
+                other => return Ok(other),
             }
         }
-        BmcResult::Clear
+        Ok(BmcResult::Clear)
     }
 
     /// Checks whether the output can be 1 in **any** cycle `<= k` with a
@@ -220,7 +254,12 @@ impl<'a> Bmc<'a> {
     ///
     /// The returned counterexample spans all `k + 1` cycles and is *not*
     /// necessarily the shortest; replay it to locate the violation.
-    pub fn check_any_up_to(&mut self, k: usize) -> BmcResult {
+    ///
+    /// # Errors
+    ///
+    /// In certified mode, returns [`CertificateRejected`] if the
+    /// validation of a proof or a counterexample fails.
+    pub fn check_any_up_to(&mut self, k: usize) -> Result<BmcResult, CertificateRejected> {
         let timer = axmc_obs::span("bmc.check.time_us");
         self.unroller.extend_to(k + 1);
         // d -> (bad_0 | ... | bad_k); assuming d forces some frame bad.
@@ -246,17 +285,17 @@ impl<'a> Bmc<'a> {
         let result = match self.unroller.solver_mut().solve_with_assumptions(&[d]) {
             SolveResult::Sat => {
                 let trace = self.unroller.extract_trace(k);
-                self.certify_cex("any_up_to", k, &trace);
+                self.certify_cex("any_up_to", k, &trace)?;
                 BmcResult::Cex(trace)
             }
             SolveResult::Unsat => {
-                self.certify_clear("any_up_to", k);
+                self.certify_clear("any_up_to", k)?;
                 BmcResult::Clear
             }
-            SolveResult::Unknown => BmcResult::Unknown,
+            SolveResult::Unknown => BmcResult::Unknown(self.last_interrupt()),
         };
         self.note_check("any_up_to", k, &result, timer.finish());
-        result
+        Ok(result)
     }
 
     /// Records metrics and the `bmc.check` trace event for one query.
@@ -269,7 +308,7 @@ impl<'a> Bmc<'a> {
         let verdict = match result {
             BmcResult::Cex(_) => "cex",
             BmcResult::Clear => "clear",
-            BmcResult::Unknown => {
+            BmcResult::Unknown(_) => {
                 axmc_obs::counter("bmc.budget_exhausted").inc();
                 "unknown"
             }
@@ -301,6 +340,7 @@ impl From<Trace> for Vec<Vec<bool>> {
 mod tests {
     use super::*;
     use axmc_aig::Word;
+    use std::time::Duration;
 
     /// A 3-bit counter that increments every cycle; bad = counter == target.
     fn counter_reaches(target: u128) -> Aig {
@@ -322,16 +362,16 @@ mod tests {
         let aig = counter_reaches(5);
         let mut bmc = Bmc::new(&aig);
         for k in 0..5 {
-            assert_eq!(bmc.check_at(k), BmcResult::Clear, "cycle {k}");
+            assert_eq!(bmc.check_at(k).unwrap(), BmcResult::Clear, "cycle {k}");
         }
-        assert!(matches!(bmc.check_at(5), BmcResult::Cex(_)));
+        assert!(matches!(bmc.check_at(5).unwrap(), BmcResult::Cex(_)));
     }
 
     #[test]
     fn check_up_to_finds_shortest() {
         let aig = counter_reaches(3);
         let mut bmc = Bmc::new(&aig);
-        match bmc.check_up_to(7) {
+        match bmc.check_up_to(7).unwrap() {
             BmcResult::Cex(t) => assert_eq!(t.len(), 4), // cycles 0..=3
             other => panic!("expected cex, got {other:?}"),
         }
@@ -352,7 +392,7 @@ mod tests {
         aig.add_output(eq);
 
         let mut bmc = Bmc::new(&aig);
-        assert_eq!(bmc.check_up_to(20), BmcResult::Clear);
+        assert_eq!(bmc.check_up_to(20).unwrap(), BmcResult::Clear);
     }
 
     #[test]
@@ -375,7 +415,7 @@ mod tests {
         aig.add_output(eq);
 
         let mut bmc = Bmc::new(&aig);
-        let cex = bmc.check_up_to(8).cex().expect("reachable");
+        let cex = bmc.check_up_to(8).unwrap().cex().expect("reachable");
         let outs = cex.final_outputs(&aig);
         assert_eq!(outs, vec![true]);
         // Needs at least two increments before observation.
@@ -391,11 +431,11 @@ mod tests {
         // depths must stay bounded by the retire-and-recreate scheme.
         let aig = counter_reaches(3);
         let mut bmc = Bmc::new(&aig);
-        assert!(matches!(bmc.check_any_up_to(4), BmcResult::Cex(_)));
+        assert!(matches!(bmc.check_any_up_to(4).unwrap(), BmcResult::Cex(_)));
         let vars_after_first = bmc.num_vars();
         let clauses_after_first = bmc.num_clauses();
         for _ in 0..20 {
-            assert!(matches!(bmc.check_any_up_to(4), BmcResult::Cex(_)));
+            assert!(matches!(bmc.check_any_up_to(4).unwrap(), BmcResult::Cex(_)));
         }
         assert_eq!(
             bmc.num_vars(),
@@ -411,8 +451,8 @@ mod tests {
         // retired with a unit), never one per historical call.
         let before_alt = bmc.num_vars();
         for _ in 0..5 {
-            assert!(matches!(bmc.check_any_up_to(2), BmcResult::Clear));
-            assert!(matches!(bmc.check_any_up_to(4), BmcResult::Cex(_)));
+            assert!(matches!(bmc.check_any_up_to(2).unwrap(), BmcResult::Clear));
+            assert!(matches!(bmc.check_any_up_to(4).unwrap(), BmcResult::Cex(_)));
         }
         assert!(
             bmc.num_vars() - before_alt <= 10,
@@ -421,8 +461,8 @@ mod tests {
         );
         // And the retired activations must not constrain later answers:
         // depth 2 is still clear, depth 4 still violating.
-        assert!(matches!(bmc.check_any_up_to(2), BmcResult::Clear));
-        assert!(matches!(bmc.check_any_up_to(4), BmcResult::Cex(_)));
+        assert!(matches!(bmc.check_any_up_to(2).unwrap(), BmcResult::Clear));
+        assert!(matches!(bmc.check_any_up_to(4).unwrap(), BmcResult::Cex(_)));
     }
 
     #[test]
@@ -435,8 +475,33 @@ mod tests {
         bmc.set_budget(Budget::unlimited().with_conflicts(0).with_propagations(1));
         // With a zero/one budget most queries return Unknown; we accept
         // Clear for the trivially-unsat early cycles.
-        let r = bmc.check_at(6);
-        assert!(matches!(r, BmcResult::Unknown | BmcResult::Clear));
+        let r = bmc.check_at(6).unwrap();
+        assert!(matches!(r, BmcResult::Unknown(_) | BmcResult::Clear));
+    }
+
+    #[test]
+    fn expired_deadline_reports_a_deadline_interrupt() {
+        let aig = counter_reaches(7);
+        let mut bmc = Bmc::new(&aig);
+        bmc.set_ctl(ResourceCtl::unlimited().with_timeout(Duration::ZERO));
+        assert_eq!(
+            bmc.check_at(6).unwrap(),
+            BmcResult::Unknown(Interrupt::Deadline)
+        );
+    }
+
+    #[test]
+    fn cancelled_token_reports_a_cancel_interrupt() {
+        use axmc_sat::CancelToken;
+        let aig = counter_reaches(7);
+        let mut bmc = Bmc::new(&aig);
+        let token = CancelToken::new();
+        token.cancel();
+        bmc.set_ctl(ResourceCtl::unlimited().with_cancel(token));
+        assert_eq!(
+            bmc.check_at(6).unwrap(),
+            BmcResult::Unknown(Interrupt::Cancelled)
+        );
     }
 
     #[test]
@@ -448,7 +513,7 @@ mod tests {
         let x = aig.and(a, b);
         aig.add_output(x);
         let mut bmc = Bmc::new(&aig);
-        let cex = bmc.check_at(0).cex().expect("satisfiable");
+        let cex = bmc.check_at(0).unwrap().cex().expect("satisfiable");
         assert_eq!(cex.inputs[0], vec![true, true]);
     }
 }

@@ -1,0 +1,51 @@
+//! Typed certificate-rejection errors.
+//!
+//! In certified mode every UNSAT answer is re-validated by the in-tree
+//! RUP/DRAT checker and every counterexample is replayed through AIG
+//! simulation. A rejected certificate means the underlying solver
+//! produced an unsound answer — the engines used to panic on this, but a
+//! long-running service wants to *quarantine* the offending query rather
+//! than crash, so rejection is now a typed error propagated through
+//! `Result`.
+
+use std::error::Error;
+use std::fmt;
+
+/// A certificate produced in certified mode failed independent
+/// validation, so the verdict it backs cannot be trusted.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CertificateRejected {
+    /// The engine whose answer failed validation (e.g. `"bmc"`,
+    /// `"induction"`, `"comb"`).
+    pub engine: String,
+    /// Human-readable description of what failed to validate.
+    pub detail: String,
+}
+
+impl fmt::Display for CertificateRejected {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "certificate rejected in {} engine: {}; the verdict cannot be trusted",
+            self.engine, self.detail
+        )
+    }
+}
+
+impl Error for CertificateRejected {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejection_displays_engine_and_detail() {
+        let e = CertificateRejected {
+            engine: "bmc".to_string(),
+            detail: "proof replay failed at step 3".to_string(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("bmc"));
+        assert!(s.contains("proof replay failed at step 3"));
+    }
+}

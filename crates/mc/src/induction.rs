@@ -7,10 +7,10 @@
 //! simple-path constraints make the method complete for finite systems
 //! (at possibly large `k`).
 
-use crate::{Bmc, BmcResult, Trace};
+use crate::{Bmc, BmcResult, CertificateRejected, Trace};
 use axmc_aig::Aig;
 use axmc_cnf::{assert_const_false, encode_frame};
-use axmc_sat::{Budget, Lit as SatLit, SolveResult, Solver};
+use axmc_sat::{Interrupt, Lit as SatLit, ResourceCtl, SolveResult, Solver};
 
 /// Outcome of an unbounded proof attempt.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -23,17 +23,27 @@ pub enum ProofResult {
     },
     /// The property is violated; the trace reaches the bad output.
     Falsified(Trace),
-    /// Neither proved nor falsified within `max_k` / the solver budget.
-    Unknown,
+    /// Neither proved nor falsified. The partial result is still useful:
+    /// `completed_k` leading cycles are known violation-free.
+    Unknown {
+        /// Number of leading cycles proven clear by completed base-case
+        /// checks: all cycles `< completed_k` are known violation-free.
+        completed_k: usize,
+        /// Why the attempt stopped early, if a resource limit did it;
+        /// `None` means `max_k` was exhausted without the step case
+        /// closing (the property is simply not k-inductive within range).
+        interrupt: Option<Interrupt>,
+    },
 }
 
 /// Options controlling [`prove_invariant`].
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct InductionOptions {
     /// Largest induction depth to try.
     pub max_k: usize,
-    /// Solver budget per SAT call.
-    pub budget: Budget,
+    /// Resource control (budget, deadline, cancellation) applied to
+    /// every SAT call.
+    pub ctl: ResourceCtl,
     /// Add pairwise state-disequality (simple path) constraints to the
     /// step case. Needed to prove properties whose inductive strength
     /// comes from non-repetition; costs quadratically many clauses.
@@ -41,7 +51,8 @@ pub struct InductionOptions {
     /// Record clausal proofs for every SAT call and validate each UNSAT
     /// answer — base-case clears and the closing inductive step — with
     /// the forward RUP/DRAT checker before reporting a result. A failed
-    /// validation panics: it means the underlying solver is unsound.
+    /// validation surfaces as [`CertificateRejected`]: it means the
+    /// underlying solver is unsound.
     pub certify: bool,
 }
 
@@ -49,7 +60,7 @@ impl Default for InductionOptions {
     fn default() -> Self {
         InductionOptions {
             max_k: 8,
-            budget: Budget::unlimited(),
+            ctl: ResourceCtl::unlimited(),
             simple_path: true,
             certify: false,
         }
@@ -71,26 +82,34 @@ impl Default for InductionOptions {
 /// aig.set_latch_next(0, q);
 /// aig.add_output(q);
 ///
-/// match prove_invariant(&aig, &InductionOptions::default()) {
+/// match prove_invariant(&aig, &InductionOptions::default()).unwrap() {
 ///     ProofResult::Proved { .. } => {}
 ///     other => panic!("expected proof, got {other:?}"),
 /// }
 /// ```
 ///
+/// # Errors
+///
+/// With `certify` on, returns [`CertificateRejected`] if an UNSAT
+/// certificate or a counterexample fails independent validation.
+///
 /// # Panics
 ///
 /// Panics if the AIG does not have exactly one output.
-pub fn prove_invariant(aig: &Aig, options: &InductionOptions) -> ProofResult {
+pub fn prove_invariant(
+    aig: &Aig,
+    options: &InductionOptions,
+) -> Result<ProofResult, CertificateRejected> {
     assert_eq!(
         aig.num_outputs(),
         1,
         "k-induction expects a single-output property circuit"
     );
     let mut base = Bmc::new(aig);
-    base.set_budget(options.budget);
+    base.set_ctl(options.ctl.clone());
     base.set_certify(options.certify);
 
-    let result = run_induction(aig, options, &mut base);
+    let result = run_induction(aig, options, &mut base)?;
     if axmc_obs::enabled() {
         if axmc_obs::tracing_active() {
             axmc_obs::emit(axmc_obs::Event::new("induction.result").field(
@@ -98,18 +117,25 @@ pub fn prove_invariant(aig: &Aig, options: &InductionOptions) -> ProofResult {
                 match &result {
                     ProofResult::Proved { k } => format!("proved@k={k}"),
                     ProofResult::Falsified(_) => "falsified".to_string(),
-                    ProofResult::Unknown => "unknown".to_string(),
+                    ProofResult::Unknown { .. } => "unknown".to_string(),
                 },
             ));
         }
-        if matches!(result, ProofResult::Unknown) {
+        if matches!(result, ProofResult::Unknown { .. }) {
             axmc_obs::counter("induction.unknown").inc();
         }
     }
-    result
+    Ok(result)
 }
 
-fn run_induction(aig: &Aig, options: &InductionOptions, base: &mut Bmc) -> ProofResult {
+fn run_induction(
+    aig: &Aig,
+    options: &InductionOptions,
+    base: &mut Bmc,
+) -> Result<ProofResult, CertificateRejected> {
+    // Cycles 0 .. completed_k are known clear: the anytime payload an
+    // interrupted attempt still reports.
+    let mut completed_k = 0usize;
     for k in 1..=options.max_k {
         let round = axmc_obs::span("induction.round.time_us");
         if axmc_obs::enabled() {
@@ -117,13 +143,18 @@ fn run_induction(aig: &Aig, options: &InductionOptions, base: &mut Bmc) -> Proof
             axmc_obs::gauge("induction.max_k").set_max(k as i64);
         }
         // Base case: no violation in cycles 0 .. k-1.
-        match base.check_at(k - 1) {
-            BmcResult::Cex(t) => return ProofResult::Falsified(t),
-            BmcResult::Unknown => return ProofResult::Unknown,
-            BmcResult::Clear => {}
+        match base.check_at(k - 1)? {
+            BmcResult::Cex(t) => return Ok(ProofResult::Falsified(t)),
+            BmcResult::Unknown(reason) => {
+                return Ok(ProofResult::Unknown {
+                    completed_k,
+                    interrupt: Some(reason),
+                })
+            }
+            BmcResult::Clear => completed_k = k,
         }
         // Step case.
-        let step = step_case(aig, k, options);
+        let (step, interrupt) = step_case(aig, k, options)?;
         let time_us = round.finish();
         if axmc_obs::tracing_active() {
             axmc_obs::emit(
@@ -134,27 +165,40 @@ fn run_induction(aig: &Aig, options: &InductionOptions, base: &mut Bmc) -> Proof
                         match step {
                             SolveResult::Unsat => "inductive",
                             SolveResult::Sat => "open",
-                            SolveResult::Unknown => "budget",
+                            SolveResult::Unknown => "interrupted",
                         },
                     )
                     .field("time_us", time_us),
             );
         }
         match step {
-            SolveResult::Unsat => return ProofResult::Proved { k },
-            SolveResult::Unknown => return ProofResult::Unknown,
+            SolveResult::Unsat => return Ok(ProofResult::Proved { k }),
+            SolveResult::Unknown => {
+                return Ok(ProofResult::Unknown {
+                    completed_k,
+                    interrupt,
+                })
+            }
             SolveResult::Sat => {} // not yet inductive; deepen
         }
     }
-    ProofResult::Unknown
+    Ok(ProofResult::Unknown {
+        completed_k,
+        interrupt: None,
+    })
 }
 
 /// Encodes and solves the step case at depth `k`: frames `0..=k` from an
 /// arbitrary start state, `!bad` in frames `0..k`, `bad` in frame `k`.
-/// UNSAT means the property is k-inductive.
-fn step_case(aig: &Aig, k: usize, options: &InductionOptions) -> SolveResult {
+/// UNSAT means the property is k-inductive. The second element of the
+/// pair is the interrupt reason when the solve stopped early.
+fn step_case(
+    aig: &Aig,
+    k: usize,
+    options: &InductionOptions,
+) -> Result<(SolveResult, Option<Interrupt>), CertificateRejected> {
     let mut solver = Solver::new();
-    solver.set_budget(options.budget);
+    solver.set_ctl(options.ctl.clone());
     if options.certify {
         solver.set_proof_logging(true);
     }
@@ -186,13 +230,15 @@ fn step_case(aig: &Aig, k: usize, options: &InductionOptions) -> SolveResult {
     let result = solver.solve();
     if options.certify && result == SolveResult::Unsat {
         if let Err(e) = axmc_check::certify_unsat(&solver) {
-            panic!(
-                "UNSAT certificate for the k={k} inductive step failed \
-                 validation ({e}); the proof cannot be trusted"
-            );
+            return Err(CertificateRejected {
+                engine: "induction".to_string(),
+                detail: format!(
+                    "UNSAT certificate for the k={k} inductive step failed validation ({e})"
+                ),
+            });
         }
     }
-    result
+    Ok((result, solver.last_interrupt()))
 }
 
 /// Forces all state vectors in the window to be pairwise distinct.
@@ -220,11 +266,12 @@ fn add_simple_path_constraints(solver: &mut Solver, states: &[Vec<SatLit>]) {
 mod tests {
     use super::*;
     use axmc_aig::Word;
+    use axmc_sat::Budget;
 
     fn options(max_k: usize, simple_path: bool) -> InductionOptions {
         InductionOptions {
             max_k,
-            budget: Budget::unlimited(),
+            ctl: ResourceCtl::unlimited(),
             simple_path,
             certify: false,
         }
@@ -237,7 +284,7 @@ mod tests {
         aig.set_latch_next(0, q);
         aig.add_output(q);
         assert_eq!(
-            prove_invariant(&aig, &options(4, false)),
+            prove_invariant(&aig, &options(4, false)).unwrap(),
             ProofResult::Proved { k: 1 }
         );
     }
@@ -256,7 +303,7 @@ mod tests {
         let eq = state.equals(&mut aig, &tgt);
         aig.add_output(eq);
 
-        match prove_invariant(&aig, &options(8, true)) {
+        match prove_invariant(&aig, &options(8, true)).unwrap() {
             ProofResult::Falsified(t) => {
                 assert_eq!(t.len(), 4);
                 assert_eq!(t.final_outputs(&aig), vec![true]);
@@ -298,14 +345,19 @@ mod tests {
             assert_eq!(sim.step(&[u64::MAX])[0], 0);
         }
 
-        // Without simple-path: never inductive.
+        // Without simple-path: never inductive, and every base case up to
+        // max_k completes clear — the anytime payload records that, with
+        // no interrupt (the method simply ran out of depth).
         assert_eq!(
-            prove_invariant(&aig, &options(5, false)),
-            ProofResult::Unknown
+            prove_invariant(&aig, &options(5, false)).unwrap(),
+            ProofResult::Unknown {
+                completed_k: 5,
+                interrupt: None
+            }
         );
         // With simple-path: proved once the window exceeds the loop-free
         // diameter of the non-bad region.
-        match prove_invariant(&aig, &options(6, true)) {
+        match prove_invariant(&aig, &options(6, true)).unwrap() {
             ProofResult::Proved { k } => assert!(k <= 6),
             other => panic!("expected proof, got {other:?}"),
         }
@@ -315,7 +367,7 @@ mod tests {
     fn certified_proof_round_trips_through_the_checker() {
         // Same proof obligation as stuck_latch_proved_at_k1, but with
         // every UNSAT answer (base clears + closing step) re-validated
-        // by the RUP/DRAT checker. A checker rejection panics.
+        // by the RUP/DRAT checker. A checker rejection surfaces as Err.
         let mut aig = Aig::new();
         let q = aig.add_latch(false);
         aig.set_latch_next(0, q);
@@ -325,7 +377,10 @@ mod tests {
             simple_path: false,
             ..InductionOptions::default()
         };
-        assert_eq!(prove_invariant(&aig, &opts), ProofResult::Proved { k: 1 });
+        assert_eq!(
+            prove_invariant(&aig, &opts).unwrap(),
+            ProofResult::Proved { k: 1 }
+        );
     }
 
     #[test]
@@ -345,7 +400,7 @@ mod tests {
             ..InductionOptions::default()
         };
         assert!(matches!(
-            prove_invariant(&aig, &opts),
+            prove_invariant(&aig, &opts).unwrap(),
             ProofResult::Falsified(_)
         ));
     }
@@ -360,7 +415,7 @@ mod tests {
         let rca = axmc_seq::accumulator(&generators::ripple_carry_adder(4), 4);
         let csa = axmc_seq::accumulator(&generators::carry_select_adder(4, 2), 4);
         let miter = sequential_strict_miter(&rca, &csa);
-        match prove_invariant(&miter, &options(3, false)) {
+        match prove_invariant(&miter, &options(3, false)).unwrap() {
             ProofResult::Proved { k } => assert!(k <= 3),
             other => panic!("expected proof, got {other:?}"),
         }
@@ -375,14 +430,40 @@ mod tests {
         let miter = sequential_strict_miter(&rca, &csa);
         let opts = InductionOptions {
             max_k: 3,
-            budget: Budget::unlimited().with_conflicts(1),
+            ctl: ResourceCtl::unlimited().with_budget(Budget::unlimited().with_conflicts(1)),
             simple_path: false,
             certify: false,
         };
-        let r = prove_invariant(&miter, &opts);
+        let r = prove_invariant(&miter, &opts).unwrap();
         assert!(matches!(
             r,
-            ProofResult::Unknown | ProofResult::Proved { .. }
+            ProofResult::Unknown {
+                interrupt: Some(_),
+                ..
+            } | ProofResult::Proved { .. }
         ));
+    }
+
+    #[test]
+    fn expired_deadline_interrupts_the_proof_attempt() {
+        use axmc_circuit::generators;
+        use axmc_miter::sequential_strict_miter;
+        use std::time::Duration;
+        let rca = axmc_seq::accumulator(&generators::ripple_carry_adder(8), 8);
+        let csa = axmc_seq::accumulator(&generators::carry_select_adder(8, 4), 8);
+        let miter = sequential_strict_miter(&rca, &csa);
+        let opts = InductionOptions {
+            max_k: 3,
+            ctl: ResourceCtl::unlimited().with_timeout(Duration::ZERO),
+            simple_path: false,
+            certify: false,
+        };
+        assert_eq!(
+            prove_invariant(&miter, &opts).unwrap(),
+            ProofResult::Unknown {
+                completed_k: 0,
+                interrupt: Some(Interrupt::Deadline)
+            }
+        );
     }
 }

@@ -29,14 +29,23 @@
 //! aig.add_output(q);
 //!
 //! let mut bmc = Bmc::new(&aig);
-//! assert_eq!(bmc.check_at(0), BmcResult::Clear);
-//! assert!(matches!(bmc.check_at(1), BmcResult::Cex(_)));
+//! assert_eq!(bmc.check_at(0)?, BmcResult::Clear);
+//! assert!(matches!(bmc.check_at(1)?, BmcResult::Cex(_)));
+//! # Ok::<(), axmc_mc::CertificateRejected>(())
 //! ```
+//!
+//! Every check runs under the solver's
+//! [`ResourceCtl`](axmc_sat::ResourceCtl): on a blown budget, an expired
+//! deadline or a raised cancellation token the engines return typed
+//! `Unknown`/partial outcomes instead of blocking, and in certified mode
+//! a rejected certificate surfaces as [`CertificateRejected`] rather
+//! than a panic.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod bmc;
+mod error;
 mod induction;
 mod reach;
 mod trace;
@@ -44,6 +53,7 @@ mod unroll;
 pub mod vcd;
 
 pub use crate::bmc::{Bmc, BmcResult};
+pub use crate::error::CertificateRejected;
 pub use crate::induction::{prove_invariant, InductionOptions, ProofResult};
 pub use crate::reach::{explicit_reach, ReachResult};
 pub use crate::trace::Trace;

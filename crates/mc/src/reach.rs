@@ -198,8 +198,8 @@ mod tests {
 
         let mut bmc = Bmc::new(&aig);
         for k in 0..6 {
-            assert_eq!(bmc.check_at(k), BmcResult::Clear);
+            assert_eq!(bmc.check_at(k).unwrap(), BmcResult::Clear);
         }
-        assert!(matches!(bmc.check_at(6), BmcResult::Cex(_)));
+        assert!(matches!(bmc.check_at(6).unwrap(), BmcResult::Cex(_)));
     }
 }

@@ -10,7 +10,7 @@
 use crate::Trace;
 use axmc_aig::Aig;
 use axmc_cnf::{assert_const_false, encode_frame, FrameEncoding};
-use axmc_sat::{Budget, Lit as SatLit, Solver};
+use axmc_sat::{Budget, Lit as SatLit, ResourceCtl, Solver};
 
 /// An incremental time-frame unroller over a sequential AIG.
 ///
@@ -149,6 +149,12 @@ impl Unroller {
     /// Sets the budget applied to subsequent solver calls.
     pub fn set_budget(&mut self, budget: Budget) {
         self.solver.set_budget(budget);
+    }
+
+    /// Sets the full resource control — budget, deadline and cancellation
+    /// token — applied to subsequent solver calls.
+    pub fn set_ctl(&mut self, ctl: ResourceCtl) {
+        self.solver.set_ctl(ctl);
     }
 
     /// Enables or disables clausal proof logging on the underlying

@@ -10,11 +10,15 @@
 //! * glue/activity-based learnt-clause database reduction,
 //! * incremental solving under **assumptions**.
 //!
-//! The feature that matters most to `axmc` is the **budget**: a solve call
-//! can be capped to a number of conflicts (or propagations) and returns
-//! [`SolveResult::Unknown`] when the cap is hit. The verifiability-driven
-//! search strategy treats `Unknown` as "this candidate is too expensive to
-//! verify — discard it", which is what keeps the evolutionary loop fast.
+//! The feature that matters most to `axmc` is **resource governance**: a
+//! solve call runs under a [`ResourceCtl`] — a conflict/propagation
+//! [`Budget`], a wall-clock deadline and a shared [`CancelToken`] — and
+//! returns [`SolveResult::Unknown`] when any limit is hit, recording the
+//! reason in [`Solver::last_interrupt`]. The verifiability-driven search
+//! strategy treats `Unknown` as "this candidate is too expensive to
+//! verify — discard it", which is what keeps the evolutionary loop fast,
+//! and the analysis engines above turn it into typed *anytime* partial
+//! results.
 //!
 //! # Examples
 //!
@@ -43,9 +47,11 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod ctl;
 mod heap;
 mod solver;
 mod types;
 
+pub use crate::ctl::{CancelToken, Interrupt, ResourceCtl};
 pub use crate::solver::{Budget, Certificate, ProofStep, SolveResult, Solver, SolverStats};
 pub use crate::types::{LBool, Lit, Var};

@@ -8,8 +8,20 @@
 //! [`SolveResult::Unknown`] instead of running to completion, which is the
 //! primitive the verifiability-driven search strategy is built on.
 
+use crate::ctl::{Interrupt, ResourceCtl};
 use crate::heap::VarOrder;
 use crate::{LBool, Lit, Var};
+use std::time::Instant;
+
+/// How many conflicts pass between wall-clock deadline checks inside the
+/// search loop. Cancellation is checked every conflict (an atomic load);
+/// reading the clock is pricier, so it is amortized over this interval.
+const DEADLINE_CHECK_CONFLICTS: u64 = 128;
+
+/// How many decisions pass between full interrupt checks on the
+/// conflict-free path, so propagation-heavy runs that rarely conflict
+/// still observe deadlines and cancellation.
+const DECISION_CHECK_INTERVAL: u64 = 1024;
 
 /// Outcome of a [`Solver::solve`] call.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -207,7 +219,8 @@ pub struct Solver {
     seen: Vec<bool>,
     model: Vec<LBool>,
     stats: SolverStats,
-    budget: Budget,
+    ctl: ResourceCtl,
+    last_interrupt: Option<Interrupt>,
     max_learnts: f64,
     num_original: usize,
     proof: Option<Box<ProofLog>>,
@@ -257,9 +270,27 @@ impl Solver {
         &self.stats
     }
 
-    /// Sets the resource budget applied to each subsequent `solve` call.
+    /// Sets the resource budget applied to each subsequent `solve` call,
+    /// leaving any deadline or cancellation token in place.
     pub fn set_budget(&mut self, budget: Budget) {
-        self.budget = budget;
+        self.ctl = self.ctl.clone().with_budget(budget);
+    }
+
+    /// Sets the full resource control (budget, deadline, per-call timeout
+    /// and cancellation token) applied to each subsequent `solve` call.
+    pub fn set_ctl(&mut self, ctl: ResourceCtl) {
+        self.ctl = ctl;
+    }
+
+    /// The resource control currently governing `solve` calls.
+    pub fn ctl(&self) -> &ResourceCtl {
+        &self.ctl
+    }
+
+    /// Why the most recent `solve` call returned
+    /// [`SolveResult::Unknown`], or `None` if it ran to a verdict.
+    pub fn last_interrupt(&self) -> Option<Interrupt> {
+        self.last_interrupt
     }
 
     /// Enables or disables clausal proof logging.
@@ -810,6 +841,24 @@ impl Solver {
         axmc_obs::histogram("sat.solve.conflicts").record(conflicts);
         axmc_obs::histogram("sat.solve.decisions").record(decisions);
         axmc_obs::histogram("sat.solve.propagations").record(propagations);
+        // Deadline slack: how much wall clock was left when the call
+        // returned. A shrinking slack histogram is the early signal that
+        // a run is about to degrade into Interrupted partial results.
+        if let Some(slack) = self.ctl.slack() {
+            axmc_obs::histogram("sat.deadline.slack_us")
+                .record(slack.as_micros().min(u64::MAX as u128) as u64);
+        }
+        if result == SolveResult::Unknown {
+            if let Some(reason) = self.last_interrupt {
+                axmc_obs::counter(match reason {
+                    Interrupt::Conflicts => "sat.interrupt.conflicts",
+                    Interrupt::Propagations => "sat.interrupt.propagations",
+                    Interrupt::Deadline => "sat.interrupt.deadline",
+                    Interrupt::Cancelled => "sat.interrupt.cancelled",
+                })
+                .inc();
+            }
+        }
         if axmc_obs::tracing_active() {
             axmc_obs::emit(
                 axmc_obs::Event::new("sat.solve")
@@ -833,13 +882,37 @@ impl Solver {
         result
     }
 
+    /// Checks the wall-clock limits: the shared cancellation token (an
+    /// atomic load, cheap enough for every conflict) and the effective
+    /// per-call deadline.
+    #[inline]
+    fn wallclock_interrupt(&self, call_deadline: Option<Instant>) -> Option<Interrupt> {
+        if self.ctl.cancel_token().is_some_and(|t| t.is_cancelled()) {
+            return Some(Interrupt::Cancelled);
+        }
+        if call_deadline.is_some_and(|d| Instant::now() >= d) {
+            return Some(Interrupt::Deadline);
+        }
+        None
+    }
+
     /// The CDCL search loop behind [`Solver::solve_with_assumptions`].
     fn run_search(&mut self, assumptions: &[Lit]) -> SolveResult {
         self.stats.solves += 1;
+        self.last_interrupt = None;
         if !self.ok {
             self.log_conclusion(Some(Vec::new()), assumptions);
             return SolveResult::Unsat;
         }
+        // An already-cancelled token or expired deadline returns before
+        // any work: once an analysis is interrupted, every later phase
+        // that reuses the control bails out in microseconds.
+        if let Some(reason) = self.ctl.interrupted() {
+            self.last_interrupt = Some(reason);
+            self.log_conclusion(None, assumptions);
+            return SolveResult::Unknown;
+        }
+        let call_deadline = self.ctl.call_deadline();
         let start_conflicts = self.stats.conflicts;
         let start_props = self.stats.propagations;
         let mut restart_round: u64 = 0;
@@ -878,18 +951,39 @@ impl Solver {
                     }
                     self.decay_activities();
 
-                    if let Some(max) = self.budget.max_conflicts {
-                        if self.stats.conflicts - start_conflicts >= max {
+                    let spent_conflicts = self.stats.conflicts - start_conflicts;
+                    if let Some(max) = self.ctl.budget().max_conflicts() {
+                        if spent_conflicts >= max {
+                            self.last_interrupt = Some(Interrupt::Conflicts);
                             break 'outer SolveResult::Unknown;
                         }
                     }
-                    if let Some(max) = self.budget.max_propagations {
+                    if let Some(max) = self.ctl.budget().max_propagations() {
                         if self.stats.propagations - start_props >= max {
+                            self.last_interrupt = Some(Interrupt::Propagations);
                             break 'outer SolveResult::Unknown;
                         }
+                    }
+                    // Cancellation every conflict; the (pricier) clock
+                    // read amortized over DEADLINE_CHECK_CONFLICTS.
+                    let check_deadline = spent_conflicts.is_multiple_of(DEADLINE_CHECK_CONFLICTS);
+                    if let Some(reason) =
+                        self.wallclock_interrupt(if check_deadline { call_deadline } else { None })
+                    {
+                        self.last_interrupt = Some(reason);
+                        break 'outer SolveResult::Unknown;
                     }
                 } else {
                     // No conflict: maybe restart, reduce, then decide.
+                    // Propagation-heavy runs can go a long time without
+                    // conflicting; a decision-count-gated check keeps
+                    // them responsive to deadlines and cancellation too.
+                    if self.stats.decisions.is_multiple_of(DECISION_CHECK_INTERVAL) {
+                        if let Some(reason) = self.wallclock_interrupt(call_deadline) {
+                            self.last_interrupt = Some(reason);
+                            break 'outer SolveResult::Unknown;
+                        }
+                    }
                     if conflicts_this_round >= budget_limit {
                         self.stats.restarts += 1;
                         self.cancel_until(0);
@@ -1025,6 +1119,7 @@ fn luby(mut i: u64) -> u64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::ctl::CancelToken;
 
     fn lit(solver_vars: &[Var], dimacs: i64) -> Lit {
         let v = solver_vars[(dimacs.unsigned_abs() - 1) as usize];
@@ -1168,6 +1263,123 @@ mod tests {
         // Lifting the budget lets it finish.
         s.set_budget(Budget::unlimited());
         assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+
+    /// A pigeonhole instance PHP(n, n-1) for the interruption tests:
+    /// `n = 10` is large enough that no machine finishes it within a few
+    /// milliseconds; smaller sizes solve quickly when a test needs a
+    /// completed verdict.
+    fn pigeonhole(n: usize) -> Solver {
+        let h = n - 1;
+        let (mut s, v) = make(n * h);
+        let p = |i: usize, j: usize| v[i * h + j].positive();
+        for i in 0..n {
+            let holes: Vec<Lit> = (0..h).map(|j| p(i, j)).collect();
+            s.add_clause(&holes);
+        }
+        for j in 0..h {
+            for i1 in 0..n {
+                for i2 in (i1 + 1)..n {
+                    s.add_clause(&[!p(i1, j), !p(i2, j)]);
+                }
+            }
+        }
+        s
+    }
+
+    #[test]
+    fn budget_exhaustion_reports_the_interrupt_reason() {
+        let mut s = pigeonhole(10);
+        s.set_budget(Budget::unlimited().with_conflicts(1));
+        assert_eq!(s.solve(), SolveResult::Unknown);
+        assert_eq!(s.last_interrupt(), Some(Interrupt::Conflicts));
+        s.set_ctl(ResourceCtl::unlimited().with_budget(Budget::unlimited().with_propagations(1)));
+        assert_eq!(s.solve(), SolveResult::Unknown);
+        assert_eq!(s.last_interrupt(), Some(Interrupt::Propagations));
+    }
+
+    #[test]
+    fn expired_deadline_returns_unknown_immediately() {
+        let mut s = pigeonhole(10);
+        s.set_ctl(ResourceCtl::unlimited().with_timeout(std::time::Duration::ZERO));
+        let start = Instant::now();
+        assert_eq!(s.solve(), SolveResult::Unknown);
+        assert_eq!(s.last_interrupt(), Some(Interrupt::Deadline));
+        assert!(
+            start.elapsed() < std::time::Duration::from_secs(1),
+            "expired deadline must short-circuit the search"
+        );
+        // Conflict counters untouched: nothing ran.
+        assert_eq!(s.stats().conflicts, 0);
+    }
+
+    #[test]
+    fn raised_cancel_token_stops_the_search() {
+        let mut s = pigeonhole(10);
+        let token = CancelToken::new();
+        s.set_ctl(ResourceCtl::unlimited().with_cancel(token.clone()));
+        token.cancel();
+        assert_eq!(s.solve(), SolveResult::Unknown);
+        assert_eq!(s.last_interrupt(), Some(Interrupt::Cancelled));
+    }
+
+    #[test]
+    fn cancellation_from_another_thread_interrupts_a_running_solve() {
+        let mut s = pigeonhole(10);
+        let token = CancelToken::new();
+        s.set_ctl(ResourceCtl::unlimited().with_cancel(token.clone()));
+        let start = Instant::now();
+        let canceller = std::thread::spawn(move || {
+            std::thread::sleep(std::time::Duration::from_millis(30));
+            token.cancel();
+        });
+        let result = s.solve();
+        canceller.join().expect("canceller thread");
+        // Either the instance happened to finish first (Unsat) or the
+        // token stopped it; it must not run to the multi-second solve a
+        // PHP(10, 9) instance would otherwise take.
+        if result == SolveResult::Unknown {
+            assert_eq!(s.last_interrupt(), Some(Interrupt::Cancelled));
+        }
+        assert!(
+            start.elapsed() < std::time::Duration::from_secs(30),
+            "cancellation must stop the solve promptly"
+        );
+    }
+
+    #[test]
+    fn verdicts_clear_the_last_interrupt() {
+        // A solve that trips the budget...
+        let mut hard = pigeonhole(7);
+        hard.set_budget(Budget::unlimited().with_conflicts(1));
+        assert_eq!(hard.solve(), SolveResult::Unknown);
+        assert!(hard.last_interrupt().is_some());
+        // ...then completes once the limit is lifted: reason cleared.
+        hard.set_budget(Budget::unlimited());
+        assert_eq!(hard.solve(), SolveResult::Unsat);
+        assert_eq!(hard.last_interrupt(), None);
+    }
+
+    #[test]
+    fn generous_deadline_does_not_change_the_verdict() {
+        let mut plain = pigeonhole(7);
+        let mut governed = pigeonhole(7);
+        governed
+            .set_ctl(ResourceCtl::unlimited().with_timeout(std::time::Duration::from_secs(3600)));
+        assert_eq!(plain.solve(), governed.solve());
+        assert_eq!(governed.last_interrupt(), None);
+    }
+
+    #[test]
+    fn cloned_solvers_share_the_cancel_token() {
+        let token = CancelToken::new();
+        let mut a = pigeonhole(10);
+        a.set_ctl(ResourceCtl::unlimited().with_cancel(token.clone()));
+        let mut b = a.clone();
+        token.cancel();
+        assert_eq!(a.solve(), SolveResult::Unknown);
+        assert_eq!(b.solve(), SolveResult::Unknown);
+        assert_eq!(b.last_interrupt(), Some(Interrupt::Cancelled));
     }
 
     #[test]

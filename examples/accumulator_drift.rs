@@ -12,9 +12,8 @@
 //! Run with: `cargo run --release --example accumulator_drift`
 
 use axmc::circuit::{approx, generators};
-use axmc::mc::ProofResult;
 use axmc::seq::{accumulator, fir_moving_sum, registered_alu};
-use axmc::{CombAnalyzer, InductionOptions, SeqAnalyzer};
+use axmc::{CombAnalyzer, InductionOptions, SeqAnalyzer, Verdict};
 
 fn main() -> Result<(), axmc::AnalysisError> {
     let width = 8;
@@ -62,18 +61,18 @@ fn main() -> Result<(), axmc::AnalysisError> {
         simple_path: false,
         ..InductionOptions::default()
     };
-    match alu.prove_error_bound(comb_wce.value, &opts) {
-        ProofResult::Proved { k } => println!(
-            "  registered ALU: |error| <= {} PROVED for all cycles (k = {k})",
+    match alu.prove_error_bound(comb_wce.value, &opts)? {
+        Verdict::Proved => println!(
+            "  registered ALU: |error| <= {} PROVED for all cycles (k-induction)",
             comb_wce.value
         ),
         other => println!("  registered ALU: proof attempt returned {other:?}"),
     }
-    match alu.prove_error_bound(comb_wce.value - 1, &opts) {
-        ProofResult::Falsified(t) => println!(
+    match alu.prove_error_bound(comb_wce.value - 1, &opts)? {
+        Verdict::Refuted { witness } => println!(
             "  registered ALU: |error| <= {} refuted by a {}-cycle trace",
             comb_wce.value - 1,
-            t.len()
+            witness.len()
         ),
         other => println!("  registered ALU: refutation attempt returned {other:?}"),
     }

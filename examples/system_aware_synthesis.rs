@@ -43,7 +43,7 @@ fn main() -> Result<(), axmc::AnalysisError> {
     };
 
     // --- 1. Component-level search. ---
-    let comp = evolve(&golden, &base);
+    let comp = evolve(&golden, &base).expect("uncertified run");
     let comp_system = build(&comp.netlist);
     let comp_sys_wce = SeqAnalyzer::new(&golden_system, &comp_system)
         .worst_case_error_at(horizon)?
@@ -61,7 +61,7 @@ fn main() -> Result<(), axmc::AnalysisError> {
         horizon,
         budget: Budget::unlimited().with_conflicts(20_000),
     };
-    let sys = evolve_in_context(&golden, &context, &base);
+    let sys = evolve_in_context(&golden, &context, &base).expect("uncertified run");
     let sys_system = build(&sys.netlist);
     let sys_sys_wce = SeqAnalyzer::new(&golden_system, &sys_system)
         .worst_case_error_at(horizon)?

@@ -27,6 +27,34 @@ run cargo build --release --offline
 # diagnostic fails the build.
 run cargo run --release --offline --bin axmc -- lint --suite
 
+# Resource-governance smoke: a deliberately tiny deadline on a
+# table6-scale instance must exit with the dedicated "interrupted" code
+# (10), report a partial result on stdout, and never panic. Run in both
+# feature configurations.
+timeout_smoke() {
+    echo "== timeout smoke ($*) =="
+    local dir
+    dir=$(mktemp -d)
+    cargo run --release --offline "$@" --bin axmc -- \
+        gen --kind multiplier --width 16 --out "$dir/g.aag"
+    cargo run --release --offline "$@" --bin axmc -- \
+        gen --kind trunc-multiplier --width 16 --param 8 --out "$dir/c.aag"
+    local rc=0 start=$SECONDS
+    cargo run --release --offline "$@" --bin axmc -- \
+        analyze --golden "$dir/g.aag" --approx "$dir/c.aag" \
+        --timeout 200ms >"$dir/out.txt" 2>"$dir/err.txt" || rc=$?
+    cat "$dir/out.txt" "$dir/err.txt"
+    [[ $rc -eq 10 ]] || { echo "expected exit code 10, got $rc"; exit 1; }
+    grep -q "partial result" "$dir/out.txt" \
+        || { echo "no partial result reported"; exit 1; }
+    ! grep -q "panicked" "$dir/err.txt" || { echo "engine panicked"; exit 1; }
+    (( SECONDS - start <= 10 )) \
+        || { echo "interrupted run overshot its deadline"; exit 1; }
+    rm -rf "$dir"
+}
+timeout_smoke
+timeout_smoke --features proptest-tests
+
 # The certified-solve suite (DRAT proof logging + in-tree checker,
 # including the corrupted-proof rejection paths), in both feature
 # configurations.

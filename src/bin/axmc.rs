@@ -16,14 +16,49 @@ use axmc::aig::{aiger, Aig};
 use axmc::cgp::{threshold_to_wcre, wcre_to_threshold};
 use axmc::circuit::{approx, generators, AreaModel, Netlist};
 use axmc::core::{CombAnalyzer, SeqAnalyzer};
-use axmc::mc::{InductionOptions, ProofResult};
+use axmc::mc::InductionOptions;
 use axmc::obs::sink::{JsonlSink, TeeSink};
 use axmc::obs::{Event, Sink, Value};
-use axmc::{evolve, SearchOptions};
+use axmc::{evolve, AnalysisError, AnalysisOptions, ResourceCtl, SearchOptions, Verdict};
 use std::collections::HashMap;
 use std::process::ExitCode;
 use std::sync::Arc;
 use std::time::Duration;
+
+/// A command failure plus the process exit code it maps to (see the
+/// `EXIT CODES` section of the usage text).
+struct CliError {
+    code: u8,
+    message: String,
+}
+
+impl From<String> for CliError {
+    fn from(message: String) -> Self {
+        CliError { code: 1, message }
+    }
+}
+
+impl From<&str> for CliError {
+    fn from(message: &str) -> Self {
+        CliError {
+            code: 1,
+            message: message.to_string(),
+        }
+    }
+}
+
+impl From<AnalysisError> for CliError {
+    fn from(e: AnalysisError) -> Self {
+        let code = match &e {
+            AnalysisError::Interrupted(_) => 10,
+            AnalysisError::CertificateRejected { .. } => 11,
+        };
+        CliError {
+            code,
+            message: e.to_string(),
+        }
+    }
+}
 
 /// Exits with the conventional SIGPIPE status (128 + 13) instead of a
 /// panic backtrace when stdout's reader goes away (`axmc ... | head`).
@@ -92,8 +127,8 @@ fn main() -> ExitCode {
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
-            eprintln!("error: {e}");
-            ExitCode::FAILURE
+            eprintln!("error: {}", e.message);
+            ExitCode::from(e.code)
         }
     }
 }
@@ -103,15 +138,16 @@ axmc — precise error determination of approximated components with model check
 
 USAGE:
   axmc analyze --golden G.aag --approx C.aag [--horizon K] [--jobs N]
-               [--prove] [--average] [--certify] [--vcd F.vcd] [--metrics]
-               [--trace F.jsonl]
+               [--timeout D] [--query-timeout D] [--prove] [--average]
+               [--certify] [--vcd F.vcd] [--metrics] [--trace F.jsonl]
       Exact worst-case / bit-flip error of C against G. Sequential pairs
       are analyzed within K cycles (default 8); --prove additionally
       attempts an unbounded k-induction certificate at the measured WCE.
 
   axmc evolve --kind adder|multiplier --width N (--wcre P | --config F)
-              [--seconds S] [--seed X] [--jobs N] [--certify] [--out C.aag]
-              [--progress] [--metrics] [--trace F.jsonl]
+              [--seconds S] [--seed X] [--jobs N] [--timeout D]
+              [--query-timeout D] [--certify] [--out C.aag] [--progress]
+              [--metrics] [--trace F.jsonl]
       Verifiability-driven CGP synthesis of an approximate circuit whose
       worst-case relative error provably stays below P percent.
 
@@ -143,6 +179,17 @@ PARALLELISM:
                     are identical for every N — a fixed --seed reproduces
                     the same evolve trajectory byte for byte.
 
+RESOURCE GOVERNANCE:
+  --timeout D       wall-clock deadline for the whole command. D is a
+                    duration like '500ms', '30s', '2m', or plain seconds.
+                    An analysis that hits the deadline stops cleanly with
+                    a typed partial result carrying the tightest
+                    certified bounds reached (exit code 10); evolve
+                    returns the best verified circuit found so far.
+  --query-timeout D wall-clock cap for every individual solver call; the
+                    run continues past a timed-out query with whatever
+                    the query had certified.
+
 OBSERVABILITY:
   --metrics         print a summary table of solver/model-checker/search
                     metrics (counters, gauges, log2 histograms) at exit
@@ -150,7 +197,16 @@ OBSERVABILITY:
                     line) to F: SAT solves, BMC frames, induction rounds,
                     error-search probes, CGP progress and improvements
   --progress        (evolve) print a live one-line progress update at
-                    most four times a second";
+                    most four times a second
+
+EXIT CODES:
+  0    success
+  1    usage, I/O, or parse error
+  10   analysis interrupted (deadline, cancellation, or budget); a
+       partial result with the tightest certified bounds was reported
+  11   a certificate failed validation under --certify; the verdict
+       cannot be trusted
+  141  output pipe closed (conventional SIGPIPE status)";
 
 type Flags = HashMap<String, String>;
 
@@ -180,6 +236,8 @@ const ANALYZE_FLAGS: &[FlagSpec] = &[
     val("approx"),
     val("horizon"),
     val("jobs"),
+    val("timeout"),
+    val("query-timeout"),
     switch("prove"),
     switch("average"),
     switch("certify"),
@@ -196,6 +254,8 @@ const EVOLVE_FLAGS: &[FlagSpec] = &[
     val("seconds"),
     val("seed"),
     val("jobs"),
+    val("timeout"),
+    val("query-timeout"),
     val("out"),
     switch("certify"),
     switch("progress"),
@@ -346,6 +406,42 @@ fn numeric<T: std::str::FromStr>(opts: &Flags, name: &str, default: T) -> Result
     }
 }
 
+/// Parses a human duration: `500ms`, `30s`, `2m`, or a plain (possibly
+/// fractional) number of seconds.
+fn parse_duration(text: &str) -> Result<Duration, String> {
+    let trimmed = text.trim();
+    let (number, scale) = if let Some(n) = trimmed.strip_suffix("ms") {
+        (n, 1e-3)
+    } else if let Some(n) = trimmed.strip_suffix('s') {
+        (n, 1.0)
+    } else if let Some(n) = trimmed.strip_suffix('m') {
+        (n, 60.0)
+    } else {
+        (trimmed, 1.0)
+    };
+    let value: f64 = number
+        .trim()
+        .parse()
+        .map_err(|_| format!("invalid duration '{text}' (try '500ms', '30s', '2m')"))?;
+    if !value.is_finite() || value < 0.0 {
+        return Err(format!("invalid duration '{text}' (must be >= 0)"));
+    }
+    Ok(Duration::from_secs_f64(value * scale))
+}
+
+/// Builds the run's resource control from `--timeout` (whole-command
+/// deadline) and `--query-timeout` (per-solver-call cap).
+fn ctl_flags(opts: &Flags) -> Result<ResourceCtl, String> {
+    let mut ctl = ResourceCtl::unlimited();
+    if let Some(text) = opts.get("timeout") {
+        ctl = ctl.with_timeout(parse_duration(text)?);
+    }
+    if let Some(text) = opts.get("query-timeout") {
+        ctl = ctl.with_query_timeout(parse_duration(text)?);
+    }
+    Ok(ctl)
+}
+
 /// Parses `--jobs`: a positive worker count, defaulting to the machine's
 /// available parallelism. `--jobs 0` is a hard error, not a silent 1.
 fn jobs_flag(opts: &Flags) -> Result<usize, String> {
@@ -388,11 +484,26 @@ fn report_certificates(label: &str) {
     println!("{label}: {certified} UNSAT verdicts re-derived by the RUP/DRAT checker");
 }
 
-fn cmd_analyze(opts: &Flags) -> Result<(), String> {
+/// Converts an analysis failure into its exit-coded CLI error, printing
+/// the partial result of an interruption to stdout first so a timed-out
+/// run still reports the tightest certified bounds it reached.
+fn report_analysis_error(e: AnalysisError) -> CliError {
+    if let AnalysisError::Interrupted(partial) = &e {
+        println!("partial result       : {partial}");
+    }
+    CliError::from(e)
+}
+
+fn cmd_analyze(opts: &Flags) -> Result<(), CliError> {
     // Validate the cheap flags before touching the filesystem.
     let horizon: usize = numeric(opts, "horizon", 8)?;
     let jobs = jobs_flag(opts)?;
+    let ctl = ctl_flags(opts)?;
     let certify = certify_flag(opts);
+    let options = AnalysisOptions::new()
+        .with_ctl(ctl)
+        .with_jobs(jobs)
+        .with_certify(certify);
     let golden = load_aig(required(opts, "golden")?)?;
     let approx = load_aig(required(opts, "approx")?)?;
     if golden.num_inputs() != approx.num_inputs() || golden.num_outputs() != approx.num_outputs() {
@@ -401,12 +512,10 @@ fn cmd_analyze(opts: &Flags) -> Result<(), String> {
     let sequential = golden.num_latches() > 0 || approx.num_latches() > 0;
     if sequential {
         println!("sequential analysis (horizon {horizon} cycles, {jobs} jobs)");
-        let analyzer = SeqAnalyzer::new(&golden, &approx)
-            .with_jobs(jobs)
-            .with_certify(certify);
+        let analyzer = SeqAnalyzer::new(&golden, &approx).with_options(options);
         let earliest = analyzer
             .earliest_error(horizon + 1)
-            .map_err(|e| e.to_string())?;
+            .map_err(report_analysis_error)?;
         match earliest.cycle {
             Some(c) => println!("earliest error cycle : {c}"),
             None => println!("earliest error cycle : none within horizon"),
@@ -419,44 +528,46 @@ fn cmd_analyze(opts: &Flags) -> Result<(), String> {
         }
         let wce = analyzer
             .worst_case_error_at(horizon)
-            .map_err(|e| e.to_string())?;
+            .map_err(report_analysis_error)?;
         println!(
             "worst-case error@k   : {} ({} probes, {} conflicts)",
             wce.value, wce.sat_calls, wce.conflicts
         );
         let bf = analyzer
             .bit_flip_error_at(horizon)
-            .map_err(|e| e.to_string())?;
+            .map_err(report_analysis_error)?;
         println!("bit-flip error@k     : {}", bf.value);
         if opts.contains_key("prove") {
-            let verdict = analyzer.prove_error_bound(
-                wce.value,
-                &InductionOptions {
-                    max_k: 4,
-                    simple_path: false,
-                    ..InductionOptions::default()
-                },
-            );
+            let verdict = analyzer
+                .prove_error_bound(
+                    wce.value,
+                    &InductionOptions {
+                        max_k: 4,
+                        simple_path: false,
+                        ..InductionOptions::default()
+                    },
+                )
+                .map_err(report_analysis_error)?;
             match verdict {
-                ProofResult::Proved { k } => {
+                Verdict::Proved => {
                     println!(
-                        "unbounded bound      : |error| <= {} proved (k = {k})",
+                        "unbounded bound      : |error| <= {} proved (k-induction)",
                         wce.value
                     )
                 }
-                ProofResult::Falsified(t) => println!(
+                Verdict::Refuted { witness } => println!(
                     "unbounded bound      : exceeded in a {}-cycle run (error accumulates)",
-                    t.len()
+                    witness.len()
                 ),
-                ProofResult::Unknown => {
-                    println!("unbounded bound      : not k-inductive (unknown)")
+                Verdict::Interrupted { best_so_far } => {
+                    println!("unbounded bound      : undecided ({best_so_far})")
                 }
             }
         }
     } else {
         println!("combinational analysis");
-        let analyzer = CombAnalyzer::new(&golden, &approx).with_certify(certify);
-        let wce = analyzer.worst_case_error().map_err(|e| e.to_string())?;
+        let analyzer = CombAnalyzer::new(&golden, &approx).with_options(options);
+        let wce = analyzer.worst_case_error().map_err(report_analysis_error)?;
         println!(
             "worst-case error     : {} ({} probes, {} conflicts)",
             wce.value, wce.sat_calls, wce.conflicts
@@ -465,11 +576,11 @@ fn cmd_analyze(opts: &Flags) -> Result<(), String> {
             "worst-case rel error : {:.4} %",
             threshold_to_wcre(wce.value, golden.num_outputs())
         );
-        let bf = analyzer.bit_flip_error().map_err(|e| e.to_string())?;
+        let bf = analyzer.bit_flip_error().map_err(report_analysis_error)?;
         println!("bit-flip error       : {}", bf.value);
         let msb = analyzer
             .most_significant_error_bit()
-            .map_err(|e| e.to_string())?;
+            .map_err(report_analysis_error)?;
         match msb {
             Some(bit) => println!("MSB error bit        : {bit}"),
             None => println!("MSB error bit        : none (equivalent)"),
@@ -504,16 +615,17 @@ fn cmd_analyze(opts: &Flags) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_evolve(opts: &Flags) -> Result<(), String> {
+fn cmd_evolve(opts: &Flags) -> Result<(), CliError> {
     let kind = required(opts, "kind")?;
     let width: usize = numeric(opts, "width", 8)?;
     let seed: u64 = numeric(opts, "seed", 1)?;
     let jobs = jobs_flag(opts)?;
+    let ctl = ctl_flags(opts)?;
     let certify = certify_flag(opts);
     let golden: Netlist = match kind {
         "adder" => generators::ripple_carry_adder(width),
         "multiplier" => generators::array_multiplier(width),
-        other => return Err(format!("unknown --kind '{other}' (adder|multiplier)")),
+        other => return Err(format!("unknown --kind '{other}' (adder|multiplier)").into()),
     };
     // Either a classic CGP configuration file or --wcre/--seconds flags.
     let (options, wcre) = if let Some(path) = opts.get("config") {
@@ -529,6 +641,7 @@ fn cmd_evolve(opts: &Flags) -> Result<(), String> {
         options.extra_cols = 4;
         options.jobs = jobs;
         options.certify = certify;
+        options.ctl = ctl;
         (options, cfg.wcre_percent)
     } else {
         let wcre: f64 = numeric(opts, "wcre", 1.0)?;
@@ -541,6 +654,7 @@ fn cmd_evolve(opts: &Flags) -> Result<(), String> {
             extra_cols: 4,
             jobs,
             certify,
+            ctl,
             ..SearchOptions::default()
         };
         (options, wcre)
@@ -549,7 +663,10 @@ fn cmd_evolve(opts: &Flags) -> Result<(), String> {
         "evolving {kind} (width {width}) under WCRE <= {wcre}% (threshold {}), {:?}, {jobs} jobs",
         options.threshold, options.time_limit
     );
-    let result = evolve(&golden, &options);
+    let result = evolve(&golden, &options)?;
+    if let Some(reason) = result.stats.interrupt {
+        println!("note: search interrupted ({reason}); reporting the best verified circuit found");
+    }
     println!(
         "area: {:.1} -> {:.1} um2 ({:.1} % of exact), {} improvements, {} UNSAT certificates",
         result.golden_area,
@@ -568,7 +685,7 @@ fn cmd_evolve(opts: &Flags) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_gen(opts: &Flags) -> Result<(), String> {
+fn cmd_gen(opts: &Flags) -> Result<(), CliError> {
     let kind = required(opts, "kind")?;
     let width: usize = numeric(opts, "width", 8)?;
     let param: usize = numeric(opts, "param", width / 2)?;
@@ -582,7 +699,7 @@ fn cmd_gen(opts: &Flags) -> Result<(), String> {
         "trunc-multiplier" => approx::truncated_multiplier(width, param),
         "optrunc-multiplier" => approx::operand_truncated_multiplier(width, param),
         "kulkarni-multiplier" => approx::kulkarni_multiplier(width),
-        other => return Err(format!("unknown --kind '{other}'")),
+        other => return Err(format!("unknown --kind '{other}'").into()),
     };
     let path = required(opts, "out")?;
     save_aig(path, &netlist.to_aig())?;
@@ -607,7 +724,7 @@ fn cmd_gen(opts: &Flags) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_stats(opts: &Flags) -> Result<(), String> {
+fn cmd_stats(opts: &Flags) -> Result<(), CliError> {
     let aig = load_aig(required(opts, "circuit")?)?;
     println!("inputs  : {}", aig.num_inputs());
     println!("outputs : {}", aig.num_outputs());
@@ -617,7 +734,7 @@ fn cmd_stats(opts: &Flags) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_lint(opts: &Flags) -> Result<(), String> {
+fn cmd_lint(opts: &Flags) -> Result<(), CliError> {
     use axmc::check::{lint_aig, lint_netlist, lint_pair, Diagnostic, Severity};
     if !opts.contains_key("circuit") && !opts.contains_key("suite") {
         return Err("pass --circuit C.aag, --suite, or both".into());
@@ -659,7 +776,7 @@ fn cmd_lint(opts: &Flags) -> Result<(), String> {
     }
     println!("linted {targets} structures: {errors} errors, {warnings} warnings");
     if errors > 0 {
-        return Err(format!("lint found {errors} error-severity diagnostics"));
+        return Err(format!("lint found {errors} error-severity diagnostics").into());
     }
     Ok(())
 }

@@ -69,6 +69,7 @@ pub use axmc_seq as seq;
 
 pub use axmc_cgp::{evolve, SearchOptions, SearchResult};
 pub use axmc_core::{
-    AnalysisError, CombAnalyzer, ErrorGrowth, ErrorProfile, ErrorReport, SeqAnalyzer,
+    AnalysisError, AnalysisOptions, Budget, CancelToken, CombAnalyzer, ErrorGrowth, ErrorProfile,
+    ErrorReport, Interrupt, Partial, ResourceCtl, SeqAnalyzer, Verdict,
 };
-pub use axmc_mc::{Bmc, BmcResult, InductionOptions, ProofResult};
+pub use axmc_mc::{Bmc, BmcResult, CertificateRejected, InductionOptions, ProofResult};

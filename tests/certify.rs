@@ -5,7 +5,7 @@
 
 use axmc::check::{check_certificate, ProofError};
 use axmc::circuit::{approx, generators};
-use axmc::core::SeqAnalyzer;
+use axmc::core::{AnalysisOptions, SeqAnalyzer};
 use axmc::sat::{Certificate, Lit, ProofStep, SolveResult, Solver, Var};
 use axmc::seq::accumulator;
 
@@ -145,7 +145,8 @@ fn certified_sequential_analysis_suite() {
         let approximate = accumulator(&approx_comp, 4);
 
         let plain = SeqAnalyzer::new(&golden, &approximate);
-        let certified = SeqAnalyzer::new(&golden, &approximate).with_certify(true);
+        let certified = SeqAnalyzer::new(&golden, &approximate)
+            .with_options(AnalysisOptions::new().with_certify(true));
 
         let e1 = plain.earliest_error(4).expect("analysis");
         let e2 = certified.earliest_error(4).expect("certified analysis");

@@ -334,6 +334,72 @@ fn evolve_results_are_identical_across_jobs() {
 }
 
 #[test]
+fn timeout_yields_partial_result_and_exit_code_10() {
+    let g = tmp("to-g.aag");
+    let c = tmp("to-c.aag");
+    for (kind, path, extra) in [
+        ("adder", &g, None),
+        ("trunc-adder", &c, Some(["--param", "2"])),
+    ] {
+        let mut cmd = axmc();
+        cmd.args(["gen", "--kind", kind, "--width", "5"]);
+        if let Some(extra) = extra {
+            cmd.args(extra);
+        }
+        let out = cmd.arg("--out").arg(path).output().expect("spawn");
+        assert!(out.status.success());
+    }
+
+    // An already-expired deadline: the analysis must stop before the first
+    // solver call, report the trivial partial result, and exit 10 — never
+    // panic.
+    let out = axmc()
+        .args(["analyze", "--golden"])
+        .arg(&g)
+        .arg("--approx")
+        .arg(&c)
+        .args(["--timeout", "0s"])
+        .output()
+        .expect("spawn");
+    assert_eq!(out.status.code(), Some(10), "expected the interrupted code");
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("partial result"), "{text}");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("error:"), "{err}");
+    assert!(!err.contains("panicked"), "{err}");
+
+    // A generous deadline never trips: output matches the untimed run.
+    let out = axmc()
+        .args(["analyze", "--golden"])
+        .arg(&g)
+        .arg("--approx")
+        .arg(&c)
+        .args(["--timeout", "2m"])
+        .output()
+        .expect("spawn");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("worst-case error     : 6"), "{text}");
+}
+
+#[test]
+fn invalid_durations_are_rejected() {
+    for bad in ["nope", "1h30", ""] {
+        let out = axmc()
+            .args(["analyze", "--golden", "g.aag", "--timeout", bad])
+            .output()
+            .expect("spawn");
+        assert!(!out.status.success(), "duration '{bad}' was accepted");
+        let err = String::from_utf8_lossy(&out.stderr);
+        assert!(err.contains("invalid duration"), "{err}");
+    }
+}
+
+#[test]
 fn help_prints_usage() {
     let out = axmc().args(["--help"]).output().expect("spawn");
     assert!(out.status.success());

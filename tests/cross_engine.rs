@@ -63,7 +63,7 @@ proptest! {
         // Earliest violation per BMC.
         let mut bmc_depth = None;
         for k in 0..=horizon {
-            if matches!(bmc.check_at(k), BmcResult::Cex(_)) {
+            if matches!(bmc.check_at(k), Ok(BmcResult::Cex(_))) {
                 bmc_depth = Some(k);
                 break;
             }
@@ -79,8 +79,8 @@ proptest! {
         let scan = a.check_up_to(horizon);
         let disj = b.check_any_up_to(horizon);
         prop_assert_eq!(
-            matches!(scan, BmcResult::Cex(_)),
-            matches!(disj, BmcResult::Cex(_))
+            matches!(scan, Ok(BmcResult::Cex(_))),
+            matches!(disj, Ok(BmcResult::Cex(_)))
         );
     }
 
@@ -92,25 +92,26 @@ proptest! {
             ..InductionOptions::default()
         };
         match prove_invariant(&aig, &opts) {
-            ProofResult::Proved { .. } => {
+            Ok(ProofResult::Proved { .. }) => {
                 // Exhaustive search over the full (tiny) state space must
                 // confirm: bad is unreachable at ANY depth.
                 let r = explicit_reach(&aig, usize::MAX);
                 prop_assert_eq!(r.bad_depth, None, "proof contradicted by explicit search");
             }
-            ProofResult::Falsified(trace) => {
+            Ok(ProofResult::Falsified(trace)) => {
                 // The trace must actually reach the bad output.
                 let outs = trace.final_outputs(&aig);
                 prop_assert!(outs[0], "falsification trace does not violate");
             }
-            ProofResult::Unknown => {}
+            Ok(ProofResult::Unknown { .. }) => {}
+            Err(e) => prop_assert!(false, "uncertified run rejected a certificate: {e}"),
         }
     }
 
     #[test]
     fn cex_traces_always_replay_to_violation(aig in random_machine()) {
         let mut bmc = Bmc::new(&aig);
-        if let BmcResult::Cex(trace) = bmc.check_any_up_to(6) {
+        if let Ok(BmcResult::Cex(trace)) = bmc.check_any_up_to(6) {
             let replays = trace.replay(&aig);
             prop_assert!(
                 replays.iter().any(|outs| outs[0]),
@@ -134,9 +135,9 @@ fn counter_example_machine_consistency() {
 
     assert_eq!(explicit_reach(&aig, 50).bad_depth, Some(5));
     let mut bmc = Bmc::new(&aig);
-    assert!(matches!(bmc.check_any_up_to(5), BmcResult::Cex(_)));
+    assert!(matches!(bmc.check_any_up_to(5), Ok(BmcResult::Cex(_))));
     assert!(matches!(
         prove_invariant(&aig, &InductionOptions::default()),
-        ProofResult::Falsified(_)
+        Ok(ProofResult::Falsified(_))
     ));
 }

@@ -21,7 +21,7 @@
 use axmc::cgp::{evolve_in_context, SequentialContext, Verifier};
 use axmc::circuit::{approx, generators};
 use axmc::sat::Budget;
-use axmc::{evolve, SearchOptions, SeqAnalyzer};
+use axmc::{evolve, AnalysisOptions, SearchOptions, SeqAnalyzer};
 use std::time::Duration;
 
 /// The "many workers" side of every comparison (`AXMC_TEST_JOBS`, default 8).
@@ -57,11 +57,11 @@ fn evolve_trajectory_is_identical_across_jobs() {
     for seed in [3, 17] {
         let mut serial_opts = cgp_options(seed);
         serial_opts.jobs = 1;
-        let serial = evolve(&golden, &serial_opts);
+        let serial = evolve(&golden, &serial_opts).unwrap();
         for jobs in [2, test_jobs()] {
             let mut par_opts = cgp_options(seed);
             par_opts.jobs = jobs;
-            let par = evolve(&golden, &par_opts);
+            let par = evolve(&golden, &par_opts).unwrap();
             assert_eq!(
                 serial.best.genes(),
                 par.best.genes(),
@@ -89,10 +89,10 @@ fn evolve_in_context_trajectory_is_identical_across_jobs() {
     serial_opts.threshold = 4;
     serial_opts.max_generations = 30;
     serial_opts.jobs = 1;
-    let serial = evolve_in_context(&golden, &context, &serial_opts);
+    let serial = evolve_in_context(&golden, &context, &serial_opts).unwrap();
     let mut par_opts = serial_opts.clone();
     par_opts.jobs = test_jobs();
-    let par = evolve_in_context(&golden, &context, &par_opts);
+    let par = evolve_in_context(&golden, &context, &par_opts).unwrap();
     assert_eq!(serial.best.genes(), par.best.genes());
     assert_eq!(serial.area, par.area);
     let mut a = serial.stats.clone();
@@ -110,7 +110,7 @@ fn pareto_front_is_identical_across_jobs() {
         let mut base = cgp_options(5);
         base.max_generations = 20;
         base.jobs = jobs;
-        axmc::cgp::pareto_front(&golden, &thresholds, &base)
+        axmc::cgp::pareto_front(&golden, &thresholds, &base).unwrap()
     };
     let serial = front(1);
     let parallel = front(test_jobs());
@@ -130,8 +130,10 @@ fn seq_analyzer_values_are_identical_across_jobs() {
     let cheap = axmc::seq::accumulator(&approx::lower_or_adder(width, 2), width);
     let horizon = 4;
 
-    let serial = SeqAnalyzer::new(&golden, &cheap).with_jobs(1);
-    let parallel = SeqAnalyzer::new(&golden, &cheap).with_jobs(test_jobs());
+    let serial =
+        SeqAnalyzer::new(&golden, &cheap).with_options(AnalysisOptions::new().with_jobs(1));
+    let parallel = SeqAnalyzer::new(&golden, &cheap)
+        .with_options(AnalysisOptions::new().with_jobs(test_jobs()));
 
     // Portfolio probing visits different thresholds, so only the exact
     // metric values (not the sat_calls/conflicts bookkeeping) must agree.
@@ -167,11 +169,11 @@ fn seq_analyzer_parallel_runs_are_reproducible() {
     let cheap = axmc::seq::accumulator(&approx::truncated_adder(width, 2), width);
     let jobs = test_jobs();
     let a = SeqAnalyzer::new(&golden, &cheap)
-        .with_jobs(jobs)
+        .with_options(AnalysisOptions::new().with_jobs(jobs))
         .worst_case_error_at(3)
         .unwrap();
     let b = SeqAnalyzer::new(&golden, &cheap)
-        .with_jobs(jobs)
+        .with_options(AnalysisOptions::new().with_jobs(jobs))
         .worst_case_error_at(3)
         .unwrap();
     assert_eq!(a, b);

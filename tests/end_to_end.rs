@@ -7,7 +7,7 @@ use axmc::core::{exhaustive_stats, CombAnalyzer, SeqAnalyzer};
 use axmc::mc::{explicit_reach, Trace};
 use axmc::miter::sequential_diff_miter;
 use axmc::seq::{accumulator, registered_alu, wide_accumulator};
-use axmc::{evolve, InductionOptions, ProofResult, SearchOptions};
+use axmc::{evolve, InductionOptions, SearchOptions, Verdict};
 use std::time::Duration;
 
 #[test]
@@ -55,6 +55,7 @@ fn wce_witness_traces_replay_correctly() {
     let trace = analyzer
         .check_error_exceeds(0, 3)
         .unwrap()
+        .witness()
         .expect("diverges");
     assert!(analyzer.trace_error(&trace) > 0);
     // A manually-constructed all-zero trace shows no error.
@@ -79,11 +80,11 @@ fn unbounded_proof_matches_combinational_bound_on_pipeline() {
     };
     assert!(matches!(
         analyzer.prove_error_bound(bound, &opts),
-        ProofResult::Proved { .. }
+        Ok(Verdict::Proved)
     ));
     assert!(matches!(
         analyzer.prove_error_bound(bound - 1, &opts),
-        ProofResult::Falsified(_)
+        Ok(Verdict::Refuted { .. })
     ));
 }
 
@@ -100,7 +101,7 @@ fn evolved_circuit_certificate_survives_independent_check() {
         extra_cols: 4,
         ..SearchOptions::default()
     };
-    let result = evolve(&golden_nl, &options);
+    let result = evolve(&golden_nl, &options).unwrap();
     let golden = golden_nl.to_aig();
     let evolved = result.netlist.to_aig();
     let exact = exhaustive_stats(&golden, &evolved);
@@ -127,7 +128,7 @@ fn evolved_component_behaves_in_system_context() {
         extra_cols: 4,
         ..SearchOptions::default()
     };
-    let result = evolve(&golden_nl, &options);
+    let result = evolve(&golden_nl, &options).unwrap();
     // The evolved netlist may have fewer gates but keeps the interface.
     let golden_sys = accumulator(&golden_nl, width);
     let evolved_sys = accumulator(&result.netlist, width);
@@ -150,5 +151,5 @@ fn umbrella_reexports_are_usable() {
     let c = approx::truncated_adder(4, 1).to_aig();
     let miter = axmc::miter::strict_miter(&g, &c);
     let mut bmc = axmc::Bmc::new(&miter);
-    assert!(matches!(bmc.check_at(0), axmc::BmcResult::Cex(_)));
+    assert!(matches!(bmc.check_at(0), Ok(axmc::BmcResult::Cex(_))));
 }

@@ -58,10 +58,10 @@ proptest! {
         let cand = cand_nl.to_aig();
         let analyzer = CombAnalyzer::new(&golden, &cand);
         let wce = analyzer.worst_case_error().unwrap().value;
-        prop_assert!(analyzer.check_error_exceeds(wce).unwrap().is_none());
+        prop_assert!(analyzer.check_error_exceeds(wce).unwrap().is_proved());
         if wce > 0 {
-            let witness = analyzer.check_error_exceeds(wce - 1).unwrap();
-            prop_assert!(witness.is_some());
+            let verdict = analyzer.check_error_exceeds(wce - 1).unwrap();
+            prop_assert!(verdict.is_refuted());
         }
     }
 
