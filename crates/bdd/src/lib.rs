@@ -3,12 +3,21 @@
 //!
 //! BDDs give a *canonical* representation of Boolean functions, so exact
 //! model counting — and hence exact **average-case** error metrics (mean
-//! absolute error, error rate) — falls out directly. Their well-known
-//! limitation is equally relevant here: adder-class functions have
-//! compact BDDs, while multiplier outputs blow up exponentially under
-//! every variable order. This crate exposes the node budget explicitly
+//! absolute error, error rate) — falls out directly, and the worst-case
+//! error falls out of characteristic-function maximization
+//! ([`Manager::max_word`]). Their well-known limitation is equally
+//! relevant here: adder-class functions have compact BDDs, while
+//! multiplier outputs blow up exponentially under every variable order.
+//! This crate exposes the node budget explicitly
 //! ([`BuildBddError::SizeLimit`]) so callers can fall back to the SAT
-//! engines, reproducing the classic division of labour.
+//! engines, reproducing the classic division of labour — which is
+//! exactly what `axmc-core`'s unified `Backend` does (see
+//! `docs/backends.md`).
+//!
+//! Long computations are governable: [`Manager::with_ctl`] attaches an
+//! `axmc_sat::ResourceCtl` whose deadline/cancellation are observed
+//! cooperatively, so a BDD engine can race a SAT engine in a portfolio
+//! and be stopped the moment the other side finishes.
 //!
 //! # Examples
 //!
@@ -19,7 +28,8 @@
 //! let a = m.var(0);
 //! let b = m.var(1);
 //! let f = m.xor(a, b);
-//! assert_eq!(m.count_sat(f), 2); // two of four assignments satisfy XOR
+//! assert_eq!(m.count_sat(f)?, 2); // two of four assignments satisfy XOR
+//! # Ok::<(), axmc_bdd::BuildBddError>(())
 //! ```
 
 #![forbid(unsafe_code)]
@@ -28,5 +38,8 @@
 mod manager;
 mod metrics;
 
-pub use crate::manager::{interleaved_order, BuildBddError, Manager, NodeId};
-pub use crate::metrics::{exact_error_rate, exact_mae, BddErrorStats};
+pub use crate::manager::{interleaved_order, BuildBddError, Manager, NodeId, MAX_COUNT_VARS};
+pub use crate::metrics::{
+    exact_error_rate, exact_error_rate_with, exact_mae, exact_mae_with, two_operand_order,
+    BddErrorStats, BddRateStats,
+};

@@ -2,8 +2,20 @@
 //! and AIG import under a node budget.
 
 use axmc_aig::{Aig, Node};
+use axmc_sat::{Interrupt, ResourceCtl};
 use std::collections::HashMap;
 use std::fmt;
+
+/// Model counting over more than this many variables can overflow the
+/// `u128` accumulator (a count over `n` variables reaches `2^n`), so the
+/// counting entry points refuse wider managers with
+/// [`BuildBddError::WidthLimit`].
+pub const MAX_COUNT_VARS: usize = 127;
+
+/// How many BDD operations run between cooperative [`ResourceCtl`]
+/// checks. Checks involve an `Instant::now()` call when a deadline is
+/// set, so they are amortized over a block of cheap hash-table ops.
+const CTL_POLL_INTERVAL: u64 = 1024;
 
 /// A node handle in a [`Manager`].
 ///
@@ -34,7 +46,7 @@ struct BddNode {
     high: NodeId,
 }
 
-/// Error produced when an import exceeds the node budget.
+/// Error produced when a BDD operation cannot complete.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum BuildBddError {
     /// The BDD grew past the configured node limit (the classic blow-up,
@@ -43,6 +55,17 @@ pub enum BuildBddError {
         /// The limit that was exceeded.
         limit: usize,
     },
+    /// The function is too wide for exact `u128` model counting: counts
+    /// over more than [`MAX_COUNT_VARS`] variables can exceed
+    /// `u128::MAX`, so rather than silently overflowing the counting
+    /// entry points return this error.
+    WidthLimit {
+        /// The variable (or bit) count that exceeded the range.
+        vars: usize,
+    },
+    /// The attached [`ResourceCtl`] interrupted the computation
+    /// (deadline expired or cancellation token raised).
+    Interrupted(Interrupt),
 }
 
 impl fmt::Display for BuildBddError {
@@ -50,6 +73,15 @@ impl fmt::Display for BuildBddError {
         match self {
             BuildBddError::SizeLimit { limit } => {
                 write!(f, "bdd exceeded the node limit of {limit}")
+            }
+            BuildBddError::WidthLimit { vars } => {
+                write!(
+                    f,
+                    "{vars} variables exceed the exact u128 counting range of {MAX_COUNT_VARS}"
+                )
+            }
+            BuildBddError::Interrupted(reason) => {
+                write!(f, "bdd computation interrupted: {reason}")
             }
         }
     }
@@ -73,7 +105,7 @@ impl std::error::Error for BuildBddError {}
 /// let bc = m.and(b, c);
 /// let t = m.or(ab, ac);
 /// let maj = m.or(t, bc);
-/// assert_eq!(m.count_sat(maj), 4);
+/// assert_eq!(m.count_sat(maj).unwrap(), 4);
 /// ```
 #[derive(Clone, Debug)]
 pub struct Manager {
@@ -86,6 +118,11 @@ pub struct Manager {
     level_of: Vec<u32>,
     /// Inverse permutation: `input_at[level] = input index`.
     input_at: Vec<u32>,
+    /// Cooperative resource governance: deadline/cancellation observed
+    /// every `CTL_POLL_INTERVAL` operations.
+    ctl: ResourceCtl,
+    /// Operation counter driving the amortized ctl poll.
+    ops: u64,
 }
 
 impl Manager {
@@ -106,14 +143,47 @@ impl Manager {
             node_limit: usize::MAX,
             level_of: (0..num_vars as u32).collect(),
             input_at: (0..num_vars as u32).collect(),
+            ctl: ResourceCtl::unlimited(),
+            ops: 0,
         }
     }
 
     /// Sets a node budget; operations exceeding it return
     /// [`BuildBddError::SizeLimit`] from the fallible entry points.
+    ///
+    /// The limit is clamped to hold at least the two terminals and one
+    /// node per variable, so single-variable functions always build and
+    /// degradation happens on real work, never in [`Manager::var`].
     pub fn with_node_limit(mut self, limit: usize) -> Self {
-        self.node_limit = limit;
+        self.node_limit = limit.max(2 + self.num_vars);
         self
+    }
+
+    /// Attaches a resource control. The manager observes the control's
+    /// wall-clock deadline and cancellation token (checked cooperatively
+    /// every `CTL_POLL_INTERVAL` operations); the deterministic
+    /// conflict budget is a SAT-engine concept and is ignored here — the
+    /// BDD analogue of a budget is the node limit.
+    pub fn with_ctl(mut self, ctl: ResourceCtl) -> Self {
+        self.ctl = ctl;
+        self
+    }
+
+    /// Replaces the attached resource control (see [`Manager::with_ctl`]).
+    pub fn set_ctl(&mut self, ctl: ResourceCtl) {
+        self.ctl = ctl;
+    }
+
+    /// Amortized cooperative interrupt check, called from the fallible
+    /// operation entry points.
+    fn poll_ctl(&mut self) -> Result<(), BuildBddError> {
+        self.ops = self.ops.wrapping_add(1);
+        if self.ops.is_multiple_of(CTL_POLL_INTERVAL) {
+            if let Some(reason) = self.ctl.interrupted() {
+                return Err(BuildBddError::Interrupted(reason));
+            }
+        }
+        Ok(())
     }
 
     /// Sets the variable order: `order[input_index] = level` (level 0 is
@@ -202,8 +272,11 @@ impl Manager {
     ///
     /// # Errors
     ///
-    /// [`BuildBddError::SizeLimit`] under a node budget.
+    /// [`BuildBddError::SizeLimit`] under a node budget, or
+    /// [`BuildBddError::Interrupted`] when an attached [`ResourceCtl`]
+    /// fires.
     pub fn ite(&mut self, f: NodeId, g: NodeId, h: NodeId) -> Result<NodeId, BuildBddError> {
+        self.poll_ctl()?;
         // Terminal cases.
         if f == NodeId::TRUE {
             return Ok(g);
@@ -294,7 +367,45 @@ impl Manager {
     }
 
     /// Counts satisfying assignments over all `num_vars` variables.
-    pub fn count_sat(&self, f: NodeId) -> u128 {
+    ///
+    /// The count is exact: canonicity means every satisfying assignment
+    /// is counted exactly once, with skipped levels contributing a
+    /// factor of two each.
+    ///
+    /// # Errors
+    ///
+    /// [`BuildBddError::WidthLimit`] when the manager has more than
+    /// [`MAX_COUNT_VARS`] variables — a count over `n` variables can
+    /// reach `2^n`, which overflows the `u128` accumulator past 127.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use axmc_bdd::Manager;
+    ///
+    /// // f = a XOR b over three variables: half the 2^3 assignments.
+    /// let mut m = Manager::new(3);
+    /// let a = m.var(0);
+    /// let b = m.var(1);
+    /// let f = m.xor(a, b);
+    /// assert_eq!(m.count_sat(f)?, 4);
+    ///
+    /// // Wider than 127 variables the exact count may not fit in u128,
+    /// // so counting refuses with a typed width-limit error.
+    /// use axmc_bdd::{BuildBddError, NodeId};
+    /// let wide = Manager::new(128);
+    /// assert!(matches!(
+    ///     wide.count_sat(NodeId::TRUE),
+    ///     Err(BuildBddError::WidthLimit { vars: 128 })
+    /// ));
+    /// # Ok::<(), axmc_bdd::BuildBddError>(())
+    /// ```
+    pub fn count_sat(&self, f: NodeId) -> Result<u128, BuildBddError> {
+        if self.num_vars > MAX_COUNT_VARS {
+            return Err(BuildBddError::WidthLimit {
+                vars: self.num_vars,
+            });
+        }
         let mut cache: HashMap<NodeId, u128> = HashMap::new();
         let total_vars = self.num_vars as u32;
         // count(f) over variables var_of(f)..num_vars, then scale.
@@ -320,7 +431,55 @@ impl Manager {
         }
         let c = go(self, f, &mut cache, total_vars);
         let top_skip = self.var_of(f).min(total_vars);
-        c << top_skip
+        Ok(c << top_skip)
+    }
+
+    /// Maximizes the unsigned word formed by `bits` (LSB first) over all
+    /// input assignments, by characteristic-function narrowing: walking
+    /// MSB-down, bit `i` can be 1 exactly when `constraint AND bits[i]`
+    /// is satisfiable, and committing to it conjoins that product into
+    /// the constraint. This is the BDD route to the worst-case error —
+    /// apply it to the bits of `|golden - candidate|`.
+    ///
+    /// An empty `bits` slice yields 0.
+    ///
+    /// # Errors
+    ///
+    /// [`BuildBddError::WidthLimit`] for words wider than 128 bits,
+    /// [`BuildBddError::SizeLimit`] under a node budget, or
+    /// [`BuildBddError::Interrupted`] when an attached [`ResourceCtl`]
+    /// fires.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use axmc_bdd::Manager;
+    ///
+    /// // The 2-bit word (b, a AND b) peaks at 0b11 when a = b = 1.
+    /// let mut m = Manager::new(2);
+    /// let a = m.var(0);
+    /// let b = m.var(1);
+    /// let hi = m.and(a, b);
+    /// assert_eq!(m.max_word(&[b, hi])?, 0b11);
+    /// # Ok::<(), axmc_bdd::BuildBddError>(())
+    /// ```
+    pub fn max_word(&mut self, bits: &[NodeId]) -> Result<u128, BuildBddError> {
+        if bits.len() > 128 {
+            return Err(BuildBddError::WidthLimit { vars: bits.len() });
+        }
+        if let Some(reason) = self.ctl.interrupted() {
+            return Err(BuildBddError::Interrupted(reason));
+        }
+        let mut constraint = NodeId::TRUE;
+        let mut value = 0u128;
+        for (i, &bit) in bits.iter().enumerate().rev() {
+            let tightened = self.apply_and(constraint, bit)?;
+            if tightened != NodeId::FALSE {
+                value |= 1u128 << i;
+                constraint = tightened;
+            }
+        }
+        Ok(value)
     }
 
     /// Evaluates `f` on a concrete assignment (indexed by input).
@@ -352,6 +511,9 @@ impl Manager {
     pub fn import_aig(&mut self, aig: &Aig) -> Result<Vec<NodeId>, BuildBddError> {
         assert_eq!(aig.num_latches(), 0, "combinational AIGs only");
         assert_eq!(aig.num_inputs(), self.num_vars, "input count mismatch");
+        if let Some(reason) = self.ctl.interrupted() {
+            return Err(BuildBddError::Interrupted(reason));
+        }
         let mut map: Vec<NodeId> = Vec::with_capacity(aig.num_nodes());
         for (_, node) in aig.iter() {
             let id = match node {
@@ -409,10 +571,10 @@ mod tests {
     #[test]
     fn terminals_and_vars() {
         let mut m = Manager::new(2);
-        assert_eq!(m.count_sat(NodeId::TRUE), 4);
-        assert_eq!(m.count_sat(NodeId::FALSE), 0);
+        assert_eq!(m.count_sat(NodeId::TRUE).unwrap(), 4);
+        assert_eq!(m.count_sat(NodeId::FALSE).unwrap(), 0);
         let a = m.var(0);
-        assert_eq!(m.count_sat(a), 2);
+        assert_eq!(m.count_sat(a).unwrap(), 2);
     }
 
     #[test]
@@ -439,14 +601,14 @@ mod tests {
         let a = m.var(0);
         let c = m.var(2);
         let f = m.and(a, c);
-        assert_eq!(m.count_sat(f), 4);
+        assert_eq!(m.count_sat(f).unwrap(), 4);
         // XOR chain over 4 vars: half the space.
         let vars: Vec<NodeId> = (0..4).map(|i| m.var(i)).collect();
         let mut x = vars[0];
         for &v in &vars[1..] {
             x = m.xor(x, v);
         }
-        assert_eq!(m.count_sat(x), 8);
+        assert_eq!(m.count_sat(x).unwrap(), 8);
     }
 
     #[test]
@@ -464,7 +626,7 @@ mod tests {
                 models += 1;
             }
         }
-        assert_eq!(m.count_sat(f), models);
+        assert_eq!(m.count_sat(f).unwrap(), models);
     }
 
     #[test]
@@ -487,7 +649,7 @@ mod tests {
             .with_node_limit(200_000);
         match m.import_aig(&mult) {
             Err(BuildBddError::SizeLimit { limit }) => assert_eq!(limit, 200_000),
-            Ok(_) => panic!("10-bit multiplier should exceed 200k nodes"),
+            other => panic!("10-bit multiplier should exceed 200k nodes, got {other:?}"),
         }
     }
 
@@ -517,6 +679,65 @@ mod tests {
             .flat_map(|a| (0..8u32).map(move |b| a + b))
             .filter(|&s| s >= 8)
             .count() as u128;
-        assert_eq!(m.count_sat(outputs[3]), expected);
+        assert_eq!(m.count_sat(outputs[3]).unwrap(), expected);
+    }
+
+    #[test]
+    fn count_sat_at_the_width_boundary() {
+        // 127 variables: the largest width with a sound u128 count.
+        let mut m = Manager::new(MAX_COUNT_VARS);
+        assert_eq!(m.count_sat(NodeId::TRUE).unwrap(), 1u128 << 127);
+        let a = m.var(0);
+        assert_eq!(m.count_sat(a).unwrap(), 1u128 << 126);
+
+        // 128 variables: TRUE alone has 2^128 models — refuse, typed.
+        let mut wide = Manager::new(MAX_COUNT_VARS + 1);
+        assert_eq!(
+            wide.count_sat(NodeId::TRUE),
+            Err(BuildBddError::WidthLimit { vars: 128 })
+        );
+        let v = wide.var(0);
+        assert_eq!(
+            wide.count_sat(v),
+            Err(BuildBddError::WidthLimit { vars: 128 })
+        );
+    }
+
+    #[test]
+    fn max_word_finds_the_characteristic_maximum() {
+        use axmc_circuit::generators;
+        // Max of a 4-bit adder sum word: 15 + 15 = 30.
+        let adder = generators::ripple_carry_adder(4).to_aig();
+        let mut m = Manager::new(8).with_order(&interleaved_order(4));
+        let outputs = m.import_aig(&adder).unwrap();
+        assert_eq!(m.max_word(&outputs).unwrap(), 30);
+        // Constrained bits: the word (a, !a) can never be 0b11 or 0b00.
+        let mut m2 = Manager::new(1);
+        let a = m2.var(0);
+        let na = m2.not(a);
+        assert_eq!(m2.max_word(&[a, na]).unwrap(), 0b10);
+        assert_eq!(m2.max_word(&[]).unwrap(), 0);
+        // Width guard mirrors count_sat.
+        let bits = vec![NodeId::TRUE; 129];
+        assert_eq!(
+            m2.max_word(&bits),
+            Err(BuildBddError::WidthLimit { vars: 129 })
+        );
+    }
+
+    #[test]
+    fn cancelled_ctl_interrupts_an_import() {
+        use axmc_circuit::generators;
+        use axmc_sat::CancelToken;
+        let token = CancelToken::new();
+        token.cancel();
+        let mult = generators::array_multiplier(8).to_aig();
+        let mut m = Manager::new(16)
+            .with_order(&interleaved_order(8))
+            .with_ctl(ResourceCtl::unlimited().with_cancel(token));
+        match m.import_aig(&mult) {
+            Err(BuildBddError::Interrupted(Interrupt::Cancelled)) => {}
+            other => panic!("expected cancellation, got {other:?}"),
+        }
     }
 }

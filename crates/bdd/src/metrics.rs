@@ -4,13 +4,22 @@
 //! *average-case* ones (MAE, error rate) need counting. For adder-class
 //! circuits the BDDs stay small and the counts — hence the metrics — are
 //! **exact with guarantees**, something random simulation cannot provide.
+//!
+//! Every metric has two entry points: a plain one
+//! ([`exact_mae`], [`exact_error_rate`]) for standalone use, and a
+//! `_with` variant taking a [`ResourceCtl`] so the unified backend in
+//! `axmc-core` can run these computations under the same deadlines and
+//! cancellation tokens as its SAT queries.
 
 use crate::manager::{interleaved_order, BuildBddError, Manager, NodeId};
 use axmc_aig::{Aig, Word};
+use axmc_sat::ResourceCtl;
 
-/// Interleaves the two operand halves when the input count is even (the
-/// standard layout of the generators); falls back to the natural order.
-fn two_operand_order(num_inputs: usize) -> Vec<usize> {
+/// The variable order used by the metric entry points: interleaves the
+/// two operand halves when the input count is even (the standard layout
+/// of the arithmetic generators, under which adder BDDs stay linear);
+/// falls back to the natural order for odd input counts.
+pub fn two_operand_order(num_inputs: usize) -> Vec<usize> {
     if num_inputs.is_multiple_of(2) {
         interleaved_order(num_inputs / 2)
     } else {
@@ -29,23 +38,18 @@ pub struct BddErrorStats {
     pub bdd_nodes: usize,
 }
 
-/// Computes the **exact** mean absolute error of `candidate` against
-/// `golden` by building BDDs for the bits of `|golden - candidate|` and
-/// model-counting each: `sum |err| = Σ_i 2^i · #SAT(abs_bit_i)`.
-///
-/// # Errors
-///
-/// [`BuildBddError::SizeLimit`] when the BDDs exceed `node_limit`
-/// (expected for multiplier-class circuits — fall back to sampling).
-///
-/// # Panics
-///
-/// Panics if the circuits are sequential or their interfaces differ.
-pub fn exact_mae(
-    golden: &Aig,
-    candidate: &Aig,
-    node_limit: usize,
-) -> Result<BddErrorStats, BuildBddError> {
+/// Exact disagreement statistics obtained by model counting.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct BddRateStats {
+    /// Exact number of input assignments on which the circuits disagree.
+    pub error_inputs: u128,
+    /// Exact error rate: `error_inputs / 2^n`.
+    pub rate: f64,
+    /// Peak BDD node count during the computation.
+    pub bdd_nodes: usize,
+}
+
+fn check_interfaces(golden: &Aig, candidate: &Aig) {
     assert_eq!(golden.num_inputs(), candidate.num_inputs(), "input counts");
     assert_eq!(
         golden.num_outputs(),
@@ -57,6 +61,56 @@ pub fn exact_mae(
         0,
         "combinational only"
     );
+}
+
+/// Computes the **exact** mean absolute error of `candidate` against
+/// `golden` by building BDDs for the bits of `|golden - candidate|` and
+/// model-counting each: `sum |err| = Σ_i 2^i · #SAT(abs_bit_i)`.
+///
+/// # Errors
+///
+/// [`BuildBddError::SizeLimit`] when the BDDs exceed `node_limit`
+/// (expected for multiplier-class circuits — fall back to SAT or
+/// sampling), or [`BuildBddError::WidthLimit`] when the input width
+/// exceeds the exact `u128` counting range.
+///
+/// # Panics
+///
+/// Panics if the circuits are sequential or their interfaces differ.
+///
+/// # Examples
+///
+/// ```
+/// use axmc_bdd::exact_mae;
+/// use axmc_circuit::{approx, generators};
+///
+/// let golden = generators::ripple_carry_adder(8).to_aig();
+/// let cheap = approx::truncated_adder(8, 2).to_aig();
+/// let stats = exact_mae(&golden, &cheap, 1_000_000)?;
+/// // Truncating two low bits: every low-operand pattern is averaged
+/// // exactly over all 2^16 inputs, no sampling involved.
+/// assert!(stats.mae > 0.0 && stats.mae < 6.0);
+/// assert_eq!(stats.total_error, (stats.mae * 65536.0).round() as u128);
+/// # Ok::<(), axmc_bdd::BuildBddError>(())
+/// ```
+pub fn exact_mae(
+    golden: &Aig,
+    candidate: &Aig,
+    node_limit: usize,
+) -> Result<BddErrorStats, BuildBddError> {
+    exact_mae_with(golden, candidate, node_limit, &ResourceCtl::unlimited())
+}
+
+/// [`exact_mae`] under a [`ResourceCtl`]: the computation additionally
+/// observes the control's deadline and cancellation token, returning
+/// [`BuildBddError::Interrupted`] when either fires.
+pub fn exact_mae_with(
+    golden: &Aig,
+    candidate: &Aig,
+    node_limit: usize,
+    ctl: &ResourceCtl,
+) -> Result<BddErrorStats, BuildBddError> {
+    check_interfaces(golden, candidate);
 
     // |G - C| as a combinational circuit.
     let mut diff_aig = Aig::new();
@@ -72,11 +126,20 @@ pub fn exact_mae(
 
     let mut m = Manager::new(golden.num_inputs())
         .with_order(&two_operand_order(golden.num_inputs()))
-        .with_node_limit(node_limit);
+        .with_node_limit(node_limit)
+        .with_ctl(ctl.clone());
     let bits = m.import_aig(&diff_aig)?;
     let mut total: u128 = 0;
     for (i, &f) in bits.iter().enumerate() {
-        total += m.count_sat(f) << i;
+        let count = m.count_sat(f)?;
+        // Σ count_i · 2^i can outgrow u128 even when each count fits;
+        // surface that as the same typed width-limit error.
+        total = count
+            .checked_shl(i as u32)
+            .and_then(|scaled| total.checked_add(scaled))
+            .ok_or(BuildBddError::WidthLimit {
+                vars: golden.num_inputs() + bits.len(),
+            })?;
     }
     let denom = 2f64.powi(golden.num_inputs() as i32);
     Ok(BddErrorStats {
@@ -91,31 +154,49 @@ pub fn exact_mae(
 ///
 /// # Errors
 ///
-/// [`BuildBddError::SizeLimit`] when the BDDs exceed `node_limit`.
+/// [`BuildBddError::SizeLimit`] when the BDDs exceed `node_limit`, or
+/// [`BuildBddError::WidthLimit`] past the exact counting range.
 ///
 /// # Panics
 ///
 /// Panics if the circuits are sequential or their interfaces differ.
+///
+/// # Examples
+///
+/// ```
+/// use axmc_bdd::exact_error_rate;
+/// use axmc_circuit::generators;
+///
+/// // A circuit never disagrees with itself; rate is exactly zero.
+/// let adder = generators::ripple_carry_adder(6).to_aig();
+/// assert_eq!(exact_error_rate(&adder, &adder, 100_000)?, 0.0);
+/// # Ok::<(), axmc_bdd::BuildBddError>(())
+/// ```
 pub fn exact_error_rate(
     golden: &Aig,
     candidate: &Aig,
     node_limit: usize,
 ) -> Result<f64, BuildBddError> {
-    assert_eq!(golden.num_inputs(), candidate.num_inputs(), "input counts");
-    assert_eq!(
-        golden.num_outputs(),
-        candidate.num_outputs(),
-        "output counts"
-    );
-    assert_eq!(
-        golden.num_latches() + candidate.num_latches(),
-        0,
-        "combinational only"
-    );
+    exact_error_rate_with(golden, candidate, node_limit, &ResourceCtl::unlimited())
+        .map(|stats| stats.rate)
+}
+
+/// [`exact_error_rate`] under a [`ResourceCtl`], additionally returning
+/// the exact disagreement count and the peak node count. Observes the
+/// control's deadline and cancellation token
+/// ([`BuildBddError::Interrupted`]).
+pub fn exact_error_rate_with(
+    golden: &Aig,
+    candidate: &Aig,
+    node_limit: usize,
+    ctl: &ResourceCtl,
+) -> Result<BddRateStats, BuildBddError> {
+    check_interfaces(golden, candidate);
 
     let mut m = Manager::new(golden.num_inputs())
         .with_order(&two_operand_order(golden.num_inputs()))
-        .with_node_limit(node_limit);
+        .with_node_limit(node_limit)
+        .with_ctl(ctl.clone());
     let g_bits = m.import_aig(&golden.compact())?;
     let c_bits = m.import_aig(&candidate.compact())?;
     let mut any = NodeId::FALSE;
@@ -123,8 +204,12 @@ pub fn exact_error_rate(
         let d = m.apply_xor(g, c)?;
         any = m.ite(any, NodeId::TRUE, d)?;
     }
-    let count = m.count_sat(any);
-    Ok(count as f64 / 2f64.powi(golden.num_inputs() as i32))
+    let count = m.count_sat(any)?;
+    Ok(BddRateStats {
+        error_inputs: count,
+        rate: count as f64 / 2f64.powi(golden.num_inputs() as i32),
+        bdd_nodes: m.num_nodes(),
+    })
 }
 
 #[cfg(test)]
@@ -132,6 +217,7 @@ mod tests {
     use super::*;
     use axmc_aig::sim::for_each_assignment;
     use axmc_circuit::{approx, generators};
+    use axmc_sat::{CancelToken, Interrupt};
 
     fn exhaustive_mae_and_rate(golden: &Aig, cand: &Aig) -> (f64, f64) {
         let mut g_out = Vec::new();
@@ -204,7 +290,38 @@ mod tests {
         let cand = approx::truncated_multiplier(width, 4).to_aig();
         match exact_mae(&golden, &cand, 50_000) {
             Err(BuildBddError::SizeLimit { .. }) => {}
+            Err(other) => panic!("expected a size limit, got {other}"),
             Ok(stats) => panic!("expected blow-up, got {} nodes", stats.bdd_nodes),
+        }
+    }
+
+    #[test]
+    fn rate_stats_report_the_exact_disagreement_count() {
+        let width = 4;
+        let golden = generators::ripple_carry_adder(width).to_aig();
+        let cand = approx::truncated_adder(width, 2).to_aig();
+        let (_, rate) = exhaustive_mae_and_rate(&golden, &cand);
+        let stats =
+            exact_error_rate_with(&golden, &cand, 1_000_000, &ResourceCtl::unlimited()).unwrap();
+        assert_eq!(stats.rate, rate);
+        assert_eq!(stats.error_inputs, (rate * 256.0).round() as u128);
+        assert!(stats.bdd_nodes > 2);
+    }
+
+    #[test]
+    fn metrics_observe_cancellation() {
+        let token = CancelToken::new();
+        token.cancel();
+        let ctl = ResourceCtl::unlimited().with_cancel(token);
+        let golden = generators::ripple_carry_adder(8).to_aig();
+        let cand = approx::truncated_adder(8, 2).to_aig();
+        match exact_mae_with(&golden, &cand, 1_000_000, &ctl) {
+            Err(BuildBddError::Interrupted(Interrupt::Cancelled)) => {}
+            other => panic!("expected cancellation, got {other:?}"),
+        }
+        match exact_error_rate_with(&golden, &cand, 1_000_000, &ctl) {
+            Err(BuildBddError::Interrupted(Interrupt::Cancelled)) => {}
+            other => panic!("expected cancellation, got {other:?}"),
         }
     }
 }

@@ -7,7 +7,7 @@
 
 use crate::search::{evolve, SearchOptions, SearchResult};
 use axmc_circuit::Netlist;
-use axmc_core::AnalysisError;
+use axmc_core::{AnalysisError, AnalysisOptions, AverageReport, CombAnalyzer};
 
 /// One point of an error/area Pareto set.
 #[derive(Clone, Debug)]
@@ -19,6 +19,11 @@ pub struct ParetoPoint {
     pub wcre_percent: f64,
     /// The run's result.
     pub result: SearchResult,
+    /// Average-case metrics (MAE, error rate) of the winning circuit via
+    /// the unified backend path — exact BDD model counting whenever the
+    /// width admits it. `None` when the front's shared deadline fired
+    /// before this point's metrics were computed.
+    pub average: Option<AverageReport>,
 }
 
 /// Converts a worst-case relative error (in percent of the output range
@@ -68,10 +73,26 @@ pub fn pareto_front(
                 seed: base.seed.wrapping_add(i as u64),
                 ..base.clone()
             };
+            let result = evolve(golden, &options)?;
+            // Characterize the winner exactly; an interrupt (the shared
+            // deadline firing) degrades this point to `average: None`
+            // instead of discarding the front.
+            let golden_aig = golden.to_aig();
+            let winner_aig = result.netlist.to_aig();
+            let average = CombAnalyzer::new(&golden_aig, &winner_aig)
+                .with_options(
+                    AnalysisOptions::new()
+                        .with_ctl(base.ctl.clone())
+                        .with_backend(base.backend)
+                        .with_bdd_node_limit(base.bdd_node_limit),
+                )
+                .average_error()
+                .ok();
             Ok(ParetoPoint {
                 threshold,
                 wcre_percent: threshold_to_wcre(threshold, output_bits),
-                result: evolve(golden, &options)?,
+                result,
+                average,
             })
         })
         .collect()

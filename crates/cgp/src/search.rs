@@ -32,8 +32,8 @@ use crate::chromosome::Chromosome;
 use axmc_aig::Aig;
 use axmc_circuit::{AreaModel, Netlist};
 use axmc_cnf::encode_comb;
-use axmc_core::{exhaustive_stats, AnalysisError};
-use axmc_miter::diff_threshold_miter;
+use axmc_core::{exhaustive_stats, AnalysisError, Backend, DEFAULT_BDD_NODE_LIMIT};
+use axmc_miter::{abs_diff_word_miter, diff_threshold_miter};
 use axmc_rand::rngs::StdRng;
 use axmc_rand::SeedableRng;
 use axmc_sat::{Budget, Interrupt, ResourceCtl, SolveResult};
@@ -88,6 +88,16 @@ pub struct SearchOptions {
     /// boundary (anytime — the best-so-far is returned), and is also
     /// observed *inside* every verification solver call.
     pub ctl: ResourceCtl,
+    /// Analysis backend for the fitness oracle. With [`Backend::Bdd`] or
+    /// [`Backend::Auto`], each candidate's error bound is first checked
+    /// by an exact BDD characteristic-function maximum; a node-budget
+    /// blow-up falls back to the configured [`Verifier`]. Candidates
+    /// already fan out across the [`SearchOptions::jobs`] worker fleet,
+    /// so the per-candidate schedule is staged rather than raced.
+    pub backend: Backend,
+    /// Node budget for the BDD oracle attempt (see
+    /// [`axmc_core::DEFAULT_BDD_NODE_LIMIT`]).
+    pub bdd_node_limit: usize,
 }
 
 impl Default for SearchOptions {
@@ -107,6 +117,8 @@ impl Default for SearchOptions {
             jobs: 1,
             certify: false,
             ctl: ResourceCtl::unlimited(),
+            backend: Backend::default(),
+            bdd_node_limit: DEFAULT_BDD_NODE_LIMIT,
         }
     }
 }
@@ -440,11 +452,54 @@ pub(crate) fn record_degraded(reason: Interrupt) {
     }
 }
 
+/// The BDD oracle attempt for one candidate: `Ok(Some(wce))` when the
+/// BDD fit its node budget, `Ok(None)` on a blow-up or width overflow
+/// (caller falls back to the configured verifier), `Err(reason)` on a
+/// deadline/cancellation interrupt.
+fn bdd_worst_case(
+    golden_aig: &Aig,
+    cand_aig: &Aig,
+    options: &SearchOptions,
+) -> Result<Option<u128>, Interrupt> {
+    let miter = abs_diff_word_miter(golden_aig, cand_aig).compact();
+    let n = miter.num_inputs();
+    let mut m = axmc_bdd::Manager::new(n)
+        .with_order(&axmc_bdd::two_operand_order(n))
+        .with_node_limit(options.bdd_node_limit)
+        .with_ctl(options.ctl.clone());
+    let attempt = m.import_aig(&miter).and_then(|bits| m.max_word(&bits));
+    match attempt {
+        Ok(wce) => {
+            axmc_obs::counter("engine.selected.bdd").inc();
+            Ok(Some(wce))
+        }
+        Err(axmc_bdd::BuildBddError::Interrupted(reason)) => Err(reason),
+        Err(_) => {
+            axmc_obs::counter("engine.fallback").inc();
+            Ok(None)
+        }
+    }
+}
+
 fn verify(
     golden_aig: &Aig,
     candidate: &Netlist,
     options: &SearchOptions,
 ) -> Result<CandidateVerdict, AnalysisError> {
+    if matches!(options.backend, Backend::Bdd | Backend::Auto) {
+        let cand_aig = candidate.to_aig();
+        match bdd_worst_case(golden_aig, &cand_aig, options) {
+            Ok(Some(wce)) => {
+                return Ok(if wce <= options.threshold {
+                    CandidateVerdict::WithinBound
+                } else {
+                    CandidateVerdict::Violation
+                });
+            }
+            Ok(None) => {} // blow-up: fall through to the configured verifier
+            Err(reason) => return Ok(CandidateVerdict::ResourceLimit(reason)),
+        }
+    }
     match options.verifier {
         Verifier::Sat { budget } => {
             let cand_aig = candidate.to_aig();
@@ -560,6 +615,48 @@ mod tests {
         let golden = generators::ripple_carry_adder(3);
         let result = evolve(&golden, &quick_options(0)).unwrap();
         assert_result_within(&golden, &result, 0);
+    }
+
+    #[test]
+    fn bdd_oracle_reproduces_the_sat_trajectory() {
+        // Both oracles are exact on these widths, so every per-candidate
+        // verdict — and hence the whole deterministic search trajectory —
+        // must coincide.
+        let golden = generators::ripple_carry_adder(4);
+        let sat = evolve(&golden, &quick_options(3)).unwrap();
+        for backend in [Backend::Bdd, Backend::Auto] {
+            let bdd = evolve(
+                &golden,
+                &SearchOptions {
+                    backend,
+                    ..quick_options(3)
+                },
+            )
+            .unwrap();
+            assert_eq!(sat.area, bdd.area, "{backend:?}");
+            assert_eq!(
+                sat.stats.improvements, bdd.stats.improvements,
+                "{backend:?}"
+            );
+            assert_result_within(&golden, &bdd, 3);
+        }
+    }
+
+    #[test]
+    fn bdd_oracle_blowup_falls_back_to_the_configured_verifier() {
+        let golden = generators::ripple_carry_adder(4);
+        let sat = evolve(&golden, &quick_options(3)).unwrap();
+        let starved = evolve(
+            &golden,
+            &SearchOptions {
+                backend: Backend::Bdd,
+                bdd_node_limit: 0, // clamps to the floor: every build blows up
+                ..quick_options(3)
+            },
+        )
+        .unwrap();
+        assert_eq!(sat.area, starved.area);
+        assert_result_within(&golden, &starved, 3);
     }
 
     #[test]

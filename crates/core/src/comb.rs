@@ -9,16 +9,28 @@
 //! polynomial SAT formulation.
 
 use crate::bound_search::search_max_error;
+use crate::engine::{Backend, EngineKind};
 use crate::options::AnalysisOptions;
-use crate::report::{AnalysisError, ErrorReport, Partial};
+use crate::report::{AnalysisError, AverageMethod, AverageReport, ErrorReport, Partial};
 use crate::verdict::Verdict;
 use axmc_aig::{bits_to_u128, sim::for_each_assignment, Aig};
+use axmc_bdd::{BuildBddError, Manager};
 use axmc_cnf::{encode_comb, gates};
 use axmc_miter::{
-    bit_flip_threshold_miter, diff_threshold_miter, diff_word_miter, nth_bit_miter,
-    popcount_word_miter,
+    abs_diff_word_miter, bit_flip_threshold_miter, diff_threshold_miter, diff_word_miter,
+    nth_bit_miter, popcount_word_miter,
 };
-use axmc_sat::{Budget, Interrupt, SolveResult, Solver};
+use axmc_sat::{Budget, CancelToken, Interrupt, ResourceCtl, SolveResult, Solver};
+use std::time::Instant;
+
+/// Widest input count the exhaustive-sweep fallback of
+/// [`CombAnalyzer::average_error`] will attempt (`2^20` evaluations).
+const MAX_EXHAUSTIVE_INPUTS: usize = 20;
+
+/// Sample count and seed for the last-resort sampled estimate of
+/// [`CombAnalyzer::average_error`].
+const AVERAGE_SAMPLES: u64 = 100_000;
+const AVERAGE_SEED: u64 = 1;
 
 /// The interrupt a solver reported for its last `Unknown`, defaulting to
 /// the conflict budget when the solver predates interrupt tracking.
@@ -109,7 +121,13 @@ impl<'a> CombAnalyzer<'a> {
     /// Applies the resource control and certify setting to a freshly
     /// encoded solver.
     fn arm(&self, solver: &mut Solver) {
-        solver.set_ctl(self.options.ctl.clone());
+        self.arm_with(solver, &self.options.ctl);
+    }
+
+    /// Like [`CombAnalyzer::arm`] but with an explicit control — the
+    /// portfolio stamps race-derived controls onto its engines.
+    fn arm_with(&self, solver: &mut Solver, ctl: &ResourceCtl) {
+        solver.set_ctl(ctl.clone());
         if self.options.certify {
             solver.set_proof_logging(true);
         }
@@ -190,8 +208,14 @@ impl<'a> CombAnalyzer<'a> {
         g.abs_diff(c)
     }
 
-    /// The exact worst-case error, via counterexample-guided galloping
-    /// search over threshold miters.
+    /// The exact worst-case error, through the backend selected by
+    /// [`AnalysisOptions::backend`]: counterexample-guided galloping
+    /// search over threshold miters (SAT), characteristic-function
+    /// maximization over `|G - C|` (BDD), or an `Auto` portfolio racing
+    /// both under a shared cancellation token — first sound result wins,
+    /// the loser is cancelled, and a BDD node-budget blow-up degrades
+    /// gracefully to SAT. Both engines are exact, so the value is
+    /// backend-independent; see `docs/backends.md`.
     ///
     /// # Errors
     ///
@@ -201,6 +225,26 @@ impl<'a> CombAnalyzer<'a> {
     /// [`AnalysisError::CertificateRejected`] if certified mode is on and
     /// a certificate fails validation.
     pub fn worst_case_error(&self) -> Result<ErrorReport<u128>, AnalysisError> {
+        // The SAT search wants the signed difference word (comparators
+        // attach per probe); the BDD walk maximizes an unsigned word, so
+        // it gets the absolute-value form.
+        let miter = diff_word_miter(self.golden, self.candidate).compact();
+        self.run_backend(
+            |ctl| self.worst_case_error_sat(&miter, ctl),
+            |ctl| {
+                let abs = abs_diff_word_miter(self.golden, self.candidate).compact();
+                self.bdd_word_max(&abs, ctl)
+            },
+        )
+    }
+
+    /// The SAT engine for the worst-case error, over a pre-built
+    /// difference-word miter.
+    fn worst_case_error_sat(
+        &self,
+        miter: &Aig,
+        ctl: &ResourceCtl,
+    ) -> Result<ErrorReport<u128>, AnalysisError> {
         let m = self.golden.num_outputs();
         let max: u128 = if m >= 128 {
             u128::MAX
@@ -210,9 +254,8 @@ impl<'a> CombAnalyzer<'a> {
         // Encode the difference word once; each probe adds only a small
         // comparator and an assumption, so learnt clauses are shared
         // across the whole search.
-        let miter = diff_word_miter(self.golden, self.candidate).compact();
-        let (mut solver, enc) = encode_comb(&miter);
-        self.arm(&mut solver);
+        let (mut solver, enc) = encode_comb(miter);
+        self.arm_with(&mut solver, ctl);
         let true_lit = enc.lit(axmc_aig::Lit::TRUE);
         let mut sat_calls = 0u64;
         let value = search_max_error("comb.wce", max, |t| {
@@ -242,10 +285,13 @@ impl<'a> CombAnalyzer<'a> {
             value,
             sat_calls,
             conflicts: solver.stats().conflicts,
+            engine: EngineKind::Sat,
         })
     }
 
-    /// The exact worst-case Hamming distance (bit-flip error).
+    /// The exact worst-case Hamming distance (bit-flip error), through
+    /// the selected backend (see [`CombAnalyzer::worst_case_error`] for
+    /// the dispatch semantics).
     ///
     /// # Errors
     ///
@@ -253,10 +299,23 @@ impl<'a> CombAnalyzer<'a> {
     /// search; [`AnalysisError::CertificateRejected`] on a rejected
     /// certificate in certified mode.
     pub fn bit_flip_error(&self) -> Result<ErrorReport<u32>, AnalysisError> {
-        let max = self.golden.num_outputs() as u128;
         let miter = popcount_word_miter(self.golden, self.candidate).compact();
-        let (mut solver, enc) = encode_comb(&miter);
-        self.arm(&mut solver);
+        self.run_backend(
+            |ctl| self.bit_flip_error_sat(&miter, ctl),
+            |ctl| self.bdd_word_max(&miter, ctl).map(|v| v as u32),
+        )
+    }
+
+    /// The SAT engine for the bit-flip error, over a pre-built popcount
+    /// miter.
+    fn bit_flip_error_sat(
+        &self,
+        miter: &Aig,
+        ctl: &ResourceCtl,
+    ) -> Result<ErrorReport<u32>, AnalysisError> {
+        let max = self.golden.num_outputs() as u128;
+        let (mut solver, enc) = encode_comb(miter);
+        self.arm_with(&mut solver, ctl);
         let true_lit = enc.lit(axmc_aig::Lit::TRUE);
         let mut sat_calls = 0u64;
         let value = search_max_error("comb.bit_flip", max, |t| {
@@ -288,11 +347,322 @@ impl<'a> CombAnalyzer<'a> {
             value: value as u32,
             sat_calls,
             conflicts: solver.stats().conflicts,
+            engine: EngineKind::Sat,
         })
+    }
+
+    /// The BDD engine shared by both worst-case metrics: import the
+    /// miter's output word and maximize it by characteristic-function
+    /// narrowing.
+    fn bdd_word_max(&self, miter: &Aig, ctl: &ResourceCtl) -> BddAttempt<u128> {
+        let n = self.golden.num_inputs();
+        let mut m = Manager::new(n)
+            .with_order(&axmc_bdd::two_operand_order(n))
+            .with_node_limit(self.options.bdd_node_limit)
+            .with_ctl(ctl.clone());
+        let bits = match m.import_aig(miter) {
+            Ok(bits) => bits,
+            Err(e) => return BddAttempt::from_error(e),
+        };
+        match m.max_word(&bits) {
+            Ok(value) => BddAttempt::Exact {
+                value,
+                nodes: m.num_nodes(),
+            },
+            Err(e) => BddAttempt::from_error(e),
+        }
+    }
+
+    /// Runs the SAT engine under `ctl`, recording its latency.
+    fn timed_sat<T>(
+        &self,
+        ctl: &ResourceCtl,
+        sat: &(impl Fn(&ResourceCtl) -> Result<ErrorReport<T>, AnalysisError> + ?Sized),
+    ) -> Result<ErrorReport<T>, AnalysisError> {
+        let start = Instant::now();
+        let out = sat(ctl);
+        axmc_obs::histogram("engine.sat.time_us").record(start.elapsed().as_micros() as u64);
+        out
+    }
+
+    /// Runs the BDD engine under `ctl`, recording its latency and (on
+    /// success) its node count.
+    fn timed_bdd<T>(
+        &self,
+        ctl: &ResourceCtl,
+        bdd: &(impl Fn(&ResourceCtl) -> BddAttempt<T> + ?Sized),
+    ) -> BddAttempt<T> {
+        let start = Instant::now();
+        let out = bdd(ctl);
+        axmc_obs::histogram("engine.bdd.time_us").record(start.elapsed().as_micros() as u64);
+        if let BddAttempt::Exact { nodes, .. } = &out {
+            axmc_obs::histogram("bdd.nodes").record(*nodes as u64);
+        }
+        out
+    }
+
+    /// Backend dispatch shared by the worst-case metrics: run the SAT
+    /// engine, the BDD engine, or race both as a portfolio.
+    ///
+    /// Soundness of `Auto`: both engines compute the *exact* metric, so
+    /// whichever answers first is authoritative and the other can be
+    /// cancelled without loss. A BDD node-budget blow-up is not an
+    /// answer — it degrades to SAT rather than erroring. A rejected
+    /// certificate from the SAT side is always surfaced, never masked by
+    /// the portfolio.
+    fn run_backend<T: Send>(
+        &self,
+        sat: impl Fn(&ResourceCtl) -> Result<ErrorReport<T>, AnalysisError> + Send + Sync,
+        bdd: impl Fn(&ResourceCtl) -> BddAttempt<T> + Send + Sync,
+    ) -> Result<ErrorReport<T>, AnalysisError> {
+        match self.options.backend {
+            Backend::Sat => {
+                axmc_obs::counter("engine.selected.sat").inc();
+                self.timed_sat(&self.options.ctl, &sat)
+            }
+            Backend::Bdd => match self.timed_bdd(&self.options.ctl, &bdd) {
+                BddAttempt::Exact { value, nodes } => {
+                    axmc_obs::counter("engine.selected.bdd").inc();
+                    Ok(bdd_report(value, nodes))
+                }
+                BddAttempt::Unavailable => {
+                    axmc_obs::counter("engine.fallback").inc();
+                    axmc_obs::counter("engine.selected.sat").inc();
+                    self.timed_sat(&self.options.ctl, &sat)
+                }
+                BddAttempt::Interrupted(reason) => Err(AnalysisError::interrupted(reason)),
+            },
+            Backend::Auto if self.options.effective_jobs() >= 2 => {
+                // True race on two workers: each engine runs under the
+                // caller's control *plus* a shared race token; the first
+                // sound finisher raises the token to stop the loser.
+                let race = CancelToken::new();
+                let ctl = self.options.ctl.clone().with_cancel(race.clone());
+                let bdd_ctl = ctl.clone();
+                let sat_ctl = ctl;
+                let race_bdd = race.clone();
+                let race_sat = race;
+                let (bdd_out, sat_out) = axmc_par::parallel_pair(
+                    || {
+                        let out = self.timed_bdd(&bdd_ctl, &bdd);
+                        if matches!(out, BddAttempt::Exact { .. }) {
+                            race_bdd.cancel();
+                        }
+                        out
+                    },
+                    || {
+                        let out = self.timed_sat(&sat_ctl, &sat);
+                        if out.is_ok() {
+                            race_sat.cancel();
+                        }
+                        out
+                    },
+                );
+                // A rejected certificate means the SAT solver produced an
+                // unsound answer — surface it, never mask it.
+                if matches!(sat_out, Err(AnalysisError::CertificateRejected { .. })) {
+                    return sat_out;
+                }
+                match (bdd_out, sat_out) {
+                    (BddAttempt::Exact { value, nodes }, sat_out) => {
+                        // Both engines are exact: when both finished the
+                        // values agree, so either report is correct.
+                        if sat_out.is_ok() {
+                            axmc_obs::counter("engine.race.both_finished").inc();
+                        }
+                        axmc_obs::counter("engine.race.won.bdd").inc();
+                        axmc_obs::counter("engine.selected.bdd").inc();
+                        Ok(bdd_report(value, nodes))
+                    }
+                    (BddAttempt::Unavailable, sat_out) => {
+                        axmc_obs::counter("engine.fallback").inc();
+                        if sat_out.is_ok() {
+                            axmc_obs::counter("engine.race.won.sat").inc();
+                            axmc_obs::counter("engine.selected.sat").inc();
+                        }
+                        sat_out
+                    }
+                    (BddAttempt::Interrupted(_), Ok(report)) => {
+                        axmc_obs::counter("engine.race.won.sat").inc();
+                        axmc_obs::counter("engine.selected.sat").inc();
+                        Ok(report)
+                    }
+                    // Neither engine finished: the race token was never
+                    // raised, so the interrupts came from the caller's
+                    // own limits. The SAT side's partial carries the
+                    // tightest certified interval.
+                    (BddAttempt::Interrupted(_), Err(e)) => Err(e),
+                }
+            }
+            Backend::Auto => {
+                // Single worker: staged schedule. The BDD attempt either
+                // finishes fast (adder-class) or fails fast on its node
+                // budget, after which SAT gets the remaining resources.
+                match self.timed_bdd(&self.options.ctl, &bdd) {
+                    BddAttempt::Exact { value, nodes } => {
+                        axmc_obs::counter("engine.selected.bdd").inc();
+                        Ok(bdd_report(value, nodes))
+                    }
+                    BddAttempt::Unavailable => {
+                        axmc_obs::counter("engine.fallback").inc();
+                        axmc_obs::counter("engine.selected.sat").inc();
+                        self.timed_sat(&self.options.ctl, &sat)
+                    }
+                    // An outer limit fired mid-BDD; the SAT engine
+                    // observes the same limits and reports the proper
+                    // typed anytime result immediately.
+                    BddAttempt::Interrupted(_) => {
+                        axmc_obs::counter("engine.selected.sat").inc();
+                        self.timed_sat(&self.options.ctl, &sat)
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Outcome of one BDD engine attempt inside the backend dispatch.
+enum BddAttempt<T> {
+    /// The exact metric value, with the peak BDD node count.
+    Exact {
+        /// The metric value.
+        value: T,
+        /// Peak node count of the manager.
+        nodes: usize,
+    },
+    /// The BDD cannot answer here (node budget or counting width):
+    /// degrade to SAT.
+    Unavailable,
+    /// A resource limit stopped the attempt.
+    Interrupted(Interrupt),
+}
+
+impl BddAttempt<u128> {
+    /// Maps the value of an `Exact` outcome.
+    fn map<U>(self, f: impl FnOnce(u128) -> U) -> BddAttempt<U> {
+        match self {
+            BddAttempt::Exact { value, nodes } => BddAttempt::Exact {
+                value: f(value),
+                nodes,
+            },
+            BddAttempt::Unavailable => BddAttempt::Unavailable,
+            BddAttempt::Interrupted(r) => BddAttempt::Interrupted(r),
+        }
+    }
+}
+
+impl<T> BddAttempt<T> {
+    /// Classifies a build error: blow-ups degrade, interrupts propagate.
+    fn from_error(e: BuildBddError) -> Self {
+        match e {
+            BuildBddError::SizeLimit { .. } | BuildBddError::WidthLimit { .. } => {
+                BddAttempt::Unavailable
+            }
+            BuildBddError::Interrupted(reason) => BddAttempt::Interrupted(reason),
+        }
+    }
+}
+
+/// An [`ErrorReport`] produced by the BDD engine: no SAT effort spent.
+fn bdd_report<T>(value: T, _nodes: usize) -> ErrorReport<T> {
+    ErrorReport {
+        value,
+        sat_calls: 0,
+        conflicts: 0,
+        engine: EngineKind::Bdd,
     }
 }
 
 impl<'a> CombAnalyzer<'a> {
+    /// Exact average-case error metrics (MAE, error rate) through the
+    /// unified backend path.
+    ///
+    /// Average-case metrics have no polynomial SAT formulation, so the
+    /// backend knob does not select an engine here; instead every
+    /// backend uses the same graceful cascade of methods, most exact
+    /// first:
+    ///
+    /// 1. **BDD model counting** — exact at any width the BDD admits
+    ///    (this is what replaces the old simulation estimates);
+    /// 2. **exhaustive sweep** — exact, for up to 2^20 assignments;
+    /// 3. **uniform sampling** — an estimate *without guarantees*,
+    ///    flagged by `exact: false`.
+    ///
+    /// The BDD stage runs under the analysis [`ResourceCtl`] and its
+    /// node budget; blow-ups fall through to the next stage.
+    ///
+    /// # Errors
+    ///
+    /// [`AnalysisError::Interrupted`] when the control's deadline or
+    /// cancellation token fires mid-computation.
+    pub fn average_error(&self) -> Result<AverageReport, AnalysisError> {
+        let ctl = &self.options.ctl;
+        let start = Instant::now();
+        let mae = axmc_bdd::exact_mae_with(
+            self.golden,
+            self.candidate,
+            self.options.bdd_node_limit,
+            ctl,
+        );
+        match mae {
+            Ok(stats) => {
+                let rate = axmc_bdd::exact_error_rate_with(
+                    self.golden,
+                    self.candidate,
+                    self.options.bdd_node_limit,
+                    ctl,
+                );
+                match rate {
+                    Ok(rate_stats) => {
+                        axmc_obs::histogram("engine.bdd.time_us")
+                            .record(start.elapsed().as_micros() as u64);
+                        axmc_obs::histogram("bdd.nodes")
+                            .record(stats.bdd_nodes.max(rate_stats.bdd_nodes) as u64);
+                        axmc_obs::counter("engine.selected.bdd").inc();
+                        return Ok(AverageReport {
+                            mae: stats.mae,
+                            error_rate: rate_stats.rate,
+                            total_error: Some(stats.total_error),
+                            exact: true,
+                            method: AverageMethod::Bdd,
+                        });
+                    }
+                    Err(BuildBddError::Interrupted(reason)) => {
+                        return Err(AnalysisError::interrupted(reason))
+                    }
+                    Err(_) => {}
+                }
+            }
+            Err(BuildBddError::Interrupted(reason)) => {
+                return Err(AnalysisError::interrupted(reason))
+            }
+            Err(_) => {}
+        }
+        // The BDD blew its budget: degrade, exact sweep first.
+        axmc_obs::counter("engine.fallback").inc();
+        if let Some(reason) = ctl.interrupted() {
+            return Err(AnalysisError::interrupted(reason));
+        }
+        if self.golden.num_inputs() <= MAX_EXHAUSTIVE_INPUTS {
+            let stats = exhaustive_stats(self.golden, self.candidate);
+            return Ok(AverageReport {
+                mae: stats.mae,
+                error_rate: stats.error_rate,
+                total_error: Some(stats.total_error),
+                exact: true,
+                method: AverageMethod::Exhaustive,
+            });
+        }
+        let stats = sampled_stats(self.golden, self.candidate, AVERAGE_SAMPLES, AVERAGE_SEED);
+        Ok(AverageReport {
+            mae: stats.mae_estimate,
+            error_rate: stats.error_rate_estimate,
+            total_error: None,
+            exact: false,
+            method: AverageMethod::Sampled,
+        })
+    }
+
     /// The most significant output bit on which the candidate can ever
     /// differ from the golden circuit, or `None` if the circuits are
     /// equivalent — the classic n-th-bit scan. The candidate's worst-case
@@ -420,6 +790,10 @@ pub struct ExhaustiveStats {
     pub wce: u128,
     /// Mean absolute error over all inputs.
     pub mae: f64,
+    /// Exact sum of absolute errors over all inputs. The MAE is this
+    /// divided by `2^n` in a single floating division, so it agrees
+    /// bit-for-bit with the BDD engine's exact MAE.
+    pub total_error: u128,
     /// Fraction of inputs with any error.
     pub error_rate: f64,
     /// Worst-case Hamming distance.
@@ -445,7 +819,7 @@ pub fn exhaustive_stats(golden: &Aig, candidate: &Aig) -> ExhaustiveStats {
     let mut golden_out: Vec<u128> = Vec::new();
     for_each_assignment(golden, |_, out| golden_out.push(out));
     let mut wce = 0u128;
-    let mut total_err = 0f64;
+    let mut total_err = 0u128;
     let mut errors = 0u64;
     let mut bit_flip = 0u32;
     let mut count = 0u64;
@@ -453,7 +827,7 @@ pub fn exhaustive_stats(golden: &Aig, candidate: &Aig) -> ExhaustiveStats {
         let g = golden_out[idx as usize];
         let e = g.abs_diff(out);
         wce = wce.max(e);
-        total_err += e as f64;
+        total_err += e;
         if e != 0 {
             errors += 1;
         }
@@ -462,7 +836,8 @@ pub fn exhaustive_stats(golden: &Aig, candidate: &Aig) -> ExhaustiveStats {
     });
     ExhaustiveStats {
         wce,
-        mae: total_err / count as f64,
+        mae: total_err as f64 / count as f64,
+        total_error: total_err,
         error_rate: errors as f64 / count as f64,
         bit_flip,
         assignments: count,
@@ -743,6 +1118,128 @@ mod tests {
         assert_eq!(s.assignments, 1 << 8);
         assert!(s.error_rate > 0.0 && s.error_rate < 1.0);
         assert!(s.mae > 0.0 && s.mae <= s.wce as f64);
+        assert_eq!(s.mae, s.total_error as f64 / s.assignments as f64);
         assert!(s.bit_flip >= 1);
+    }
+
+    #[test]
+    fn all_backends_agree_on_the_worst_case_metrics() {
+        let width = 6;
+        let golden = generators::ripple_carry_adder(width).to_aig();
+        let candidate = approx::lower_or_adder(width, 3).to_aig();
+        let exact = exhaustive_stats(&golden, &candidate);
+        for (backend, jobs) in [
+            (Backend::Sat, 1),
+            (Backend::Bdd, 1),
+            (Backend::Auto, 1),
+            (Backend::Auto, 2),
+        ] {
+            let analyzer = CombAnalyzer::new(&golden, &candidate)
+                .with_options(AnalysisOptions::new().with_backend(backend).with_jobs(jobs));
+            let wce = analyzer.worst_case_error().unwrap();
+            assert_eq!(wce.value, exact.wce, "{backend} jobs={jobs}");
+            let flips = analyzer.bit_flip_error().unwrap();
+            assert_eq!(flips.value, exact.bit_flip, "{backend} jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn bdd_backend_reports_its_engine_and_zero_sat_calls() {
+        let golden = generators::ripple_carry_adder(5).to_aig();
+        let candidate = approx::truncated_adder(5, 2).to_aig();
+        let analyzer = CombAnalyzer::new(&golden, &candidate)
+            .with_options(AnalysisOptions::new().with_backend(Backend::Bdd));
+        let report = analyzer.worst_case_error().unwrap();
+        assert_eq!(report.engine, EngineKind::Bdd);
+        assert_eq!(report.sat_calls, 0);
+        assert_eq!(report.conflicts, 0);
+    }
+
+    #[test]
+    fn bdd_blowup_degrades_gracefully_to_sat() {
+        let golden = generators::ripple_carry_adder(5).to_aig();
+        let candidate = approx::truncated_adder(5, 2).to_aig();
+        let exact = exhaustive_stats(&golden, &candidate);
+        for backend in [Backend::Bdd, Backend::Auto] {
+            // A two-node budget holds only the terminals: every build
+            // blows up immediately and the SAT engine must take over.
+            let analyzer = CombAnalyzer::new(&golden, &candidate).with_options(
+                AnalysisOptions::new()
+                    .with_backend(backend)
+                    .with_bdd_node_limit(0),
+            );
+            let report = analyzer.worst_case_error().unwrap();
+            assert_eq!(report.value, exact.wce, "{backend}");
+            assert_eq!(report.engine, EngineKind::Sat, "{backend}");
+            assert!(report.sat_calls > 0, "{backend}");
+        }
+    }
+
+    #[test]
+    fn expired_deadline_interrupts_every_backend() {
+        let width = 8;
+        let golden = generators::array_multiplier(width).to_aig();
+        let candidate = approx::truncated_multiplier(width, 6).to_aig();
+        for (backend, jobs) in [(Backend::Bdd, 1), (Backend::Auto, 1), (Backend::Auto, 2)] {
+            let analyzer = CombAnalyzer::new(&golden, &candidate).with_options(
+                AnalysisOptions::new()
+                    .with_backend(backend)
+                    .with_jobs(jobs)
+                    .with_timeout(Duration::ZERO),
+            );
+            match analyzer.worst_case_error() {
+                Err(AnalysisError::Interrupted(p)) => {
+                    assert_eq!(p.reason, Some(Interrupt::Deadline), "{backend} jobs={jobs}");
+                    assert!(p.known_low <= p.known_high, "{backend} jobs={jobs}");
+                }
+                other => panic!("{backend} jobs={jobs}: expected deadline, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn average_error_is_exact_via_bdd_and_matches_the_sweep() {
+        let golden = generators::ripple_carry_adder(4).to_aig();
+        let candidate = approx::truncated_adder(4, 2).to_aig();
+        let sweep = exhaustive_stats(&golden, &candidate);
+        let avg = CombAnalyzer::new(&golden, &candidate)
+            .average_error()
+            .unwrap();
+        assert!(avg.exact);
+        assert_eq!(avg.method, AverageMethod::Bdd);
+        assert_eq!(avg.total_error, Some(sweep.total_error));
+        assert_eq!(avg.mae, sweep.mae, "one division each: bit-identical");
+        assert_eq!(avg.error_rate, sweep.error_rate);
+    }
+
+    #[test]
+    fn average_error_degrades_to_the_exhaustive_sweep() {
+        let golden = generators::ripple_carry_adder(4).to_aig();
+        let candidate = approx::truncated_adder(4, 2).to_aig();
+        let sweep = exhaustive_stats(&golden, &candidate);
+        let avg = CombAnalyzer::new(&golden, &candidate)
+            .with_options(AnalysisOptions::new().with_bdd_node_limit(0))
+            .average_error()
+            .unwrap();
+        assert!(avg.exact);
+        assert_eq!(avg.method, AverageMethod::Exhaustive);
+        assert_eq!(avg.mae, sweep.mae);
+        assert_eq!(avg.total_error, Some(sweep.total_error));
+    }
+
+    #[test]
+    fn average_error_observes_cancellation() {
+        let golden = generators::ripple_carry_adder(4).to_aig();
+        let candidate = approx::truncated_adder(4, 2).to_aig();
+        let token = CancelToken::new();
+        token.cancel();
+        let analyzer = CombAnalyzer::new(&golden, &candidate)
+            .with_options(AnalysisOptions::new().with_cancel(token));
+        match analyzer.average_error() {
+            Err(AnalysisError::Interrupted(p)) => {
+                assert_eq!(p.reason, Some(Interrupt::Cancelled));
+            }
+            other => panic!("expected cancellation, got {other:?}"),
+        }
     }
 }

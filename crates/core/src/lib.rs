@@ -11,10 +11,17 @@
 //!
 //! ## Combinational metrics ([`CombAnalyzer`])
 //!
-//! * exact worst-case error and worst-case bit-flip (Hamming) error via
-//!   counterexample-guided binary search over threshold miters;
-//! * exact MAE / error-rate by exhaustive sweep (small circuits), and
-//!   sampled estimates (flagged as non-guaranteed) otherwise.
+//! * exact worst-case error and worst-case bit-flip (Hamming) error,
+//!   computed by a selectable [`Backend`]: the paper's CEGIS binary
+//!   search over SAT threshold miters, ROBDD characteristic-function
+//!   maximization, or an `Auto` portfolio racing both (first sound
+//!   result wins, the loser is cancelled);
+//! * exact MAE / error-rate via BDD model counting whenever the width
+//!   admits a BDD, with graceful degradation to an exhaustive sweep
+//!   (small circuits) and finally to sampled estimates flagged as
+//!   non-guaranteed ([`AverageReport`]).
+//!
+//! See `docs/backends.md` for the full engine-selection guide.
 //!
 //! ## Sequential metrics ([`SeqAnalyzer`])
 //!
@@ -59,6 +66,7 @@
 
 mod bound_search;
 mod comb;
+mod engine;
 mod options;
 mod report;
 mod seq;
@@ -67,8 +75,11 @@ mod verdict;
 pub use crate::comb::{
     exhaustive_stats, sampled_stats, CombAnalyzer, ErrorInputCount, ExhaustiveStats, SampledStats,
 };
+pub use crate::engine::{Backend, EngineKind, DEFAULT_BDD_NODE_LIMIT};
 pub use crate::options::AnalysisOptions;
-pub use crate::report::{AnalysisError, ErrorGrowth, ErrorProfile, ErrorReport, Partial};
+pub use crate::report::{
+    AnalysisError, AverageMethod, AverageReport, ErrorGrowth, ErrorProfile, ErrorReport, Partial,
+};
 pub use crate::seq::{EarliestError, SeqAnalyzer};
 pub use crate::verdict::Verdict;
 

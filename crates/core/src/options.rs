@@ -6,11 +6,12 @@
 //! it via `with_options`, and the old per-knob builders survive only as
 //! deprecated forwarders.
 
+use crate::engine::{Backend, DEFAULT_BDD_NODE_LIMIT};
 use axmc_sat::{Budget, CancelToken, ResourceCtl};
 use std::time::Duration;
 
 /// Knobs shared by every analysis engine.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug)]
 pub struct AnalysisOptions {
     /// Resource control (budget, deadline, cancellation) applied to every
     /// solver call the analysis issues.
@@ -21,15 +22,35 @@ pub struct AnalysisOptions {
     pub certify: bool,
     /// Portfolio width for the threshold searches: each round probes up
     /// to `jobs` speculative thresholds concurrently. `0` is treated as
-    /// `1` (serial).
+    /// `1` (serial). With `jobs >= 2` the `Auto` backend races its two
+    /// engines on concurrent workers instead of staging them.
     pub jobs: usize,
     /// SAT-sweep (FRAIG) the product-machine miter before unrolling.
     pub sweep: bool,
+    /// Which analysis backend the combinational metrics use (SAT, BDD,
+    /// or the racing `Auto` portfolio). See `docs/backends.md`.
+    pub backend: Backend,
+    /// Node budget for BDD construction under the `Bdd`/`Auto` backends;
+    /// exceeding it degrades gracefully to SAT.
+    pub bdd_node_limit: usize,
+}
+
+impl Default for AnalysisOptions {
+    fn default() -> Self {
+        AnalysisOptions {
+            ctl: ResourceCtl::default(),
+            certify: false,
+            jobs: 0,
+            sweep: false,
+            backend: Backend::default(),
+            bdd_node_limit: DEFAULT_BDD_NODE_LIMIT,
+        }
+    }
 }
 
 impl AnalysisOptions {
     /// Default options: unlimited resources, no certification, serial,
-    /// no sweeping.
+    /// no sweeping, SAT backend.
     pub fn new() -> Self {
         AnalysisOptions::default()
     }
@@ -84,6 +105,19 @@ impl AnalysisOptions {
         self
     }
 
+    /// Selects the combinational analysis backend.
+    pub fn with_backend(mut self, backend: Backend) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// Sets the node budget for BDD construction (clamped to at least 2,
+    /// the two terminals).
+    pub fn with_bdd_node_limit(mut self, limit: usize) -> Self {
+        self.bdd_node_limit = limit.max(2);
+        self
+    }
+
     /// The effective portfolio width (at least 1).
     pub fn effective_jobs(&self) -> usize {
         self.jobs.max(1)
@@ -113,5 +147,15 @@ mod tests {
     fn zero_jobs_means_serial() {
         assert_eq!(AnalysisOptions::new().effective_jobs(), 1);
         assert_eq!(AnalysisOptions::new().with_jobs(0).jobs, 1);
+    }
+
+    #[test]
+    fn backend_defaults_and_builders() {
+        let opts = AnalysisOptions::new();
+        assert_eq!(opts.backend, Backend::Sat);
+        assert_eq!(opts.bdd_node_limit, DEFAULT_BDD_NODE_LIMIT);
+        let opts = opts.with_backend(Backend::Auto).with_bdd_node_limit(0);
+        assert_eq!(opts.backend, Backend::Auto);
+        assert_eq!(opts.bdd_node_limit, 2, "limit clamps to the terminals");
     }
 }

@@ -1,5 +1,6 @@
 //! Result types shared by the error-determination engines.
 
+use crate::engine::EngineKind;
 use axmc_sat::Interrupt;
 use std::fmt;
 
@@ -9,10 +10,56 @@ use std::fmt;
 pub struct ErrorReport<T> {
     /// The exact metric value (e.g. worst-case error).
     pub value: T,
-    /// Number of decision-procedure (SAT/BMC) queries issued.
+    /// Number of decision-procedure (SAT/BMC) queries issued. Zero when
+    /// the BDD engine produced the value.
     pub sat_calls: u64,
     /// Total solver conflicts across those queries.
     pub conflicts: u64,
+    /// The engine that actually produced the value. The metric itself is
+    /// engine-independent — both engines are exact — but the effort
+    /// counters above only make sense relative to this.
+    pub engine: EngineKind,
+}
+
+/// How an average-case metric was obtained.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum AverageMethod {
+    /// Exact BDD model counting (guaranteed, any width the BDD admits).
+    Bdd,
+    /// Exact exhaustive sweep over all `2^n` inputs (guaranteed, small
+    /// circuits only).
+    Exhaustive,
+    /// Uniform random sampling — an **estimate without guarantees**, the
+    /// last resort when the width admits neither of the exact methods.
+    Sampled,
+}
+
+impl fmt::Display for AverageMethod {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            AverageMethod::Bdd => "exact, BDD",
+            AverageMethod::Exhaustive => "exact, exhaustive",
+            AverageMethod::Sampled => "sampled estimate",
+        })
+    }
+}
+
+/// Average-case error metrics from the unified backend path
+/// (`CombAnalyzer::average_error`).
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct AverageReport {
+    /// Mean absolute error over all inputs (exact unless `method` is
+    /// [`AverageMethod::Sampled`]).
+    pub mae: f64,
+    /// Fraction of inputs on which the circuits disagree.
+    pub error_rate: f64,
+    /// Exact sum of absolute errors over all inputs, when an exact
+    /// method produced it.
+    pub total_error: Option<u128>,
+    /// Whether the values carry formal guarantees.
+    pub exact: bool,
+    /// The method that produced the values.
+    pub method: AverageMethod,
 }
 
 /// The best certified knowledge an analysis had accumulated when it was

@@ -25,6 +25,7 @@
 //! payload carries the tightest certified bounds reached so far.
 
 use crate::bound_search::search_max_error_batched;
+use crate::engine::EngineKind;
 use crate::options::AnalysisOptions;
 use crate::report::{AnalysisError, ErrorProfile, ErrorReport, Partial};
 use crate::verdict::Verdict;
@@ -365,6 +366,7 @@ impl<'a> SeqAnalyzer<'a> {
             value,
             sat_calls: sat_calls.into_inner(),
             conflicts: engines.iter().map(ThresholdEngine::conflicts).sum(),
+            engine: EngineKind::Sat,
         })
     }
 
@@ -401,6 +403,7 @@ impl<'a> SeqAnalyzer<'a> {
             value: value as u32,
             sat_calls: sat_calls.into_inner(),
             conflicts: engines.iter().map(ThresholdEngine::conflicts).sum(),
+            engine: EngineKind::Sat,
         })
     }
 
@@ -575,6 +578,7 @@ impl<'a> SeqAnalyzer<'a> {
             value,
             sat_calls: sat_calls.into_inner(),
             conflicts: 0,
+            engine: EngineKind::Sat,
         })
     }
 
@@ -665,6 +669,7 @@ impl<'a> SeqAnalyzer<'a> {
             value: value as u32,
             sat_calls: sat_calls.into_inner(),
             conflicts: 0,
+            engine: EngineKind::Sat,
         })
     }
 

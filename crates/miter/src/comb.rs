@@ -189,6 +189,31 @@ pub fn diff_word_miter(golden: &Aig, candidate: &Aig) -> Aig {
     m
 }
 
+/// The absolute-difference word miter: outputs `|int(G) - int(C)|` as an
+/// unsigned `m + 1`-bit word (LSB first), with no comparator attached.
+///
+/// This is the form the BDD engine maximizes directly via its
+/// characteristic-function walk — unlike [`diff_word_miter`], whose
+/// signed output word would make negative differences look enormous
+/// under an unsigned maximization.
+///
+/// # Panics
+///
+/// Panics if the interfaces differ or either circuit is sequential.
+pub fn abs_diff_word_miter(golden: &Aig, candidate: &Aig) -> Aig {
+    check_interfaces(golden, candidate);
+    let mut m = Aig::new();
+    let inputs = m.add_inputs(golden.num_inputs());
+    let og = Word::from_lits(embed_comb(&mut m, golden, &inputs));
+    let oc = Word::from_lits(embed_comb(&mut m, candidate, &inputs));
+    let diff = og.sub_signed(&mut m, &oc);
+    let abs = diff.abs(&mut m);
+    for &b in abs.bits() {
+        m.add_output(b);
+    }
+    m
+}
+
 /// The comparator-less Hamming miter: outputs the **popcount word** of the
 /// XOR of the two circuits' outputs (encode-once form of
 /// [`bit_flip_threshold_miter`]).

@@ -39,9 +39,9 @@ mod comb;
 mod seq;
 
 pub use crate::comb::{
-    abs_diff_threshold_miter, bit_flip_threshold_miter, diff_exceeds, diff_threshold_miter,
-    diff_word_miter, embed_comb, miter_stats, nth_bit_miter, popcount_word_miter, strict_miter,
-    MiterStats,
+    abs_diff_threshold_miter, abs_diff_word_miter, bit_flip_threshold_miter, diff_exceeds,
+    diff_threshold_miter, diff_word_miter, embed_comb, miter_stats, nth_bit_miter,
+    popcount_word_miter, strict_miter, MiterStats,
 };
 pub use crate::seq::{
     accumulated_error_miter, embed_sequential, error_cycle_count_miter, sequential_bit_flip_miter,

@@ -2,7 +2,7 @@
 //!
 //! The whole stack's hot path is SAT/BMC oracle calls — embarrassingly
 //! parallel across CGP candidates and across speculative threshold
-//! probes. This crate provides the two shapes those loops need, built on
+//! probes. This crate provides the shapes those loops need, built on
 //! [`std::thread::scope`] only (no external crates, so the workspace
 //! stays hermetic/offline):
 //!
@@ -14,6 +14,9 @@
 //! * [`parallel_zip_mut`] — the portfolio shape: pair each element of a
 //!   mutable state slice (e.g. per-worker solver engines) with one input
 //!   and run all pairs concurrently, one thread per pair.
+//! * [`parallel_pair`] — the two-engine race: run exactly two
+//!   heterogeneous closures concurrently and join both, used by the
+//!   `--engine auto` SAT ⊕ BDD portfolio in `axmc-core`.
 //!
 //! Every worker runs inside [`axmc_obs::worker_scope`], so metrics
 //! recorded by solver/model-checker code on worker threads aggregate
@@ -96,6 +99,49 @@ where
                 .expect("worker filled every claimed slot")
         })
         .collect()
+}
+
+/// Runs two closures concurrently on scoped worker threads and returns
+/// both results.
+///
+/// This is the two-engine portfolio shape: `axmc-core`'s `Auto` backend
+/// races its SAT and BDD engines with `parallel_pair`, each under a
+/// `ResourceCtl` carrying a shared race-cancellation token, and the
+/// first sound finisher raises the token to stop the loser. The function
+/// itself is engine-agnostic — it only provides the join.
+///
+/// Both closures always run to completion (cooperative cancellation is
+/// the caller's job); the join is a barrier.
+///
+/// # Panics
+///
+/// Panics if either closure panics (the panic is propagated after both
+/// threads have stopped).
+///
+/// # Examples
+///
+/// ```
+/// let (a, b) = axmc_par::parallel_pair(|| 6 * 7, || "done");
+/// assert_eq!(a, 42);
+/// assert_eq!(b, "done");
+/// ```
+pub fn parallel_pair<A, B, F, G>(f: F, g: G) -> (A, B)
+where
+    A: Send,
+    B: Send,
+    F: FnOnce() -> A + Send,
+    G: FnOnce() -> B + Send,
+{
+    std::thread::scope(|scope| {
+        let ha = scope.spawn(|| axmc_obs::worker_scope(f));
+        let hb = scope.spawn(|| axmc_obs::worker_scope(g));
+        let ra = ha.join();
+        let rb = hb.join();
+        match (ra, rb) {
+            (Ok(a), Ok(b)) => (a, b),
+            (Err(payload), _) | (_, Err(payload)) => std::panic::resume_unwind(payload),
+        }
+    })
 }
 
 /// Runs `f(i, &mut states[i], &inputs[i])` for every input concurrently
@@ -222,6 +268,31 @@ mod tests {
             }
             x
         });
+    }
+
+    #[test]
+    fn pair_runs_both_closures_and_returns_both_results() {
+        let left = AtomicU64::new(0);
+        let right = AtomicU64::new(0);
+        let (a, b) = parallel_pair(
+            || {
+                left.fetch_add(1, Ordering::Relaxed);
+                "sat"
+            },
+            || {
+                right.fetch_add(1, Ordering::Relaxed);
+                17u64
+            },
+        );
+        assert_eq!((a, b), ("sat", 17));
+        assert_eq!(left.load(Ordering::Relaxed), 1);
+        assert_eq!(right.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "pair boom")]
+    fn pair_propagates_panics_from_either_side() {
+        parallel_pair(|| 1u32, || panic!("pair boom"));
     }
 
     #[test]

@@ -119,7 +119,7 @@ pub struct ResourceCtl {
     budget: Budget,
     deadline: Option<Instant>,
     per_call_timeout: Option<Duration>,
-    cancel: Option<CancelToken>,
+    cancels: Vec<CancelToken>,
 }
 
 impl ResourceCtl {
@@ -170,8 +170,14 @@ impl ResourceCtl {
 
     /// Attaches a cancellation token. Clones of the control (and of the
     /// solvers holding it) share the token.
+    ///
+    /// Tokens *accumulate*: attaching a second token does not detach the
+    /// first — the control is interrupted as soon as **any** attached
+    /// token is raised. This is what lets a portfolio race stamp its own
+    /// loser-cancellation token onto a control without disconnecting the
+    /// caller's run-level token.
     pub fn with_cancel(mut self, token: CancelToken) -> Self {
-        self.cancel = Some(token);
+        self.cancels.push(token);
         self
     }
 
@@ -190,9 +196,16 @@ impl ResourceCtl {
         self.per_call_timeout
     }
 
-    /// The attached cancellation token, if any.
+    /// The most recently attached cancellation token, if any. Use
+    /// [`ResourceCtl::is_cancelled`] to observe *all* attached tokens.
     pub fn cancel_token(&self) -> Option<&CancelToken> {
-        self.cancel.as_ref()
+        self.cancels.last()
+    }
+
+    /// Returns `true` once any attached cancellation token has been
+    /// raised (`false` when no token is attached).
+    pub fn is_cancelled(&self) -> bool {
+        self.cancels.iter().any(CancelToken::is_cancelled)
     }
 
     /// The deadline governing a call starting *now*: the overall deadline
@@ -210,7 +223,7 @@ impl ResourceCtl {
     /// Checks the wall-clock limits (not the budget): returns the reason
     /// if the control is already cancelled or past its deadline.
     pub fn interrupted(&self) -> Option<Interrupt> {
-        if self.cancel.as_ref().is_some_and(CancelToken::is_cancelled) {
+        if self.is_cancelled() {
             return Some(Interrupt::Cancelled);
         }
         if self.deadline.is_some_and(|d| Instant::now() >= d) {
@@ -299,5 +312,28 @@ mod tests {
     fn huge_timeouts_saturate_instead_of_panicking() {
         let ctl = ResourceCtl::unlimited().with_timeout(Duration::MAX);
         assert_eq!(ctl.interrupted(), None);
+    }
+
+    #[test]
+    fn chained_cancel_tokens_are_all_observed() {
+        let outer = CancelToken::new();
+        let race = CancelToken::new();
+        let ctl = ResourceCtl::unlimited()
+            .with_cancel(outer.clone())
+            .with_cancel(race.clone());
+        assert!(!ctl.is_cancelled());
+        assert_eq!(ctl.interrupted(), None);
+
+        // Raising either token interrupts the control.
+        race.cancel();
+        assert!(ctl.is_cancelled());
+        assert_eq!(ctl.interrupted(), Some(Interrupt::Cancelled));
+
+        let ctl2 = ResourceCtl::unlimited()
+            .with_cancel(outer.clone())
+            .with_cancel(CancelToken::new());
+        assert!(!ctl2.is_cancelled());
+        outer.cancel();
+        assert!(ctl2.is_cancelled(), "earlier tokens stay attached");
     }
 }

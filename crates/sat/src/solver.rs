@@ -887,7 +887,7 @@ impl Solver {
     /// per-call deadline.
     #[inline]
     fn wallclock_interrupt(&self, call_deadline: Option<Instant>) -> Option<Interrupt> {
-        if self.ctl.cancel_token().is_some_and(|t| t.is_cancelled()) {
+        if self.ctl.is_cancelled() {
             return Some(Interrupt::Cancelled);
         }
         if call_deadline.is_some_and(|d| Instant::now() >= d) {

@@ -22,6 +22,13 @@ run cargo clippy -p axmc-bench --all-targets --offline \
     --features micro-benches -- -D warnings
 run cargo build --release --offline
 
+# Documentation gate: rustdoc must be warning-free (broken intra-doc
+# links included) and every doctest must pass, in both feature
+# configurations.
+RUSTDOCFLAGS="-D warnings" run cargo doc --no-deps --workspace --offline
+run cargo test --workspace -q --offline --doc
+run cargo test --workspace -q --offline --doc --features proptest-tests
+
 # Structural linting over everything we ship: the full sequential design
 # suite plus the whole approximate-component library. Any error-severity
 # diagnostic fails the build.

@@ -19,7 +19,7 @@ use axmc::core::{CombAnalyzer, SeqAnalyzer};
 use axmc::mc::InductionOptions;
 use axmc::obs::sink::{JsonlSink, TeeSink};
 use axmc::obs::{Event, Sink, Value};
-use axmc::{evolve, AnalysisError, AnalysisOptions, ResourceCtl, SearchOptions, Verdict};
+use axmc::{evolve, AnalysisError, AnalysisOptions, Backend, ResourceCtl, SearchOptions, Verdict};
 use std::collections::HashMap;
 use std::process::ExitCode;
 use std::sync::Arc;
@@ -138,16 +138,17 @@ axmc — precise error determination of approximated components with model check
 
 USAGE:
   axmc analyze --golden G.aag --approx C.aag [--horizon K] [--jobs N]
-               [--timeout D] [--query-timeout D] [--prove] [--average]
-               [--certify] [--vcd F.vcd] [--metrics] [--trace F.jsonl]
+               [--engine sat|bdd|auto] [--timeout D] [--query-timeout D]
+               [--prove] [--average] [--certify] [--vcd F.vcd]
+               [--metrics] [--trace F.jsonl]
       Exact worst-case / bit-flip error of C against G. Sequential pairs
       are analyzed within K cycles (default 8); --prove additionally
       attempts an unbounded k-induction certificate at the measured WCE.
 
   axmc evolve --kind adder|multiplier --width N (--wcre P | --config F)
-              [--seconds S] [--seed X] [--jobs N] [--timeout D]
-              [--query-timeout D] [--certify] [--out C.aag] [--progress]
-              [--metrics] [--trace F.jsonl]
+              [--seconds S] [--seed X] [--jobs N] [--engine sat|bdd|auto]
+              [--timeout D] [--query-timeout D] [--certify] [--out C.aag]
+              [--progress] [--metrics] [--trace F.jsonl]
       Verifiability-driven CGP synthesis of an approximate circuit whose
       worst-case relative error provably stays below P percent.
 
@@ -171,6 +172,19 @@ CERTIFICATION:
                     checker validates it before the result is reported.
                     A verdict whose certificate fails validation aborts
                     the run rather than printing an untrusted number.
+
+ENGINES:
+  --engine E        analysis backend for the combinational metrics and
+                    the evolve fitness oracle (sequential analyses are
+                    always SAT/BMC). E is one of:
+                      sat   CEGIS threshold search on the CDCL solver —
+                            the paper's engine and the default
+                      bdd   exact ROBDD characteristic-function engine;
+                            a node-budget blow-up degrades to SAT
+                      auto  portfolio: race both, first sound result
+                            wins, the loser is cancelled
+                    Both engines are exact — the numbers are identical
+                    for every choice. See docs/backends.md.
 
 PARALLELISM:
   --jobs N          worker threads for candidate verification (evolve) and
@@ -235,6 +249,7 @@ const ANALYZE_FLAGS: &[FlagSpec] = &[
     val("golden"),
     val("approx"),
     val("horizon"),
+    val("engine"),
     val("jobs"),
     val("timeout"),
     val("query-timeout"),
@@ -253,6 +268,7 @@ const EVOLVE_FLAGS: &[FlagSpec] = &[
     val("config"),
     val("seconds"),
     val("seed"),
+    val("engine"),
     val("jobs"),
     val("timeout"),
     val("query-timeout"),
@@ -442,6 +458,14 @@ fn ctl_flags(opts: &Flags) -> Result<ResourceCtl, String> {
     Ok(ctl)
 }
 
+/// Parses `--engine sat|bdd|auto` (default: sat — the paper's engine).
+fn engine_flag(opts: &Flags) -> Result<Backend, String> {
+    match opts.get("engine") {
+        None => Ok(Backend::Sat),
+        Some(text) => text.parse(),
+    }
+}
+
 /// Parses `--jobs`: a positive worker count, defaulting to the machine's
 /// available parallelism. `--jobs 0` is a hard error, not a silent 1.
 fn jobs_flag(opts: &Flags) -> Result<usize, String> {
@@ -497,13 +521,15 @@ fn report_analysis_error(e: AnalysisError) -> CliError {
 fn cmd_analyze(opts: &Flags) -> Result<(), CliError> {
     // Validate the cheap flags before touching the filesystem.
     let horizon: usize = numeric(opts, "horizon", 8)?;
+    let engine = engine_flag(opts)?;
     let jobs = jobs_flag(opts)?;
     let ctl = ctl_flags(opts)?;
     let certify = certify_flag(opts);
     let options = AnalysisOptions::new()
         .with_ctl(ctl)
         .with_jobs(jobs)
-        .with_certify(certify);
+        .with_certify(certify)
+        .with_backend(engine);
     let golden = load_aig(required(opts, "golden")?)?;
     let approx = load_aig(required(opts, "approx")?)?;
     if golden.num_inputs() != approx.num_inputs() || golden.num_outputs() != approx.num_outputs() {
@@ -565,12 +591,12 @@ fn cmd_analyze(opts: &Flags) -> Result<(), CliError> {
             }
         }
     } else {
-        println!("combinational analysis");
+        println!("combinational analysis (engine {engine})");
         let analyzer = CombAnalyzer::new(&golden, &approx).with_options(options);
         let wce = analyzer.worst_case_error().map_err(report_analysis_error)?;
         println!(
-            "worst-case error     : {} ({} probes, {} conflicts)",
-            wce.value, wce.sat_calls, wce.conflicts
+            "worst-case error     : {} ({} probes, {} conflicts, via {})",
+            wce.value, wce.sat_calls, wce.conflicts, wce.engine
         );
         println!(
             "worst-case rel error : {:.4} %",
@@ -586,27 +612,16 @@ fn cmd_analyze(opts: &Flags) -> Result<(), CliError> {
             None => println!("MSB error bit        : none (equivalent)"),
         }
         if opts.contains_key("average") {
-            // Exact average-case metrics via BDDs; adder-class circuits
-            // succeed, multiplier-class ones fall back to sampling.
-            match axmc::bdd::exact_mae(&golden, &approx, 5_000_000) {
-                Ok(stats) => {
-                    let rate = axmc::bdd::exact_error_rate(&golden, &approx, 5_000_000)
-                        .map_err(|e| e.to_string())?;
-                    println!("mean abs error       : {:.6} (exact, BDD)", stats.mae);
-                    println!("error rate           : {:.4} % (exact, BDD)", rate * 100.0);
-                }
-                Err(_) => {
-                    let sampled = axmc::core::sampled_stats(&golden, &approx, 100_000, 1);
-                    println!(
-                        "mean abs error       : {:.6} (sampled estimate; BDD blew up)",
-                        sampled.mae_estimate
-                    );
-                    println!(
-                        "error rate           : {:.4} % (sampled estimate)",
-                        sampled.error_rate_estimate * 100.0
-                    );
-                }
-            }
+            // Exact average-case metrics through the unified backend
+            // path: BDD model counting first, then an exhaustive sweep,
+            // then sampling (flagged as a non-guaranteed estimate).
+            let avg = analyzer.average_error().map_err(report_analysis_error)?;
+            println!("mean abs error       : {:.6} ({})", avg.mae, avg.method);
+            println!(
+                "error rate           : {:.4} % ({})",
+                avg.error_rate * 100.0,
+                avg.method
+            );
         }
     }
     if certify {
@@ -619,6 +634,7 @@ fn cmd_evolve(opts: &Flags) -> Result<(), CliError> {
     let kind = required(opts, "kind")?;
     let width: usize = numeric(opts, "width", 8)?;
     let seed: u64 = numeric(opts, "seed", 1)?;
+    let engine = engine_flag(opts)?;
     let jobs = jobs_flag(opts)?;
     let ctl = ctl_flags(opts)?;
     let certify = certify_flag(opts);
@@ -642,6 +658,7 @@ fn cmd_evolve(opts: &Flags) -> Result<(), CliError> {
         options.jobs = jobs;
         options.certify = certify;
         options.ctl = ctl;
+        options.backend = engine;
         (options, cfg.wcre_percent)
     } else {
         let wcre: f64 = numeric(opts, "wcre", 1.0)?;
@@ -655,6 +672,7 @@ fn cmd_evolve(opts: &Flags) -> Result<(), CliError> {
             jobs,
             certify,
             ctl,
+            backend: engine,
             ..SearchOptions::default()
         };
         (options, wcre)

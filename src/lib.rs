@@ -69,7 +69,8 @@ pub use axmc_seq as seq;
 
 pub use axmc_cgp::{evolve, SearchOptions, SearchResult};
 pub use axmc_core::{
-    AnalysisError, AnalysisOptions, Budget, CancelToken, CombAnalyzer, ErrorGrowth, ErrorProfile,
-    ErrorReport, Interrupt, Partial, ResourceCtl, SeqAnalyzer, Verdict,
+    AnalysisError, AnalysisOptions, AverageMethod, AverageReport, Backend, Budget, CancelToken,
+    CombAnalyzer, EngineKind, ErrorGrowth, ErrorProfile, ErrorReport, Interrupt, Partial,
+    ResourceCtl, SeqAnalyzer, Verdict, DEFAULT_BDD_NODE_LIMIT,
 };
 pub use axmc_mc::{Bmc, BmcResult, CertificateRejected, InductionOptions, ProofResult};

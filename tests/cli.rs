@@ -407,4 +407,68 @@ fn help_prints_usage() {
     assert!(text.contains("USAGE"), "{text}");
     assert!(text.contains("analyze"), "{text}");
     assert!(text.contains("evolve"), "{text}");
+    assert!(text.contains("--engine"), "{text}");
+}
+
+#[test]
+fn engine_choices_report_identical_metrics() {
+    let g = tmp("eng-g.aag");
+    let c = tmp("eng-c.aag");
+    for (kind, param, path) in [("adder", None, &g), ("loa-adder", Some("4"), &c)] {
+        let mut cmd = axmc();
+        cmd.args(["gen", "--kind", kind, "--width", "8"]);
+        if let Some(p) = param {
+            cmd.args(["--param", p]);
+        }
+        let out = cmd.arg("--out").arg(path).output().expect("spawn");
+        assert!(out.status.success());
+    }
+    // The metric values (everything before the parenthesized engine
+    // attribution) must be byte-identical for every --engine choice.
+    let run = |engine: &str| -> Vec<String> {
+        let out = axmc()
+            .args(["analyze", "--golden"])
+            .arg(&g)
+            .arg("--approx")
+            .arg(&c)
+            .args(["--engine", engine, "--average"])
+            .output()
+            .expect("spawn");
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        String::from_utf8_lossy(&out.stdout)
+            .lines()
+            .filter(|l| l.contains(" : "))
+            .map(|l| l.split(" (").next().unwrap().to_string())
+            .collect()
+    };
+    let sat = run("sat");
+    let bdd = run("bdd");
+    let auto = run("auto");
+    assert!(
+        sat.iter().any(|l| l.starts_with("worst-case error")),
+        "{sat:?}"
+    );
+    assert!(
+        sat.iter().any(|l| l.starts_with("mean abs error")),
+        "{sat:?}"
+    );
+    assert_eq!(sat, bdd);
+    assert_eq!(sat, auto);
+}
+
+#[test]
+fn unknown_engines_are_rejected() {
+    let out = axmc()
+        .args([
+            "analyze", "--golden", "x.aag", "--approx", "y.aag", "--engine", "cudd",
+        ])
+        .output()
+        .expect("spawn");
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("unknown engine 'cudd'"), "{err}");
 }

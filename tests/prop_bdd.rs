@@ -77,7 +77,7 @@ proptest! {
                 count += 1;
             }
         }
-        prop_assert_eq!(m.count_sat(f), count);
+        prop_assert_eq!(m.count_sat(f), Ok(count));
     }
 
     #[test]
