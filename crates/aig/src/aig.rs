@@ -105,6 +105,56 @@ impl Aig {
         self.nodes.len()
     }
 
+    /// A 64-bit structural fingerprint of the AIG (FNV-1a over the node
+    /// list, latch definitions and output literals, in stored order).
+    ///
+    /// Two AIGs with identical structure — same node table, latches and
+    /// outputs — have identical fingerprints, so the value works as a
+    /// cache key and as a run-to-run identity check for analysis cones
+    /// in traces and run manifests. It is *not* a semantic hash:
+    /// functionally equivalent but structurally different graphs
+    /// fingerprint differently.
+    pub fn fingerprint(&self) -> u64 {
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = FNV_OFFSET;
+        let mut mix = |v: u32| {
+            for byte in v.to_le_bytes() {
+                h ^= u64::from(byte);
+                h = h.wrapping_mul(FNV_PRIME);
+            }
+        };
+        for node in &self.nodes {
+            match node {
+                Node::Const => mix(0),
+                Node::Input(i) => {
+                    mix(1);
+                    mix(*i);
+                }
+                Node::Latch(i) => {
+                    mix(2);
+                    mix(*i);
+                }
+                Node::And(a, b) => {
+                    mix(3);
+                    mix(a.code());
+                    mix(b.code());
+                }
+            }
+        }
+        for latch in &self.latches {
+            mix(4);
+            mix(latch.var.index());
+            mix(latch.next.code());
+            mix(latch.init as u32);
+        }
+        for out in &self.outputs {
+            mix(5);
+            mix(out.code());
+        }
+        h
+    }
+
     /// Number of non-constant fanin edges of AND gates.
     pub fn num_edges(&self) -> usize {
         self.nodes
@@ -645,5 +695,28 @@ mod tests {
         }
         aig.add_output(acc);
         assert_eq!(aig.depth(), 3);
+    }
+
+    #[test]
+    fn fingerprint_tracks_structure() {
+        let build = |negate: bool| {
+            let mut aig = Aig::new();
+            let a = aig.add_input();
+            let b = aig.add_input();
+            let x = aig.and(a, b);
+            aig.add_output(x.negate_if(negate));
+            aig
+        };
+        // Deterministic and structure-sensitive.
+        assert_eq!(build(false).fingerprint(), build(false).fingerprint());
+        assert_ne!(build(false).fingerprint(), build(true).fingerprint());
+        assert_ne!(Aig::new().fingerprint(), build(false).fingerprint());
+        // Sequential structure participates too.
+        let mut seq = build(false);
+        let d = seq.outputs()[0];
+        let q = seq.add_latch(true);
+        seq.set_latch_next(0, d);
+        let _ = q;
+        assert_ne!(seq.fingerprint(), build(false).fingerprint());
     }
 }

@@ -123,6 +123,15 @@ pub struct Manager {
     ctl: ResourceCtl,
     /// Operation counter driving the amortized ctl poll.
     ops: u64,
+    /// ITE computed-cache hits since the last [`Manager::flush_obs`].
+    /// Plain (non-atomic) counters: the hot path stays branch-free and
+    /// the global registry is touched once per computation, not per op.
+    cache_hits: u64,
+    /// ITE computed-cache misses since the last [`Manager::flush_obs`].
+    cache_misses: u64,
+    /// Node count already reported by [`Manager::flush_obs`], so churn
+    /// deltas are not double-counted across flushes.
+    flushed_nodes: usize,
 }
 
 impl Manager {
@@ -145,6 +154,9 @@ impl Manager {
             input_at: (0..num_vars as u32).collect(),
             ctl: ResourceCtl::unlimited(),
             ops: 0,
+            cache_hits: 0,
+            cache_misses: 0,
+            flushed_nodes: 2,
         }
     }
 
@@ -219,6 +231,39 @@ impl Manager {
         self.nodes.len()
     }
 
+    /// ITE computed-cache `(hits, misses)` since the last
+    /// [`Manager::flush_obs`] (or since construction).
+    pub fn cache_stats(&self) -> (u64, u64) {
+        (self.cache_hits, self.cache_misses)
+    }
+
+    /// Folds this manager's accumulated introspection into the global
+    /// metrics registry and resets the local deltas: cache hits/misses
+    /// (`bdd.cache.hits` / `bdd.cache.misses`), nodes created since the
+    /// last flush (`bdd.nodes.created` — churn, since ROBDD nodes are
+    /// never freed this equals growth), and the peak node count
+    /// (`bdd.nodes.peak`, a max-gauge). A no-op while observability is
+    /// disabled; callers flush once per computation, never per operation.
+    pub fn flush_obs(&mut self) {
+        if !axmc_obs::enabled() {
+            return;
+        }
+        if self.cache_hits > 0 {
+            axmc_obs::counter("bdd.cache.hits").add(self.cache_hits);
+        }
+        if self.cache_misses > 0 {
+            axmc_obs::counter("bdd.cache.misses").add(self.cache_misses);
+        }
+        self.cache_hits = 0;
+        self.cache_misses = 0;
+        let created = self.nodes.len().saturating_sub(self.flushed_nodes);
+        if created > 0 {
+            axmc_obs::counter("bdd.nodes.created").add(created as u64);
+        }
+        self.flushed_nodes = self.nodes.len();
+        axmc_obs::gauge("bdd.nodes.peak").set_max(self.nodes.len().min(i64::MAX as usize) as i64);
+    }
+
     fn var_of(&self, id: NodeId) -> u32 {
         if id.is_terminal() {
             u32::MAX
@@ -291,8 +336,10 @@ impl Manager {
             return Ok(f);
         }
         if let Some(&hit) = self.ite_cache.get(&(f, g, h)) {
+            self.cache_hits += 1;
             return Ok(hit);
         }
+        self.cache_misses += 1;
         let top = self.var_of(f).min(self.var_of(g)).min(self.var_of(h));
         let (f0, f1) = self.cofactors(f, top);
         let (g0, g1) = self.cofactors(g, top);

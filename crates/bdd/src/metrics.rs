@@ -128,19 +128,27 @@ pub fn exact_mae_with(
         .with_order(&two_operand_order(golden.num_inputs()))
         .with_node_limit(node_limit)
         .with_ctl(ctl.clone());
-    let bits = m.import_aig(&diff_aig)?;
-    let mut total: u128 = 0;
-    for (i, &f) in bits.iter().enumerate() {
-        let count = m.count_sat(f)?;
-        // Σ count_i · 2^i can outgrow u128 even when each count fits;
-        // surface that as the same typed width-limit error.
-        total = count
-            .checked_shl(i as u32)
-            .and_then(|scaled| total.checked_add(scaled))
-            .ok_or(BuildBddError::WidthLimit {
-                vars: golden.num_inputs() + bits.len(),
-            })?;
-    }
+    let run = |m: &mut Manager| -> Result<u128, BuildBddError> {
+        let bits = m.import_aig(&diff_aig)?;
+        let mut total: u128 = 0;
+        for (i, &f) in bits.iter().enumerate() {
+            let count = m.count_sat(f)?;
+            // Σ count_i · 2^i can outgrow u128 even when each count fits;
+            // surface that as the same typed width-limit error.
+            total = count
+                .checked_shl(i as u32)
+                .and_then(|scaled| total.checked_add(scaled))
+                .ok_or(BuildBddError::WidthLimit {
+                    vars: golden.num_inputs() + bits.len(),
+                })?;
+        }
+        Ok(total)
+    };
+    // Flush cache/node introspection whether the build succeeded or blew
+    // its limit — the blow-ups are exactly the runs worth inspecting.
+    let total = run(&mut m);
+    m.flush_obs();
+    let total = total?;
     let denom = 2f64.powi(golden.num_inputs() as i32);
     Ok(BddErrorStats {
         mae: total as f64 / denom,
@@ -197,14 +205,19 @@ pub fn exact_error_rate_with(
         .with_order(&two_operand_order(golden.num_inputs()))
         .with_node_limit(node_limit)
         .with_ctl(ctl.clone());
-    let g_bits = m.import_aig(&golden.compact())?;
-    let c_bits = m.import_aig(&candidate.compact())?;
-    let mut any = NodeId::FALSE;
-    for (&g, &c) in g_bits.iter().zip(&c_bits) {
-        let d = m.apply_xor(g, c)?;
-        any = m.ite(any, NodeId::TRUE, d)?;
-    }
-    let count = m.count_sat(any)?;
+    let run = |m: &mut Manager| -> Result<u128, BuildBddError> {
+        let g_bits = m.import_aig(&golden.compact())?;
+        let c_bits = m.import_aig(&candidate.compact())?;
+        let mut any = NodeId::FALSE;
+        for (&g, &c) in g_bits.iter().zip(&c_bits) {
+            let d = m.apply_xor(g, c)?;
+            any = m.ite(any, NodeId::TRUE, d)?;
+        }
+        m.count_sat(any)
+    };
+    let count = run(&mut m);
+    m.flush_obs();
+    let count = count?;
     Ok(BddRateStats {
         error_inputs: count,
         rate: count as f64 / 2f64.powi(golden.num_inputs() as i32),

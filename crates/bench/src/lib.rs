@@ -26,10 +26,19 @@
 //! (default `1`, so recorded numbers stay comparable across machines
 //! unless parallelism is requested explicitly) via [`jobs_from_env`].
 //! The value in effect is recorded in the metrics JSON.
+//!
+//! # Run artifacts
+//!
+//! Set `AXMC_RUN_DIR=DIR` to make a harness record a complete run
+//! bundle — `manifest.json`, `trace.jsonl` (the full span/event trace)
+//! and `metrics.json` — exactly like the CLI's `--run-dir`, consumable
+//! by `axmc report` and `axmc bench-diff`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use axmc_obs::artifact::RunDir;
+use axmc_obs::json::Json;
 use axmc_obs::Snapshot;
 use std::time::Instant;
 
@@ -71,6 +80,14 @@ impl Scale {
             Scale::Full => full,
         }
     }
+
+    /// The scale's name as written into file names and JSON.
+    pub fn name(self) -> &'static str {
+        match self {
+            Scale::Quick => "quick",
+            Scale::Full => "full",
+        }
+    }
 }
 
 /// Runs `f`, returning its result and the elapsed milliseconds.
@@ -109,6 +126,8 @@ pub struct PhaseLog {
     enabled: bool,
     phases: Vec<ClosedPhase>,
     current: Option<(String, Instant)>,
+    started: Instant,
+    run_dir: Option<RunDir>,
 }
 
 struct ClosedPhase {
@@ -129,14 +148,53 @@ impl PhaseLog {
             axmc_obs::set_enabled(true);
             axmc_obs::reset();
         }
-        PhaseLog {
+        let mut log = PhaseLog {
             id: id.to_string(),
             scale,
             jobs: jobs_from_env(),
             enabled,
             phases: Vec::new(),
             current: None,
+            started: Instant::now(),
+            run_dir: None,
+        };
+        if enabled {
+            log.attach_run_dir();
         }
+        log
+    }
+
+    /// Opens the `AXMC_RUN_DIR` artifact bundle when requested: a trace
+    /// sink plus an immediately written manifest (rewritten at
+    /// [`PhaseLog::finish`] with the resource-usage block appended).
+    fn attach_run_dir(&mut self) {
+        let Ok(dir) = std::env::var("AXMC_RUN_DIR") else {
+            return;
+        };
+        if dir.is_empty() {
+            return;
+        }
+        let Ok(rd) = RunDir::create(std::path::Path::new(&dir)) else {
+            eprintln!("warning: cannot create run dir '{dir}'; artifacts disabled");
+            return;
+        };
+        match axmc_obs::sink::JsonlSink::create(&rd.trace_path()) {
+            Ok(sink) => axmc_obs::set_sink(std::sync::Arc::new(sink)),
+            Err(e) => eprintln!("warning: cannot create trace file in '{dir}': {e}"),
+        }
+        let _ = rd.write_manifest(self.manifest_entries());
+        self.run_dir = Some(rd);
+    }
+
+    fn manifest_entries(&self) -> Vec<(String, Json)> {
+        vec![
+            ("experiment".to_string(), Json::Str(self.id.clone())),
+            (
+                "scale".to_string(),
+                Json::Str(self.scale.name().to_string()),
+            ),
+            ("jobs".to_string(), Json::Num(self.jobs as f64)),
+        ]
     }
 
     /// Overrides the recorded worker count (defaults to [`jobs_from_env`]).
@@ -173,11 +231,9 @@ impl PhaseLog {
             return None;
         }
         self.close_current();
+        self.finish_run_dir();
         let dir = std::env::var("AXMC_METRICS_DIR").unwrap_or_else(|_| "bench_results".into());
-        let scale = match self.scale {
-            Scale::Quick => "quick",
-            Scale::Full => "full",
-        };
+        let scale = self.scale.name();
         let path = std::path::Path::new(&dir).join(format!("{}_metrics.{scale}.json", self.id));
         if std::fs::create_dir_all(&dir).is_err() {
             return None;
@@ -189,19 +245,39 @@ impl PhaseLog {
         }
     }
 
+    /// Seals the `AXMC_RUN_DIR` bundle: flushes the trace sink, rewrites
+    /// the manifest with resource usage, and writes a `metrics.json`
+    /// merging every phase's snapshot (so the bundle diffs against other
+    /// run dirs with `axmc bench-diff`).
+    fn finish_run_dir(&mut self) {
+        let Some(rd) = self.run_dir.take() else {
+            return;
+        };
+        axmc_obs::proc::record_gauges();
+        let mut merged = axmc_obs::snapshot();
+        for phase in &self.phases {
+            merged.merge(&phase.metrics);
+        }
+        let wall_ms = self.started.elapsed().as_secs_f64() * 1000.0;
+        let mut entries = self.manifest_entries();
+        entries.push(("proc".to_string(), proc_json()));
+        if let Err(e) = rd
+            .write_manifest(entries)
+            .and_then(|()| rd.write_metrics(&merged, wall_ms))
+        {
+            eprintln!("warning: cannot finalize run dir: {e}");
+        }
+        axmc_obs::clear_sink();
+    }
+
     /// The metrics document as pretty-printed JSON.
     pub fn to_json(&self) -> String {
         let mut out = String::new();
         out.push_str("{\n");
         out.push_str(&format!("  \"experiment\": {},\n", json_str(&self.id)));
-        out.push_str(&format!(
-            "  \"scale\": \"{}\",\n",
-            match self.scale {
-                Scale::Quick => "quick",
-                Scale::Full => "full",
-            }
-        ));
+        out.push_str(&format!("  \"scale\": \"{}\",\n", self.scale.name()));
         out.push_str(&format!("  \"jobs\": {},\n", self.jobs));
+        out.push_str(&format!("  \"proc\": {},\n", proc_json().render()));
         out.push_str("  \"phases\": [");
         for (i, phase) in self.phases.iter().enumerate() {
             if i > 0 {
@@ -261,6 +337,23 @@ impl PhaseLog {
         out.push_str("]\n}\n");
         out
     }
+}
+
+/// Peak RSS and CPU time as a JSON block; values the platform does not
+/// expose are omitted (the block is empty off Linux, never absent).
+fn proc_json() -> Json {
+    let stats = axmc_obs::proc::read();
+    let mut obj = Vec::new();
+    if let Some(v) = stats.max_rss_kb {
+        obj.push(("max_rss_kb".to_string(), Json::Num(v as f64)));
+    }
+    if let Some(v) = stats.cpu_user_us {
+        obj.push(("cpu_user_us".to_string(), Json::Num(v as f64)));
+    }
+    if let Some(v) = stats.cpu_sys_us {
+        obj.push(("cpu_sys_us".to_string(), Json::Num(v as f64)));
+    }
+    Json::Obj(obj)
 }
 
 /// JSON string literal with the escapes the metric/phase names can need.
@@ -337,6 +430,17 @@ mod tests {
         // `with_jobs` clamps to at least one worker.
         let log = PhaseLog::new("TSTJ", Scale::Quick).with_jobs(0);
         assert!(log.to_json().contains("\"jobs\": 1"));
+    }
+
+    #[test]
+    fn phase_log_records_proc_usage() {
+        let log = PhaseLog::new("TSTP", Scale::Quick);
+        let json = log.to_json();
+        assert!(json.contains("\"proc\""), "{json}");
+        // On Linux the block carries real numbers; elsewhere it is {}.
+        if cfg!(target_os = "linux") {
+            assert!(json.contains("max_rss_kb"), "{json}");
+        }
     }
 
     #[test]

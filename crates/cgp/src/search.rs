@@ -173,14 +173,16 @@ impl SearchStats {
 pub(crate) struct SearchObs {
     engine: &'static str,
     start: Instant,
+    limit: Duration,
     last_progress: Option<Instant>,
 }
 
 impl SearchObs {
-    pub(crate) fn new(engine: &'static str, start: Instant) -> Self {
+    pub(crate) fn new(engine: &'static str, start: Instant, limit: Duration) -> Self {
         SearchObs {
             engine,
             start,
+            limit,
             last_progress: None,
         }
     }
@@ -196,7 +198,8 @@ impl SearchObs {
             }
         }
         self.last_progress = Some(Instant::now());
-        let secs = self.start.elapsed().as_secs_f64();
+        let elapsed = self.start.elapsed();
+        let secs = elapsed.as_secs_f64();
         let evals_per_sec = if secs > 0.0 {
             stats.offspring as f64 / secs
         } else {
@@ -209,7 +212,17 @@ impl SearchObs {
                 .field("best_area", best_area)
                 .field("offspring", stats.offspring)
                 .field("evals_per_sec", evals_per_sec)
-                .field("improvements", stats.improvements),
+                .field("improvements", stats.improvements)
+                // Elapsed/limit let trace consumers compute completion
+                // rate and ETA without knowing the CLI's arguments.
+                .field(
+                    "elapsed_ms",
+                    elapsed.as_millis().min(u64::MAX as u128) as u64,
+                )
+                .field(
+                    "limit_ms",
+                    self.limit.as_millis().min(u64::MAX as u128) as u64,
+                ),
         );
     }
 
@@ -347,7 +360,7 @@ pub fn evolve(golden: &Netlist, options: &SearchOptions) -> Result<SearchResult,
     let mut best = Chromosome::from_netlist(golden, options.extra_cols);
     let mut best_area = golden_area;
     let mut stats = SearchStats::default();
-    let mut obs = SearchObs::new("comb", start);
+    let mut obs = SearchObs::new("comb", start, options.time_limit);
 
     let jobs = options.jobs.max(1);
     for generation in 0..options.max_generations {
@@ -360,6 +373,10 @@ pub fn evolve(golden: &Netlist, options: &SearchOptions) -> Result<SearchResult,
         }
         stats.generations = generation + 1;
         obs.progress(&stats, best_area);
+        // One span per generation; the verifier fleet below re-parents
+        // its per-candidate spans onto this one (see `axmc_par`), so a
+        // trace reconstructs generation -> candidate-verify branches.
+        let _generation = axmc_obs::span("cgp.generation.time_us");
         // Breed the whole generation serially: one RNG stream, so every
         // child is identical regardless of the worker count. Neutral
         // drift and the area filter need no evaluation and apply here;
@@ -486,6 +503,7 @@ fn verify(
     candidate: &Netlist,
     options: &SearchOptions,
 ) -> Result<CandidateVerdict, AnalysisError> {
+    let _span = axmc_obs::span("cgp.verify.time_us");
     if matches!(options.backend, Backend::Bdd | Backend::Auto) {
         let cand_aig = candidate.to_aig();
         match bdd_worst_case(golden_aig, &cand_aig, options) {

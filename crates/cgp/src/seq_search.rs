@@ -100,7 +100,7 @@ pub fn evolve_in_context(
     let mut best = Chromosome::from_netlist(golden, options.extra_cols);
     let mut best_area = golden_area;
     let mut stats = SearchStats::default();
-    let mut obs = SearchObs::new("seq", start);
+    let mut obs = SearchObs::new("seq", start, options.time_limit);
 
     let jobs = options.jobs.max(1);
     for generation in 0..options.max_generations {
@@ -113,6 +113,9 @@ pub fn evolve_in_context(
         }
         stats.generations = generation + 1;
         obs.progress(&stats, best_area);
+        // One span per generation, parenting the fleet's per-candidate
+        // verify spans — same trace shape as the combinational loop.
+        let _generation = axmc_obs::span("cgp.generation.time_us");
         // Breed serially (one RNG stream), verify on the fleet, merge in
         // candidate order — same scheme as the combinational loop, so a
         // fixed seed gives one trajectory for every `jobs` value.
@@ -183,6 +186,7 @@ fn verify_in_context(
     context: &SequentialContext<'_>,
     options: &SearchOptions,
 ) -> Result<CandidateVerdict, AnalysisError> {
+    let _span = axmc_obs::span("cgp.verify.time_us");
     let system = (context.build)(netlist);
     let miter = sequential_diff_miter(golden_system, &system, options.threshold);
     let mut bmc = Bmc::new(&miter);

@@ -360,29 +360,33 @@ impl<'a> CombAnalyzer<'a> {
             .with_order(&axmc_bdd::two_operand_order(n))
             .with_node_limit(self.options.bdd_node_limit)
             .with_ctl(ctl.clone());
-        let bits = match m.import_aig(miter) {
-            Ok(bits) => bits,
-            Err(e) => return BddAttempt::from_error(e),
+        let run = |m: &mut Manager| -> BddAttempt<u128> {
+            let bits = match m.import_aig(miter) {
+                Ok(bits) => bits,
+                Err(e) => return BddAttempt::from_error(e),
+            };
+            match m.max_word(&bits) {
+                Ok(value) => BddAttempt::Exact {
+                    value,
+                    nodes: m.num_nodes(),
+                },
+                Err(e) => BddAttempt::from_error(e),
+            }
         };
-        match m.max_word(&bits) {
-            Ok(value) => BddAttempt::Exact {
-                value,
-                nodes: m.num_nodes(),
-            },
-            Err(e) => BddAttempt::from_error(e),
-        }
+        let out = run(&mut m);
+        m.flush_obs();
+        out
     }
 
-    /// Runs the SAT engine under `ctl`, recording its latency.
+    /// Runs the SAT engine under `ctl`, recording its latency (as a
+    /// histogram sample and, when a trace is recorded, a profile span).
     fn timed_sat<T>(
         &self,
         ctl: &ResourceCtl,
         sat: &(impl Fn(&ResourceCtl) -> Result<ErrorReport<T>, AnalysisError> + ?Sized),
     ) -> Result<ErrorReport<T>, AnalysisError> {
-        let start = Instant::now();
-        let out = sat(ctl);
-        axmc_obs::histogram("engine.sat.time_us").record(start.elapsed().as_micros() as u64);
-        out
+        let _span = axmc_obs::span("engine.sat.time_us");
+        sat(ctl)
     }
 
     /// Runs the BDD engine under `ctl`, recording its latency and (on
@@ -392,9 +396,8 @@ impl<'a> CombAnalyzer<'a> {
         ctl: &ResourceCtl,
         bdd: &(impl Fn(&ResourceCtl) -> BddAttempt<T> + ?Sized),
     ) -> BddAttempt<T> {
-        let start = Instant::now();
+        let _span = axmc_obs::span("engine.bdd.time_us");
         let out = bdd(ctl);
-        axmc_obs::histogram("engine.bdd.time_us").record(start.elapsed().as_micros() as u64);
         if let BddAttempt::Exact { nodes, .. } = &out {
             axmc_obs::histogram("bdd.nodes").record(*nodes as u64);
         }
@@ -415,6 +418,18 @@ impl<'a> CombAnalyzer<'a> {
         sat: impl Fn(&ResourceCtl) -> Result<ErrorReport<T>, AnalysisError> + Send + Sync,
         bdd: impl Fn(&ResourceCtl) -> BddAttempt<T> + Send + Sync,
     ) -> Result<ErrorReport<T>, AnalysisError> {
+        if axmc_obs::tracing_active() {
+            // Structural fingerprints identify the analyzed cone pair
+            // across runs (cache keys, run-to-run identity in reports);
+            // computed only when a trace is actually recorded.
+            axmc_obs::emit(
+                axmc_obs::Event::new("analysis.query")
+                    .field("golden_fp", self.golden.fingerprint())
+                    .field("candidate_fp", self.candidate.fingerprint())
+                    .field("inputs", self.golden.num_inputs() as u64)
+                    .field("backend", format!("{}", self.options.backend)),
+            );
+        }
         match self.options.backend {
             Backend::Sat => {
                 axmc_obs::counter("engine.selected.sat").inc();
@@ -442,22 +457,41 @@ impl<'a> CombAnalyzer<'a> {
                 let sat_ctl = ctl;
                 let race_bdd = race.clone();
                 let race_sat = race;
-                let (bdd_out, sat_out) = axmc_par::parallel_pair(
+                let ((bdd_out, bdd_us), (sat_out, sat_us)) = axmc_par::parallel_pair(
                     || {
+                        let start = Instant::now();
                         let out = self.timed_bdd(&bdd_ctl, &bdd);
                         if matches!(out, BddAttempt::Exact { .. }) {
                             race_bdd.cancel();
                         }
-                        out
+                        (out, start.elapsed().as_micros() as u64)
                     },
                     || {
+                        let start = Instant::now();
                         let out = self.timed_sat(&sat_ctl, &sat);
                         if out.is_ok() {
                             race_sat.cancel();
                         }
-                        out
+                        (out, start.elapsed().as_micros() as u64)
                     },
                 );
+                if axmc_obs::tracing_active() {
+                    let winner = match (&bdd_out, &sat_out) {
+                        (BddAttempt::Exact { .. }, _) => "bdd",
+                        (_, Ok(_)) => "sat",
+                        _ => "none",
+                    };
+                    axmc_obs::emit(
+                        axmc_obs::Event::new("engine.race")
+                            .field("winner", winner)
+                            .field("bdd_us", bdd_us)
+                            .field("sat_us", sat_us)
+                            .field(
+                                "both_finished",
+                                matches!(bdd_out, BddAttempt::Exact { .. }) && sat_out.is_ok(),
+                            ),
+                    );
+                }
                 // A rejected certificate means the SAT solver produced an
                 // unsound answer — surface it, never mask it.
                 if matches!(sat_out, Err(AnalysisError::CertificateRejected { .. })) {

@@ -1,0 +1,199 @@
+//! Run artifact bundles: the `--run-dir DIR` directory layout.
+//!
+//! A run directory makes one analysis/synthesis/bench run a
+//! self-contained, machine-readable artifact:
+//!
+//! ```text
+//! DIR/
+//!   manifest.json   command, arguments, seed/jobs/engine, wall clock
+//!   trace.jsonl     the structured event stream (span.start/span.end …)
+//!   metrics.json    final metrics snapshot + proc.* usage, for bench-diff
+//! ```
+//!
+//! `axmc report` consumes a run dir (or a bare trace) and `axmc
+//! bench-diff` compares two of them, so a bundle recorded today is the
+//! regression baseline of every future change.
+
+use crate::json::Json;
+use crate::metrics::Snapshot;
+use std::path::{Path, PathBuf};
+
+/// File name of the manifest inside a run dir.
+pub const MANIFEST_FILE: &str = "manifest.json";
+/// File name of the trace inside a run dir.
+pub const TRACE_FILE: &str = "trace.jsonl";
+/// File name of the metrics snapshot inside a run dir.
+pub const METRICS_FILE: &str = "metrics.json";
+
+/// A created run directory.
+#[derive(Clone, Debug)]
+pub struct RunDir {
+    dir: PathBuf,
+}
+
+impl RunDir {
+    /// Creates `dir` (and parents) and returns the handle.
+    pub fn create(dir: &Path) -> std::io::Result<RunDir> {
+        std::fs::create_dir_all(dir)?;
+        Ok(RunDir {
+            dir: dir.to_path_buf(),
+        })
+    }
+
+    /// The directory itself.
+    pub fn path(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Where the trace stream goes (`trace.jsonl`).
+    pub fn trace_path(&self) -> PathBuf {
+        self.dir.join(TRACE_FILE)
+    }
+
+    /// Writes `manifest.json`. `entries` keep their order; callers put
+    /// the run identity first (command, args, seed, jobs, engine) and
+    /// the outcome (wall_ms, status) last.
+    pub fn write_manifest(&self, entries: Vec<(String, Json)>) -> std::io::Result<()> {
+        let mut members = vec![(
+            "schema".to_string(),
+            Json::Str("axmc-run-manifest-v1".to_string()),
+        )];
+        members.extend(entries);
+        std::fs::write(
+            self.dir.join(MANIFEST_FILE),
+            Json::Obj(members).render_pretty(2),
+        )
+    }
+
+    /// Writes `metrics.json` from a final snapshot plus the run's wall
+    /// clock. [`crate::proc::record_gauges`] should run first so the
+    /// snapshot carries the `proc.*` gauges.
+    pub fn write_metrics(&self, snapshot: &Snapshot, wall_ms: f64) -> std::io::Result<()> {
+        std::fs::write(
+            self.dir.join(METRICS_FILE),
+            metrics_to_json(snapshot, wall_ms).render_pretty(2),
+        )
+    }
+}
+
+/// The `metrics.json` document for a snapshot: wall clock, counters,
+/// gauges, and per-histogram summaries (count/sum/min/max/mean and the
+/// log₂-bucket p50/p95/p99).
+pub fn metrics_to_json(snapshot: &Snapshot, wall_ms: f64) -> Json {
+    let counters = snapshot
+        .counters
+        .iter()
+        .filter(|(_, &v)| v > 0)
+        .map(|(k, &v)| (k.clone(), Json::Num(v as f64)))
+        .collect();
+    let gauges = snapshot
+        .gauges
+        .iter()
+        .map(|(k, &v)| (k.clone(), Json::Num(v as f64)))
+        .collect();
+    let histograms = snapshot
+        .histograms
+        .iter()
+        .filter(|(_, h)| h.count > 0)
+        .map(|(k, h)| {
+            (
+                k.clone(),
+                Json::Obj(vec![
+                    ("count".into(), Json::Num(h.count as f64)),
+                    ("sum".into(), Json::Num(h.sum as f64)),
+                    ("min".into(), Json::Num(h.min as f64)),
+                    ("max".into(), Json::Num(h.max as f64)),
+                    ("mean".into(), Json::Num(h.mean())),
+                    ("p50".into(), Json::Num(h.quantile(0.50) as f64)),
+                    ("p95".into(), Json::Num(h.quantile(0.95) as f64)),
+                    ("p99".into(), Json::Num(h.quantile(0.99) as f64)),
+                ]),
+            )
+        })
+        .collect();
+    Json::Obj(vec![
+        ("schema".into(), Json::Str("axmc-metrics-v1".into())),
+        ("wall_ms".into(), Json::Num(wall_ms)),
+        ("counters".into(), Json::Obj(counters)),
+        ("gauges".into(), Json::Obj(gauges)),
+        ("histograms".into(), Json::Obj(histograms)),
+    ])
+}
+
+/// Resolves a user-supplied path to a metrics document: a directory
+/// means `metrics.json` inside it (a run dir), anything else is read as
+/// a metrics/bench JSON file directly.
+pub fn resolve_metrics_path(path: &Path) -> PathBuf {
+    if path.is_dir() {
+        path.join(METRICS_FILE)
+    } else {
+        path.to_path_buf()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::Registry;
+
+    fn tmpdir(name: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("axmc-obs-artifact-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn bundle_round_trips_through_json() {
+        let dir = tmpdir("bundle");
+        let run = RunDir::create(&dir).unwrap();
+        run.write_manifest(vec![
+            ("command".into(), Json::Str("analyze".into())),
+            ("jobs".into(), Json::Num(4.0)),
+        ])
+        .unwrap();
+        let registry = Registry::new();
+        registry.counter("sat.solves").add(3);
+        registry.gauge("proc.max_rss_kb").set(5000);
+        registry.histogram("sat.solve.time_us").record(100);
+        run.write_metrics(&registry.snapshot(), 12.5).unwrap();
+
+        let manifest =
+            Json::parse(&std::fs::read_to_string(dir.join(MANIFEST_FILE)).unwrap()).unwrap();
+        assert_eq!(manifest.get("command").unwrap().as_str(), Some("analyze"));
+        assert_eq!(
+            manifest.get("schema").unwrap().as_str(),
+            Some("axmc-run-manifest-v1")
+        );
+        let metrics =
+            Json::parse(&std::fs::read_to_string(dir.join(METRICS_FILE)).unwrap()).unwrap();
+        assert_eq!(metrics.get("wall_ms").unwrap().as_f64(), Some(12.5));
+        assert_eq!(
+            metrics
+                .get("counters")
+                .unwrap()
+                .get("sat.solves")
+                .unwrap()
+                .as_f64(),
+            Some(3.0)
+        );
+        assert_eq!(
+            metrics
+                .get("histograms")
+                .unwrap()
+                .get("sat.solve.time_us")
+                .unwrap()
+                .get("p95")
+                .unwrap()
+                .as_f64(),
+            Some(100.0),
+            "single sample: bucket upper bound capped at observed max"
+        );
+        assert_eq!(resolve_metrics_path(&dir), dir.join(METRICS_FILE));
+        assert_eq!(
+            resolve_metrics_path(&dir.join(METRICS_FILE)),
+            dir.join(METRICS_FILE)
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

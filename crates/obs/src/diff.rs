@@ -1,0 +1,309 @@
+//! Comparison of two performance recordings: the `axmc bench-diff`
+//! engine.
+//!
+//! Accepts both metric document shapes the workspace produces:
+//!
+//! * a bench-harness `PhaseLog` file (`bench_results/*_metrics.*.json`):
+//!   rows are the per-phase `wall_ms` entries plus a synthesized `total`;
+//! * a run-dir `metrics.json` (`axmc-metrics-v1`): rows are the run's
+//!   `wall_ms` plus one row per `*.time_us` histogram (sum, as ms).
+//!
+//! A row regresses when it exists on both sides, the new time exceeds
+//! the noise floor (`min_ms`), and the relative slowdown exceeds the
+//! threshold. Improvements, new rows and removed rows are reported but
+//! never fail the diff.
+
+use crate::json::Json;
+
+/// Tunables for a comparison.
+#[derive(Clone, Copy, Debug)]
+pub struct DiffOptions {
+    /// Maximum tolerated slowdown, percent (`25.0` = fail past +25%).
+    pub threshold_pct: f64,
+    /// Rows whose *new* time is at or below this many milliseconds never
+    /// regress — sub-noise timings produce huge meaningless ratios.
+    pub min_ms: f64,
+}
+
+impl Default for DiffOptions {
+    fn default() -> Self {
+        DiffOptions {
+            threshold_pct: 25.0,
+            min_ms: 5.0,
+        }
+    }
+}
+
+/// One compared row.
+#[derive(Clone, Debug)]
+pub struct DiffRow {
+    /// Phase / span name.
+    pub name: String,
+    /// Baseline milliseconds, `None` if the row is new.
+    pub base_ms: Option<f64>,
+    /// New milliseconds, `None` if the row disappeared.
+    pub new_ms: Option<f64>,
+    /// Relative change in percent when both sides exist.
+    pub delta_pct: Option<f64>,
+    /// True when this row breaches the threshold.
+    pub regressed: bool,
+}
+
+/// A finished comparison.
+#[derive(Clone, Debug, Default)]
+pub struct Diff {
+    /// All rows, baseline order first, then new-only rows.
+    pub rows: Vec<DiffRow>,
+    /// True when any row regressed.
+    pub regressed: bool,
+}
+
+/// Extracts `(name, wall_ms)` rows from a metrics document of either
+/// supported shape. Unknown shapes yield no rows.
+pub fn extract_rows(doc: &Json) -> Vec<(String, f64)> {
+    let mut rows = Vec::new();
+    if let Some(phases) = doc.get("phases").and_then(|p| p.as_arr()) {
+        let mut total = 0.0;
+        for phase in phases {
+            let name = phase
+                .get("name")
+                .and_then(|n| n.as_str())
+                .unwrap_or("?")
+                .to_string();
+            let ms = phase.get("wall_ms").and_then(|w| w.as_f64()).unwrap_or(0.0);
+            total += ms;
+            rows.push((name, ms));
+        }
+        rows.push(("total".to_string(), total));
+        return rows;
+    }
+    if let Some(wall) = doc.get("wall_ms").and_then(|w| w.as_f64()) {
+        rows.push(("wall".to_string(), wall));
+        if let Some(hists) = doc.get("histograms").and_then(|h| h.as_obj()) {
+            for (name, h) in hists {
+                if !name.ends_with("time_us") {
+                    continue;
+                }
+                if let Some(sum) = h.get("sum").and_then(|s| s.as_f64()) {
+                    rows.push((name.clone(), sum / 1000.0));
+                }
+            }
+        }
+    }
+    rows
+}
+
+/// Compares two row sets. Rows keep baseline order; rows only present in
+/// `new` follow, in their own order.
+pub fn compare(base: &[(String, f64)], new: &[(String, f64)], opts: DiffOptions) -> Diff {
+    let find = |rows: &[(String, f64)], name: &str| {
+        rows.iter().find(|(n, _)| n == name).map(|&(_, ms)| ms)
+    };
+    let mut rows = Vec::new();
+    for (name, base_ms) in base {
+        let new_ms = find(new, name);
+        let (delta_pct, regressed) = match new_ms {
+            Some(n) => {
+                let pct = if *base_ms > 0.0 {
+                    Some((n - base_ms) * 100.0 / base_ms)
+                } else {
+                    None
+                };
+                let bad = n > opts.min_ms && pct.map(|p| p > opts.threshold_pct).unwrap_or(false);
+                (pct, bad)
+            }
+            None => (None, false),
+        };
+        rows.push(DiffRow {
+            name: name.clone(),
+            base_ms: Some(*base_ms),
+            new_ms,
+            delta_pct,
+            regressed,
+        });
+    }
+    for (name, new_ms) in new {
+        if find(base, name).is_none() {
+            rows.push(DiffRow {
+                name: name.clone(),
+                base_ms: None,
+                new_ms: Some(*new_ms),
+                delta_pct: None,
+                regressed: false,
+            });
+        }
+    }
+    let regressed = rows.iter().any(|r| r.regressed);
+    Diff { rows, regressed }
+}
+
+fn fmt_ms(v: Option<f64>) -> String {
+    match v {
+        Some(ms) => format!("{ms:.3}"),
+        None => "-".to_string(),
+    }
+}
+
+/// Renders the comparison as an aligned table plus a one-line verdict.
+pub fn render(diff: &Diff, opts: DiffOptions) -> String {
+    let name_w = diff
+        .rows
+        .iter()
+        .map(|r| r.name.len())
+        .max()
+        .unwrap_or(5)
+        .max(5);
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<name_w$} {:>12} {:>12} {:>9}  status\n",
+        "phase", "base_ms", "new_ms", "delta"
+    ));
+    for row in &diff.rows {
+        let delta = match row.delta_pct {
+            Some(pct) => format!("{pct:+.1}%"),
+            None => "-".to_string(),
+        };
+        let status = if row.regressed {
+            "REGRESSED"
+        } else if row.base_ms.is_none() {
+            "new"
+        } else if row.new_ms.is_none() {
+            "removed"
+        } else {
+            "ok"
+        };
+        out.push_str(&format!(
+            "{:<name_w$} {:>12} {:>12} {:>9}  {status}\n",
+            row.name,
+            fmt_ms(row.base_ms),
+            fmt_ms(row.new_ms),
+            delta,
+        ));
+    }
+    let n_bad = diff.rows.iter().filter(|r| r.regressed).count();
+    if diff.regressed {
+        out.push_str(&format!(
+            "FAIL: {n_bad} phase(s) slower than +{:.1}% (noise floor {:.1} ms)\n",
+            opts.threshold_pct, opts.min_ms
+        ));
+    } else {
+        out.push_str(&format!(
+            "OK: no phase slower than +{:.1}% (noise floor {:.1} ms)\n",
+            opts.threshold_pct, opts.min_ms
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn phase_doc(rows: &[(&str, f64)]) -> Json {
+        Json::Obj(vec![(
+            "phases".into(),
+            Json::Arr(
+                rows.iter()
+                    .map(|(n, ms)| {
+                        Json::Obj(vec![
+                            ("name".into(), Json::Str(n.to_string())),
+                            ("wall_ms".into(), Json::Num(*ms)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        )])
+    }
+
+    #[test]
+    fn extracts_phase_log_rows_with_total() {
+        let rows = extract_rows(&phase_doc(&[("setup", 10.0), ("solve", 30.0)]));
+        assert_eq!(
+            rows,
+            vec![
+                ("setup".to_string(), 10.0),
+                ("solve".to_string(), 30.0),
+                ("total".to_string(), 40.0),
+            ]
+        );
+    }
+
+    #[test]
+    fn extracts_run_dir_metrics_rows() {
+        let doc = Json::parse(
+            r#"{"schema":"axmc-metrics-v1","wall_ms":120.5,
+                "histograms":{
+                  "sat.solve.time_us":{"count":3,"sum":90000},
+                  "sat.solves":{"count":3,"sum":3}}}"#,
+        )
+        .unwrap();
+        let rows = extract_rows(&doc);
+        assert_eq!(
+            rows,
+            vec![
+                ("wall".to_string(), 120.5),
+                ("sat.solve.time_us".to_string(), 90.0),
+            ]
+        );
+        assert!(extract_rows(&Json::Obj(vec![])).is_empty());
+    }
+
+    #[test]
+    fn self_diff_is_clean() {
+        let rows = extract_rows(&phase_doc(&[("a", 50.0), ("b", 8.0)]));
+        let diff = compare(&rows, &rows, DiffOptions::default());
+        assert!(!diff.regressed);
+        assert!(diff.rows.iter().all(|r| r.delta_pct == Some(0.0)));
+    }
+
+    #[test]
+    fn slowdown_past_threshold_regresses() {
+        let base = vec![("solve".to_string(), 100.0)];
+        let new = vec![("solve".to_string(), 160.0)];
+        let diff = compare(&base, &new, DiffOptions::default());
+        assert!(diff.regressed);
+        assert_eq!(diff.rows[0].delta_pct, Some(60.0));
+        // Same ratio but under the noise floor: ignored.
+        let base = vec![("solve".to_string(), 1.0)];
+        let new = vec![("solve".to_string(), 1.6)];
+        assert!(!compare(&base, &new, DiffOptions::default()).regressed);
+        // Improvement never fails.
+        let base = vec![("solve".to_string(), 100.0)];
+        let new = vec![("solve".to_string(), 40.0)];
+        assert!(!compare(&base, &new, DiffOptions::default()).regressed);
+    }
+
+    #[test]
+    fn added_and_removed_rows_are_reported_not_failed() {
+        let base = vec![("old".to_string(), 10.0)];
+        let new = vec![("fresh".to_string(), 10.0)];
+        let diff = compare(&base, &new, DiffOptions::default());
+        assert!(!diff.regressed);
+        let text = render(&diff, DiffOptions::default());
+        assert!(text.contains("removed"), "{text}");
+        assert!(text.contains("new"), "{text}");
+        assert!(text.contains("OK:"), "{text}");
+    }
+
+    #[test]
+    fn render_marks_regressions() {
+        let base = vec![("solve".to_string(), 100.0)];
+        let new = vec![("solve".to_string(), 200.0)];
+        let diff = compare(&base, &new, DiffOptions::default());
+        let text = render(&diff, DiffOptions::default());
+        assert!(text.contains("REGRESSED"), "{text}");
+        assert!(text.contains("+100.0%"), "{text}");
+        assert!(text.contains("FAIL:"), "{text}");
+        // Deterministic rendering.
+        assert_eq!(text, render(&diff, DiffOptions::default()));
+    }
+
+    #[test]
+    fn zero_baseline_rows_never_divide() {
+        let base = vec![("warm".to_string(), 0.0)];
+        let new = vec![("warm".to_string(), 50.0)];
+        let diff = compare(&base, &new, DiffOptions::default());
+        assert_eq!(diff.rows[0].delta_pct, None);
+        assert!(!diff.regressed);
+    }
+}

@@ -1,0 +1,471 @@
+//! A minimal JSON value: parse, render, navigate.
+//!
+//! The run-dir artifacts (`manifest.json`, `metrics.json`) and the bench
+//! harness metrics files are nested JSON, which the flat [`crate::Event`]
+//! codec cannot represent. This module is the hand-rolled, dependency-free
+//! counterpart for those documents: a [`Json`] tree with a recursive
+//! descent parser and a deterministic renderer (object keys keep their
+//! insertion order; integers render without a decimal point).
+
+use std::fmt;
+
+/// A JSON document node.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any number (parsed as `f64`; JSON has one number type).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object; members keep insertion order.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Member of an object by key (`None` for other variants).
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The number value, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The string value, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an array.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The members, if this is an object.
+    pub fn as_obj(&self) -> Option<&[(String, Json)]> {
+        match self {
+            Json::Obj(members) => Some(members),
+            _ => None,
+        }
+    }
+
+    /// Renders compact single-line JSON.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, None, 0);
+        out
+    }
+
+    /// Renders with newlines and `indent`-space steps (pretty).
+    pub fn render_pretty(&self, indent: usize) -> String {
+        let mut out = String::new();
+        self.write(&mut out, Some(indent), 0);
+        out.push('\n');
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: Option<usize>, depth: usize) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(v) => out.push_str(&render_number(*v)),
+            Json::Str(s) => encode_str(out, s),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    newline_indent(out, indent, depth + 1);
+                    item.write(out, indent, depth + 1);
+                }
+                if !items.is_empty() {
+                    newline_indent(out, indent, depth);
+                }
+                out.push(']');
+            }
+            Json::Obj(members) => {
+                out.push('{');
+                for (i, (key, value)) in members.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    newline_indent(out, indent, depth + 1);
+                    encode_str(out, key);
+                    out.push(':');
+                    if indent.is_some() {
+                        out.push(' ');
+                    }
+                    value.write(out, indent, depth + 1);
+                }
+                if !members.is_empty() {
+                    newline_indent(out, indent, depth);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    /// Parses one complete JSON document.
+    pub fn parse(text: &str) -> Result<Json, JsonError> {
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+            depth: 0,
+        };
+        let value = p.parse_value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return p.err("trailing input after document");
+        }
+        Ok(value)
+    }
+}
+
+fn newline_indent(out: &mut String, indent: Option<usize>, depth: usize) {
+    if let Some(step) = indent {
+        out.push('\n');
+        for _ in 0..depth * step {
+            out.push(' ');
+        }
+    }
+}
+
+/// Integral values print as integers (`3`, not `3.0`); everything else
+/// uses the shortest round-trippable float form.
+fn render_number(v: f64) -> String {
+    if v.is_finite() && v.fract() == 0.0 && v.abs() < 9.0e15 {
+        format!("{}", v as i64)
+    } else if v.is_finite() {
+        format!("{v:?}")
+    } else {
+        // JSON has no NaN/inf; null is the least-bad lossy encoding.
+        "null".to_string()
+    }
+}
+
+fn encode_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Why a document failed to parse.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct JsonError {
+    /// Human-readable reason.
+    pub message: String,
+    /// Byte offset in the input.
+    pub at: usize,
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} at byte {}", self.message, self.at)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+const MAX_DEPTH: usize = 128;
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    depth: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err<T>(&self, message: &str) -> Result<T, JsonError> {
+        Err(JsonError {
+            message: message.to_string(),
+            at: self.pos,
+        })
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\r' | b'\n')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), JsonError> {
+        self.skip_ws();
+        if self.bytes.get(self.pos) == Some(&b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            self.err(&format!("expected '{}'", b as char))
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Json, JsonError> {
+        self.skip_ws();
+        if self.depth > MAX_DEPTH {
+            return self.err("nesting too deep");
+        }
+        match self.bytes.get(self.pos) {
+            Some(b'{') => self.parse_obj(),
+            Some(b'[') => self.parse_arr(),
+            Some(b'"') => Ok(Json::Str(self.parse_string()?)),
+            Some(b't') => self.parse_literal("true", Json::Bool(true)),
+            Some(b'f') => self.parse_literal("false", Json::Bool(false)),
+            Some(b'n') => self.parse_literal("null", Json::Null),
+            Some(b'-' | b'0'..=b'9') => self.parse_number(),
+            _ => self.err("expected a value"),
+        }
+    }
+
+    fn parse_obj(&mut self) -> Result<Json, JsonError> {
+        self.expect(b'{')?;
+        self.depth += 1;
+        let mut members = Vec::new();
+        self.skip_ws();
+        if self.bytes.get(self.pos) == Some(&b'}') {
+            self.pos += 1;
+            self.depth -= 1;
+            return Ok(Json::Obj(members));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.expect(b':')?;
+            let value = self.parse_value()?;
+            members.push((key, value));
+            self.skip_ws();
+            match self.bytes.get(self.pos) {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    self.depth -= 1;
+                    return Ok(Json::Obj(members));
+                }
+                _ => return self.err("expected ',' or '}'"),
+            }
+        }
+    }
+
+    fn parse_arr(&mut self) -> Result<Json, JsonError> {
+        self.expect(b'[')?;
+        self.depth += 1;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.bytes.get(self.pos) == Some(&b']') {
+            self.pos += 1;
+            self.depth -= 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.parse_value()?);
+            self.skip_ws();
+            match self.bytes.get(self.pos) {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    self.depth -= 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return self.err("expected ',' or ']'"),
+            }
+        }
+    }
+
+    fn parse_literal(&mut self, lit: &str, value: Json) -> Result<Json, JsonError> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(value)
+        } else {
+            self.err(&format!("expected '{lit}'"))
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<Json, JsonError> {
+        let start = self.pos;
+        if self.bytes.get(self.pos) == Some(&b'-') {
+            self.pos += 1;
+        }
+        while matches!(
+            self.bytes.get(self.pos),
+            Some(b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
+        ) {
+            self.pos += 1;
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()
+            .and_then(|t| t.parse::<f64>().ok())
+            .filter(|v| v.is_finite())
+            .map(Json::Num)
+            .ok_or(())
+            .or_else(|()| self.err("malformed number"))
+    }
+
+    fn parse_string(&mut self) -> Result<String, JsonError> {
+        self.skip_ws();
+        if self.bytes.get(self.pos) != Some(&b'"') {
+            return self.err("expected '\"'");
+        }
+        self.pos += 1;
+        let mut out = String::new();
+        loop {
+            match self.bytes.get(self.pos) {
+                None => return self.err("unterminated string"),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.bytes.get(self.pos) {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok());
+                            match hex.and_then(char::from_u32) {
+                                Some(c) => {
+                                    out.push(c);
+                                    self.pos += 4;
+                                }
+                                None => return self.err("bad \\u escape"),
+                            }
+                        }
+                        _ => return self.err("bad escape"),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .expect("input was a valid &str");
+                    let c = rest.chars().next().expect("non-empty");
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_nested_documents() {
+        let doc = Json::Obj(vec![
+            ("name".into(), Json::Str("run".into())),
+            ("wall_ms".into(), Json::Num(12.5)),
+            ("jobs".into(), Json::Num(4.0)),
+            ("ok".into(), Json::Bool(true)),
+            ("none".into(), Json::Null),
+            (
+                "phases".into(),
+                Json::Arr(vec![Json::Obj(vec![(
+                    "name".into(),
+                    Json::Str("α\"β\\".into()),
+                )])]),
+            ),
+            ("empty".into(), Json::Obj(vec![])),
+            ("empty_arr".into(), Json::Arr(vec![])),
+        ]);
+        let compact = doc.render();
+        assert_eq!(Json::parse(&compact).unwrap(), doc);
+        let pretty = doc.render_pretty(2);
+        assert_eq!(Json::parse(&pretty).unwrap(), doc);
+        assert!(pretty.contains("\n  \"wall_ms\": 12.5"), "{pretty}");
+        assert!(compact.contains("\"jobs\":4"), "integers stay integral");
+    }
+
+    #[test]
+    fn parses_the_bench_metrics_shape() {
+        let text = r#"{
+          "experiment": "T1", "scale": "quick", "jobs": 1,
+          "phases": [
+            {"name": "a", "wall_ms": 10.5, "counters": {"sat.solves": 3}},
+            {"name": "b", "wall_ms": 2.0, "counters": {}}
+          ]
+        }"#;
+        let doc = Json::parse(text).unwrap();
+        let phases = doc.get("phases").unwrap().as_arr().unwrap();
+        assert_eq!(phases.len(), 2);
+        assert_eq!(phases[0].get("wall_ms").unwrap().as_f64(), Some(10.5));
+        assert_eq!(phases[0].get("name").unwrap().as_str(), Some("a"));
+        assert_eq!(
+            phases[0]
+                .get("counters")
+                .unwrap()
+                .get("sat.solves")
+                .unwrap()
+                .as_f64(),
+            Some(3.0)
+        );
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        for bad in [
+            "",
+            "{",
+            "[1,",
+            "{\"a\":}",
+            "{\"a\":1,}",
+            "nul",
+            "01a",
+            "\"unterminated",
+            "{\"a\":1} extra",
+            "1e999",
+        ] {
+            assert!(Json::parse(bad).is_err(), "accepted: {bad}");
+        }
+    }
+
+    #[test]
+    fn deep_nesting_is_bounded() {
+        let deep = "[".repeat(200) + &"]".repeat(200);
+        assert!(Json::parse(&deep).is_err());
+        let ok = "[".repeat(50) + &"]".repeat(50);
+        assert!(Json::parse(&ok).is_ok());
+    }
+
+    #[test]
+    fn non_finite_numbers_render_as_null() {
+        assert_eq!(Json::Num(f64::NAN).render(), "null");
+        assert_eq!(Json::Num(f64::INFINITY).render(), "null");
+    }
+}

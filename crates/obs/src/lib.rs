@@ -16,6 +16,15 @@
 //!   records streamed to a pluggable sink, e.g. a JSONL file
 //!   ([`sink::JsonlSink`]) behind the CLI's `--trace`.
 //!
+//! On top of these sit the profiling and artifact layers: while a trace
+//! sink is installed every span carries hierarchical identity
+//! ([`profile`]) so the JSONL stream reconstructs the full call tree;
+//! [`report`] renders attribution trees, exact quantile tables and
+//! flamegraph stacks from it; [`artifact`] bundles a run's manifest,
+//! trace and final metrics into a `--run-dir` directory; [`diff`]
+//! compares two such recordings for `axmc bench-diff`; and [`proc`]
+//! samples peak RSS / CPU time from `/proc` without `unsafe`.
+//!
 //! Everything is **off by default**. Until [`set_enabled`]`(true)` is
 //! called, spans never read the clock, [`emit`] drops events without
 //! building sinks, and the [`enabled`] check itself is one relaxed
@@ -38,8 +47,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod artifact;
+pub mod diff;
 pub mod event;
+pub mod json;
 pub mod metrics;
+pub mod proc;
+pub mod profile;
+pub mod report;
 pub mod sink;
 pub mod summary;
 
@@ -185,12 +200,17 @@ pub fn emit(event: Event) {
 
 /// An RAII wall-clock timer. While instrumentation is enabled, creating
 /// a span reads the clock and dropping it records the elapsed
-/// microseconds into the named global histogram; while disabled it is a
-/// two-word no-op that never touches the clock.
+/// microseconds into the named global histogram; while a trace sink is
+/// additionally installed ([`tracing_active`]) the span also joins the
+/// hierarchical profile — it gets a process-unique id, nests under the
+/// innermost open span on its thread, and emits `span.start`/`span.end`
+/// events (see [`profile`]). While disabled it is a two-word no-op that
+/// never touches the clock.
 #[must_use = "a span records on drop; binding it to _ drops immediately"]
 pub struct Span {
     start: Option<Instant>,
     hist: Option<Arc<Histogram>>,
+    trace: Option<profile::ActiveSpan>,
 }
 
 /// Starts a span recording into the global histogram `name`.
@@ -199,11 +219,13 @@ pub fn span(name: &str) -> Span {
         Span {
             start: Some(Instant::now()),
             hist: Some(histogram(name)),
+            trace: tracing_active().then(|| profile::begin(name)),
         }
     } else {
         Span {
             start: None,
             hist: None,
+            trace: None,
         }
     }
 }
@@ -216,21 +238,29 @@ impl Span {
             .unwrap_or(0)
     }
 
+    fn record(&mut self, us: u64) {
+        if let Some(h) = self.hist.take() {
+            h.record(us);
+        }
+        if let Some(t) = self.trace.take() {
+            profile::end(t, us);
+        }
+    }
+
     /// Ends the span now, recording and returning the elapsed
     /// microseconds (instead of waiting for scope exit).
     pub fn finish(mut self) -> u64 {
         let us = self.elapsed_us();
-        if let Some(h) = self.hist.take() {
-            h.record(us);
-        }
+        self.record(us);
         us
     }
 }
 
 impl Drop for Span {
     fn drop(&mut self) {
-        if let Some(h) = self.hist.take() {
-            h.record(self.elapsed_us());
+        if self.hist.is_some() || self.trace.is_some() {
+            let us = self.elapsed_us();
+            self.record(us);
         }
     }
 }

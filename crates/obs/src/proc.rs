@@ -1,0 +1,118 @@
+//! Process resource usage: peak RSS and user/system CPU time.
+//!
+//! The workspace forbids `unsafe`, so `getrusage(2)` is off the table;
+//! on Linux the same numbers are exposed textually under `/proc/self`
+//! (`VmHWM` in `status`, `utime`/`stime` in `stat`), which is what this
+//! module reads. On other platforms every value is `None` and the run
+//! artifacts simply omit the `proc.*` gauges.
+
+/// A point-in-time (read-at-exit) resource usage sample.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ProcStats {
+    /// Peak resident set size in kilobytes (`VmHWM`).
+    pub max_rss_kb: Option<u64>,
+    /// CPU time spent in user mode, microseconds.
+    pub cpu_user_us: Option<u64>,
+    /// CPU time spent in kernel mode, microseconds.
+    pub cpu_sys_us: Option<u64>,
+}
+
+/// Reads the current process's usage. Any value the platform cannot
+/// provide is `None`; the read itself never fails.
+pub fn read() -> ProcStats {
+    ProcStats {
+        max_rss_kb: read_vm_hwm(),
+        cpu_user_us: read_cpu_times().map(|(u, _)| u),
+        cpu_sys_us: read_cpu_times().map(|(_, s)| s),
+    }
+}
+
+/// Records the sample as `proc.max_rss_kb` / `proc.cpu_user_us` /
+/// `proc.cpu_sys_us` gauges in the current registry (for the `--metrics`
+/// table, run-dir metrics and bench JSON). Values the platform cannot
+/// provide are skipped. Uses `set_max` so repeated reads keep the peak.
+pub fn record_gauges() {
+    let stats = read();
+    if let Some(v) = stats.max_rss_kb {
+        crate::gauge("proc.max_rss_kb").set_max(v.min(i64::MAX as u64) as i64);
+    }
+    if let Some(v) = stats.cpu_user_us {
+        crate::gauge("proc.cpu_user_us").set_max(v.min(i64::MAX as u64) as i64);
+    }
+    if let Some(v) = stats.cpu_sys_us {
+        crate::gauge("proc.cpu_sys_us").set_max(v.min(i64::MAX as u64) as i64);
+    }
+}
+
+/// Parses `VmHWM:    12345 kB` out of `/proc/self/status`.
+fn read_vm_hwm() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    parse_vm_hwm(&status)
+}
+
+fn parse_vm_hwm(status: &str) -> Option<u64> {
+    status
+        .lines()
+        .find(|l| l.starts_with("VmHWM:"))?
+        .split_whitespace()
+        .nth(1)?
+        .parse()
+        .ok()
+}
+
+/// Parses `(utime, stime)` in microseconds out of `/proc/self/stat`.
+fn read_cpu_times() -> Option<(u64, u64)> {
+    let stat = std::fs::read_to_string("/proc/self/stat").ok()?;
+    parse_cpu_times(&stat)
+}
+
+fn parse_cpu_times(stat: &str) -> Option<(u64, u64)> {
+    // The comm field (2nd) may contain spaces; everything after the
+    // closing paren is whitespace-separated. utime/stime are fields 14
+    // and 15 (1-based), i.e. indices 11 and 12 after the paren.
+    let after = stat.rsplit_once(')')?.1;
+    let mut fields = after.split_whitespace();
+    let utime: u64 = fields.nth(11)?.parse().ok()?;
+    let stime: u64 = fields.next()?.parse().ok()?;
+    // Both are in clock ticks of USER_HZ, which is 100 on every Linux
+    // configuration that matters (the constant is part of the kernel
+    // ABI exposed to userspace via /proc).
+    const TICK_US: u64 = 1_000_000 / 100;
+    Some((utime.saturating_mul(TICK_US), stime.saturating_mul(TICK_US)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_vm_hwm_line() {
+        let status = "Name:\taxmc\nVmPeak:\t  999 kB\nVmHWM:\t   5044 kB\nThreads:\t1\n";
+        assert_eq!(parse_vm_hwm(status), Some(5044));
+        assert_eq!(parse_vm_hwm("Name: x\n"), None);
+    }
+
+    #[test]
+    fn parses_stat_cpu_fields_past_comm_with_spaces() {
+        // 52-field stat line with a hostile comm; utime=7 stime=3 ticks.
+        let mut stat = String::from("1234 (a b) c) S 1 1 1 0 -1 4194560 100 0 0 0 7 3");
+        for _ in 0..38 {
+            stat.push_str(" 0");
+        }
+        assert_eq!(parse_cpu_times(&stat), Some((70_000, 30_000)));
+        assert_eq!(parse_cpu_times("garbage"), None);
+    }
+
+    #[test]
+    fn read_is_infallible_and_plausible() {
+        let stats = read();
+        // On Linux all three are present and nonzero-ish; elsewhere the
+        // read degrades to None without failing.
+        if let Some(rss) = stats.max_rss_kb {
+            assert!(rss > 100, "peak RSS of a running test exceeds 100 kB");
+        }
+        if let (Some(u), Some(s)) = (stats.cpu_user_us, stats.cpu_sys_us) {
+            assert!(u.checked_add(s).is_some());
+        }
+    }
+}

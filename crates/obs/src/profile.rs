@@ -1,0 +1,438 @@
+//! Hierarchical profiling: span identity, thread-local span stacks, and
+//! reconstruction of the call tree from a recorded trace.
+//!
+//! While a trace sink is installed, every [`crate::span`] is assigned a
+//! process-unique `span` id, the id of the span on top of the current
+//! thread's stack as its `parent`, and a per-thread `worker` number, and
+//! emits a pair of events:
+//!
+//! ```text
+//! {"ev":"span.start","name":"bmc.check.time_us","span":7,"parent":3,"worker":0,"t_us":1042}
+//! {"ev":"span.end","span":7,"t_us":2205,"dur_us":1163}
+//! ```
+//!
+//! Worker threads spawned by `axmc-par` adopt the spawning thread's
+//! current span as their stack base (see [`with_parent`]), so the
+//! recorded tree is complete across `--jobs` fan-outs: a BMC frame's
+//! solver calls stay under the frame, a CGP generation's candidate
+//! verifications stay under the generation, whichever thread ran them.
+//!
+//! [`Profile::from_jsonl`] inverts the stream: it pairs starts with ends
+//! (tolerating interleaved workers and unfinished spans) and yields the
+//! parent/child forest that `axmc report` aggregates. With tracing off
+//! none of this module's machinery runs — [`crate::span`] stays a
+//! histogram-only timer, and with observability off entirely it remains
+//! a no-op that never reads the clock.
+
+use crate::event::{Event, Value};
+use std::cell::{Cell, RefCell};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+use std::time::Instant;
+
+/// Monotonic process-wide span id source; 0 is reserved for "no span".
+static NEXT_SPAN: AtomicU64 = AtomicU64::new(1);
+
+/// Worker-number source; the first thread to trace gets 0.
+static NEXT_WORKER: AtomicU64 = AtomicU64::new(0);
+
+thread_local! {
+    /// Ids of the spans currently open on this thread, innermost last.
+    static STACK: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
+    /// This thread's worker number, assigned on first traced span.
+    static WORKER: Cell<Option<u64>> = const { Cell::new(None) };
+}
+
+/// The trace's time origin: the first instant any span was traced (or
+/// [`epoch_us`] was called) in this process.
+fn epoch() -> &'static Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    EPOCH.get_or_init(Instant::now)
+}
+
+/// Microseconds since the trace epoch.
+pub fn epoch_us() -> u64 {
+    epoch().elapsed().as_micros().min(u64::MAX as u128) as u64
+}
+
+fn worker_id() -> u64 {
+    WORKER.with(|w| match w.get() {
+        Some(id) => id,
+        None => {
+            let id = NEXT_WORKER.fetch_add(1, Ordering::Relaxed);
+            w.set(Some(id));
+            id
+        }
+    })
+}
+
+/// The id of the innermost span open on this thread (0 if none).
+pub fn current_span_id() -> u64 {
+    STACK.with(|s| s.borrow().last().copied().unwrap_or(0))
+}
+
+/// Runs `f` with `parent` installed as the base of this thread's span
+/// stack, so spans opened inside attach under it. Worker pools use this
+/// to carry the spawning thread's position in the call tree across the
+/// thread boundary. `parent == 0` (no span) is a plain call.
+pub fn with_parent<R>(parent: u64, f: impl FnOnce() -> R) -> R {
+    if parent == 0 {
+        return f();
+    }
+    STACK.with(|s| s.borrow_mut().push(parent));
+    struct PopOnExit(u64);
+    impl Drop for PopOnExit {
+        fn drop(&mut self) {
+            STACK.with(|s| {
+                let mut stack = s.borrow_mut();
+                if let Some(pos) = stack.iter().rposition(|&id| id == self.0) {
+                    stack.remove(pos);
+                }
+            });
+        }
+    }
+    let _pop = PopOnExit(parent);
+    f()
+}
+
+/// An open traced span: the token [`crate::Span`] holds between the
+/// `span.start` and `span.end` events.
+#[derive(Debug)]
+pub(crate) struct ActiveSpan {
+    id: u64,
+}
+
+/// Opens a traced span: assigns ids, pushes the stack, emits
+/// `span.start`. Callers guard on [`crate::tracing_active`].
+pub(crate) fn begin(name: &str) -> ActiveSpan {
+    let id = NEXT_SPAN.fetch_add(1, Ordering::Relaxed);
+    let parent = current_span_id();
+    let worker = worker_id();
+    STACK.with(|s| s.borrow_mut().push(id));
+    crate::emit(
+        Event::new("span.start")
+            .field("name", name)
+            .field("span", id)
+            .field("parent", parent)
+            .field("worker", worker)
+            .field("t_us", epoch_us()),
+    );
+    ActiveSpan { id }
+}
+
+/// Closes a traced span: pops the stack and emits `span.end`.
+pub(crate) fn end(span: ActiveSpan, dur_us: u64) {
+    STACK.with(|s| {
+        let mut stack = s.borrow_mut();
+        if let Some(pos) = stack.iter().rposition(|&id| id == span.id) {
+            stack.remove(pos);
+        }
+    });
+    crate::emit(
+        Event::new("span.end")
+            .field("span", span.id)
+            .field("t_us", epoch_us())
+            .field("dur_us", dur_us),
+    );
+}
+
+/// One reconstructed span of a recorded trace.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// The span's id as recorded (unique within the trace).
+    pub id: u64,
+    /// Id of the enclosing span, 0 for a top-level span.
+    pub parent: u64,
+    /// The worker (thread) number that ran the span.
+    pub worker: u64,
+    /// The span's histogram name (e.g. `sat.solve.time_us`).
+    pub name: String,
+    /// Start time in microseconds since the trace epoch.
+    pub start_us: u64,
+    /// Wall-clock duration in microseconds. Spans whose `span.end` never
+    /// made it into the trace (crash, truncation) are closed at the last
+    /// timestamp observed anywhere in the trace.
+    pub dur_us: u64,
+    /// Indices (into [`Profile::spans`]) of this span's children, in
+    /// (start, id) order.
+    pub children: Vec<usize>,
+}
+
+/// The call forest reconstructed from one trace.
+#[derive(Clone, Debug, Default)]
+pub struct Profile {
+    /// Every reconstructed span, sorted by (start, id).
+    pub spans: Vec<SpanRecord>,
+    /// Indices of the top-level spans (parent absent from the trace).
+    pub roots: Vec<usize>,
+    /// Lines/events present but not usable (non-span events are *not*
+    /// counted — only malformed lines and `span.end`s without a start).
+    pub skipped: usize,
+}
+
+fn field_u64(event: &Event, name: &str) -> Option<u64> {
+    match event.get(name) {
+        Some(Value::U64(v)) => Some(*v),
+        _ => None,
+    }
+}
+
+impl Profile {
+    /// Reconstructs the call forest from a stream of events. Non-span
+    /// events are ignored; `span.end`s without a matching start count as
+    /// [`Profile::skipped`].
+    pub fn from_events(events: impl IntoIterator<Item = Event>) -> Profile {
+        struct Open {
+            parent: u64,
+            worker: u64,
+            name: String,
+            start_us: u64,
+            dur_us: Option<u64>,
+        }
+        let mut order: Vec<u64> = Vec::new();
+        let mut by_id: HashMap<u64, Open> = HashMap::new();
+        let mut skipped = 0usize;
+        let mut last_t = 0u64;
+        for event in events {
+            match event.kind.as_str() {
+                "span.start" => {
+                    let (Some(id), Some(parent), Some(t)) = (
+                        field_u64(&event, "span"),
+                        field_u64(&event, "parent"),
+                        field_u64(&event, "t_us"),
+                    ) else {
+                        skipped += 1;
+                        continue;
+                    };
+                    let name = match event.get("name") {
+                        Some(Value::Str(s)) => s.clone(),
+                        _ => {
+                            skipped += 1;
+                            continue;
+                        }
+                    };
+                    last_t = last_t.max(t);
+                    order.push(id);
+                    by_id.insert(
+                        id,
+                        Open {
+                            parent,
+                            worker: field_u64(&event, "worker").unwrap_or(0),
+                            name,
+                            start_us: t,
+                            dur_us: None,
+                        },
+                    );
+                }
+                "span.end" => {
+                    let (Some(id), Some(dur)) =
+                        (field_u64(&event, "span"), field_u64(&event, "dur_us"))
+                    else {
+                        skipped += 1;
+                        continue;
+                    };
+                    if let Some(t) = field_u64(&event, "t_us") {
+                        last_t = last_t.max(t);
+                    }
+                    match by_id.get_mut(&id) {
+                        Some(open) => open.dur_us = Some(dur),
+                        None => skipped += 1,
+                    }
+                }
+                _ => {
+                    if let Some(t) = field_u64(&event, "t_us") {
+                        last_t = last_t.max(t);
+                    }
+                }
+            }
+        }
+        let mut spans: Vec<SpanRecord> = order
+            .iter()
+            .filter_map(|id| by_id.get(id).map(|o| (*id, o)))
+            .map(|(id, o)| SpanRecord {
+                id,
+                parent: o.parent,
+                worker: o.worker,
+                name: o.name.clone(),
+                start_us: o.start_us,
+                // An unfinished span is closed at the last trace
+                // timestamp so its time is still attributed.
+                dur_us: o.dur_us.unwrap_or(last_t.saturating_sub(o.start_us)),
+                children: Vec::new(),
+            })
+            .collect();
+        spans.sort_by_key(|s| (s.start_us, s.id));
+        let index: HashMap<u64, usize> = spans.iter().enumerate().map(|(i, s)| (s.id, i)).collect();
+        let mut children: Vec<Vec<usize>> = vec![Vec::new(); spans.len()];
+        let mut roots = Vec::new();
+        for (i, span) in spans.iter().enumerate() {
+            match index.get(&span.parent) {
+                // A span can never be its own ancestor with live ids, but
+                // a corrupted trace could claim it; treat it as a root.
+                Some(&p) if p != i => children[p].push(i),
+                _ => roots.push(i),
+            }
+        }
+        for (span, kids) in spans.iter_mut().zip(children) {
+            span.children = kids;
+        }
+        Profile {
+            spans,
+            roots,
+            skipped,
+        }
+    }
+
+    /// Reconstructs the call forest from JSONL trace text (the format
+    /// `--trace` and `--run-dir` record). Unparseable lines count as
+    /// [`Profile::skipped`].
+    pub fn from_jsonl(text: &str) -> Profile {
+        let mut skipped = 0usize;
+        let events: Vec<Event> = text
+            .lines()
+            .filter(|l| !l.trim().is_empty())
+            .filter_map(|l| match Event::parse_json(l) {
+                Ok(e) => Some(e),
+                Err(_) => {
+                    skipped += 1;
+                    None
+                }
+            })
+            .collect();
+        let mut profile = Profile::from_events(events);
+        profile.skipped += skipped;
+        profile
+    }
+
+    /// Total wall-clock attributed to the top-level spans (µs).
+    pub fn root_total_us(&self) -> u64 {
+        self.roots.iter().map(|&i| self.spans[i].dur_us).sum()
+    }
+
+    /// True if the trace contained no spans at all.
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn start(id: u64, parent: u64, worker: u64, name: &str, t: u64) -> Event {
+        Event::new("span.start")
+            .field("name", name)
+            .field("span", id)
+            .field("parent", parent)
+            .field("worker", worker)
+            .field("t_us", t)
+    }
+
+    fn end_ev(id: u64, t: u64, dur: u64) -> Event {
+        Event::new("span.end")
+            .field("span", id)
+            .field("t_us", t)
+            .field("dur_us", dur)
+    }
+
+    #[test]
+    fn reconstructs_nested_tree() {
+        let events = vec![
+            start(1, 0, 0, "run", 0),
+            start(2, 1, 0, "solve", 10),
+            end_ev(2, 60, 50),
+            start(3, 1, 0, "solve", 70),
+            end_ev(3, 100, 30),
+            end_ev(1, 120, 120),
+        ];
+        let p = Profile::from_events(events);
+        assert_eq!(p.skipped, 0);
+        assert_eq!(p.roots.len(), 1);
+        let root = &p.spans[p.roots[0]];
+        assert_eq!(root.name, "run");
+        assert_eq!(root.dur_us, 120);
+        assert_eq!(root.children.len(), 2);
+        assert_eq!(p.spans[root.children[0]].name, "solve");
+        assert_eq!(p.root_total_us(), 120);
+    }
+
+    #[test]
+    fn interleaved_workers_attach_to_their_own_parents() {
+        // Two workers interleave their events arbitrarily; parent links,
+        // not event order, define the tree.
+        let events = vec![
+            start(1, 0, 0, "run", 0),
+            start(10, 1, 1, "probe", 5),
+            start(20, 1, 2, "probe", 6),
+            start(11, 10, 1, "solve", 7),
+            start(21, 20, 2, "solve", 8),
+            end_ev(21, 40, 32),
+            end_ev(11, 50, 43),
+            end_ev(20, 55, 49),
+            end_ev(10, 60, 55),
+            end_ev(1, 70, 70),
+        ];
+        let p = Profile::from_events(events);
+        assert_eq!(p.skipped, 0);
+        assert_eq!(p.roots.len(), 1);
+        let root = &p.spans[p.roots[0]];
+        assert_eq!(root.children.len(), 2);
+        for &c in &root.children {
+            let probe = &p.spans[c];
+            assert_eq!(probe.name, "probe");
+            assert_eq!(probe.children.len(), 1);
+            assert_eq!(p.spans[probe.children[0]].name, "solve");
+            assert_eq!(p.spans[probe.children[0]].worker, probe.worker);
+        }
+    }
+
+    #[test]
+    fn unfinished_spans_close_at_last_timestamp() {
+        let events = vec![
+            start(1, 0, 0, "run", 0),
+            start(2, 1, 0, "solve", 10),
+            end_ev(2, 90, 80),
+        ];
+        let p = Profile::from_events(events);
+        let root = &p.spans[p.roots[0]];
+        assert_eq!(root.name, "run");
+        assert_eq!(root.dur_us, 90, "closed at last observed t_us");
+    }
+
+    #[test]
+    fn orphan_ends_and_foreign_events_are_tolerated() {
+        let events = vec![
+            Event::new("sat.solve").field("time_us", 3u64),
+            end_ev(99, 10, 10),
+            start(1, 0, 0, "run", 0),
+            end_ev(1, 20, 20),
+        ];
+        let p = Profile::from_events(events);
+        assert_eq!(p.spans.len(), 1);
+        assert_eq!(p.skipped, 1, "the orphan end");
+    }
+
+    #[test]
+    fn from_jsonl_skips_garbage_lines() {
+        let text = format!(
+            "{}\nnot json at all\n{}\n\n",
+            start(1, 0, 0, "run", 0).to_json(),
+            end_ev(1, 30, 30).to_json()
+        );
+        let p = Profile::from_jsonl(&text);
+        assert_eq!(p.spans.len(), 1);
+        assert_eq!(p.skipped, 1);
+        assert_eq!(p.spans[0].dur_us, 30);
+    }
+
+    #[test]
+    fn with_parent_installs_and_restores() {
+        assert_eq!(current_span_id(), 0);
+        let seen = with_parent(42, current_span_id);
+        assert_eq!(seen, 42);
+        assert_eq!(current_span_id(), 0);
+        // parent 0 is a plain call
+        assert_eq!(with_parent(0, current_span_id), 0);
+    }
+}

@@ -1,0 +1,278 @@
+//! Aggregated rendering of a reconstructed [`Profile`]: the self/total
+//! wall-clock attribution tree, exact per-span-name quantile tables, and
+//! collapsed-stack flamegraph lines (`inferno` / `flamegraph.pl` input).
+//!
+//! All three renderings are deterministic functions of the trace: spans
+//! are merged by their *name path* (the chain of span names from the
+//! root), children are ordered by total time descending with name as the
+//! tiebreak, and flamegraph lines are sorted lexicographically — running
+//! `axmc report` twice on one recording yields identical bytes.
+
+use crate::profile::Profile;
+use std::collections::BTreeMap;
+
+/// One aggregation node: every span sharing a name path, merged.
+#[derive(Clone, Debug, Default)]
+pub struct AggNode {
+    /// Number of spans merged into this node.
+    pub count: u64,
+    /// Sum of the merged spans' wall-clock durations (µs). Concurrent
+    /// siblings (worker fan-outs) add up, so a subtree's total can
+    /// exceed its parent's — that is CPU attribution, not elapsed time.
+    pub total_us: u64,
+    /// Time inside these spans not covered by any child span (µs),
+    /// clamped at zero per span when concurrent children overlap.
+    pub self_us: u64,
+    /// Child nodes by span name.
+    pub children: BTreeMap<String, AggNode>,
+}
+
+/// The attribution forest: top-level span names mapped to their merged
+/// subtrees.
+#[derive(Clone, Debug, Default)]
+pub struct Attribution {
+    /// Top-level aggregation nodes by name.
+    pub roots: BTreeMap<String, AggNode>,
+}
+
+/// Aggregates a profile's span forest by name path.
+pub fn aggregate(profile: &Profile) -> Attribution {
+    let mut roots = BTreeMap::new();
+    for &r in &profile.roots {
+        add_span(profile, r, &mut roots);
+    }
+    Attribution { roots }
+}
+
+fn add_span(profile: &Profile, idx: usize, level: &mut BTreeMap<String, AggNode>) {
+    let span = &profile.spans[idx];
+    let node = level.entry(span.name.clone()).or_default();
+    node.count += 1;
+    node.total_us += span.dur_us;
+    let child_us: u64 = span.children.iter().map(|&c| profile.spans[c].dur_us).sum();
+    node.self_us += span.dur_us.saturating_sub(child_us);
+    for &c in &span.children {
+        add_span(profile, c, &mut node.children);
+    }
+}
+
+/// Children of a level ordered for display: total time descending, then
+/// name ascending — a deterministic order independent of insertion.
+fn ordered(level: &BTreeMap<String, AggNode>) -> Vec<(&String, &AggNode)> {
+    let mut entries: Vec<_> = level.iter().collect();
+    entries.sort_by(|(an, a), (bn, b)| b.total_us.cmp(&a.total_us).then(an.cmp(bn)));
+    entries
+}
+
+fn push_tree_rows(
+    level: &BTreeMap<String, AggNode>,
+    depth: usize,
+    grand_total: u64,
+    out: &mut String,
+) {
+    for (name, node) in ordered(level) {
+        let pct = if grand_total == 0 {
+            0.0
+        } else {
+            node.total_us as f64 * 100.0 / grand_total as f64
+        };
+        out.push_str(&format!(
+            "{:>12.3} {:>12.3} {:>9} {:>6.1}%  {:indent$}{name}\n",
+            node.total_us as f64 / 1000.0,
+            node.self_us as f64 / 1000.0,
+            node.count,
+            pct,
+            "",
+            indent = depth * 2,
+        ));
+        push_tree_rows(&node.children, depth + 1, grand_total, out);
+    }
+}
+
+/// Renders the self/total attribution tree as an aligned table. Times
+/// are milliseconds; the `%` column is relative to the root total.
+pub fn render_tree(profile: &Profile) -> String {
+    if profile.is_empty() {
+        return "trace contains no spans\n".to_string();
+    }
+    let agg = aggregate(profile);
+    let grand_total: u64 = agg.roots.values().map(|n| n.total_us).sum();
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:>12} {:>12} {:>9} {:>7}  span\n",
+        "total_ms", "self_ms", "count", "total"
+    ));
+    push_tree_rows(&agg.roots, 0, grand_total, &mut out);
+    out
+}
+
+/// Exact quantile of a **sorted** sample set: the smallest value with at
+/// least `ceil(q * n)` samples at or below it.
+fn exact_quantile(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((q.clamp(0.0, 1.0) * sorted.len() as f64).ceil() as usize).max(1);
+    sorted[rank.min(sorted.len()) - 1]
+}
+
+/// Renders the per-span-name latency table: count, total and **exact**
+/// p50/p95/p99/max from the recorded durations (unlike the log₂
+/// histogram summary, a trace carries every sample exactly).
+pub fn render_quantiles(profile: &Profile) -> String {
+    if profile.is_empty() {
+        return String::new();
+    }
+    let mut by_name: BTreeMap<&str, Vec<u64>> = BTreeMap::new();
+    for span in &profile.spans {
+        by_name.entry(&span.name).or_default().push(span.dur_us);
+    }
+    let name_w = by_name.keys().map(|n| n.len()).max().unwrap_or(4).max(4);
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<name_w$} {:>8} {:>12} {:>10} {:>10} {:>10} {:>10}\n",
+        "span", "count", "total_ms", "p50_us", "p95_us", "p99_us", "max_us"
+    ));
+    for (name, mut durs) in by_name {
+        durs.sort_unstable();
+        let total: u64 = durs.iter().sum();
+        out.push_str(&format!(
+            "{name:<name_w$} {:>8} {:>12.3} {:>10} {:>10} {:>10} {:>10}\n",
+            durs.len(),
+            total as f64 / 1000.0,
+            exact_quantile(&durs, 0.50),
+            exact_quantile(&durs, 0.95),
+            exact_quantile(&durs, 0.99),
+            durs.last().copied().unwrap_or(0),
+        ));
+    }
+    out
+}
+
+fn push_stacks(level: &BTreeMap<String, AggNode>, prefix: &str, out: &mut Vec<String>) {
+    for (name, node) in level {
+        let frame = name.replace([';', '\n'], "_");
+        let path = if prefix.is_empty() {
+            frame
+        } else {
+            format!("{prefix};{frame}")
+        };
+        if node.self_us > 0 {
+            out.push(format!("{path} {}", node.self_us));
+        }
+        push_stacks(&node.children, &path, out);
+    }
+}
+
+/// Renders the profile as collapsed flamegraph stacks: one
+/// `root;child;leaf <self_µs>` line per name path with nonzero self
+/// time, sorted lexicographically. Feed to `flamegraph.pl` or inferno.
+pub fn collapsed_stacks(profile: &Profile) -> String {
+    let agg = aggregate(profile);
+    let mut lines = Vec::new();
+    push_stacks(&agg.roots, "", &mut lines);
+    lines.sort_unstable();
+    let mut out = lines.join("\n");
+    if !out.is_empty() {
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Event;
+
+    fn demo_profile() -> Profile {
+        let start = |id: u64, parent: u64, name: &str, t: u64| {
+            Event::new("span.start")
+                .field("name", name)
+                .field("span", id)
+                .field("parent", parent)
+                .field("worker", 0u64)
+                .field("t_us", t)
+        };
+        let end = |id: u64, t: u64, dur: u64| {
+            Event::new("span.end")
+                .field("span", id)
+                .field("t_us", t)
+                .field("dur_us", dur)
+        };
+        Profile::from_events(vec![
+            start(1, 0, "run", 0),
+            start(2, 1, "bmc.check", 10),
+            start(3, 2, "sat.solve", 20),
+            end(3, 60, 40),
+            end(2, 70, 60),
+            start(4, 1, "bmc.check", 80),
+            start(5, 4, "sat.solve", 85),
+            end(5, 95, 10),
+            end(4, 100, 20),
+            end(1, 110, 110),
+        ])
+    }
+
+    #[test]
+    fn aggregates_by_name_path() {
+        let agg = aggregate(&demo_profile());
+        let run = &agg.roots["run"];
+        assert_eq!(run.count, 1);
+        assert_eq!(run.total_us, 110);
+        assert_eq!(run.self_us, 110 - 60 - 20);
+        let check = &run.children["bmc.check"];
+        assert_eq!(check.count, 2);
+        assert_eq!(check.total_us, 80);
+        assert_eq!(check.self_us, 80 - 40 - 10);
+        let solve = &check.children["sat.solve"];
+        assert_eq!((solve.count, solve.total_us, solve.self_us), (2, 50, 50));
+    }
+
+    #[test]
+    fn tree_renders_hierarchy_and_percentages() {
+        let text = render_tree(&demo_profile());
+        assert!(text.contains("run"), "{text}");
+        assert!(text.contains("  bmc.check"), "{text}");
+        assert!(text.contains("    sat.solve"), "{text}");
+        assert!(text.contains("100.0%"), "{text}");
+        // Deterministic: rendering twice gives identical bytes.
+        assert_eq!(text, render_tree(&demo_profile()));
+    }
+
+    #[test]
+    fn quantiles_are_exact() {
+        let sorted: Vec<u64> = (1..=100).collect();
+        assert_eq!(exact_quantile(&sorted, 0.50), 50);
+        assert_eq!(exact_quantile(&sorted, 0.95), 95);
+        assert_eq!(exact_quantile(&sorted, 0.99), 99);
+        assert_eq!(exact_quantile(&sorted, 1.0), 100);
+        assert_eq!(exact_quantile(&sorted, 0.0), 1);
+        assert_eq!(exact_quantile(&[], 0.5), 0);
+        let table = render_quantiles(&demo_profile());
+        assert!(table.contains("sat.solve"), "{table}");
+        assert!(table.contains("p95_us"), "{table}");
+    }
+
+    #[test]
+    fn collapsed_stacks_are_sorted_and_self_weighted() {
+        let text = collapsed_stacks(&demo_profile());
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(
+            lines,
+            vec!["run 30", "run;bmc.check 30", "run;bmc.check;sat.solve 50",]
+        );
+        let total: u64 = lines
+            .iter()
+            .map(|l| l.rsplit(' ').next().unwrap().parse::<u64>().unwrap())
+            .sum();
+        assert_eq!(total, 110, "self times sum to the root total");
+    }
+
+    #[test]
+    fn empty_profile_renders_notice() {
+        let p = Profile::default();
+        assert!(render_tree(&p).contains("no spans"));
+        assert_eq!(collapsed_stacks(&p), "");
+        assert_eq!(render_quantiles(&p), "");
+    }
+}

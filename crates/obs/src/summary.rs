@@ -38,16 +38,17 @@ pub fn render(snapshot: &Snapshot) -> String {
         let w = column_width(hists.iter().map(|(k, _)| k.as_str()));
         out.push_str("histograms\n");
         out.push_str(&format!(
-            "  {:<w$}  {:>10} {:>12} {:>12} {:>12} {:>12} {:>12}\n",
-            "name", "count", "mean", "min", "p50", "p99", "max"
+            "  {:<w$}  {:>10} {:>12} {:>12} {:>12} {:>12} {:>12} {:>12}\n",
+            "name", "count", "mean", "min", "p50", "p95", "p99", "max"
         ));
         for (name, h) in hists {
             out.push_str(&format!(
-                "  {name:<w$}  {:>10} {:>12.1} {:>12} {:>12} {:>12} {:>12}\n",
+                "  {name:<w$}  {:>10} {:>12.1} {:>12} {:>12} {:>12} {:>12} {:>12}\n",
                 h.count,
                 h.mean(),
                 h.min,
                 h.quantile(0.50),
+                h.quantile(0.95),
                 h.quantile(0.99),
                 h.max
             ));
@@ -80,6 +81,7 @@ mod tests {
         assert!(table.contains("bmc.max_frame"));
         assert!(table.contains("histograms"));
         assert!(table.contains("sat.solve.time_us"));
+        assert!(table.contains("p95"));
         assert!(table.contains("p99"));
     }
 

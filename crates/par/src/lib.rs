@@ -21,6 +21,11 @@
 //! Every worker runs inside [`axmc_obs::worker_scope`], so metrics
 //! recorded by solver/model-checker code on worker threads aggregate
 //! into the process-wide registry without hot-path lock contention.
+//! Workers also adopt the spawning thread's current profiling span as
+//! their stack base ([`axmc_obs::profile::with_parent`]), so when a
+//! trace is recorded the spans they open stay attached to the logical
+//! call site — a BMC frame's parallel solver probes appear under that
+//! frame in `axmc report` regardless of `--jobs`.
 //!
 //! Determinism: neither function introduces any ordering dependence —
 //! results are slotted by index and merged by the caller in a fixed
@@ -71,16 +76,19 @@ where
         return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
     }
     let cursor = AtomicUsize::new(0);
+    let parent = axmc_obs::profile::current_span_id();
     let slots: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
     std::thread::scope(|scope| {
         let handles: Vec<_> = (0..jobs)
             .map(|_| {
                 scope.spawn(|| {
-                    axmc_obs::worker_scope(|| loop {
-                        let i = cursor.fetch_add(1, Ordering::Relaxed);
-                        let Some(item) = items.get(i) else { break };
-                        let result = f(i, item);
-                        *slots[i].lock().expect("result slot poisoned") = Some(result);
+                    axmc_obs::worker_scope(|| {
+                        axmc_obs::profile::with_parent(parent, || loop {
+                            let i = cursor.fetch_add(1, Ordering::Relaxed);
+                            let Some(item) = items.get(i) else { break };
+                            let result = f(i, item);
+                            *slots[i].lock().expect("result slot poisoned") = Some(result);
+                        })
                     })
                 })
             })
@@ -132,9 +140,12 @@ where
     F: FnOnce() -> A + Send,
     G: FnOnce() -> B + Send,
 {
+    let parent = axmc_obs::profile::current_span_id();
     std::thread::scope(|scope| {
-        let ha = scope.spawn(|| axmc_obs::worker_scope(f));
-        let hb = scope.spawn(|| axmc_obs::worker_scope(g));
+        let ha = scope
+            .spawn(move || axmc_obs::worker_scope(|| axmc_obs::profile::with_parent(parent, f)));
+        let hb = scope
+            .spawn(move || axmc_obs::worker_scope(|| axmc_obs::profile::with_parent(parent, g)));
         let ra = ha.join();
         let rb = hb.join();
         match (ra, rb) {
@@ -187,6 +198,7 @@ where
             .map(|(i, input)| f(i, &mut states[i], input))
             .collect();
     }
+    let parent = axmc_obs::profile::current_span_id();
     std::thread::scope(|scope| {
         let handles: Vec<_> = states
             .iter_mut()
@@ -194,7 +206,11 @@ where
             .enumerate()
             .map(|(i, (state, input))| {
                 let f = &f;
-                scope.spawn(move || axmc_obs::worker_scope(|| f(i, state, input)))
+                scope.spawn(move || {
+                    axmc_obs::worker_scope(|| {
+                        axmc_obs::profile::with_parent(parent, || f(i, state, input))
+                    })
+                })
             })
             .collect();
         handles

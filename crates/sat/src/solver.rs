@@ -224,6 +224,11 @@ pub struct Solver {
     max_learnts: f64,
     num_original: usize,
     proof: Option<Box<ProofLog>>,
+    // LBD histogram resolved once per instrumented solve call, so the
+    // per-learnt-clause record in the search loop is a few relaxed
+    // atomic adds instead of a registry name lookup. `None` whenever
+    // observability is off.
+    lbd_hist: Option<std::sync::Arc<axmc_obs::Histogram>>,
 }
 
 impl Solver {
@@ -823,13 +828,17 @@ impl Solver {
             return self.run_search(assumptions);
         }
         let before = self.stats;
+        self.lbd_hist = Some(axmc_obs::histogram("sat.learnt.lbd"));
         let timer = axmc_obs::span("sat.solve.time_us");
         let result = self.run_search(assumptions);
         let time_us = timer.finish();
+        self.lbd_hist = None;
         let conflicts = self.stats.conflicts - before.conflicts;
         let decisions = self.stats.decisions - before.decisions;
         let propagations = self.stats.propagations - before.propagations;
         let restarts = self.stats.restarts - before.restarts;
+        let learnt = self.stats.learnt - before.learnt;
+        let removed = self.stats.removed - before.removed;
         axmc_obs::counter("sat.solves").inc();
         axmc_obs::counter(match result {
             SolveResult::Sat => "sat.result.sat",
@@ -838,9 +847,17 @@ impl Solver {
         })
         .inc();
         axmc_obs::counter("sat.restarts").add(restarts);
+        axmc_obs::counter("sat.learnt").add(learnt);
+        axmc_obs::counter("sat.learnt.removed").add(removed);
         axmc_obs::histogram("sat.solve.conflicts").record(conflicts);
         axmc_obs::histogram("sat.solve.decisions").record(decisions);
         axmc_obs::histogram("sat.solve.propagations").record(propagations);
+        // Propagations per conflict: the classic "is the search making
+        // progress or thrashing" CDCL health indicator. Conflict-free
+        // solves have no meaningful ratio and are skipped.
+        if let Some(ratio) = propagations.checked_div(conflicts) {
+            axmc_obs::histogram("sat.solve.props_per_conflict").record(ratio);
+        }
         // Deadline slack: how much wall clock was left when the call
         // returned. A shrinking slack histogram is the early signal that
         // a run is about to degrade into Interrupted partial results.
@@ -874,6 +891,9 @@ impl Solver {
                     .field("conflicts", conflicts)
                     .field("decisions", decisions)
                     .field("propagations", propagations)
+                    .field("restarts", restarts)
+                    .field("learnt", learnt)
+                    .field("removed", removed)
                     .field("vars", self.num_vars() as u64)
                     .field("clauses", self.num_clauses() as u64)
                     .field("assumptions", assumptions.len()),
@@ -940,9 +960,15 @@ impl Solver {
                     }
                     self.cancel_until(bt);
                     if learnt.len() == 1 {
+                        if let Some(h) = &self.lbd_hist {
+                            h.record(1); // a unit spans one decision level
+                        }
                         self.unchecked_enqueue(learnt[0], NO_REASON);
                     } else {
                         let lbd = self.lbd(&learnt);
+                        if let Some(h) = &self.lbd_hist {
+                            h.record(lbd as u64);
+                        }
                         let first = learnt[0];
                         let cref = self.alloc_clause(learnt, true);
                         self.clauses[cref as usize].lbd = lbd;

@@ -62,6 +62,46 @@ timeout_smoke() {
 timeout_smoke
 timeout_smoke --features proptest-tests
 
+# Observability smoke: record a full run-dir artifact bundle, assert the
+# profile report replays deterministically, check the flamegraph output
+# is well-formed, and gate wall-clock against the committed baseline.
+# The threshold is deliberately generous (CI machines vary wildly); the
+# gate exists to catch order-of-magnitude regressions, with --min-ms
+# keeping sub-noise phases out of the verdict.
+obs_smoke() {
+    echo "== observability smoke =="
+    local dir
+    dir=$(mktemp -d)
+    cargo run --release --offline --bin axmc -- \
+        gen --kind adder --width 10 --out "$dir/g.aag"
+    cargo run --release --offline --bin axmc -- \
+        gen --kind trunc-adder --width 10 --param 4 --out "$dir/c.aag"
+    cargo run --release --offline --bin axmc -- \
+        analyze --golden "$dir/g.aag" --approx "$dir/c.aag" \
+        --average --run-dir "$dir/run"
+    for f in manifest.json trace.jsonl metrics.json; do
+        [[ -s "$dir/run/$f" ]] || { echo "missing run artifact $f"; exit 1; }
+    done
+    cargo run --release --offline --bin axmc -- \
+        report --run-dir "$dir/run" --flame "$dir/flame.txt" >"$dir/report1.txt"
+    cargo run --release --offline --bin axmc -- \
+        report --run-dir "$dir/run" --flame "$dir/flame.txt" >"$dir/report2.txt"
+    cmp "$dir/report1.txt" "$dir/report2.txt" \
+        || { echo "report replay is not deterministic"; exit 1; }
+    grep -q "100.0%  run" "$dir/report1.txt" \
+        || { echo "profile tree has no full-coverage run root"; exit 1; }
+    grep -q ";" "$dir/flame.txt" \
+        || { echo "flamegraph output has no nested frame"; exit 1; }
+    cargo run --release --offline --bin axmc -- \
+        bench-diff --base "$dir/run" --new "$dir/run" \
+        || { echo "self-diff must never regress"; exit 1; }
+    cargo run --release --offline --bin axmc -- \
+        bench-diff --base bench_results/ci_baseline_metrics.json \
+        --new "$dir/run" --threshold 2000 --min-ms 50
+    rm -rf "$dir"
+}
+obs_smoke
+
 # The certified-solve suite (DRAT proof logging + in-tree checker,
 # including the corrupted-proof rejection paths), in both feature
 # configurations.

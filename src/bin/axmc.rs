@@ -17,13 +17,17 @@ use axmc::cgp::{threshold_to_wcre, wcre_to_threshold};
 use axmc::circuit::{approx, generators, AreaModel, Netlist};
 use axmc::core::{CombAnalyzer, SeqAnalyzer};
 use axmc::mc::InductionOptions;
+use axmc::obs::artifact::{self, RunDir};
+use axmc::obs::json::Json;
 use axmc::obs::sink::{JsonlSink, TeeSink};
 use axmc::obs::{Event, Sink, Value};
 use axmc::{evolve, AnalysisError, AnalysisOptions, Backend, ResourceCtl, SearchOptions, Verdict};
 use std::collections::HashMap;
+use std::io::IsTerminal;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// A command failure plus the process exit code it maps to (see the
 /// `EXIT CODES` section of the usage text).
@@ -90,6 +94,8 @@ fn main() -> ExitCode {
         "gen" => GEN_FLAGS,
         "stats" => STATS_FLAGS,
         "lint" => LINT_FLAGS,
+        "report" => REPORT_FLAGS,
+        "bench-diff" => BENCH_DIFF_FLAGS,
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
             return ExitCode::SUCCESS;
@@ -108,21 +114,28 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let obs = match ObsSession::start(&opts, command == "evolve") {
+    let obs = match ObsSession::start(command, &opts, command == "evolve") {
         Ok(o) => o,
         Err(e) => {
             eprintln!("error: {e}");
             return ExitCode::FAILURE;
         }
     };
+    // The root of every profile: with tracing on, the whole command runs
+    // inside one "run" span so `axmc report` can attribute 100% of the
+    // wall-clock. With observability off this is a no-op.
+    let run_span = axmc::obs::span("run");
     let result = match command.as_str() {
         "analyze" => cmd_analyze(&opts),
         "evolve" => cmd_evolve(&opts),
         "gen" => cmd_gen(&opts),
         "stats" => cmd_stats(&opts),
         "lint" => cmd_lint(&opts),
+        "report" => cmd_report(&opts),
+        "bench-diff" => cmd_bench_diff(&opts),
         _ => unreachable!("command validated above"),
     };
+    run_span.finish();
     obs.finish();
     match result {
         Ok(()) => ExitCode::SUCCESS,
@@ -140,7 +153,7 @@ USAGE:
   axmc analyze --golden G.aag --approx C.aag [--horizon K] [--jobs N]
                [--engine sat|bdd|auto] [--timeout D] [--query-timeout D]
                [--prove] [--average] [--certify] [--vcd F.vcd]
-               [--metrics] [--trace F.jsonl]
+               [--metrics] [--trace F.jsonl] [--run-dir DIR]
       Exact worst-case / bit-flip error of C against G. Sequential pairs
       are analyzed within K cycles (default 8); --prove additionally
       attempts an unbounded k-induction certificate at the measured WCE.
@@ -148,7 +161,7 @@ USAGE:
   axmc evolve --kind adder|multiplier --width N (--wcre P | --config F)
               [--seconds S] [--seed X] [--jobs N] [--engine sat|bdd|auto]
               [--timeout D] [--query-timeout D] [--certify] [--out C.aag]
-              [--progress] [--metrics] [--trace F.jsonl]
+              [--progress] [--metrics] [--trace F.jsonl] [--run-dir DIR]
       Verifiability-driven CGP synthesis of an approximate circuit whose
       worst-case relative error provably stays below P percent.
 
@@ -165,6 +178,19 @@ USAGE:
       --suite lints every shipped sequential benchmark pair and the whole
       approximate component library. Exits nonzero if any error-severity
       diagnostic is found (warnings alone do not fail the run).
+
+  axmc report (--run-dir DIR | --trace F.jsonl) [--flame F.txt]
+      Reconstructs the hierarchical span tree from a recorded trace and
+      prints a self/total time-attribution tree plus per-span latency
+      quantile tables (p50/p95/p99). --flame additionally writes the
+      profile as collapsed stacks for standard flamegraph tooling.
+
+  axmc bench-diff --base A --new B [--threshold PCT] [--min-ms MS]
+      Compares two timing files — bench harness phase logs or run-dir
+      metrics.json files (a directory is read as DIR/metrics.json) —
+      and prints the per-phase deltas. Exits with code 12 when any
+      phase got slower by more than PCT percent (default 25) while
+      taking more than MS milliseconds (default 5, a noise floor).
 
 CERTIFICATION:
   --certify         re-derive every UNSAT verdict: the solver records a
@@ -210,8 +236,16 @@ OBSERVABILITY:
   --trace F.jsonl   stream structured trace events (one JSON object per
                     line) to F: SAT solves, BMC frames, induction rounds,
                     error-search probes, CGP progress and improvements
-  --progress        (evolve) print a live one-line progress update at
-                    most four times a second
+  --run-dir DIR     record a complete run artifact bundle under DIR:
+                    manifest.json (command, flags, resolved knobs, peak
+                    RSS and CPU time), trace.jsonl (the full span/event
+                    trace) and metrics.json (final counters, gauges and
+                    histogram quantiles). Consumed by `axmc report` and
+                    `axmc bench-diff`.
+  --progress        (evolve) print a live one-line progress update (with
+                    eval rate and time-limit ETA) to stderr at most four
+                    times a second; on by default when stderr is a
+                    terminal
 
 EXIT CODES:
   0    success
@@ -220,6 +254,7 @@ EXIT CODES:
        partial result with the tightest certified bounds was reported
   11   a certificate failed validation under --certify; the verdict
        cannot be trusted
+  12   bench-diff found a performance regression past the threshold
   141  output pipe closed (conventional SIGPIPE status)";
 
 type Flags = HashMap<String, String>;
@@ -259,6 +294,7 @@ const ANALYZE_FLAGS: &[FlagSpec] = &[
     val("vcd"),
     switch("metrics"),
     val("trace"),
+    val("run-dir"),
 ];
 
 const EVOLVE_FLAGS: &[FlagSpec] = &[
@@ -277,6 +313,7 @@ const EVOLVE_FLAGS: &[FlagSpec] = &[
     switch("progress"),
     switch("metrics"),
     val("trace"),
+    val("run-dir"),
 ];
 
 const GEN_FLAGS: &[FlagSpec] = &[
@@ -290,6 +327,10 @@ const GEN_FLAGS: &[FlagSpec] = &[
 const STATS_FLAGS: &[FlagSpec] = &[val("circuit")];
 
 const LINT_FLAGS: &[FlagSpec] = &[val("circuit"), switch("suite")];
+
+const REPORT_FLAGS: &[FlagSpec] = &[val("run-dir"), val("trace"), val("flame")];
+
+const BENCH_DIFF_FLAGS: &[FlagSpec] = &[val("base"), val("new"), val("threshold"), val("min-ms")];
 
 /// Parses `args` against the subcommand's flag table. Unknown flags,
 /// repeated flags, and value flags without a value are all hard errors —
@@ -325,23 +366,47 @@ fn parse_flags(command: &str, specs: &[FlagSpec], args: &[String]) -> Result<Fla
 }
 
 /// The CLI's view of the observability stack: set up from `--metrics`,
-/// `--trace` and `--progress` before the command runs, torn down (sink
-/// flushed, summary table printed) after it returns.
+/// `--trace`, `--progress` and `--run-dir` before the command runs, torn
+/// down (sink flushed, artifacts written, summary table printed) after
+/// it returns.
 struct ObsSession {
     metrics: bool,
     sink_installed: bool,
+    run_dir: Option<RunDir>,
+    manifest: Vec<(String, Json)>,
+    started: Instant,
 }
 
 impl ObsSession {
-    fn start(opts: &Flags, progress_allowed: bool) -> Result<ObsSession, String> {
+    fn start(command: &str, opts: &Flags, progress_allowed: bool) -> Result<ObsSession, String> {
         let metrics = opts.contains_key("metrics");
         let mut sinks: Vec<Arc<dyn Sink>> = Vec::new();
+        let mut run_dir = None;
+        let mut manifest = Vec::new();
+        // `--run-dir` means "record this run" only for the commands that
+        // run one; for `report` the same flag names an existing bundle
+        // to *read*, which must never be truncated.
+        let recording = matches!(command, "analyze" | "evolve");
+        if let Some(dir) = opts.get("run-dir").filter(|_| recording) {
+            let rd = RunDir::create(Path::new(dir))
+                .map_err(|e| format!("cannot create run dir '{dir}': {e}"))?;
+            let sink = JsonlSink::create(&rd.trace_path())
+                .map_err(|e| format!("cannot create trace file in '{dir}': {e}"))?;
+            sinks.push(Arc::new(sink));
+            // The manifest is written immediately (a crashed run still
+            // identifies itself) and rewritten at exit with the final
+            // resource-usage block appended.
+            manifest = manifest_entries(command, opts);
+            rd.write_manifest(manifest.clone())
+                .map_err(|e| format!("cannot write manifest in '{dir}': {e}"))?;
+            run_dir = Some(rd);
+        }
         if let Some(path) = opts.get("trace") {
-            let sink = JsonlSink::create(std::path::Path::new(path))
+            let sink = JsonlSink::create(Path::new(path))
                 .map_err(|e| format!("cannot create trace file '{path}': {e}"))?;
             sinks.push(Arc::new(sink));
         }
-        if progress_allowed && opts.contains_key("progress") {
+        if progress_allowed && (opts.contains_key("progress") || std::io::stderr().is_terminal()) {
             sinks.push(Arc::new(ProgressPrinter));
         }
         let sink_installed = !sinks.is_empty();
@@ -356,10 +421,27 @@ impl ObsSession {
         Ok(ObsSession {
             metrics,
             sink_installed,
+            run_dir,
+            manifest,
+            started: Instant::now(),
         })
     }
 
-    fn finish(&self) {
+    fn finish(self) {
+        if axmc::obs::enabled() {
+            axmc::obs::proc::record_gauges();
+        }
+        if let Some(rd) = &self.run_dir {
+            let wall_ms = self.started.elapsed().as_secs_f64() * 1e3;
+            let mut entries = self.manifest;
+            entries.push(("proc".to_string(), proc_json()));
+            if let Err(e) = rd
+                .write_manifest(entries)
+                .and_then(|()| rd.write_metrics(&axmc::obs::snapshot(), wall_ms))
+            {
+                eprintln!("warning: cannot finalize run dir: {e}");
+            }
+        }
         if self.sink_installed {
             axmc::obs::clear_sink(); // flushes
         }
@@ -367,6 +449,48 @@ impl ObsSession {
             print!("{}", axmc::obs::summary::render(&axmc::obs::snapshot()));
         }
     }
+}
+
+/// The stable part of a run-dir manifest: the command, its verbatim
+/// flags (sorted — flag storage is a hash map) and the resolved knobs
+/// the flags defaulted.
+fn manifest_entries(command: &str, opts: &Flags) -> Vec<(String, Json)> {
+    let mut flags: Vec<(String, Json)> = opts
+        .iter()
+        .map(|(k, v)| (k.clone(), Json::Str(v.clone())))
+        .collect();
+    flags.sort_by(|a, b| a.0.cmp(&b.0));
+    let mut entries = vec![
+        ("command".to_string(), Json::Str(command.to_string())),
+        ("flags".to_string(), Json::Obj(flags)),
+    ];
+    if let Ok(jobs) = jobs_flag(opts) {
+        entries.push(("jobs".to_string(), Json::Num(jobs as f64)));
+    }
+    if let Ok(engine) = engine_flag(opts) {
+        entries.push(("engine".to_string(), Json::Str(engine.to_string())));
+    }
+    if let Ok(seed) = numeric::<u64>(opts, "seed", 1) {
+        entries.push(("seed".to_string(), Json::Num(seed as f64)));
+    }
+    entries
+}
+
+/// Peak RSS and CPU time as a manifest block; values the platform does
+/// not expose are omitted.
+fn proc_json() -> Json {
+    let stats = axmc::obs::proc::read();
+    let mut obj = Vec::new();
+    if let Some(v) = stats.max_rss_kb {
+        obj.push(("max_rss_kb".to_string(), Json::Num(v as f64)));
+    }
+    if let Some(v) = stats.cpu_user_us {
+        obj.push(("cpu_user_us".to_string(), Json::Num(v as f64)));
+    }
+    if let Some(v) = stats.cpu_sys_us {
+        obj.push(("cpu_sys_us".to_string(), Json::Num(v as f64)));
+    }
+    Json::Obj(obj)
 }
 
 /// Live progress lines for `evolve --progress`, fed by the search loop's
@@ -385,18 +509,25 @@ fn num(event: &Event, name: &str) -> f64 {
 impl Sink for ProgressPrinter {
     fn emit(&self, event: &Event) {
         use std::io::Write;
-        // Ignore write errors: a closed pipe (`axmc evolve ... | head`)
-        // must not abort the search.
-        let mut out = std::io::stdout();
+        // Progress is commentary, not output: it goes to stderr so piped
+        // stdout stays clean. Ignore write errors: a closed pipe must
+        // not abort the search.
+        let mut out = std::io::stderr();
         let _ = match event.kind.as_str() {
-            "cgp.progress" => writeln!(
-                out,
-                "[gen {:>6}] best area {:.1} um2 | {:.0} evals/s | {} improvements",
-                num(event, "generation") as u64,
-                num(event, "best_area"),
-                num(event, "evals_per_sec"),
-                num(event, "improvements") as u64,
-            ),
+            "cgp.progress" => {
+                let elapsed_ms = num(event, "elapsed_ms");
+                let limit_ms = num(event, "limit_ms");
+                let eta_s = (limit_ms - elapsed_ms).max(0.0) / 1e3;
+                writeln!(
+                    out,
+                    "[gen {:>6}] best area {:.1} um2 | {:.0} evals/s | {} improvements | ETA {:.0}s",
+                    num(event, "generation") as u64,
+                    num(event, "best_area"),
+                    num(event, "evals_per_sec"),
+                    num(event, "improvements") as u64,
+                    eta_s,
+                )
+            }
             "cgp.improvement" => writeln!(
                 out,
                 "[gen {:>6}] improved: area {:.1} um2 ({:.1} % of exact)",
@@ -795,6 +926,80 @@ fn cmd_lint(opts: &Flags) -> Result<(), CliError> {
     println!("linted {targets} structures: {errors} errors, {warnings} warnings");
     if errors > 0 {
         return Err(format!("lint found {errors} error-severity diagnostics").into());
+    }
+    Ok(())
+}
+
+fn cmd_report(opts: &Flags) -> Result<(), CliError> {
+    use axmc::obs::{profile::Profile, report};
+    let path = match (opts.get("run-dir"), opts.get("trace")) {
+        (Some(dir), None) => Path::new(dir).join(artifact::TRACE_FILE),
+        (None, Some(file)) => PathBuf::from(file),
+        _ => return Err("pass exactly one of --run-dir DIR or --trace F.jsonl".into()),
+    };
+    let text = std::fs::read_to_string(&path)
+        .map_err(|e| format!("cannot read '{}': {e}", path.display()))?;
+    let profile = Profile::from_jsonl(&text);
+    if profile.is_empty() {
+        println!("no span events in {}", path.display());
+        return Ok(());
+    }
+    print!("{}", report::render_tree(&profile));
+    println!();
+    print!("{}", report::render_quantiles(&profile));
+    if profile.skipped > 0 {
+        println!(
+            "note: {} malformed or orphaned trace lines skipped",
+            profile.skipped
+        );
+    }
+    if let Some(flame) = opts.get("flame") {
+        std::fs::write(flame, report::collapsed_stacks(&profile))
+            .map_err(|e| format!("cannot write '{flame}': {e}"))?;
+        println!("wrote {flame} (collapsed stacks; render with any flamegraph tool)");
+    }
+    Ok(())
+}
+
+fn cmd_bench_diff(opts: &Flags) -> Result<(), CliError> {
+    use axmc::obs::diff;
+    let threshold: f64 = numeric(opts, "threshold", 25.0)?;
+    let min_ms: f64 = numeric(opts, "min-ms", 5.0)?;
+    if !threshold.is_finite() || threshold < 0.0 {
+        return Err("--threshold must be a percentage >= 0".into());
+    }
+    if !min_ms.is_finite() || min_ms < 0.0 {
+        return Err("--min-ms must be >= 0".into());
+    }
+    let load = |flag: &str| -> Result<Vec<(String, f64)>, CliError> {
+        let path = artifact::resolve_metrics_path(Path::new(required(opts, flag)?));
+        let text = std::fs::read_to_string(&path)
+            .map_err(|e| format!("cannot read '{}': {e}", path.display()))?;
+        let doc =
+            Json::parse(&text).map_err(|e| format!("cannot parse '{}': {e}", path.display()))?;
+        let rows = diff::extract_rows(&doc);
+        if rows.is_empty() {
+            return Err(format!(
+                "'{}' contains no timing rows (expected a bench phase log or run-dir metrics.json)",
+                path.display()
+            )
+            .into());
+        }
+        Ok(rows)
+    };
+    let base = load("base")?;
+    let new = load("new")?;
+    let options = diff::DiffOptions {
+        threshold_pct: threshold,
+        min_ms,
+    };
+    let result = diff::compare(&base, &new, options);
+    print!("{}", diff::render(&result, options));
+    if result.regressed {
+        return Err(CliError {
+            code: 12,
+            message: format!("performance regression beyond +{threshold}%"),
+        });
     }
     Ok(())
 }

@@ -267,10 +267,18 @@ fn evolve_progress_prints_live_lines() {
         "{}",
         String::from_utf8_lossy(&out.stderr)
     );
-    let text = String::from_utf8_lossy(&out.stdout);
+    // Progress is commentary: it must land on stderr (stdout stays
+    // clean for piping) and carry the eval rate and time-limit ETA.
     // The first progress event is emitted unthrottled, so at least one
     // line is guaranteed even on a fast machine.
-    assert!(text.contains("evals/s"), "{text}");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("evals/s"), "{err}");
+    assert!(err.contains("ETA"), "{err}");
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        !text.contains("evals/s"),
+        "progress leaked to stdout: {text}"
+    );
 }
 
 #[test]
@@ -471,4 +479,183 @@ fn unknown_engines_are_rejected() {
     assert!(!out.status.success());
     let err = String::from_utf8_lossy(&out.stderr);
     assert!(err.contains("unknown engine 'cudd'"), "{err}");
+}
+
+/// One analyze run recorded into a run dir; shared scaffolding for the
+/// artifact-bundle tests below.
+fn record_run(tag: &str) -> PathBuf {
+    let g = tmp(&format!("{tag}-g.aag"));
+    let c = tmp(&format!("{tag}-c.aag"));
+    for (kind, param, path) in [("adder", None, &g), ("trunc-adder", Some("4"), &c)] {
+        let mut cmd = axmc();
+        cmd.args(["gen", "--kind", kind, "--width", "10"]);
+        if let Some(p) = param {
+            cmd.args(["--param", p]);
+        }
+        let out = cmd.arg("--out").arg(path).output().expect("spawn");
+        assert!(out.status.success());
+    }
+    let dir = tmp(&format!("{tag}-rundir"));
+    let _ = std::fs::remove_dir_all(&dir);
+    let out = axmc()
+        .args(["analyze", "--golden"])
+        .arg(&g)
+        .arg("--approx")
+        .arg(&c)
+        .arg("--run-dir")
+        .arg(&dir)
+        .output()
+        .expect("spawn");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    dir
+}
+
+#[test]
+fn run_dir_records_a_complete_artifact_bundle() {
+    use axmc::obs::json::Json;
+    let dir = record_run("bundle");
+    for file in ["manifest.json", "trace.jsonl", "metrics.json"] {
+        assert!(dir.join(file).is_file(), "missing {file}");
+    }
+    let manifest =
+        Json::parse(&std::fs::read_to_string(dir.join("manifest.json")).unwrap()).unwrap();
+    assert_eq!(
+        manifest.get("schema").and_then(Json::as_str),
+        Some("axmc-run-manifest-v1")
+    );
+    assert_eq!(
+        manifest.get("command").and_then(Json::as_str),
+        Some("analyze")
+    );
+    assert!(manifest.get("jobs").is_some());
+    assert!(manifest.get("engine").is_some());
+    // Resource usage is captured without unsafe via /proc; on Linux the
+    // values must be present and sane.
+    let proc = manifest.get("proc").expect("proc block");
+    if cfg!(target_os = "linux") {
+        let rss = proc.get("max_rss_kb").and_then(Json::as_f64).unwrap();
+        assert!(rss > 100.0, "implausible peak RSS {rss} kB");
+    }
+    let metrics = Json::parse(&std::fs::read_to_string(dir.join("metrics.json")).unwrap()).unwrap();
+    assert_eq!(
+        metrics.get("schema").and_then(Json::as_str),
+        Some("axmc-metrics-v1")
+    );
+    assert!(metrics.get("wall_ms").and_then(Json::as_f64).unwrap() > 0.0);
+    // The trace must contain matched span.start/span.end pairs.
+    let trace = std::fs::read_to_string(dir.join("trace.jsonl")).unwrap();
+    let starts = trace.lines().filter(|l| l.contains("span.start")).count();
+    let ends = trace.lines().filter(|l| l.contains("span.end")).count();
+    assert!(starts > 0, "no spans recorded");
+    assert_eq!(starts, ends, "unbalanced span events");
+}
+
+#[test]
+fn report_attributes_the_whole_run_and_is_deterministic() {
+    use axmc::obs::json::Json;
+    let dir = record_run("report");
+    let report = |extra: &[&str]| {
+        let mut cmd = axmc();
+        cmd.arg("report").arg("--run-dir").arg(&dir);
+        cmd.args(extra);
+        let out = cmd.output().expect("spawn");
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        String::from_utf8_lossy(&out.stdout).to_string()
+    };
+    let first = report(&[]);
+    // The synthetic root span covers the command, so it must head the
+    // tree at 100% and its total must track the recorded wall-clock.
+    let run_line = first
+        .lines()
+        .find(|l| l.trim().ends_with(" run") && l.contains("100.0%"))
+        .unwrap_or_else(|| panic!("no 100% run root in:\n{first}"));
+    let run_ms: f64 = run_line.split_whitespace().next().unwrap().parse().unwrap();
+    let metrics = Json::parse(&std::fs::read_to_string(dir.join("metrics.json")).unwrap()).unwrap();
+    let wall_ms = metrics.get("wall_ms").and_then(Json::as_f64).unwrap();
+    let drift = (wall_ms - run_ms).abs() / wall_ms;
+    assert!(
+        drift < 0.05,
+        "run span {run_ms} ms vs wall {wall_ms} ms: {:.1}% apart",
+        drift * 100.0
+    );
+    assert!(first.contains("p95_us"), "{first}");
+    // Replaying the same trace must render byte-identical output.
+    assert_eq!(first, report(&[]), "report is nondeterministic");
+    // --flame emits collapsed stacks: `frame;frame;... microseconds`.
+    let flame_path = tmp("report-flame.txt");
+    let _ = std::fs::remove_file(&flame_path);
+    report(&["--flame", flame_path.to_str().unwrap()]);
+    let flame = std::fs::read_to_string(&flame_path).unwrap();
+    for line in flame.lines() {
+        let (stack, value) = line.rsplit_once(' ').expect("stack and value");
+        assert!(stack.starts_with("run"), "stack not rooted at run: {line}");
+        value.parse::<u64>().expect("self-time in microseconds");
+    }
+    assert!(
+        flame.lines().any(|l| l.contains(';')),
+        "no nested frame in:\n{flame}"
+    );
+}
+
+#[test]
+fn report_rejects_ambiguous_sources() {
+    let out = axmc().arg("report").output().expect("spawn");
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("exactly one of"), "{err}");
+}
+
+#[test]
+fn bench_diff_passes_self_and_fails_injected_regression() {
+    let dir = record_run("diff");
+    // A run compared against itself must always pass (exit 0).
+    let out = axmc()
+        .arg("bench-diff")
+        .arg("--base")
+        .arg(&dir)
+        .arg("--new")
+        .arg(&dir)
+        .output()
+        .expect("spawn");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+    assert!(String::from_utf8_lossy(&out.stdout).contains("OK"));
+    // Injecting a 10x slowdown into the wall-clock must trip the
+    // threshold and exit with the dedicated regression code 12.
+    let doctored = tmp("diff-slow.json");
+    let text = std::fs::read_to_string(dir.join("metrics.json")).unwrap();
+    let wall = text
+        .lines()
+        .find(|l| l.contains("\"wall_ms\""))
+        .expect("wall_ms line")
+        .trim()
+        .trim_end_matches(',')
+        .to_string();
+    let value: f64 = wall.split(':').nth(1).unwrap().trim().parse().unwrap();
+    let slowed = text.replace(
+        wall.split(':').nth(1).unwrap(),
+        &format!(" {}", value * 10.0),
+    );
+    std::fs::write(&doctored, slowed).unwrap();
+    let out = axmc()
+        .arg("bench-diff")
+        .arg("--base")
+        .arg(&dir)
+        .arg("--new")
+        .arg(&doctored)
+        .output()
+        .expect("spawn");
+    assert_eq!(out.status.code(), Some(12), "regression must exit 12");
+    assert!(String::from_utf8_lossy(&out.stdout).contains("REGRESSED"));
 }

@@ -1,0 +1,234 @@
+#![cfg(feature = "proptest-tests")]
+
+//! Property-based tests of the trace layer: the `Event` JSON codec must
+//! round-trip arbitrary field sets, and `Profile` must reconstruct the
+//! exact span forest from arbitrarily interleaved multi-worker traces —
+//! the shape `axmc report` consumes.
+
+use axmc::obs::profile::Profile;
+use axmc::obs::{Event, Value};
+use proptest::collection::vec;
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+/// Characters that exercise every branch of the JSON string escaper:
+/// plain ASCII, quotes, backslashes, control characters, and multi-byte
+/// code points.
+const PALETTE: &[char] = &[
+    'a', 'Z', '0', '_', '.', ' ', '-', '"', '\\', '\n', '\t', '\r', '\u{1}', 'é', 'λ', '🦀',
+];
+
+fn text(len: std::ops::Range<usize>) -> impl Strategy<Value = String> {
+    vec(0..PALETTE.len(), len).prop_map(|ixs| ixs.into_iter().map(|i| PALETTE[i]).collect())
+}
+
+/// One field value of every scalar kind the codec supports. Floats are
+/// derived from an integer so they are always finite (NaN/inf have no
+/// JSON form), and negative integers exercise the `I64` arm.
+fn value() -> impl Strategy<Value = Value> {
+    (0usize..5, any::<i64>(), text(0..6)).prop_map(|(tag, n, s)| match tag {
+        0 => Value::from(n.unsigned_abs()),
+        1 => Value::from(-(n.unsigned_abs() as i64 >> 1)),
+        2 => Value::from(n as f64 / 256.0),
+        3 => Value::from(n % 2 == 0),
+        _ => Value::from(s),
+    })
+}
+
+fn event() -> impl Strategy<Value = Event> {
+    (text(1..8), vec((text(1..6), value()), 0..8)).prop_map(|(kind, fields)| {
+        let mut event = Event::new(kind);
+        for (name, value) in fields {
+            event = event.field(name, value);
+        }
+        event
+    })
+}
+
+/// The push/pop script of a synthetic multi-worker trace: each step
+/// either opens a span on one worker or closes that worker's innermost
+/// open span.
+#[derive(Clone, Debug)]
+struct Step {
+    worker: usize,
+    push: bool,
+}
+
+fn script(workers: usize, steps: std::ops::Range<usize>) -> impl Strategy<Value = Vec<Step>> {
+    vec((0..workers, any::<bool>()), steps).prop_map(|ops| {
+        ops.into_iter()
+            .map(|(worker, push)| Step { worker, push })
+            .collect()
+    })
+}
+
+/// Ground truth for one emitted span.
+struct Expected {
+    parent: u64,
+    worker: u64,
+    name: String,
+    start_us: u64,
+    dur_us: u64,
+}
+
+/// Plays the script into a `span.start`/`span.end` event stream exactly
+/// as the runtime emits it (per-worker stacks, global ids, one shared
+/// clock), returning the stream and the ground-truth span table.
+fn play(steps: &[Step], workers: usize) -> (Vec<Event>, HashMap<u64, Expected>) {
+    let mut events = Vec::new();
+    let mut truth: HashMap<u64, Expected> = HashMap::new();
+    let mut stacks: Vec<Vec<u64>> = vec![Vec::new(); workers];
+    let mut next_id = 1u64;
+    let mut clock = 0u64;
+    let emit_end =
+        |events: &mut Vec<Event>, truth: &mut HashMap<u64, Expected>, id: u64, clock: &mut u64| {
+            *clock += 3;
+            let span = truth.get_mut(&id).expect("started");
+            span.dur_us = *clock - span.start_us;
+            events.push(
+                Event::new("span.end")
+                    .field("span", id)
+                    .field("t_us", *clock)
+                    .field("dur_us", span.dur_us),
+            );
+        };
+    for step in steps {
+        if step.push {
+            clock += 3;
+            let id = next_id;
+            next_id += 1;
+            let parent = stacks[step.worker].last().copied().unwrap_or(0);
+            let name = format!("op.{}", step.worker);
+            truth.insert(
+                id,
+                Expected {
+                    parent,
+                    worker: step.worker as u64,
+                    name: name.clone(),
+                    start_us: clock,
+                    dur_us: 0,
+                },
+            );
+            events.push(
+                Event::new("span.start")
+                    .field("name", name)
+                    .field("span", id)
+                    .field("parent", parent)
+                    .field("worker", step.worker as u64)
+                    .field("t_us", clock),
+            );
+            stacks[step.worker].push(id);
+        } else if let Some(id) = stacks[step.worker].pop() {
+            emit_end(&mut events, &mut truth, id, &mut clock);
+        }
+    }
+    // Close whatever is still open so every span has an exact duration.
+    for stack in &mut stacks {
+        while let Some(id) = stack.pop() {
+            emit_end(&mut events, &mut truth, id, &mut clock);
+        }
+    }
+    (events, truth)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// `to_json` → `parse_json` is the identity on any event.
+    #[test]
+    fn event_json_round_trips(event in event()) {
+        let line = event.to_json();
+        let parsed = Event::parse_json(&line);
+        prop_assert!(parsed.is_ok(), "cannot parse {}: {:?}", line, parsed);
+        let back = parsed.unwrap();
+        prop_assert_eq!(&back, &event, "through {}", line);
+        // Parsing is also stable: re-encoding yields the same line.
+        prop_assert_eq!(back.to_json(), line);
+    }
+
+    /// The profile reconstructed from an interleaved multi-worker trace
+    /// matches the generating span table exactly: ids, parents, workers,
+    /// durations, and child links.
+    #[test]
+    fn profile_reconstructs_interleaved_workers(
+        workers in 1usize..5,
+        steps in script(4, 0..60),
+    ) {
+        let steps: Vec<Step> = steps
+            .into_iter()
+            .map(|s| Step { worker: s.worker % workers, push: s.push })
+            .collect();
+        let (events, truth) = play(&steps, workers);
+        let profile = Profile::from_events(events.clone());
+
+        prop_assert_eq!(profile.skipped, 0);
+        prop_assert_eq!(profile.spans.len(), truth.len());
+        let by_id: HashMap<u64, usize> = profile
+            .spans
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (s.id, i))
+            .collect();
+        for (id, expected) in &truth {
+            let span = &profile.spans[by_id[id]];
+            prop_assert_eq!(span.parent, expected.parent, "span {}", id);
+            prop_assert_eq!(span.worker, expected.worker, "span {}", id);
+            prop_assert_eq!(&span.name, &expected.name, "span {}", id);
+            prop_assert_eq!(span.start_us, expected.start_us, "span {}", id);
+            prop_assert_eq!(span.dur_us, expected.dur_us, "span {}", id);
+        }
+        // Child links mirror the parent fields, and the roots are
+        // exactly the parentless spans.
+        for (i, span) in profile.spans.iter().enumerate() {
+            for &child in &span.children {
+                prop_assert_eq!(profile.spans[child].parent, span.id);
+            }
+            if span.parent == 0 {
+                prop_assert!(profile.roots.contains(&i), "span {} not a root", span.id);
+            }
+        }
+        let child_count: usize = profile.spans.iter().map(|s| s.children.len()).sum();
+        prop_assert_eq!(child_count + profile.roots.len(), profile.spans.len());
+
+        // The reconstruction is insensitive to the serialization: going
+        // through JSONL text yields the identical forest.
+        let jsonl: String = events.iter().map(|e| e.to_json() + "\n").collect();
+        let reparsed = Profile::from_jsonl(&jsonl);
+        prop_assert_eq!(reparsed.spans, profile.spans);
+        prop_assert_eq!(reparsed.roots, profile.roots);
+    }
+
+    /// A truncated trace (tail `span.end`s lost, e.g. a crash) still
+    /// reconstructs every started span, closing the unfinished ones at
+    /// the last timestamp observed anywhere in the trace.
+    #[test]
+    fn profile_tolerates_truncated_traces(
+        steps in script(3, 4..40),
+        cut in 1usize..8,
+    ) {
+        let (events, truth) = play(&steps, 3);
+        if truth.is_empty() {
+            return;
+        }
+        let keep = events.len() - cut.min(events.len() - 1);
+        let started: usize = events[..keep]
+            .iter()
+            .filter(|e| e.kind == "span.start")
+            .count();
+        let profile = Profile::from_events(events[..keep].to_vec());
+        prop_assert_eq!(profile.spans.len(), started);
+        let last_t = profile
+            .spans
+            .iter()
+            .map(|s| s.start_us + s.dur_us)
+            .max()
+            .unwrap_or(0);
+        for span in &profile.spans {
+            prop_assert!(
+                span.start_us + span.dur_us <= last_t,
+                "span {} closed past the trace horizon",
+                span.id
+            );
+        }
+    }
+}
