@@ -9,6 +9,7 @@
 //! polynomial SAT formulation.
 
 use crate::bound_search::search_max_error;
+use crate::cache::{cached, metric, CachedResult, QueryKey};
 use crate::engine::{Backend, EngineKind};
 use crate::options::AnalysisOptions;
 use crate::report::{AnalysisError, AverageMethod, AverageReport, ErrorReport, Partial};
@@ -161,8 +162,30 @@ impl<'a> CombAnalyzer<'a> {
         &self,
         threshold: u128,
     ) -> Result<Verdict<Vec<bool>>, AnalysisError> {
-        let miter = diff_threshold_miter(self.golden, self.candidate, threshold);
-        self.solve_miter(&miter)
+        cached(
+            &self.options,
+            || {
+                QueryKey::new(
+                    self.golden,
+                    self.candidate,
+                    metric::COMB_EXCEEDS,
+                    &self.options,
+                )
+                .with_threshold(threshold)
+            },
+            |hit| match hit {
+                CachedResult::CombVerdict(v) => Some(v),
+                _ => None,
+            },
+            |v| match v {
+                Verdict::Interrupted { .. } => None,
+                done => Some(CachedResult::CombVerdict(done.clone())),
+            },
+            || {
+                let miter = diff_threshold_miter(self.golden, self.candidate, threshold);
+                self.solve_miter(&miter)
+            },
+        )
     }
 
     /// One Hamming-distance query: can more than `threshold` output bits
@@ -225,15 +248,26 @@ impl<'a> CombAnalyzer<'a> {
     /// [`AnalysisError::CertificateRejected`] if certified mode is on and
     /// a certificate fails validation.
     pub fn worst_case_error(&self) -> Result<ErrorReport<u128>, AnalysisError> {
-        // The SAT search wants the signed difference word (comparators
-        // attach per probe); the BDD walk maximizes an unsigned word, so
-        // it gets the absolute-value form.
-        let miter = diff_word_miter(self.golden, self.candidate).compact();
-        self.run_backend(
-            |ctl| self.worst_case_error_sat(&miter, ctl),
-            |ctl| {
-                let abs = abs_diff_word_miter(self.golden, self.candidate).compact();
-                self.bdd_word_max(&abs, ctl)
+        cached(
+            &self.options,
+            || QueryKey::new(self.golden, self.candidate, metric::COMB_WCE, &self.options),
+            |hit| match hit {
+                CachedResult::Wide(r) => Some(r),
+                _ => None,
+            },
+            |r| Some(CachedResult::Wide(*r)),
+            || {
+                // The SAT search wants the signed difference word
+                // (comparators attach per probe); the BDD walk maximizes
+                // an unsigned word, so it gets the absolute-value form.
+                let miter = diff_word_miter(self.golden, self.candidate).compact();
+                self.run_backend(
+                    |ctl| self.worst_case_error_sat(&miter, ctl),
+                    |ctl| {
+                        let abs = abs_diff_word_miter(self.golden, self.candidate).compact();
+                        self.bdd_word_max(&abs, ctl)
+                    },
+                )
             },
         )
     }
@@ -299,10 +333,28 @@ impl<'a> CombAnalyzer<'a> {
     /// search; [`AnalysisError::CertificateRejected`] on a rejected
     /// certificate in certified mode.
     pub fn bit_flip_error(&self) -> Result<ErrorReport<u32>, AnalysisError> {
-        let miter = popcount_word_miter(self.golden, self.candidate).compact();
-        self.run_backend(
-            |ctl| self.bit_flip_error_sat(&miter, ctl),
-            |ctl| self.bdd_word_max(&miter, ctl).map(|v| v as u32),
+        cached(
+            &self.options,
+            || {
+                QueryKey::new(
+                    self.golden,
+                    self.candidate,
+                    metric::COMB_BIT_FLIP,
+                    &self.options,
+                )
+            },
+            |hit| match hit {
+                CachedResult::Narrow(r) => Some(r),
+                _ => None,
+            },
+            |r| Some(CachedResult::Narrow(*r)),
+            || {
+                let miter = popcount_word_miter(self.golden, self.candidate).compact();
+                self.run_backend(
+                    |ctl| self.bit_flip_error_sat(&miter, ctl),
+                    |ctl| self.bdd_word_max(&miter, ctl).map(|v| v as u32),
+                )
+            },
         )
     }
 

@@ -23,7 +23,7 @@ pub const DEFAULT_BDD_NODE_LIMIT: usize = 1_000_000;
 ///
 /// Parsed from `--engine sat|bdd|auto` on the CLI; selected in the API
 /// via `AnalysisOptions::with_backend` / `SearchOptions::backend`.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
 pub enum Backend {
     /// The CEGIS threshold-miter search over the CDCL solver — the
     /// paper's engine, structure-insensitive, and the default.

@@ -65,6 +65,7 @@
 #![warn(missing_docs)]
 
 mod bound_search;
+pub mod cache;
 mod comb;
 mod engine;
 mod options;
@@ -72,6 +73,7 @@ mod report;
 mod seq;
 mod verdict;
 
+pub use crate::cache::{CacheHandle, CachedResult, QueryCache, QueryKey};
 pub use crate::comb::{
     exhaustive_stats, sampled_stats, CombAnalyzer, ErrorInputCount, ExhaustiveStats, SampledStats,
 };
@@ -80,7 +82,7 @@ pub use crate::options::AnalysisOptions;
 pub use crate::report::{
     AnalysisError, AverageMethod, AverageReport, ErrorGrowth, ErrorProfile, ErrorReport, Partial,
 };
-pub use crate::seq::{EarliestError, SeqAnalyzer};
+pub use crate::seq::{EarliestError, SeqAnalyzer, SeqProbe};
 pub use crate::verdict::Verdict;
 
 // Re-exported so downstream users can build an `AnalysisOptions` without

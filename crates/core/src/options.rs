@@ -6,6 +6,7 @@
 //! it via `with_options`, and the old per-knob builders survive only as
 //! deprecated forwarders.
 
+use crate::cache::CacheHandle;
 use crate::engine::{Backend, DEFAULT_BDD_NODE_LIMIT};
 use axmc_sat::{Budget, CancelToken, ResourceCtl};
 use std::time::Duration;
@@ -33,6 +34,10 @@ pub struct AnalysisOptions {
     /// Node budget for BDD construction under the `Bdd`/`Auto` backends;
     /// exceeding it degrades gracefully to SAT.
     pub bdd_node_limit: usize,
+    /// Cross-query result cache consulted by the cacheable metrics
+    /// before any solver work (see [`crate::cache`]). `None` (the
+    /// default) computes every query.
+    pub cache: Option<CacheHandle>,
 }
 
 impl Default for AnalysisOptions {
@@ -44,6 +49,7 @@ impl Default for AnalysisOptions {
             sweep: false,
             backend: Backend::default(),
             bdd_node_limit: DEFAULT_BDD_NODE_LIMIT,
+            cache: None,
         }
     }
 }
@@ -115,6 +121,12 @@ impl AnalysisOptions {
     /// the two terminals).
     pub fn with_bdd_node_limit(mut self, limit: usize) -> Self {
         self.bdd_node_limit = limit.max(2);
+        self
+    }
+
+    /// Attaches a cross-query result cache (see [`crate::cache`]).
+    pub fn with_cache(mut self, cache: CacheHandle) -> Self {
+        self.cache = Some(cache);
         self
     }
 

@@ -25,6 +25,7 @@
 //! payload carries the tightest certified bounds reached so far.
 
 use crate::bound_search::search_max_error_batched;
+use crate::cache::{cached, metric, CachedResult, QueryKey};
 use crate::engine::EngineKind;
 use crate::options::AnalysisOptions;
 use crate::report::{AnalysisError, ErrorProfile, ErrorReport, Partial};
@@ -322,8 +323,38 @@ impl<'a> SeqAnalyzer<'a> {
         threshold: u128,
         k: usize,
     ) -> Result<Verdict<Trace>, AnalysisError> {
-        let mut engine = self.diff_engine();
-        engine.probe(threshold, k)
+        cached(
+            &self.options,
+            || {
+                QueryKey::new(self.golden, self.approx, metric::SEQ_EXCEEDS, &self.options)
+                    .with_threshold(threshold)
+                    .with_cycles(k)
+            },
+            |hit| match hit {
+                CachedResult::SeqVerdict(v) => Some(v),
+                _ => None,
+            },
+            |v| match v {
+                Verdict::Interrupted { .. } => None,
+                done => Some(CachedResult::SeqVerdict(done.clone())),
+            },
+            || {
+                let mut engine = self.diff_engine();
+                engine.probe(threshold, k)
+            },
+        )
+    }
+
+    /// Opens a **persistent probe session** over the pair's difference
+    /// miter: the product machine is encoded once, and every subsequent
+    /// [`SeqProbe::check_error_exceeds`] reuses the warmed-up incremental
+    /// solver (unrolled frames, learnt clauses). A batch service probing
+    /// the same pair at many thresholds or horizons should hold one
+    /// session per pair instead of paying the encoding on every query.
+    pub fn probe_session(&self) -> SeqProbe {
+        SeqProbe {
+            engine: self.diff_engine(),
+        }
     }
 
     fn diff_engine(&self) -> ThresholdEngine {
@@ -344,30 +375,44 @@ impl<'a> SeqAnalyzer<'a> {
     /// [`AnalysisError::Interrupted`] with the tightest bracketing
     /// interval reached when a resource limit stops the search.
     pub fn worst_case_error_at(&self, k: usize) -> Result<ErrorReport<u128>, AnalysisError> {
-        let m = self.golden.num_outputs();
-        let max: u128 = if m >= 128 {
-            u128::MAX
-        } else {
-            (1u128 << m) - 1
-        };
-        let mut engines = self.engine_pool(self.diff_engine());
-        let sat_calls = AtomicU64::new(0);
-        let value = search_max_error_batched("seq.wce", max, engines.len(), |ts| {
-            axmc_par::parallel_zip_mut(&mut engines, ts, |_, engine, &t| {
-                sat_calls.fetch_add(1, Ordering::Relaxed);
-                Ok(engine.probe(t, k)?.map(|trace| {
-                    let witnessed = self.trace_error(&trace);
-                    debug_assert!(witnessed > t);
-                    witnessed
-                }))
-            })
-        })?;
-        Ok(ErrorReport {
-            value,
-            sat_calls: sat_calls.into_inner(),
-            conflicts: engines.iter().map(ThresholdEngine::conflicts).sum(),
-            engine: EngineKind::Sat,
-        })
+        cached(
+            &self.options,
+            || {
+                QueryKey::new(self.golden, self.approx, metric::SEQ_WCE, &self.options)
+                    .with_cycles(k)
+            },
+            |hit| match hit {
+                CachedResult::Wide(r) => Some(r),
+                _ => None,
+            },
+            |r| Some(CachedResult::Wide(*r)),
+            || {
+                let m = self.golden.num_outputs();
+                let max: u128 = if m >= 128 {
+                    u128::MAX
+                } else {
+                    (1u128 << m) - 1
+                };
+                let mut engines = self.engine_pool(self.diff_engine());
+                let sat_calls = AtomicU64::new(0);
+                let value = search_max_error_batched("seq.wce", max, engines.len(), |ts| {
+                    axmc_par::parallel_zip_mut(&mut engines, ts, |_, engine, &t| {
+                        sat_calls.fetch_add(1, Ordering::Relaxed);
+                        Ok(engine.probe(t, k)?.map(|trace| {
+                            let witnessed = self.trace_error(&trace);
+                            debug_assert!(witnessed > t);
+                            witnessed
+                        }))
+                    })
+                })?;
+                Ok(ErrorReport {
+                    value,
+                    sat_calls: sat_calls.into_inner(),
+                    conflicts: engines.iter().map(ThresholdEngine::conflicts).sum(),
+                    engine: EngineKind::Sat,
+                })
+            },
+        )
     }
 
     /// The precise worst-case Hamming distance of the outputs over all
@@ -378,33 +423,52 @@ impl<'a> SeqAnalyzer<'a> {
     /// [`AnalysisError::Interrupted`] with the tightest bracketing
     /// interval reached when a resource limit stops the search.
     pub fn bit_flip_error_at(&self, k: usize) -> Result<ErrorReport<u32>, AnalysisError> {
-        let max = self.golden.num_outputs() as u128;
-        let mut engines = self.engine_pool(ThresholdEngine::new(
-            sequential_popcount_word_miter(self.golden, self.approx),
-            WordKind::Unsigned,
+        cached(
             &self.options,
-        ));
-        let sat_calls = AtomicU64::new(0);
-        let value = search_max_error_batched("seq.bit_flip", max, engines.len(), |ts| {
-            axmc_par::parallel_zip_mut(&mut engines, ts, |_, engine, &t| {
-                sat_calls.fetch_add(1, Ordering::Relaxed);
-                Ok(engine.probe(t, k)?.map(|trace| {
-                    let og = trace.replay(self.golden);
-                    let oc = trace.replay(self.approx);
-                    og.iter()
-                        .zip(&oc)
-                        .map(|(g, c)| (bits_to_u128(g) ^ bits_to_u128(c)).count_ones())
-                        .max()
-                        .unwrap_or(0) as u128
-                }))
-            })
-        })?;
-        Ok(ErrorReport {
-            value: value as u32,
-            sat_calls: sat_calls.into_inner(),
-            conflicts: engines.iter().map(ThresholdEngine::conflicts).sum(),
-            engine: EngineKind::Sat,
-        })
+            || {
+                QueryKey::new(
+                    self.golden,
+                    self.approx,
+                    metric::SEQ_BIT_FLIP,
+                    &self.options,
+                )
+                .with_cycles(k)
+            },
+            |hit| match hit {
+                CachedResult::Narrow(r) => Some(r),
+                _ => None,
+            },
+            |r| Some(CachedResult::Narrow(*r)),
+            || {
+                let max = self.golden.num_outputs() as u128;
+                let mut engines = self.engine_pool(ThresholdEngine::new(
+                    sequential_popcount_word_miter(self.golden, self.approx),
+                    WordKind::Unsigned,
+                    &self.options,
+                ));
+                let sat_calls = AtomicU64::new(0);
+                let value = search_max_error_batched("seq.bit_flip", max, engines.len(), |ts| {
+                    axmc_par::parallel_zip_mut(&mut engines, ts, |_, engine, &t| {
+                        sat_calls.fetch_add(1, Ordering::Relaxed);
+                        Ok(engine.probe(t, k)?.map(|trace| {
+                            let og = trace.replay(self.golden);
+                            let oc = trace.replay(self.approx);
+                            og.iter()
+                                .zip(&oc)
+                                .map(|(g, c)| (bits_to_u128(g) ^ bits_to_u128(c)).count_ones())
+                                .max()
+                                .unwrap_or(0) as u128
+                        }))
+                    })
+                })?;
+                Ok(ErrorReport {
+                    value: value as u32,
+                    sat_calls: sat_calls.into_inner(),
+                    conflicts: engines.iter().map(ThresholdEngine::conflicts).sum(),
+                    engine: EngineKind::Sat,
+                })
+            },
+        )
     }
 
     /// The per-horizon worst-case error profile `WCE@0 .. WCE@k`, computed
@@ -705,6 +769,66 @@ impl<'a> SeqAnalyzer<'a> {
             done += lanes as u64;
         }
         worst
+    }
+}
+
+/// A warmed-up, reusable threshold-probe engine for one golden/approx
+/// pair, opened with [`SeqAnalyzer::probe_session`].
+///
+/// The product-machine difference miter is encoded into an incremental
+/// solver exactly once; every probe extends the unrolling as needed and
+/// adds only a small comparator, so learnt clauses and frames amortize
+/// across arbitrarily many queries. Cloning duplicates the entire warmed
+/// solver state.
+///
+/// Two properties matter to pooling layers (such as `axmc serve`):
+///
+/// * **Certification is fixed at construction.** Proof logging cannot be
+///   enabled retroactively on a warmed solver, so a probe built from an
+///   uncertified analyzer can never answer a certified query — pool
+///   instances per `(pair, certified)`.
+/// * **Resource control is re-armable.** [`SeqProbe::set_ctl`] replaces
+///   the deadline/budget/cancellation bundle, letting a pooled instance
+///   serve requests with different resource envelopes.
+#[derive(Clone)]
+pub struct SeqProbe {
+    engine: ThresholdEngine,
+}
+
+impl SeqProbe {
+    /// Can the error exceed `threshold` in any cycle `<= k`? Identical
+    /// semantics to [`SeqAnalyzer::check_error_exceeds`], against the
+    /// warm engine (no per-call cache lookup — callers pooling probes
+    /// manage their own cache).
+    ///
+    /// # Errors
+    ///
+    /// [`AnalysisError::CertificateRejected`] on a rejected certificate
+    /// in certified mode.
+    pub fn check_error_exceeds(
+        &mut self,
+        threshold: u128,
+        k: usize,
+    ) -> Result<Verdict<Trace>, AnalysisError> {
+        self.engine.probe(threshold, k)
+    }
+
+    /// Replaces the resource control (deadline, budget, cancellation)
+    /// applied to subsequent probes — re-arm a pooled instance before
+    /// each checkout.
+    pub fn set_ctl(&mut self, ctl: axmc_sat::ResourceCtl) {
+        self.engine.unroller.set_ctl(ctl);
+    }
+
+    /// Total solver conflicts accumulated across the session so far.
+    pub fn conflicts(&self) -> u64 {
+        self.engine.conflicts()
+    }
+}
+
+impl std::fmt::Debug for SeqProbe {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("SeqProbe(..)")
     }
 }
 
@@ -1057,6 +1181,75 @@ mod tests {
                 .map(|r| r.value)
         };
         assert_eq!(run(), run(), "same jobs value must reproduce exactly");
+    }
+
+    #[test]
+    fn probe_session_matches_one_shot_probes() {
+        // The warm engine must give the same verdicts as the one-shot
+        // path, across interleaved thresholds and horizons (the reuse
+        // pattern a batch service produces).
+        let width = 4;
+        let golden = accumulator(&generators::ripple_carry_adder(width), width);
+        let apx = accumulator(&approx::truncated_adder(width, 2), width);
+        let analyzer = SeqAnalyzer::new(&golden, &apx);
+        let mut probe = analyzer.probe_session();
+        for (t, k) in [(0u128, 1usize), (2, 3), (0, 3), (200, 2), (1, 2)] {
+            let warm = probe.check_error_exceeds(t, k).unwrap();
+            let cold = analyzer.check_error_exceeds(t, k).unwrap();
+            assert_eq!(
+                warm.is_proved(),
+                cold.is_proved(),
+                "t = {t}, k = {k}: warm and cold sessions must agree"
+            );
+            if let Verdict::Refuted { witness } = &warm {
+                assert!(analyzer.trace_error(witness) > t, "witness must exceed t");
+            }
+        }
+    }
+
+    #[test]
+    fn cached_seq_metrics_replay_identically() {
+        use crate::cache::{CacheHandle, CachedResult, QueryCache, QueryKey};
+        use std::collections::HashMap;
+        use std::sync::{Arc, Mutex};
+
+        #[derive(Default)]
+        struct Mem {
+            map: Mutex<HashMap<QueryKey, CachedResult>>,
+            puts: AtomicU64,
+        }
+        impl QueryCache for Mem {
+            fn get(&self, key: &QueryKey) -> Option<CachedResult> {
+                self.map.lock().unwrap().get(key).cloned()
+            }
+            fn put(&self, key: &QueryKey, value: CachedResult) {
+                self.puts.fetch_add(1, Ordering::Relaxed);
+                self.map.lock().unwrap().insert(key.clone(), value);
+            }
+        }
+
+        let width = 4;
+        let golden = accumulator(&generators::ripple_carry_adder(width), width);
+        let apx = accumulator(&approx::truncated_adder(width, 2), width);
+        let store = Arc::new(Mem::default());
+        let analyzer = SeqAnalyzer::new(&golden, &apx)
+            .with_options(AnalysisOptions::new().with_cache(CacheHandle::new(store.clone())));
+
+        let wce_cold = analyzer.worst_case_error_at(3).unwrap();
+        let bf_cold = analyzer.bit_flip_error_at(3).unwrap();
+        let v_cold = analyzer.check_error_exceeds(1, 3).unwrap();
+        assert_eq!(store.puts.load(Ordering::Relaxed), 3);
+
+        // Warm calls must replay byte-identical results (including the
+        // effort counters) without storing anything new.
+        assert_eq!(analyzer.worst_case_error_at(3).unwrap(), wce_cold);
+        assert_eq!(analyzer.bit_flip_error_at(3).unwrap(), bf_cold);
+        assert_eq!(analyzer.check_error_exceeds(1, 3).unwrap(), v_cold);
+        assert_eq!(store.puts.load(Ordering::Relaxed), 3);
+
+        // A different horizon is a different key: computed, then stored.
+        let _ = analyzer.worst_case_error_at(2).unwrap();
+        assert_eq!(store.puts.load(Ordering::Relaxed), 4);
     }
 
     #[test]

@@ -61,11 +61,15 @@ pub struct Bmc<'a> {
     /// Kept for API compatibility (traces replay against it).
     aig: &'a Aig,
     unroller: Unroller,
-    /// Live activation literal of the `check_any_up_to` disjunction and
-    /// the depth it covers. Reused while the depth stays the same;
-    /// retired with a unit `!d` when the depth changes, so repeated
-    /// queries don't leak a fresh variable and clause per call.
-    any_activation: Option<(usize, SatLit)>,
+    /// Activation literals of the `check_any_up_to` disjunctions, indexed
+    /// by depth. A literal is created the first time a depth is queried
+    /// and reused forever after, so any query pattern — including the
+    /// alternating-depth probes the portfolio threshold search produces —
+    /// adds at most one variable and clause per *distinct* depth, never
+    /// per call. Unused activations are simply left unassumed (their
+    /// disjunction clause is vacuously satisfiable), so no retirement
+    /// units are needed.
+    any_activation: Vec<Option<SatLit>>,
 }
 
 impl<'a> Bmc<'a> {
@@ -97,7 +101,7 @@ impl<'a> Bmc<'a> {
         Bmc {
             aig,
             unroller: Unroller::new(aig.clone()),
-            any_activation: None,
+            any_activation: Vec::new(),
         }
     }
 
@@ -263,22 +267,22 @@ impl<'a> Bmc<'a> {
         let timer = axmc_obs::span("bmc.check.time_us");
         self.unroller.extend_to(k + 1);
         // d -> (bad_0 | ... | bad_k); assuming d forces some frame bad.
-        // The activation literal is cached per depth: repeated queries at
-        // the same k reuse it (zero solver growth), and moving to a new
-        // depth retires the stale literal with a unit !d so the solver
-        // may discard its satisfied disjunction instead of leaking one
-        // variable and clause per call.
-        let d = match self.any_activation {
-            Some((depth, lit)) if depth == k => lit,
-            stale => {
-                if let Some((_, old)) = stale {
-                    self.unroller.solver_mut().add_clause(&[!old]);
-                }
+        // Activation literals are cached per depth: any revisited depth —
+        // same-depth repeats and alternating-depth probe patterns alike —
+        // reuses its literal with zero solver growth. Unqueried depths'
+        // activations stay unassumed, so their disjunctions never
+        // constrain the instance.
+        if self.any_activation.len() <= k {
+            self.any_activation.resize(k + 1, None);
+        }
+        let d = match self.any_activation[k] {
+            Some(lit) => lit,
+            None => {
                 let d = self.unroller.solver_mut().new_var().positive();
                 let mut clause: Vec<SatLit> = vec![!d];
                 clause.extend((0..=k).map(|i| self.unroller.frame(i).outputs[0]));
                 self.unroller.solver_mut().add_clause(&clause);
-                self.any_activation = Some((k, d));
+                self.any_activation[k] = Some(d);
                 d
             }
         };
@@ -447,20 +451,29 @@ mod tests {
             clauses_after_first,
             "repeated same-depth queries must not add clauses"
         );
-        // Alternating depths: growth bounded (one activation per switch,
-        // retired with a unit), never one per historical call.
-        let before_alt = bmc.num_vars();
-        for _ in 0..5 {
+        // Alternating depths: after each depth has been seen once, the
+        // per-depth activation cache must make further alternation free —
+        // zero variable and zero clause growth, not one retire-and-
+        // recreate cycle per switch.
+        assert!(matches!(bmc.check_any_up_to(2).unwrap(), BmcResult::Clear));
+        let vars_after_warm = bmc.num_vars();
+        let clauses_after_warm = bmc.num_clauses();
+        for _ in 0..10 {
             assert!(matches!(bmc.check_any_up_to(2).unwrap(), BmcResult::Clear));
             assert!(matches!(bmc.check_any_up_to(4).unwrap(), BmcResult::Cex(_)));
         }
-        assert!(
-            bmc.num_vars() - before_alt <= 10,
-            "alternating depths added {} vars, expected at most one per switch",
-            bmc.num_vars() - before_alt
+        assert_eq!(
+            bmc.num_vars(),
+            vars_after_warm,
+            "alternating-depth queries must not add solver variables"
         );
-        // And the retired activations must not constrain later answers:
-        // depth 2 is still clear, depth 4 still violating.
+        assert_eq!(
+            bmc.num_clauses(),
+            clauses_after_warm,
+            "alternating-depth queries must not add clauses"
+        );
+        // And the cached activations must not constrain other depths'
+        // answers: depth 2 is still clear, depth 4 still violating.
         assert!(matches!(bmc.check_any_up_to(2).unwrap(), BmcResult::Clear));
         assert!(matches!(bmc.check_any_up_to(4).unwrap(), BmcResult::Cex(_)));
     }

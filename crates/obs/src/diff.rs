@@ -8,6 +8,13 @@
 //! * a run-dir `metrics.json` (`axmc-metrics-v1`): rows are the run's
 //!   `wall_ms` plus one row per `*.time_us` histogram (sum, as ms).
 //!
+//! Both shapes name their aggregate wall-clock row `total`, so a phase
+//! log can be diffed against a run-dir recording and the headline number
+//! still lines up. Callers should treat a comparison with zero
+//! overlapping rows ([`Diff::compared`] = 0) as an error — it means the
+//! two documents describe disjoint row sets and nothing was actually
+//! gated.
+//!
 //! A row regresses when it exists on both sides, the new time exceeds
 //! the noise floor (`min_ms`), and the relative slowdown exceeds the
 //! threshold. Improvements, new rows and removed rows are reported but
@@ -58,6 +65,18 @@ pub struct Diff {
     pub regressed: bool,
 }
 
+impl Diff {
+    /// Number of rows present on both sides — the rows that were
+    /// actually compared. Zero means the two documents share no row
+    /// names and the diff gated nothing.
+    pub fn compared(&self) -> usize {
+        self.rows
+            .iter()
+            .filter(|r| r.base_ms.is_some() && r.new_ms.is_some())
+            .count()
+    }
+}
+
 /// Extracts `(name, wall_ms)` rows from a metrics document of either
 /// supported shape. Unknown shapes yield no rows.
 pub fn extract_rows(doc: &Json) -> Vec<(String, f64)> {
@@ -78,7 +97,9 @@ pub fn extract_rows(doc: &Json) -> Vec<(String, f64)> {
         return rows;
     }
     if let Some(wall) = doc.get("wall_ms").and_then(|w| w.as_f64()) {
-        rows.push(("wall".to_string(), wall));
+        // Same aggregate row name as the phase-log shape, so the two
+        // shapes stay comparable to each other.
+        rows.push(("total".to_string(), wall));
         if let Some(hists) = doc.get("histograms").and_then(|h| h.as_obj()) {
             for (name, h) in hists {
                 if !name.ends_with("time_us") {
@@ -241,11 +262,39 @@ mod tests {
         assert_eq!(
             rows,
             vec![
-                ("wall".to_string(), 120.5),
+                ("total".to_string(), 120.5),
                 ("sat.solve.time_us".to_string(), 90.0),
             ]
         );
         assert!(extract_rows(&Json::Obj(vec![])).is_empty());
+    }
+
+    #[test]
+    fn both_shapes_share_the_aggregate_row_name() {
+        // Regression: the run-dir shape used to emit `wall` while the
+        // phase-log shape synthesized `total`, so cross-shape diffs had
+        // zero overlapping rows and silently compared nothing.
+        let phase = extract_rows(&phase_doc(&[("setup", 10.0), ("solve", 30.0)]));
+        let run =
+            extract_rows(&Json::parse(r#"{"schema":"axmc-metrics-v1","wall_ms":44.0}"#).unwrap());
+        let diff = compare(&phase, &run, DiffOptions::default());
+        assert_eq!(diff.compared(), 1, "aggregate rows must line up");
+        let total = diff
+            .rows
+            .iter()
+            .find(|r| r.name == "total")
+            .expect("total row present");
+        assert_eq!(total.base_ms, Some(40.0));
+        assert_eq!(total.new_ms, Some(44.0));
+    }
+
+    #[test]
+    fn compared_counts_only_shared_rows() {
+        let base = vec![("old".to_string(), 10.0), ("shared".to_string(), 5.0)];
+        let new = vec![("fresh".to_string(), 10.0), ("shared".to_string(), 6.0)];
+        assert_eq!(compare(&base, &new, DiffOptions::default()).compared(), 1);
+        let disjoint = compare(&base[..1], &new[..1], DiffOptions::default());
+        assert_eq!(disjoint.compared(), 0);
     }
 
     #[test]

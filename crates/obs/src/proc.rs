@@ -20,10 +20,13 @@ pub struct ProcStats {
 /// Reads the current process's usage. Any value the platform cannot
 /// provide is `None`; the read itself never fails.
 pub fn read() -> ProcStats {
+    // Single read of /proc/self/stat: utime and stime must come from the
+    // same snapshot, or the pair can straddle a scheduler tick.
+    let cpu = read_cpu_times();
     ProcStats {
         max_rss_kb: read_vm_hwm(),
-        cpu_user_us: read_cpu_times().map(|(u, _)| u),
-        cpu_sys_us: read_cpu_times().map(|(_, s)| s),
+        cpu_user_us: cpu.map(|(u, _)| u),
+        cpu_sys_us: cpu.map(|(_, s)| s),
     }
 }
 

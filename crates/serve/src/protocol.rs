@@ -1,0 +1,312 @@
+//! The JSONL request/response codec for `axmc serve`.
+//!
+//! One JSON object per line in both directions; the full schema lives in
+//! `docs/serve.md`. Numeric metric values cross the wire as **decimal
+//! strings** (`"value":"1023"`): worst-case errors are `u128` and JSON's
+//! single `f64` number type cannot hold them losslessly.
+
+use axmc_obs::json::Json;
+
+/// Which analysis a job requests. Combinational vs sequential is not
+/// part of the request — it is decided by the circuits themselves
+/// (latches present → sequential), exactly like `axmc analyze`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Metric {
+    /// Worst-case arithmetic error (`comb.wce` / `seq.wce`).
+    Wce,
+    /// Worst-case Hamming (bit-flip) error.
+    BitFlip,
+    /// Threshold probe: can the error exceed `threshold`?
+    Exceeds,
+}
+
+impl Metric {
+    fn parse(text: &str) -> Result<Metric, String> {
+        match text {
+            "wce" => Ok(Metric::Wce),
+            "bit-flip" | "bit_flip" => Ok(Metric::BitFlip),
+            "exceeds" => Ok(Metric::Exceeds),
+            other => Err(format!(
+                "unknown metric '{other}' (expected wce, bit-flip or exceeds)"
+            )),
+        }
+    }
+
+    /// The wire name of the metric.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Metric::Wce => "wce",
+            Metric::BitFlip => "bit-flip",
+            Metric::Exceeds => "exceeds",
+        }
+    }
+}
+
+/// One analysis job, parsed from a request line.
+#[derive(Clone, Debug)]
+pub struct Request {
+    /// Caller-chosen identifier echoed on every response line.
+    pub id: String,
+    /// Path to the golden circuit (ASCII AIGER).
+    pub golden: String,
+    /// Path to the candidate/approximate circuit.
+    pub candidate: String,
+    /// Requested metric.
+    pub metric: Metric,
+    /// Threshold for [`Metric::Exceeds`]; ignored otherwise.
+    pub threshold: u128,
+    /// Cycle horizon for sequential pairs (default 8); ignored for
+    /// combinational pairs.
+    pub horizon: usize,
+    /// Scheduling priority: higher runs sooner; FIFO within a priority.
+    pub priority: i64,
+    /// Per-job wall-clock deadline in milliseconds, measured from the
+    /// moment a worker picks the job up.
+    pub timeout_ms: Option<u64>,
+    /// Overrides the server's default certified mode for this job.
+    pub certify: Option<bool>,
+}
+
+/// A request line that could not be turned into a job. `id` is carried
+/// when the line was at least well-formed enough to name one, so the
+/// error response can still be correlated.
+#[derive(Debug)]
+pub struct RequestError {
+    /// The job id, when recoverable from the malformed line.
+    pub id: Option<String>,
+    /// What was wrong.
+    pub message: String,
+}
+
+fn str_field(obj: &Json, key: &str) -> Result<String, String> {
+    match obj.get(key) {
+        Some(Json::Str(s)) if !s.is_empty() => Ok(s.clone()),
+        Some(_) => Err(format!("field '{key}' must be a non-empty string")),
+        None => Err(format!("missing required field '{key}'")),
+    }
+}
+
+/// A non-negative integer that may arrive as a JSON number or — for
+/// values beyond `f64`'s 2^53 integer range — as a decimal string.
+fn u128_field(obj: &Json, key: &str) -> Result<Option<u128>, String> {
+    match obj.get(key) {
+        None => Ok(None),
+        Some(Json::Num(v)) if *v >= 0.0 && v.fract() == 0.0 => Ok(Some(*v as u128)),
+        Some(Json::Str(s)) => s
+            .parse::<u128>()
+            .map(Some)
+            .map_err(|_| format!("field '{key}' must be a non-negative integer, got '{s}'")),
+        Some(_) => Err(format!("field '{key}' must be a non-negative integer")),
+    }
+}
+
+fn i64_field(obj: &Json, key: &str) -> Result<Option<i64>, String> {
+    match obj.get(key) {
+        None => Ok(None),
+        Some(Json::Num(v)) if v.fract() == 0.0 => Ok(Some(*v as i64)),
+        Some(_) => Err(format!("field '{key}' must be an integer")),
+    }
+}
+
+fn bool_field(obj: &Json, key: &str) -> Result<Option<bool>, String> {
+    match obj.get(key) {
+        None => Ok(None),
+        Some(Json::Bool(b)) => Ok(Some(*b)),
+        Some(_) => Err(format!("field '{key}' must be a boolean")),
+    }
+}
+
+/// Parses one request line.
+pub fn parse_request(line: &str) -> Result<Request, RequestError> {
+    let doc = Json::parse(line).map_err(|e| RequestError {
+        id: None,
+        message: format!("invalid JSON: {e}"),
+    })?;
+    if doc.as_obj().is_none() {
+        return Err(RequestError {
+            id: None,
+            message: "request line must be a JSON object".to_string(),
+        });
+    }
+    // Anything after this point can at least echo the id, if present.
+    let id = doc.get("id").and_then(Json::as_str).map(str::to_string);
+    let fail = |message: String| RequestError {
+        id: id.clone(),
+        message,
+    };
+    let id_val = id
+        .clone()
+        .ok_or_else(|| fail("missing required field 'id'".into()))?;
+    let golden = str_field(&doc, "golden").map_err(&fail)?;
+    // "candidate" preferred; "approx" accepted for symmetry with the
+    // `analyze` flags.
+    let candidate = str_field(&doc, "candidate")
+        .or_else(|_| str_field(&doc, "approx"))
+        .map_err(|_| fail("missing required field 'candidate' (or 'approx')".into()))?;
+    let metric = Metric::parse(&str_field(&doc, "metric").map_err(&fail)?).map_err(&fail)?;
+    let threshold = u128_field(&doc, "threshold").map_err(&fail)?;
+    if metric == Metric::Exceeds && threshold.is_none() {
+        return Err(fail("metric 'exceeds' requires a 'threshold' field".into()));
+    }
+    let horizon = u128_field(&doc, "horizon").map_err(&fail)?;
+    if horizon.is_some_and(|h| h > 4096) {
+        return Err(fail("field 'horizon' must be <= 4096".into()));
+    }
+    let timeout_ms = u128_field(&doc, "timeout_ms").map_err(&fail)?;
+    if timeout_ms.is_some_and(|t| t > u64::MAX as u128) {
+        return Err(fail("field 'timeout_ms' out of range".into()));
+    }
+    Ok(Request {
+        id: id_val,
+        golden,
+        candidate,
+        metric,
+        threshold: threshold.unwrap_or(0),
+        horizon: horizon.unwrap_or(8) as usize,
+        priority: i64_field(&doc, "priority").map_err(&fail)?.unwrap_or(0),
+        timeout_ms: timeout_ms.map(|t| t as u64),
+        certify: bool_field(&doc, "certify").map_err(&fail)?,
+    })
+}
+
+/// `{"event":"start","id":...}` — a worker picked the job up.
+pub fn start_line(id: &str) -> String {
+    Json::Obj(vec![
+        ("event".into(), Json::Str("start".into())),
+        ("id".into(), Json::Str(id.into())),
+    ])
+    .render()
+}
+
+/// `{"event":"result","id":...,"status":"ok","cached":...,"result":{...}}`.
+///
+/// The nested `result` object is a pure function of the query — it is
+/// byte-identical between a cold run and a cache replay, which is what
+/// lets callers (and the CI smoke test) diff verdicts across batches.
+pub fn ok_line(id: &str, cached: bool, result: Json) -> String {
+    Json::Obj(vec![
+        ("event".into(), Json::Str("result".into())),
+        ("id".into(), Json::Str(id.into())),
+        ("status".into(), Json::Str("ok".into())),
+        ("cached".into(), Json::Bool(cached)),
+        ("result".into(), result),
+    ])
+    .render()
+}
+
+/// `{"event":"result","id":...,"status":"interrupted"|"error","error":...}`.
+pub fn failure_line(id: Option<&str>, status: &str, message: &str) -> String {
+    let mut members = vec![("event".into(), Json::Str("result".into()))];
+    if let Some(id) = id {
+        members.push(("id".into(), Json::Str(id.into())));
+    }
+    members.push(("status".into(), Json::Str(status.into())));
+    members.push(("error".into(), Json::Str(message.into())));
+    Json::Obj(members).render()
+}
+
+/// The end-of-batch summary line.
+pub fn done_line(
+    jobs: u64,
+    ok: u64,
+    interrupted: u64,
+    errors: u64,
+    cache_hits: u64,
+    cache_misses: u64,
+) -> String {
+    Json::Obj(vec![
+        ("event".into(), Json::Str("done".into())),
+        ("jobs".into(), Json::Num(jobs as f64)),
+        ("ok".into(), Json::Num(ok as f64)),
+        ("interrupted".into(), Json::Num(interrupted as f64)),
+        ("errors".into(), Json::Num(errors as f64)),
+        ("cache_hits".into(), Json::Num(cache_hits as f64)),
+        ("cache_misses".into(), Json::Num(cache_misses as f64)),
+    ])
+    .render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_full_request() {
+        let r = parse_request(
+            r#"{"id":"j1","golden":"g.aag","candidate":"c.aag","metric":"exceeds",
+                "threshold":"340282366920938463463374607431768211455","horizon":4,
+                "priority":2,"timeout_ms":500,"certify":true}"#,
+        )
+        .unwrap();
+        assert_eq!(r.id, "j1");
+        assert_eq!(r.metric, Metric::Exceeds);
+        assert_eq!(
+            r.threshold,
+            u128::MAX,
+            "string thresholds keep u128 precision"
+        );
+        assert_eq!(r.horizon, 4);
+        assert_eq!(r.priority, 2);
+        assert_eq!(r.timeout_ms, Some(500));
+        assert_eq!(r.certify, Some(true));
+    }
+
+    #[test]
+    fn defaults_and_aliases() {
+        let r = parse_request(r#"{"id":"a","golden":"g","approx":"c","metric":"wce"}"#).unwrap();
+        assert_eq!(r.candidate, "c", "'approx' is accepted for 'candidate'");
+        assert_eq!(r.horizon, 8);
+        assert_eq!(r.priority, 0);
+        assert_eq!(r.timeout_ms, None);
+        assert_eq!(r.certify, None);
+        assert_eq!(
+            parse_request(r#"{"id":"b","golden":"g","candidate":"c","metric":"bit_flip"}"#)
+                .unwrap()
+                .metric,
+            Metric::BitFlip
+        );
+    }
+
+    #[test]
+    fn errors_keep_the_id_when_recoverable() {
+        let e = parse_request(r#"{"id":"j9","golden":"g","candidate":"c","metric":"exceeds"}"#)
+            .unwrap_err();
+        assert_eq!(e.id.as_deref(), Some("j9"));
+        assert!(e.message.contains("threshold"));
+        let e = parse_request("not json").unwrap_err();
+        assert_eq!(e.id, None);
+        let e = parse_request(r#"{"golden":"g"}"#).unwrap_err();
+        assert_eq!(e.id, None);
+        assert!(e.message.contains("'id'"));
+    }
+
+    #[test]
+    fn rejects_bad_field_types() {
+        for line in [
+            r#"{"id":"x","golden":7,"candidate":"c","metric":"wce"}"#,
+            r#"{"id":"x","golden":"g","candidate":"c","metric":"huh"}"#,
+            r#"{"id":"x","golden":"g","candidate":"c","metric":"wce","priority":1.5}"#,
+            r#"{"id":"x","golden":"g","candidate":"c","metric":"exceeds","threshold":-1}"#,
+        ] {
+            assert!(parse_request(line).is_err(), "accepted: {line}");
+        }
+    }
+
+    #[test]
+    fn response_lines_are_single_json_objects() {
+        let ok = ok_line(
+            "j1",
+            true,
+            Json::Obj(vec![("v".into(), Json::Str("3".into()))]),
+        );
+        let doc = Json::parse(&ok).unwrap();
+        assert_eq!(doc.get("status").and_then(Json::as_str), Some("ok"));
+        assert_eq!(doc.get("cached"), Some(&Json::Bool(true)));
+        assert!(!ok.contains('\n'));
+        let fail = failure_line(None, "error", "boom");
+        assert!(Json::parse(&fail).unwrap().get("id").is_none());
+        let done = done_line(3, 2, 0, 1, 1, 2);
+        let doc = Json::parse(&done).unwrap();
+        assert_eq!(doc.get("cache_hits").and_then(Json::as_f64), Some(1.0));
+    }
+}

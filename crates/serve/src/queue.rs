@@ -1,0 +1,188 @@
+//! FIFO-within-priority fair job queue for the serve worker fleet.
+//!
+//! A max-heap ordered by `(priority, arrival)` — higher priority first,
+//! and strictly first-come-first-served among equal priorities (the
+//! arrival sequence number breaks ties, so no job can starve a peer of
+//! its own priority class). Blocking `pop` with a close signal gives the
+//! usual producer/consumer shutdown: workers drain the remaining jobs
+//! after `close()` and then see `None`.
+//!
+//! Every push updates the `serve.queue.depth` obs gauge, a high-water
+//! mark of how deep the backlog got (worker-scope gauges merge by max,
+//! so an instantaneous depth would be ambiguous in `--metrics` output).
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::sync::{Condvar, Mutex};
+
+struct Entry<T> {
+    priority: i64,
+    seq: u64,
+    item: T,
+}
+
+impl<T> PartialEq for Entry<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.priority == other.priority && self.seq == other.seq
+    }
+}
+
+impl<T> Eq for Entry<T> {}
+
+impl<T> PartialOrd for Entry<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<T> Ord for Entry<T> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap pops the maximum: higher priority wins, then the
+        // *lower* sequence number (earlier arrival).
+        self.priority
+            .cmp(&other.priority)
+            .then(other.seq.cmp(&self.seq))
+    }
+}
+
+struct State<T> {
+    heap: BinaryHeap<Entry<T>>,
+    next_seq: u64,
+    closed: bool,
+}
+
+/// A blocking priority queue with FIFO order inside each priority class.
+pub struct JobQueue<T> {
+    state: Mutex<State<T>>,
+    ready: Condvar,
+}
+
+impl<T> Default for JobQueue<T> {
+    fn default() -> Self {
+        JobQueue::new()
+    }
+}
+
+impl<T> JobQueue<T> {
+    /// An empty, open queue.
+    pub fn new() -> Self {
+        JobQueue {
+            state: Mutex::new(State {
+                heap: BinaryHeap::new(),
+                next_seq: 0,
+                closed: false,
+            }),
+            ready: Condvar::new(),
+        }
+    }
+
+    /// Enqueues `item` at `priority` (higher runs sooner) and wakes one
+    /// waiting worker. Items pushed after [`JobQueue::close`] are still
+    /// accepted and drained — closing only signals "no more producers".
+    pub fn push(&self, priority: i64, item: T) {
+        let mut state = self.state.lock().expect("queue poisoned");
+        let seq = state.next_seq;
+        state.next_seq += 1;
+        state.heap.push(Entry {
+            priority,
+            seq,
+            item,
+        });
+        axmc_obs::gauge("serve.queue.depth").set_max(state.heap.len() as i64);
+        drop(state);
+        self.ready.notify_one();
+    }
+
+    /// Dequeues the highest-priority, earliest-arrived item, blocking
+    /// while the queue is empty and open. Returns `None` once the queue
+    /// is both closed and drained.
+    pub fn pop(&self) -> Option<T> {
+        let mut state = self.state.lock().expect("queue poisoned");
+        loop {
+            if let Some(entry) = state.heap.pop() {
+                return Some(entry.item);
+            }
+            if state.closed {
+                return None;
+            }
+            state = self.ready.wait(state).expect("queue poisoned");
+        }
+    }
+
+    /// Signals that no more items will be pushed; wakes every waiter.
+    pub fn close(&self) {
+        self.state.lock().expect("queue poisoned").closed = true;
+        self.ready.notify_all();
+    }
+
+    /// Items currently queued (not yet popped).
+    pub fn len(&self) -> usize {
+        self.state.lock().expect("queue poisoned").heap.len()
+    }
+
+    /// True when nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn fifo_within_priority_and_priority_first() {
+        let q = JobQueue::new();
+        q.push(0, "low-1");
+        q.push(5, "high-1");
+        q.push(0, "low-2");
+        q.push(5, "high-2");
+        q.push(-3, "bottom");
+        q.close();
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).collect();
+        assert_eq!(order, ["high-1", "high-2", "low-1", "low-2", "bottom"]);
+    }
+
+    #[test]
+    fn close_wakes_blocked_workers() {
+        let q = Arc::new(JobQueue::<u32>::new());
+        let worker = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || q.pop())
+        };
+        // Give the worker a moment to block, then close.
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        q.close();
+        assert_eq!(worker.join().unwrap(), None);
+    }
+
+    #[test]
+    fn many_workers_drain_every_item_once() {
+        let q = Arc::new(JobQueue::new());
+        for i in 0..200u32 {
+            q.push((i % 3) as i64, i);
+        }
+        q.close();
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let q = Arc::clone(&q);
+                std::thread::spawn(move || {
+                    let mut got = Vec::new();
+                    while let Some(item) = q.pop() {
+                        got.push(item);
+                    }
+                    got
+                })
+            })
+            .collect();
+        let mut all: Vec<u32> = handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect();
+        all.sort_unstable();
+        let expect: Vec<u32> = (0..200).collect();
+        assert_eq!(all, expect);
+        assert!(q.is_empty());
+    }
+}

@@ -1,0 +1,333 @@
+//! End-to-end batches through `Server::run_batch`: correctness against
+//! the analyzers, cache replay identity, scheduling order, and the
+//! failure paths of the JSONL protocol.
+
+use axmc_aig::aiger;
+use axmc_circuit::{approx, generators};
+use axmc_obs::json::Json;
+use axmc_seq::accumulator;
+use axmc_serve::{ServeConfig, Server};
+use std::io::Cursor;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A fresh scratch directory holding the generated circuit files.
+fn scratch() -> PathBuf {
+    static NEXT: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "axmc-serve-test-{}-{}",
+        std::process::id(),
+        NEXT.fetch_add(1, Ordering::Relaxed)
+    ));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn write_aig(dir: &std::path::Path, name: &str, aig: &axmc_aig::Aig) -> String {
+    let path = dir.join(name);
+    std::fs::write(&path, aiger::to_ascii(aig)).unwrap();
+    path.to_string_lossy().into_owned()
+}
+
+/// Runs one batch over in-memory pipes, returning the response lines.
+fn run(server: &Server, requests: &[String]) -> Vec<Json> {
+    let input = requests.join("\n");
+    let mut output = Vec::new();
+    server
+        .run_batch(Cursor::new(input), &mut output)
+        .expect("batch I/O");
+    String::from_utf8(output)
+        .unwrap()
+        .lines()
+        .map(|l| Json::parse(l).expect("every line is JSON"))
+        .collect()
+}
+
+fn result_of<'a>(lines: &'a [Json], id: &str) -> &'a Json {
+    lines
+        .iter()
+        .find(|l| {
+            l.get("event").and_then(Json::as_str) == Some("result")
+                && l.get("id").and_then(Json::as_str) == Some(id)
+        })
+        .unwrap_or_else(|| panic!("no result line for id {id}"))
+}
+
+fn done_of(lines: &[Json]) -> &Json {
+    lines
+        .iter()
+        .find(|l| l.get("event").and_then(Json::as_str) == Some("done"))
+        .expect("a done line")
+}
+
+#[test]
+fn comb_batch_matches_analyzers_and_replays_from_cache() {
+    let dir = scratch();
+    let golden = generators::ripple_carry_adder(6).to_aig();
+    let cheap = approx::lower_or_adder(6, 3).to_aig();
+    let g = write_aig(&dir, "g.aag", &golden);
+    let c = write_aig(&dir, "c.aag", &cheap);
+
+    let expected = axmc_core::CombAnalyzer::new(&golden, &cheap)
+        .worst_case_error()
+        .unwrap();
+
+    let server = Server::new(ServeConfig::default());
+    let job = format!(r#"{{"id":"wce","golden":"{g}","candidate":"{c}","metric":"wce"}}"#);
+
+    let cold = run(&server, std::slice::from_ref(&job));
+    let cold_result = result_of(&cold, "wce");
+    assert_eq!(
+        cold_result.get("cached"),
+        Some(&Json::Bool(false)),
+        "first sight of the pair is uncached"
+    );
+    assert_eq!(
+        cold_result.get("result").unwrap().get("value"),
+        Some(&Json::Str(expected.value.to_string())),
+        "served verdict matches a direct CombAnalyzer run"
+    );
+    let done = done_of(&cold);
+    assert_eq!(done.get("ok").and_then(Json::as_f64), Some(1.0));
+    assert_eq!(done.get("cache_misses").and_then(Json::as_f64), Some(1.0));
+
+    // Same job again: answered from the cache, nested result identical
+    // byte for byte.
+    let warm = run(&server, &[job]);
+    let warm_result = result_of(&warm, "wce");
+    assert_eq!(warm_result.get("cached"), Some(&Json::Bool(true)));
+    assert_eq!(
+        warm_result.get("result").unwrap().render(),
+        cold_result.get("result").unwrap().render(),
+        "cache replay is byte-identical"
+    );
+    assert!(done_of(&warm).get("cache_hits").and_then(Json::as_f64) >= Some(1.0));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn duplicate_jobs_in_one_batch_hit_the_cache_with_one_worker() {
+    let dir = scratch();
+    let g = write_aig(&dir, "g.aag", &generators::ripple_carry_adder(5).to_aig());
+    let c = write_aig(&dir, "c.aag", &approx::lower_or_adder(5, 2).to_aig());
+    let server = Server::new(ServeConfig::default()); // jobs: 1 → no miss race
+    let job = |id: &str| {
+        format!(
+            r#"{{"id":"{id}","golden":"{g}","candidate":"{c}","metric":"exceeds","threshold":3}}"#
+        )
+    };
+    let lines = run(&server, &[job("a"), job("b"), job("c")]);
+    let cached: Vec<_> = ["a", "b", "c"]
+        .iter()
+        .map(|id| result_of(&lines, id).get("cached").cloned().unwrap())
+        .collect();
+    assert_eq!(
+        cached,
+        [Json::Bool(false), Json::Bool(true), Json::Bool(true)],
+        "with a single worker, duplicates of a completed job are cache hits"
+    );
+    let done = done_of(&lines);
+    assert_eq!(done.get("cache_hits").and_then(Json::as_f64), Some(2.0));
+    assert_eq!(done.get("cache_misses").and_then(Json::as_f64), Some(1.0));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn sequential_jobs_use_the_warm_probe_pool_and_cache() {
+    let dir = scratch();
+    let golden = accumulator(&generators::ripple_carry_adder(5), 5);
+    let cheap = accumulator(&approx::lower_or_adder(5, 2), 5);
+    let g = write_aig(&dir, "g.aag", &golden);
+    let c = write_aig(&dir, "c.aag", &cheap);
+
+    let expected = axmc_core::SeqAnalyzer::new(&golden, &cheap)
+        .check_error_exceeds(6, 4)
+        .unwrap();
+
+    let server = Server::new(ServeConfig::default());
+    let probe = |id: &str, t: u32| {
+        format!(
+            r#"{{"id":"{id}","golden":"{g}","candidate":"{c}","metric":"exceeds","threshold":{t},"horizon":4}}"#
+        )
+    };
+    // Two distinct thresholds (second reuses the warm engine), then a
+    // repeat of the first (cache hit).
+    let lines = run(
+        &server,
+        &[probe("t6", 6), probe("t1000", 1000), probe("t6-again", 6)],
+    );
+    let first = result_of(&lines, "t6").get("result").unwrap();
+    let verdict = first.get("verdict").and_then(Json::as_str).unwrap();
+    assert_eq!(
+        verdict,
+        if expected.is_refuted() {
+            "refuted"
+        } else {
+            "proved"
+        },
+        "served verdict matches a direct SeqAnalyzer probe"
+    );
+    if verdict == "refuted" {
+        let err: u128 = first
+            .get("witness_error")
+            .and_then(Json::as_str)
+            .unwrap()
+            .parse()
+            .unwrap();
+        assert!(err > 6, "replayed witness error exceeds the threshold");
+    }
+    let again = result_of(&lines, "t6-again");
+    assert_eq!(again.get("cached"), Some(&Json::Bool(true)));
+    assert_eq!(
+        again.get("result").unwrap().render(),
+        first.render(),
+        "sequential cache replay is byte-identical"
+    );
+    assert!(done_of(&lines).get("cache_hits").and_then(Json::as_f64) >= Some(1.0));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn parse_errors_are_answered_in_band_and_do_not_sink_the_batch() {
+    let dir = scratch();
+    let g = write_aig(&dir, "g.aag", &generators::ripple_carry_adder(4).to_aig());
+    let c = write_aig(&dir, "c.aag", &approx::lower_or_adder(4, 2).to_aig());
+    let server = Server::new(ServeConfig::default());
+    let lines = run(
+        &server,
+        &[
+            "this is not json".to_string(),
+            format!(r#"{{"id":"bad-metric","golden":"{g}","candidate":"{c}","metric":"huh"}}"#),
+            format!(
+                r#"{{"id":"missing","golden":"{dir}/nope.aag","candidate":"{c}","metric":"wce"}}"#,
+                dir = dir.display()
+            ),
+            format!(r#"{{"id":"good","golden":"{g}","candidate":"{c}","metric":"wce"}}"#),
+        ],
+    );
+    let bad = result_of(&lines, "bad-metric");
+    assert_eq!(bad.get("status").and_then(Json::as_str), Some("error"));
+    let missing = result_of(&lines, "missing");
+    assert_eq!(missing.get("status").and_then(Json::as_str), Some("error"));
+    let good = result_of(&lines, "good");
+    assert_eq!(good.get("status").and_then(Json::as_str), Some("ok"));
+    let done = done_of(&lines);
+    assert_eq!(done.get("ok").and_then(Json::as_f64), Some(1.0));
+    // Two in-band errors (unknown metric never enqueues; unreadable file
+    // fails in the worker) plus the unparseable line.
+    assert_eq!(done.get("errors").and_then(Json::as_f64), Some(3.0));
+    assert_eq!(done.get("jobs").and_then(Json::as_f64), Some(2.0));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn priorities_run_high_first_with_a_single_worker() {
+    let dir = scratch();
+    let g = write_aig(&dir, "g.aag", &generators::ripple_carry_adder(4).to_aig());
+    let c = write_aig(&dir, "c.aag", &approx::lower_or_adder(4, 2).to_aig());
+    let server = Server::new(ServeConfig::default());
+    // The single worker only starts popping once something is queued;
+    // with all four enqueued before the first finishes, completion order
+    // follows (priority, arrival). Use distinct thresholds to keep every
+    // job a genuine (cheap) solve.
+    let job = |id: &str, pri: i64, t: u32| {
+        format!(
+            r#"{{"id":"{id}","golden":"{g}","candidate":"{c}","metric":"exceeds","threshold":{t},"priority":{pri}}}"#
+        )
+    };
+    let lines = run(
+        &server,
+        &[
+            job("low-1", 0, 1),
+            job("low-2", 0, 2),
+            job("high-1", 9, 3),
+            job("high-2", 9, 4),
+        ],
+    );
+    let order: Vec<_> = lines
+        .iter()
+        .filter(|l| l.get("event").and_then(Json::as_str) == Some("result"))
+        .map(|l| l.get("id").and_then(Json::as_str).unwrap().to_string())
+        .collect();
+    // The worker may grab one job before the high-priority ones arrive;
+    // beyond that first pick the order must be priority-then-FIFO.
+    let tail: Vec<_> = order
+        .iter()
+        .filter(|id| *id != &order[0])
+        .cloned()
+        .collect();
+    let expect_tail: Vec<String> = ["high-1", "high-2", "low-1", "low-2"]
+        .iter()
+        .map(|s| s.to_string())
+        .filter(|s| s != &order[0])
+        .collect();
+    assert_eq!(tail, expect_tail, "full order was {order:?}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn deadline_zero_reports_interrupted_not_error() {
+    let dir = scratch();
+    // Big enough that the solve cannot finish within a zero deadline.
+    let g = write_aig(&dir, "g.aag", &generators::ripple_carry_adder(24).to_aig());
+    let c = write_aig(&dir, "c.aag", &approx::lower_or_adder(24, 12).to_aig());
+    let server = Server::new(ServeConfig::default());
+    let lines = run(
+        &server,
+        &[format!(
+            r#"{{"id":"rushed","golden":"{g}","candidate":"{c}","metric":"wce","timeout_ms":0}}"#
+        )],
+    );
+    let r = result_of(&lines, "rushed");
+    assert_eq!(r.get("status").and_then(Json::as_str), Some("interrupted"));
+    let done = done_of(&lines);
+    assert_eq!(done.get("interrupted").and_then(Json::as_f64), Some(1.0));
+    assert_eq!(done.get("ok").and_then(Json::as_f64), Some(0.0));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[cfg(unix)]
+#[test]
+fn unix_socket_serves_batches_across_connections_with_a_shared_cache() {
+    use std::io::{BufRead, BufReader, Write};
+    use std::os::unix::net::UnixStream;
+    use std::sync::Arc;
+
+    let dir = scratch();
+    let g = write_aig(&dir, "g.aag", &generators::ripple_carry_adder(5).to_aig());
+    let c = write_aig(&dir, "c.aag", &approx::lower_or_adder(5, 2).to_aig());
+    let socket = dir.join("axmc.sock");
+    let server = Arc::new(Server::new(ServeConfig::default()));
+    let listener = {
+        let server = Arc::clone(&server);
+        let socket = socket.clone();
+        std::thread::spawn(move || server.run_unix(&socket, Some(2)))
+    };
+    // Wait for the socket file to appear.
+    for _ in 0..200 {
+        if socket.exists() {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    }
+    let job = format!(r#"{{"id":"j","golden":"{g}","candidate":"{c}","metric":"wce"}}"#);
+    let mut cached_flags = Vec::new();
+    for _ in 0..2 {
+        let mut stream = UnixStream::connect(&socket).expect("connect");
+        writeln!(stream, "{job}").unwrap();
+        stream.shutdown(std::net::Shutdown::Write).unwrap();
+        for line in BufReader::new(stream).lines() {
+            let doc = Json::parse(&line.unwrap()).unwrap();
+            if doc.get("event").and_then(Json::as_str) == Some("result") {
+                cached_flags.push(doc.get("cached").cloned().unwrap());
+            }
+        }
+    }
+    listener.join().unwrap().expect("listener");
+    assert_eq!(
+        cached_flags,
+        [Json::Bool(false), Json::Bool(true)],
+        "the second connection reuses the first connection's cache"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -102,6 +102,45 @@ obs_smoke() {
 }
 obs_smoke
 
+# Serve smoke: a 3-job batch (one byte-for-byte duplicate) over stdin
+# must return the same verdict as single-shot analyze, answer the
+# duplicate from the structural-hash cache (visible both in the batch
+# summary and in the serve.cache.hit counter), and stream one JSON
+# object per line. --jobs 1 keeps the duplicate a deterministic hit: with
+# several workers two identical in-flight jobs can both miss (benign —
+# both compute the same verdict — but not a testable guarantee).
+serve_smoke() {
+    echo "== serve smoke =="
+    local dir
+    dir=$(mktemp -d)
+    cargo run --release --offline --bin axmc -- \
+        gen --kind adder --width 8 --out "$dir/g.aag"
+    cargo run --release --offline --bin axmc -- \
+        gen --kind loa-adder --width 8 --param 4 --out "$dir/c.aag"
+    cargo run --release --offline --bin axmc -- \
+        analyze --golden "$dir/g.aag" --approx "$dir/c.aag" >"$dir/analyze.txt"
+    local expected
+    expected=$(grep "worst-case error" "$dir/analyze.txt" | grep -o '[0-9]\+' | head -1)
+    {
+        echo "{\"id\":\"a\",\"golden\":\"$dir/g.aag\",\"candidate\":\"$dir/c.aag\",\"metric\":\"wce\"}"
+        echo "{\"id\":\"b\",\"golden\":\"$dir/g.aag\",\"candidate\":\"$dir/c.aag\",\"metric\":\"exceeds\",\"threshold\":3}"
+        echo "{\"id\":\"a2\",\"golden\":\"$dir/g.aag\",\"candidate\":\"$dir/c.aag\",\"metric\":\"wce\"}"
+    } | cargo run --release --offline --bin axmc -- \
+        serve --jobs 1 --metrics >"$dir/serve.txt"
+    grep -q "\"id\":\"a\".*\"cached\":false.*\"value\":\"$expected\"" "$dir/serve.txt" \
+        || { echo "serve verdict disagrees with analyze ($expected)"; exit 1; }
+    grep -q "\"id\":\"a2\".*\"cached\":true.*\"value\":\"$expected\"" "$dir/serve.txt" \
+        || { echo "duplicate job was not served from the cache"; exit 1; }
+    grep -q '"event":"done".*"ok":3' "$dir/serve.txt" \
+        || { echo "batch summary missing or incomplete"; exit 1; }
+    grep -q '"cache_hits":1' "$dir/serve.txt" \
+        || { echo "batch summary shows no cache hit"; exit 1; }
+    grep -q "serve.cache.hit" "$dir/serve.txt" \
+        || { echo "serve.cache.hit missing from --metrics"; exit 1; }
+    rm -rf "$dir"
+}
+serve_smoke
+
 # The certified-solve suite (DRAT proof logging + in-tree checker,
 # including the corrupted-proof rejection paths), in both feature
 # configurations.

@@ -96,6 +96,7 @@ fn main() -> ExitCode {
         "lint" => LINT_FLAGS,
         "report" => REPORT_FLAGS,
         "bench-diff" => BENCH_DIFF_FLAGS,
+        "serve" => SERVE_FLAGS,
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
             return ExitCode::SUCCESS;
@@ -133,6 +134,7 @@ fn main() -> ExitCode {
         "lint" => cmd_lint(&opts),
         "report" => cmd_report(&opts),
         "bench-diff" => cmd_bench_diff(&opts),
+        "serve" => cmd_serve(&opts),
         _ => unreachable!("command validated above"),
     };
     run_span.finish();
@@ -191,6 +193,20 @@ USAGE:
       and prints the per-phase deltas. Exits with code 12 when any
       phase got slower by more than PCT percent (default 25) while
       taking more than MS milliseconds (default 5, a noise floor).
+
+  axmc serve [--socket PATH [--max-conns N]] [--jobs N]
+             [--engine sat|bdd|auto] [--timeout D] [--certify]
+             [--metrics] [--trace F.jsonl] [--run-dir DIR]
+      Batch analysis service. Reads analysis jobs as line-delimited JSON
+      from stdin (or serves whole batches per connection on a unix
+      socket) and streams results back as JSONL. Jobs are scheduled onto
+      N workers, higher 'priority' first and FIFO within a priority.
+      Completed verdicts are cached by the structural fingerprint of the
+      circuit pair plus the full query, so repeated jobs are answered
+      without touching a solver (hits/misses are visible per batch in
+      the 'done' line and in --metrics as serve.cache.hit/miss).
+      --timeout sets the default per-job deadline, overridable per job
+      with 'timeout_ms'. See docs/serve.md for the wire protocol.
 
 CERTIFICATION:
   --certify         re-derive every UNSAT verdict: the solver records a
@@ -332,6 +348,18 @@ const REPORT_FLAGS: &[FlagSpec] = &[val("run-dir"), val("trace"), val("flame")];
 
 const BENCH_DIFF_FLAGS: &[FlagSpec] = &[val("base"), val("new"), val("threshold"), val("min-ms")];
 
+const SERVE_FLAGS: &[FlagSpec] = &[
+    val("socket"),
+    val("max-conns"),
+    val("jobs"),
+    val("engine"),
+    val("timeout"),
+    switch("certify"),
+    switch("metrics"),
+    val("trace"),
+    val("run-dir"),
+];
+
 /// Parses `args` against the subcommand's flag table. Unknown flags,
 /// repeated flags, and value flags without a value are all hard errors —
 /// a typo must never be silently ignored.
@@ -386,7 +414,7 @@ impl ObsSession {
         // `--run-dir` means "record this run" only for the commands that
         // run one; for `report` the same flag names an existing bundle
         // to *read*, which must never be truncated.
-        let recording = matches!(command, "analyze" | "evolve");
+        let recording = matches!(command, "analyze" | "evolve" | "serve");
         if let Some(dir) = opts.get("run-dir").filter(|_| recording) {
             let rd = RunDir::create(Path::new(dir))
                 .map_err(|e| format!("cannot create run dir '{dir}': {e}"))?;
@@ -995,11 +1023,56 @@ fn cmd_bench_diff(opts: &Flags) -> Result<(), CliError> {
     };
     let result = diff::compare(&base, &new, options);
     print!("{}", diff::render(&result, options));
+    if result.compared() == 0 {
+        return Err(format!(
+            "base and new share no timing rows ({} vs {} rows) — nothing was compared",
+            base.len(),
+            new.len()
+        )
+        .into());
+    }
     if result.regressed {
         return Err(CliError {
             code: 12,
             message: format!("performance regression beyond +{threshold}%"),
         });
+    }
+    Ok(())
+}
+
+fn cmd_serve(opts: &Flags) -> Result<(), CliError> {
+    let jobs = jobs_flag(opts)?;
+    let engine = engine_flag(opts)?;
+    let certify = certify_flag(opts);
+    // For serve, --timeout is the *default per-job* deadline (each job
+    // gets a fresh envelope at pickup), not a whole-command deadline —
+    // a server has no natural end of command.
+    let default_timeout = match opts.get("timeout") {
+        Some(text) => Some(parse_duration(text)?),
+        None => None,
+    };
+    let server = axmc::serve::Server::new(axmc::serve::ServeConfig {
+        jobs,
+        certify,
+        backend: engine,
+        default_timeout,
+    });
+    if let Some(path) = opts.get("socket") {
+        let max_conns = match opts.get("max-conns") {
+            None => None,
+            Some(v) => Some(
+                v.parse::<usize>()
+                    .map_err(|_| format!("invalid --max-conns '{v}'"))?,
+            ),
+        };
+        eprintln!("serving on {path} ({jobs} workers)");
+        server
+            .run_unix(Path::new(path), max_conns)
+            .map_err(|e| format!("serve: {e}"))?;
+    } else {
+        server
+            .run_batch(std::io::stdin().lock(), std::io::stdout())
+            .map_err(|e| format!("serve: {e}"))?;
     }
     Ok(())
 }

@@ -24,6 +24,7 @@
 //! | [`core`] | `axmc-core` | The error-determination engines ([`CombAnalyzer`], [`SeqAnalyzer`]) |
 //! | [`cgp`] | `axmc-cgp` | Verifiability-driven CGP synthesis |
 //! | [`check`] | `axmc-check` | RUP/DRAT proof checking for certified UNSAT results, structural linting |
+//! | [`serve`] | `axmc-serve` | Batch analysis service: JSONL protocol, priority queue, structural-hash result cache |
 //! | [`obs`] | `axmc-obs` | Metrics, spans and trace events behind the CLI's `--metrics`/`--trace` |
 //! | [`par`] | `axmc-par` | Zero-dependency worker pools behind `--jobs` (deterministic parallel oracles) |
 //!
@@ -66,6 +67,7 @@ pub use axmc_obs as obs;
 pub use axmc_par as par;
 pub use axmc_sat as sat;
 pub use axmc_seq as seq;
+pub use axmc_serve as serve;
 
 pub use axmc_cgp::{evolve, SearchOptions, SearchResult};
 pub use axmc_core::{

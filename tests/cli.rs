@@ -572,20 +572,27 @@ fn report_attributes_the_whole_run_and_is_deterministic() {
     };
     let first = report(&[]);
     // The synthetic root span covers the command, so it must head the
-    // tree at 100% and its total must track the recorded wall-clock.
+    // tree at 100% with a positive total, and every other attribution
+    // line must stay within the root — structural span accounting, not
+    // a wall-clock ratio (ratios flake under CI load).
     let run_line = first
         .lines()
         .find(|l| l.trim().ends_with(" run") && l.contains("100.0%"))
         .unwrap_or_else(|| panic!("no 100% run root in:\n{first}"));
     let run_ms: f64 = run_line.split_whitespace().next().unwrap().parse().unwrap();
+    assert!(run_ms > 0.0, "run root recorded no time:\n{first}");
+    for line in first.lines().filter(|l| l.contains('%')) {
+        let ms: f64 = line.split_whitespace().next().unwrap().parse().unwrap();
+        assert!(
+            ms <= run_ms + 0.001,
+            "span exceeds the run root ({run_ms} ms): {line}"
+        );
+    }
+    // The recorded wall-clock exists and is positive; the span tree is
+    // attributed against it but deliberately not ratio-checked here.
     let metrics = Json::parse(&std::fs::read_to_string(dir.join("metrics.json")).unwrap()).unwrap();
     let wall_ms = metrics.get("wall_ms").and_then(Json::as_f64).unwrap();
-    let drift = (wall_ms - run_ms).abs() / wall_ms;
-    assert!(
-        drift < 0.05,
-        "run span {run_ms} ms vs wall {wall_ms} ms: {:.1}% apart",
-        drift * 100.0
-    );
+    assert!(wall_ms > 0.0, "metrics.json lost its wall_ms");
     assert!(first.contains("p95_us"), "{first}");
     // Replaying the same trace must render byte-identical output.
     assert_eq!(first, report(&[]), "report is nondeterministic");
@@ -658,4 +665,102 @@ fn bench_diff_passes_self_and_fails_injected_regression() {
         .expect("spawn");
     assert_eq!(out.status.code(), Some(12), "regression must exit 12");
     assert!(String::from_utf8_lossy(&out.stdout).contains("REGRESSED"));
+}
+
+#[test]
+fn serve_batches_match_analyze_and_hit_the_cache() {
+    use axmc::obs::json::Json;
+    use std::io::Write;
+    let g = tmp("srv-g.aag");
+    let c = tmp("srv-c.aag");
+    for (kind, param, path) in [("adder", None, &g), ("trunc-adder", Some("2"), &c)] {
+        let mut cmd = axmc();
+        cmd.args(["gen", "--kind", kind, "--width", "5"]);
+        if let Some(p) = param {
+            cmd.args(["--param", p]);
+        }
+        let out = cmd.arg("--out").arg(path).output().expect("spawn");
+        assert!(out.status.success());
+    }
+    // Three jobs, the third a byte-for-byte duplicate of the first.
+    // --jobs 1 makes the duplicate a guaranteed cache hit (with several
+    // workers two identical in-flight jobs could both miss — a benign
+    // race, but not a deterministic test).
+    let job = |id: &str| {
+        format!(
+            r#"{{"id":"{id}","golden":{g:?},"candidate":{c:?},"metric":"wce"}}"#,
+            g = g.to_str().unwrap(),
+            c = c.to_str().unwrap(),
+        )
+    };
+    let other = format!(
+        r#"{{"id":"other","golden":{g:?},"candidate":{c:?},"metric":"exceeds","threshold":3}}"#,
+        g = g.to_str().unwrap(),
+        c = c.to_str().unwrap(),
+    );
+    let batch = format!("{}\n{other}\n{}\n", job("first"), job("first-again"));
+    let mut child = axmc()
+        .args(["serve", "--jobs", "1", "--metrics"])
+        .stdin(std::process::Stdio::piped())
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .expect("spawn");
+    child
+        .stdin
+        .take()
+        .expect("stdin")
+        .write_all(batch.as_bytes())
+        .expect("write batch");
+    let out = child.wait_with_output().expect("wait");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    let lines: Vec<Json> = text
+        .lines()
+        .take_while(|l| l.starts_with('{'))
+        .map(|l| Json::parse(l).unwrap_or_else(|e| panic!("bad line '{l}': {e}")))
+        .collect();
+    let result_of = |id: &str| -> &Json {
+        lines
+            .iter()
+            .find(|l| {
+                l.get("event").and_then(Json::as_str) == Some("result")
+                    && l.get("id").and_then(Json::as_str) == Some(id)
+            })
+            .unwrap_or_else(|| panic!("no result for {id} in:\n{text}"))
+    };
+    // The served verdict equals the single-shot `axmc analyze` value
+    // (truncated adder, cut 2: WCE = 2^3 - 2 = 6).
+    let cold = result_of("first");
+    assert_eq!(
+        cold.get("result").unwrap().get("value"),
+        Some(&Json::Str("6".into())),
+        "{text}"
+    );
+    assert_eq!(cold.get("cached"), Some(&Json::Bool(false)), "{text}");
+    // The duplicate is served from the cache, byte-identically.
+    let replay = result_of("first-again");
+    assert_eq!(replay.get("cached"), Some(&Json::Bool(true)), "{text}");
+    assert_eq!(
+        replay.get("result").unwrap().render(),
+        cold.get("result").unwrap().render(),
+        "cache replay must be byte-identical"
+    );
+    let done = lines
+        .iter()
+        .find(|l| l.get("event").and_then(Json::as_str) == Some("done"))
+        .unwrap_or_else(|| panic!("no done line in:\n{text}"));
+    assert_eq!(done.get("jobs").and_then(Json::as_f64), Some(3.0));
+    assert_eq!(done.get("ok").and_then(Json::as_f64), Some(3.0));
+    assert_eq!(done.get("cache_hits").and_then(Json::as_f64), Some(1.0));
+    assert_eq!(done.get("cache_misses").and_then(Json::as_f64), Some(2.0));
+    // --metrics: the summary table after the JSONL carries the cache
+    // counters and the per-job span.
+    assert!(text.contains("serve.cache.hit"), "{text}");
+    assert!(text.contains("serve.cache.miss"), "{text}");
+    assert!(text.contains("serve.job"), "{text}");
 }
