@@ -1,0 +1,354 @@
+//! Ternary abstract interpretation over AIGs.
+//!
+//! One forward pass per frame: inputs are `X`, latches carry the current
+//! abstract state, AND gates use the sound ternary AND and edge
+//! complementation uses ternary NOT. For sequential circuits the latch
+//! state starts at the reset constants and is widened with [`Tern::join`]
+//! against the computed next-state values until a fixpoint (the lattice
+//! has height two per latch, so at most `num_latches + 1` iterations) or
+//! an explicit frame bound.
+//!
+//! The result over-approximates the set of values every node can take in
+//! any reachable state (all states for a fixpoint, states reachable
+//! within `k` steps for a `k`-bounded run), which makes every constant it
+//! reports — and every interval derived from output bits — a *sound*
+//! bound usable to discharge threshold queries without a solver.
+
+use crate::ternary::Tern;
+use axmc_aig::{Aig, Lit, Node};
+
+/// Result of a ternary abstract interpretation of one AIG.
+#[derive(Clone, Debug)]
+pub struct TernaryAnalysis {
+    values: Vec<Tern>,
+    latch_values: Vec<Tern>,
+    frames: u32,
+    converged: bool,
+}
+
+impl TernaryAnalysis {
+    /// Runs the analysis to its fixpoint.
+    ///
+    /// For combinational AIGs this is a single forward pass. For
+    /// sequential AIGs the latch state is widened frame by frame until
+    /// it stabilizes, which is guaranteed within `num_latches + 1`
+    /// frames; the resulting values cover **all** reachable states.
+    pub fn fixpoint(aig: &Aig) -> TernaryAnalysis {
+        Self::run(aig, None)
+    }
+
+    /// Runs the analysis for at most `horizon` sequential frames.
+    ///
+    /// The resulting values cover every state reachable within
+    /// `horizon` steps; [`TernaryAnalysis::converged`] reports whether
+    /// the fixpoint was reached early (in which case they cover all
+    /// reachable states, exactly as [`TernaryAnalysis::fixpoint`]).
+    pub fn bounded(aig: &Aig, horizon: u32) -> TernaryAnalysis {
+        Self::run(aig, Some(horizon))
+    }
+
+    fn run(aig: &Aig, horizon: Option<u32>) -> TernaryAnalysis {
+        let _t = axmc_obs::span("absint.analyze_us");
+        let mut latch_values: Vec<Tern> = aig
+            .latches()
+            .iter()
+            .map(|l| Tern::from_bool(l.init))
+            .collect();
+        let mut values = eval_frame(aig, &latch_values);
+        let mut frames = 0u32;
+        let mut converged = aig.num_latches() == 0;
+        while !converged && horizon.is_none_or(|h| frames < h) {
+            let mut changed = false;
+            let widened: Vec<Tern> = aig
+                .latches()
+                .iter()
+                .zip(&latch_values)
+                .map(|(l, &cur)| {
+                    let next = lit_value(&values, l.next);
+                    let joined = cur.join(next);
+                    changed |= joined != cur;
+                    joined
+                })
+                .collect();
+            frames += 1;
+            if !changed {
+                converged = true;
+                break;
+            }
+            latch_values = widened;
+            values = eval_frame(aig, &latch_values);
+        }
+        TernaryAnalysis {
+            values,
+            latch_values,
+            frames,
+            converged,
+        }
+    }
+
+    /// The abstract value of a literal (negation applied).
+    pub fn value(&self, lit: Lit) -> Tern {
+        lit_value(&self.values, lit)
+    }
+
+    /// The widened abstract state of latch number `index`.
+    pub fn latch_value(&self, index: usize) -> Tern {
+        self.latch_values[index]
+    }
+
+    /// Number of sequential frames evaluated (0 for combinational).
+    pub fn frames(&self) -> u32 {
+        self.frames
+    }
+
+    /// `true` if the latch state reached its fixpoint, making every
+    /// reported constant valid in **all** reachable states (not only
+    /// those within the frame bound).
+    pub fn converged(&self) -> bool {
+        self.converged
+    }
+
+    /// Abstract values of the primary outputs, in output order.
+    pub fn output_values(&self, aig: &Aig) -> Vec<Tern> {
+        aig.outputs().iter().map(|&o| self.value(o)).collect()
+    }
+
+    /// Sound interval `[lo, hi]` on the outputs read as an unsigned
+    /// word (output 0 = least significant bit).
+    ///
+    /// Returns `None` when the AIG has more than 128 outputs.
+    pub fn output_interval(&self, aig: &Aig) -> Option<(u128, u128)> {
+        if aig.num_outputs() > 128 {
+            return None;
+        }
+        let mut lo = 0u128;
+        let mut hi = 0u128;
+        for (bit, &out) in aig.outputs().iter().enumerate() {
+            match self.value(out) {
+                Tern::One => {
+                    lo |= 1 << bit;
+                    hi |= 1 << bit;
+                }
+                Tern::X => hi |= 1 << bit,
+                Tern::Zero => {}
+            }
+        }
+        Some((lo, hi))
+    }
+}
+
+fn lit_value(values: &[Tern], lit: Lit) -> Tern {
+    values[lit.var().index() as usize].negate_if(lit.is_negated())
+}
+
+/// One forward ternary pass with the given latch state; inputs are `X`.
+fn eval_frame(aig: &Aig, latch_values: &[Tern]) -> Vec<Tern> {
+    let mut values = vec![Tern::X; aig.num_nodes()];
+    for (var, node) in aig.iter() {
+        values[var.index() as usize] = match node {
+            Node::Const => Tern::Zero,
+            Node::Input(_) => Tern::X,
+            Node::Latch(k) => latch_values[k as usize],
+            Node::And(a, b) => lit_value(&values, a).and(lit_value(&values, b)),
+        };
+    }
+    values
+}
+
+/// Semantic facts distilled from a fixpoint analysis, the backing data
+/// for the `ABS001`–`ABS003` lint rules.
+#[derive(Clone, Debug, Default)]
+pub struct SemanticFacts {
+    /// AND gates inside the structural cone of influence of the outputs
+    /// or latch next-state functions whose value is nevertheless a known
+    /// constant — semantically unreachable logic the sweep eliminates.
+    /// Each entry is `(variable index, constant value)`.
+    pub constant_ands: Vec<(u32, bool)>,
+    /// Primary outputs pinned to a constant: `(output index, value)`.
+    pub constant_outputs: Vec<(usize, bool)>,
+    /// Latches whose abstract state never leaves the reset value in any
+    /// reachable state (the latch never toggles).
+    pub frozen_latches: Vec<usize>,
+}
+
+impl SemanticFacts {
+    /// `true` when no rule has anything to report.
+    pub fn is_empty(&self) -> bool {
+        self.constant_ands.is_empty()
+            && self.constant_outputs.is_empty()
+            && self.frozen_latches.is_empty()
+    }
+}
+
+/// Distills [`SemanticFacts`] from a fixpoint analysis of `aig`.
+pub fn semantic_facts(aig: &Aig) -> SemanticFacts {
+    let analysis = TernaryAnalysis::fixpoint(aig);
+    let in_coi = structural_coi(aig);
+    let mut facts = SemanticFacts::default();
+    for (var, node) in aig.iter() {
+        if let Node::And(..) = node {
+            if in_coi[var.index() as usize] {
+                if let Some(value) = analysis.value(var.lit()).as_const() {
+                    facts.constant_ands.push((var.index(), value));
+                }
+            }
+        }
+    }
+    for (i, &out) in aig.outputs().iter().enumerate() {
+        if let Some(value) = analysis.value(out).as_const() {
+            facts.constant_outputs.push((i, value));
+        }
+    }
+    for (k, latch) in aig.latches().iter().enumerate() {
+        if analysis.latch_value(k) == Tern::from_bool(latch.init) {
+            facts.frozen_latches.push(k);
+        }
+    }
+    facts
+}
+
+/// Marks every variable structurally reachable from an output or a latch
+/// next-state literal.
+pub(crate) fn structural_coi(aig: &Aig) -> Vec<bool> {
+    let mut reach = vec![false; aig.num_nodes()];
+    let mut stack: Vec<u32> = Vec::new();
+    let mark = |lit: Lit, stack: &mut Vec<u32>, reach: &mut Vec<bool>| {
+        let v = lit.var().index();
+        if !reach[v as usize] {
+            reach[v as usize] = true;
+            stack.push(v);
+        }
+    };
+    for &o in aig.outputs() {
+        mark(o, &mut stack, &mut reach);
+    }
+    for l in aig.latches() {
+        mark(l.next, &mut stack, &mut reach);
+    }
+    while let Some(v) = stack.pop() {
+        if let Node::And(a, b) = aig.node(axmc_aig::Var::new(v)) {
+            mark(a, &mut stack, &mut reach);
+            mark(b, &mut stack, &mut reach);
+        }
+    }
+    reach
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comb_constant_propagation() {
+        let mut aig = Aig::new();
+        let a = aig.add_input();
+        let b = aig.add_input();
+        let x = aig.xor(a, b);
+        // (a ^ b) & !(a ^ b) is constant false, but built from two
+        // distinct literals the AIG cannot fold away structurally.
+        let y = aig.and(x, a);
+        let z = aig.and(y, !x);
+        aig.add_output(z);
+        let analysis = TernaryAnalysis::fixpoint(&aig);
+        // z = x & a & !x; the ternary domain alone cannot see through
+        // the reconvergence, so it stays X — soundness over precision.
+        assert_eq!(analysis.frames(), 0);
+        assert!(analysis.converged());
+        // But a gate with a constant fanin folds:
+        let mut g = Aig::new();
+        let p = g.add_input();
+        let f = g.and(p, Lit::FALSE);
+        assert_eq!(f, Lit::FALSE);
+        let one = g.or(p, Lit::TRUE);
+        g.add_output(one);
+        let an = TernaryAnalysis::fixpoint(&g);
+        assert_eq!(an.value(g.outputs()[0]), Tern::One);
+    }
+
+    #[test]
+    fn stuck_latch_reaches_fixpoint_as_constant() {
+        // q' = q & q = q, init 0: never leaves reset.
+        let mut aig = Aig::new();
+        let _in = aig.add_input();
+        let q = aig.add_latch(false);
+        aig.set_latch_next(0, q);
+        aig.add_output(q);
+        let analysis = TernaryAnalysis::fixpoint(&aig);
+        assert!(analysis.converged());
+        assert_eq!(analysis.latch_value(0), Tern::Zero);
+        assert_eq!(analysis.output_interval(&aig), Some((0, 0)));
+    }
+
+    #[test]
+    fn toggling_latch_widens_to_x() {
+        let mut aig = Aig::new();
+        let inp = aig.add_input();
+        let q = aig.add_latch(false);
+        let next = aig.xor(q, inp);
+        aig.set_latch_next(0, next);
+        aig.add_output(q);
+        let analysis = TernaryAnalysis::fixpoint(&aig);
+        assert!(analysis.converged());
+        assert_eq!(analysis.latch_value(0), Tern::X);
+        assert_eq!(analysis.output_interval(&aig), Some((0, 1)));
+    }
+
+    #[test]
+    fn bounded_run_stops_at_horizon() {
+        // A chain of latches: x propagates one latch per frame, so the
+        // k-bounded analysis keeps tail latches constant.
+        let mut aig = Aig::new();
+        let inp = aig.add_input();
+        let q0 = aig.add_latch(false);
+        let q1 = aig.add_latch(false);
+        let q2 = aig.add_latch(false);
+        aig.set_latch_next(0, inp);
+        aig.set_latch_next(1, q0);
+        aig.set_latch_next(2, q1);
+        aig.add_output(q2);
+        let bounded = TernaryAnalysis::bounded(&aig, 1);
+        assert!(!bounded.converged());
+        assert_eq!(bounded.latch_value(0), Tern::X);
+        assert_eq!(bounded.latch_value(2), Tern::Zero);
+        let full = TernaryAnalysis::fixpoint(&aig);
+        assert!(full.converged());
+        assert_eq!(full.latch_value(2), Tern::X);
+    }
+
+    #[test]
+    fn output_interval_combines_bits() {
+        let mut aig = Aig::new();
+        let a = aig.add_input();
+        aig.add_output(Lit::TRUE); // bit 0 = 1
+        aig.add_output(a); // bit 1 = X
+        aig.add_output(Lit::FALSE); // bit 2 = 0
+        let analysis = TernaryAnalysis::fixpoint(&aig);
+        assert_eq!(analysis.output_interval(&aig), Some((1, 3)));
+        assert_eq!(
+            analysis.output_values(&aig),
+            vec![Tern::One, Tern::X, Tern::Zero]
+        );
+    }
+
+    #[test]
+    fn semantic_facts_report_all_three_rules() {
+        let mut aig = Aig::new();
+        let a = aig.add_input();
+        let b = aig.add_input();
+        // A frozen latch (holds its reset value forever).
+        let q = aig.add_latch(true);
+        aig.set_latch_next(0, q);
+        // An AND gate fed by the frozen latch's complement: constant 0,
+        // yet structurally in the output cone.
+        let dead = aig.and(!q, a);
+        let live = aig.and(a, b);
+        let out = aig.or(dead, live);
+        aig.add_output(out);
+        aig.add_output(!q); // constant-0 output
+        let facts = semantic_facts(&aig);
+        assert!(!facts.is_empty());
+        assert_eq!(facts.frozen_latches, vec![0]);
+        assert!(facts.constant_outputs.iter().any(|&(i, v)| i == 1 && !v));
+        assert!(facts.constant_ands.iter().any(|&(_, v)| !v));
+    }
+}

@@ -1,0 +1,205 @@
+//! Sound static pre-analysis for the `axmc` toolkit.
+//!
+//! The exact engines (SAT, BDD, BMC) answer every query from first
+//! principles, yet a large share of real queries — identical pairs in a
+//! duplicate-heavy batch, thresholds far above or below the actual error,
+//! miters whose disagreement cone folds to a constant — are decidable
+//! from circuit structure alone. This crate is that tier:
+//!
+//! * [`TernaryAnalysis`] — abstract interpretation over the three-valued
+//!   domain [`Tern`]: constant propagation through AND/invert plus a
+//!   ternary X-simulation of the latch state widened to a fixpoint, an
+//!   over-approximation of sequential reachability. From it,
+//!   [`TernaryAnalysis::output_interval`] derives a certified interval
+//!   `[lo, hi]` on any word-level output (e.g. the `|G − C|` error word
+//!   of a miter).
+//! * [`sweep`] — semantics-preserving reduction: constant substitution,
+//!   structural re-hashing (common-subexpression sharing) and
+//!   dangling-node elimination behind an unchanged interface, with a
+//!   [`ReductionReport`] node-count delta.
+//! * [`max_word_probe`] — deterministic concrete simulation giving sound
+//!   *lower* bounds with replayable witnesses.
+//! * [`StaticOutcome`] / [`static_word_bounds`] — the combined verdict
+//!   the engine stack consults before launching any solver.
+//! * [`semantic_facts`] — the data behind the `ABS001`–`ABS003` lint
+//!   rules (semantically unreachable gates, constant outputs, latches
+//!   that never toggle).
+//!
+//! Everything here is **sound by construction**: upper bounds come from
+//! an over-approximating abstraction, lower bounds from concrete
+//! executions. The engines therefore treat a static `Proved`/`Refuted`
+//! as final, and otherwise use the interval to shrink the solver's
+//! search window.
+//!
+//! # Examples
+//!
+//! A miter of a circuit against itself folds to constant 0 — the static
+//! tier proves the error bound with no solver:
+//!
+//! ```
+//! use axmc_absint::{static_word_bounds, StaticOutcome};
+//! use axmc_aig::{Aig, Word};
+//!
+//! let mut miter = Aig::new();
+//! let a = Word::new_inputs(&mut miter, 4);
+//! // "Golden" and "candidate" are the same word here, so the
+//! // difference cone |a - a| folds to the constant 0:
+//! let diff = a.sub_signed(&mut miter, &a).abs(&mut miter);
+//! for i in 0..diff.width() {
+//!     miter.add_output(diff.bit(i));
+//! }
+//! let bounds = static_word_bounds(&miter, 0).expect("word-sized");
+//! assert_eq!(bounds.interval, (0, 0));
+//! assert!(matches!(bounds.outcome(0), StaticOutcome::Proved));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod analyze;
+mod probe;
+mod reduce;
+mod ternary;
+
+pub use crate::analyze::{semantic_facts, SemanticFacts, TernaryAnalysis};
+pub use crate::probe::{max_word_probe, ProbeResult};
+pub use crate::reduce::{sweep, sweep_with, ReductionReport};
+pub use crate::ternary::Tern;
+
+use axmc_aig::Aig;
+
+/// Default number of pseudo-random vectors for the concrete probe.
+pub const DEFAULT_PROBE_VECTORS: usize = 192;
+
+/// Seed for the deterministic probe stream.
+const PROBE_SEED: u64 = 0x5eed_ab51_u64;
+
+/// How the static tier answered a threshold question, if it could.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum StaticOutcome {
+    /// `hi ≤ threshold`: the error can never exceed the threshold.
+    Proved,
+    /// A concrete input drives the error word above the threshold.
+    Refuted {
+        /// The witnessed error value (`> threshold`).
+        value: u128,
+        /// The input assignment achieving it.
+        witness: Vec<bool>,
+    },
+    /// The interval straddles the threshold; a solver must decide.
+    Undecided,
+}
+
+/// Certified bounds on a word-output AIG (both halves of the tier).
+#[derive(Clone, Debug)]
+pub struct WordBounds {
+    /// Sound interval `[lo, hi]` on the output word over all reachable
+    /// behaviour: `hi` from the ternary abstraction, `lo` from the best
+    /// concrete probe (combinational only; `0` otherwise).
+    pub interval: (u128, u128),
+    /// The concrete probe behind `interval.0`, when one was run.
+    pub probe: Option<ProbeResult>,
+}
+
+impl WordBounds {
+    /// Decides `error > threshold?` from the bounds alone.
+    pub fn outcome(&self, threshold: u128) -> StaticOutcome {
+        if self.interval.1 <= threshold {
+            return StaticOutcome::Proved;
+        }
+        if let Some(probe) = &self.probe {
+            if probe.value > threshold {
+                return StaticOutcome::Refuted {
+                    value: probe.value,
+                    witness: probe.witness.clone(),
+                };
+            }
+        }
+        StaticOutcome::Undecided
+    }
+
+    /// `true` when the interval is a single point (the exact value).
+    pub fn is_exact(&self) -> bool {
+        self.interval.0 == self.interval.1
+    }
+}
+
+/// Computes certified [`WordBounds`] for a word-output AIG (outputs read
+/// LSB-first as an unsigned word, e.g. an `abs_diff_word_miter`).
+///
+/// `random_vectors` controls the concrete probe battery
+/// ([`DEFAULT_PROBE_VECTORS`] is a good default; `0` still probes the
+/// corner patterns). Returns `None` when the AIG has more than 128
+/// outputs. The upper bound is valid for sequential AIGs too (via the
+/// reachability fixpoint); the concrete lower bound is only probed for
+/// combinational AIGs.
+pub fn static_word_bounds(aig: &Aig, random_vectors: usize) -> Option<WordBounds> {
+    let analysis = TernaryAnalysis::fixpoint(aig);
+    let (_, hi) = analysis.output_interval(aig)?;
+    let probe = max_word_probe(aig, random_vectors, PROBE_SEED);
+    let lo = probe.as_ref().map_or(0, |p| p.value);
+    debug_assert!(
+        lo <= hi,
+        "concrete witness {lo} escapes abstract bound {hi}"
+    );
+    Some(WordBounds {
+        interval: (lo, hi),
+        probe,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use axmc_circuit::{approx, generators};
+    use axmc_miter::abs_diff_word_miter;
+
+    #[test]
+    fn identical_pair_is_proved_at_threshold_zero() {
+        let golden = generators::ripple_carry_adder(8).to_aig();
+        let miter = abs_diff_word_miter(&golden, &golden);
+        let bounds = static_word_bounds(&miter, 8).expect("word-sized");
+        assert_eq!(bounds.interval, (0, 0));
+        assert!(bounds.is_exact());
+        assert!(matches!(bounds.outcome(0), StaticOutcome::Proved));
+    }
+
+    #[test]
+    fn approximate_pair_is_refuted_below_its_error() {
+        let golden = generators::ripple_carry_adder(8).to_aig();
+        let cheap = approx::lower_or_adder(8, 4).to_aig();
+        let miter = abs_diff_word_miter(&golden, &cheap);
+        let bounds = static_word_bounds(&miter, DEFAULT_PROBE_VECTORS).unwrap();
+        assert!(bounds.interval.0 > 0, "probe finds a real discrepancy");
+        match bounds.outcome(0) {
+            StaticOutcome::Refuted { value, witness } => {
+                assert!(value > 0);
+                assert_eq!(
+                    axmc_aig::bits_to_u128(&miter.eval_comb(&witness)),
+                    value,
+                    "witness must replay"
+                );
+            }
+            other => panic!("expected refutation, got {other:?}"),
+        }
+        // Far above the abstract ceiling it must prove instead.
+        assert!(matches!(bounds.outcome(u128::MAX), StaticOutcome::Proved));
+    }
+
+    #[test]
+    fn straddling_threshold_is_undecided() {
+        let golden = generators::ripple_carry_adder(4).to_aig();
+        let cheap = approx::truncated_adder(4, 2).to_aig();
+        let miter = abs_diff_word_miter(&golden, &cheap);
+        let bounds = static_word_bounds(&miter, 0).unwrap();
+        if bounds.interval.0 < bounds.interval.1 {
+            let mid = bounds.interval.0 + (bounds.interval.1 - bounds.interval.0) / 2;
+            // A threshold at lo..hi midpoint cannot be decided unless a
+            // probe already beats it.
+            match bounds.outcome(mid) {
+                StaticOutcome::Undecided | StaticOutcome::Refuted { .. } => {}
+                StaticOutcome::Proved => panic!("mid-interval threshold cannot be proved"),
+            }
+        }
+    }
+}

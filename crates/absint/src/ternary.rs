@@ -1,0 +1,130 @@
+//! The three-valued (ternary) abstraction domain.
+//!
+//! A [`Tern`] abstracts a Boolean signal as *known-0*, *known-1* or
+//! *unknown* (`X`). The domain forms a two-level lattice: the constants
+//! sit below `X`, and [`Tern::join`] is the least upper bound used when
+//! merging latch values across frames of a sequential fixpoint.
+
+/// A three-valued abstract Boolean: known `0`, known `1`, or unknown.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub enum Tern {
+    /// The signal is the constant `false` under the abstraction.
+    Zero,
+    /// The signal is the constant `true` under the abstraction.
+    One,
+    /// The signal's value is unknown (may be either).
+    X,
+}
+
+impl Tern {
+    /// Lifts a concrete Boolean into the domain.
+    pub fn from_bool(b: bool) -> Tern {
+        if b {
+            Tern::One
+        } else {
+            Tern::Zero
+        }
+    }
+
+    /// The concrete value, if the abstraction pinned one down.
+    pub fn as_const(self) -> Option<bool> {
+        match self {
+            Tern::Zero => Some(false),
+            Tern::One => Some(true),
+            Tern::X => None,
+        }
+    }
+
+    /// `true` if the value is a known constant.
+    pub fn is_const(self) -> bool {
+        self != Tern::X
+    }
+
+    /// Conditionally negates, mirroring [`axmc_aig::Lit::negate_if`].
+    #[must_use]
+    pub fn negate_if(self, negate: bool) -> Tern {
+        if negate {
+            !self
+        } else {
+            self
+        }
+    }
+
+    /// Ternary AND: a known `0` on either side dominates `X`.
+    #[must_use]
+    pub fn and(self, other: Tern) -> Tern {
+        match (self, other) {
+            (Tern::Zero, _) | (_, Tern::Zero) => Tern::Zero,
+            (Tern::One, Tern::One) => Tern::One,
+            _ => Tern::X,
+        }
+    }
+
+    /// Least upper bound: equal values stay, disagreement widens to `X`.
+    #[must_use]
+    pub fn join(self, other: Tern) -> Tern {
+        if self == other {
+            self
+        } else {
+            Tern::X
+        }
+    }
+}
+
+impl std::ops::Not for Tern {
+    type Output = Tern;
+
+    /// Ternary negation: constants flip, `X` stays `X`.
+    fn not(self) -> Tern {
+        match self {
+            Tern::Zero => Tern::One,
+            Tern::One => Tern::Zero,
+            Tern::X => Tern::X,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn and_truth_table_is_sound() {
+        // Every concretization of the abstract AND must contain the
+        // concrete AND of every concretization of the operands.
+        let concretize = |t: Tern| match t {
+            Tern::Zero => vec![false],
+            Tern::One => vec![true],
+            Tern::X => vec![false, true],
+        };
+        for a in [Tern::Zero, Tern::One, Tern::X] {
+            for b in [Tern::Zero, Tern::One, Tern::X] {
+                let abs = a.and(b);
+                for ca in concretize(a) {
+                    for cb in concretize(b) {
+                        assert!(
+                            concretize(abs).contains(&(ca && cb)),
+                            "{a:?} & {b:?} = {abs:?} misses {ca} & {cb}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn not_and_join() {
+        assert_eq!(!Tern::Zero, Tern::One);
+        assert_eq!(!Tern::One, Tern::Zero);
+        assert_eq!(!Tern::X, Tern::X);
+        assert_eq!(Tern::Zero.join(Tern::Zero), Tern::Zero);
+        assert_eq!(Tern::Zero.join(Tern::One), Tern::X);
+        assert_eq!(Tern::X.join(Tern::One), Tern::X);
+        assert_eq!(Tern::from_bool(true), Tern::One);
+        assert_eq!(Tern::One.as_const(), Some(true));
+        assert_eq!(Tern::X.as_const(), None);
+        assert!(!Tern::X.is_const());
+        assert_eq!(Tern::One.negate_if(true), Tern::Zero);
+        assert_eq!(Tern::One.negate_if(false), Tern::One);
+    }
+}

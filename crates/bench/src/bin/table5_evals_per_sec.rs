@@ -11,6 +11,11 @@
 //! With `AXMC_JOBS=N` (N > 1) the SAT column is additionally measured
 //! with an N-worker verifier fleet and a speedup column is printed; the
 //! trajectory is identical by construction, only wall-clock changes.
+//!
+//! `AXMC_CGP_PRESCREEN=off` disables the verifier's static pre-screen
+//! (the solver-only schedule) for A/B throughput comparisons — the
+//! search trajectory is identical either way, only who decides each
+//! candidate changes.
 
 use axmc_bench::{banner, jobs_from_env, ratio, PhaseLog, Scale};
 use axmc_cgp::{evolve, wcre_to_threshold, SearchOptions, Verifier};
@@ -31,6 +36,7 @@ fn throughput(width: usize, verifier: Verifier, evaluations: u64, seed: u64, job
         seed,
         extra_cols: 0,
         jobs,
+        static_prescreen: std::env::var("AXMC_CGP_PRESCREEN").map_or(true, |v| v != "off"),
         ..SearchOptions::default()
     };
     let result = evolve(&golden, &options);

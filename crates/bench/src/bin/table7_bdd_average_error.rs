@@ -117,6 +117,7 @@ fn main() {
         let note = match report.engine {
             EngineKind::Sat => "BDD exceeded 200k nodes; SAT engine took over",
             EngineKind::Bdd => "BDD fit the budget",
+            EngineKind::Static => "decided by the static tier; no solver ran",
         };
         println!(
             "mul{w}: WCE {} via {} in {ms:.0}ms ({note})",

@@ -98,6 +98,13 @@ pub struct SearchOptions {
     /// Node budget for the BDD oracle attempt (see
     /// [`axmc_core::DEFAULT_BDD_NODE_LIMIT`]).
     pub bdd_node_limit: usize,
+    /// Consult the static tier (ternary abstract interpretation plus
+    /// concrete probing over the swept error miter) before any oracle or
+    /// verifier runs on a candidate. A statically decided candidate
+    /// never touches a solver; decisions are counted in the
+    /// `cgp.verify.static_decided` metric. On by default; disable to
+    /// reproduce the solver-only verification schedule.
+    pub static_prescreen: bool,
 }
 
 impl Default for SearchOptions {
@@ -119,6 +126,7 @@ impl Default for SearchOptions {
             ctl: ResourceCtl::unlimited(),
             backend: Backend::default(),
             bdd_node_limit: DEFAULT_BDD_NODE_LIMIT,
+            static_prescreen: true,
         }
     }
 }
@@ -498,12 +506,38 @@ fn bdd_worst_case(
     }
 }
 
+/// Probe vectors for the per-candidate static pre-screen: smaller than
+/// the analyzer-facing default because the pre-screen runs once per
+/// offspring, and a miss only costs falling through to the oracle.
+const PRESCREEN_VECTORS: usize = 64;
+
+/// The static pre-screen for one candidate: sweep the |G−C| miter and
+/// try to decide the acceptance query from the certified interval plus
+/// concrete probing alone. `None` means undecided (caller falls through
+/// to the oracle/verifier schedule).
+fn static_prescreen(golden_aig: &Aig, cand_aig: &Aig, threshold: u128) -> Option<CandidateVerdict> {
+    use axmc_check::absint::{static_word_bounds, StaticOutcome};
+    let (swept, _) = axmc_check::absint::sweep(&abs_diff_word_miter(golden_aig, cand_aig));
+    match static_word_bounds(&swept, PRESCREEN_VECTORS)?.outcome(threshold) {
+        StaticOutcome::Proved => Some(CandidateVerdict::WithinBound),
+        StaticOutcome::Refuted { .. } => Some(CandidateVerdict::Violation),
+        StaticOutcome::Undecided => None,
+    }
+}
+
 fn verify(
     golden_aig: &Aig,
     candidate: &Netlist,
     options: &SearchOptions,
 ) -> Result<CandidateVerdict, AnalysisError> {
     let _span = axmc_obs::span("cgp.verify.time_us");
+    if options.static_prescreen {
+        let cand_aig = candidate.to_aig();
+        if let Some(verdict) = static_prescreen(golden_aig, &cand_aig, options.threshold) {
+            axmc_obs::counter("cgp.verify.static_decided").inc();
+            return Ok(verdict);
+        }
+    }
     if matches!(options.backend, Backend::Bdd | Backend::Auto) {
         let cand_aig = candidate.to_aig();
         match bdd_worst_case(golden_aig, &cand_aig, options) {
@@ -661,6 +695,26 @@ mod tests {
     }
 
     #[test]
+    fn static_prescreen_reproduces_the_solver_trajectory() {
+        // The pre-screen's Proved/Refuted answers are certified, so every
+        // per-candidate verdict — and hence the whole deterministic
+        // search trajectory — must coincide with the solver-only run.
+        let golden = generators::ripple_carry_adder(4);
+        let screened = evolve(&golden, &quick_options(3)).unwrap();
+        let plain = evolve(
+            &golden,
+            &SearchOptions {
+                static_prescreen: false,
+                ..quick_options(3)
+            },
+        )
+        .unwrap();
+        assert_eq!(screened.area, plain.area);
+        assert_eq!(screened.stats.improvements, plain.stats.improvements);
+        assert_result_within(&golden, &screened, 3);
+    }
+
+    #[test]
     fn bdd_oracle_blowup_falls_back_to_the_configured_verifier() {
         let golden = generators::ripple_carry_adder(4);
         let sat = evolve(&golden, &quick_options(3)).unwrap();
@@ -806,6 +860,10 @@ mod tests {
         let mut opts = quick_options(2);
         opts.max_generations = 10;
         opts.ctl = ResourceCtl::unlimited().with_query_timeout(Duration::ZERO);
+        // The static pre-screen decides some candidates without any
+        // solver call; off here, since this test is about the solver
+        // path under a zero per-query deadline.
+        opts.static_prescreen = false;
         let result = evolve(&golden, &opts).unwrap();
         assert_eq!(result.stats.interrupt, None);
         assert_eq!(result.stats.generations, 10);

@@ -49,5 +49,11 @@ pub use crate::drat::{
     ParseDratError, ProofError,
 };
 pub use crate::lint::{
-    has_errors, lint_aig, lint_cnf, lint_netlist, lint_pair, Diagnostic, Severity,
+    has_errors, lint_aig, lint_cnf, lint_netlist, lint_pair, lint_semantics, Diagnostic, Severity,
 };
+
+// The static pre-analysis tier (ternary abstract interpretation,
+// interval bounds, structural sweeping) lives in its own dependency-light
+// crate; it is re-exported here so every consumer of the checking stack
+// sees one coherent static-analysis surface.
+pub use axmc_absint as absint;

@@ -10,6 +10,7 @@
 //! | `NET`  | gate-level netlists | [`lint_netlist`] |
 //! | `MIT`  | golden/approx pair wiring | [`lint_pair`] |
 //! | `CNF`  | CNF formulas | [`lint_cnf`] |
+//! | `ABS`  | semantic facts (ternary fixpoint) | [`lint_semantics`] |
 //!
 //! **Errors** mark structures the downstream engines would mis-handle or
 //! crash on (topological-order violations, out-of-range references,
@@ -239,6 +240,57 @@ pub fn lint_aig(aig: &Aig) -> Vec<Diagnostic> {
             "AIG007",
             "graph",
             "graph has no outputs",
+        ));
+    }
+    out
+}
+
+/// Semantic lint pass over an AIG, powered by the `axmc-absint` ternary
+/// fixpoint (latch values over-approximated from reset).
+///
+/// All rules are warnings — the shapes are legal, but each one marks
+/// logic the static sweep would remove and is a routine symptom of a
+/// mis-wired or over-approximated component:
+///
+/// * `ABS001` — an AND gate in the cone of influence of the outputs that
+///   is provably constant in every reachable state (semantically
+///   unreachable logic);
+/// * `ABS002` — an output pinned to a constant in every reachable state;
+/// * `ABS003` — a latch that never leaves its reset value (never
+///   toggles).
+///
+/// Unlike `AIG006` (structural reachability) these findings need the
+/// semantic fixpoint: the flagged logic is wired to the outputs, it just
+/// provably never matters.
+pub fn lint_semantics(aig: &Aig) -> Vec<Diagnostic> {
+    let facts = axmc_absint::semantic_facts(aig);
+    let mut out = Vec::new();
+    for &(var, value) in &facts.constant_ands {
+        out.push(Diagnostic::warning(
+            "ABS001",
+            format!("node {var}"),
+            format!("AND gate in the output cone is always {}", value as u8),
+        ));
+    }
+    for &(idx, value) in &facts.constant_outputs {
+        out.push(Diagnostic::warning(
+            "ABS002",
+            format!("output {idx}"),
+            format!(
+                "output is constant {} in every reachable state",
+                value as u8
+            ),
+        ));
+    }
+    for &k in &facts.frozen_latches {
+        let init = aig.latches()[k].init;
+        out.push(Diagnostic::warning(
+            "ABS003",
+            format!("latch {k}"),
+            format!(
+                "latch never toggles (stays at its reset value {})",
+                init as u8
+            ),
         ));
     }
     out
@@ -496,6 +548,51 @@ mod tests {
     #[test]
     fn clean_aig_has_no_diagnostics() {
         assert_eq!(lint_aig(&full_adder()), Vec::new());
+    }
+
+    #[test]
+    fn clean_aig_has_no_semantic_diagnostics() {
+        assert_eq!(lint_semantics(&full_adder()), Vec::new());
+    }
+
+    #[test]
+    fn semantic_rules_fire_on_frozen_and_constant_logic() {
+        // A frozen latch (next = self, reset 0) gates an input: the AND
+        // is semantically constant 0 and drives output 0; a second
+        // output reads the frozen latch directly.
+        let mut aig = Aig::new();
+        let x = aig.add_input();
+        let f = aig.add_latch(false);
+        aig.set_latch_next(0, f);
+        let dead = aig.and(f, x);
+        aig.add_output(dead);
+        aig.add_output(f);
+
+        let diags = lint_semantics(&aig);
+        let rules: Vec<&str> = diags.iter().map(|d| d.rule).collect();
+        assert!(
+            rules.contains(&"ABS001"),
+            "constant AND in the cone: {diags:?}"
+        );
+        assert!(rules.contains(&"ABS002"), "constant outputs: {diags:?}");
+        assert!(rules.contains(&"ABS003"), "frozen latch: {diags:?}");
+        assert!(
+            diags.iter().all(|d| d.severity == Severity::Warning),
+            "semantic findings are legal shapes: {diags:?}"
+        );
+        assert!(!has_errors(&diags));
+    }
+
+    #[test]
+    fn toggling_latch_is_not_flagged_frozen() {
+        let mut aig = Aig::new();
+        let q = aig.add_latch(false);
+        aig.set_latch_next(0, !q);
+        aig.add_output(q);
+        assert!(
+            lint_semantics(&aig).iter().all(|d| d.rule != "ABS003"),
+            "a toggling latch must not trip ABS003"
+        );
     }
 
     #[test]

@@ -66,12 +66,33 @@ fn clamp_witness(t: u128, e: u128, max: u128) -> u128 {
 /// `label` names the search in metrics and trace events (e.g.
 /// `"seq.wce"`); with tracing active, every probe emits its candidate
 /// bound, verdict and refinement interval.
+#[cfg_attr(not(test), allow(dead_code))] // production callers seed windows via `_in`
 pub(crate) fn search_max_error(
     label: &str,
     max: u128,
+    probe: impl FnMut(u128) -> Result<Verdict<u128>, AnalysisError>,
+) -> Result<u128, AnalysisError> {
+    search_max_error_in(label, max, None, probe)
+}
+
+/// [`search_max_error`] with an optional certified initial window.
+///
+/// `window = Some((lo, hi))` asserts that `lo` is a *witnessed*
+/// (achievable) error value and `hi` a sound upper bound, both clamped
+/// to `max`. The search then starts from `[lo, hi]` instead of
+/// `[0, max]`: a strictly positive `lo` skips the initial probe at 0
+/// entirely, `hi` caps the gallop ladder, and a degenerate window
+/// (`lo == hi`) returns the exact value with **zero** probes.
+/// `window = None` reproduces the unseeded probe sequence exactly.
+pub(crate) fn search_max_error_in(
+    label: &str,
+    max: u128,
+    window: Option<(u128, u128)>,
     mut probe: impl FnMut(u128) -> Result<Verdict<u128>, AnalysisError>,
 ) -> Result<u128, AnalysisError> {
-    search_max_error_batched(label, max, 1, |ts| ts.iter().map(|&t| probe(t)).collect())
+    search_max_error_batched_in(label, max, 1, window, |ts| {
+        ts.iter().map(|&t| probe(t)).collect()
+    })
 }
 
 /// Batched variant of [`search_max_error`]: each round hands the oracle
@@ -94,9 +115,29 @@ pub(crate) fn search_max_error_batched(
     label: &str,
     max: u128,
     batch: usize,
+    probe_batch: impl FnMut(&[u128]) -> Vec<Result<Verdict<u128>, AnalysisError>>,
+) -> Result<u128, AnalysisError> {
+    search_max_error_batched_in(label, max, batch, None, probe_batch)
+}
+
+/// Batched variant of [`search_max_error_in`]: batching semantics from
+/// [`search_max_error_batched`], window semantics from
+/// [`search_max_error_in`].
+pub(crate) fn search_max_error_batched_in(
+    label: &str,
+    max: u128,
+    batch: usize,
+    window: Option<(u128, u128)>,
     mut probe_batch: impl FnMut(&[u128]) -> Vec<Result<Verdict<u128>, AnalysisError>>,
 ) -> Result<u128, AnalysisError> {
     let batch = batch.max(1);
+    let (seed_lo, seed_hi) = match window {
+        Some((lo, hi)) => {
+            debug_assert!(lo <= hi, "seed window {lo}..{hi} is inverted");
+            (lo.min(max), hi.min(max).max(lo.min(max)))
+        }
+        None => (0, max),
+    };
     let tracing = axmc_obs::tracing_active();
     let mut iter: u64 = 0;
 
@@ -162,44 +203,61 @@ pub(crate) fn search_max_error_batched(
     };
 
     let mut result = || -> Result<u128, AnalysisError> {
-        // First probe at zero: a fully accurate candidate exits immediately.
-        iter += 1;
-        let first = probe_batch(&[0])
-            .into_iter()
-            .next()
-            .expect("oracle must answer the initial threshold")?;
-        let mut lo = match first {
-            Verdict::Proved => {
-                if tracing {
-                    trace_probe(label, iter, "init", 0, "within", 0, 0);
-                }
-                return Ok(0);
+        let mut hi = seed_hi;
+        // A degenerate certified window pins the value with zero probes.
+        if seed_lo >= hi {
+            if tracing {
+                trace_probe(label, iter, "seed", seed_lo, "exact", seed_lo, hi);
             }
-            Verdict::Refuted { witness } => {
-                let w = clamp_witness(0, witness, max.max(1)).min(max);
-                if tracing {
-                    trace_probe(label, iter, "init", 0, "exceeds", w, max);
-                }
-                w
+            return Ok(seed_lo.min(hi));
+        }
+        let mut lo = if seed_lo > 0 {
+            // The window's lower bound is already witnessed: skip the
+            // initial probe at zero and gallop straight from it.
+            if tracing {
+                trace_probe(label, iter, "seed", seed_lo, "window", seed_lo, hi);
             }
-            Verdict::Interrupted { best_so_far } => {
-                if tracing {
-                    trace_probe(label, iter, "init", 0, "interrupted", 0, max);
+            seed_lo
+        } else {
+            // First probe at zero: a fully accurate candidate exits
+            // immediately.
+            iter += 1;
+            let first = probe_batch(&[0])
+                .into_iter()
+                .next()
+                .expect("oracle must answer the initial threshold")?;
+            match first {
+                Verdict::Proved => {
+                    if tracing {
+                        trace_probe(label, iter, "init", 0, "within", 0, 0);
+                    }
+                    return Ok(0);
                 }
-                return Err(AnalysisError::Interrupted(Partial {
-                    reason: best_so_far.reason,
-                    known_low: 0,
-                    known_high: max,
-                    completed_bound: None,
-                }));
+                Verdict::Refuted { witness } => {
+                    let w = clamp_witness(0, witness, max.max(1)).min(hi);
+                    if tracing {
+                        trace_probe(label, iter, "init", 0, "exceeds", w, hi);
+                    }
+                    w
+                }
+                Verdict::Interrupted { best_so_far } => {
+                    if tracing {
+                        trace_probe(label, iter, "init", 0, "interrupted", 0, hi);
+                    }
+                    return Err(AnalysisError::Interrupted(Partial {
+                        reason: best_so_far.reason,
+                        known_low: 0,
+                        known_high: hi,
+                        completed_bound: None,
+                    }));
+                }
             }
         };
-        if lo >= max {
-            return Ok(lo.min(max));
+        if lo >= hi {
+            return Ok(lo.min(hi));
         }
         // Galloping phase: a geometric ladder of up to `batch`
         // speculative thresholds per round, until the first Proved.
-        let mut hi = max;
         while lo < hi {
             let mut ladder = Vec::with_capacity(batch);
             let mut t = lo.saturating_mul(2).min(max);
@@ -423,6 +481,97 @@ mod tests {
             })
             .unwrap();
             assert_eq!(serial_seq, batched_seq, "wce {wce}");
+        }
+    }
+
+    // -- satellite: certified initial windows ---------------------------
+
+    /// A caller-supplied `[lo, hi]` window must (a) not change the
+    /// result and (b) strictly reduce the probe count relative to the
+    /// full-range search — the regression contract of the static tier's
+    /// window seeding.
+    #[test]
+    fn seeded_window_drops_the_probe_count() {
+        for wce in [6u128, 100, 999, 4000] {
+            let max = 65535u128;
+            let mut unseeded_probes = 0u32;
+            let mut o1 = oracle(wce);
+            let unseeded = search_max_error_in("test", max, None, |t| {
+                unseeded_probes += 1;
+                o1(t)
+            })
+            .unwrap();
+            // A realistic static window: witnessed lower bound below the
+            // true value, sound upper bound above it.
+            let window = (wce / 2 + 1, (wce * 2).min(max));
+            let mut seeded_probes = 0u32;
+            let mut o2 = oracle(wce);
+            let seeded = search_max_error_in("test", max, Some(window), |t| {
+                seeded_probes += 1;
+                o2(t)
+            })
+            .unwrap();
+            assert_eq!(unseeded, wce);
+            assert_eq!(seeded, wce, "window must not change the result");
+            assert!(
+                seeded_probes < unseeded_probes,
+                "wce {wce}: seeded {seeded_probes} !< unseeded {unseeded_probes}"
+            );
+        }
+    }
+
+    /// A degenerate window (`lo == hi`) is an exact value: zero probes.
+    #[test]
+    fn exact_window_needs_no_probes() {
+        let result = search_max_error_in("test", 255, Some((42, 42)), |_| {
+            panic!("no probe may be issued for an exact window")
+        })
+        .unwrap();
+        assert_eq!(result, 42);
+    }
+
+    /// `window = None` must reproduce the unseeded probe sequence
+    /// byte-for-byte, and so must the trivial full window `(0, max)`.
+    #[test]
+    fn trivial_window_probes_identically_to_unseeded() {
+        for wce in [0u128, 3, 17, 100, 254, 255] {
+            let max = 255;
+            let mut plain_seq = Vec::new();
+            let mut o1 = oracle(wce);
+            search_max_error("test", max, |t| {
+                plain_seq.push(t);
+                o1(t)
+            })
+            .unwrap();
+            let mut full_seq = Vec::new();
+            let mut o2 = oracle(wce);
+            search_max_error_in("test", max, Some((0, max)), |t| {
+                full_seq.push(t);
+                o2(t)
+            })
+            .unwrap();
+            assert_eq!(plain_seq, full_seq, "wce {wce}");
+        }
+    }
+
+    /// The window is clamped to `max`, and an interrupted seeded search
+    /// reports an interval inside the window.
+    #[test]
+    fn window_clamps_and_bounds_partial_intervals() {
+        assert_eq!(
+            search_max_error_in("test", 100, Some((300, 400)), |_| panic!(
+                "clamped to exact"
+            ))
+            .unwrap(),
+            100
+        );
+        let result = search_max_error_in("test", 1000, Some((10, 500)), |_| interrupted());
+        match result {
+            Err(AnalysisError::Interrupted(p)) => {
+                assert_eq!(p.known_low, 10);
+                assert_eq!(p.known_high, 500);
+            }
+            other => panic!("expected interruption, got {other:?}"),
         }
     }
 

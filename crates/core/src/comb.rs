@@ -8,12 +8,13 @@
 //! provide the average-case metrics (MAE, error rate) that have no
 //! polynomial SAT formulation.
 
-use crate::bound_search::search_max_error;
+use crate::bound_search::search_max_error_in;
 use crate::cache::{cached, metric, CachedResult, QueryKey};
 use crate::engine::{Backend, EngineKind};
 use crate::options::AnalysisOptions;
 use crate::report::{AnalysisError, AverageMethod, AverageReport, ErrorReport, Partial};
 use crate::verdict::Verdict;
+use axmc_absint::{static_word_bounds, StaticOutcome, WordBounds, DEFAULT_PROBE_VECTORS};
 use axmc_aig::{bits_to_u128, sim::for_each_assignment, Aig};
 use axmc_bdd::{BuildBddError, Manager};
 use axmc_cnf::{encode_comb, gates};
@@ -182,6 +183,34 @@ impl<'a> CombAnalyzer<'a> {
                 done => Some(CachedResult::CombVerdict(done.clone())),
             },
             || {
+                if self.static_tier_active() {
+                    let abs = abs_diff_word_miter(self.golden, self.candidate);
+                    let (_, bounds) = self.screen_word_miter(&abs);
+                    if let Some(b) = &bounds {
+                        match b.outcome(threshold) {
+                            StaticOutcome::Proved => {
+                                axmc_obs::counter("absint.decided").inc();
+                                return Ok(Verdict::Proved);
+                            }
+                            StaticOutcome::Refuted { witness, .. } => {
+                                axmc_obs::counter("absint.decided").inc();
+                                return Ok(Verdict::Refuted { witness });
+                            }
+                            StaticOutcome::Undecided => {}
+                        }
+                    }
+                    if self.options.backend == Backend::Static {
+                        let (lo, hi) = bounds.map_or((0, u128::MAX), |b| b.interval);
+                        return Ok(Verdict::Interrupted {
+                            best_so_far: Partial {
+                                reason: None,
+                                known_low: lo,
+                                known_high: hi,
+                                completed_bound: None,
+                            },
+                        });
+                    }
+                }
                 let miter = diff_threshold_miter(self.golden, self.candidate, threshold);
                 self.solve_miter(&miter)
             },
@@ -224,6 +253,56 @@ impl<'a> CombAnalyzer<'a> {
         }
     }
 
+    /// `true` when the static pre-analysis tier is consulted before any
+    /// solver work: always under [`Backend::Static`], and under
+    /// [`Backend::Auto`] unless [`AnalysisOptions::static_tier`] turned
+    /// it off.
+    fn static_tier_active(&self) -> bool {
+        self.options.backend == Backend::Static
+            || (self.options.backend == Backend::Auto && self.options.static_tier)
+    }
+
+    /// The static tier over one word-output miter: sweeps it (constant
+    /// substitution, re-strashing, dangling-node elimination) and
+    /// computes the certified `[lo, hi]` interval on its output word.
+    /// Returns the swept miter — the one handed to the solvers when the
+    /// interval does not decide the query — and the bounds (`None` when
+    /// the word is wider than 128 bits).
+    fn screen_word_miter(&self, miter: &Aig) -> (Aig, Option<WordBounds>) {
+        let (swept, report) = axmc_absint::sweep(miter);
+        if axmc_obs::tracing_active() {
+            axmc_obs::emit(
+                axmc_obs::Event::new("absint.screen")
+                    .field("nodes_before", report.nodes_before as u64)
+                    .field("nodes_after", report.nodes_after as u64)
+                    .field("ands_removed", report.ands_removed() as u64),
+            );
+        }
+        let bounds = static_word_bounds(&swept, DEFAULT_PROBE_VECTORS);
+        (swept, bounds)
+    }
+
+    /// Intersects the caller-supplied search window with a static
+    /// interval; both are certified, so the intersection is too.
+    fn merged_window(&self, static_win: Option<(u128, u128)>) -> Option<(u128, u128)> {
+        match (self.options.search_window, static_win) {
+            (None, w) | (w, None) => w,
+            (Some((a, b)), Some((c, d))) => Some((a.max(c), b.min(d))),
+        }
+    }
+
+    /// The undecided outcome of an analysis-only static run: the
+    /// certified interval as anytime knowledge, no interrupt reason.
+    fn static_undecided<T>(bounds: Option<WordBounds>) -> Result<T, AnalysisError> {
+        let (lo, hi) = bounds.map_or((0, u128::MAX), |b| b.interval);
+        Err(AnalysisError::Interrupted(Partial {
+            reason: None,
+            known_low: lo,
+            known_high: hi,
+            completed_bound: None,
+        }))
+    }
+
     /// Evaluates both circuits on one input and returns `|G - C|`.
     fn error_on(&self, input: &[bool]) -> u128 {
         let g = bits_to_u128(&self.golden.eval_comb(input));
@@ -257,12 +336,35 @@ impl<'a> CombAnalyzer<'a> {
             },
             |r| Some(CachedResult::Wide(*r)),
             || {
+                // The static tier first: a pinned interval is the exact
+                // value with no solver launched at all; an open one
+                // still shrinks the search window and sweeps the miter.
+                if self.static_tier_active() {
+                    let abs = abs_diff_word_miter(self.golden, self.candidate);
+                    let (abs_swept, bounds) = self.screen_word_miter(&abs);
+                    if let Some(b) = &bounds {
+                        if b.is_exact() {
+                            axmc_obs::counter("absint.decided").inc();
+                            return Ok(static_report(b.interval.0));
+                        }
+                    }
+                    if self.options.backend == Backend::Static {
+                        return Self::static_undecided(bounds);
+                    }
+                    let window = self.merged_window(bounds.map(|b| b.interval));
+                    let (miter, _) =
+                        axmc_absint::sweep(&diff_word_miter(self.golden, self.candidate));
+                    return self.run_backend(
+                        |ctl| self.worst_case_error_sat(&miter, window, ctl),
+                        |ctl| self.bdd_word_max(&abs_swept, ctl),
+                    );
+                }
                 // The SAT search wants the signed difference word
                 // (comparators attach per probe); the BDD walk maximizes
                 // an unsigned word, so it gets the absolute-value form.
                 let miter = diff_word_miter(self.golden, self.candidate).compact();
                 self.run_backend(
-                    |ctl| self.worst_case_error_sat(&miter, ctl),
+                    |ctl| self.worst_case_error_sat(&miter, self.options.search_window, ctl),
                     |ctl| {
                         let abs = abs_diff_word_miter(self.golden, self.candidate).compact();
                         self.bdd_word_max(&abs, ctl)
@@ -277,6 +379,7 @@ impl<'a> CombAnalyzer<'a> {
     fn worst_case_error_sat(
         &self,
         miter: &Aig,
+        window: Option<(u128, u128)>,
         ctl: &ResourceCtl,
     ) -> Result<ErrorReport<u128>, AnalysisError> {
         let m = self.golden.num_outputs();
@@ -292,7 +395,7 @@ impl<'a> CombAnalyzer<'a> {
         self.arm_with(&mut solver, ctl);
         let true_lit = enc.lit(axmc_aig::Lit::TRUE);
         let mut sat_calls = 0u64;
-        let value = search_max_error("comb.wce", max, |t| {
+        let value = search_max_error_in("comb.wce", max, window, |t| {
             sat_calls += 1;
             let flag = gates::abs_diff_exceeds(&mut solver, &enc.outputs, t, true_lit);
             match solver.solve_with_assumptions(&[flag]) {
@@ -350,8 +453,25 @@ impl<'a> CombAnalyzer<'a> {
             |r| Some(CachedResult::Narrow(*r)),
             || {
                 let miter = popcount_word_miter(self.golden, self.candidate).compact();
+                if self.static_tier_active() {
+                    let (swept, bounds) = self.screen_word_miter(&miter);
+                    if let Some(b) = &bounds {
+                        if b.is_exact() {
+                            axmc_obs::counter("absint.decided").inc();
+                            return Ok(static_report(b.interval.0 as u32));
+                        }
+                    }
+                    if self.options.backend == Backend::Static {
+                        return Self::static_undecided(bounds);
+                    }
+                    let window = self.merged_window(bounds.map(|b| b.interval));
+                    return self.run_backend(
+                        |ctl| self.bit_flip_error_sat(&swept, window, ctl),
+                        |ctl| self.bdd_word_max(&swept, ctl).map(|v| v as u32),
+                    );
+                }
                 self.run_backend(
-                    |ctl| self.bit_flip_error_sat(&miter, ctl),
+                    |ctl| self.bit_flip_error_sat(&miter, self.options.search_window, ctl),
                     |ctl| self.bdd_word_max(&miter, ctl).map(|v| v as u32),
                 )
             },
@@ -363,6 +483,7 @@ impl<'a> CombAnalyzer<'a> {
     fn bit_flip_error_sat(
         &self,
         miter: &Aig,
+        window: Option<(u128, u128)>,
         ctl: &ResourceCtl,
     ) -> Result<ErrorReport<u32>, AnalysisError> {
         let max = self.golden.num_outputs() as u128;
@@ -370,7 +491,7 @@ impl<'a> CombAnalyzer<'a> {
         self.arm_with(&mut solver, ctl);
         let true_lit = enc.lit(axmc_aig::Lit::TRUE);
         let mut sat_calls = 0u64;
-        let value = search_max_error("comb.bit_flip", max, |t| {
+        let value = search_max_error_in("comb.bit_flip", max, window, |t| {
             sat_calls += 1;
             let flag = gates::ugt_const(&mut solver, &enc.outputs, t, true_lit);
             match solver.solve_with_assumptions(&[flag]) {
@@ -483,6 +604,9 @@ impl<'a> CombAnalyzer<'a> {
             );
         }
         match self.options.backend {
+            Backend::Static => {
+                unreachable!("the static tier decides Backend::Static before engine dispatch")
+            }
             Backend::Sat => {
                 axmc_obs::counter("engine.selected.sat").inc();
                 self.timed_sat(&self.options.ctl, &sat)
@@ -656,6 +780,16 @@ fn bdd_report<T>(value: T, _nodes: usize) -> ErrorReport<T> {
         sat_calls: 0,
         conflicts: 0,
         engine: EngineKind::Bdd,
+    }
+}
+
+/// An [`ErrorReport`] decided by the static tier: no solver launched.
+fn static_report<T>(value: T) -> ErrorReport<T> {
+    ErrorReport {
+        value,
+        sat_calls: 0,
+        conflicts: 0,
+        engine: EngineKind::Static,
     }
 }
 
@@ -1281,6 +1415,108 @@ mod tests {
                 other => panic!("{backend} jobs={jobs}: expected deadline, got {other:?}"),
             }
         }
+    }
+
+    #[test]
+    fn static_tier_decides_identical_pairs_without_a_solver() {
+        let golden = generators::ripple_carry_adder(8).to_aig();
+        let copy = golden.clone();
+        for backend in [Backend::Auto, Backend::Static] {
+            let report = CombAnalyzer::new(&golden, &copy)
+                .with_options(AnalysisOptions::new().with_backend(backend))
+                .worst_case_error()
+                .unwrap();
+            assert_eq!(report.value, 0, "{backend}");
+            assert_eq!(report.engine, EngineKind::Static, "{backend}");
+            assert_eq!(report.sat_calls, 0, "{backend}");
+            assert_eq!(report.conflicts, 0, "{backend}");
+            let flips = CombAnalyzer::new(&golden, &copy)
+                .with_options(AnalysisOptions::new().with_backend(backend))
+                .bit_flip_error()
+                .unwrap();
+            assert_eq!(flips.value, 0, "{backend}");
+            assert_eq!(flips.engine, EngineKind::Static, "{backend}");
+        }
+    }
+
+    #[test]
+    fn static_backend_reports_interval_when_undecided() {
+        let golden = generators::ripple_carry_adder(6).to_aig();
+        let candidate = approx::truncated_adder(6, 2).to_aig();
+        let exact = exhaustive_stats(&golden, &candidate).wce;
+        let analyzer = CombAnalyzer::new(&golden, &candidate)
+            .with_options(AnalysisOptions::new().with_backend(Backend::Static));
+        match analyzer.worst_case_error() {
+            Ok(report) => {
+                // The probe + abstraction may pin the value exactly.
+                assert_eq!(report.value, exact);
+                assert_eq!(report.engine, EngineKind::Static);
+            }
+            Err(AnalysisError::Interrupted(p)) => {
+                assert!(p.reason.is_none(), "static undecided has no interrupt");
+                assert!(p.known_low <= exact && exact <= p.known_high);
+            }
+            Err(other) => panic!("unexpected error: {other}"),
+        }
+    }
+
+    #[test]
+    fn static_threshold_queries_are_sound_and_cross_validated() {
+        let golden = generators::ripple_carry_adder(6).to_aig();
+        let candidate = approx::lower_or_adder(6, 3).to_aig();
+        let wce = exhaustive_stats(&golden, &candidate).wce;
+        let auto = CombAnalyzer::new(&golden, &candidate)
+            .with_options(AnalysisOptions::new().with_backend(Backend::Auto));
+        let sat = CombAnalyzer::new(&golden, &candidate);
+        for t in [0u128, wce / 2, wce.saturating_sub(1), wce, wce + 1, wce * 2] {
+            let got = auto.check_error_exceeds(t).unwrap();
+            let want = sat.check_error_exceeds(t).unwrap();
+            assert_eq!(got.is_proved(), want.is_proved(), "t={t}");
+            assert_eq!(got.is_refuted(), want.is_refuted(), "t={t}");
+            if let Verdict::Refuted { witness } = got {
+                let g = bits_to_u128(&golden.eval_comb(&witness));
+                let c = bits_to_u128(&candidate.eval_comb(&witness));
+                assert!(g.abs_diff(c) > t, "t={t}: witness must replay");
+            }
+        }
+    }
+
+    #[test]
+    fn auto_matches_solver_only_auto_with_the_tier_disabled() {
+        let width = 6;
+        let golden = generators::ripple_carry_adder(width).to_aig();
+        for candidate_nl in [
+            approx::truncated_adder(width, 2),
+            approx::lower_or_adder(width, 3),
+        ] {
+            let candidate = candidate_nl.to_aig();
+            let with_tier = CombAnalyzer::new(&golden, &candidate)
+                .with_options(AnalysisOptions::new().with_backend(Backend::Auto))
+                .worst_case_error()
+                .unwrap();
+            let without_tier = CombAnalyzer::new(&golden, &candidate)
+                .with_options(
+                    AnalysisOptions::new()
+                        .with_backend(Backend::Auto)
+                        .with_static_tier(false),
+                )
+                .worst_case_error()
+                .unwrap();
+            assert_eq!(with_tier.value, without_tier.value);
+        }
+    }
+
+    #[test]
+    fn seeded_search_window_is_honored_by_the_sat_backend() {
+        let golden = generators::ripple_carry_adder(6).to_aig();
+        let candidate = approx::truncated_adder(6, 2).to_aig();
+        let exact = exhaustive_stats(&golden, &candidate).wce;
+        // A certified window around the true value must not change it.
+        let report = CombAnalyzer::new(&golden, &candidate)
+            .with_options(AnalysisOptions::new().with_search_window(exact / 2 + 1, exact * 2))
+            .worst_case_error()
+            .unwrap();
+        assert_eq!(report.value, exact);
     }
 
     #[test]

@@ -36,8 +36,20 @@ pub enum Backend {
     /// Race both engines as a portfolio; the first sound result wins and
     /// the loser is cancelled. With a single worker the race degrades to
     /// a staged BDD-then-SAT schedule (the BDD attempt either finishes
-    /// fast or fails fast on its node budget).
+    /// fast or fails fast on its node budget). Before anything is
+    /// launched the static tier (ternary abstract interpretation plus
+    /// concrete probing, `axmc-absint`) is consulted: a query it decides
+    /// never touches a solver, and one it cannot decide proceeds on the
+    /// swept (reduced) miter with the certified interval seeding the
+    /// threshold-search window.
     Auto,
+    /// The static tier alone: ternary abstract interpretation, concrete
+    /// simulation probing, and nothing else. Queries it cannot decide
+    /// return `Interrupted` with the certified `[lo, hi]` interval as
+    /// the partial knowledge — no solver is ever launched. Intended for
+    /// analysis-only runs (`--engine static`) and as the explicit form
+    /// of the pre-screen [`Backend::Auto`] applies implicitly.
+    Static,
 }
 
 impl FromStr for Backend {
@@ -48,8 +60,9 @@ impl FromStr for Backend {
             "sat" => Ok(Backend::Sat),
             "bdd" => Ok(Backend::Bdd),
             "auto" => Ok(Backend::Auto),
+            "static" => Ok(Backend::Static),
             other => Err(format!(
-                "unknown engine '{other}' (expected sat, bdd or auto)"
+                "unknown engine '{other}' (expected sat, bdd, auto or static)"
             )),
         }
     }
@@ -61,6 +74,7 @@ impl fmt::Display for Backend {
             Backend::Sat => "sat",
             Backend::Bdd => "bdd",
             Backend::Auto => "auto",
+            Backend::Static => "static",
         })
     }
 }
@@ -76,6 +90,9 @@ pub enum EngineKind {
     Sat,
     /// Produced by the BDD engine.
     Bdd,
+    /// Decided by the static tier (abstract interpretation + concrete
+    /// probing) with no solver launched at all.
+    Static,
 }
 
 impl fmt::Display for EngineKind {
@@ -83,6 +100,7 @@ impl fmt::Display for EngineKind {
         f.write_str(match self {
             EngineKind::Sat => "sat",
             EngineKind::Bdd => "bdd",
+            EngineKind::Static => "static",
         })
     }
 }
@@ -93,7 +111,7 @@ mod tests {
 
     #[test]
     fn backend_round_trips_through_strings() {
-        for b in [Backend::Sat, Backend::Bdd, Backend::Auto] {
+        for b in [Backend::Sat, Backend::Bdd, Backend::Auto, Backend::Static] {
             assert_eq!(b.to_string().parse::<Backend>().unwrap(), b);
         }
         assert!("cudd".parse::<Backend>().is_err());
@@ -109,5 +127,6 @@ mod tests {
     fn engine_kind_displays() {
         assert_eq!(EngineKind::Sat.to_string(), "sat");
         assert_eq!(EngineKind::Bdd.to_string(), "bdd");
+        assert_eq!(EngineKind::Static.to_string(), "static");
     }
 }

@@ -38,6 +38,18 @@ pub struct AnalysisOptions {
     /// before any solver work (see [`crate::cache`]). `None` (the
     /// default) computes every query.
     pub cache: Option<CacheHandle>,
+    /// Initial `[lo, hi]` window for the threshold bound searches, for
+    /// callers that already hold certified bounds (the static tier, a
+    /// previous interrupted run, a profile pass). `lo` must be a
+    /// *witnessed* (achievable) error value and `hi` a sound upper
+    /// bound; the search then skips probes outside the window. `None`
+    /// (the default) searches the full `[0, 2^w - 1]` range.
+    pub search_window: Option<(u128, u128)>,
+    /// Consult the static tier (ternary abstract interpretation +
+    /// concrete probing) before launching solvers under
+    /// [`Backend::Auto`]. On by default; disable to reproduce the
+    /// solver-only portfolio behaviour bit for bit.
+    pub static_tier: bool,
 }
 
 impl Default for AnalysisOptions {
@@ -50,6 +62,8 @@ impl Default for AnalysisOptions {
             backend: Backend::default(),
             bdd_node_limit: DEFAULT_BDD_NODE_LIMIT,
             cache: None,
+            search_window: None,
+            static_tier: true,
         }
     }
 }
@@ -130,6 +144,21 @@ impl AnalysisOptions {
         self
     }
 
+    /// Seeds the threshold bound searches with a certified `[lo, hi]`
+    /// window (`lo` witnessed, `hi` sound; `lo <= hi` required).
+    pub fn with_search_window(mut self, lo: u128, hi: u128) -> Self {
+        assert!(lo <= hi, "search window {lo}..{hi} is inverted");
+        self.search_window = Some((lo, hi));
+        self
+    }
+
+    /// Enables or disables the static pre-analysis tier under
+    /// [`Backend::Auto`].
+    pub fn with_static_tier(mut self, on: bool) -> Self {
+        self.static_tier = on;
+        self
+    }
+
     /// The effective portfolio width (at least 1).
     pub fn effective_jobs(&self) -> usize {
         self.jobs.max(1)
@@ -159,6 +188,22 @@ mod tests {
     fn zero_jobs_means_serial() {
         assert_eq!(AnalysisOptions::new().effective_jobs(), 1);
         assert_eq!(AnalysisOptions::new().with_jobs(0).jobs, 1);
+    }
+
+    #[test]
+    fn search_window_and_static_tier_builders() {
+        let opts = AnalysisOptions::new();
+        assert_eq!(opts.search_window, None);
+        assert!(opts.static_tier, "static tier is on by default");
+        let opts = opts.with_search_window(3, 17).with_static_tier(false);
+        assert_eq!(opts.search_window, Some((3, 17)));
+        assert!(!opts.static_tier);
+    }
+
+    #[test]
+    #[should_panic(expected = "inverted")]
+    fn inverted_search_window_panics() {
+        let _ = AnalysisOptions::new().with_search_window(5, 2);
     }
 
     #[test]

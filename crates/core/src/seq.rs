@@ -24,9 +24,9 @@
 //! [`AnalysisError::Interrupted`] (or an `Interrupted` [`Verdict`]) whose
 //! payload carries the tightest certified bounds reached so far.
 
-use crate::bound_search::search_max_error_batched;
+use crate::bound_search::{search_max_error_batched, search_max_error_batched_in};
 use crate::cache::{cached, metric, CachedResult, QueryKey};
-use crate::engine::EngineKind;
+use crate::engine::{Backend, EngineKind};
 use crate::options::AnalysisOptions;
 use crate::report::{AnalysisError, ErrorProfile, ErrorReport, Partial};
 use crate::verdict::Verdict;
@@ -72,7 +72,15 @@ impl ThresholdEngine {
         } else {
             miter.compact()
         };
-        let mut unroller = Unroller::new(miter);
+        // With the static tier on, the product machine is additionally
+        // swept by the ternary fixpoint before encoding: an
+        // equisatisfiable interface-preserving reduction, so every probe
+        // verdict is unchanged while each BMC frame encodes fewer gates.
+        let mut unroller = if options.static_tier {
+            Unroller::new_reduced(miter).0
+        } else {
+            Unroller::new(miter)
+        };
         unroller.set_ctl(options.ctl.clone());
         unroller.set_certify(options.certify);
         ThresholdEngine { unroller, kind }
@@ -242,6 +250,22 @@ impl<'a> SeqAnalyzer<'a> {
         self
     }
 
+    /// Whether the static pre-analysis tier runs before solver work.
+    fn static_tier_active(&self) -> bool {
+        self.options.static_tier || self.options.backend == Backend::Static
+    }
+
+    /// Certified `[lo, hi]` interval on a sequential miter's unsigned
+    /// output word over **every** reachable cycle, from the converged
+    /// ternary fixpoint (latch values over-approximated from reset).
+    /// `None` when the word is too wide to bound. The bits proven
+    /// constant hold in all reachable states, so `lo` is attained in
+    /// every cycle of every run and `hi` is a sound ceiling at any
+    /// horizon.
+    fn static_word_interval(miter: &Aig) -> Option<(u128, u128)> {
+        axmc_absint::TernaryAnalysis::fixpoint(miter).output_interval(miter)
+    }
+
     /// One warmed-up engine per portfolio lane, all starting from the
     /// same encoded product machine.
     fn engine_pool(&self, prototype: ThresholdEngine) -> Vec<ThresholdEngine> {
@@ -339,6 +363,15 @@ impl<'a> SeqAnalyzer<'a> {
                 done => Some(CachedResult::SeqVerdict(done.clone())),
             },
             || {
+                if self.static_tier_active() {
+                    let miter = sequential_diff_word_miter(self.golden, self.approx);
+                    if Self::static_word_interval(&miter) == Some((0, 0)) {
+                        // The difference word is statically zero in every
+                        // reachable cycle: no threshold can be exceeded.
+                        axmc_obs::counter("absint.decided").inc();
+                        return Ok(Verdict::Proved);
+                    }
+                }
                 let mut engine = self.diff_engine();
                 engine.probe(threshold, k)
             },
@@ -393,6 +426,29 @@ impl<'a> SeqAnalyzer<'a> {
                 } else {
                     (1u128 << m) - 1
                 };
+                if self.static_tier_active() {
+                    // The diff word is signed, so only the all-bits-zero
+                    // ceiling is a certified |error| bound — but that one
+                    // case decides the query with no solver at all.
+                    let miter = sequential_diff_word_miter(self.golden, self.approx);
+                    if Self::static_word_interval(&miter) == Some((0, 0)) {
+                        axmc_obs::counter("absint.decided").inc();
+                        return Ok(ErrorReport {
+                            value: 0,
+                            sat_calls: 0,
+                            conflicts: 0,
+                            engine: EngineKind::Static,
+                        });
+                    }
+                    if self.options.backend == Backend::Static {
+                        return Err(AnalysisError::Interrupted(Partial {
+                            reason: None,
+                            known_low: 0,
+                            known_high: max,
+                            completed_bound: None,
+                        }));
+                    }
+                }
                 let mut engines = self.engine_pool(self.diff_engine());
                 let sat_calls = AtomicU64::new(0);
                 let value = search_max_error_batched("seq.wce", max, engines.len(), |ts| {
@@ -441,26 +497,66 @@ impl<'a> SeqAnalyzer<'a> {
             |r| Some(CachedResult::Narrow(*r)),
             || {
                 let max = self.golden.num_outputs() as u128;
+                let miter = sequential_popcount_word_miter(self.golden, self.approx);
+                let mut window = None;
+                if self.static_tier_active() {
+                    // The popcount word is unsigned, so the full ternary
+                    // interval seeds the search window; a pinned interval
+                    // decides the query outright.
+                    if let Some((lo, hi)) = Self::static_word_interval(&miter) {
+                        if lo == hi {
+                            axmc_obs::counter("absint.decided").inc();
+                            return Ok(ErrorReport {
+                                value: lo as u32,
+                                sat_calls: 0,
+                                conflicts: 0,
+                                engine: EngineKind::Static,
+                            });
+                        }
+                        if self.options.backend == Backend::Static {
+                            return Err(AnalysisError::Interrupted(Partial {
+                                reason: None,
+                                known_low: lo,
+                                known_high: hi.min(max),
+                                completed_bound: None,
+                            }));
+                        }
+                        window = Some((lo, hi));
+                    } else if self.options.backend == Backend::Static {
+                        return Err(AnalysisError::Interrupted(Partial {
+                            reason: None,
+                            known_low: 0,
+                            known_high: max,
+                            completed_bound: None,
+                        }));
+                    }
+                }
                 let mut engines = self.engine_pool(ThresholdEngine::new(
-                    sequential_popcount_word_miter(self.golden, self.approx),
+                    miter,
                     WordKind::Unsigned,
                     &self.options,
                 ));
                 let sat_calls = AtomicU64::new(0);
-                let value = search_max_error_batched("seq.bit_flip", max, engines.len(), |ts| {
-                    axmc_par::parallel_zip_mut(&mut engines, ts, |_, engine, &t| {
-                        sat_calls.fetch_add(1, Ordering::Relaxed);
-                        Ok(engine.probe(t, k)?.map(|trace| {
-                            let og = trace.replay(self.golden);
-                            let oc = trace.replay(self.approx);
-                            og.iter()
-                                .zip(&oc)
-                                .map(|(g, c)| (bits_to_u128(g) ^ bits_to_u128(c)).count_ones())
-                                .max()
-                                .unwrap_or(0) as u128
-                        }))
-                    })
-                })?;
+                let value = search_max_error_batched_in(
+                    "seq.bit_flip",
+                    max,
+                    engines.len(),
+                    window,
+                    |ts| {
+                        axmc_par::parallel_zip_mut(&mut engines, ts, |_, engine, &t| {
+                            sat_calls.fetch_add(1, Ordering::Relaxed);
+                            Ok(engine.probe(t, k)?.map(|trace| {
+                                let og = trace.replay(self.golden);
+                                let oc = trace.replay(self.approx);
+                                og.iter()
+                                    .zip(&oc)
+                                    .map(|(g, c)| (bits_to_u128(g) ^ bits_to_u128(c)).count_ones())
+                                    .max()
+                                    .unwrap_or(0) as u128
+                            }))
+                        })
+                    },
+                )?;
                 Ok(ErrorReport {
                     value: value as u32,
                     sat_calls: sat_calls.into_inner(),
@@ -861,6 +957,46 @@ mod tests {
         assert_eq!(e.cycle, Some(1));
         let trace = e.trace.unwrap();
         assert!(analyzer.trace_error(&trace) > 0);
+    }
+
+    #[test]
+    fn seq_static_tier_decides_statically_zero_pairs() {
+        // A combinational pair analyzed sequentially: the shared-input
+        // product machine strash-merges the identical cones, the diff
+        // word folds to zero, and the ternary fixpoint certifies it —
+        // no unrolling, no solver.
+        let golden = generators::ripple_carry_adder(4).to_aig();
+        let copy = golden.clone();
+        let analyzer = SeqAnalyzer::new(&golden, &copy);
+        let wce = analyzer.worst_case_error_at(3).unwrap();
+        assert_eq!(wce.value, 0);
+        assert_eq!(wce.engine, EngineKind::Static);
+        assert_eq!(wce.sat_calls, 0);
+        let flips = analyzer.bit_flip_error_at(3).unwrap();
+        assert_eq!(flips.value, 0);
+        assert_eq!(flips.engine, EngineKind::Static);
+        assert!(analyzer.check_error_exceeds(0, 5).unwrap().is_proved());
+    }
+
+    #[test]
+    fn seq_static_tier_preserves_solver_verdicts() {
+        // The reduced (swept) product machine and the seeded bit-flip
+        // window must not change any metric value.
+        let golden = accumulator(&generators::ripple_carry_adder(4), 4);
+        let apx = accumulator(&approx::truncated_adder(4, 2), 4);
+        let with_tier = SeqAnalyzer::new(&golden, &apx);
+        let without_tier = SeqAnalyzer::new(&golden, &apx)
+            .with_options(AnalysisOptions::new().with_static_tier(false));
+        for k in [0usize, 1, 3] {
+            let a = with_tier.worst_case_error_at(k).unwrap();
+            let b = without_tier.worst_case_error_at(k).unwrap();
+            assert_eq!(a.value, b.value, "wce@{k}");
+            assert_eq!(
+                with_tier.bit_flip_error_at(k).unwrap().value,
+                without_tier.bit_flip_error_at(k).unwrap().value,
+                "bit_flip@{k}"
+            );
+        }
     }
 
     #[test]

@@ -293,14 +293,21 @@ impl Server {
     /// Loads (or reuses) a parsed circuit by path. Parsed AIGs are kept
     /// for the server's lifetime — batch traffic re-references the same
     /// few library files over and over.
+    ///
+    /// Each circuit is **statically reduced** (ternary-fixpoint sweep)
+    /// once at load time, so every downstream cache key is computed on
+    /// the reduced fingerprint: structurally different files that sweep
+    /// to the same circuit share one cache entry, and every analysis
+    /// runs on the smaller equisatisfiable form. The interface is
+    /// preserved exactly, so witnesses replay unchanged.
     fn circuit(&self, path: &str) -> Result<Arc<Aig>, String> {
         if let Some(hit) = self.circuits.lock().expect("store poisoned").get(path) {
             return Ok(Arc::clone(hit));
         }
         let text =
             std::fs::read_to_string(path).map_err(|e| format!("cannot read '{path}': {e}"))?;
-        let aig =
-            Arc::new(aiger::from_ascii(&text).map_err(|e| format!("cannot parse '{path}': {e}"))?);
+        let parsed = aiger::from_ascii(&text).map_err(|e| format!("cannot parse '{path}': {e}"))?;
+        let aig = Arc::new(axmc_absint::sweep(&parsed).0);
         self.circuits
             .lock()
             .expect("store poisoned")

@@ -141,6 +141,61 @@ serve_smoke() {
 }
 serve_smoke
 
+# Static-tier smoke: a self-pair is decidable by the abstract
+# interpretation tier alone, so `--engine static` must report both
+# metrics as statically decided and the --metrics table must show the
+# tier's counters and *no* solver activity at all (no sat.solve/bdd
+# entries). An undecided query must still exit 0 with a certified
+# interval instead of guessing.
+static_smoke() {
+    echo "== static tier smoke =="
+    local dir
+    dir=$(mktemp -d)
+    cargo run --release --offline --bin axmc -- \
+        gen --kind adder --width 8 --out "$dir/g.aag"
+    cargo run --release --offline --bin axmc -- \
+        analyze --golden "$dir/g.aag" --approx "$dir/g.aag" \
+        --engine static --metrics >"$dir/static.txt"
+    grep -q "worst-case error.*: 0 (decided statically, no solver)" "$dir/static.txt" \
+        || { echo "self-pair WCE not decided statically"; exit 1; }
+    grep -q "bit-flip error.*: 0 (decided statically, no solver)" "$dir/static.txt" \
+        || { echo "self-pair bit-flip not decided statically"; exit 1; }
+    grep -q "absint.decided" "$dir/static.txt" \
+        || { echo "absint.decided counter missing from --metrics"; exit 1; }
+    grep -q "absint.reduced_nodes" "$dir/static.txt" \
+        || { echo "absint.reduced_nodes counter missing from --metrics"; exit 1; }
+    ! grep -Eq "sat\.solve|bdd\." "$dir/static.txt" \
+        || { echo "a solver ran on a statically decided query"; exit 1; }
+    cargo run --release --offline --bin axmc -- \
+        gen --kind loa-adder --width 8 --param 4 --out "$dir/c.aag"
+    cargo run --release --offline --bin axmc -- \
+        analyze --golden "$dir/g.aag" --approx "$dir/c.aag" \
+        --engine static >"$dir/undecided.txt" \
+        || { echo "undecided static query must still exit 0"; exit 1; }
+    grep -Eq "decided statically|certified interval" "$dir/undecided.txt" \
+        || { echo "undecided query reported neither value nor interval"; exit 1; }
+    rm -rf "$dir"
+}
+static_smoke
+
+# Throughput gate for the static tier's costliest consumer: the T5
+# harness (CGP evaluations/second — every candidate now passes the
+# static pre-screen before a solver sees it) must not regress against
+# the committed quick-scale baseline. Same generous threshold philosophy
+# as the obs gate: this catches order-of-magnitude cliffs, not noise.
+t5_gate() {
+    echo "== T5 threshold-search bench gate =="
+    local dir
+    dir=$(mktemp -d)
+    AXMC_METRICS_DIR="$dir" run cargo run --release --offline \
+        -p axmc-bench --bin table5_evals_per_sec
+    cargo run --release --offline --bin axmc -- \
+        bench-diff --base bench_results/t5_baseline_metrics.quick.json \
+        --new "$dir/T5_metrics.quick.json" --threshold 2000 --min-ms 50
+    rm -rf "$dir"
+}
+t5_gate
+
 # The certified-solve suite (DRAT proof logging + in-tree checker,
 # including the corrupted-proof rejection paths), in both feature
 # configurations.

@@ -153,7 +153,7 @@ axmc — precise error determination of approximated components with model check
 
 USAGE:
   axmc analyze --golden G.aag --approx C.aag [--horizon K] [--jobs N]
-               [--engine sat|bdd|auto] [--timeout D] [--query-timeout D]
+               [--engine sat|bdd|auto|static] [--timeout D] [--query-timeout D]
                [--prove] [--average] [--certify] [--vcd F.vcd]
                [--metrics] [--trace F.jsonl] [--run-dir DIR]
       Exact worst-case / bit-flip error of C against G. Sequential pairs
@@ -176,10 +176,13 @@ USAGE:
       Structural statistics of an AIGER circuit.
 
   axmc lint [--circuit C.aag] [--suite]
-      Structural well-formedness linting. --circuit lints one AIGER file;
+      Structural and semantic linting. --circuit lints one AIGER file;
       --suite lints every shipped sequential benchmark pair and the whole
-      approximate component library. Exits nonzero if any error-severity
-      diagnostic is found (warnings alone do not fail the run).
+      approximate component library. AIGs additionally get the semantic
+      rules (ABS001 constant gate in the output cone, ABS002 constant
+      output, ABS003 latch never toggles) from the ternary fixpoint.
+      Exits nonzero if any error-severity diagnostic is found (warnings
+      alone do not fail the run).
 
   axmc report (--run-dir DIR | --trace F.jsonl) [--flame F.txt]
       Reconstructs the hierarchical span tree from a recorded trace and
@@ -223,10 +226,18 @@ ENGINES:
                             the paper's engine and the default
                       bdd   exact ROBDD characteristic-function engine;
                             a node-budget blow-up degrades to SAT
-                      auto  portfolio: race both, first sound result
-                            wins, the loser is cancelled
-                    Both engines are exact — the numbers are identical
-                    for every choice. See docs/backends.md.
+                      auto  portfolio: consult the static tier (ternary
+                            abstract interpretation + concrete probing)
+                            first — a decided query launches no solver —
+                            then race both engines on the reduced miter,
+                            first sound result wins
+                      static  the static tier alone: certified interval
+                            bounds with no solver at all; undecided
+                            queries report their [lo, hi] interval
+                    The solver engines are exact — the numbers are
+                    identical for every choice; 'static' is exact when it
+                    decides and an interval otherwise. See
+                    docs/backends.md and docs/static-analysis.md.
 
 PARALLELISM:
   --jobs N          worker threads for candidate verification (evolve) and
@@ -617,7 +628,8 @@ fn ctl_flags(opts: &Flags) -> Result<ResourceCtl, String> {
     Ok(ctl)
 }
 
-/// Parses `--engine sat|bdd|auto` (default: sat — the paper's engine).
+/// Parses `--engine sat|bdd|auto|static` (default: sat — the paper's
+/// engine).
 fn engine_flag(opts: &Flags) -> Result<Backend, String> {
     match opts.get("engine") {
         None => Ok(Backend::Sat),
@@ -677,6 +689,29 @@ fn report_analysis_error(e: AnalysisError) -> CliError {
     CliError::from(e)
 }
 
+/// Prints one metric line for an analysis-only (`--engine static`) run:
+/// the statically decided exact value, or the certified `[lo, hi]`
+/// interval when the static tier alone cannot pin it.
+fn print_static_metric<T: std::fmt::Display>(
+    label: &str,
+    result: Result<axmc::ErrorReport<T>, AnalysisError>,
+) -> Result<(), CliError> {
+    match result {
+        Ok(r) => {
+            println!("{label}: {} (decided statically, no solver)", r.value);
+            Ok(())
+        }
+        Err(AnalysisError::Interrupted(p)) if p.reason.is_none() => {
+            println!(
+                "{label}: undecided, certified interval [{}, {}]",
+                p.known_low, p.known_high
+            );
+            Ok(())
+        }
+        Err(e) => Err(report_analysis_error(e)),
+    }
+}
+
 fn cmd_analyze(opts: &Flags) -> Result<(), CliError> {
     // Validate the cheap flags before touching the filesystem.
     let horizon: usize = numeric(opts, "horizon", 8)?;
@@ -698,6 +733,14 @@ fn cmd_analyze(opts: &Flags) -> Result<(), CliError> {
     if sequential {
         println!("sequential analysis (horizon {horizon} cycles, {jobs} jobs)");
         let analyzer = SeqAnalyzer::new(&golden, &approx).with_options(options);
+        if engine == Backend::Static {
+            print_static_metric(
+                "worst-case error@k   ",
+                analyzer.worst_case_error_at(horizon),
+            )?;
+            print_static_metric("bit-flip error@k     ", analyzer.bit_flip_error_at(horizon))?;
+            return Ok(());
+        }
         let earliest = analyzer
             .earliest_error(horizon + 1)
             .map_err(report_analysis_error)?;
@@ -752,6 +795,11 @@ fn cmd_analyze(opts: &Flags) -> Result<(), CliError> {
     } else {
         println!("combinational analysis (engine {engine})");
         let analyzer = CombAnalyzer::new(&golden, &approx).with_options(options);
+        if engine == Backend::Static {
+            print_static_metric("worst-case error     ", analyzer.worst_case_error())?;
+            print_static_metric("bit-flip error       ", analyzer.bit_flip_error())?;
+            return Ok(());
+        }
         let wce = analyzer.worst_case_error().map_err(report_analysis_error)?;
         println!(
             "worst-case error     : {} ({} probes, {} conflicts, via {})",
@@ -912,7 +960,7 @@ fn cmd_stats(opts: &Flags) -> Result<(), CliError> {
 }
 
 fn cmd_lint(opts: &Flags) -> Result<(), CliError> {
-    use axmc::check::{lint_aig, lint_netlist, lint_pair, Diagnostic, Severity};
+    use axmc::check::{lint_aig, lint_netlist, lint_pair, lint_semantics, Diagnostic, Severity};
     if !opts.contains_key("circuit") && !opts.contains_key("suite") {
         return Err("pass --circuit C.aag, --suite, or both".into());
     }
@@ -933,11 +981,20 @@ fn cmd_lint(opts: &Flags) -> Result<(), CliError> {
     if let Some(path) = opts.get("circuit") {
         let aig = load_aig(path)?;
         report(path, lint_aig(&aig));
+        report(path, lint_semantics(&aig));
     }
     if opts.contains_key("suite") {
         for pair in axmc::seq::suite::standard_suite(8) {
             report(&format!("{} (golden)", pair.name), lint_aig(&pair.golden));
             report(&format!("{} (approx)", pair.name), lint_aig(&pair.approx));
+            report(
+                &format!("{} (golden)", pair.name),
+                lint_semantics(&pair.golden),
+            );
+            report(
+                &format!("{} (approx)", pair.name),
+                lint_semantics(&pair.approx),
+            );
             report(&pair.name, lint_pair(&pair.golden, &pair.approx));
         }
         for width in [4, 8, 16] {

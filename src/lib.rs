@@ -15,6 +15,7 @@
 //! | Module | Crate | Contents |
 //! |---|---|---|
 //! | [`aig`] | `axmc-aig` | And-Inverter Graphs, word-level helpers, 64-way simulation, AIGER I/O |
+//! | [`absint`] | `axmc-absint` | Static pre-analysis: ternary abstract interpretation, interval bounds, structural sweeping |
 //! | [`sat`] | `axmc-sat` | CDCL SAT solver with assumptions and resource budgets |
 //! | [`cnf`] | `axmc-cnf` | CNF formulas, DIMACS, Tseitin encoding |
 //! | [`circuit`] | `axmc-circuit` | Gate-level netlists, exact generators, approximate component library |
@@ -54,6 +55,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub use axmc_absint as absint;
 pub use axmc_aig as aig;
 pub use axmc_bdd as bdd;
 pub use axmc_cgp as cgp;

@@ -1,0 +1,194 @@
+#![cfg(feature = "proptest-tests")]
+
+//! Property tests for the static pre-analysis tier (`axmc-absint`):
+//! the structural sweep must be equisatisfiable (identical outputs on
+//! 256 random vectors, pre vs post reduction), the ternary fixpoint must
+//! over-approximate every concrete run, and the certified word interval
+//! must bracket the true range.
+
+use axmc::absint::{semantic_facts, static_word_bounds, sweep, TernaryAnalysis};
+use axmc::aig::{bits_to_u128, Aig, Lit, Simulator};
+use proptest::prelude::*;
+
+/// A random combinational multi-output AIG over a handful of inputs.
+fn random_comb() -> impl Strategy<Value = Aig> {
+    (
+        1usize..=6, // inputs
+        proptest::collection::vec((any::<u32>(), any::<u32>(), any::<bool>(), 0u8..3), 4..24),
+        1usize..=4, // outputs
+    )
+        .prop_map(|(n_in, gates, n_out)| {
+            let mut aig = Aig::new();
+            let inputs = aig.add_inputs(n_in);
+            let mut nodes: Vec<Lit> = inputs.clone();
+            // A constant leaf gives the sweep something to fold.
+            nodes.push(Lit::FALSE);
+            for (a, b, neg, op) in gates {
+                let la = nodes[a as usize % nodes.len()];
+                let lb = nodes[b as usize % nodes.len()].negate_if(neg);
+                let y = match op {
+                    0 => aig.and(la, lb),
+                    1 => aig.or(la, lb),
+                    _ => aig.xor(la, lb),
+                };
+                nodes.push(y);
+            }
+            for k in 0..n_out {
+                aig.add_output(nodes[nodes.len() - 1 - (k % nodes.len())]);
+            }
+            aig
+        })
+}
+
+/// A random small sequential machine with a couple of latches and a
+/// multi-bit output word.
+fn random_seq() -> impl Strategy<Value = Aig> {
+    (
+        1usize..=3, // inputs
+        1usize..=3, // latches
+        proptest::collection::vec((any::<u32>(), any::<u32>(), any::<bool>(), 0u8..3), 4..20),
+        any::<bool>(), // freeze one latch?
+    )
+        .prop_map(|(n_in, n_latch, gates, freeze)| {
+            let mut aig = Aig::new();
+            let inputs = aig.add_inputs(n_in);
+            let latches: Vec<Lit> = (0..n_latch).map(|_| aig.add_latch(false)).collect();
+            let mut nodes: Vec<Lit> = inputs.iter().chain(latches.iter()).copied().collect();
+            for (a, b, neg, op) in gates {
+                let la = nodes[a as usize % nodes.len()];
+                let lb = nodes[b as usize % nodes.len()].negate_if(neg);
+                let y = match op {
+                    0 => aig.and(la, lb),
+                    1 => aig.or(la, lb),
+                    _ => aig.xor(la, lb),
+                };
+                nodes.push(y);
+            }
+            let n = nodes.len();
+            for k in 0..n_latch {
+                // Optionally freeze latch 0 so ABS003/frozen-latch
+                // rewrites actually fire on a fair share of cases.
+                let next = if freeze && k == 0 {
+                    latches[0]
+                } else {
+                    nodes[(n - 1 - k) % n]
+                };
+                aig.set_latch_next(k, next);
+            }
+            for k in 0..2usize.min(n) {
+                aig.add_output(nodes[n - 1 - k]);
+            }
+            aig
+        })
+}
+
+/// Deterministic xorshift input vectors (the proptest RNG shapes the
+/// circuit; the vector stream is fixed so failures replay exactly).
+fn vectors(n_in: usize, count: usize) -> Vec<Vec<bool>> {
+    let mut x = 0x9e37_79b9_7f4a_7c15u64;
+    (0..count)
+        .map(|_| {
+            (0..n_in)
+                .map(|_| {
+                    x ^= x << 13;
+                    x ^= x >> 7;
+                    x ^= x << 17;
+                    x & 1 == 1
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Runs a sequential circuit from reset over an input trace, returning
+/// the per-cycle output words (lane 0 of the 64-way simulator).
+fn run_seq(aig: &Aig, trace: &[Vec<bool>]) -> Vec<Vec<bool>> {
+    let mut sim = Simulator::new(aig);
+    trace
+        .iter()
+        .map(|inputs| {
+            let lanes: Vec<u64> = inputs.iter().map(|&b| b as u64).collect();
+            sim.step(&lanes).iter().map(|&o| o & 1 == 1).collect()
+        })
+        .collect()
+}
+
+/// Per-cycle latch states from reset over an input trace (the state
+/// *after* each step).
+fn run_states(aig: &Aig, trace: &[Vec<bool>]) -> Vec<Vec<bool>> {
+    let mut sim = Simulator::new(aig);
+    trace
+        .iter()
+        .map(|inputs| {
+            let lanes: Vec<u64> = inputs.iter().map(|&b| b as u64).collect();
+            sim.step(&lanes);
+            sim.state().iter().map(|&s| s & 1 == 1).collect()
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn sweep_is_equisatisfiable_on_comb_circuits(aig in random_comb()) {
+        let (swept, report) = sweep(&aig);
+        prop_assert_eq!(swept.num_inputs(), aig.num_inputs());
+        prop_assert_eq!(swept.num_outputs(), aig.num_outputs());
+        prop_assert!(report.nodes_after <= report.nodes_before);
+        for v in vectors(aig.num_inputs(), 256) {
+            prop_assert_eq!(
+                aig.eval_comb(&v),
+                swept.eval_comb(&v),
+                "sweep changed an output"
+            );
+        }
+    }
+
+    #[test]
+    fn sweep_is_equisatisfiable_on_seq_circuits(aig in random_seq()) {
+        let (swept, _) = sweep(&aig);
+        prop_assert_eq!(swept.num_latches(), aig.num_latches());
+        let n_in = aig.num_inputs();
+        for chunk in vectors(n_in, 256).chunks(8) {
+            prop_assert_eq!(
+                run_seq(&aig, chunk),
+                run_seq(&swept, chunk),
+                "sweep changed a sequential behaviour"
+            );
+        }
+    }
+
+    #[test]
+    fn ternary_fixpoint_over_approximates_every_run(aig in random_seq()) {
+        let analysis = TernaryAnalysis::fixpoint(&aig);
+        prop_assert!(analysis.converged());
+        let n_in = aig.num_inputs();
+        for chunk in vectors(n_in, 128).chunks(8) {
+            for state in run_states(&aig, chunk) {
+                for (k, &bit) in state.iter().enumerate() {
+                    if let Some(c) = analysis.latch_value(k).as_const() {
+                        prop_assert_eq!(c, bit, "latch {} left its proven constant", k);
+                    }
+                }
+            }
+        }
+        // Frozen-latch facts are a subset of the above, but check the
+        // reporting surface too.
+        for k in semantic_facts(&aig).frozen_latches {
+            prop_assert!(analysis.latch_value(k).is_const());
+        }
+    }
+
+    #[test]
+    fn word_interval_brackets_the_concrete_range(aig in random_comb()) {
+        if let Some(bounds) = static_word_bounds(&aig, 32) {
+            let (lo, hi) = bounds.interval;
+            for v in vectors(aig.num_inputs(), 256) {
+                let word = bits_to_u128(&aig.eval_comb(&v));
+                prop_assert!(word <= hi, "word {} above certified hi {}", word, hi);
+            }
+            prop_assert!(lo <= hi);
+        }
+    }
+}

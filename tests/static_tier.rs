@@ -1,0 +1,157 @@
+//! Soundness suite for the static pre-analysis tier (`axmc-absint`).
+//!
+//! Two non-negotiables from the tier's contract are checked here, across
+//! the whole shipped approximate-component library at exhaustively
+//! checkable widths:
+//!
+//! * every static `Proved`/`Refuted` verdict agrees bit for bit with the
+//!   SAT backend, the BDD backend, and exhaustive simulation;
+//! * `Backend::Auto` with the static tier enabled returns byte-identical
+//!   metric values to the solver-only portfolio (tier disabled).
+//!
+//! The companion property tests (`--features proptest-tests`) establish
+//! the same guarantees over *random* circuits: the structural sweep is
+//! equisatisfiable (256 random vectors agree pre/post reduction) and the
+//! certified interval always brackets the true worst-case error.
+
+use axmc::circuit::{approx, generators};
+use axmc::core::exhaustive_stats;
+use axmc::{AnalysisError, AnalysisOptions, Backend, CombAnalyzer, EngineKind, Verdict};
+
+/// Every adder pair in the library at a width small enough for an
+/// exhaustive ground truth.
+fn library_pairs(width: usize) -> Vec<(String, axmc::aig::Aig, axmc::aig::Aig)> {
+    let golden = generators::ripple_carry_adder(width).to_aig();
+    approx::adder_library(width)
+        .into_iter()
+        .map(|c| (c.name.clone(), golden.clone(), c.netlist.to_aig()))
+        .collect()
+}
+
+fn with_backend(backend: Backend, static_tier: bool) -> AnalysisOptions {
+    AnalysisOptions::new()
+        .with_backend(backend)
+        .with_static_tier(static_tier)
+}
+
+#[test]
+fn static_threshold_verdicts_cross_validate_against_both_solvers() {
+    for width in [4usize, 6] {
+        for (name, golden, candidate) in library_pairs(width) {
+            let truth = exhaustive_stats(&golden, &candidate).wce;
+            let thresholds = [
+                0u128,
+                truth / 2,
+                truth.saturating_sub(1),
+                truth,
+                truth + 1,
+                truth.saturating_mul(2) + 1,
+            ];
+            let static_only = CombAnalyzer::new(&golden, &candidate)
+                .with_options(with_backend(Backend::Static, true));
+            let sat = CombAnalyzer::new(&golden, &candidate)
+                .with_options(with_backend(Backend::Sat, false));
+            let bdd = CombAnalyzer::new(&golden, &candidate)
+                .with_options(with_backend(Backend::Bdd, false));
+            for t in thresholds {
+                let verdict = static_only.check_error_exceeds(t).unwrap();
+                let sat_v = sat.check_error_exceeds(t).unwrap();
+                let bdd_v = bdd.check_error_exceeds(t).unwrap();
+                // The solver backends must agree with each other and
+                // with the exhaustive ground truth.
+                assert_eq!(sat_v.is_refuted(), truth > t, "{name} w{width} t={t} (sat)");
+                assert_eq!(bdd_v.is_refuted(), truth > t, "{name} w{width} t={t} (bdd)");
+                // A static decision must match them; Interrupted means
+                // undecided, which is always allowed.
+                match verdict {
+                    Verdict::Proved => {
+                        assert!(truth <= t, "{name} w{width} t={t}: unsound static Proved")
+                    }
+                    Verdict::Refuted { witness } => {
+                        let g = axmc::aig::bits_to_u128(&golden.eval_comb(&witness));
+                        let c = axmc::aig::bits_to_u128(&candidate.eval_comb(&witness));
+                        assert!(
+                            g.abs_diff(c) > t,
+                            "{name} w{width} t={t}: static witness does not replay"
+                        );
+                    }
+                    Verdict::Interrupted { best_so_far } => {
+                        assert!(
+                            best_so_far.known_low <= truth && truth <= best_so_far.known_high,
+                            "{name} w{width} t={t}: certified interval excludes the truth"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn auto_with_static_tier_matches_solver_only_auto() {
+    for width in [4usize, 6] {
+        for (name, golden, candidate) in library_pairs(width) {
+            let tiered = CombAnalyzer::new(&golden, &candidate)
+                .with_options(with_backend(Backend::Auto, true));
+            let plain = CombAnalyzer::new(&golden, &candidate)
+                .with_options(with_backend(Backend::Auto, false));
+            assert_eq!(
+                tiered.worst_case_error().unwrap().value,
+                plain.worst_case_error().unwrap().value,
+                "{name} w{width} (wce)"
+            );
+            assert_eq!(
+                tiered.bit_flip_error().unwrap().value,
+                plain.bit_flip_error().unwrap().value,
+                "{name} w{width} (bit flip)"
+            );
+        }
+    }
+}
+
+#[test]
+fn static_interval_brackets_the_true_error_on_the_library() {
+    for width in [4usize, 6, 8] {
+        for (name, golden, candidate) in library_pairs(width) {
+            let truth = exhaustive_stats(&golden, &candidate).wce;
+            let analyzer = CombAnalyzer::new(&golden, &candidate)
+                .with_options(with_backend(Backend::Static, true));
+            match analyzer.worst_case_error() {
+                Ok(report) => {
+                    assert_eq!(report.value, truth, "{name} w{width}: static value wrong");
+                    assert_eq!(report.engine, EngineKind::Static, "{name} w{width}");
+                    assert_eq!(report.sat_calls, 0, "{name} w{width}: a solver ran");
+                }
+                Err(AnalysisError::Interrupted(p)) => {
+                    assert!(
+                        p.reason.is_none(),
+                        "{name} w{width}: not a static undecided"
+                    );
+                    assert!(
+                        p.known_low <= truth && truth <= p.known_high,
+                        "{name} w{width}: interval [{}, {}] excludes truth {truth}",
+                        p.known_low,
+                        p.known_high
+                    );
+                }
+                Err(other) => panic!("{name} w{width}: {other}"),
+            }
+        }
+    }
+}
+
+#[test]
+fn identical_pairs_never_touch_a_solver_under_auto() {
+    for width in [4usize, 8] {
+        let golden = generators::ripple_carry_adder(width).to_aig();
+        let copy = golden.clone();
+        let report = CombAnalyzer::new(&golden, &copy)
+            .with_options(with_backend(Backend::Auto, true))
+            .worst_case_error()
+            .unwrap();
+        assert_eq!(report.value, 0);
+        assert_eq!(report.engine, EngineKind::Static);
+        assert_eq!(report.sat_calls, 0);
+        assert_eq!(report.conflicts, 0);
+    }
+}
