@@ -9,7 +9,7 @@ use axmc_cnf::encode_comb;
 use axmc_miter::diff_threshold_miter;
 use axmc_rand::rngs::StdRng;
 use axmc_rand::SeedableRng;
-use axmc_sat::{Budget, SolveResult};
+use axmc_sat::{Budget, SolveResult, SolverConfig};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn bench_mutate_decode(c: &mut Criterion) {
@@ -56,7 +56,9 @@ fn bench_one_verification(c: &mut Criterion) {
             b.iter(|| {
                 let miter = diff_threshold_miter(g, g, threshold);
                 let (mut solver, enc) = encode_comb(&miter);
-                solver.set_budget(Budget::unlimited().with_conflicts(20_000));
+                let config =
+                    SolverConfig::new().with_budget(Budget::unlimited().with_conflicts(20_000));
+                solver.configure(&config);
                 assert_eq!(
                     solver.solve_with_assumptions(&[enc.outputs[0]]),
                     SolveResult::Unsat

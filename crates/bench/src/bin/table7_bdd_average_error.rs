@@ -107,7 +107,12 @@ fn main() {
         phases.phase(&format!("mul{w}"));
         let golden = generators::array_multiplier(w).to_aig();
         let cand = approx::truncated_multiplier(w, w / 2).to_aig();
-        let opts = options(Backend::Auto, jobs).with_bdd_node_limit(200_000);
+        // The multiplier WCE probes hammer one warm solver for seconds at
+        // a time — exactly the workload the between-solves inprocessing
+        // pass targets, so it is on here (verdicts are unaffected).
+        let opts = options(Backend::Auto, jobs)
+            .with_bdd_node_limit(200_000)
+            .with_inprocessing(true);
         let (report, ms) = timed(|| {
             CombAnalyzer::new(&golden, &cand)
                 .with_options(opts.clone())

@@ -14,10 +14,11 @@
 //!
 //! Each generation is bred **serially** (one RNG stream) and verified on
 //! a fleet of up to [`SearchOptions::jobs`] workers — every surviving
-//! candidate gets its own miter and solver — with the verdicts merged
-//! back in candidate order. A fixed seed therefore produces an identical
-//! search trajectory for every `jobs` value; parallelism only changes
-//! wall-clock time.
+//! candidate solves on its own clone of the run's prototype solver
+//! (`SatOracle`), which carries the golden cone pre-encoded — with the
+//! verdicts merged back in candidate order. A fixed seed therefore
+//! produces an identical search trajectory for every `jobs` value;
+//! parallelism only changes wall-clock time.
 //!
 //! The search is *anytime*: a wall-clock deadline or cancellation raised
 //! through [`SearchOptions::ctl`] stops the loop at the next generation
@@ -29,14 +30,14 @@
 //! into an abort.
 
 use crate::chromosome::Chromosome;
-use axmc_aig::Aig;
+use axmc_aig::{Aig, Lit as AigLit, Word};
 use axmc_circuit::{AreaModel, Netlist};
-use axmc_cnf::encode_comb;
+use axmc_cnf::{assert_const_false, encode_frame, extend_frame, FrameEncoding};
 use axmc_core::{exhaustive_stats, AnalysisError, Backend, DEFAULT_BDD_NODE_LIMIT};
-use axmc_miter::{abs_diff_word_miter, diff_threshold_miter};
+use axmc_miter::{abs_diff_word_miter, diff_exceeds, embed_comb};
 use axmc_rand::rngs::StdRng;
 use axmc_rand::SeedableRng;
-use axmc_sat::{Budget, Interrupt, ResourceCtl, SolveResult};
+use axmc_sat::{Budget, Interrupt, Lit as SatLit, ResourceCtl, SolveResult, Solver, SolverConfig};
 use std::time::{Duration, Instant};
 
 /// How a candidate's error constraint is checked.
@@ -370,6 +371,13 @@ pub fn evolve(golden: &Netlist, options: &SearchOptions) -> Result<SearchResult,
     let mut stats = SearchStats::default();
     let mut obs = SearchObs::new("comb", start, options.time_limit);
 
+    // The golden cone and the threshold comparator are candidate-invariant:
+    // encode them once, clone per acceptance query.
+    let oracle = match options.verifier {
+        Verifier::Sat { budget } => Some(SatOracle::new(&golden_aig, options, budget)),
+        Verifier::Simulation => None,
+    };
+
     let jobs = options.jobs.max(1);
     for generation in 0..options.max_generations {
         if let Some(reason) = options.ctl.interrupted() {
@@ -412,11 +420,12 @@ pub fn evolve(golden: &Netlist, options: &SearchOptions) -> Result<SearchResult,
             stats.verifier_calls += 1;
             candidates.push((child, netlist, area));
         }
-        // Verify on the fleet — each candidate gets its own miter and
-        // solver — and merge the verdicts in candidate order, so the
-        // accepted trajectory is byte-identical for every `jobs` value.
+        // Verify on the fleet — each candidate solves on its own clone of
+        // the shared prototype — and merge the verdicts in candidate
+        // order, so the accepted trajectory is byte-identical for every
+        // `jobs` value.
         let verdicts = axmc_par::parallel_map(jobs, &candidates, |_, (_, netlist, _)| {
-            verify(&golden_aig, netlist, options)
+            verify(&golden_aig, netlist, options, oracle.as_ref())
         });
         for ((child, _, area), verdict) in candidates.into_iter().zip(verdicts) {
             match verdict? {
@@ -525,10 +534,87 @@ fn static_prescreen(golden_aig: &Aig, cand_aig: &Aig, threshold: u128) -> Option
     }
 }
 
+/// The reusable SAT acceptance oracle of one evolutionary run.
+///
+/// The golden cone is the same for every candidate, so it is built and
+/// Tseitin-encoded **once**: into a prototype AIG (whose strash table it
+/// seeds) and a matching prototype [`Solver`]. Verifying a candidate
+/// clones both, strashes the candidate cone into the AIG clone — gates
+/// the mutation left untouched merge with the golden cone's, exactly as
+/// in [`axmc_miter::diff_threshold_miter`] — builds the
+/// `|int(G) - int(C)| > T` comparator on top, and then encodes only the
+/// genuinely new gates into the solver clone via
+/// [`axmc_cnf::extend_frame`]. The golden clauses travel as a flat copy,
+/// never re-encoded, and the strash merging keeps the equivalence probes
+/// as easy as a from-scratch miter.
+///
+/// Every candidate starts from a byte-identical clone of the same
+/// prototype, so verdicts do not depend on which worker runs them — the
+/// jobs-invariance of the search trajectory is preserved.
+pub(crate) struct SatOracle {
+    proto_aig: Aig,
+    proto: Solver,
+    frame: FrameEncoding,
+    /// AIG literals of the shared primary inputs inside `proto_aig`.
+    aig_inputs: Vec<AigLit>,
+    /// Golden output word inside `proto_aig`.
+    golden_out: Word,
+    threshold: u128,
+}
+
+impl SatOracle {
+    /// Embeds and encodes the golden cone into the prototype AIG/solver
+    /// pair. `budget` is the per-candidate solve budget (layered onto the
+    /// run's shared [`SearchOptions::ctl`]).
+    fn new(golden_aig: &Aig, options: &SearchOptions, budget: Budget) -> Self {
+        let mut proto_aig = Aig::new();
+        let aig_inputs = proto_aig.add_inputs(golden_aig.num_inputs());
+        let golden_out = Word::from_lits(embed_comb(&mut proto_aig, golden_aig, &aig_inputs));
+
+        let mut proto = Solver::with_config(
+            SolverConfig::new()
+                .with_ctl(options.ctl.clone().with_budget(budget))
+                .with_proof_logging(options.certify),
+        );
+        let const_false = assert_const_false(&mut proto);
+        let inputs: Vec<SatLit> = (0..proto_aig.num_inputs())
+            .map(|_| proto.new_var().positive())
+            .collect();
+        let frame = encode_frame(&proto_aig, &mut proto, &inputs, &[], const_false);
+        SatOracle {
+            proto_aig,
+            proto,
+            frame,
+            aig_inputs,
+            golden_out,
+            threshold: options.threshold,
+        }
+    }
+
+    /// One acceptance query: clones the prototype pair, strashes the
+    /// candidate cone and the threshold comparator into the AIG clone,
+    /// encodes the new gates into the solver clone, and solves under the
+    /// assumption that the error flag is raised. Returns the solver
+    /// alongside the verdict so certified callers can validate the proof.
+    fn check(&self, cand_aig: &Aig) -> (Solver, SolveResult) {
+        let mut aig = self.proto_aig.clone();
+        let cand_out = Word::from_lits(embed_comb(&mut aig, cand_aig, &self.aig_inputs));
+        let diff = self.golden_out.sub_signed(&mut aig, &cand_out);
+        let bad = diff_exceeds(&mut aig, &diff, self.threshold);
+
+        let mut solver = self.proto.clone();
+        let mut frame = self.frame.clone();
+        extend_frame(&aig, &mut solver, &mut frame);
+        let result = solver.solve_with_assumptions(&[frame.lit(bad)]);
+        (solver, result)
+    }
+}
+
 fn verify(
     golden_aig: &Aig,
     candidate: &Netlist,
     options: &SearchOptions,
+    oracle: Option<&SatOracle>,
 ) -> Result<CandidateVerdict, AnalysisError> {
     let _span = axmc_obs::span("cgp.verify.time_us");
     if options.static_prescreen {
@@ -553,15 +639,11 @@ fn verify(
         }
     }
     match options.verifier {
-        Verifier::Sat { budget } => {
+        Verifier::Sat { .. } => {
             let cand_aig = candidate.to_aig();
-            let miter = diff_threshold_miter(golden_aig, &cand_aig, options.threshold);
-            let (mut solver, enc) = encode_comb(&miter);
-            solver.set_ctl(options.ctl.clone().with_budget(budget));
-            if options.certify {
-                solver.set_proof_logging(true);
-            }
-            match solver.solve_with_assumptions(&[enc.outputs[0]]) {
+            let oracle = oracle.expect("the SAT verifier runs against a prebuilt oracle");
+            let (solver, result) = oracle.check(&cand_aig);
+            match result {
                 SolveResult::Unsat => {
                     if options.certify {
                         if let Err(e) = axmc_check::certify_unsat(&solver) {

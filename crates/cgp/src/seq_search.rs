@@ -22,7 +22,7 @@ use crate::search::{
 use axmc_aig::Aig;
 use axmc_circuit::Netlist;
 use axmc_core::AnalysisError;
-use axmc_mc::{Bmc, BmcResult};
+use axmc_mc::{Bmc, BmcOptions, BmcResult};
 use axmc_miter::sequential_diff_miter;
 use axmc_rand::rngs::StdRng;
 use axmc_rand::SeedableRng;
@@ -189,9 +189,10 @@ fn verify_in_context(
     let _span = axmc_obs::span("cgp.verify.time_us");
     let system = (context.build)(netlist);
     let miter = sequential_diff_miter(golden_system, &system, options.threshold);
-    let mut bmc = Bmc::new(&miter);
-    bmc.set_ctl(options.ctl.clone().with_budget(context.budget));
-    bmc.set_certify(options.certify);
+    let bmc_options = BmcOptions::new()
+        .with_ctl(options.ctl.clone().with_budget(context.budget))
+        .with_certify(options.certify);
+    let mut bmc = Bmc::with_options(&miter, &bmc_options);
     match bmc.check_any_up_to(context.horizon) {
         Ok(BmcResult::Clear) => Ok(CandidateVerdict::WithinBound),
         Ok(BmcResult::Cex(_)) => Ok(CandidateVerdict::Violation),

@@ -525,12 +525,16 @@ pub fn parse_drat(text: &str) -> Result<Vec<ProofStep>, ParseDratError> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use axmc_sat::{SolveResult, Var};
+    use axmc_sat::{SolveResult, SolverConfig, Var};
+
+    /// A fresh solver with proof logging armed from the start.
+    fn logging_solver() -> Solver {
+        Solver::with_config(SolverConfig::new().with_proof_logging(true))
+    }
 
     fn pigeonhole(n: usize, h: usize) -> Solver {
-        let mut s = Solver::new();
+        let mut s = logging_solver();
         let vars: Vec<Var> = (0..n * h).map(|_| s.new_var()).collect();
-        s.set_proof_logging(true);
         let p = |i: usize, j: usize| vars[i * h + j].positive();
         for i in 0..n {
             let holes: Vec<Lit> = (0..h).map(|j| p(i, j)).collect();
@@ -557,9 +561,8 @@ mod tests {
 
     #[test]
     fn accepts_assumption_core() {
-        let mut s = Solver::new();
+        let mut s = logging_solver();
         let v: Vec<Var> = (0..3).map(|_| s.new_var()).collect();
-        s.set_proof_logging(true);
         s.add_clause(&[v[0].negative(), v[1].positive()]);
         s.add_clause(&[v[1].negative(), v[2].positive()]);
         assert_eq!(
@@ -572,9 +575,8 @@ mod tests {
 
     #[test]
     fn accepts_contradictory_assumptions() {
-        let mut s = Solver::new();
+        let mut s = logging_solver();
         let x = s.new_var();
-        s.set_proof_logging(true);
         assert_eq!(
             s.solve_with_assumptions(&[x.positive(), x.negative()]),
             SolveResult::Unsat
@@ -584,9 +586,8 @@ mod tests {
 
     #[test]
     fn no_certificate_for_sat_answers() {
-        let mut s = Solver::new();
+        let mut s = logging_solver();
         let x = s.new_var();
-        s.set_proof_logging(true);
         s.add_clause(&[x.positive()]);
         assert_eq!(s.solve(), SolveResult::Sat);
         assert_eq!(certify_unsat(&s), Err(CertifyError::NoCertificate));
@@ -644,9 +645,8 @@ mod tests {
 
     #[test]
     fn rejects_conclusion_literal_outside_assumptions() {
-        let mut s = Solver::new();
+        let mut s = logging_solver();
         let v: Vec<Var> = (0..2).map(|_| s.new_var()).collect();
-        s.set_proof_logging(true);
         s.add_clause(&[v[0].negative(), v[1].positive()]);
         assert_eq!(
             s.solve_with_assumptions(&[v[0].positive(), v[1].negative()]),

@@ -9,7 +9,7 @@
 //! * **Certified UNSAT** ([`drat`]): a forward RUP/DRAT checker that
 //!   independently validates the clausal proofs recorded by a
 //!   proof-logging [`axmc_sat::Solver`] (see
-//!   [`axmc_sat::Solver::set_proof_logging`]). The checker re-derives
+//!   [`axmc_sat::SolverConfig::with_proof_logging`]). The checker re-derives
 //!   every learnt clause by reverse unit propagation and finally verifies
 //!   the concluded clause — including assumption cores for incremental
 //!   BMC queries. [`certify_unsat`] is the one-call entry point the
@@ -25,12 +25,11 @@
 //! Certify a small refutation end to end:
 //!
 //! ```
-//! use axmc_sat::{Solver, SolveResult};
+//! use axmc_sat::{Solver, SolverConfig, SolveResult};
 //! use axmc_check::certify_unsat;
 //!
-//! let mut solver = Solver::new();
+//! let mut solver = Solver::with_config(SolverConfig::new().with_proof_logging(true));
 //! let x = solver.new_var().positive();
-//! solver.set_proof_logging(true);
 //! solver.add_clause(&[x]);
 //! solver.add_clause(&[!x]);
 //! assert_eq!(solver.solve(), SolveResult::Unsat);

@@ -40,4 +40,6 @@ pub mod sweep;
 mod tseitin;
 
 pub use crate::formula::{Cnf, ParseDimacsError};
-pub use crate::tseitin::{assert_const_false, encode_comb, encode_frame, FrameEncoding};
+pub use crate::tseitin::{
+    assert_const_false, encode_comb, encode_frame, extend_frame, FrameEncoding,
+};

@@ -15,7 +15,7 @@
 //! for sequential circuits as well.
 
 use axmc_aig::{Aig, Lit as AigLit, Node};
-use axmc_sat::{Budget, Lit as SatLit, SolveResult, Solver};
+use axmc_sat::{Budget, Lit as SatLit, SolveResult, Solver, SolverConfig};
 use std::collections::HashMap;
 
 /// Options controlling [`fraig`].
@@ -116,8 +116,7 @@ pub fn fraig(aig: &Aig, options: &SweepOptions) -> (Aig, SweepStats) {
 
     // --- 2. Rebuild, proving candidate equivalences on the fly. ---
     let mut out = Aig::new();
-    let mut solver = Solver::new();
-    solver.set_budget(options.budget);
+    let mut solver = Solver::with_config(SolverConfig::new().with_budget(options.budget));
     let const_false_sat = {
         let f = solver.new_var().positive();
         solver.add_clause(&[!f]);

@@ -97,6 +97,51 @@ pub fn encode_frame(
     }
 }
 
+/// Extends a previously encoded frame with the nodes `aig` has gained
+/// since the frame was produced — the incremental counterpart of
+/// [`encode_frame`] for callers that grow one AIG across queries. The CGP
+/// oracle is the motivating case: the golden circuit is encoded once into
+/// a prototype solver, and each candidate is strashed into a clone of the
+/// prototype AIG, so only the candidate's genuinely new gates reach the
+/// solver here.
+///
+/// Only AND gates may appear past the already-encoded prefix; inputs and
+/// latches must be part of the original encoding. The frame's `outputs`
+/// and `latch_next` literals are recomputed from the AIG's current
+/// interface, and [`FrameEncoding::lit`] answers for the new nodes.
+///
+/// # Panics
+///
+/// Panics if `frame` covers more nodes than `aig` has (the AIG must be an
+/// extension of the one originally encoded), or if a node past the prefix
+/// is an input or latch.
+pub fn extend_frame(aig: &Aig, solver: &mut Solver, frame: &mut FrameEncoding) {
+    let encoded = frame.node_lits.len();
+    assert!(
+        encoded <= aig.num_nodes(),
+        "frame covers more nodes than the AIG"
+    );
+    for (_, node) in aig.iter().skip(encoded) {
+        let lit = match node {
+            Node::And(a, b) => {
+                let la = frame.node_lits[a.var().index() as usize].xor_sign(a.is_negated());
+                let lb = frame.node_lits[b.var().index() as usize].xor_sign(b.is_negated());
+                let y = solver.new_var().positive();
+                solver.add_clause(&[!y, la]);
+                solver.add_clause(&[!y, lb]);
+                solver.add_clause(&[y, !la, !lb]);
+                y
+            }
+            Node::Const | Node::Input(_) | Node::Latch(_) => {
+                panic!("extend_frame: only AND gates may follow the encoded prefix")
+            }
+        };
+        frame.node_lits.push(lit);
+    }
+    frame.outputs = aig.outputs().iter().map(|o| frame.lit(*o)).collect();
+    frame.latch_next = aig.latches().iter().map(|l| frame.lit(l.next)).collect();
+}
+
 /// Creates (and asserts) a solver literal that is always false, for use as
 /// the `const_false` argument of [`encode_frame`].
 pub fn assert_const_false(solver: &mut Solver) -> SatLit {
@@ -160,6 +205,37 @@ mod tests {
         assert_eq!(solver.solve(), SolveResult::Sat);
         assert_eq!(solver.model_lit(enc.inputs[0]), Some(true));
         assert_eq!(solver.model_lit(enc.inputs[1]), Some(true));
+    }
+
+    #[test]
+    fn extend_frame_encodes_only_new_gates() {
+        let mut aig = Aig::new();
+        let a = aig.add_input();
+        let b = aig.add_input();
+        let x = aig.and(a, b);
+        aig.add_output(x);
+
+        let (mut solver, mut enc) = encode_comb(&aig);
+        let encoded_vars = enc.node_lits.len();
+
+        // Grow the AIG: a strash hit (no new gate) plus a genuinely new
+        // XOR cone, re-pointing the interface at the new root.
+        let same = aig.and(a, b);
+        assert_eq!(same, x, "strash must reuse the existing gate");
+        let y = aig.xor(x, a);
+        aig.set_outputs(vec![y]);
+
+        extend_frame(&aig, &mut solver, &mut enc);
+        assert_eq!(enc.node_lits.len(), aig.num_nodes());
+        assert!(enc.node_lits.len() > encoded_vars);
+
+        // y = (a & b) ^ a is true iff a & !b.
+        solver.add_clause(&[enc.outputs[0]]);
+        assert_eq!(solver.solve(), SolveResult::Sat);
+        assert_eq!(solver.model_lit(enc.inputs[0]), Some(true));
+        assert_eq!(solver.model_lit(enc.inputs[1]), Some(false));
+        solver.add_clause(&[enc.inputs[1]]);
+        assert_eq!(solver.solve(), SolveResult::Unsat);
     }
 
     #[test]

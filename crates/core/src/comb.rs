@@ -22,7 +22,7 @@ use axmc_miter::{
     abs_diff_word_miter, bit_flip_threshold_miter, diff_threshold_miter, diff_word_miter,
     nth_bit_miter, popcount_word_miter,
 };
-use axmc_sat::{Budget, CancelToken, Interrupt, ResourceCtl, SolveResult, Solver};
+use axmc_sat::{CancelToken, Interrupt, ResourceCtl, SolveResult, Solver};
 use std::time::Instant;
 
 /// Widest input count the exhaustive-sweep fallback of
@@ -98,28 +98,6 @@ impl<'a> CombAnalyzer<'a> {
         self
     }
 
-    /// Applies a solver budget to every subsequent SAT query.
-    #[deprecated(
-        since = "0.5.0",
-        note = "use `with_options(AnalysisOptions::new().with_budget(..))`"
-    )]
-    pub fn with_budget(mut self, budget: Budget) -> Self {
-        self.options = self.options.with_budget(budget);
-        self
-    }
-
-    /// Switches certified mode on or off: every UNSAT answer behind a
-    /// subsequent query is re-validated by the forward RUP/DRAT checker,
-    /// and rejections surface as [`AnalysisError::CertificateRejected`].
-    #[deprecated(
-        since = "0.5.0",
-        note = "use `with_options(AnalysisOptions::new().with_certify(..))`"
-    )]
-    pub fn with_certify(mut self, certify: bool) -> Self {
-        self.options = self.options.with_certify(certify);
-        self
-    }
-
     /// Applies the resource control and certify setting to a freshly
     /// encoded solver.
     fn arm(&self, solver: &mut Solver) {
@@ -129,10 +107,7 @@ impl<'a> CombAnalyzer<'a> {
     /// Like [`CombAnalyzer::arm`] but with an explicit control — the
     /// portfolio stamps race-derived controls onto its engines.
     fn arm_with(&self, solver: &mut Solver, ctl: &ResourceCtl) {
-        solver.set_ctl(ctl.clone());
-        if self.options.certify {
-            solver.set_proof_logging(true);
-        }
+        solver.configure(&self.options.solver_config().with_ctl(ctl.clone()));
     }
 
     /// In certified mode, validates the UNSAT answer `solver` just gave.
@@ -1123,6 +1098,7 @@ pub fn sampled_stats(golden: &Aig, candidate: &Aig, samples: u64, seed: u64) -> 
 mod tests {
     use super::*;
     use axmc_circuit::{approx, generators};
+    use axmc_sat::Budget;
     use std::time::Duration;
 
     #[test]
@@ -1248,14 +1224,25 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_builders_still_forward() {
+    fn inprocessing_preserves_comb_metrics() {
+        // The solver-side inprocessing knob must not change any
+        // combinational metric, certified or not.
         let golden = generators::ripple_carry_adder(4).to_aig();
         let candidate = approx::truncated_adder(4, 1).to_aig();
-        let analyzer = CombAnalyzer::new(&golden, &candidate)
-            .with_budget(Budget::unlimited())
-            .with_certify(false);
-        assert!(analyzer.worst_case_error().unwrap().value > 0);
+        let plain = CombAnalyzer::new(&golden, &candidate);
+        let inproc = CombAnalyzer::new(&golden, &candidate).with_options(
+            AnalysisOptions::new()
+                .with_inprocessing(true)
+                .with_certify(true),
+        );
+        assert_eq!(
+            plain.worst_case_error().unwrap().value,
+            inproc.worst_case_error().unwrap().value
+        );
+        assert_eq!(
+            plain.bit_flip_error().unwrap().value,
+            inproc.bit_flip_error().unwrap().value
+        );
     }
 
     #[test]

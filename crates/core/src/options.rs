@@ -50,6 +50,17 @@ pub struct AnalysisOptions {
     /// [`Backend::Auto`]. On by default; disable to reproduce the
     /// solver-only portfolio behaviour bit for bit.
     pub static_tier: bool,
+    /// Run the solver's between-solves inprocessing pass (subsumption,
+    /// self-subsuming resolution, vivification) inside every SAT engine
+    /// the analysis spawns. Off by default: inprocessing changes solver
+    /// growth patterns, which some exact-count regression harnesses pin.
+    pub inprocess: bool,
+    /// Share learned clauses between portfolio workers (LBD-filtered,
+    /// RUP-validated on import). Only effective with `jobs >= 2`; off by
+    /// default because under starvation budgets the extra clauses can
+    /// shift *which* probes finish, making `Unknown` outcomes
+    /// timing-dependent. Final certified verdicts are unaffected.
+    pub share: bool,
 }
 
 impl Default for AnalysisOptions {
@@ -64,6 +75,8 @@ impl Default for AnalysisOptions {
             cache: None,
             search_window: None,
             static_tier: true,
+            inprocess: false,
+            share: false,
         }
     }
 }
@@ -159,6 +172,35 @@ impl AnalysisOptions {
         self
     }
 
+    /// Enables or disables solver inprocessing (see
+    /// [`axmc_sat::InprocessConfig`]).
+    pub fn with_inprocessing(mut self, on: bool) -> Self {
+        self.inprocess = on;
+        self
+    }
+
+    /// Enables or disables learned-clause sharing between portfolio
+    /// workers (see [`axmc_sat::ShareRing`]).
+    pub fn with_clause_sharing(mut self, on: bool) -> Self {
+        self.share = on;
+        self
+    }
+
+    /// The [`SolverConfig`](axmc_sat::SolverConfig) these options imply
+    /// for one SAT engine: resource control, proof logging when
+    /// certifying, and inprocessing when enabled. Clause sharing is
+    /// attached separately per portfolio lane (each worker needs its own
+    /// [`ShareHandle`](axmc_sat::ShareHandle)).
+    pub fn solver_config(&self) -> axmc_sat::SolverConfig {
+        let mut config = axmc_sat::SolverConfig::new()
+            .with_ctl(self.ctl.clone())
+            .with_proof_logging(self.certify);
+        if self.inprocess {
+            config = config.with_inprocessing(axmc_sat::InprocessConfig::default());
+        }
+        config
+    }
+
     /// The effective portfolio width (at least 1).
     pub fn effective_jobs(&self) -> usize {
         self.jobs.max(1)
@@ -204,6 +246,25 @@ mod tests {
     #[should_panic(expected = "inverted")]
     fn inverted_search_window_panics() {
         let _ = AnalysisOptions::new().with_search_window(5, 2);
+    }
+
+    #[test]
+    fn solver_config_reflects_the_engine_knobs() {
+        let opts = AnalysisOptions::new();
+        assert!(!opts.inprocess && !opts.share, "speed knobs default off");
+        let opts = opts
+            .with_certify(true)
+            .with_inprocessing(true)
+            .with_clause_sharing(true)
+            .with_budget(Budget::unlimited().with_conflicts(42));
+        let config = opts.solver_config();
+        assert!(config.proof_logging(), "certify implies proof logging");
+        assert!(config.inprocess().is_some());
+        assert_eq!(config.ctl().budget().max_conflicts(), Some(42));
+        assert!(
+            config.share().is_none(),
+            "share lanes are attached per worker, not via solver_config"
+        );
     }
 
     #[test]

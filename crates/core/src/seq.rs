@@ -33,12 +33,14 @@ use crate::verdict::Verdict;
 use axmc_aig::{bits_to_u128, Aig, Simulator};
 use axmc_cnf::gates;
 use axmc_cnf::sweep::{fraig, SweepOptions};
-use axmc_mc::{prove_invariant, Bmc, BmcResult, InductionOptions, ProofResult, Trace, Unroller};
+use axmc_mc::{
+    prove_invariant, Bmc, BmcOptions, BmcResult, InductionOptions, ProofResult, Trace, Unroller,
+};
 use axmc_miter::{
     accumulated_error_miter, error_cycle_count_miter, sequential_diff_miter,
     sequential_diff_word_miter, sequential_popcount_word_miter, sequential_strict_miter,
 };
-use axmc_sat::{Budget, Interrupt, SolveResult};
+use axmc_sat::{Interrupt, SolveResult};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// How one persistent threshold probe interprets the miter's output word.
@@ -81,8 +83,7 @@ impl ThresholdEngine {
         } else {
             Unroller::new(miter)
         };
-        unroller.set_ctl(options.ctl.clone());
-        unroller.set_certify(options.certify);
+        unroller.configure(&options.solver_config());
         ThresholdEngine { unroller, kind }
     }
 
@@ -199,57 +200,6 @@ impl<'a> SeqAnalyzer<'a> {
         self
     }
 
-    /// Switches certified mode on or off: every UNSAT answer behind a
-    /// subsequent query — threshold probes, BMC clears, induction steps —
-    /// is re-validated by the forward RUP/DRAT checker, and every
-    /// counterexample trace is replayed through AIG simulation. Rejections
-    /// surface as [`AnalysisError::CertificateRejected`].
-    #[deprecated(
-        since = "0.5.0",
-        note = "use `with_options(AnalysisOptions::new().with_certify(..))`"
-    )]
-    pub fn with_certify(mut self, certify: bool) -> Self {
-        self.options = self.options.with_certify(certify);
-        self
-    }
-
-    /// Applies a solver budget to every subsequent query.
-    #[deprecated(
-        since = "0.5.0",
-        note = "use `with_options(AnalysisOptions::new().with_budget(..))`"
-    )]
-    pub fn with_budget(mut self, budget: Budget) -> Self {
-        self.options = self.options.with_budget(budget);
-        self
-    }
-
-    /// Enables SAT sweeping (FRAIGing) of the product-machine miter
-    /// before unrolling: shared logic between the golden and approximated
-    /// circuits is merged once, shrinking every BMC frame.
-    #[deprecated(
-        since = "0.5.0",
-        note = "use `with_options(AnalysisOptions::new().with_sweep(..))`"
-    )]
-    pub fn with_sweep(mut self, sweep: bool) -> Self {
-        self.options = self.options.with_sweep(sweep);
-        self
-    }
-
-    /// Runs every threshold search as a **portfolio**: each round probes
-    /// up to `jobs` speculative thresholds concurrently, one cloned
-    /// engine per lane. `jobs = 1` (the default) is the exact serial
-    /// probe sequence; any `jobs` value yields the same final metric
-    /// values, because every speculative answer is authoritative for its
-    /// own threshold and the answers are merged in a fixed order.
-    #[deprecated(
-        since = "0.5.0",
-        note = "use `with_options(AnalysisOptions::new().with_jobs(..))`"
-    )]
-    pub fn with_jobs(mut self, jobs: usize) -> Self {
-        self.options = self.options.with_jobs(jobs);
-        self
-    }
-
     /// Whether the static pre-analysis tier runs before solver work.
     fn static_tier_active(&self) -> bool {
         self.options.static_tier || self.options.backend == Backend::Static
@@ -267,7 +217,11 @@ impl<'a> SeqAnalyzer<'a> {
     }
 
     /// One warmed-up engine per portfolio lane, all starting from the
-    /// same encoded product machine.
+    /// same encoded product machine. With clause sharing enabled and at
+    /// least two lanes, every lane is attached to one fresh
+    /// [`ShareRing`](axmc_sat::ShareRing): the lanes are clones of one
+    /// prototype, so the variables existing at pool-creation time are
+    /// encoded identically everywhere and safe to share over.
     fn engine_pool(&self, prototype: ThresholdEngine) -> Vec<ThresholdEngine> {
         let jobs = self.options.effective_jobs();
         let mut pool = Vec::with_capacity(jobs);
@@ -275,6 +229,18 @@ impl<'a> SeqAnalyzer<'a> {
         while pool.len() < jobs {
             let clone = pool[0].clone();
             pool.push(clone);
+        }
+        if self.options.share && jobs > 1 {
+            let ring = axmc_sat::ShareRing::new();
+            let shared_vars = pool[0].unroller.solver().num_vars();
+            for (lane, engine) in pool.iter_mut().enumerate() {
+                let config = engine
+                    .unroller
+                    .solver()
+                    .current_config()
+                    .with_share(ring.handle(lane, shared_vars));
+                engine.unroller.configure(&config);
+            }
         }
         pool
     }
@@ -291,9 +257,10 @@ impl<'a> SeqAnalyzer<'a> {
     /// in certified mode.
     pub fn earliest_error(&self, max_cycles: usize) -> Result<EarliestError, AnalysisError> {
         let miter = sequential_strict_miter(self.golden, self.approx);
-        let mut bmc = Bmc::new(&miter);
-        bmc.set_ctl(self.options.ctl.clone());
-        bmc.set_certify(self.options.certify);
+        let mut bmc = Bmc::with_options(
+            &miter,
+            &BmcOptions::new().with_solver(self.options.solver_config()),
+        );
         let mut sat_calls = 0;
         for k in 0..max_cycles {
             sat_calls += 1;
@@ -679,9 +646,10 @@ impl<'a> SeqAnalyzer<'a> {
         acc_width: usize,
     ) -> Result<Verdict<Trace>, AnalysisError> {
         let miter = accumulated_error_miter(self.golden, self.approx, acc_width, threshold);
-        let mut bmc = Bmc::new(&miter);
-        bmc.set_ctl(self.options.ctl.clone());
-        bmc.set_certify(self.options.certify);
+        let mut bmc = Bmc::with_options(
+            &miter,
+            &BmcOptions::new().with_solver(self.options.solver_config()),
+        );
         match bmc.check_any_up_to(k)? {
             BmcResult::Cex(t) => Ok(Verdict::Refuted { witness: t }),
             BmcResult::Clear => Ok(Verdict::Proved),
@@ -776,9 +744,10 @@ impl<'a> SeqAnalyzer<'a> {
             max_bad_cycles,
             per_cycle_threshold,
         );
-        let mut bmc = Bmc::new(&miter);
-        bmc.set_ctl(self.options.ctl.clone());
-        bmc.set_certify(self.options.certify);
+        let mut bmc = Bmc::with_options(
+            &miter,
+            &BmcOptions::new().with_solver(self.options.solver_config()),
+        );
         match bmc.check_any_up_to(k)? {
             BmcResult::Cex(t) => Ok(Verdict::Refuted { witness: t }),
             BmcResult::Clear => Ok(Verdict::Proved),
@@ -911,9 +880,11 @@ impl SeqProbe {
 
     /// Replaces the resource control (deadline, budget, cancellation)
     /// applied to subsequent probes — re-arm a pooled instance before
-    /// each checkout.
+    /// each checkout. Every other knob (certification, inprocessing)
+    /// is preserved.
     pub fn set_ctl(&mut self, ctl: axmc_sat::ResourceCtl) {
-        self.engine.unroller.set_ctl(ctl);
+        let config = self.engine.unroller.solver().current_config().with_ctl(ctl);
+        self.engine.unroller.configure(&config);
     }
 
     /// Total solver conflicts accumulated across the session so far.
@@ -933,7 +904,7 @@ mod tests {
     use super::*;
     use crate::report::ErrorGrowth;
     use axmc_circuit::{approx, generators};
-    use axmc_sat::{CancelToken, ResourceCtl};
+    use axmc_sat::{Budget, CancelToken, ResourceCtl};
     use axmc_seq::{accumulator, fir_moving_sum, registered_alu};
     use std::time::Duration;
 
@@ -1400,17 +1371,83 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_builders_still_forward() {
+    fn clause_sharing_preserves_every_jobs_value() {
+        // Sharing changes which learnt clauses a lane holds, never a
+        // verdict: with unlimited budgets, every metric value must be
+        // identical to the serial run for every jobs value, sharing on
+        // or off.
+        let width = 4;
+        let golden = accumulator(&generators::ripple_carry_adder(width), width);
+        let apx = accumulator(&approx::lower_or_adder(width, 2), width);
+        let serial = SeqAnalyzer::new(&golden, &apx);
+        let wce = serial.worst_case_error_at(3).unwrap().value;
+        let flips = serial.bit_flip_error_at(3).unwrap().value;
+        for jobs in [1usize, 2, 4] {
+            let sharing = SeqAnalyzer::new(&golden, &apx).with_options(
+                AnalysisOptions::new()
+                    .with_jobs(jobs)
+                    .with_clause_sharing(true),
+            );
+            assert_eq!(
+                sharing.worst_case_error_at(3).unwrap().value,
+                wce,
+                "wce, sharing on, jobs {jobs}"
+            );
+            assert_eq!(
+                sharing.bit_flip_error_at(3).unwrap().value,
+                flips,
+                "bit flip, sharing on, jobs {jobs}"
+            );
+        }
+    }
+
+    #[test]
+    fn inprocessing_preserves_certified_analysis() {
+        // Inprocessing rewrites the clause database between solves; with
+        // certification on, every UNSAT answer behind these metrics is
+        // re-validated through the DRAT checker, so this doubles as an
+        // end-to-end proof-logging test for the inprocessing passes.
         let width = 4;
         let golden = accumulator(&generators::ripple_carry_adder(width), width);
         let apx = accumulator(&approx::truncated_adder(width, 2), width);
-        let analyzer = SeqAnalyzer::new(&golden, &apx)
-            .with_budget(Budget::unlimited())
-            .with_jobs(2)
-            .with_sweep(false)
-            .with_certify(false);
-        assert!(analyzer.worst_case_error_at(2).unwrap().value > 0);
+        let plain = SeqAnalyzer::new(&golden, &apx);
+        let inproc = SeqAnalyzer::new(&golden, &apx).with_options(
+            AnalysisOptions::new()
+                .with_inprocessing(true)
+                .with_certify(true),
+        );
+        assert_eq!(
+            plain.worst_case_error_at(3).unwrap().value,
+            inproc.worst_case_error_at(3).unwrap().value
+        );
+        assert_eq!(
+            plain.earliest_error(6).unwrap().cycle,
+            inproc.earliest_error(6).unwrap().cycle
+        );
+        assert!(inproc.check_error_exceeds(200, 3).unwrap().is_proved());
+    }
+
+    #[test]
+    fn sharing_and_inprocessing_compose_under_a_portfolio() {
+        let width = 4;
+        let golden = accumulator(&generators::ripple_carry_adder(width), width);
+        let apx = accumulator(&approx::truncated_adder(width, 2), width);
+        let plain = SeqAnalyzer::new(&golden, &apx);
+        let tuned = SeqAnalyzer::new(&golden, &apx).with_options(
+            AnalysisOptions::new()
+                .with_jobs(3)
+                .with_clause_sharing(true)
+                .with_inprocessing(true)
+                .with_certify(true),
+        );
+        assert_eq!(
+            plain.worst_case_error_at(3).unwrap().value,
+            tuned.worst_case_error_at(3).unwrap().value
+        );
+        assert_eq!(
+            plain.error_profile(4).unwrap().profile,
+            tuned.error_profile(4).unwrap().profile
+        );
     }
 
     // -- satellite: typed interruption behavior ------------------------

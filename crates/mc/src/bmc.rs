@@ -5,7 +5,7 @@
 //! k" is posed as an assumption, so earlier frames' learnt clauses are
 //! reused across bounds — the standard incremental BMC loop.
 
-use crate::{CertificateRejected, Trace, Unroller};
+use crate::{BmcOptions, CertificateRejected, Trace, Unroller};
 use axmc_aig::Aig;
 use axmc_sat::{Budget, Interrupt, Lit as SatLit, ResourceCtl, SolveResult};
 
@@ -105,6 +105,27 @@ impl<'a> Bmc<'a> {
         }
     }
 
+    /// Creates a checker for `aig` configured by `options` (see
+    /// [`BmcOptions`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the AIG does not have exactly one output.
+    pub fn with_options(aig: &'a Aig, options: &BmcOptions) -> Self {
+        let mut bmc = Bmc::new(aig);
+        bmc.configure(options);
+        bmc
+    }
+
+    /// Applies `options` — resource control, certification, and the rest
+    /// of the embedded [`SolverConfig`](axmc_sat::SolverConfig) — to the
+    /// underlying solver. The one documented way to reconfigure a live
+    /// checker; see [`BmcOptions`] for the migration table from the
+    /// deprecated per-knob setters.
+    pub fn configure(&mut self, options: &BmcOptions) {
+        self.unroller.configure(options.solver());
+    }
+
     /// Number of frames encoded so far.
     pub fn depth(&self) -> usize {
         self.unroller.num_frames()
@@ -126,14 +147,20 @@ impl<'a> Bmc<'a> {
     }
 
     /// Sets the budget applied to each subsequent solver call.
+    #[deprecated(note = "use `Bmc::configure` with `BmcOptions::with_budget` \
+                (see the `axmc_mc::options` migration table)")]
     pub fn set_budget(&mut self, budget: Budget) {
-        self.unroller.set_budget(budget);
+        let config = self.unroller.solver().current_config().with_budget(budget);
+        self.unroller.configure(&config);
     }
 
     /// Sets the full resource control — budget, deadline and cancellation
     /// token — applied to each subsequent solver call.
+    #[deprecated(note = "use `Bmc::configure` with `BmcOptions::with_ctl` \
+                (see the `axmc_mc::options` migration table)")]
     pub fn set_ctl(&mut self, ctl: ResourceCtl) {
-        self.unroller.set_ctl(ctl);
+        let config = self.unroller.solver().current_config().with_ctl(ctl);
+        self.unroller.configure(&config);
     }
 
     /// The resource control currently governing solver calls.
@@ -148,8 +175,15 @@ impl<'a> Bmc<'a> {
     /// returned. A failed validation surfaces as
     /// [`CertificateRejected`] from the check call — the solver produced
     /// an unsound answer, and no result derived from it can be trusted.
+    #[deprecated(note = "use `Bmc::configure` with `BmcOptions::with_certify` \
+                (see the `axmc_mc::options` migration table)")]
     pub fn set_certify(&mut self, on: bool) {
-        self.unroller.set_certify(on);
+        let config = self
+            .unroller
+            .solver()
+            .current_config()
+            .with_proof_logging(on);
+        self.unroller.configure(&config);
     }
 
     /// Returns `true` if certified mode is on.
@@ -485,7 +519,10 @@ mod tests {
         // budget the result must be Unknown (or Clear if trivially solved).
         let aig = counter_reaches(7);
         let mut bmc = Bmc::new(&aig);
-        bmc.set_budget(Budget::unlimited().with_conflicts(0).with_propagations(1));
+        bmc.configure(
+            &BmcOptions::new()
+                .with_budget(Budget::unlimited().with_conflicts(0).with_propagations(1)),
+        );
         // With a zero/one budget most queries return Unknown; we accept
         // Clear for the trivially-unsat early cycles.
         let r = bmc.check_at(6).unwrap();
@@ -496,7 +533,9 @@ mod tests {
     fn expired_deadline_reports_a_deadline_interrupt() {
         let aig = counter_reaches(7);
         let mut bmc = Bmc::new(&aig);
-        bmc.set_ctl(ResourceCtl::unlimited().with_timeout(Duration::ZERO));
+        bmc.configure(
+            &BmcOptions::new().with_ctl(ResourceCtl::unlimited().with_timeout(Duration::ZERO)),
+        );
         assert_eq!(
             bmc.check_at(6).unwrap(),
             BmcResult::Unknown(Interrupt::Deadline)
@@ -510,10 +549,84 @@ mod tests {
         let mut bmc = Bmc::new(&aig);
         let token = CancelToken::new();
         token.cancel();
-        bmc.set_ctl(ResourceCtl::unlimited().with_cancel(token));
+        bmc.configure(&BmcOptions::new().with_ctl(ResourceCtl::unlimited().with_cancel(token)));
         assert_eq!(
             bmc.check_at(6).unwrap(),
             BmcResult::Unknown(Interrupt::Cancelled)
+        );
+    }
+
+    #[test]
+    fn depth_ladder_encodes_each_frame_exactly_once() {
+        // True incremental unrolling: walking a depth ladder query by
+        // query must build the same SAT instance as one fresh jump to
+        // the final depth — every frame encoded once, no re-encoding on
+        // deepening, learnt state and activation cache preserved.
+        let aig = counter_reaches(5);
+        let mut ladder = Bmc::new(&aig);
+        for k in 0..=5 {
+            let _ = ladder.check_at(k).unwrap();
+            let _ = ladder.check_any_up_to(k).unwrap();
+        }
+        let mut fresh = Bmc::new(&aig);
+        let _ = fresh.check_at(5).unwrap();
+        // The ladder adds exactly one activation variable per distinct
+        // `check_any_up_to` depth on top of the frame encoding.
+        assert_eq!(
+            ladder.num_vars(),
+            fresh.num_vars() + 6,
+            "laddered unrolling must not re-encode frames"
+        );
+        let vars_before = ladder.num_vars();
+        let clauses_before = ladder.num_clauses();
+        for k in 0..=5 {
+            let _ = ladder.check_at(k).unwrap();
+            let _ = ladder.check_any_up_to(k).unwrap();
+        }
+        assert_eq!(ladder.num_vars(), vars_before, "revisits add no variables");
+        assert_eq!(
+            ladder.num_clauses(),
+            clauses_before,
+            "revisits add no clauses"
+        );
+    }
+
+    #[test]
+    fn options_configure_a_live_and_a_fresh_checker_identically() {
+        let aig = counter_reaches(5);
+        let options = BmcOptions::new()
+            .with_ctl(ResourceCtl::unlimited())
+            .with_certify(true);
+        let mut fresh = Bmc::with_options(&aig, &options);
+        assert!(fresh.certify());
+        assert_eq!(fresh.check_at(2).unwrap(), BmcResult::Clear);
+
+        let mut live = Bmc::new(&aig);
+        assert!(!live.certify());
+        assert_eq!(live.check_at(2).unwrap(), BmcResult::Clear);
+        live.configure(&options);
+        assert!(live.certify(), "configure flips certification on");
+        assert_eq!(live.check_at(3).unwrap(), BmcResult::Clear);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_setters_still_forward() {
+        let aig = counter_reaches(7);
+        let mut bmc = Bmc::new(&aig);
+        bmc.set_certify(true);
+        assert!(bmc.certify());
+        bmc.set_budget(Budget::unlimited().with_conflicts(0).with_propagations(1));
+        assert!(
+            bmc.certify(),
+            "re-arming the budget must not drop certification"
+        );
+        let r = bmc.check_at(6).unwrap();
+        assert!(matches!(r, BmcResult::Unknown(_) | BmcResult::Clear));
+        bmc.set_ctl(ResourceCtl::unlimited().with_timeout(Duration::ZERO));
+        assert_eq!(
+            bmc.check_at(6).unwrap(),
+            BmcResult::Unknown(Interrupt::Deadline)
         );
     }
 

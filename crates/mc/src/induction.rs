@@ -7,10 +7,10 @@
 //! simple-path constraints make the method complete for finite systems
 //! (at possibly large `k`).
 
-use crate::{Bmc, BmcResult, CertificateRejected, Trace};
+use crate::{Bmc, BmcOptions, BmcResult, CertificateRejected, Trace};
 use axmc_aig::Aig;
 use axmc_cnf::{assert_const_false, encode_frame};
-use axmc_sat::{Interrupt, Lit as SatLit, ResourceCtl, SolveResult, Solver};
+use axmc_sat::{Interrupt, Lit as SatLit, ResourceCtl, SolveResult, Solver, SolverConfig};
 
 /// Outcome of an unbounded proof attempt.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -105,9 +105,12 @@ pub fn prove_invariant(
         1,
         "k-induction expects a single-output property circuit"
     );
-    let mut base = Bmc::new(aig);
-    base.set_ctl(options.ctl.clone());
-    base.set_certify(options.certify);
+    let mut base = Bmc::with_options(
+        aig,
+        &BmcOptions::new()
+            .with_ctl(options.ctl.clone())
+            .with_certify(options.certify),
+    );
 
     let result = run_induction(aig, options, &mut base)?;
     if axmc_obs::enabled() {
@@ -197,11 +200,11 @@ fn step_case(
     k: usize,
     options: &InductionOptions,
 ) -> Result<(SolveResult, Option<Interrupt>), CertificateRejected> {
-    let mut solver = Solver::new();
-    solver.set_ctl(options.ctl.clone());
-    if options.certify {
-        solver.set_proof_logging(true);
-    }
+    let mut solver = Solver::with_config(
+        SolverConfig::new()
+            .with_ctl(options.ctl.clone())
+            .with_proof_logging(options.certify),
+    );
     let const_false = assert_const_false(&mut solver);
 
     // Free initial state.

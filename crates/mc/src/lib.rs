@@ -47,6 +47,7 @@
 mod bmc;
 mod error;
 mod induction;
+pub mod options;
 mod reach;
 mod trace;
 mod unroll;
@@ -55,6 +56,7 @@ pub mod vcd;
 pub use crate::bmc::{Bmc, BmcResult};
 pub use crate::error::CertificateRejected;
 pub use crate::induction::{prove_invariant, InductionOptions, ProofResult};
+pub use crate::options::BmcOptions;
 pub use crate::reach::{explicit_reach, ReachResult};
 pub use crate::trace::Trace;
 pub use crate::unroll::Unroller;

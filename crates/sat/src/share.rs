@@ -1,0 +1,229 @@
+//! Learned-clause sharing between portfolio solvers.
+//!
+//! A [`ShareRing`] is an append-only, mutex-guarded buffer of learned
+//! clauses shared by a fleet of solvers racing the same problem (the
+//! portfolio workers of `axmc-par`). Each solver holds a [`ShareHandle`]
+//! identifying its *lane*: exports are tagged with the publishing lane so
+//! a solver never re-imports its own clauses, and a private cursor tracks
+//! how far into the ring it has already read, so every fetch is an O(new
+//! entries) slice copy under a short critical section.
+//!
+//! # Soundness
+//!
+//! Shared clauses are treated as *untrusted* on import. The importer
+//! re-derives each incoming clause by reverse unit propagation (RUP)
+//! against its own clause database at decision level 0: it enqueues the
+//! negation of the clause on a scratch decision level, propagates, and
+//! accepts the clause only if propagation derives a conflict. Clauses
+//! that fail the check — including deliberately corrupted ones — are
+//! rejected and counted, never attached. Accepted imports are recorded
+//! as DRAT addition steps, so a `--certify` run checks them like any
+//! other learned clause. Because validation is local to the importer,
+//! sharing is sound even between solvers whose clause databases have
+//! diverged (different activation literals, different learned sets).
+//!
+//! Export is filtered at the source: only clauses with LBD at or below
+//! [`ShareHandle::max_lbd`], at most [`ShareHandle::max_len`] literals,
+//! and mentioning only the first [`ShareHandle::shared_vars`] variables
+//! (the prefix of variables all workers encode identically) are
+//! published.
+
+use std::sync::{Arc, Mutex};
+
+use crate::types::Lit;
+
+/// Default LBD ceiling for exported clauses.
+pub const DEFAULT_MAX_SHARED_LBD: u32 = 4;
+/// Default length ceiling for exported clauses.
+pub const DEFAULT_MAX_SHARED_LEN: usize = 30;
+/// Default capacity of a ring before further exports are dropped.
+pub const DEFAULT_RING_CAPACITY: usize = 4096;
+
+#[derive(Debug)]
+struct SharedClause {
+    lane: usize,
+    lits: Arc<[Lit]>,
+}
+
+/// A shared export/import buffer for one portfolio fleet.
+///
+/// Cloning a `ShareRing` is cheap and yields another reference to the
+/// same buffer. The module-level comment in `share.rs` documents the protocol.
+#[derive(Clone, Debug, Default)]
+pub struct ShareRing {
+    inner: Arc<Mutex<Vec<SharedClause>>>,
+    capacity: usize,
+}
+
+impl ShareRing {
+    /// Creates a ring with the default capacity.
+    pub fn new() -> Self {
+        Self::with_capacity(DEFAULT_RING_CAPACITY)
+    }
+
+    /// Creates a ring that stops accepting exports once `capacity`
+    /// clauses have been published (a deterministic overflow policy:
+    /// late exports are dropped rather than evicting earlier ones, so
+    /// cursors never skip entries).
+    pub fn with_capacity(capacity: usize) -> Self {
+        ShareRing {
+            inner: Arc::new(Mutex::new(Vec::new())),
+            capacity,
+        }
+    }
+
+    /// Creates the handle for lane `lane` of this ring.
+    ///
+    /// `shared_vars` is the number of leading solver variables the lane
+    /// considers common to the whole fleet; clauses touching any
+    /// variable at or beyond it are neither exported nor imported.
+    pub fn handle(&self, lane: usize, shared_vars: usize) -> ShareHandle {
+        ShareHandle {
+            ring: self.clone(),
+            lane,
+            shared_vars,
+            max_lbd: DEFAULT_MAX_SHARED_LBD,
+            max_len: DEFAULT_MAX_SHARED_LEN,
+            cursor: 0,
+        }
+    }
+
+    /// Publishes a clause on behalf of `lane`.
+    ///
+    /// Public so tests (and adversarial harnesses) can inject arbitrary
+    /// clauses; importers validate every entry by RUP regardless of its
+    /// origin, so publishing garbage can waste work but not corrupt a
+    /// verdict.
+    pub fn publish(&self, lane: usize, lits: &[Lit]) {
+        let mut inner = self.inner.lock().expect("share ring poisoned");
+        if inner.len() >= self.capacity {
+            return;
+        }
+        inner.push(SharedClause {
+            lane,
+            lits: lits.into(),
+        });
+    }
+
+    /// Copies every clause published after `cursor` by a lane other than
+    /// `lane` into `out`, advancing `cursor` past everything seen.
+    pub(crate) fn fetch_from(&self, cursor: &mut usize, lane: usize, out: &mut Vec<Arc<[Lit]>>) {
+        let inner = self.inner.lock().expect("share ring poisoned");
+        for entry in inner.iter().skip(*cursor) {
+            if entry.lane != lane {
+                out.push(Arc::clone(&entry.lits));
+            }
+        }
+        *cursor = inner.len();
+    }
+
+    /// Number of clauses published so far.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("share ring poisoned").len()
+    }
+
+    /// Whether nothing has been published yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// One solver's attachment to a [`ShareRing`].
+///
+/// Create with [`ShareRing::handle`] and install via
+/// [`SolverConfig::with_share`](crate::SolverConfig::with_share).
+#[derive(Clone, Debug, Default)]
+pub struct ShareHandle {
+    pub(crate) ring: ShareRing,
+    pub(crate) lane: usize,
+    pub(crate) shared_vars: usize,
+    pub(crate) max_lbd: u32,
+    pub(crate) max_len: usize,
+    pub(crate) cursor: usize,
+}
+
+impl ShareHandle {
+    /// Caps the LBD of exported clauses (default
+    /// [`DEFAULT_MAX_SHARED_LBD`]).
+    pub fn with_max_lbd(mut self, max_lbd: u32) -> Self {
+        self.max_lbd = max_lbd;
+        self
+    }
+
+    /// Caps the length of exported clauses (default
+    /// [`DEFAULT_MAX_SHARED_LEN`]).
+    pub fn with_max_len(mut self, max_len: usize) -> Self {
+        self.max_len = max_len;
+        self
+    }
+
+    /// The lane this handle publishes as.
+    pub fn lane(&self) -> usize {
+        self.lane
+    }
+
+    /// The ring this handle is attached to.
+    pub fn ring(&self) -> &ShareRing {
+        &self.ring
+    }
+
+    /// The number of leading variables treated as fleet-common.
+    pub fn shared_vars(&self) -> usize {
+        self.shared_vars
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::Var;
+
+    fn lit(i: u32) -> Lit {
+        Var::new(i).positive()
+    }
+
+    #[test]
+    fn fetch_skips_own_lane_and_advances_cursor() {
+        let ring = ShareRing::new();
+        ring.publish(0, &[lit(1), lit(2)]);
+        ring.publish(1, &[lit(3)]);
+        ring.publish(0, &[lit(4)]);
+
+        let mut cursor = 0;
+        let mut out = Vec::new();
+        ring.fetch_from(&mut cursor, 0, &mut out);
+        assert_eq!(out.len(), 1, "only the lane-1 clause is foreign");
+        assert_eq!(&out[0][..], &[lit(3)]);
+        assert_eq!(cursor, 3);
+
+        out.clear();
+        ring.fetch_from(&mut cursor, 0, &mut out);
+        assert!(out.is_empty(), "nothing new after the cursor");
+
+        ring.publish(2, &[lit(5)]);
+        ring.fetch_from(&mut cursor, 0, &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(cursor, 4);
+    }
+
+    #[test]
+    fn capacity_drops_late_exports() {
+        let ring = ShareRing::with_capacity(2);
+        ring.publish(0, &[lit(1)]);
+        ring.publish(0, &[lit(2)]);
+        ring.publish(0, &[lit(3)]);
+        assert_eq!(ring.len(), 2);
+    }
+
+    #[test]
+    fn handles_share_one_buffer() {
+        let ring = ShareRing::new();
+        let a = ring.handle(0, 10).with_max_lbd(2).with_max_len(5);
+        let b = ring.handle(1, 10);
+        assert_eq!(a.max_lbd, 2);
+        assert_eq!(a.max_len, 5);
+        assert_eq!(b.lane(), 1);
+        a.ring().publish(a.lane(), &[lit(7)]);
+        assert_eq!(b.ring().len(), 1);
+    }
+}

@@ -8,10 +8,14 @@
 //! [`SolveResult::Unknown`] instead of running to completion, which is the
 //! primitive the verifiability-driven search strategy is built on.
 
+use crate::config::{InprocessConfig, SolverConfig};
 use crate::ctl::{Interrupt, ResourceCtl};
 use crate::heap::VarOrder;
+use crate::share::ShareHandle;
 use crate::{LBool, Lit, Var};
 use std::time::Instant;
+
+mod inprocess;
 
 /// How many conflicts pass between wall-clock deadline checks inside the
 /// search loop. Cancellation is checked every conflict (an atomic load);
@@ -137,6 +141,10 @@ struct ProofLog {
     conclusion: Option<Vec<Lit>>,
     /// The assumptions of the most recent `Unsat` answer.
     assumptions: Vec<Lit>,
+    /// How many root-trail literals have been re-recorded as explicit
+    /// `Add` steps, so inprocessing can delete the clauses that implied
+    /// them without breaking later RUP checks. Counts trail positions.
+    root_units_logged: usize,
 }
 
 /// A borrowed view of everything needed to independently re-check an
@@ -161,19 +169,49 @@ pub struct Certificate<'a> {
     pub assumptions: &'a [Lit],
 }
 
-#[derive(Clone, Debug, Default)]
+/// Clause header; the literals live in the solver's shared arena at
+/// `start .. start + len`, so propagation walks one contiguous
+/// allocation instead of taking a heap hop per clause.
+#[derive(Clone, Copy, Debug, Default)]
 struct Clause {
-    lits: Vec<Lit>,
+    start: u32,
+    len: u32,
     activity: f64,
     lbd: u32,
     learnt: bool,
     deleted: bool,
 }
 
+/// Marks a watcher of a binary clause in `Watcher::cref_flag`. Binary
+/// watchers carry the whole clause (the blocker is the other literal),
+/// so propagating them never touches clause memory.
+const WATCH_BINARY: u32 = 1 << 31;
+
 #[derive(Clone, Copy, Debug)]
 struct Watcher {
-    cref: u32,
+    cref_flag: u32,
     blocker: Lit,
+}
+
+impl Watcher {
+    #[inline]
+    fn new(cref: u32, blocker: Lit, binary: bool) -> Self {
+        debug_assert_eq!(cref & WATCH_BINARY, 0, "clause reference overflow");
+        Watcher {
+            cref_flag: cref | if binary { WATCH_BINARY } else { 0 },
+            blocker,
+        }
+    }
+
+    #[inline]
+    fn cref(self) -> u32 {
+        self.cref_flag & !WATCH_BINARY
+    }
+
+    #[inline]
+    fn is_binary(self) -> bool {
+        self.cref_flag & WATCH_BINARY != 0
+    }
 }
 
 /// An incremental CDCL SAT solver with assumption and budget support.
@@ -202,6 +240,11 @@ struct Watcher {
 #[derive(Clone, Debug, Default)]
 pub struct Solver {
     clauses: Vec<Clause>,
+    /// Literal storage for every clause (see [`Clause`]). Deleted and
+    /// shrunk clauses leave holes, tracked in `garbage` and reclaimed by
+    /// `collect_garbage`.
+    arena: Vec<Lit>,
+    garbage: usize,
     learnt_refs: Vec<u32>,
     watches: Vec<Vec<Watcher>>,
     assigns: Vec<LBool>,
@@ -224,6 +267,26 @@ pub struct Solver {
     max_learnts: f64,
     num_original: usize,
     proof: Option<Box<ProofLog>>,
+    /// Variables the caller has declared safe to eliminate (never
+    /// referenced again in clauses or assumptions).
+    eliminable: Vec<bool>,
+    /// Variables removed by bounded variable elimination.
+    eliminated: Vec<bool>,
+    num_eliminated: usize,
+    /// Clauses removed by variable elimination, per variable, in
+    /// elimination order — replayed backwards to extend a model over the
+    /// eliminated variables.
+    elim_stack: Vec<(Var, Vec<Vec<Lit>>)>,
+    /// Inprocessing knobs; `None` disables the pass (the default).
+    inprocess: Option<InprocessConfig>,
+    /// `(num_original, root-trail length)` at the end of the last
+    /// inprocessing pass; when unchanged, the pass is skipped, so a
+    /// burst of solves on a static database pays for simplification
+    /// once.
+    inprocess_stamp: Option<(usize, usize)>,
+    /// Portfolio clause-sharing lane; `None` disables sharing (the
+    /// default).
+    share: Option<ShareHandle>,
     // LBD histogram resolved once per instrumented solve call, so the
     // per-learnt-clause record in the search loop is a few relaxed
     // atomic adds instead of a registry name lookup. `None` whenever
@@ -252,10 +315,15 @@ impl Solver {
         self.reason.push(NO_REASON);
         self.activity.push(0.0);
         self.seen.push(false);
+        self.eliminable.push(false);
+        self.eliminated.push(false);
         self.watches.push(Vec::new());
         self.watches.push(Vec::new());
         self.order.grow_to(self.assigns.len());
         self.order.insert(v, &self.activity);
+        if axmc_obs::enabled() {
+            axmc_obs::counter("sat.vars.created").inc();
+        }
         v
     }
 
@@ -275,14 +343,80 @@ impl Solver {
         &self.stats
     }
 
+    /// Creates a solver governed by `config`.
+    ///
+    /// Equivalent to [`Solver::new`] followed by [`Solver::configure`].
+    pub fn with_config(config: SolverConfig) -> Self {
+        let mut s = Solver::new();
+        s.configure(&config);
+        s
+    }
+
+    /// Applies a complete [`SolverConfig`]: resource control, proof
+    /// logging, inprocessing and clause sharing in one call.
+    ///
+    /// This is the one documented way to (re)configure a solver; see the
+    /// [`crate::config`] module for the migration table from the
+    /// deprecated per-knob setters. Applying a proof-logging
+    /// configuration to a solver that is already logging keeps the
+    /// existing buffer (so re-arming a budget between solves never drops
+    /// a certificate); applying a non-logging one discards it.
+    pub fn configure(&mut self, config: &SolverConfig) {
+        self.ctl = config.ctl().clone();
+        self.inprocess = config.inprocess().copied();
+        self.share = config.share().cloned();
+        self.apply_proof_logging(config.proof_logging());
+    }
+
+    /// Captures the solver's current configuration, so a single knob can
+    /// be changed without disturbing the others:
+    ///
+    /// ```
+    /// # use axmc_sat::{Budget, Solver};
+    /// # let mut solver = Solver::new();
+    /// let cfg = solver.current_config().with_budget(Budget::unlimited());
+    /// solver.configure(&cfg);
+    /// ```
+    pub fn current_config(&self) -> SolverConfig {
+        let mut cfg = SolverConfig::new()
+            .with_ctl(self.ctl.clone())
+            .with_proof_logging(self.proof.is_some());
+        if let Some(ip) = self.inprocess {
+            cfg = cfg.with_inprocessing(ip);
+        }
+        if let Some(sh) = &self.share {
+            cfg = cfg.with_share(sh.clone());
+        }
+        cfg
+    }
+
+    /// Declares that the caller will never reference `v` again — not in
+    /// clauses, not in assumptions — making it a candidate for bounded
+    /// variable elimination during inprocessing. Variables are frozen by
+    /// default; elimination only ever touches marked ones.
+    pub fn mark_eliminable(&mut self, v: Var) {
+        self.eliminable[v.index() as usize] = true;
+    }
+
+    /// Whether inprocessing has eliminated `v`. Eliminated variables
+    /// must not appear in later clauses or assumptions; their model
+    /// values are reconstructed automatically after a `Sat` answer.
+    pub fn is_eliminated(&self, v: Var) -> bool {
+        self.eliminated[v.index() as usize]
+    }
+
     /// Sets the resource budget applied to each subsequent `solve` call,
     /// leaving any deadline or cancellation token in place.
+    #[deprecated(note = "use `Solver::configure` with `SolverConfig::with_budget` \
+                         (see the `axmc_sat::config` migration table)")]
     pub fn set_budget(&mut self, budget: Budget) {
         self.ctl = self.ctl.clone().with_budget(budget);
     }
 
     /// Sets the full resource control (budget, deadline, per-call timeout
     /// and cancellation token) applied to each subsequent `solve` call.
+    #[deprecated(note = "use `Solver::configure` with `SolverConfig::with_ctl` \
+                         (see the `axmc_sat::config` migration table)")]
     pub fn set_ctl(&mut self, ctl: ResourceCtl) {
         self.ctl = ctl;
     }
@@ -311,7 +445,15 @@ impl Solver {
     /// the current database (including the root-level trail) as premises:
     /// certification is then relative to that state, not to clauses added
     /// before the call. Disabling logging discards the buffer.
+    #[deprecated(
+        note = "use `Solver::configure` with `SolverConfig::with_proof_logging` \
+                         (see the `axmc_sat::config` migration table)"
+    )]
     pub fn set_proof_logging(&mut self, on: bool) {
+        self.apply_proof_logging(on);
+    }
+
+    fn apply_proof_logging(&mut self, on: bool) {
         if !on {
             self.proof = None;
             return;
@@ -322,13 +464,15 @@ impl Solver {
         let mut log = ProofLog::default();
         for c in &self.clauses {
             if !c.deleted {
-                log.premises.push(c.lits.clone());
+                log.premises
+                    .push(self.arena[c.start as usize..(c.start + c.len) as usize].to_vec());
             }
         }
         debug_assert_eq!(self.decision_level(), 0);
         for &l in &self.trail {
             log.premises.push(vec![l]);
         }
+        log.root_units_logged = self.trail.len();
         if !self.ok {
             log.premises.push(Vec::new());
         }
@@ -438,6 +582,15 @@ impl Solver {
                 l.var()
             );
         }
+        if self.num_eliminated > 0 {
+            for &l in lits {
+                assert!(
+                    !self.eliminated[l.var().index() as usize],
+                    "clause mentions eliminated variable {:?}",
+                    l.var()
+                );
+            }
+        }
         if let Some(log) = self.proof.as_mut() {
             log.premises.push(lits.to_vec());
         }
@@ -475,6 +628,36 @@ impl Solver {
         }
     }
 
+    /// The literals of a clause, resolved through the arena.
+    #[inline]
+    fn lits(&self, cref: u32) -> &[Lit] {
+        let c = &self.clauses[cref as usize];
+        &self.arena[c.start as usize..(c.start + c.len) as usize]
+    }
+
+    /// Compacts the arena once at least half of it is holes left by
+    /// deleted or shrunk clauses. Clause references are indices into
+    /// `clauses` (only `start` offsets move), so watchers, reasons, and
+    /// the eliminated-clause stack all survive compaction untouched.
+    fn collect_garbage(&mut self) {
+        if self.garbage == 0 || self.garbage * 2 < self.arena.len() {
+            return;
+        }
+        let mut arena = Vec::with_capacity(self.arena.len() - self.garbage);
+        for c in &mut self.clauses {
+            if c.deleted || c.len == 0 {
+                c.start = 0;
+                c.len = 0;
+                continue;
+            }
+            let start = arena.len() as u32;
+            arena.extend_from_slice(&self.arena[c.start as usize..(c.start + c.len) as usize]);
+            c.start = start;
+        }
+        self.arena = arena;
+        self.garbage = 0;
+    }
+
     fn alloc_clause(&mut self, lits: Vec<Lit>, learnt: bool) -> u32 {
         debug_assert!(lits.len() >= 2);
         let cref = self.clauses.len() as u32;
@@ -482,21 +665,19 @@ impl Solver {
         let w1 = !lits[1];
         let blocker0 = lits[1];
         let blocker1 = lits[0];
+        let binary = lits.len() == 2;
+        let start = self.arena.len() as u32;
+        self.arena.extend_from_slice(&lits);
         self.clauses.push(Clause {
-            lits,
+            start,
+            len: lits.len() as u32,
             activity: 0.0,
             lbd: 0,
             learnt,
             deleted: false,
         });
-        self.watches[w0.code() as usize].push(Watcher {
-            cref,
-            blocker: blocker0,
-        });
-        self.watches[w1.code() as usize].push(Watcher {
-            cref,
-            blocker: blocker1,
-        });
+        self.watches[w0.code() as usize].push(Watcher::new(cref, blocker0, binary));
+        self.watches[w1.code() as usize].push(Watcher::new(cref, blocker1, binary));
         if learnt {
             self.learnt_refs.push(cref);
             self.stats.learnt += 1;
@@ -535,47 +716,65 @@ impl Solver {
                     j += 1;
                     continue;
                 }
-                if self.clauses[w.cref as usize].deleted {
+                let cref = w.cref();
+                if self.clauses[cref as usize].deleted {
                     continue; // drop watcher of deleted clause
                 }
-                let false_lit = !p;
-                // Normalize: watched false literal at index 1.
-                {
-                    let c = &mut self.clauses[w.cref as usize];
-                    if c.lits[0] == false_lit {
-                        c.lits.swap(0, 1);
+                // Binary clauses carry the whole clause in the watcher:
+                // the blocker is the other literal, so it is unit or
+                // conflicting now and no clause memory is touched.
+                if w.is_binary() {
+                    ws[j] = w;
+                    j += 1;
+                    // Reason-clause convention: the implied literal must
+                    // sit at position 0 for conflict analysis and
+                    // `is_locked`.
+                    let s = self.clauses[cref as usize].start as usize;
+                    if self.arena[s] != w.blocker {
+                        self.arena.swap(s, s + 1);
                     }
-                    debug_assert_eq!(c.lits[1], false_lit);
+                    if self.value_lit(w.blocker) == LBool::False {
+                        while i < ws.len() {
+                            ws[j] = ws[i];
+                            j += 1;
+                            i += 1;
+                        }
+                        self.qhead = self.trail.len();
+                        conflict = Some(cref);
+                    } else {
+                        self.unchecked_enqueue(w.blocker, cref);
+                    }
+                    continue;
                 }
-                let first = self.clauses[w.cref as usize].lits[0];
+                let false_lit = !p;
+                let (s, n) = {
+                    let c = &self.clauses[cref as usize];
+                    (c.start as usize, c.len as usize)
+                };
+                // Normalize: watched false literal at index 1.
+                if self.arena[s] == false_lit {
+                    self.arena.swap(s, s + 1);
+                }
+                debug_assert_eq!(self.arena[s + 1], false_lit);
+                let first = self.arena[s];
                 if first != w.blocker && self.value_lit(first) == LBool::True {
-                    ws[j] = Watcher {
-                        cref: w.cref,
-                        blocker: first,
-                    };
+                    ws[j] = Watcher::new(cref, first, false);
                     j += 1;
                     continue;
                 }
                 // Look for a new literal to watch.
-                let len = self.clauses[w.cref as usize].lits.len();
-                for k in 2..len {
-                    let lk = self.clauses[w.cref as usize].lits[k];
+                for k in 2..n {
+                    let lk = self.arena[s + k];
                     if self.value_lit(lk) != LBool::False {
-                        let c = &mut self.clauses[w.cref as usize];
-                        c.lits.swap(1, k);
-                        let new_watch = !c.lits[1];
-                        self.watches[new_watch.code() as usize].push(Watcher {
-                            cref: w.cref,
-                            blocker: first,
-                        });
+                        self.arena.swap(s + 1, s + k);
+                        let new_watch = !self.arena[s + 1];
+                        self.watches[new_watch.code() as usize]
+                            .push(Watcher::new(cref, first, false));
                         continue 'watchers;
                     }
                 }
                 // Clause is unit or conflicting under the current trail.
-                ws[j] = Watcher {
-                    cref: w.cref,
-                    blocker: first,
-                };
+                ws[j] = Watcher::new(cref, first, false);
                 j += 1;
                 if self.value_lit(first) == LBool::False {
                     // Conflict: flush remaining watchers and stop.
@@ -585,9 +784,9 @@ impl Solver {
                         i += 1;
                     }
                     self.qhead = self.trail.len();
-                    conflict = Some(w.cref);
+                    conflict = Some(cref);
                 } else {
-                    self.unchecked_enqueue(first, w.cref);
+                    self.unchecked_enqueue(first, cref);
                 }
             }
             ws.truncate(j);
@@ -656,9 +855,12 @@ impl Solver {
                 self.bump_clause(confl);
             }
             let start = usize::from(p.is_some());
-            let nlits = self.clauses[confl as usize].lits.len();
+            let (cs, nlits) = {
+                let c = &self.clauses[confl as usize];
+                (c.start as usize, c.len as usize)
+            };
             for k in start..nlits {
-                let q = self.clauses[confl as usize].lits[k];
+                let q = self.arena[cs + k];
                 let v = q.var();
                 let vi = v.index() as usize;
                 if !self.seen[vi] && self.level[vi] > 0 {
@@ -729,8 +931,7 @@ impl Solver {
         if r == NO_REASON {
             return false;
         }
-        let c = &self.clauses[r as usize];
-        c.lits.iter().skip(1).all(|&q| {
+        self.lits(r).iter().skip(1).all(|&q| {
             let vi = q.var().index() as usize;
             self.seen[vi] || self.level[vi] == 0
         })
@@ -748,7 +949,8 @@ impl Solver {
 
     fn pick_branch_var(&mut self) -> Option<Var> {
         while let Some(v) = self.order.pop(&self.activity) {
-            if self.assigns[v.index() as usize] == LBool::Undef {
+            let vi = v.index() as usize;
+            if self.assigns[vi] == LBool::Undef && !self.eliminated[vi] {
                 return Some(v);
             }
         }
@@ -777,36 +979,59 @@ impl Solver {
             }
             let keep = {
                 let c = &self.clauses[r as usize];
-                c.lbd <= 2 || c.lits.len() == 2 || self.is_locked(r)
+                c.lbd <= 2 || c.len == 2 || self.is_locked(r)
             };
             if !keep {
                 if self.proof.is_some() {
-                    let lits = self.clauses[r as usize].lits.clone();
+                    let lits = self.lits(r).to_vec();
                     self.log_step(ProofStep::Delete(lits));
                 }
                 let c = &mut self.clauses[r as usize];
+                self.garbage += c.len as usize;
                 c.deleted = true;
-                c.lits = Vec::new();
+                c.len = 0;
                 removed += 1;
                 self.stats.removed += 1;
             }
         }
         let clauses = &self.clauses;
         self.learnt_refs.retain(|&r| !clauses[r as usize].deleted);
+        self.collect_garbage();
     }
 
     fn is_locked(&self, cref: u32) -> bool {
         let c = &self.clauses[cref as usize];
-        if c.lits.is_empty() {
+        if c.len == 0 {
             return false;
         }
-        let first = c.lits[0];
+        let first = self.arena[c.start as usize];
         self.value_lit(first) == LBool::True && self.reason[first.var().index() as usize] == cref
     }
 
     fn decay_activities(&mut self) {
         self.var_inc /= 0.95;
         self.cla_inc /= 0.999;
+    }
+
+    /// Publishes a freshly learnt clause on the sharing ring if a lane is
+    /// attached and the clause passes the export filter (LBD, length,
+    /// fleet-common variable prefix).
+    #[inline]
+    fn export_learnt(&self, lits: &[Lit], lbd: u32) {
+        let Some(h) = &self.share else { return };
+        if lbd > h.max_lbd || lits.len() > h.max_len {
+            return;
+        }
+        if lits
+            .iter()
+            .any(|l| l.var().index() as usize >= h.shared_vars)
+        {
+            return;
+        }
+        h.ring.publish(h.lane, lits);
+        if axmc_obs::enabled() {
+            axmc_obs::counter("sat.share.exported").inc();
+        }
     }
 
     /// Solves the formula without assumptions.
@@ -932,6 +1157,24 @@ impl Solver {
             self.log_conclusion(None, assumptions);
             return SolveResult::Unknown;
         }
+        // Between-solves inprocessing and shared-clause import, both at
+        // decision level 0. Either can expose a root-level conflict.
+        if self.inprocess.is_some() || self.share.is_some() {
+            self.presolve();
+            if !self.ok {
+                self.log_conclusion(Some(Vec::new()), assumptions);
+                return SolveResult::Unsat;
+            }
+        }
+        if self.num_eliminated > 0 {
+            for &l in assumptions {
+                assert!(
+                    !self.eliminated[l.var().index() as usize],
+                    "assumption on eliminated variable {:?}",
+                    l.var()
+                );
+            }
+        }
         let call_deadline = self.ctl.call_deadline();
         let start_conflicts = self.stats.conflicts;
         let start_props = self.stats.propagations;
@@ -963,12 +1206,14 @@ impl Solver {
                         if let Some(h) = &self.lbd_hist {
                             h.record(1); // a unit spans one decision level
                         }
+                        self.export_learnt(&learnt, 1);
                         self.unchecked_enqueue(learnt[0], NO_REASON);
                     } else {
                         let lbd = self.lbd(&learnt);
                         if let Some(h) = &self.lbd_hist {
                             h.record(lbd as u64);
                         }
+                        self.export_learnt(&learnt, lbd);
                         let first = learnt[0];
                         let cref = self.alloc_clause(learnt, true);
                         self.clauses[cref as usize].lbd = lbd;
@@ -1046,6 +1291,9 @@ impl Solver {
                         None => {
                             // Complete assignment: model found.
                             self.model = self.assigns.clone();
+                            if !self.elim_stack.is_empty() {
+                                self.extend_model();
+                            }
                             break 'outer SolveResult::Sat;
                         }
                         Some(v) => {
@@ -1096,9 +1344,12 @@ impl Solver {
                 // tautology `{!p, p}`, which is trivially RUP.)
                 out.push(!q);
             } else {
-                let nlits = self.clauses[r as usize].lits.len();
+                let (cs, nlits) = {
+                    let c = &self.clauses[r as usize];
+                    (c.start as usize, c.len as usize)
+                };
                 for k in 1..nlits {
-                    let l = self.clauses[r as usize].lits[k];
+                    let l = self.arena[cs + k];
                     let lv = l.var().index() as usize;
                     if self.level[lv] > 0 {
                         self.seen[lv] = true;
@@ -1284,10 +1535,10 @@ mod tests {
                 }
             }
         }
-        s.set_budget(Budget::unlimited().with_conflicts(1));
+        s.configure(&SolverConfig::new().with_budget(Budget::unlimited().with_conflicts(1)));
         assert_eq!(s.solve(), SolveResult::Unknown);
         // Lifting the budget lets it finish.
-        s.set_budget(Budget::unlimited());
+        s.configure(&SolverConfig::new());
         assert_eq!(s.solve(), SolveResult::Unsat);
     }
 
@@ -1316,10 +1567,10 @@ mod tests {
     #[test]
     fn budget_exhaustion_reports_the_interrupt_reason() {
         let mut s = pigeonhole(10);
-        s.set_budget(Budget::unlimited().with_conflicts(1));
+        s.configure(&SolverConfig::new().with_budget(Budget::unlimited().with_conflicts(1)));
         assert_eq!(s.solve(), SolveResult::Unknown);
         assert_eq!(s.last_interrupt(), Some(Interrupt::Conflicts));
-        s.set_ctl(ResourceCtl::unlimited().with_budget(Budget::unlimited().with_propagations(1)));
+        s.configure(&SolverConfig::new().with_budget(Budget::unlimited().with_propagations(1)));
         assert_eq!(s.solve(), SolveResult::Unknown);
         assert_eq!(s.last_interrupt(), Some(Interrupt::Propagations));
     }
@@ -1327,7 +1578,10 @@ mod tests {
     #[test]
     fn expired_deadline_returns_unknown_immediately() {
         let mut s = pigeonhole(10);
-        s.set_ctl(ResourceCtl::unlimited().with_timeout(std::time::Duration::ZERO));
+        s.configure(
+            &SolverConfig::new()
+                .with_ctl(ResourceCtl::unlimited().with_timeout(std::time::Duration::ZERO)),
+        );
         let start = Instant::now();
         assert_eq!(s.solve(), SolveResult::Unknown);
         assert_eq!(s.last_interrupt(), Some(Interrupt::Deadline));
@@ -1343,7 +1597,9 @@ mod tests {
     fn raised_cancel_token_stops_the_search() {
         let mut s = pigeonhole(10);
         let token = CancelToken::new();
-        s.set_ctl(ResourceCtl::unlimited().with_cancel(token.clone()));
+        s.configure(
+            &SolverConfig::new().with_ctl(ResourceCtl::unlimited().with_cancel(token.clone())),
+        );
         token.cancel();
         assert_eq!(s.solve(), SolveResult::Unknown);
         assert_eq!(s.last_interrupt(), Some(Interrupt::Cancelled));
@@ -1353,7 +1609,9 @@ mod tests {
     fn cancellation_from_another_thread_interrupts_a_running_solve() {
         let mut s = pigeonhole(10);
         let token = CancelToken::new();
-        s.set_ctl(ResourceCtl::unlimited().with_cancel(token.clone()));
+        s.configure(
+            &SolverConfig::new().with_ctl(ResourceCtl::unlimited().with_cancel(token.clone())),
+        );
         let start = Instant::now();
         let canceller = std::thread::spawn(move || {
             std::thread::sleep(std::time::Duration::from_millis(30));
@@ -1377,21 +1635,84 @@ mod tests {
     fn verdicts_clear_the_last_interrupt() {
         // A solve that trips the budget...
         let mut hard = pigeonhole(7);
-        hard.set_budget(Budget::unlimited().with_conflicts(1));
+        hard.configure(&SolverConfig::new().with_budget(Budget::unlimited().with_conflicts(1)));
         assert_eq!(hard.solve(), SolveResult::Unknown);
         assert!(hard.last_interrupt().is_some());
         // ...then completes once the limit is lifted: reason cleared.
-        hard.set_budget(Budget::unlimited());
+        hard.configure(&SolverConfig::new());
         assert_eq!(hard.solve(), SolveResult::Unsat);
         assert_eq!(hard.last_interrupt(), None);
+    }
+
+    #[test]
+    fn completed_assumption_solves_clear_the_last_interrupt() {
+        // Same invariant as above, but through the assumptions path: a
+        // stale interrupt reason must not survive a solve that reached a
+        // verdict under assumptions.
+        let (mut s, v) = make(3);
+        s.add_clause(&[lit(&v, 1), lit(&v, 2)]);
+        s.add_clause(&[lit(&v, -2), lit(&v, 3)]);
+        s.configure(
+            &SolverConfig::new()
+                .with_ctl(ResourceCtl::unlimited().with_timeout(std::time::Duration::ZERO)),
+        );
+        assert_eq!(
+            s.solve_with_assumptions(&[lit(&v, -1)]),
+            SolveResult::Unknown
+        );
+        assert!(s.last_interrupt().is_some());
+        s.configure(&SolverConfig::new());
+        assert_eq!(s.solve_with_assumptions(&[lit(&v, -1)]), SolveResult::Sat);
+        assert_eq!(s.last_interrupt(), None, "Sat verdict clears the reason");
+        assert_eq!(
+            s.solve_with_assumptions(&[lit(&v, -1), lit(&v, -2)]),
+            SolveResult::Unsat
+        );
+        assert_eq!(s.last_interrupt(), None, "Unsat verdict clears the reason");
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_setters_still_forward() {
+        let mut s = pigeonhole(10);
+        s.set_budget(Budget::unlimited().with_conflicts(1));
+        assert_eq!(s.solve(), SolveResult::Unknown);
+        s.set_ctl(ResourceCtl::unlimited());
+        assert_eq!(s.ctl().budget().max_conflicts(), None);
+        s.set_proof_logging(true);
+        assert!(s.proof_logging());
+    }
+
+    #[test]
+    fn current_config_round_trips_every_knob() {
+        let mut s = pigeonhole(7);
+        s.configure(
+            &SolverConfig::new()
+                .with_budget(Budget::unlimited().with_conflicts(123))
+                .with_proof_logging(true)
+                .with_inprocessing(crate::InprocessConfig::default()),
+        );
+        let cfg = s.current_config();
+        assert_eq!(cfg.ctl().budget().max_conflicts(), Some(123));
+        assert!(cfg.proof_logging());
+        assert!(cfg.inprocess().is_some());
+        assert!(cfg.share().is_none());
+        // Re-applying the captured config with one knob changed keeps
+        // the proof buffer alive (logging stays on).
+        s.configure(&cfg.with_budget(Budget::unlimited()));
+        assert!(s.proof_logging());
+        assert_eq!(s.ctl().budget().max_conflicts(), None);
     }
 
     #[test]
     fn generous_deadline_does_not_change_the_verdict() {
         let mut plain = pigeonhole(7);
         let mut governed = pigeonhole(7);
-        governed
-            .set_ctl(ResourceCtl::unlimited().with_timeout(std::time::Duration::from_secs(3600)));
+        governed.configure(
+            &SolverConfig::new().with_ctl(
+                ResourceCtl::unlimited().with_timeout(std::time::Duration::from_secs(3600)),
+            ),
+        );
         assert_eq!(plain.solve(), governed.solve());
         assert_eq!(governed.last_interrupt(), None);
     }
@@ -1400,7 +1721,9 @@ mod tests {
     fn cloned_solvers_share_the_cancel_token() {
         let token = CancelToken::new();
         let mut a = pigeonhole(10);
-        a.set_ctl(ResourceCtl::unlimited().with_cancel(token.clone()));
+        a.configure(
+            &SolverConfig::new().with_ctl(ResourceCtl::unlimited().with_cancel(token.clone())),
+        );
         let mut b = a.clone();
         token.cancel();
         assert_eq!(a.solve(), SolveResult::Unknown);
@@ -1516,7 +1839,7 @@ mod tests {
     #[test]
     fn proof_logging_records_premises_and_conclusion() {
         let (mut s, v) = make(2);
-        s.set_proof_logging(true);
+        s.configure(&SolverConfig::new().with_proof_logging(true));
         assert!(s.proof_logging());
         s.add_clause(&[lit(&v, 1), lit(&v, 2)]);
         s.add_clause(&[lit(&v, -1)]);
@@ -1531,7 +1854,7 @@ mod tests {
     #[test]
     fn certificate_is_absent_for_sat_answers() {
         let (mut s, v) = make(2);
-        s.set_proof_logging(true);
+        s.configure(&SolverConfig::new().with_proof_logging(true));
         s.add_clause(&[lit(&v, 1), lit(&v, 2)]);
         assert_eq!(s.solve(), SolveResult::Sat);
         assert!(s.certificate().is_none());
@@ -1546,7 +1869,7 @@ mod tests {
     #[test]
     fn assumption_core_consists_of_negated_assumptions() {
         let (mut s, v) = make(3);
-        s.set_proof_logging(true);
+        s.configure(&SolverConfig::new().with_proof_logging(true));
         s.add_clause(&[lit(&v, -1), lit(&v, 2)]);
         s.add_clause(&[lit(&v, -2), lit(&v, 3)]);
         let a = [lit(&v, 1), lit(&v, -3)];
@@ -1563,7 +1886,7 @@ mod tests {
         let (mut s, v) = make(2);
         s.add_clause(&[lit(&v, 1), lit(&v, 2)]);
         s.add_clause(&[lit(&v, -2)]); // becomes a root-trail unit
-        s.set_proof_logging(true);
+        s.configure(&SolverConfig::new().with_proof_logging(true));
         s.add_clause(&[lit(&v, -1)]);
         assert_eq!(s.solve(), SolveResult::Unsat);
         let cert = s.certificate().expect("unsat certificate");
@@ -1577,7 +1900,7 @@ mod tests {
         let n = 5;
         let h = 4;
         let (mut s, v) = make(n * h);
-        s.set_proof_logging(true);
+        s.configure(&SolverConfig::new().with_proof_logging(true));
         let p = |i: usize, j: usize| v[i * h + j].positive();
         for i in 0..n {
             let holes: Vec<Lit> = (0..h).map(|j| p(i, j)).collect();
@@ -1601,11 +1924,11 @@ mod tests {
     #[test]
     fn disabling_proof_logging_discards_the_buffer() {
         let (mut s, v) = make(1);
-        s.set_proof_logging(true);
+        s.configure(&SolverConfig::new().with_proof_logging(true));
         s.add_clause(&[lit(&v, 1)]);
         s.add_clause(&[lit(&v, -1)]);
         assert_eq!(s.solve(), SolveResult::Unsat);
-        s.set_proof_logging(false);
+        s.configure(&SolverConfig::new().with_proof_logging(false));
         assert!(!s.proof_logging());
         assert!(s.certificate().is_none());
         assert!(s.proof_drat().is_none());

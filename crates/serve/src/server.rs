@@ -32,6 +32,10 @@ pub struct ServeConfig {
     /// Default per-job deadline applied when a request carries no
     /// `timeout_ms`.
     pub default_timeout: Option<Duration>,
+    /// Run the solver's between-solves inprocessing pass inside every
+    /// analysis engine (see [`AnalysisOptions::with_inprocessing`]).
+    /// Verdicts are unaffected; pays off on long-lived warm probes.
+    pub inprocess: bool,
 }
 
 impl Default for ServeConfig {
@@ -41,6 +45,7 @@ impl Default for ServeConfig {
             certify: false,
             backend: Backend::Sat,
             default_timeout: None,
+            inprocess: false,
         }
     }
 }
@@ -344,6 +349,7 @@ impl Server {
         let options = AnalysisOptions::new()
             .with_ctl(ctl)
             .with_certify(certify)
+            .with_inprocessing(self.config.inprocess)
             // Sequential analyses are always SAT/BMC; forcing the key's
             // backend field keeps seq cache keys canonical across
             // configurations.

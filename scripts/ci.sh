@@ -178,6 +178,37 @@ static_smoke() {
 }
 static_smoke
 
+# Incremental-BMC smoke: the BMC depth ladder must extend one growing
+# solver instead of re-encoding the unrolled miter per depth. Doubling
+# the horizon of a sequential analysis must therefore scale the
+# sat.vars.created metric roughly linearly (a re-encoding ladder is
+# quadratic: 1+2+..+k frames instead of k). The 2.5x allowance absorbs
+# the horizon-dependent threshold probes on top of the linear frames.
+incremental_bmc_smoke() {
+    echo "== incremental BMC smoke =="
+    local dir
+    dir=$(mktemp -d)
+    cargo run --release --offline --bin axmc -- \
+        gen --kind accumulator --width 6 --out "$dir/g.aag"
+    cargo run --release --offline --bin axmc -- \
+        gen --kind trunc-accumulator --width 6 --param 2 --out "$dir/c.aag"
+    local v4 v8
+    for h in 4 8; do
+        cargo run --release --offline --bin axmc -- \
+            analyze --golden "$dir/g.aag" --approx "$dir/c.aag" \
+            --horizon "$h" --metrics >"$dir/out$h.txt"
+    done
+    v4=$(grep "sat.vars.created" "$dir/out4.txt" | grep -o '[0-9]\+' | head -1)
+    v8=$(grep "sat.vars.created" "$dir/out8.txt" | grep -o '[0-9]\+' | head -1)
+    [[ -n $v4 && -n $v8 && $v4 -gt 0 ]] \
+        || { echo "sat.vars.created missing from --metrics"; exit 1; }
+    echo "sat.vars.created: horizon 4 -> $v4, horizon 8 -> $v8"
+    (( v8 * 10 <= v4 * 25 )) \
+        || { echo "depth ladder re-encodes: vars grew ${v8}/${v4} (> 2.5x)"; exit 1; }
+    rm -rf "$dir"
+}
+incremental_bmc_smoke
+
 # Throughput gate for the static tier's costliest consumer: the T5
 # harness (CGP evaluations/second — every candidate now passes the
 # static pre-screen before a solver sees it) must not regress against
@@ -195,6 +226,23 @@ t5_gate() {
     rm -rf "$dir"
 }
 t5_gate
+
+# SAT-speed gate: the T7 harness times the raw engines (SAT vs BDD vs
+# the portfolio) on every row, so a regression in the SAT hot path —
+# encoding, propagation, inprocessing — shows up here even when the
+# higher-level searches mask it. bench-diff exits 12 past the threshold.
+t7_gate() {
+    echo "== T7 multi-backend bench gate =="
+    local dir
+    dir=$(mktemp -d)
+    AXMC_METRICS_DIR="$dir" run cargo run --release --offline \
+        -p axmc-bench --bin table7_bdd_average_error
+    cargo run --release --offline --bin axmc -- \
+        bench-diff --base bench_results/t7_baseline_metrics.quick.json \
+        --new "$dir/T7_metrics.quick.json" --threshold 2000 --min-ms 50
+    rm -rf "$dir"
+}
+t7_gate
 
 # The certified-solve suite (DRAT proof logging + in-tree checker,
 # including the corrupted-proof rejection paths), in both feature

@@ -155,6 +155,7 @@ USAGE:
   axmc analyze --golden G.aag --approx C.aag [--horizon K] [--jobs N]
                [--engine sat|bdd|auto|static] [--timeout D] [--query-timeout D]
                [--prove] [--average] [--certify] [--vcd F.vcd]
+               [--inprocess] [--share-clauses]
                [--metrics] [--trace F.jsonl] [--run-dir DIR]
       Exact worst-case / bit-flip error of C against G. Sequential pairs
       are analyzed within K cycles (default 8); --prove additionally
@@ -170,7 +171,8 @@ USAGE:
   axmc gen --kind KIND --width N [--param P] --out C.aag [--verilog C.v]
       Writes a library circuit as AIGER. KIND: adder, multiplier,
       trunc-adder, loa-adder, spec-adder, trunc-multiplier,
-      optrunc-multiplier, kulkarni-multiplier, incrementer.
+      optrunc-multiplier, kulkarni-multiplier, incrementer; sequential
+      (AIGER only, no --verilog): accumulator, trunc-accumulator.
 
   axmc stats --circuit C.aag
       Structural statistics of an AIGER circuit.
@@ -198,7 +200,7 @@ USAGE:
       taking more than MS milliseconds (default 5, a noise floor).
 
   axmc serve [--socket PATH [--max-conns N]] [--jobs N]
-             [--engine sat|bdd|auto] [--timeout D] [--certify]
+             [--engine sat|bdd|auto] [--timeout D] [--certify] [--inprocess]
              [--metrics] [--trace F.jsonl] [--run-dir DIR]
       Batch analysis service. Reads analysis jobs as line-delimited JSON
       from stdin (or serves whole batches per connection on a unix
@@ -245,6 +247,19 @@ PARALLELISM:
                     machine's available parallelism; must be >= 1. Results
                     are identical for every N — a fixed --seed reproduces
                     the same evolve trajectory byte for byte.
+
+SOLVER TUNING (see docs/solver.md):
+  --inprocess       run the solver's between-solves inprocessing pass
+                    (subsumption, self-subsuming resolution, vivification)
+                    inside every SAT engine. Verdicts are unchanged, and
+                    under --certify every simplification is proof-logged
+                    and re-checked. analyze and serve only.
+  --share-clauses   share strong learned clauses (LBD-filtered) between
+                    the --jobs portfolio workers of the threshold
+                    searches; imports are RUP-validated before use.
+                    Certified verdicts are unaffected, but under tight
+                    budgets which probes *finish* may vary run to run.
+                    analyze only; needs --jobs >= 2 to have any effect.
 
 RESOURCE GOVERNANCE:
   --timeout D       wall-clock deadline for the whole command. D is a
@@ -318,6 +333,8 @@ const ANALYZE_FLAGS: &[FlagSpec] = &[
     switch("prove"),
     switch("average"),
     switch("certify"),
+    switch("inprocess"),
+    switch("share-clauses"),
     val("vcd"),
     switch("metrics"),
     val("trace"),
@@ -366,6 +383,7 @@ const SERVE_FLAGS: &[FlagSpec] = &[
     val("engine"),
     val("timeout"),
     switch("certify"),
+    switch("inprocess"),
     switch("metrics"),
     val("trace"),
     val("run-dir"),
@@ -723,7 +741,9 @@ fn cmd_analyze(opts: &Flags) -> Result<(), CliError> {
         .with_ctl(ctl)
         .with_jobs(jobs)
         .with_certify(certify)
-        .with_backend(engine);
+        .with_backend(engine)
+        .with_inprocessing(opts.contains_key("inprocess"))
+        .with_clause_sharing(opts.contains_key("share-clauses"));
     let golden = load_aig(required(opts, "golden")?)?;
     let approx = load_aig(required(opts, "approx")?)?;
     if golden.num_inputs() != approx.num_inputs() || golden.num_outputs() != approx.num_outputs() {
@@ -914,6 +934,34 @@ fn cmd_gen(opts: &Flags) -> Result<(), CliError> {
     let kind = required(opts, "kind")?;
     let width: usize = numeric(opts, "width", 8)?;
     let param: usize = numeric(opts, "param", width / 2)?;
+    // Sequential templates produce an AIG directly (latches have no
+    // netlist form); --verilog is combinational-only.
+    let sequential = match kind {
+        "accumulator" => Some(axmc::seq::accumulator(
+            &generators::ripple_carry_adder(width),
+            width,
+        )),
+        "trunc-accumulator" => Some(axmc::seq::accumulator(
+            &approx::truncated_adder(width, param),
+            width,
+        )),
+        _ => None,
+    };
+    if let Some(aig) = sequential {
+        if opts.contains_key("verilog") {
+            return Err(format!("--verilog is not supported for sequential kind '{kind}'").into());
+        }
+        let path = required(opts, "out")?;
+        save_aig(path, &aig)?;
+        println!(
+            "wrote {path}: {} inputs, {} outputs, {} latches, {} ands",
+            aig.num_inputs(),
+            aig.num_outputs(),
+            aig.num_latches(),
+            aig.num_ands()
+        );
+        return Ok(());
+    }
     let netlist = match kind {
         "adder" => generators::ripple_carry_adder(width),
         "multiplier" => generators::array_multiplier(width),
@@ -1113,6 +1161,7 @@ fn cmd_serve(opts: &Flags) -> Result<(), CliError> {
         certify,
         backend: engine,
         default_timeout,
+        inprocess: opts.contains_key("inprocess"),
     });
     if let Some(path) = opts.get("socket") {
         let max_conns = match opts.get("max-conns") {

@@ -6,7 +6,7 @@
 use axmc::check::{check_certificate, ProofError};
 use axmc::circuit::{approx, generators};
 use axmc::core::{AnalysisOptions, SeqAnalyzer};
-use axmc::sat::{Certificate, Lit, ProofStep, SolveResult, Solver, Var};
+use axmc::sat::{Certificate, Lit, ProofStep, ShareRing, SolveResult, Solver, SolverConfig, Var};
 use axmc::seq::accumulator;
 
 /// A pigeonhole instance (n pigeons, n-1 holes): small, UNSAT, and with a
@@ -37,8 +37,7 @@ fn pigeonhole(solver: &mut Solver, pigeons: usize) -> Vec<Vec<Lit>> {
 /// Records a real refutation of a pigeonhole instance and returns the
 /// solver (still holding the certificate).
 fn refuted_solver() -> Solver {
-    let mut solver = Solver::new();
-    solver.set_proof_logging(true);
+    let mut solver = Solver::with_config(SolverConfig::new().with_proof_logging(true));
     pigeonhole(&mut solver, 4);
     assert_eq!(solver.solve(), SolveResult::Unsat);
     solver
@@ -166,5 +165,79 @@ fn certified_sequential_analysis_suite() {
     assert!(
         checked > 0,
         "the certified sweep must actually exercise the checker"
+    );
+}
+
+#[test]
+fn certified_analysis_with_inprocessing_and_sharing() {
+    // The full speed stack — portfolio probing, learned-clause sharing
+    // between the lanes, and between-solves inprocessing — under
+    // certification: the checker must accept every UNSAT the tuned
+    // engines report (a rejection would surface as an error), and the
+    // metric values must match the plain serial run bit for bit.
+    let golden = accumulator(&generators::ripple_carry_adder(4), 4);
+    let approximate = accumulator(&approx::lower_or_adder(4, 2), 4);
+    let plain = SeqAnalyzer::new(&golden, &approximate);
+    let tuned = SeqAnalyzer::new(&golden, &approximate).with_options(
+        AnalysisOptions::new()
+            .with_certify(true)
+            .with_jobs(3)
+            .with_inprocessing(true)
+            .with_clause_sharing(true),
+    );
+    assert_eq!(
+        plain.worst_case_error_at(3).expect("analysis").value,
+        tuned
+            .worst_case_error_at(3)
+            .expect("tuned certified analysis")
+            .value
+    );
+    assert_eq!(
+        plain.earliest_error(4).expect("analysis").cycle,
+        tuned
+            .earliest_error(4)
+            .expect("tuned certified analysis")
+            .cycle
+    );
+}
+
+#[test]
+fn mutated_shared_clauses_cannot_certify() {
+    // Import side: a corrupted fleet-mate publishes a clause that does
+    // not follow from the importer's database. RUP validation at import
+    // must reject it, leaving the verdict (and the model) untouched.
+    let ring = ShareRing::new();
+    let mut s = Solver::with_config(
+        SolverConfig::new()
+            .with_proof_logging(true)
+            .with_share(ring.handle(0, 8)),
+    );
+    let x1 = s.new_var().positive();
+    let x2 = s.new_var().positive();
+    s.add_clause(&[x1, x2]);
+    s.add_clause(&[!x1, x2]);
+    ring.publish(1, &[!x2]); // the database implies x2: not RUP
+    assert_eq!(s.solve(), SolveResult::Sat);
+    assert_eq!(
+        s.model_lit(x2),
+        Some(true),
+        "the mutated import must not constrain the solver"
+    );
+
+    // Checker side: even a mutated clause spliced straight into a
+    // recorded refutation is caught by the forward DRAT check — the
+    // spliced step is not derivable from the premises before it.
+    let solver = refuted_solver();
+    let cert = solver.certificate().expect("certificate");
+    let mut spliced = cert.steps.to_vec();
+    spliced.insert(0, ProofStep::Add(vec![Var::new(0).positive()]));
+    let corrupted = Certificate {
+        steps: &spliced,
+        ..cert
+    };
+    let err = check_certificate(&corrupted).expect_err("spliced clause must be caught");
+    assert!(
+        matches!(err, ProofError::NotRup { step: 0 }),
+        "unexpected error: {err}"
     );
 }

@@ -160,6 +160,41 @@ fn seq_analyzer_values_are_identical_across_jobs() {
 }
 
 #[test]
+fn clause_sharing_and_inprocessing_are_jobs_invariant() {
+    // The SAT speed stack must not change any answer: with clause
+    // sharing and inprocessing enabled, every jobs value reports the
+    // same metric values as the plain serial analyzer. (Shared clauses
+    // are RUP-validated imports and inprocessing is equivalence-
+    // preserving, so only *timing* may change.)
+    let width = 4;
+    let golden = axmc::seq::accumulator(&generators::ripple_carry_adder(width), width);
+    let cheap = axmc::seq::accumulator(&approx::lower_or_adder(width, 2), width);
+    let horizon = 4;
+    let serial =
+        SeqAnalyzer::new(&golden, &cheap).with_options(AnalysisOptions::new().with_jobs(1));
+    let wce = serial.worst_case_error_at(horizon).unwrap().value;
+    let bf = serial.bit_flip_error_at(horizon).unwrap().value;
+    for jobs in [2, test_jobs()] {
+        let tuned = SeqAnalyzer::new(&golden, &cheap).with_options(
+            AnalysisOptions::new()
+                .with_jobs(jobs)
+                .with_clause_sharing(true)
+                .with_inprocessing(true),
+        );
+        assert_eq!(
+            wce,
+            tuned.worst_case_error_at(horizon).unwrap().value,
+            "jobs {jobs}: sharing/inprocessing changed the WCE"
+        );
+        assert_eq!(
+            bf,
+            tuned.bit_flip_error_at(horizon).unwrap().value,
+            "jobs {jobs}: sharing/inprocessing changed the bit-flip error"
+        );
+    }
+}
+
+#[test]
 fn seq_analyzer_parallel_runs_are_reproducible() {
     // Same jobs value twice: byte-identical reports, including the
     // bookkeeping (lane i always owns engine i, so even the conflict

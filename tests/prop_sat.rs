@@ -121,14 +121,16 @@ proptest! {
         let n = 10;
         let expect = brute_force_sat(n, &f);
         let (mut solver, _) = load(n, &f);
-        solver.set_budget(Budget::unlimited().with_conflicts(limit));
+        let limited = solver.current_config().with_budget(Budget::unlimited().with_conflicts(limit));
+        solver.configure(&limited);
         match solver.solve() {
             SolveResult::Sat => prop_assert!(expect),
             SolveResult::Unsat => prop_assert!(!expect),
             SolveResult::Unknown => {} // allowed under a budget
         }
         // Lifting the budget must produce the definitive answer.
-        solver.set_budget(Budget::unlimited());
+        let unlimited = solver.current_config().with_budget(Budget::unlimited());
+        solver.configure(&unlimited);
         prop_assert_eq!(solver.solve() == SolveResult::Sat, expect);
     }
 
