@@ -1,0 +1,391 @@
+//! Composition: instantiate library picks inside sequential accelerator
+//! scenarios and measure the *system-level* error end to end.
+//!
+//! The paper's central observation is that component-level error says
+//! little about system-level error — a multiplier's 81-LSB worst case
+//! may saturate, cancel, or compound once it feeds an accumulator. The
+//! compose sweep makes that gap measurable: every netlist-backed
+//! library component is stitched into the chosen scenario (a MAC unit,
+//! an FIR moving-sum cascade, or an accumulator chain — the
+//! `axmc_seq` templates), the same scenario is built around
+//! the exact component, and [`SeqAnalyzer`] determines the exact
+//! worst-case error of the product machine at the requested cycle
+//! horizon. [`select`] then answers the engineering question directly:
+//! the cheapest component whose system-level WCE stays under τ.
+
+use crate::sweep::{ComponentKind, LibraryComponent};
+use crate::table::{
+    check_schema, f64_field, opt_u128_field, record_kind, str_field, usize_field, SCHEMA,
+};
+use axmc_aig::Aig;
+use axmc_circuit::generators::ripple_carry_adder;
+use axmc_circuit::{AreaModel, Netlist};
+use axmc_core::{AnalysisError, AnalysisOptions, Backend, SeqAnalyzer};
+use axmc_obs::json::Json;
+use std::time::Instant;
+
+/// The sequential scenarios a component can be composed into.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Scenario {
+    /// A multiply-accumulate unit: the component fills the multiplier
+    /// slot, an exact `2w`-bit ripple-carry adder accumulates the
+    /// products ([`axmc_seq::mac`]).
+    Mac,
+    /// An FIR moving-sum cascade over `taps` delayed samples: the
+    /// component fills every adder slot ([`axmc_seq::fir_moving_sum`]).
+    Fir,
+    /// An accumulator chain: the component fills the adder slot,
+    /// feeding its own `w`-bit state register ([`axmc_seq::accumulator`]).
+    Accumulator,
+}
+
+impl Scenario {
+    /// Parses a scenario name as written on the CLI.
+    pub fn parse(s: &str) -> Result<Scenario, String> {
+        match s {
+            "mac" => Ok(Scenario::Mac),
+            "fir" => Ok(Scenario::Fir),
+            "accumulator" | "acc" => Ok(Scenario::Accumulator),
+            other => Err(format!(
+                "unknown scenario '{other}' (expected mac, fir or accumulator)"
+            )),
+        }
+    }
+
+    /// The scenario's table string.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Scenario::Mac => "mac",
+            Scenario::Fir => "fir",
+            Scenario::Accumulator => "accumulator",
+        }
+    }
+
+    /// The component class that fills the scenario's approximable slot.
+    pub fn slot_kind(self) -> ComponentKind {
+        match self {
+            Scenario::Mac => ComponentKind::Multiplier,
+            Scenario::Fir | Scenario::Accumulator => ComponentKind::Adder,
+        }
+    }
+
+    /// Builds the scenario with `component` in its slot.
+    fn build(self, component: &Netlist, width: usize, taps: usize) -> Aig {
+        match self {
+            Scenario::Mac => {
+                let acc_adder = ripple_carry_adder(2 * width);
+                axmc_seq::mac(component, &acc_adder, width)
+            }
+            Scenario::Fir => axmc_seq::fir_moving_sum(component, width, taps),
+            Scenario::Accumulator => axmc_seq::accumulator(component, width),
+        }
+    }
+}
+
+/// One composed row: a component instantiated in a scenario, with its
+/// system-level worst-case error at the analysis horizon.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Composition {
+    /// Scenario name (`"mac"`, `"fir"`, `"accumulator"`).
+    pub scenario: String,
+    /// The component filling the slot.
+    pub component: String,
+    /// Operand width in bits.
+    pub width: usize,
+    /// Cycle horizon `k` of the sequential analysis.
+    pub horizon: usize,
+    /// FIR tap count (0 for the other scenarios).
+    pub taps: usize,
+    /// Component cell area (45 nm table).
+    pub area_um2: f64,
+    /// System-level worst-case error at the horizon, when determined.
+    pub sys_wce: Option<u128>,
+    /// Certified `[lo, hi]` bounds of an interrupted analysis.
+    pub sys_bounds: Option<(u128, u128)>,
+    /// `"ok"` or `"interrupted"`.
+    pub status: String,
+    /// Solver calls of the sequential analysis.
+    pub sat_calls: u64,
+    /// Solver conflicts of the sequential analysis.
+    pub conflicts: u64,
+    /// Wall-clock for the row, milliseconds.
+    pub time_ms: f64,
+}
+
+impl Composition {
+    /// Renders the row as one schema-v1 `composition` object.
+    pub fn to_json(&self) -> Json {
+        let mut m = vec![
+            ("schema".into(), Json::Str(SCHEMA.into())),
+            ("record".into(), Json::Str("composition".into())),
+            ("scenario".into(), Json::Str(self.scenario.clone())),
+            ("component".into(), Json::Str(self.component.clone())),
+            ("width".into(), Json::Num(self.width as f64)),
+            ("horizon".into(), Json::Num(self.horizon as f64)),
+            ("taps".into(), Json::Num(self.taps as f64)),
+            ("area_um2".into(), Json::Num(self.area_um2)),
+            ("status".into(), Json::Str(self.status.clone())),
+        ];
+        if let Some(v) = self.sys_wce {
+            m.push(("sys_wce".into(), Json::Str(v.to_string())));
+        }
+        if let Some((lo, hi)) = self.sys_bounds {
+            m.push(("sys_wce_lo".into(), Json::Str(lo.to_string())));
+            m.push(("sys_wce_hi".into(), Json::Str(hi.to_string())));
+        }
+        m.push(("sat_calls".into(), Json::Num(self.sat_calls as f64)));
+        m.push(("conflicts".into(), Json::Num(self.conflicts as f64)));
+        m.push(("time_ms".into(), Json::Num(self.time_ms)));
+        Json::Obj(m)
+    }
+
+    /// Parses one schema-v1 `composition` object.
+    pub fn from_json(doc: &Json) -> Result<Composition, String> {
+        check_schema(doc)?;
+        if record_kind(doc) != Some("composition") {
+            return Err("not a 'composition' record".into());
+        }
+        Ok(Composition {
+            scenario: str_field(doc, "scenario")?,
+            component: str_field(doc, "component")?,
+            width: usize_field(doc, "width")?,
+            horizon: usize_field(doc, "horizon")?,
+            taps: usize_field(doc, "taps")?,
+            area_um2: f64_field(doc, "area_um2")?,
+            sys_wce: opt_u128_field(doc, "sys_wce")?,
+            sys_bounds: match (
+                opt_u128_field(doc, "sys_wce_lo")?,
+                opt_u128_field(doc, "sys_wce_hi")?,
+            ) {
+                (Some(lo), Some(hi)) => Some((lo, hi)),
+                (None, None) => None,
+                _ => return Err("sys_wce_lo/sys_wce_hi must appear together".into()),
+            },
+            status: str_field(doc, "status")?,
+            sat_calls: f64_field(doc, "sat_calls")? as u64,
+            conflicts: f64_field(doc, "conflicts")? as u64,
+            time_ms: f64_field(doc, "time_ms")?,
+        })
+    }
+}
+
+/// Composes every eligible library component into `scenario` and
+/// analyzes the result end to end with [`SeqAnalyzer`].
+///
+/// Eligible means: the component's class matches the scenario slot, its
+/// width matches `width`, and it carries a gate-level netlist (builtin
+/// components; AIGER imports cannot be re-stitched into a scenario and
+/// are reported in the returned skip list). Rows come back in component
+/// order; the fan-out runs across rows with per-row analyses pinned to
+/// one job, like the component sweep.
+pub fn compose_sweep(
+    scenario: Scenario,
+    width: usize,
+    horizon: usize,
+    taps: usize,
+    components: &[LibraryComponent],
+    base: &AnalysisOptions,
+    jobs: usize,
+) -> Result<(Vec<Composition>, Vec<String>), String> {
+    let mut eligible = Vec::new();
+    let mut skipped = Vec::new();
+    for c in components {
+        if c.kind != scenario.slot_kind() || c.width != width {
+            continue;
+        }
+        match &c.netlist {
+            Some(nl) => eligible.push((c, nl)),
+            None => skipped.push(format!(
+                "{}: imports carry no gate-level netlist and cannot fill a scenario slot",
+                c.name
+            )),
+        }
+    }
+    let golden_nl = scenario.slot_kind().golden_netlist(width);
+    let golden_sys = scenario.build(&golden_nl, width, taps);
+    let span = axmc_obs::span("characterize.compose");
+    let rows = axmc_par::parallel_map(jobs, &eligible, |_, (comp, nl)| {
+        compose_one(scenario, width, horizon, taps, comp, nl, &golden_sys, base)
+    });
+    span.finish();
+    let mut out = Vec::with_capacity(rows.len());
+    for row in rows {
+        out.push(row?);
+    }
+    Ok((out, skipped))
+}
+
+#[allow(clippy::too_many_arguments)]
+fn compose_one(
+    scenario: Scenario,
+    width: usize,
+    horizon: usize,
+    taps: usize,
+    comp: &LibraryComponent,
+    nl: &Netlist,
+    golden_sys: &Aig,
+    base: &AnalysisOptions,
+) -> Result<Composition, String> {
+    let start = Instant::now();
+    let approx_sys = scenario.build(nl, width, taps);
+    // The sequential engine is SAT-based BMC; pin the backend so the
+    // row is deterministic whatever the sweep-level portfolio setting.
+    let opts = base.clone().with_jobs(1).with_backend(Backend::Sat);
+    let analyzer = SeqAnalyzer::new(golden_sys, &approx_sys).with_options(opts);
+    let mut row = Composition {
+        scenario: scenario.as_str().into(),
+        component: comp.name.clone(),
+        width,
+        horizon,
+        taps: if scenario == Scenario::Fir { taps } else { 0 },
+        area_um2: nl.area(&AreaModel::nm45()),
+        sys_wce: None,
+        sys_bounds: None,
+        status: "ok".into(),
+        sat_calls: 0,
+        conflicts: 0,
+        time_ms: 0.0,
+    };
+    match analyzer.worst_case_error_at(horizon) {
+        Ok(report) => {
+            row.sys_wce = Some(report.value);
+            row.sat_calls = report.sat_calls;
+            row.conflicts = report.conflicts;
+        }
+        Err(AnalysisError::Interrupted(partial)) => {
+            row.status = "interrupted".into();
+            row.sys_bounds = Some((partial.known_low, partial.known_high));
+        }
+        Err(e) => return Err(format!("{}: {e}", comp.name)),
+    }
+    row.time_ms = start.elapsed().as_secs_f64() * 1e3;
+    Ok(row)
+}
+
+/// Picks the cheapest component whose system-level WCE is determined
+/// and stays at or under `tau`: smallest area wins, name breaks ties.
+/// Returns the index into `rows`.
+pub fn select(rows: &[Composition], tau: u128) -> Option<usize> {
+    rows.iter()
+        .enumerate()
+        .filter(|(_, r)| r.status == "ok" && r.sys_wce.is_some_and(|w| w <= tau))
+        .min_by(|(_, a), (_, b)| {
+            a.area_um2
+                .total_cmp(&b.area_um2)
+                .then_with(|| a.component.cmp(&b.component))
+        })
+        .map(|(i, _)| i)
+}
+
+/// Renders compose rows as a markdown table, flagging the selected row.
+pub fn compose_markdown(rows: &[Composition], selected: Option<usize>) -> String {
+    let mut out = String::new();
+    out.push_str("| component | area [um2] | system WCE @ k | status | time [ms] | pick |\n");
+    out.push_str("|---|---:|---:|---|---:|:---:|\n");
+    for (i, r) in rows.iter().enumerate() {
+        let wce = match (r.sys_wce, r.sys_bounds) {
+            (Some(v), _) => v.to_string(),
+            (None, Some((lo, hi))) => format!("[{lo}, {hi}]"),
+            (None, None) => "-".into(),
+        };
+        out.push_str(&format!(
+            "| {} | {:.1} | {} | {} | {:.1} | {} |\n",
+            r.component,
+            r.area_um2,
+            wce,
+            r.status,
+            r.time_ms,
+            if selected == Some(i) { "◀" } else { "" },
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sweep::builtin_library;
+
+    #[test]
+    fn composition_round_trips_through_json() {
+        let row = Composition {
+            scenario: "mac".into(),
+            component: "mul4_kulkarni".into(),
+            width: 4,
+            horizon: 3,
+            taps: 0,
+            area_um2: 120.5,
+            sys_wce: Some(543),
+            sys_bounds: None,
+            status: "ok".into(),
+            sat_calls: 12,
+            conflicts: 900,
+            time_ms: 8.25,
+        };
+        let doc = Json::parse(&row.to_json().render()).unwrap();
+        assert_eq!(Composition::from_json(&doc).unwrap(), row);
+    }
+
+    #[test]
+    fn accumulator_compose_exact_head_has_zero_system_error() {
+        let lib = builtin_library(&[4], true, false);
+        let (rows, skipped) = compose_sweep(
+            Scenario::Accumulator,
+            4,
+            2,
+            0,
+            &lib,
+            &AnalysisOptions::new(),
+            2,
+        )
+        .unwrap();
+        assert!(skipped.is_empty());
+        assert_eq!(rows.len(), lib.len());
+        let exact = rows.iter().find(|r| r.component == "add4_exact").unwrap();
+        assert_eq!(exact.sys_wce, Some(0));
+        // An aggressive truncation accumulates a non-zero system error.
+        let trunc = rows.iter().find(|r| r.component == "add4_trunc2").unwrap();
+        assert!(trunc.sys_wce.unwrap() > 0);
+    }
+
+    #[test]
+    fn select_picks_cheapest_under_tau() {
+        let mk = |name: &str, area: f64, wce: Option<u128>| Composition {
+            scenario: "accumulator".into(),
+            component: name.into(),
+            width: 4,
+            horizon: 2,
+            taps: 0,
+            area_um2: area,
+            sys_wce: wce,
+            sys_bounds: None,
+            status: if wce.is_some() { "ok" } else { "interrupted" }.into(),
+            sat_calls: 0,
+            conflicts: 0,
+            time_ms: 0.0,
+        };
+        let rows = vec![
+            mk("exact", 100.0, Some(0)),
+            mk("cheap_bad", 10.0, Some(500)),
+            mk("cheap_good", 40.0, Some(7)),
+            mk("unknown", 5.0, None),
+        ];
+        assert_eq!(
+            select(&rows, 10),
+            Some(2),
+            "cheapest determined row under tau"
+        );
+        assert_eq!(select(&rows, 1000), Some(1));
+        assert_eq!(select(&rows, 0), Some(0));
+        assert_eq!(select(&rows[3..], 10), None);
+    }
+
+    #[test]
+    fn scenario_parse_and_slots() {
+        assert_eq!(Scenario::parse("mac").unwrap(), Scenario::Mac);
+        assert_eq!(Scenario::parse("acc").unwrap(), Scenario::Accumulator);
+        assert!(Scenario::parse("nonsense").is_err());
+        assert_eq!(Scenario::Mac.slot_kind(), ComponentKind::Multiplier);
+        assert_eq!(Scenario::Fir.slot_kind(), ComponentKind::Adder);
+    }
+}

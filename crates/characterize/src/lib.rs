@@ -1,0 +1,145 @@
+//! Approximate-component library characterization and composed-workload
+//! analysis.
+//!
+//! This crate is the engine behind `axmc characterize`. It sweeps a
+//! library of approximate adders and multipliers — the in-tree
+//! generated variants plus AIGER imports — computing each component's
+//! **exact** worst-case, bit-flip and average-case error against the
+//! exact golden implementation of its class, and emits a queryable
+//! characterization table (schema `axmc-characterize-v1`, JSONL plus
+//! rendered markdown). On top of the table sits composition: the same
+//! library picks instantiated inside sequential accelerator scenarios
+//! (MAC, FIR cascade, accumulator chain) and analyzed end to end with
+//! the sequential engine, so component-level and system-level error can
+//! be compared directly — the gap the source paper is about.
+//!
+//! See `docs/characterize.md` for the schema reference and a worked
+//! component-selection walkthrough.
+//!
+//! # Examples
+//!
+//! ```
+//! use axmc_characterize::{builtin_library, characterize, SweepOptions};
+//! use axmc_core::{AnalysisOptions, Backend};
+//!
+//! // Characterize the builtin 4-bit adder library with the portfolio.
+//! let lib = builtin_library(&[4], true, false);
+//! let options = SweepOptions::new(AnalysisOptions::new().with_backend(Backend::Auto), 2);
+//! let table = characterize(&lib, &options).unwrap();
+//! let exact = table.entries.iter().find(|e| e.name == "add4_exact").unwrap();
+//! assert_eq!(exact.wce, Some(0));
+//! // The table round-trips through its JSONL form.
+//! let parsed = axmc_characterize::Table::from_jsonl(&table.to_jsonl()).unwrap();
+//! assert_eq!(parsed, table);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod compose;
+pub mod sweep;
+pub mod table;
+
+pub use compose::{compose_markdown, compose_sweep, select, Composition, Scenario};
+pub use sweep::{
+    builtin_library, characterize, import_library, ComponentKind, LibraryComponent,
+    MetricSelection, SweepOptions,
+};
+pub use table::{Entry, Table, SCHEMA};
+
+use axmc_core::{CachedResult, QueryCache, QueryKey};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// A simple in-process [`QueryCache`]: a mutex-guarded map with hit and
+/// miss counters. One sweep's repeated queries over structurally
+/// identical cones (the library's duplicated sub-structures, the
+/// threshold probes of the search) hit this instead of the solvers;
+/// hand it to the analyzers through `AnalysisOptions::with_cache`.
+#[derive(Default)]
+pub struct MemoryCache {
+    map: Mutex<HashMap<QueryKey, CachedResult>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl MemoryCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        MemoryCache::default()
+    }
+
+    /// Lookups answered from the map.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lookups that fell through to computation.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Number of stored results.
+    pub fn len(&self) -> usize {
+        self.map.lock().expect("cache poisoned").len()
+    }
+
+    /// Whether the cache holds no results.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl QueryCache for MemoryCache {
+    fn get(&self, key: &QueryKey) -> Option<CachedResult> {
+        let hit = self.map.lock().expect("cache poisoned").get(key).cloned();
+        match hit {
+            Some(v) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(v)
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    fn put(&self, key: &QueryKey, value: CachedResult) {
+        self.map
+            .lock()
+            .expect("cache poisoned")
+            .insert(key.clone(), value);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use axmc_core::{AnalysisOptions, Backend, CacheHandle, CombAnalyzer};
+    use std::sync::Arc;
+
+    #[test]
+    fn memory_cache_serves_repeat_queries() {
+        let cache = Arc::new(MemoryCache::new());
+        let golden = axmc_circuit::generators::ripple_carry_adder(4).to_aig();
+        let cand = axmc_circuit::approx::truncated_adder(4, 2).to_aig();
+        let opts = AnalysisOptions::new()
+            .with_backend(Backend::Sat)
+            .with_cache(CacheHandle::new(cache.clone()));
+        let cold = CombAnalyzer::new(&golden, &cand)
+            .with_options(opts.clone())
+            .worst_case_error()
+            .unwrap();
+        assert!(!cache.is_empty(), "completed verdicts are stored");
+        let stored = cache.len();
+        let warm = CombAnalyzer::new(&golden, &cand)
+            .with_options(opts)
+            .worst_case_error()
+            .unwrap();
+        assert_eq!(cold.value, warm.value);
+        assert_eq!(cache.len(), stored, "warm run adds nothing");
+        assert!(cache.hits() > 0, "warm run hit the cache");
+    }
+}

@@ -1,0 +1,511 @@
+//! The library sweep: assemble a component library (builtin generators
+//! plus AIGER imports) and characterize every entry's exact error
+//! metrics in parallel.
+//!
+//! Each component is analyzed against the exact golden implementation
+//! of its class and width with a fresh [`CombAnalyzer`] per entry. The
+//! fan-out runs across entries via [`axmc_par::parallel_map`]; each
+//! entry's own analysis is pinned to `jobs = 1` so the per-entry report
+//! (engine tag, effort counters) is deterministic and independent of
+//! the sweep-level `--jobs` count — the jobs-invariance guarantee the
+//! table tests pin down.
+
+use crate::table::{Entry, Table};
+use axmc_aig::{aiger, Aig};
+use axmc_circuit::approx::{adder_library, multiplier_library};
+use axmc_circuit::generators::{array_multiplier, ripple_carry_adder};
+use axmc_circuit::{AreaModel, Netlist};
+use axmc_core::{AnalysisError, AnalysisOptions, AverageMethod, CombAnalyzer};
+use std::collections::HashMap;
+use std::path::Path;
+use std::time::Instant;
+
+/// Estimated area of one AIG AND node, for imports that arrive without
+/// a gate-level netlist: the 45 nm simple two-input cell.
+const AND_AREA_UM2: f64 = 2.3465;
+
+/// The component classes the characterizer understands.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ComponentKind {
+    /// A `width`-bit adder: `2*width` inputs, `width + 1` outputs.
+    Adder,
+    /// A `width`-bit multiplier: `2*width` inputs, `2*width` outputs.
+    Multiplier,
+}
+
+impl ComponentKind {
+    /// The table string for the class.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ComponentKind::Adder => "adder",
+            ComponentKind::Multiplier => "multiplier",
+        }
+    }
+
+    /// The exact golden netlist of this class at `width`.
+    pub fn golden_netlist(self, width: usize) -> Netlist {
+        match self {
+            ComponentKind::Adder => ripple_carry_adder(width),
+            ComponentKind::Multiplier => array_multiplier(width),
+        }
+    }
+}
+
+/// One library member, ready to characterize: the candidate and the
+/// golden reference it is measured against.
+pub struct LibraryComponent {
+    /// Component name (builtin library name or import file stem).
+    pub name: String,
+    /// Component class.
+    pub kind: ComponentKind,
+    /// Operand width in bits.
+    pub width: usize,
+    /// `"builtin"` or the import file path.
+    pub source: String,
+    /// Gate-level netlist, when the component has one (builtin
+    /// generators). Imports are AIG-only, and only netlist-backed
+    /// components can be stitched into sequential scenarios.
+    pub netlist: Option<Netlist>,
+    /// The candidate AIG.
+    pub candidate: Aig,
+    /// The exact golden AIG of the same class and width.
+    pub golden: Aig,
+}
+
+impl LibraryComponent {
+    fn from_netlist(
+        name: String,
+        kind: ComponentKind,
+        width: usize,
+        nl: Netlist,
+        golden: &Aig,
+    ) -> Self {
+        LibraryComponent {
+            name,
+            kind,
+            width,
+            source: "builtin".into(),
+            candidate: nl.to_aig(),
+            netlist: Some(nl),
+            golden: golden.clone(),
+        }
+    }
+}
+
+/// The builtin library: the in-tree generated adder and multiplier
+/// variants ([`adder_library`], [`multiplier_library`]) at every
+/// requested width, exact heads included (their zero-error rows are the
+/// table's baselines). Entries come out kind-major, width-minor, in
+/// library order.
+pub fn builtin_library(widths: &[usize], adders: bool, multipliers: bool) -> Vec<LibraryComponent> {
+    let mut out = Vec::new();
+    if adders {
+        for &w in widths {
+            let golden = ripple_carry_adder(w).to_aig();
+            for c in adder_library(w) {
+                out.push(LibraryComponent::from_netlist(
+                    c.name,
+                    ComponentKind::Adder,
+                    w,
+                    c.netlist,
+                    &golden,
+                ));
+            }
+        }
+    }
+    if multipliers {
+        for &w in widths {
+            let golden = array_multiplier(w).to_aig();
+            for c in multiplier_library(w) {
+                out.push(LibraryComponent::from_netlist(
+                    c.name,
+                    ComponentKind::Multiplier,
+                    w,
+                    c.netlist,
+                    &golden,
+                ));
+            }
+        }
+    }
+    out
+}
+
+/// Imports every `*.aag` / `*.aig` file in `dir` as a library
+/// component, in sorted filename order.
+///
+/// The component class and width are inferred from the interface: a
+/// combinational AIG with `2w` inputs and `w + 1` outputs is a
+/// `w`-bit adder, one with `2w` inputs and `2w` outputs a `w`-bit
+/// multiplier. Files that fit neither shape (or carry latches) are
+/// skipped with a warning — returned alongside the components so the
+/// CLI can surface them without failing the sweep.
+pub fn import_library(dir: &Path) -> Result<(Vec<LibraryComponent>, Vec<String>), String> {
+    let mut names: Vec<std::path::PathBuf> = std::fs::read_dir(dir)
+        .map_err(|e| format!("cannot read library directory {}: {e}", dir.display()))?
+        .filter_map(|entry| entry.ok().map(|e| e.path()))
+        .filter(|p| {
+            matches!(
+                p.extension().and_then(|e| e.to_str()),
+                Some("aag") | Some("aig")
+            )
+        })
+        .collect();
+    names.sort();
+    let mut components = Vec::new();
+    let mut warnings = Vec::new();
+    let mut goldens: HashMap<(&'static str, usize), Aig> = HashMap::new();
+    for path in names {
+        let shown = path.display().to_string();
+        let aig = if path.extension().and_then(|e| e.to_str()) == Some("aag") {
+            let text =
+                std::fs::read_to_string(&path).map_err(|e| format!("cannot read {shown}: {e}"))?;
+            aiger::from_ascii(&text).map_err(|e| format!("{shown}: {e}"))?
+        } else {
+            let bytes = std::fs::read(&path).map_err(|e| format!("cannot read {shown}: {e}"))?;
+            aiger::from_binary(&bytes).map_err(|e| format!("{shown}: {e}"))?
+        };
+        if aig.num_latches() > 0 {
+            warnings.push(format!(
+                "{shown}: skipped (sequential AIG; the library holds combinational components)"
+            ));
+            continue;
+        }
+        let (ins, outs) = (aig.num_inputs(), aig.num_outputs());
+        let kind = if ins >= 2 && ins % 2 == 0 && outs == ins / 2 + 1 {
+            ComponentKind::Adder
+        } else if ins >= 2 && ins % 2 == 0 && outs == ins {
+            ComponentKind::Multiplier
+        } else {
+            warnings.push(format!(
+                "{shown}: skipped ({ins} inputs / {outs} outputs matches neither the adder \
+                 (2w in, w+1 out) nor the multiplier (2w in, 2w out) interface)"
+            ));
+            continue;
+        };
+        let width = ins / 2;
+        let golden = goldens
+            .entry((kind.as_str(), width))
+            .or_insert_with(|| kind.golden_netlist(width).to_aig())
+            .clone();
+        let name = path
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .unwrap_or("import")
+            .to_string();
+        components.push(LibraryComponent {
+            name,
+            kind,
+            width,
+            source: shown,
+            netlist: None,
+            candidate: aig,
+            golden,
+        });
+    }
+    Ok((components, warnings))
+}
+
+/// Which metrics a sweep computes per component.
+#[derive(Clone, Copy, Debug)]
+pub struct MetricSelection {
+    /// Exact worst-case (arithmetic) error.
+    pub wce: bool,
+    /// Exact worst-case Hamming error.
+    pub bit_flip: bool,
+    /// Average-case metrics (MAE, error rate).
+    pub average: bool,
+}
+
+impl Default for MetricSelection {
+    fn default() -> Self {
+        MetricSelection {
+            wce: true,
+            bit_flip: true,
+            average: true,
+        }
+    }
+}
+
+/// Sweep-level configuration.
+pub struct SweepOptions {
+    /// The analysis options every entry runs under. The sweep pins each
+    /// entry to `jobs = 1` regardless of what this carries — fan-out
+    /// happens across entries, not inside them — so per-entry reports
+    /// are deterministic.
+    pub base: AnalysisOptions,
+    /// Sweep-level fan-out: how many entries are characterized
+    /// concurrently.
+    pub jobs: usize,
+    /// Which metrics to compute.
+    pub metrics: MetricSelection,
+    /// Rows of a previously written table (`--out` warm reuse): a
+    /// completed row whose fingerprint and backend match, and which
+    /// covers the requested metrics, is reused instead of recomputed.
+    pub reuse: Vec<Entry>,
+}
+
+impl SweepOptions {
+    /// Sweep under the given per-entry analysis options and fan-out.
+    pub fn new(base: AnalysisOptions, jobs: usize) -> Self {
+        SweepOptions {
+            base,
+            jobs,
+            metrics: MetricSelection::default(),
+            reuse: Vec::new(),
+        }
+    }
+}
+
+/// Characterizes every component, fanning out across entries with
+/// [`axmc_par::parallel_map`]. Table order matches component order.
+///
+/// Interrupted analyses (deadline, budget, static-only backend) are not
+/// errors: the row comes back with `status: "interrupted"` carrying the
+/// certified `[lo, hi]` worst-case-error interval. Only certificate
+/// rejections abort the sweep.
+pub fn characterize(
+    components: &[LibraryComponent],
+    options: &SweepOptions,
+) -> Result<Table, String> {
+    let reuse: HashMap<(&str, &str), &Entry> = options
+        .reuse
+        .iter()
+        .map(|e| ((e.fingerprint.as_str(), e.backend.as_str()), e))
+        .collect();
+    let m = options.metrics;
+    let backend = options.base.backend.to_string();
+    let sweep_span = axmc_obs::span("characterize.sweep");
+    let rows = axmc_par::parallel_map(options.jobs, components, |_, comp| {
+        let fingerprint = format!("{:032x}", comp.golden.pair_fingerprint(&comp.candidate));
+        if let Some(prev) = reuse.get(&(fingerprint.as_str(), backend.as_str())) {
+            if prev.covers(&backend, m.wce, m.bit_flip, m.average) {
+                let mut row = (*prev).clone();
+                row.reused = true;
+                row.time_ms = 0.0;
+                axmc_obs::counter("characterize.reused").add(1);
+                return Ok(row);
+            }
+        }
+        characterize_one(comp, fingerprint, &options.base, m)
+    });
+    sweep_span.finish();
+    let mut entries = Vec::with_capacity(rows.len());
+    for row in rows {
+        entries.push(row?);
+    }
+    Ok(Table::new(entries))
+}
+
+fn characterize_one(
+    comp: &LibraryComponent,
+    fingerprint: String,
+    base: &AnalysisOptions,
+    m: MetricSelection,
+) -> Result<Entry, String> {
+    let span = axmc_obs::span("characterize.entry");
+    let start = Instant::now();
+    let opts = base.clone().with_jobs(1);
+    let analyzer = CombAnalyzer::new(&comp.golden, &comp.candidate).with_options(opts);
+    let mut entry = Entry {
+        name: comp.name.clone(),
+        kind: comp.kind.as_str().into(),
+        width: comp.width,
+        source: comp.source.clone(),
+        inputs: comp.candidate.num_inputs(),
+        outputs: comp.candidate.num_outputs(),
+        gates: comp.candidate.num_ands(),
+        area_um2: match &comp.netlist {
+            Some(nl) => nl.area(&AreaModel::nm45()),
+            None => comp.candidate.num_ands() as f64 * AND_AREA_UM2,
+        },
+        fingerprint,
+        backend: base.backend.to_string(),
+        status: "ok".into(),
+        wce: None,
+        wce_bounds: None,
+        wce_rel_pct: None,
+        bit_flip: None,
+        mae: None,
+        error_rate: None,
+        avg_exact: None,
+        avg_method: None,
+        engine: None,
+        sat_calls: 0,
+        conflicts: 0,
+        time_ms: 0.0,
+        reused: false,
+    };
+    if m.wce {
+        match analyzer.worst_case_error() {
+            Ok(report) => {
+                entry.wce = Some(report.value);
+                entry.wce_rel_pct = Some(relative_pct(report.value, comp.golden.num_outputs()));
+                entry.engine = Some(report.engine.to_string());
+                entry.sat_calls += report.sat_calls;
+                entry.conflicts += report.conflicts;
+            }
+            Err(AnalysisError::Interrupted(partial)) => {
+                entry.status = "interrupted".into();
+                entry.wce_bounds = Some((partial.known_low, partial.known_high));
+            }
+            Err(e) => return Err(format!("{}: {e}", comp.name)),
+        }
+    }
+    if m.bit_flip {
+        match analyzer.bit_flip_error() {
+            Ok(report) => {
+                entry.bit_flip = Some(report.value);
+                if entry.engine.is_none() {
+                    entry.engine = Some(report.engine.to_string());
+                }
+                entry.sat_calls += report.sat_calls;
+                entry.conflicts += report.conflicts;
+            }
+            Err(AnalysisError::Interrupted(_)) => entry.status = "interrupted".into(),
+            Err(e) => return Err(format!("{}: {e}", comp.name)),
+        }
+    }
+    if m.average {
+        match analyzer.average_error() {
+            Ok(report) => {
+                entry.mae = Some(report.mae);
+                entry.error_rate = Some(report.error_rate);
+                entry.avg_exact = Some(report.exact);
+                entry.avg_method = Some(
+                    match report.method {
+                        AverageMethod::Bdd => "bdd",
+                        AverageMethod::Exhaustive => "exhaustive",
+                        AverageMethod::Sampled => "sampled",
+                    }
+                    .into(),
+                );
+            }
+            Err(AnalysisError::Interrupted(_)) => entry.status = "interrupted".into(),
+            Err(e) => return Err(format!("{}: {e}", comp.name)),
+        }
+    }
+    entry.time_ms = start.elapsed().as_secs_f64() * 1e3;
+    axmc_obs::counter("characterize.computed").add(1);
+    span.finish();
+    Ok(entry)
+}
+
+/// Worst-case error as a percentage of the golden output range
+/// `2^outputs - 1`.
+fn relative_pct(wce: u128, outputs: usize) -> f64 {
+    if outputs == 0 {
+        return 0.0;
+    }
+    let range = 2f64.powi(outputs.min(1024) as i32) - 1.0;
+    (wce as f64 / range) * 100.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use axmc_core::Backend;
+
+    #[test]
+    fn builtin_library_shapes_and_order() {
+        let lib = builtin_library(&[4], true, true);
+        assert!(lib.iter().any(|c| c.name == "add4_exact"));
+        assert!(lib.iter().any(|c| c.name == "mul4_kulkarni"));
+        let first_mul = lib
+            .iter()
+            .position(|c| c.kind == ComponentKind::Multiplier)
+            .unwrap();
+        assert!(
+            lib[..first_mul]
+                .iter()
+                .all(|c| c.kind == ComponentKind::Adder),
+            "kind-major order"
+        );
+        for c in &lib {
+            assert_eq!(c.candidate.num_inputs(), 2 * c.width);
+            assert_eq!(c.golden.num_inputs(), 2 * c.width);
+            assert!(c.netlist.is_some());
+        }
+    }
+
+    #[test]
+    fn sweep_characterizes_known_errors() {
+        let lib = builtin_library(&[4], true, false);
+        let table = characterize(
+            &lib,
+            &SweepOptions::new(AnalysisOptions::new().with_backend(Backend::Auto), 2),
+        )
+        .unwrap();
+        assert_eq!(table.entries.len(), lib.len());
+        let exact = table
+            .entries
+            .iter()
+            .find(|e| e.name == "add4_exact")
+            .unwrap();
+        assert_eq!(exact.wce, Some(0));
+        assert_eq!(exact.bit_flip, Some(0));
+        assert_eq!(exact.error_rate, Some(0.0));
+        // truncated_adder(4, 2): WCE = 2^(cut+1) - 2 = 6.
+        let trunc = table
+            .entries
+            .iter()
+            .find(|e| e.name == "add4_trunc2")
+            .unwrap();
+        assert_eq!(trunc.wce, Some(6));
+        assert_eq!(trunc.status, "ok");
+        assert!(trunc.area_um2 > 0.0);
+    }
+
+    #[test]
+    fn warm_reuse_answers_matching_rows() {
+        let lib = builtin_library(&[4], true, false);
+        let opts = SweepOptions::new(AnalysisOptions::new().with_backend(Backend::Auto), 1);
+        let cold = characterize(&lib, &opts).unwrap();
+        let warm_opts = SweepOptions {
+            reuse: cold.entries.clone(),
+            ..SweepOptions::new(AnalysisOptions::new().with_backend(Backend::Auto), 1)
+        };
+        let warm = characterize(&lib, &warm_opts).unwrap();
+        assert!(warm.entries.iter().all(|e| e.reused), "all rows reused");
+        let canon = |t: &Table| {
+            t.entries
+                .iter()
+                .map(Entry::canonicalized)
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(canon(&cold), canon(&warm));
+        // A different backend must not reuse auto-backend rows.
+        let sat_opts = SweepOptions {
+            reuse: cold.entries.clone(),
+            ..SweepOptions::new(AnalysisOptions::new().with_backend(Backend::Sat), 1)
+        };
+        let sat = characterize(&lib[..1], &sat_opts).unwrap();
+        assert!(!sat.entries[0].reused);
+    }
+
+    #[test]
+    fn import_library_infers_interfaces() {
+        let dir = std::env::temp_dir().join(format!(
+            "axmc_charz_import_{}_{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let add = crate::sweep::ComponentKind::Adder
+            .golden_netlist(3)
+            .to_aig();
+        let mul = crate::sweep::ComponentKind::Multiplier
+            .golden_netlist(3)
+            .to_aig();
+        std::fs::write(dir.join("a_add3.aag"), aiger::to_ascii(&add)).unwrap();
+        std::fs::write(dir.join("b_mul3.aag"), aiger::to_ascii(&mul)).unwrap();
+        std::fs::write(dir.join("c_odd.aag"), "aag 1 1 0 1 0\n2\n2\n").unwrap();
+        let (components, warnings) = import_library(&dir).unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+        assert_eq!(components.len(), 2);
+        assert_eq!(components[0].name, "a_add3");
+        assert_eq!(components[0].kind, ComponentKind::Adder);
+        assert_eq!(components[0].width, 3);
+        assert_eq!(components[1].kind, ComponentKind::Multiplier);
+        assert_eq!(warnings.len(), 1, "the 1-in/1-out file is skipped");
+    }
+}

@@ -1,0 +1,464 @@
+//! The `axmc-characterize-v1` table: entry schema, JSONL codec, and the
+//! human-readable markdown rendering.
+//!
+//! A characterization table is a sequence of JSON objects, one per line.
+//! Every line carries `"schema":"axmc-characterize-v1"` and a `"record"`
+//! discriminant: `"component"` rows describe one library component's
+//! exact error metrics against its golden reference; `"composition"`
+//! rows (written by the compose sweep, parsed in [`crate::compose`])
+//! describe a component instantiated inside a sequential scenario. The
+//! full field reference lives in `docs/characterize.md`.
+//!
+//! `u128` metric values cross the file as **decimal strings** — JSON's
+//! single `f64` number type cannot hold a 128-bit worst-case error
+//! losslessly (the same convention as the `axmc serve` wire protocol).
+
+use axmc_obs::json::Json;
+
+/// The schema identifier stamped on every table line.
+pub const SCHEMA: &str = "axmc-characterize-v1";
+
+/// One characterized library component.
+///
+/// Timing (`time_ms`) and warm-table provenance (`reused`) describe the
+/// run that produced the row; everything else is a pure function of the
+/// component pair and the analysis options — which is what makes the
+/// table reusable as a cache and byte-comparable across `--jobs` counts
+/// (see [`Entry::canonicalized`]).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Entry {
+    /// Component name, e.g. `"add8_loa4"` or an import file stem.
+    pub name: String,
+    /// Component class: `"adder"` or `"multiplier"`.
+    pub kind: String,
+    /// Operand width in bits.
+    pub width: usize,
+    /// Where the component came from: `"builtin"` or the import path.
+    pub source: String,
+    /// Input bit count of the component.
+    pub inputs: usize,
+    /// Output bit count of the component.
+    pub outputs: usize,
+    /// AND-node count of the candidate AIG.
+    pub gates: usize,
+    /// Estimated cell area (45 nm table) — netlist area for builtin
+    /// components, an AND-count estimate for AIGER imports.
+    pub area_um2: f64,
+    /// Ordered `(golden, candidate)` structural pair fingerprint as 32
+    /// hex digits — the identity the result cache keys on.
+    pub fingerprint: String,
+    /// The analysis backend the metrics were computed with.
+    pub backend: String,
+    /// `"ok"`, or `"interrupted"` when a resource limit stopped at
+    /// least one metric before a verdict (bounds are then in
+    /// `wce_lo`/`wce_hi`).
+    pub status: String,
+    /// Exact worst-case error, when determined.
+    pub wce: Option<u128>,
+    /// Certified worst-case-error bounds `[lo, hi]` of an interrupted
+    /// run.
+    pub wce_bounds: Option<(u128, u128)>,
+    /// Worst-case error relative to the golden output range, percent.
+    pub wce_rel_pct: Option<f64>,
+    /// Exact worst-case Hamming (bit-flip) error, when determined.
+    pub bit_flip: Option<u32>,
+    /// Mean absolute error.
+    pub mae: Option<f64>,
+    /// Fraction of inputs on which the circuits disagree.
+    pub error_rate: Option<f64>,
+    /// Whether the average-case values carry formal guarantees.
+    pub avg_exact: Option<bool>,
+    /// The method that produced the average-case values
+    /// (`"bdd"`, `"exhaustive"`, `"sampled"`).
+    pub avg_method: Option<String>,
+    /// Engine that decided the worst-case error.
+    pub engine: Option<String>,
+    /// Solver calls issued across the entry's metrics.
+    pub sat_calls: u64,
+    /// Solver conflicts across the entry's metrics.
+    pub conflicts: u64,
+    /// Wall-clock for this entry, milliseconds.
+    pub time_ms: f64,
+    /// Whether the row was answered from a previous table (`--out`
+    /// warm reuse) instead of being recomputed.
+    pub reused: bool,
+}
+
+impl Entry {
+    /// The entry with run-dependent provenance stripped: `time_ms`
+    /// zeroed and `reused` cleared. Two sweeps over the same library
+    /// with the same options produce identical canonicalized entries
+    /// regardless of `--jobs` or cache warmth.
+    pub fn canonicalized(&self) -> Entry {
+        Entry {
+            time_ms: 0.0,
+            reused: false,
+            ..self.clone()
+        }
+    }
+
+    /// Whether this (completed) row already answers a query for the
+    /// given metric selection under the given backend — the warm-reuse
+    /// predicate for a pre-existing `--out` table.
+    pub fn covers(&self, backend: &str, wce: bool, bit_flip: bool, average: bool) -> bool {
+        self.status == "ok"
+            && self.backend == backend
+            && (!wce || self.wce.is_some())
+            && (!bit_flip || self.bit_flip.is_some())
+            && (!average || (self.mae.is_some() && self.error_rate.is_some()))
+    }
+
+    /// Renders the entry as one schema-v1 JSON object.
+    pub fn to_json(&self) -> Json {
+        let mut m = vec![
+            ("schema".into(), Json::Str(SCHEMA.into())),
+            ("record".into(), Json::Str("component".into())),
+            ("name".into(), Json::Str(self.name.clone())),
+            ("kind".into(), Json::Str(self.kind.clone())),
+            ("width".into(), Json::Num(self.width as f64)),
+            ("source".into(), Json::Str(self.source.clone())),
+            ("inputs".into(), Json::Num(self.inputs as f64)),
+            ("outputs".into(), Json::Num(self.outputs as f64)),
+            ("gates".into(), Json::Num(self.gates as f64)),
+            ("area_um2".into(), Json::Num(self.area_um2)),
+            ("fingerprint".into(), Json::Str(self.fingerprint.clone())),
+            ("backend".into(), Json::Str(self.backend.clone())),
+            ("status".into(), Json::Str(self.status.clone())),
+        ];
+        if let Some(v) = self.wce {
+            m.push(("wce".into(), Json::Str(v.to_string())));
+        }
+        if let Some((lo, hi)) = self.wce_bounds {
+            m.push(("wce_lo".into(), Json::Str(lo.to_string())));
+            m.push(("wce_hi".into(), Json::Str(hi.to_string())));
+        }
+        if let Some(v) = self.wce_rel_pct {
+            m.push(("wce_rel_pct".into(), Json::Num(v)));
+        }
+        if let Some(v) = self.bit_flip {
+            m.push(("bit_flip".into(), Json::Num(v as f64)));
+        }
+        if let Some(v) = self.mae {
+            m.push(("mae".into(), Json::Num(v)));
+        }
+        if let Some(v) = self.error_rate {
+            m.push(("error_rate".into(), Json::Num(v)));
+        }
+        if let Some(v) = self.avg_exact {
+            m.push(("avg_exact".into(), Json::Bool(v)));
+        }
+        if let Some(v) = &self.avg_method {
+            m.push(("avg_method".into(), Json::Str(v.clone())));
+        }
+        if let Some(v) = &self.engine {
+            m.push(("engine".into(), Json::Str(v.clone())));
+        }
+        m.push(("sat_calls".into(), Json::Num(self.sat_calls as f64)));
+        m.push(("conflicts".into(), Json::Num(self.conflicts as f64)));
+        m.push(("time_ms".into(), Json::Num(self.time_ms)));
+        m.push(("reused".into(), Json::Bool(self.reused)));
+        Json::Obj(m)
+    }
+
+    /// Parses one schema-v1 component object.
+    pub fn from_json(doc: &Json) -> Result<Entry, String> {
+        check_schema(doc)?;
+        if record_kind(doc) != Some("component") {
+            return Err("not a 'component' record".into());
+        }
+        Ok(Entry {
+            name: str_field(doc, "name")?,
+            kind: str_field(doc, "kind")?,
+            width: usize_field(doc, "width")?,
+            source: str_field(doc, "source")?,
+            inputs: usize_field(doc, "inputs")?,
+            outputs: usize_field(doc, "outputs")?,
+            gates: usize_field(doc, "gates")?,
+            area_um2: f64_field(doc, "area_um2")?,
+            fingerprint: str_field(doc, "fingerprint")?,
+            backend: str_field(doc, "backend")?,
+            status: str_field(doc, "status")?,
+            wce: opt_u128_field(doc, "wce")?,
+            wce_bounds: match (
+                opt_u128_field(doc, "wce_lo")?,
+                opt_u128_field(doc, "wce_hi")?,
+            ) {
+                (Some(lo), Some(hi)) => Some((lo, hi)),
+                (None, None) => None,
+                _ => return Err("wce_lo/wce_hi must appear together".into()),
+            },
+            wce_rel_pct: opt_f64_field(doc, "wce_rel_pct"),
+            bit_flip: opt_f64_field(doc, "bit_flip").map(|v| v as u32),
+            mae: opt_f64_field(doc, "mae"),
+            error_rate: opt_f64_field(doc, "error_rate"),
+            avg_exact: match doc.get("avg_exact") {
+                Some(Json::Bool(b)) => Some(*b),
+                None => None,
+                Some(_) => return Err("field 'avg_exact' must be a boolean".into()),
+            },
+            avg_method: doc
+                .get("avg_method")
+                .and_then(Json::as_str)
+                .map(String::from),
+            engine: doc.get("engine").and_then(Json::as_str).map(String::from),
+            sat_calls: f64_field(doc, "sat_calls")? as u64,
+            conflicts: f64_field(doc, "conflicts")? as u64,
+            time_ms: f64_field(doc, "time_ms")?,
+            reused: matches!(doc.get("reused"), Some(Json::Bool(true))),
+        })
+    }
+}
+
+/// A parsed characterization table: the component rows of one JSONL
+/// file, in file order. Non-component schema-v1 records (compositions)
+/// are skipped by [`Table::from_jsonl`] — they live in
+/// [`crate::compose::Composition`].
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Table {
+    /// The component rows.
+    pub entries: Vec<Entry>,
+}
+
+impl Table {
+    /// A table over the given rows.
+    pub fn new(entries: Vec<Entry>) -> Table {
+        Table { entries }
+    }
+
+    /// Renders the table as JSONL, one schema-v1 object per line.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for e in &self.entries {
+            out.push_str(&e.to_json().render());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Parses a JSONL table. Blank lines are ignored; `composition`
+    /// records are skipped; anything else (wrong schema, malformed
+    /// JSON) is an error naming the offending line.
+    pub fn from_jsonl(text: &str) -> Result<Table, String> {
+        let mut entries = Vec::new();
+        for (idx, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let doc =
+                Json::parse(line).map_err(|e| format!("line {}: invalid JSON: {e}", idx + 1))?;
+            check_schema(&doc).map_err(|e| format!("line {}: {e}", idx + 1))?;
+            match record_kind(&doc) {
+                Some("component") => entries
+                    .push(Entry::from_json(&doc).map_err(|e| format!("line {}: {e}", idx + 1))?),
+                Some("composition") => continue,
+                other => {
+                    return Err(format!(
+                        "line {}: unknown record kind {:?}",
+                        idx + 1,
+                        other.unwrap_or("<missing>")
+                    ))
+                }
+            }
+        }
+        Ok(Table { entries })
+    }
+
+    /// Renders the table as a GitHub-flavoured markdown table, sorted as
+    /// stored (the sweep emits kind-major, width-minor, library order).
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        out.push_str(
+            "| component | kind | w | gates | area [um2] | WCE | rel [%] | bit-flip | MAE | error rate | engine | time [ms] |\n",
+        );
+        out.push_str("|---|---|---:|---:|---:|---:|---:|---:|---:|---:|---|---:|\n");
+        for e in &self.entries {
+            let wce = match (e.wce, e.wce_bounds) {
+                (Some(v), _) => v.to_string(),
+                (None, Some((lo, hi))) => format!("[{lo}, {hi}]"),
+                (None, None) => "-".into(),
+            };
+            let opt_f = |v: Option<f64>, digits: usize| match v {
+                Some(v) => format!("{v:.digits$}"),
+                None => "-".into(),
+            };
+            out.push_str(&format!(
+                "| {} | {} | {} | {} | {:.1} | {} | {} | {} | {} | {} | {} | {:.1} |\n",
+                e.name,
+                e.kind,
+                e.width,
+                e.gates,
+                e.area_um2,
+                wce,
+                opt_f(e.wce_rel_pct, 4),
+                e.bit_flip.map_or("-".into(), |v| v.to_string()),
+                opt_f(e.mae, 4),
+                opt_f(e.error_rate, 4),
+                e.engine.as_deref().unwrap_or("-"),
+                e.time_ms,
+            ));
+        }
+        out
+    }
+}
+
+pub(crate) fn check_schema(doc: &Json) -> Result<(), String> {
+    match doc.get("schema").and_then(Json::as_str) {
+        Some(s) if s == SCHEMA => Ok(()),
+        Some(s) => Err(format!("unsupported schema '{s}' (expected '{SCHEMA}')")),
+        None => Err("missing 'schema' field".into()),
+    }
+}
+
+pub(crate) fn record_kind(doc: &Json) -> Option<&str> {
+    doc.get("record").and_then(Json::as_str)
+}
+
+pub(crate) fn str_field(doc: &Json, key: &str) -> Result<String, String> {
+    doc.get(key)
+        .and_then(Json::as_str)
+        .map(String::from)
+        .ok_or_else(|| format!("missing or non-string field '{key}'"))
+}
+
+pub(crate) fn f64_field(doc: &Json, key: &str) -> Result<f64, String> {
+    doc.get(key)
+        .and_then(Json::as_f64)
+        .ok_or_else(|| format!("missing or non-numeric field '{key}'"))
+}
+
+pub(crate) fn usize_field(doc: &Json, key: &str) -> Result<usize, String> {
+    let v = f64_field(doc, key)?;
+    if v < 0.0 || v.fract() != 0.0 {
+        return Err(format!("field '{key}' must be a non-negative integer"));
+    }
+    Ok(v as usize)
+}
+
+pub(crate) fn opt_f64_field(doc: &Json, key: &str) -> Option<f64> {
+    doc.get(key).and_then(Json::as_f64)
+}
+
+/// A `u128` that crosses the file as a decimal string (or, for small
+/// values written by other tools, a plain integer).
+pub(crate) fn opt_u128_field(doc: &Json, key: &str) -> Result<Option<u128>, String> {
+    match doc.get(key) {
+        None => Ok(None),
+        Some(Json::Str(s)) => s
+            .parse::<u128>()
+            .map(Some)
+            .map_err(|_| format!("field '{key}' must be a decimal integer string, got '{s}'")),
+        Some(Json::Num(v)) if *v >= 0.0 && v.fract() == 0.0 => Ok(Some(*v as u128)),
+        Some(_) => Err(format!("field '{key}' must be a non-negative integer")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Entry {
+        Entry {
+            name: "add4_trunc2".into(),
+            kind: "adder".into(),
+            width: 4,
+            source: "builtin".into(),
+            inputs: 8,
+            outputs: 5,
+            gates: 17,
+            area_um2: 51.5,
+            fingerprint: format!("{:032x}", 0xdead_beefu128),
+            backend: "auto".into(),
+            status: "ok".into(),
+            wce: Some(6),
+            wce_bounds: None,
+            wce_rel_pct: Some(19.3548),
+            bit_flip: Some(3),
+            mae: Some(1.5),
+            error_rate: Some(0.5625),
+            avg_exact: Some(true),
+            avg_method: Some("bdd".into()),
+            engine: Some("sat".into()),
+            sat_calls: 9,
+            conflicts: 120,
+            time_ms: 3.25,
+            reused: false,
+        }
+    }
+
+    #[test]
+    fn entry_round_trips_through_json() {
+        let e = sample();
+        let doc = Json::parse(&e.to_json().render()).unwrap();
+        assert_eq!(Entry::from_json(&doc).unwrap(), e);
+    }
+
+    #[test]
+    fn huge_wce_round_trips_as_decimal_string() {
+        let mut e = sample();
+        e.wce = Some(u128::MAX);
+        e.wce_bounds = Some((u128::MAX - 1, u128::MAX));
+        let rendered = e.to_json().render();
+        assert!(
+            rendered.contains(&format!("\"wce\":\"{}\"", u128::MAX)),
+            "u128 must cross as a string: {rendered}"
+        );
+        let doc = Json::parse(&rendered).unwrap();
+        assert_eq!(Entry::from_json(&doc).unwrap(), e);
+    }
+
+    #[test]
+    fn table_round_trips_and_skips_compositions() {
+        let table = Table::new(vec![sample(), {
+            let mut e = sample();
+            e.name = "add4_loa2".into();
+            e.status = "interrupted".into();
+            e.wce = None;
+            e.wce_bounds = Some((4, 30));
+            e.engine = None;
+            e
+        }]);
+        let mut text = table.to_jsonl();
+        text.push_str(&format!(
+            "{{\"schema\":\"{SCHEMA}\",\"record\":\"composition\",\"scenario\":\"mac\"}}\n"
+        ));
+        text.push('\n');
+        let parsed = Table::from_jsonl(&text).unwrap();
+        assert_eq!(parsed, table);
+    }
+
+    #[test]
+    fn rejects_wrong_schema_and_garbage() {
+        assert!(Table::from_jsonl("{\"schema\":\"axmc-characterize-v0\"}").is_err());
+        assert!(Table::from_jsonl("{\"record\":\"component\"}").is_err());
+        assert!(Table::from_jsonl("not json").is_err());
+        let mut half = sample().to_json().render();
+        half = half.replace("\"wce\":\"6\",", "\"wce\":\"6\",\"wce_lo\":\"1\",");
+        assert!(
+            Table::from_jsonl(&half).is_err(),
+            "wce_lo without wce_hi must be rejected"
+        );
+    }
+
+    #[test]
+    fn covers_checks_backend_and_metric_presence() {
+        let e = sample();
+        assert!(e.covers("auto", true, true, true));
+        assert!(!e.covers("sat", true, false, false), "backend mismatch");
+        let mut partial = sample();
+        partial.mae = None;
+        assert!(partial.covers("auto", true, true, false));
+        assert!(!partial.covers("auto", true, true, true));
+        let mut interrupted = sample();
+        interrupted.status = "interrupted".into();
+        assert!(!interrupted.covers("auto", true, false, false));
+    }
+
+    #[test]
+    fn markdown_has_one_row_per_entry() {
+        let table = Table::new(vec![sample()]);
+        let md = table.to_markdown();
+        assert_eq!(md.lines().count(), 3, "header + separator + 1 row");
+        assert!(md.contains("| add4_trunc2 | adder | 4 |"));
+    }
+}

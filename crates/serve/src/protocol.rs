@@ -42,13 +42,33 @@ impl Metric {
     }
 }
 
+/// What a job asks the server to do.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum JobKind {
+    /// A single-metric analysis of one (golden, candidate) pair — the
+    /// original job shape, and the default when `kind` is absent.
+    #[default]
+    Analyze,
+    /// A library-characterization job: exact WCE *and* bit-flip error
+    /// of one combinational component against the exact golden of its
+    /// class. `golden` is optional — when absent the class and width
+    /// are inferred from the candidate's interface and the golden is
+    /// generated in-process. Both metrics go through the server's
+    /// result cache, so duplicate library entries across batches are
+    /// answered from memory.
+    Characterize,
+}
+
 /// One analysis job, parsed from a request line.
 #[derive(Clone, Debug)]
 pub struct Request {
     /// Caller-chosen identifier echoed on every response line.
     pub id: String,
-    /// Path to the golden circuit (ASCII AIGER).
-    pub golden: String,
+    /// What to do with the circuits.
+    pub kind: JobKind,
+    /// Path to the golden circuit (ASCII AIGER). Optional for
+    /// [`JobKind::Characterize`] jobs (inferred from the candidate).
+    pub golden: Option<String>,
     /// Path to the candidate/approximate circuit.
     pub candidate: String,
     /// Requested metric.
@@ -137,13 +157,31 @@ pub fn parse_request(line: &str) -> Result<Request, RequestError> {
     let id_val = id
         .clone()
         .ok_or_else(|| fail("missing required field 'id'".into()))?;
-    let golden = str_field(&doc, "golden").map_err(&fail)?;
+    let kind = match doc.get("kind").and_then(Json::as_str) {
+        None | Some("analyze") => JobKind::Analyze,
+        Some("characterize") => JobKind::Characterize,
+        Some(other) => {
+            return Err(fail(format!(
+                "unknown kind '{other}' (expected analyze or characterize)"
+            )))
+        }
+    };
+    let golden = match str_field(&doc, "golden") {
+        Ok(path) => Some(path),
+        Err(_) if kind == JobKind::Characterize && doc.get("golden").is_none() => None,
+        Err(e) => return Err(fail(e)),
+    };
     // "candidate" preferred; "approx" accepted for symmetry with the
     // `analyze` flags.
     let candidate = str_field(&doc, "candidate")
         .or_else(|_| str_field(&doc, "approx"))
         .map_err(|_| fail("missing required field 'candidate' (or 'approx')".into()))?;
-    let metric = Metric::parse(&str_field(&doc, "metric").map_err(&fail)?).map_err(&fail)?;
+    // Characterize jobs compute a fixed metric set; 'metric' is only
+    // meaningful (and required) for analyze jobs.
+    let metric = match (kind, doc.get("metric")) {
+        (JobKind::Characterize, None) => Metric::Wce,
+        _ => Metric::parse(&str_field(&doc, "metric").map_err(&fail)?).map_err(&fail)?,
+    };
     let threshold = u128_field(&doc, "threshold").map_err(&fail)?;
     if metric == Metric::Exceeds && threshold.is_none() {
         return Err(fail("metric 'exceeds' requires a 'threshold' field".into()));
@@ -158,6 +196,7 @@ pub fn parse_request(line: &str) -> Result<Request, RequestError> {
     }
     Ok(Request {
         id: id_val,
+        kind,
         golden,
         candidate,
         metric,
@@ -264,6 +303,34 @@ mod tests {
                 .unwrap()
                 .metric,
             Metric::BitFlip
+        );
+    }
+
+    #[test]
+    fn characterize_kind_relaxes_golden_and_metric() {
+        let r = parse_request(r#"{"id":"c1","kind":"characterize","candidate":"c.aag"}"#).unwrap();
+        assert_eq!(r.kind, JobKind::Characterize);
+        assert_eq!(r.golden, None, "golden is inferred for characterize jobs");
+        assert_eq!(r.metric, Metric::Wce);
+        let r = parse_request(
+            r#"{"id":"c2","kind":"characterize","golden":"g.aag","candidate":"c.aag"}"#,
+        )
+        .unwrap();
+        assert_eq!(r.golden.as_deref(), Some("g.aag"));
+        // Analyze jobs (explicit or default) still require golden.
+        assert!(parse_request(r#"{"id":"a1","candidate":"c.aag","metric":"wce"}"#).is_err());
+        assert!(parse_request(
+            r#"{"id":"a2","kind":"analyze","candidate":"c.aag","metric":"wce"}"#
+        )
+        .is_err());
+        // ... and an unknown kind is rejected outright.
+        let e = parse_request(r#"{"id":"k","kind":"evolve","candidate":"c.aag"}"#).unwrap_err();
+        assert!(e.message.contains("unknown kind"));
+        // A characterize job with a malformed golden is rejected, not
+        // silently treated as inference.
+        assert!(
+            parse_request(r#"{"id":"c3","kind":"characterize","golden":7,"candidate":"c"}"#)
+                .is_err()
         );
     }
 

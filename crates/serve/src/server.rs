@@ -2,7 +2,7 @@
 //! per-job execution pipeline (cache → warm engine → cold analyzer).
 
 use crate::cache::ResultCache;
-use crate::protocol::{self, Metric, Request};
+use crate::protocol::{self, JobKind, Metric, Request};
 use crate::queue::JobQueue;
 use axmc_aig::{aiger, Aig};
 use axmc_core::cache::metric;
@@ -324,7 +324,14 @@ impl Server {
     /// function of the query — byte-identical on cache replay) and
     /// whether the leading query was already cached when the job began.
     fn execute(&self, req: &Request) -> Result<(Json, bool), JobFailure> {
-        let golden = self.circuit(&req.golden)?;
+        if req.kind == JobKind::Characterize {
+            return self.execute_characterize(req);
+        }
+        let golden_path = req
+            .golden
+            .as_deref()
+            .ok_or_else(|| String::from("missing required field 'golden'"))?;
+        let golden = self.circuit(golden_path)?;
         let candidate = self.circuit(&req.candidate)?;
         if golden.num_inputs() != candidate.num_inputs()
             || golden.num_outputs() != candidate.num_outputs()
@@ -365,6 +372,110 @@ impl Server {
         } else {
             self.execute_comb(req, &golden, &candidate, options)
         }
+    }
+
+    /// Looks up (or generates, sweeps, and memoizes) the exact golden of
+    /// a component class at a width. Stored in the circuit store under a
+    /// synthetic key — the leading `\0` cannot appear in a request path,
+    /// so builtin goldens and loaded files never collide.
+    fn builtin_golden(&self, class: &str, width: usize) -> Result<Arc<Aig>, String> {
+        let key = format!("\0builtin/{class}/{width}");
+        if let Some(hit) = self.circuits.lock().expect("store poisoned").get(&key) {
+            return Ok(Arc::clone(hit));
+        }
+        let netlist = match class {
+            "adder" => axmc_circuit::generators::ripple_carry_adder(width),
+            "multiplier" => axmc_circuit::generators::array_multiplier(width),
+            other => return Err(format!("no builtin golden for class '{other}'")),
+        };
+        // Swept like every loaded circuit, so cache keys stay canonical.
+        let aig = Arc::new(axmc_absint::sweep(&netlist.to_aig()).0);
+        self.circuits
+            .lock()
+            .expect("store poisoned")
+            .insert(key, Arc::clone(&aig));
+        Ok(aig)
+    }
+
+    /// A `kind:"characterize"` job: exact WCE and bit-flip error of one
+    /// combinational component, both through the server's result cache.
+    /// Without an explicit `golden` the component class and width are
+    /// inferred from the candidate's interface (2w inputs and w+1
+    /// outputs → w-bit adder; 2w inputs and 2w outputs → w-bit
+    /// multiplier) and the exact golden is generated in-process.
+    fn execute_characterize(&self, req: &Request) -> Result<(Json, bool), JobFailure> {
+        let candidate = self.circuit(&req.candidate)?;
+        if candidate.num_latches() > 0 {
+            return Err(String::from(
+                "characterize jobs take combinational components (the candidate has latches)",
+            )
+            .into());
+        }
+        let (ins, outs) = (candidate.num_inputs(), candidate.num_outputs());
+        let (class, width) = if ins >= 2 && ins % 2 == 0 && outs == ins / 2 + 1 {
+            ("adder", ins / 2)
+        } else if ins >= 2 && ins % 2 == 0 && outs == ins {
+            ("multiplier", ins / 2)
+        } else if req.golden.is_some() {
+            ("custom", 0)
+        } else {
+            return Err(format!(
+                "cannot infer the component class from {ins} inputs / {outs} outputs \
+                 (adder: 2w in, w+1 out; multiplier: 2w in, 2w out); pass 'golden' explicitly"
+            )
+            .into());
+        };
+        let golden = match &req.golden {
+            Some(path) => self.circuit(path)?,
+            None => self.builtin_golden(class, width)?,
+        };
+        if golden.num_inputs() != ins || golden.num_outputs() != outs {
+            return Err(format!(
+                "golden and candidate interfaces differ ({}→{} vs {ins}→{outs})",
+                golden.num_inputs(),
+                golden.num_outputs(),
+            )
+            .into());
+        }
+        let certify = req.certify.unwrap_or(self.config.certify);
+        let mut ctl = ResourceCtl::unlimited();
+        if let Some(ms) = req.timeout_ms {
+            ctl = ctl.with_timeout(Duration::from_millis(ms));
+        } else if let Some(d) = self.config.default_timeout {
+            ctl = ctl.with_timeout(d);
+        }
+        let options = AnalysisOptions::new()
+            .with_ctl(ctl)
+            .with_certify(certify)
+            .with_inprocessing(self.config.inprocess)
+            .with_backend(self.config.backend)
+            .with_cache(CacheHandle::new(self.cache.clone()));
+        // The job is "cached" when its leading (WCE) query already was —
+        // the same convention the analyze WCE arm uses.
+        let wce_key = QueryKey::new(&golden, &candidate, metric::COMB_WCE, &options);
+        let cached = self.cache.peek(&wce_key);
+        let analyzer = CombAnalyzer::new(&golden, &candidate).with_options(options);
+        let wce = analyzer.worst_case_error()?;
+        let bit_flip = analyzer.bit_flip_error()?;
+        Ok((
+            Json::Obj(vec![
+                ("kind".into(), Json::Str("characterize".into())),
+                ("class".into(), Json::Str(class.into())),
+                ("width".into(), Json::Num(width as f64)),
+                ("wce".into(), Json::Str(wce.value.to_string())),
+                ("bit_flip".into(), Json::Str(bit_flip.value.to_string())),
+                (
+                    "sat_calls".into(),
+                    Json::Num((wce.sat_calls + bit_flip.sat_calls) as f64),
+                ),
+                (
+                    "conflicts".into(),
+                    Json::Num((wce.conflicts + bit_flip.conflicts) as f64),
+                ),
+                ("engine".into(), Json::Str(wce.engine.to_string())),
+            ]),
+            cached,
+        ))
     }
 
     fn execute_comb(

@@ -331,3 +331,79 @@ fn unix_socket_serves_batches_across_connections_with_a_shared_cache() {
     );
     let _ = std::fs::remove_dir_all(&dir);
 }
+
+#[test]
+fn characterize_jobs_infer_golden_and_replay_from_cache() {
+    let dir = scratch();
+    let trunc = write_aig(
+        &dir,
+        "add4_trunc2.aag",
+        &approx::truncated_adder(4, 2).to_aig(),
+    );
+    let server = Server::new(ServeConfig::default());
+
+    // Cold run: no `golden` field — the server infers "adder, width 4"
+    // from the interface and synthesizes the exact ripple-carry golden.
+    let cold = run(
+        &server,
+        &[format!(
+            r#"{{"id":"ch1","kind":"characterize","candidate":"{trunc}"}}"#
+        )],
+    );
+    let r1 = result_of(&cold, "ch1");
+    assert_eq!(r1.get("status").and_then(Json::as_str), Some("ok"));
+    assert_eq!(r1.get("cached"), Some(&Json::Bool(false)));
+    let body1 = r1.get("result").expect("nested result");
+    assert_eq!(
+        body1.get("kind").and_then(Json::as_str),
+        Some("characterize")
+    );
+    assert_eq!(body1.get("class").and_then(Json::as_str), Some("adder"));
+    assert_eq!(body1.get("width").and_then(Json::as_f64), Some(4.0));
+    // truncated_adder(4, 2) has a known worst-case error of 2^(2+1) - 2.
+    assert_eq!(body1.get("wce").and_then(Json::as_str), Some("6"));
+    assert!(body1.get("bit_flip").and_then(Json::as_str).is_some());
+    assert!(body1.get("engine").and_then(Json::as_str).is_some());
+
+    // Second batch: the same component replays from the result cache and
+    // the nested result object is byte-identical to the cold run.
+    let warm = run(
+        &server,
+        &[format!(
+            r#"{{"id":"ch2","kind":"characterize","candidate":"{trunc}"}}"#
+        )],
+    );
+    let r2 = result_of(&warm, "ch2");
+    assert_eq!(r2.get("cached"), Some(&Json::Bool(true)));
+    assert_eq!(r2.get("result"), Some(body1));
+    let done = done_of(&warm);
+    assert!(done.get("cache_hits").and_then(Json::as_f64).unwrap_or(0.0) >= 1.0);
+
+    // An explicit golden still works and an analyze job without a golden
+    // still fails in-band, even after characterize relaxed the field.
+    let golden = write_aig(
+        &dir,
+        "add4_exact.aag",
+        &generators::ripple_carry_adder(4).to_aig(),
+    );
+    let mixed = run(
+        &server,
+        &[
+            format!(
+                r#"{{"id":"ch3","kind":"characterize","golden":"{golden}","candidate":"{trunc}"}}"#
+            ),
+            format!(r#"{{"id":"a1","candidate":"{trunc}","metric":"wce"}}"#),
+        ],
+    );
+    let r3 = result_of(&mixed, "ch3");
+    assert_eq!(r3.get("status").and_then(Json::as_str), Some("ok"));
+    assert_eq!(
+        r3.get("result")
+            .and_then(|b| b.get("wce"))
+            .and_then(Json::as_str),
+        Some("6")
+    );
+    let a1 = result_of(&mixed, "a1");
+    assert_eq!(a1.get("status").and_then(Json::as_str), Some("error"));
+    let _ = std::fs::remove_dir_all(&dir);
+}

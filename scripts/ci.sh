@@ -22,6 +22,37 @@ run cargo clippy -p axmc-bench --all-targets --offline \
     --features micro-benches -- -D warnings
 run cargo build --release --offline
 
+# Prose documentation gate: every relative markdown link must resolve to
+# a real file, and every CLI subcommand a doc names in inline code
+# (`axmc foo`) must actually exist in `axmc --help` — stale docs fail CI
+# the same way stale rustdoc does.
+doc_links_check() {
+    echo "== doc link check =="
+    local axmc=target/release/axmc help fail=0 file dir link target sub
+    help=$("$axmc" --help 2>&1 || true)
+    for file in ./*.md docs/*.md; do
+        [[ -f $file ]] || continue
+        dir=$(dirname "$file")
+        while IFS= read -r link; do
+            [[ -z $link ]] && continue
+            target=${link%%#*}
+            [[ -z $target ]] && continue
+            [[ -e "$dir/$target" ]] \
+                || { echo "$file: broken link -> $link"; fail=1; }
+        done < <(grep -oE '\]\([^)]+\)' "$file" 2>/dev/null \
+                 | sed 's/^](//; s/)$//' \
+                 | grep -vE '^(https?:|mailto:|#)' || true)
+        while IFS= read -r sub; do
+            [[ -z $sub ]] && continue
+            grep -qE "(^|[[:space:]])${sub}([[:space:]]|$)" <<<"$help" \
+                || { echo "$file: unknown subcommand 'axmc $sub'"; fail=1; }
+        done < <(grep -ohE '`axmc [a-z][a-z0-9-]*' "$file" 2>/dev/null \
+                 | sed 's/^`axmc //' | sort -u || true)
+    done
+    (( fail == 0 )) || { echo "documentation drifted from the CLI"; exit 1; }
+}
+doc_links_check
+
 # Documentation gate: rustdoc must be warning-free (broken intra-doc
 # links included) and every doctest must pass, in both feature
 # configurations.
@@ -141,6 +172,40 @@ serve_smoke() {
 }
 serve_smoke
 
+# Characterize smoke: sweep a 3-component import library at width 4,
+# then re-run against the same table file. The second run must answer
+# every component from the table (cross-process warm reuse keyed on the
+# pair fingerprint + backend) without touching a solver, and the known
+# worst-case error of the cut-2 truncated adder pins the metrics.
+characterize_smoke() {
+    echo "== characterize smoke =="
+    local dir
+    dir=$(mktemp -d)
+    mkdir "$dir/lib"
+    cargo run --release --offline --bin axmc -- \
+        gen --kind trunc-adder --width 4 --param 2 --out "$dir/lib/add4_trunc2.aag"
+    cargo run --release --offline --bin axmc -- \
+        gen --kind loa-adder --width 4 --param 2 --out "$dir/lib/add4_loa2.aag"
+    cargo run --release --offline --bin axmc -- \
+        gen --kind trunc-multiplier --width 4 --param 2 --out "$dir/lib/mul4_trunc2.aag"
+    cargo run --release --offline --bin axmc -- \
+        characterize --library "$dir/lib" --kinds imports --width 4 \
+        --out "$dir/table.jsonl" >"$dir/cold.txt"
+    grep -q "characterized 3 components (0 reused, 3 computed" "$dir/cold.txt" \
+        || { echo "cold sweep did not compute all 3 imports"; exit 1; }
+    grep -q '"name":"add4_trunc2"' "$dir/table.jsonl" \
+        || { echo "import missing from the table"; exit 1; }
+    grep '"name":"add4_trunc2"' "$dir/table.jsonl" | grep -q '"wce":"6"' \
+        || { echo "wrong WCE for the cut-2 truncated adder"; exit 1; }
+    cargo run --release --offline --bin axmc -- \
+        characterize --library "$dir/lib" --kinds imports --width 4 \
+        --out "$dir/table.jsonl" >"$dir/warm.txt"
+    grep -q "characterized 3 components (3 reused, 0 computed" "$dir/warm.txt" \
+        || { echo "second run did not reuse the existing table"; exit 1; }
+    rm -rf "$dir"
+}
+characterize_smoke
+
 # Static-tier smoke: a self-pair is decidable by the abstract
 # interpretation tier alone, so `--engine static` must report both
 # metrics as statically decided and the --metrics table must show the
@@ -243,6 +308,23 @@ t7_gate() {
     rm -rf "$dir"
 }
 t7_gate
+
+# Characterization-throughput gate: the T8 harness sweeps the builtin
+# library cold and warm (shared in-process query cache), so both the
+# per-component analysis cost and the cache replay path are timed.
+# Same order-of-magnitude threshold as the other bench gates.
+t8_gate() {
+    echo "== T8 characterization bench gate =="
+    local dir
+    dir=$(mktemp -d)
+    AXMC_METRICS_DIR="$dir" run cargo run --release --offline \
+        -p axmc-bench --bin table8_characterize
+    cargo run --release --offline --bin axmc -- \
+        bench-diff --base bench_results/t8_baseline_metrics.quick.json \
+        --new "$dir/T8_metrics.quick.json" --threshold 2000 --min-ms 50
+    rm -rf "$dir"
+}
+t8_gate
 
 # The certified-solve suite (DRAT proof logging + in-tree checker,
 # including the corrupted-proof rejection paths), in both feature

@@ -90,6 +90,7 @@ fn main() -> ExitCode {
     };
     let specs = match command.as_str() {
         "analyze" => ANALYZE_FLAGS,
+        "characterize" => CHARACTERIZE_FLAGS,
         "evolve" => EVOLVE_FLAGS,
         "gen" => GEN_FLAGS,
         "stats" => STATS_FLAGS,
@@ -128,6 +129,7 @@ fn main() -> ExitCode {
     let run_span = axmc::obs::span("run");
     let result = match command.as_str() {
         "analyze" => cmd_analyze(&opts),
+        "characterize" => cmd_characterize(&opts),
         "evolve" => cmd_evolve(&opts),
         "gen" => cmd_gen(&opts),
         "stats" => cmd_stats(&opts),
@@ -160,6 +162,29 @@ USAGE:
       Exact worst-case / bit-flip error of C against G. Sequential pairs
       are analyzed within K cycles (default 8); --prove additionally
       attempts an unbounded k-induction certificate at the measured WCE.
+
+  axmc characterize [--library DIR] [--width W | --widths W1,W2,...]
+                    [--kinds adders,multipliers,imports|all] [--measure wce,bit-flip,avg]
+                    [--engine sat|bdd|auto|static] [--jobs N]
+                    [--timeout D] [--query-timeout D]
+                    [--out TABLE.jsonl] [--markdown TABLE.md] [--no-reuse]
+                    [--compose mac|fir|accumulator --horizon K [--tau T] [--taps N]]
+                    [--metrics] [--trace F.jsonl] [--run-dir DIR]
+      Characterizes a whole library of approximate components at once:
+      the in-tree generated adder/multiplier variants at every requested
+      width (doubling 4,8,... up to --width, default 8) plus AIGER
+      imports from --library DIR (*.aag/*.aig; the component class and
+      width are inferred from the interface). Emits an
+      axmc-characterize-v1 table — JSONL with --out, rendered markdown
+      on stdout and with --markdown — with exact per-component WCE,
+      bit-flip and average-case metrics plus engine/timing provenance.
+      Re-running with the same --out reuses completed rows whose
+      fingerprint, backend and metrics match (disable with --no-reuse).
+      With --compose the library picks are instead instantiated inside a
+      sequential scenario (MAC array, FIR cascade, accumulator chain),
+      analyzed end to end at cycle horizon K, and — given --tau T — the
+      cheapest component whose system-level WCE stays <= T is selected.
+      See docs/characterize.md.
 
   axmc evolve --kind adder|multiplier --width N (--wcre P | --config F)
               [--seconds S] [--seed X] [--jobs N] [--engine sat|bdd|auto]
@@ -341,6 +366,28 @@ const ANALYZE_FLAGS: &[FlagSpec] = &[
     val("run-dir"),
 ];
 
+const CHARACTERIZE_FLAGS: &[FlagSpec] = &[
+    val("library"),
+    val("width"),
+    val("widths"),
+    val("kinds"),
+    val("measure"),
+    val("engine"),
+    val("jobs"),
+    val("timeout"),
+    val("query-timeout"),
+    val("out"),
+    val("markdown"),
+    switch("no-reuse"),
+    val("compose"),
+    val("horizon"),
+    val("tau"),
+    val("taps"),
+    switch("metrics"),
+    val("trace"),
+    val("run-dir"),
+];
+
 const EVOLVE_FLAGS: &[FlagSpec] = &[
     val("kind"),
     val("width"),
@@ -443,7 +490,7 @@ impl ObsSession {
         // `--run-dir` means "record this run" only for the commands that
         // run one; for `report` the same flag names an existing bundle
         // to *read*, which must never be truncated.
-        let recording = matches!(command, "analyze" | "evolve" | "serve");
+        let recording = matches!(command, "analyze" | "characterize" | "evolve" | "serve");
         if let Some(dir) = opts.get("run-dir").filter(|_| recording) {
             let rd = RunDir::create(Path::new(dir))
                 .map_err(|e| format!("cannot create run dir '{dir}': {e}"))?;
@@ -854,6 +901,272 @@ fn cmd_analyze(opts: &Flags) -> Result<(), CliError> {
     if certify {
         report_certificates("certified results    ");
     }
+    Ok(())
+}
+
+/// Parses `--engine` for characterize, defaulting to the racing `Auto`
+/// portfolio — a library sweep is exactly the mixed adder/multiplier
+/// workload the portfolio (and its static-tier prescreen) is built for.
+fn characterize_engine_flag(opts: &Flags) -> Result<Backend, String> {
+    match opts.get("engine") {
+        None => Ok(Backend::Auto),
+        Some(text) => text.parse(),
+    }
+}
+
+/// The widths a characterize run sweeps: `--widths` verbatim, or the
+/// doubling ladder 4, 8, 16, … up to and including `--width`.
+fn characterize_widths(opts: &Flags) -> Result<Vec<usize>, String> {
+    if let Some(list) = opts.get("widths") {
+        let mut widths = Vec::new();
+        for tok in list.split(',').map(str::trim).filter(|t| !t.is_empty()) {
+            let w: usize = tok
+                .parse()
+                .map_err(|_| format!("invalid width '{tok}' in --widths"))?;
+            if w == 0 {
+                return Err("--widths entries must be >= 1".into());
+            }
+            widths.push(w);
+        }
+        if widths.is_empty() {
+            return Err("--widths must name at least one width".into());
+        }
+        return Ok(widths);
+    }
+    let max: usize = numeric(opts, "width", 8)?;
+    if max == 0 {
+        return Err("--width must be >= 1".into());
+    }
+    let mut widths = Vec::new();
+    let mut w = 4;
+    while w < max {
+        widths.push(w);
+        w *= 2;
+    }
+    widths.push(max);
+    Ok(widths)
+}
+
+fn cmd_characterize(opts: &Flags) -> Result<(), CliError> {
+    use axmc::characterize::{self, MemoryCache, MetricSelection, SweepOptions, Table};
+    use axmc::core::CacheHandle;
+
+    let engine = characterize_engine_flag(opts)?;
+    let jobs = jobs_flag(opts)?;
+    let ctl = ctl_flags(opts)?;
+    let widths = characterize_widths(opts)?;
+
+    // Which library slices to sweep: builtin adders/multipliers and/or
+    // AIGER imports. Passing --library implies the imports slice.
+    let (mut adders, mut multipliers, mut imports) = (false, false, false);
+    match opts.get("kinds") {
+        None => {
+            adders = true;
+            multipliers = true;
+            imports = opts.contains_key("library");
+        }
+        Some(list) => {
+            for tok in list.split(',').map(str::trim).filter(|t| !t.is_empty()) {
+                match tok {
+                    "adders" => adders = true,
+                    "multipliers" => multipliers = true,
+                    "imports" => imports = true,
+                    "all" => {
+                        adders = true;
+                        multipliers = true;
+                        imports = true;
+                    }
+                    other => {
+                        return Err(format!(
+                            "unknown --kinds entry '{other}' (adders, multipliers, imports, all)"
+                        )
+                        .into())
+                    }
+                }
+            }
+        }
+    }
+    if imports && !opts.contains_key("library") {
+        return Err("--kinds imports needs --library DIR".into());
+    }
+
+    let metrics = match opts.get("measure") {
+        None => MetricSelection::default(),
+        Some(list) => {
+            let mut m = MetricSelection {
+                wce: false,
+                bit_flip: false,
+                average: false,
+            };
+            for tok in list.split(',').map(str::trim).filter(|t| !t.is_empty()) {
+                match tok {
+                    "wce" => m.wce = true,
+                    "bit-flip" | "bit_flip" => m.bit_flip = true,
+                    "avg" | "average" => m.average = true,
+                    other => {
+                        return Err(format!(
+                            "unknown --measure entry '{other}' (wce, bit-flip, avg)"
+                        )
+                        .into())
+                    }
+                }
+            }
+            if !m.wce && !m.bit_flip && !m.average {
+                return Err("--measure must name at least one metric".into());
+            }
+            m
+        }
+    };
+
+    // Assemble the library.
+    let mut components = characterize::builtin_library(&widths, adders, multipliers);
+    if imports {
+        let dir = required(opts, "library")?;
+        let (imported, warnings) = characterize::import_library(Path::new(dir))?;
+        for w in warnings {
+            eprintln!("warning: {w}");
+        }
+        components.extend(imported);
+    }
+    if components.is_empty() {
+        return Err("the library is empty (nothing to characterize)".into());
+    }
+
+    // Compose mode: instantiate the picks inside a sequential scenario
+    // instead of characterizing them in isolation.
+    if let Some(name) = opts.get("compose") {
+        let scenario = characterize::Scenario::parse(name)?;
+        let horizon: usize = numeric(opts, "horizon", 4)?;
+        let taps: usize = numeric(opts, "taps", 4)?;
+        if scenario == characterize::Scenario::Fir && taps < 2 {
+            return Err("--taps must be >= 2 for the FIR scenario".into());
+        }
+        if widths.len() != 1 {
+            return Err("compose mode analyzes one width: pass --width W (or --widths W)".into());
+        }
+        let width = widths[0];
+        let started = Instant::now();
+        let base = AnalysisOptions::new().with_ctl(ctl);
+        let (rows, skipped) =
+            characterize::compose_sweep(scenario, width, horizon, taps, &components, &base, jobs)?;
+        for s in skipped {
+            eprintln!("warning: {s}");
+        }
+        if rows.is_empty() {
+            return Err(format!(
+                "no {}-bit {} components in the library to compose",
+                width,
+                scenario.slot_kind().as_str()
+            )
+            .into());
+        }
+        let selected = match opts.get("tau") {
+            None => None,
+            Some(text) => {
+                let tau: u128 = text
+                    .parse()
+                    .map_err(|_| format!("invalid --tau '{text}' (decimal integer)"))?;
+                let pick = characterize::select(&rows, tau);
+                if pick.is_none() {
+                    eprintln!(
+                        "warning: no component keeps the system-level WCE within tau = {tau}"
+                    );
+                }
+                pick
+            }
+        };
+        println!(
+            "composed {} components into the {} scenario (width {width}, horizon {horizon})",
+            rows.len(),
+            scenario.as_str()
+        );
+        print!("{}", characterize::compose_markdown(&rows, selected));
+        if let Some(i) = selected {
+            println!(
+                "selected: {} ({:.1} um2, system WCE {} <= tau)",
+                rows[i].component,
+                rows[i].area_um2,
+                rows[i].sys_wce.expect("selected rows are determined"),
+            );
+        }
+        if let Some(path) = opts.get("out") {
+            // Compose rows append to the table file: component rows
+            // already there stay valid (the parser keys on 'record').
+            use std::io::Write;
+            let mut file = std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(path)
+                .map_err(|e| format!("cannot open '{path}': {e}"))?;
+            for row in &rows {
+                writeln!(file, "{}", row.to_json().render())
+                    .map_err(|e| format!("cannot write '{path}': {e}"))?;
+            }
+            println!("appended {} composition rows to {path}", rows.len());
+        }
+        println!(
+            "done in {:.1} ms ({jobs} jobs)",
+            started.elapsed().as_secs_f64() * 1e3
+        );
+        return Ok(());
+    }
+
+    // Warm reuse: completed rows of an existing --out table answer
+    // matching components without recomputation.
+    let reuse = match opts.get("out") {
+        Some(path) if !opts.contains_key("no-reuse") && Path::new(path).exists() => {
+            let text =
+                std::fs::read_to_string(path).map_err(|e| format!("cannot read '{path}': {e}"))?;
+            Table::from_jsonl(&text)
+                .map_err(|e| format!("existing table '{path}' is invalid: {e}"))?
+                .entries
+        }
+        _ => Vec::new(),
+    };
+
+    let cache = Arc::new(MemoryCache::new());
+    let base = AnalysisOptions::new()
+        .with_ctl(ctl)
+        .with_backend(engine)
+        .with_cache(CacheHandle::new(cache.clone()));
+    let sweep = SweepOptions {
+        base,
+        jobs,
+        metrics,
+        reuse,
+    };
+    let started = Instant::now();
+    let table = characterize::characterize(&components, &sweep)?;
+    let elapsed_ms = started.elapsed().as_secs_f64() * 1e3;
+
+    print!("{}", table.to_markdown());
+    if let Some(path) = opts.get("out") {
+        std::fs::write(path, table.to_jsonl())
+            .map_err(|e| format!("cannot write '{path}': {e}"))?;
+        println!("wrote {path} ({} JSONL rows)", table.entries.len());
+    }
+    if let Some(path) = opts.get("markdown") {
+        std::fs::write(path, table.to_markdown())
+            .map_err(|e| format!("cannot write '{path}': {e}"))?;
+        println!("wrote {path} (markdown)");
+    }
+    let reused = table.entries.iter().filter(|e| e.reused).count();
+    let interrupted = table
+        .entries
+        .iter()
+        .filter(|e| e.status == "interrupted")
+        .count();
+    println!(
+        "characterized {} components ({} reused, {} computed, {} interrupted) \
+         in {elapsed_ms:.1} ms ({jobs} jobs, engine {engine}); \
+         query cache: {} hits, {} stored",
+        table.entries.len(),
+        reused,
+        table.entries.len() - reused,
+        interrupted,
+        cache.hits(),
+        cache.len(),
+    );
     Ok(())
 }
 

@@ -24,6 +24,7 @@
 //! | [`mc`] | `axmc-mc` | Bounded model checking, k-induction, explicit reachability |
 //! | [`core`] | `axmc-core` | The error-determination engines ([`CombAnalyzer`], [`SeqAnalyzer`]) |
 //! | [`cgp`] | `axmc-cgp` | Verifiability-driven CGP synthesis |
+//! | [`characterize`] | `axmc-characterize` | Library characterization tables and composed accelerator scenarios |
 //! | [`check`] | `axmc-check` | RUP/DRAT proof checking for certified UNSAT results, structural linting |
 //! | [`serve`] | `axmc-serve` | Batch analysis service: JSONL protocol, priority queue, structural-hash result cache |
 //! | [`obs`] | `axmc-obs` | Metrics, spans and trace events behind the CLI's `--metrics`/`--trace` |
@@ -59,6 +60,7 @@ pub use axmc_absint as absint;
 pub use axmc_aig as aig;
 pub use axmc_bdd as bdd;
 pub use axmc_cgp as cgp;
+pub use axmc_characterize as characterize;
 pub use axmc_check as check;
 pub use axmc_circuit as circuit;
 pub use axmc_cnf as cnf;
